@@ -1,0 +1,36 @@
+//! Fig. 13 & Table 4: AlignedBound vs SpillBound empirical MSO (with the
+//! 2D+2 reference) and AB's maximum replacement penalty. Prints both, then
+//! times one AlignedBound discovery including its partition search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rqp_bench::{fig13_table4_aligned, render_aligned, runtime_for, Scale};
+use rqp_core::{AlignedBound, Discovery};
+use rqp_workloads::{BenchQuery, Workload};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig13_table4_aligned(Scale::Quick);
+    println!("{}", render_aligned(&rows));
+
+    let w = Workload::tpcds(BenchQuery::Q91_4D);
+    let rt = runtime_for(&w, Scale::Quick);
+    let qa = rt.ess.grid().num_cells() / 2;
+    c.bench_function("fig13/ab_discover_cold_4d_q91", |b| {
+        b.iter(|| {
+            let ab = AlignedBound::new(); // cold cache: full partition search
+            black_box(ab.discover(&rt, qa).total_cost)
+        })
+    });
+    let ab = AlignedBound::new();
+    ab.discover(&rt, qa);
+    c.bench_function("fig13/ab_discover_warm_4d_q91", |b| {
+        b.iter(|| black_box(ab.discover(&rt, qa).total_cost))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

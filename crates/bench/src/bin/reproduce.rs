@@ -1,0 +1,97 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!   reproduce [--full] [EXPERIMENT ...]
+//!
+//! Without arguments all experiments run at Quick scale; `--full` switches
+//! to the DESIGN.md resolution schedule. Experiments: fig7 fig8 fig9 fig10
+//! fig12 fig13 table2 table3 job baselines random ratio anorexic cost_error resolution.
+
+use rqp_bench::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let wanted: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
+
+    println!(
+        "robust-qp reproduction harness (scale: {:?})\n",
+        scale
+    );
+
+    let t0 = Instant::now();
+    if want("fig7") {
+        section("Fig 7: SpillBound execution trace (2D_Q91)");
+        println!("{}", fig7_trace(scale));
+    }
+    if want("fig8") {
+        section("Fig 8: MSO guarantees");
+        println!("{}", render_guarantees("Fig 8: MSO guarantees (PB vs SB)", &fig8_mso_guarantees(scale)));
+    }
+    if want("fig9") {
+        section("Fig 9: guarantee vs dimensionality (Q91)");
+        println!(
+            "{}",
+            render_guarantees("Fig 9: MSOg vs dimensionality (Q91, D=2..6)", &fig9_dimensionality(scale))
+        );
+    }
+    if want("fig10") || want("fig11") {
+        section("Fig 10 & 11: empirical MSO and ASO");
+        println!("{}", render_empirical(&fig10_11_empirical(scale)));
+    }
+    if want("fig12") {
+        section("Fig 12: sub-optimality distribution");
+        println!("{}", render_histogram(&fig12_distribution(scale)));
+    }
+    if want("fig13") || want("table4") {
+        section("Fig 13 & Table 4: AlignedBound");
+        println!("{}", render_aligned(&fig13_table4_aligned(scale)));
+    }
+    if want("table2") {
+        section("Table 2: contour alignment cost");
+        println!("{}", render_alignment(&table2_alignment(scale)));
+    }
+    if want("table3") {
+        section("Table 3 / §6.3: wall-clock drill-down");
+        println!("{}", render_wall_clock(&table3_wall_clock(scale)));
+    }
+    if want("job") {
+        section("§6.5: JOB benchmark");
+        println!("{}", render_job(&job_q1a(scale)));
+    }
+    if want("ratio") {
+        section("Ablation: contour cost ratio");
+        println!("{}", render_ratio(&ablation_cost_ratio(scale)));
+    }
+    if want("anorexic") {
+        section("Ablation: anorexic reduction");
+        println!("{}", render_anorexic(&ablation_anorexic(scale)));
+    }
+    if want("baselines") {
+        section("§8 comparison: reoptimization heuristics");
+        println!("{}", render_baselines(&baselines_comparison(scale)));
+    }
+    if want("random") {
+        section("Robustness sweep: random workloads");
+        println!("{}", render_random(&random_workload_sweep(scale, 9)));
+    }
+    if want("cost_error") {
+        section("Ablation: cost-model error (§7)");
+        println!("{}", render_cost_error(&ablation_cost_error(scale)));
+    }
+    if want("resolution") {
+        section("Ablation: grid resolution");
+        println!("{}", render_resolution(&ablation_resolution(scale)));
+    }
+    println!("total: {:.1?}", t0.elapsed());
+}
+
+fn section(title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}

@@ -1,0 +1,64 @@
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (§6), shared by the Criterion benches and the `reproduce`
+//! binary.
+//!
+//! Every function returns structured rows and can run at two scales:
+//! [`Scale::Quick`] (coarse grids, used inside `cargo bench` so the whole
+//! suite stays in CI budgets) and [`Scale::Full`] (the DESIGN.md resolution
+//! schedule, used by `reproduce --full` to regenerate EXPERIMENTS.md).
+
+pub mod experiments;
+pub mod render;
+
+pub use experiments::*;
+pub use render::*;
+
+use rqp_core::RobustRuntime;
+use rqp_ess::EssConfig;
+use rqp_workloads::Workload;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Coarse grids and sampled evaluation — seconds per experiment.
+    Quick,
+    /// The DESIGN.md resolution schedule — minutes for the full suite.
+    Full,
+}
+
+impl Scale {
+    /// ESS configuration for a query of the given dimensionality.
+    pub fn ess_config(self, dims: usize) -> EssConfig {
+        match self {
+            Scale::Quick => EssConfig::coarse(dims),
+            Scale::Full => EssConfig::for_dims(dims),
+        }
+    }
+
+    /// Evaluation stride: sample every `stride`-th grid cell when the grid
+    /// is large (exhaustive when 1).
+    pub fn eval_stride(self, num_cells: usize) -> usize {
+        let target = match self {
+            Scale::Quick => 4_000,
+            Scale::Full => 40_000,
+        };
+        (num_cells / target).max(1)
+    }
+}
+
+/// Compile a workload's runtime at the given scale.
+pub fn runtime_for(w: &Workload, scale: Scale) -> RobustRuntime<'_> {
+    w.runtime(scale.ess_config(w.query.dims()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_coarser() {
+        assert!(Scale::Quick.ess_config(4).resolution < Scale::Full.ess_config(4).resolution);
+        assert!(Scale::Quick.eval_stride(1_000_000) > 1);
+        assert_eq!(Scale::Full.eval_stride(1_000), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Plain-text rendering of experiment results, in the row/series format of
+//! the paper's tables and figures.
+
+use crate::experiments::*;
+
+/// Render Fig. 8 / Fig. 9 guarantee rows.
+pub fn render_guarantees(title: &str, rows: &[GuaranteeRow]) -> String {
+    let mut s = format!("== {title} ==\n");
+    s.push_str(&format!(
+        "{:<8} {:>4} {:>8} {:>12} {:>12}\n",
+        "query", "D", "rho_red", "PB MSOg", "SB MSOg"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<8} {:>4} {:>8} {:>12.1} {:>12.1}\n",
+            r.query, r.dims, r.rho_red, r.pb_guarantee, r.sb_guarantee
+        ));
+    }
+    s
+}
+
+/// Render Fig. 10 / Fig. 11 empirical rows.
+pub fn render_empirical(rows: &[EmpiricalRow]) -> String {
+    let mut s = String::from("== Fig 10 (MSOe) & Fig 11 (ASO): PB vs SB ==\n");
+    s.push_str(&format!(
+        "{:<8} {:>4} {:>10} {:>10} {:>10} {:>10}\n",
+        "query", "D", "PB MSOe", "SB MSOe", "PB ASO", "SB ASO"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<8} {:>4} {:>10.1} {:>10.1} {:>10.2} {:>10.2}\n",
+            r.query, r.dims, r.pb_mso, r.sb_mso, r.pb_aso, r.sb_aso
+        ));
+    }
+    s
+}
+
+/// Render the Fig. 12 histogram.
+pub fn render_histogram(h: &HistogramResult) -> String {
+    let mut s = String::from("== Fig 12: sub-optimality distribution, 4D_Q91 ==\n");
+    s.push_str(&format!("{:<12} {:>8} {:>8}\n", "bin", "PB %", "SB %"));
+    for i in 0..h.bins.len() {
+        let hi = if i + 1 == h.bins.len() {
+            "+".to_string()
+        } else {
+            format!("-{}", h.bins[i] + 5.0)
+        };
+        s.push_str(&format!(
+            "[{:>3}{:<5}] {:>9.1} {:>8.1}\n",
+            h.bins[i],
+            hi,
+            100.0 * h.pb[i],
+            100.0 * h.sb[i]
+        ));
+    }
+    s
+}
+
+/// Render the Fig. 13 / Table 4 rows.
+pub fn render_aligned(rows: &[AlignedRow]) -> String {
+    let mut s = String::from("== Fig 13: SB vs AB MSOe (with 2D+2 line) & Table 4: AB max penalty ==\n");
+    s.push_str(&format!(
+        "{:<8} {:>4} {:>10} {:>10} {:>8} {:>12}\n",
+        "query", "D", "SB MSOe", "AB MSOe", "2D+2", "max penalty"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<8} {:>4} {:>10.1} {:>10.1} {:>8.0} {:>12.2}\n",
+            r.query, r.dims, r.sb_mso, r.ab_mso, r.linear_bound, r.ab_max_penalty
+        ));
+    }
+    s
+}
+
+/// Render Table 2.
+pub fn render_alignment(rows: &[AlignmentRow]) -> String {
+    let mut s = String::from("== Table 2: cost of enforcing contour alignment (% contours) ==\n");
+    s.push_str(&format!(
+        "{:<8} {:>9} {:>8} {:>8} {:>8} {:>8}\n",
+        "query", "original", "λ=1.2", "λ=1.5", "λ=2.0", "max λ"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<8} {:>9.0} {:>8.0} {:>8.0} {:>8.0} {:>8.2}\n",
+            r.query, r.original_pct, r.pct_1_2, r.pct_1_5, r.pct_2_0, r.max_penalty
+        ));
+    }
+    s
+}
+
+/// Render the wall-clock result.
+pub fn render_wall_clock(r: &WallClockResult) -> String {
+    format!(
+        "== Table 3 / §6.3: wall-clock on 4D_Q91 (oracle anchored at 44 s) ==\n\
+         optimal  {:>8.1} s (subopt 1.0)\n\
+         native   {:>8.1} s (subopt {:.1})\n\
+         SB       {:>8.1} s (subopt {:.1}, {} executions)\n\
+         AB       {:>8.1} s (subopt {:.1}, {} executions)\n\n\
+         SB drill-down:\n{}",
+        r.oracle_secs,
+        r.native_secs,
+        r.native_subopt,
+        r.sb_secs,
+        r.sb_subopt,
+        r.sb_executions,
+        r.ab_secs,
+        r.ab_subopt,
+        r.ab_executions,
+        r.sb_trace
+    )
+}
+
+/// Render the JOB result.
+pub fn render_job(r: &JobResult) -> String {
+    format!(
+        "== §6.5: JOB Q1a ==\nnative MSO {:>10.0}\nSB MSOe    {:>10.1}\nAB MSOe    {:>10.1}\n",
+        r.native_mso, r.sb_mso, r.ab_mso
+    )
+}
+
+/// Render the cost-ratio ablation.
+pub fn render_ratio(rows: &[RatioRow]) -> String {
+    let mut s = String::from("== Ablation: contour cost ratio (2D_Q91) ==\n");
+    s.push_str(&format!("{:>6} {:>7} {:>9}\n", "ratio", "bands", "SB MSOe"));
+    for r in rows {
+        s.push_str(&format!("{:>6.1} {:>7} {:>9.1}\n", r.ratio, r.bands, r.sb_mso));
+    }
+    s
+}
+
+/// Render the anorexic ablation.
+pub fn render_anorexic(rows: &[AnorexicRow]) -> String {
+    let mut s = String::from("== Ablation: anorexic reduction λ (3D_Q96) ==\n");
+    s.push_str(&format!("{:>6} {:>5} {:>9} {:>9}\n", "λ", "ρ", "PB MSOg", "PB MSOe"));
+    for r in rows {
+        s.push_str(&format!(
+            "{:>6.1} {:>5} {:>9.1} {:>9.1}\n",
+            r.lambda, r.rho, r.pb_guarantee, r.pb_mso
+        ));
+    }
+    s
+}
+
+/// Render the random-workload sweep.
+pub fn render_random(rows: &[RandomWorkloadRow]) -> String {
+    let mut s = String::from("== Robustness sweep: random workloads (SB bound must hold) ==\n");
+    s.push_str(&format!(
+        "{:>5} {:>7} {:>8} {:>3} {:>9} {:>7}\n",
+        "seed", "shape", "grouped", "D", "SB MSOe", "bound"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:>5} {:>7} {:>8} {:>3} {:>9.1} {:>7.0}\n",
+            r.seed, r.shape, r.grouped, r.dims, r.sb_mso, r.bound
+        ));
+    }
+    s
+}
+
+/// Render the baseline comparison.
+pub fn render_baselines(rows: &[BaselineRow]) -> String {
+    let mut s = String::from(
+        "== §8 comparison: mid-query reoptimization (POP/Rio-class) vs SpillBound ==\n",
+    );
+    s.push_str(&format!(
+        "{:<8} {:>4} {:>11} {:>10} {:>9} {:>8} {:>10}\n",
+        "query", "D", "ReOpt MSOe", "ReOpt ASO", "SB MSOe", "SB ASO", "SB bound"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<8} {:>4} {:>11.1} {:>10.2} {:>9.1} {:>8.2} {:>10.0}\n",
+            r.query, r.dims, r.reopt_mso, r.reopt_aso, r.sb_mso, r.sb_aso, r.sb_guarantee
+        ));
+    }
+    s.push_str("(ReOpt carries no worst-case bound; SB's bound is D²+3D by inspection)\n");
+    s
+}
+
+/// Render the cost-error ablation.
+pub fn render_cost_error(rows: &[CostErrorRow]) -> String {
+    let mut s = String::from("== Ablation: cost-model error δ (3D_Q91, §7) ==\n");
+    s.push_str(&format!("{:>6} {:>9} {:>18}\n", "δ", "SB MSOe", "(1+δ)²(D²+3D)"));
+    for r in rows {
+        s.push_str(&format!(
+            "{:>6.1} {:>9.1} {:>18.1}\n",
+            r.delta, r.sb_mso, r.inflated_guarantee
+        ));
+    }
+    s
+}
+
+/// Render the resolution ablation.
+pub fn render_resolution(rows: &[ResolutionRow]) -> String {
+    let mut s = String::from("== Ablation: grid resolution (2D_Q91) ==\n");
+    s.push_str(&format!("{:>6} {:>9} {:>9}\n", "res", "SB MSOe", "AB MSOe"));
+    for r in rows {
+        s.push_str(&format!("{:>6} {:>9.1} {:>9.1}\n", r.resolution, r.sb_mso, r.ab_mso));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_rendering_includes_rows() {
+        let rows = vec![GuaranteeRow {
+            query: "4D_Q91".into(),
+            dims: 4,
+            rho_red: 11,
+            pb_guarantee: 52.8,
+            sb_guarantee: 28.0,
+        }];
+        let s = render_guarantees("Fig 8", &rows);
+        assert!(s.contains("4D_Q91"));
+        assert!(s.contains("52.8"));
+        assert!(s.contains("28.0"));
+    }
+
+    #[test]
+    fn histogram_rendering_has_open_last_bin() {
+        let h = HistogramResult {
+            bins: vec![0.0, 5.0],
+            pb: vec![0.5, 0.5],
+            sb: vec![1.0, 0.0],
+        };
+        let s = render_histogram(&h);
+        assert!(s.contains("5+"));
+        assert!(s.contains("100.0"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Fluent builders for catalogs and queries.
+//!
+//! The workload crate builds fairly large schemas; these builders keep that
+//! code declarative and catch wiring errors (bad column names, dangling
+//! relations) at construction time rather than deep inside the optimizer.
+
+use crate::catalog::Catalog;
+use crate::predicate::{ColRef, FilterPredicate, JoinPredicate, PredId};
+use crate::query::Query;
+use crate::stats::{Column, RelId, Relation};
+
+/// Builder for a single relation.
+#[derive(Debug)]
+pub struct RelationBuilder {
+    name: String,
+    rows: u64,
+    columns: Vec<Column>,
+}
+
+impl RelationBuilder {
+    /// Start a relation with the given name and cardinality.
+    pub fn new(name: impl Into<String>, rows: u64) -> Self {
+        RelationBuilder { name: name.into(), rows, columns: Vec::new() }
+    }
+
+    /// Add an unindexed column.
+    pub fn column(mut self, name: &str, ndv: u64, width: u32) -> Self {
+        self.columns.push(Column::new(name, ndv, width));
+        self
+    }
+
+    /// Add an indexed column.
+    pub fn indexed_column(mut self, name: &str, ndv: u64, width: u32) -> Self {
+        self.columns.push(Column::indexed(name, ndv, width));
+        self
+    }
+
+    /// Add an indexed column with a zipf-skewed value distribution.
+    pub fn skewed_column(mut self, name: &str, ndv: u64, width: u32, skew: f64) -> Self {
+        self.columns.push(Column::indexed(name, ndv, width).with_skew(skew));
+        self
+    }
+
+    /// Finish the relation.
+    pub fn build(self) -> Relation {
+        assert!(!self.columns.is_empty(), "relation {} has no columns", self.name);
+        Relation { name: self.name, rows: self.rows, columns: self.columns }
+    }
+}
+
+/// Builder for a catalog.
+#[derive(Debug, Default)]
+pub struct CatalogBuilder {
+    catalog: Catalog,
+}
+
+impl CatalogBuilder {
+    /// Start an empty catalog.
+    pub fn new() -> Self {
+        CatalogBuilder::default()
+    }
+
+    /// Add a finished relation.
+    pub fn relation(mut self, rel: Relation) -> Self {
+        self.catalog.add_relation(rel);
+        self
+    }
+
+    /// Finish the catalog.
+    pub fn build(self) -> Catalog {
+        self.catalog
+    }
+}
+
+/// Builder for a query against an existing catalog. Relations and columns
+/// are referenced by name; the builder resolves them and assigns predicate
+/// ids in declaration order.
+#[derive(Debug)]
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    name: String,
+    relations: Vec<RelId>,
+    joins: Vec<JoinPredicate>,
+    filters: Vec<FilterPredicate>,
+    epps: Vec<PredId>,
+    group_by: Vec<ColRef>,
+    next_id: u32,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Start a query with the given name.
+    pub fn new(catalog: &'a Catalog, name: impl Into<String>) -> Self {
+        QueryBuilder {
+            catalog,
+            name: name.into(),
+            relations: Vec::new(),
+            joins: Vec::new(),
+            filters: Vec::new(),
+            epps: Vec::new(),
+            group_by: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn resolve(&self, rel: &str, col: &str) -> ColRef {
+        let rid = self
+            .catalog
+            .find_relation(rel)
+            .unwrap_or_else(|| panic!("unknown relation {rel:?} in query {}", self.name));
+        let cid = self
+            .catalog
+            .relation(rid)
+            .column_index(col)
+            .unwrap_or_else(|| panic!("unknown column {rel}.{col} in query {}", self.name));
+        ColRef::new(rid, cid)
+    }
+
+    /// Add a relation to the FROM list.
+    pub fn table(mut self, rel: &str) -> Self {
+        let rid = self
+            .catalog
+            .find_relation(rel)
+            .unwrap_or_else(|| panic!("unknown relation {rel:?} in query {}", self.name));
+        assert!(!self.relations.contains(&rid), "relation {rel} added twice");
+        self.relations.push(rid);
+        self
+    }
+
+    fn alloc_id(&mut self) -> PredId {
+        let id = PredId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Add an equi-join predicate with a reliably-known selectivity.
+    pub fn join(mut self, l_rel: &str, l_col: &str, r_rel: &str, r_col: &str) -> Self {
+        let id = self.alloc_id();
+        let left = self.resolve(l_rel, l_col);
+        let right = self.resolve(r_rel, r_col);
+        self.joins.push(JoinPredicate { id, left, right });
+        self
+    }
+
+    /// Add an *error-prone* equi-join predicate: it becomes the next ESS
+    /// dimension.
+    pub fn epp_join(mut self, l_rel: &str, l_col: &str, r_rel: &str, r_col: &str) -> Self {
+        let id = self.alloc_id();
+        let left = self.resolve(l_rel, l_col);
+        let right = self.resolve(r_rel, r_col);
+        self.joins.push(JoinPredicate { id, left, right });
+        self.epps.push(id);
+        self
+    }
+
+    /// Add a filter predicate with a known selectivity.
+    pub fn filter(mut self, rel: &str, col: &str, selectivity: f64) -> Self {
+        let id = self.alloc_id();
+        let colref = self.resolve(rel, col);
+        self.filters.push(FilterPredicate { id, col: colref, selectivity });
+        self
+    }
+
+    /// Add an *error-prone* filter predicate (its stored selectivity is only
+    /// the optimizer's estimate; its true value is an ESS dimension).
+    pub fn epp_filter(mut self, rel: &str, col: &str, est_selectivity: f64) -> Self {
+        let id = self.alloc_id();
+        let colref = self.resolve(rel, col);
+        self.filters.push(FilterPredicate { id, col: colref, selectivity: est_selectivity });
+        self.epps.push(id);
+        self
+    }
+
+    /// Aggregate the result by a column (the aggregate sits above the SPJ
+    /// core and does not affect selectivity discovery).
+    pub fn group_by(mut self, rel: &str, col: &str) -> Self {
+        let colref = self.resolve(rel, col);
+        self.group_by.push(colref);
+        self
+    }
+
+    /// Finish and validate the query.
+    ///
+    /// # Panics
+    /// Panics if the query fails [`Query::validate`].
+    pub fn build(self) -> Query {
+        let q = Query {
+            name: self.name,
+            relations: self.relations,
+            joins: self.joins,
+            filters: self.filters,
+            epps: self.epps,
+            group_by: self.group_by,
+        };
+        if let Err(e) = q.validate(self.catalog) {
+            panic!("invalid query: {e}");
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("part", 20_000_000)
+                    .indexed_column("p_partkey", 20_000_000, 8)
+                    .column("p_retailprice", 100_000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("lineitem", 600_000_000)
+                    .indexed_column("l_partkey", 20_000_000, 8)
+                    .indexed_column("l_orderkey", 150_000_000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("orders", 150_000_000)
+                    .indexed_column("o_orderkey", 150_000_000, 8)
+                    .build(),
+            )
+            .build()
+    }
+
+    #[test]
+    fn builds_the_example_query_eq() {
+        // The introduction's example query EQ: part ⋈ lineitem ⋈ orders with
+        // the two joins error-prone and a reliable filter on retailprice.
+        let c = catalog();
+        let q = QueryBuilder::new(&c, "EQ")
+            .table("part")
+            .table("lineitem")
+            .table("orders")
+            .epp_join("part", "p_partkey", "lineitem", "l_partkey")
+            .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
+            .filter("part", "p_retailprice", 0.05)
+            .build();
+        assert_eq!(q.dims(), 2);
+        assert_eq!(q.relations.len(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.filters.len(), 1);
+        assert!(q.join_graph_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn bad_column_panics() {
+        let c = catalog();
+        let _ = QueryBuilder::new(&c, "bad")
+            .table("part")
+            .table("lineitem")
+            .epp_join("part", "no_such", "lineitem", "l_partkey");
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn duplicate_table_panics() {
+        let c = catalog();
+        let _ = QueryBuilder::new(&c, "bad").table("part").table("part");
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_build_panics() {
+        let c = catalog();
+        let _ = QueryBuilder::new(&c, "bad")
+            .table("part")
+            .table("orders")
+            .filter("part", "p_retailprice", 0.5)
+            .build();
+    }
+
+    #[test]
+    fn epp_filter_becomes_dimension() {
+        let c = catalog();
+        let q = QueryBuilder::new(&c, "f")
+            .table("part")
+            .table("lineitem")
+            .join("part", "p_partkey", "lineitem", "l_partkey")
+            .epp_filter("part", "p_retailprice", 0.1)
+            .build();
+        assert_eq!(q.dims(), 1);
+        assert!(q.filter(q.epp_pred(crate::query::EppId(0))).is_some());
+    }
+}

@@ -1,0 +1,102 @@
+//! The catalog: a named collection of relations with statistics.
+
+use crate::stats::{RelId, Relation};
+use serde::{Deserialize, Serialize};
+
+/// A database catalog.
+///
+/// The catalog plays the role of the system tables of a conventional engine:
+/// the optimizer and cost model read all statistics from here, and the
+/// workload crates populate it with TPC-DS-shaped or IMDB-shaped synthetic
+/// statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    relations: Vec<Relation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation, returning its id.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name already exists.
+    pub fn add_relation(&mut self, rel: Relation) -> RelId {
+        assert!(
+            self.find_relation(&rel.name).is_none(),
+            "duplicate relation name {:?}",
+            rel.name
+        );
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(rel);
+        id
+    }
+
+    /// The relation with the given id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// Look up a relation id by name.
+    pub fn find_relation(&self, name: &str) -> Option<RelId> {
+        self.relations.iter().position(|r| r.name == name).map(|i| RelId(i as u32))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterate over `(id, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.relations.iter().enumerate().map(|(i, r)| (RelId(i as u32), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Column;
+
+    fn rel(name: &str, rows: u64) -> Relation {
+        Relation { name: name.into(), rows, columns: vec![Column::new("k", rows, 8)] }
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new();
+        let a = c.add_relation(rel("a", 10));
+        let b = c.add_relation(rel("b", 20));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.find_relation("a"), Some(a));
+        assert_eq!(c.find_relation("b"), Some(b));
+        assert_eq!(c.find_relation("c"), None);
+        assert_eq!(c.relation(b).rows, 20);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation name")]
+    fn rejects_duplicate_names() {
+        let mut c = Catalog::new();
+        c.add_relation(rel("a", 10));
+        c.add_relation(rel("a", 20));
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let mut c = Catalog::new();
+        c.add_relation(rel("a", 1));
+        c.add_relation(rel("b", 2));
+        let ids: Vec<_> = c.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

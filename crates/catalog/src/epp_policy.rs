@@ -1,0 +1,138 @@
+//! Error-prone predicate identification policies (§7).
+//!
+//! The paper assumes the epps are known a priori and defers identification
+//! to deployment: "we could leverage application domain knowledge and query
+//! logs to make this selection, or simply be conservative and assign all
+//! uncertain combination of predicates to be epps." This module implements
+//! those deployment rules for queries whose author did not mark epps
+//! explicitly.
+
+use crate::catalog::Catalog;
+use crate::query::Query;
+
+/// How to decide which predicates are error-prone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EppPolicy {
+    /// Conservative (§7's default): every join predicate is error-prone;
+    /// filters keep their recorded estimates. Join selectivities compound
+    /// upstream errors and are the classic estimation trouble spot.
+    AllJoins,
+    /// Everything is error-prone — joins *and* filters. The most cautious
+    /// choice, at the price of ESS dimensionality.
+    AllPredicates,
+    /// Only joins whose System-R estimate falls below the given threshold
+    /// are error-prone: tiny estimated selectivities are where relative
+    /// estimation error hurts the most (orders of magnitude of headroom
+    /// above the estimate).
+    SmallJoinEstimates {
+        /// Joins with estimated selectivity below this value become epps.
+        threshold: f64,
+    },
+}
+
+/// Re-derive a query's epp set under a policy, returning a copy with the
+/// epp list replaced (dimension order follows predicate-id order).
+pub fn apply_policy(catalog: &Catalog, query: &Query, policy: EppPolicy) -> Query {
+    let mut q = query.clone();
+    q.epps = match policy {
+        EppPolicy::AllJoins => query.joins.iter().map(|j| j.id).collect(),
+        EppPolicy::AllPredicates => {
+            let mut epps: Vec<_> = query.joins.iter().map(|j| j.id).collect();
+            epps.extend(query.filters.iter().map(|f| f.id));
+            epps.sort();
+            epps
+        }
+        EppPolicy::SmallJoinEstimates { threshold } => {
+            let est = crate::estimate::Estimator::new(catalog);
+            query
+                .joins
+                .iter()
+                .map(|j| j.id)
+                .filter(|&id| {
+                    // estimate with an empty epp set so everything resolves
+                    let mut probe = query.clone();
+                    probe.epps.clear();
+                    est.predicate_selectivity(&probe, id).value() < threshold
+                })
+                .collect()
+        }
+    };
+    debug_assert!(q.validate(catalog).is_ok());
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CatalogBuilder, QueryBuilder, RelationBuilder};
+
+    fn fixture() -> (Catalog, Query) {
+        let catalog = CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("big", 10_000_000)
+                    .indexed_column("k", 10_000_000, 8)
+                    .indexed_column("tiny_fk", 10, 8)
+                    .column("v", 100, 4)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("mid", 1_000_000).indexed_column("k", 10_000_000, 8).build(),
+            )
+            .relation(
+                RelationBuilder::new("tiny", 10).indexed_column("k", 10, 8).build(),
+            )
+            .build();
+        // author marked nothing error-prone
+        let query = QueryBuilder::new(&catalog, "unmarked")
+            .table("big")
+            .table("mid")
+            .table("tiny")
+            .join("big", "k", "mid", "k")
+            .join("big", "tiny_fk", "tiny", "k")
+            .filter("big", "v", 0.25)
+            .build();
+        (catalog, query)
+    }
+
+    #[test]
+    fn all_joins_marks_exactly_the_joins() {
+        let (c, q) = fixture();
+        let marked = apply_policy(&c, &q, EppPolicy::AllJoins);
+        assert_eq!(marked.dims(), 2);
+        assert!(marked.joins.iter().all(|j| marked.epp_dim(j.id).is_some()));
+        assert!(marked.filters.iter().all(|f| marked.epp_dim(f.id).is_none()));
+    }
+
+    #[test]
+    fn all_predicates_marks_everything() {
+        let (c, q) = fixture();
+        let marked = apply_policy(&c, &q, EppPolicy::AllPredicates);
+        assert_eq!(marked.dims(), 3);
+    }
+
+    #[test]
+    fn small_estimate_policy_selects_the_risky_join() {
+        let (c, q) = fixture();
+        // big⋈mid estimate = 1e-7 (risky); big⋈tiny estimate = 0.1 (benign)
+        let marked =
+            apply_policy(&c, &q, EppPolicy::SmallJoinEstimates { threshold: 1e-3 });
+        assert_eq!(marked.dims(), 1);
+        let epp = marked.epp_pred(crate::query::EppId(0));
+        let j = marked.join(epp).unwrap();
+        let mid = c.find_relation("mid").unwrap();
+        assert!(j.touches(mid), "the high-NDV join should be the epp");
+    }
+
+    #[test]
+    fn policies_preserve_query_validity() {
+        let (c, q) = fixture();
+        for policy in [
+            EppPolicy::AllJoins,
+            EppPolicy::AllPredicates,
+            EppPolicy::SmallJoinEstimates { threshold: 0.5 },
+        ] {
+            let marked = apply_policy(&c, &q, policy);
+            assert_eq!(marked.validate(&c), Ok(()));
+        }
+    }
+}

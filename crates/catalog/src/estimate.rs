@@ -1,0 +1,198 @@
+//! Independence-based selectivity estimation — the *native optimizer's*
+//! estimation model.
+//!
+//! The robust algorithms never estimate epp selectivities; this module exists
+//! for the baseline they are compared against (§6.3, §6.5): a traditional
+//! optimizer computes the estimated location `qe` with textbook formulas
+//! (attribute-value independence, `1/max(ndv)` equi-join selectivity) and
+//! executes the plan optimal at `qe` regardless of the actual location `qa`.
+
+use crate::catalog::Catalog;
+use crate::predicate::PredId;
+use crate::query::Query;
+use crate::selectivity::{SelVector, Selectivity};
+
+/// Generalized harmonic number `H_N(s) = Σ_{i=1..N} i^{-s}` (capped at
+/// 100k terms with a tail integral — ample for selectivity work).
+pub fn harmonic(n: u64, s: f64) -> f64 {
+    let cap = n.min(100_000);
+    let head: f64 = (1..=cap).map(|i| (i as f64).powf(-s)).sum();
+    if n > cap {
+        // ∫_{cap}^{n} x^{-s} dx tail approximation
+        let (a, b) = (cap as f64, n as f64);
+        let tail = if (s - 1.0).abs() < 1e-9 {
+            (b / a).ln()
+        } else {
+            (b.powf(1.0 - s) - a.powf(1.0 - s)) / (1.0 - s)
+        };
+        head + tail
+    } else {
+        head
+    }
+}
+
+/// The *true* selectivity of an equi-join between two zipf(θ) columns over
+/// a shared domain of `n` values: `Σ p_i² = H_n(2θ) / H_n(θ)²`. At θ = 0
+/// this is the uniform `1/n` (the System-R estimate); with skew it grows,
+/// which is exactly why such joins are error-prone.
+pub fn zipf_join_selectivity(n: u64, theta: f64) -> f64 {
+    if theta == 0.0 {
+        return 1.0 / n.max(1) as f64;
+    }
+    harmonic(n, 2.0 * theta) / harmonic(n, theta).powi(2)
+}
+
+/// Textbook selectivity estimator over catalog statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Estimator<'a> {
+    /// Create an estimator over a catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Estimator { catalog }
+    }
+
+    /// Estimate the selectivity of one predicate of the query.
+    ///
+    /// * Equi-join `l = r`: `1 / max(ndv(l), ndv(r))` (System-R rule).
+    /// * Filter: the selectivity recorded on the predicate.
+    ///
+    /// # Panics
+    /// Panics if `pred` names no predicate of `query`.
+    pub fn predicate_selectivity(&self, query: &Query, pred: PredId) -> Selectivity {
+        if let Some(j) = query.join(pred) {
+            let ndv_l = self.catalog.relation(j.left.rel).columns[j.left.col].ndv;
+            let ndv_r = self.catalog.relation(j.right.rel).columns[j.right.col].ndv;
+            Selectivity::new(1.0 / ndv_l.max(ndv_r) as f64)
+        } else if let Some(f) = query.filter(pred) {
+            Selectivity::new(f.selectivity)
+        } else {
+            panic!("predicate {pred} not found in query {}", query.name)
+        }
+    }
+
+    /// The estimated ESS location `qe` for the query: the estimator's value
+    /// for every epp, in ESS dimension order.
+    pub fn estimated_location(&self, query: &Query) -> SelVector {
+        SelVector::new(
+            query.epps.iter().map(|&p| self.predicate_selectivity(query, p)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ColRef, FilterPredicate, JoinPredicate};
+    use crate::stats::{Column, Relation};
+
+    #[test]
+    fn join_estimate_uses_max_ndv() {
+        let mut c = Catalog::new();
+        let a = c.add_relation(Relation {
+            name: "a".into(),
+            rows: 1000,
+            columns: vec![Column::new("k", 100, 8)],
+        });
+        let b = c.add_relation(Relation {
+            name: "b".into(),
+            rows: 5000,
+            columns: vec![Column::new("k", 400, 8)],
+        });
+        let q = Query {
+            name: "t".into(),
+            relations: vec![a, b],
+            joins: vec![JoinPredicate {
+                id: PredId(0),
+                left: ColRef::new(a, 0),
+                right: ColRef::new(b, 0),
+            }],
+            filters: vec![],
+            epps: vec![PredId(0)],
+            group_by: vec![],
+        };
+        let est = Estimator::new(&c);
+        let s = est.predicate_selectivity(&q, PredId(0));
+        assert!((s.value() - 1.0 / 400.0).abs() < 1e-12);
+        let qe = est.estimated_location(&q);
+        assert_eq!(qe.dims(), 1);
+        assert_eq!(qe.get(0), s);
+    }
+
+    #[test]
+    fn filter_estimate_reads_stored_selectivity() {
+        let mut c = Catalog::new();
+        let a = c.add_relation(Relation {
+            name: "a".into(),
+            rows: 10,
+            columns: vec![Column::new("v", 10, 4)],
+        });
+        let q = Query {
+            name: "t".into(),
+            relations: vec![a],
+            joins: vec![],
+            filters: vec![FilterPredicate {
+                id: PredId(0),
+                col: ColRef::new(a, 0),
+                selectivity: 0.25,
+            }],
+            epps: vec![PredId(0)],
+            group_by: vec![],
+        };
+        let est = Estimator::new(&c);
+        assert_eq!(est.predicate_selectivity(&q, PredId(0)).value(), 0.25);
+    }
+
+    #[test]
+    fn zipf_selectivity_reduces_to_uniform_without_skew() {
+        for n in [10u64, 1000, 1_000_000] {
+            assert!((zipf_join_selectivity(n, 0.0) - 1.0 / n as f64).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn skew_inflates_true_join_selectivity_beyond_the_estimate() {
+        // the estimator says 1/N regardless; the truth grows with θ —
+        // the quantitative root of the error-prone predicate problem
+        let n = 10_000;
+        let estimate = 1.0 / n as f64;
+        let mut prev = estimate;
+        for theta in [0.2, 0.5, 0.8, 1.0, 1.2] {
+            let truth = zipf_join_selectivity(n, theta);
+            assert!(truth > prev, "selectivity must grow with skew");
+            prev = truth;
+        }
+        // at θ = 1 the error is already orders of magnitude
+        assert!(zipf_join_selectivity(n, 1.0) / estimate > 50.0);
+    }
+
+    #[test]
+    fn harmonic_tail_approximation_is_accurate() {
+        // exact vs capped-with-tail for a case crossing the cap
+        let exact: f64 = (1..=200_000u64).map(|i| (i as f64).powf(-1.2)).sum();
+        let approx = harmonic(200_000, 1.2);
+        assert!((exact - approx).abs() / exact < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not found")]
+    fn unknown_predicate_panics() {
+        let mut c = Catalog::new();
+        let a = c.add_relation(Relation {
+            name: "a".into(),
+            rows: 10,
+            columns: vec![Column::new("v", 10, 4)],
+        });
+        let q = Query {
+            name: "t".into(),
+            relations: vec![a],
+            joins: vec![],
+            filters: vec![],
+            epps: vec![],
+            group_by: vec![],
+        };
+        Estimator::new(&c).predicate_selectivity(&q, PredId(9));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Catalog, statistics and the logical query model for the robust-qp engine.
+//!
+//! This crate is the lowest layer of the workspace: it defines relations and
+//! their statistics, filter/join predicates, selectivities, and the logical
+//! (select-project-join) query representation on which the optimizer, the
+//! error-prone selectivity space (ESS) and the robust processing algorithms
+//! all operate.
+//!
+//! The paper's setting is a conventional relational engine where a query has
+//! a set of *error-prone predicates* (epps) whose selectivities cannot be
+//! estimated reliably. Each epp becomes one dimension of the ESS; everything
+//! else in the catalog is assumed to be known exactly.
+
+pub mod builder;
+pub mod catalog;
+pub mod epp_policy;
+pub mod estimate;
+pub mod predicate;
+pub mod query;
+pub mod selectivity;
+pub mod sql;
+pub mod stats;
+
+pub use builder::{CatalogBuilder, QueryBuilder, RelationBuilder};
+pub use catalog::Catalog;
+pub use epp_policy::{apply_policy, EppPolicy};
+pub use estimate::Estimator;
+pub use predicate::{ColRef, FilterPredicate, JoinPredicate, PredId};
+pub use query::{EppId, Query};
+pub use selectivity::{SelVector, Selectivity};
+pub use sql::{parse_query, ParseError};
+pub use stats::{Column, RelId, Relation};

@@ -1,0 +1,127 @@
+//! Filter and join predicates.
+
+use crate::stats::RelId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a predicate within a [`crate::Query`]. Join predicates and
+/// filter predicates share one id space so that epp lists can reference
+/// either kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PredId(pub u32);
+
+impl std::fmt::Display for PredId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A reference to a column of a base relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColRef {
+    /// Owning relation.
+    pub rel: RelId,
+    /// Index into the relation's column vector.
+    pub col: usize,
+}
+
+impl ColRef {
+    /// Construct a column reference.
+    pub fn new(rel: RelId, col: usize) -> Self {
+        ColRef { rel, col }
+    }
+}
+
+/// An equi-join predicate `left.col = right.col`.
+///
+/// Join predicates are the usual source of epps in the paper's workloads:
+/// join selectivities compound the errors of everything beneath them and are
+/// the hardest to estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinPredicate {
+    /// Predicate id within the query.
+    pub id: PredId,
+    /// One side of the equality.
+    pub left: ColRef,
+    /// The other side.
+    pub right: ColRef,
+}
+
+impl JoinPredicate {
+    /// Whether this predicate connects the two given relations.
+    pub fn connects(&self, a: RelId, b: RelId) -> bool {
+        (self.left.rel == a && self.right.rel == b) || (self.left.rel == b && self.right.rel == a)
+    }
+
+    /// The relation on the other side of `rel`, if `rel` is an endpoint.
+    pub fn other_side(&self, rel: RelId) -> Option<RelId> {
+        if self.left.rel == rel {
+            Some(self.right.rel)
+        } else if self.right.rel == rel {
+            Some(self.left.rel)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `rel` is one of the predicate's endpoints.
+    pub fn touches(&self, rel: RelId) -> bool {
+        self.left.rel == rel || self.right.rel == rel
+    }
+}
+
+/// A single-relation filter predicate with a known (reliably estimated)
+/// selectivity, e.g. `p_retailprice < 1000`. Filters may also be declared
+/// error-prone, in which case their true selectivity is an ESS dimension and
+/// the stored value is only the optimizer's estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterPredicate {
+    /// Predicate id within the query.
+    pub id: PredId,
+    /// The filtered column.
+    pub col: ColRef,
+    /// Selectivity of the filter (exact for non-epp filters; the a-priori
+    /// estimate for epp filters).
+    pub selectivity: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jp(l: u32, r: u32) -> JoinPredicate {
+        JoinPredicate {
+            id: PredId(0),
+            left: ColRef::new(RelId(l), 0),
+            right: ColRef::new(RelId(r), 0),
+        }
+    }
+
+    #[test]
+    fn connects_is_symmetric() {
+        let p = jp(1, 2);
+        assert!(p.connects(RelId(1), RelId(2)));
+        assert!(p.connects(RelId(2), RelId(1)));
+        assert!(!p.connects(RelId(1), RelId(3)));
+    }
+
+    #[test]
+    fn other_side_resolves_endpoints() {
+        let p = jp(1, 2);
+        assert_eq!(p.other_side(RelId(1)), Some(RelId(2)));
+        assert_eq!(p.other_side(RelId(2)), Some(RelId(1)));
+        assert_eq!(p.other_side(RelId(9)), None);
+    }
+
+    #[test]
+    fn touches_checks_both_sides() {
+        let p = jp(3, 4);
+        assert!(p.touches(RelId(3)));
+        assert!(p.touches(RelId(4)));
+        assert!(!p.touches(RelId(5)));
+    }
+
+    #[test]
+    fn pred_id_display() {
+        assert_eq!(PredId(2).to_string(), "e2");
+    }
+}

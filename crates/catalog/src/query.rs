@@ -1,0 +1,284 @@
+//! The logical (select-project-join) query model.
+
+use crate::catalog::Catalog;
+use crate::predicate::{FilterPredicate, JoinPredicate, PredId};
+use crate::stats::RelId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Index of an error-prone predicate in the query's epp ordering; equals the
+/// ESS dimension assigned to that predicate (§2.1: the selectivity of epp
+/// `e_j` is mapped to the `j`-th dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EppId(pub usize);
+
+impl std::fmt::Display for EppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dim{}", self.0)
+    }
+}
+
+/// A select-project-join query with a designated set of error-prone
+/// predicates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Query {
+    /// Human-readable name, e.g. `"4D_Q91"`.
+    pub name: String,
+    /// The joined relations.
+    pub relations: Vec<RelId>,
+    /// Equi-join predicates over `relations` (the join graph edges).
+    pub joins: Vec<JoinPredicate>,
+    /// Filter predicates with reliably-known selectivities.
+    pub filters: Vec<FilterPredicate>,
+    /// Predicate ids (into `joins` / `filters`) marked error-prone, in ESS
+    /// dimension order.
+    pub epps: Vec<PredId>,
+    /// Optional grouping columns: the query aggregates its join result by
+    /// these columns (TPC-DS queries are aggregates over SPJ cores; the
+    /// aggregate sits above every error-prone predicate and does not
+    /// affect discovery).
+    pub group_by: Vec<crate::predicate::ColRef>,
+}
+
+impl Query {
+    /// Number of ESS dimensions, `D`.
+    pub fn dims(&self) -> usize {
+        self.epps.len()
+    }
+
+    /// The ESS dimension of a predicate, if it is an epp.
+    pub fn epp_dim(&self, pred: PredId) -> Option<EppId> {
+        self.epps.iter().position(|&p| p == pred).map(EppId)
+    }
+
+    /// The predicate id occupying ESS dimension `dim`.
+    pub fn epp_pred(&self, dim: EppId) -> PredId {
+        self.epps[dim.0]
+    }
+
+    /// The join predicate with the given id, if it is a join.
+    pub fn join(&self, pred: PredId) -> Option<&JoinPredicate> {
+        self.joins.iter().find(|j| j.id == pred)
+    }
+
+    /// The filter predicate with the given id, if it is a filter.
+    pub fn filter(&self, pred: PredId) -> Option<&FilterPredicate> {
+        self.filters.iter().find(|f| f.id == pred)
+    }
+
+    /// All filters on the given relation.
+    pub fn filters_on(&self, rel: RelId) -> impl Iterator<Item = &FilterPredicate> {
+        self.filters.iter().filter(move |f| f.col.rel == rel)
+    }
+
+    /// All join predicates connecting a relation in `left` with one in
+    /// `right` (both sides disjoint subsets of the query's relations).
+    pub fn joins_between<'a>(
+        &'a self,
+        left: &'a HashSet<RelId>,
+        right: &'a HashSet<RelId>,
+    ) -> impl Iterator<Item = &'a JoinPredicate> {
+        self.joins.iter().filter(move |j| {
+            (left.contains(&j.left.rel) && right.contains(&j.right.rel))
+                || (left.contains(&j.right.rel) && right.contains(&j.left.rel))
+        })
+    }
+
+    /// Whether the join graph restricted to the query's relations is
+    /// connected (no cross products required).
+    pub fn join_graph_connected(&self) -> bool {
+        if self.relations.is_empty() {
+            return true;
+        }
+        let mut seen: HashSet<RelId> = HashSet::new();
+        let mut stack = vec![self.relations[0]];
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            for j in &self.joins {
+                if let Some(o) = j.other_side(r) {
+                    if !seen.contains(&o) {
+                        stack.push(o);
+                    }
+                }
+            }
+        }
+        self.relations.iter().all(|r| seen.contains(r))
+    }
+
+    /// Validate internal consistency against a catalog.
+    ///
+    /// Checks: relations exist and are distinct; predicate ids are unique;
+    /// predicates reference query relations and valid columns; every epp id
+    /// names an existing predicate; the join graph is connected.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), String> {
+        let rel_set: HashSet<RelId> = self.relations.iter().copied().collect();
+        if rel_set.len() != self.relations.len() {
+            return Err(format!("query {}: duplicate relations", self.name));
+        }
+        for &r in &self.relations {
+            if r.index() >= catalog.len() {
+                return Err(format!("query {}: relation {r} not in catalog", self.name));
+            }
+        }
+        let mut ids = HashSet::new();
+        for j in &self.joins {
+            if !ids.insert(j.id) {
+                return Err(format!("query {}: duplicate predicate id {}", self.name, j.id));
+            }
+            for cr in [j.left, j.right] {
+                if !rel_set.contains(&cr.rel) {
+                    return Err(format!(
+                        "query {}: join {} references non-query relation {}",
+                        self.name, j.id, cr.rel
+                    ));
+                }
+                if cr.col >= catalog.relation(cr.rel).columns.len() {
+                    return Err(format!(
+                        "query {}: join {} references invalid column {} of {}",
+                        self.name, j.id, cr.col, cr.rel
+                    ));
+                }
+            }
+        }
+        for f in &self.filters {
+            if !ids.insert(f.id) {
+                return Err(format!("query {}: duplicate predicate id {}", self.name, f.id));
+            }
+            if !rel_set.contains(&f.col.rel) {
+                return Err(format!(
+                    "query {}: filter {} references non-query relation {}",
+                    self.name, f.id, f.col.rel
+                ));
+            }
+            if !(0.0..=1.0).contains(&f.selectivity) {
+                return Err(format!(
+                    "query {}: filter {} selectivity {} out of range",
+                    self.name, f.id, f.selectivity
+                ));
+            }
+        }
+        let mut epp_seen = HashSet::new();
+        for &e in &self.epps {
+            if !ids.contains(&e) {
+                return Err(format!("query {}: epp {} names no predicate", self.name, e));
+            }
+            if !epp_seen.insert(e) {
+                return Err(format!("query {}: duplicate epp {}", self.name, e));
+            }
+        }
+        for g in &self.group_by {
+            if !rel_set.contains(&g.rel) {
+                return Err(format!(
+                    "query {}: group-by references non-query relation {}",
+                    self.name, g.rel
+                ));
+            }
+            if g.col >= catalog.relation(g.rel).columns.len() {
+                return Err(format!(
+                    "query {}: group-by references invalid column {} of {}",
+                    self.name, g.col, g.rel
+                ));
+            }
+        }
+        if !self.join_graph_connected() {
+            return Err(format!("query {}: join graph is disconnected", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::ColRef;
+    use crate::stats::{Column, Relation};
+
+    fn setup() -> (Catalog, Query) {
+        let mut c = Catalog::new();
+        let a = c.add_relation(Relation {
+            name: "a".into(),
+            rows: 100,
+            columns: vec![Column::new("k", 100, 8)],
+        });
+        let b = c.add_relation(Relation {
+            name: "b".into(),
+            rows: 200,
+            columns: vec![Column::new("k", 200, 8), Column::new("v", 10, 4)],
+        });
+        let q = Query {
+            name: "t".into(),
+            relations: vec![a, b],
+            joins: vec![JoinPredicate {
+                id: PredId(0),
+                left: ColRef::new(a, 0),
+                right: ColRef::new(b, 0),
+            }],
+            filters: vec![FilterPredicate { id: PredId(1), col: ColRef::new(b, 1), selectivity: 0.1 }],
+            epps: vec![PredId(0)],
+            group_by: vec![],
+        };
+        (c, q)
+    }
+
+    #[test]
+    fn valid_query_passes() {
+        let (c, q) = setup();
+        assert_eq!(q.validate(&c), Ok(()));
+        assert_eq!(q.dims(), 1);
+        assert_eq!(q.epp_dim(PredId(0)), Some(EppId(0)));
+        assert_eq!(q.epp_dim(PredId(1)), None);
+        assert_eq!(q.epp_pred(EppId(0)), PredId(0));
+    }
+
+    #[test]
+    fn filters_on_selects_by_relation() {
+        let (_, q) = setup();
+        let b = q.relations[1];
+        assert_eq!(q.filters_on(b).count(), 1);
+        assert_eq!(q.filters_on(q.relations[0]).count(), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let (mut c, mut q) = setup();
+        let lone = c.add_relation(Relation {
+            name: "lone".into(),
+            rows: 5,
+            columns: vec![Column::new("k", 5, 8)],
+        });
+        q.relations.push(lone);
+        assert!(q.validate(&c).unwrap_err().contains("disconnected"));
+    }
+
+    #[test]
+    fn duplicate_pred_id_rejected() {
+        let (c, mut q) = setup();
+        q.filters[0].id = PredId(0);
+        assert!(q.validate(&c).unwrap_err().contains("duplicate predicate id"));
+    }
+
+    #[test]
+    fn unknown_epp_rejected() {
+        let (c, mut q) = setup();
+        q.epps.push(PredId(42));
+        assert!(q.validate(&c).unwrap_err().contains("names no predicate"));
+    }
+
+    #[test]
+    fn bad_filter_selectivity_rejected() {
+        let (c, mut q) = setup();
+        q.filters[0].selectivity = 1.5;
+        assert!(q.validate(&c).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn joins_between_finds_cross_edges() {
+        let (_, q) = setup();
+        let l: HashSet<_> = [q.relations[0]].into_iter().collect();
+        let r: HashSet<_> = [q.relations[1]].into_iter().collect();
+        assert_eq!(q.joins_between(&l, &r).count(), 1);
+        assert_eq!(q.joins_between(&l, &l).count(), 0);
+    }
+}

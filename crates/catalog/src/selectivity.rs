@@ -1,0 +1,174 @@
+//! Selectivity values and vectors over the error-prone predicates.
+
+use serde::{Deserialize, Serialize};
+
+/// A predicate selectivity in `(0, 1]`.
+///
+/// Selectivities of zero are excluded: the ESS of the paper spans the full
+/// `[0,1]^D` hypercube, but its discretized grid starts at a small positive
+/// minimum (an empty join output makes every plan equally and trivially
+/// cheap, so the origin of the practical search space is a small ε).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Selectivity(f64);
+
+impl Selectivity {
+    /// Smallest representable selectivity; also the default grid origin.
+    pub const MIN: Selectivity = Selectivity(1e-8);
+    /// Largest selectivity (the ESS *terminus* coordinate).
+    pub const MAX: Selectivity = Selectivity(1.0);
+
+    /// Create a selectivity, clamping into `[MIN, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not finite.
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite(), "selectivity must be finite, got {v}");
+        Selectivity(v.clamp(Self::MIN.0, 1.0))
+    }
+
+    /// The raw fraction.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for Selectivity {
+    fn from(v: f64) -> Self {
+        Selectivity::new(v)
+    }
+}
+
+impl std::fmt::Display for Selectivity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3e}", self.0)
+    }
+}
+
+/// An assignment of selectivities to the epps of a query: a location in the
+/// (continuous) ESS. Dimension `j` holds the selectivity of epp `j` in the
+/// query's epp ordering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelVector(Vec<Selectivity>);
+
+impl SelVector {
+    /// Build from raw fractions.
+    pub fn from_values(values: &[f64]) -> Self {
+        SelVector(values.iter().copied().map(Selectivity::new).collect())
+    }
+
+    /// Build from selectivities.
+    pub fn new(values: Vec<Selectivity>) -> Self {
+        SelVector(values)
+    }
+
+    /// Dimensionality `D`.
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Selectivity along dimension `j`.
+    pub fn get(&self, j: usize) -> Selectivity {
+        self.0[j]
+    }
+
+    /// Replace the selectivity along dimension `j`.
+    pub fn set(&mut self, j: usize, s: Selectivity) {
+        self.0[j] = s;
+    }
+
+    /// Iterate over the coordinates.
+    pub fn iter(&self) -> impl Iterator<Item = Selectivity> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// `self ⪰ other`: every coordinate of `self` is ≥ the corresponding
+    /// coordinate of `other` (the *dominance* relation of §2.1).
+    pub fn dominates(&self, other: &SelVector) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.0.iter().zip(&other.0).all(|(a, b)| a.value() >= b.value())
+    }
+
+    /// `self ≻ other`: dominance with at least one strictly larger coordinate.
+    pub fn strictly_dominates(&self, other: &SelVector) -> bool {
+        self.dominates(other) && self != other
+    }
+
+    /// The component-wise maximum of two locations.
+    pub fn join_max(&self, other: &SelVector) -> SelVector {
+        debug_assert_eq!(self.dims(), other.dims());
+        SelVector(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| if a.value() >= b.value() { *a } else { *b })
+                .collect(),
+        )
+    }
+}
+
+impl std::ops::Index<usize> for SelVector {
+    type Output = Selectivity;
+    fn index(&self, j: usize) -> &Selectivity {
+        &self.0[j]
+    }
+}
+
+impl std::fmt::Display for SelVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_into_range() {
+        assert_eq!(Selectivity::new(2.0).value(), 1.0);
+        assert!(Selectivity::new(0.0).value() > 0.0);
+        assert_eq!(Selectivity::new(0.5).value(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Selectivity::new(f64::NAN);
+    }
+
+    #[test]
+    fn dominance_is_reflexive_and_partial() {
+        let a = SelVector::from_values(&[0.1, 0.5]);
+        let b = SelVector::from_values(&[0.2, 0.4]);
+        let c = SelVector::from_values(&[0.2, 0.6]);
+        assert!(a.dominates(&a));
+        assert!(!a.strictly_dominates(&a));
+        assert!(!a.dominates(&b) && !b.dominates(&a), "a and b are incomparable");
+        assert!(c.strictly_dominates(&a));
+        assert!(c.dominates(&b));
+    }
+
+    #[test]
+    fn join_max_upper_bounds_both() {
+        let a = SelVector::from_values(&[0.1, 0.5]);
+        let b = SelVector::from_values(&[0.2, 0.4]);
+        let m = a.join_max(&b);
+        assert!(m.dominates(&a));
+        assert!(m.dominates(&b));
+        assert_eq!(m.get(0).value(), 0.2);
+        assert_eq!(m.get(1).value(), 0.5);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let a = SelVector::from_values(&[0.1]);
+        assert_eq!(a.to_string(), "(1.000e-1)");
+    }
+}

@@ -1,0 +1,450 @@
+//! A minimal SQL-flavoured front end for declaring SPJ queries.
+//!
+//! Robust query processing needs one piece of information standard SQL
+//! cannot carry: *which predicates are error-prone*. This module parses a
+//! small, explicit dialect that makes both the reliable selectivities and
+//! the epp markers first-class:
+//!
+//! ```text
+//! SELECT * FROM part, lineitem, orders
+//! WHERE part.p_partkey ?= lineitem.l_partkey     -- error-prone join
+//!   AND orders.o_orderkey ?= lineitem.l_orderkey -- error-prone join
+//!   AND sel(part.p_retailprice) = 0.05           -- reliable filter
+//! ```
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := SELECT '*' FROM table (',' table)* WHERE cond (AND cond)*
+//!            [GROUP BY col (',' col)*]
+//! cond    := col '=' col            -- reliable equi-join
+//!          | col '?=' col           -- error-prone equi-join (ESS dimension)
+//!          | 'sel'  '(' col ')' '=' number   -- reliable filter
+//!          | 'sel?' '(' col ')' '=' number   -- error-prone filter
+//! col     := ident '.' ident
+//! ```
+//!
+//! Error-prone predicates become ESS dimensions in the order they appear.
+
+use crate::builder::QueryBuilder;
+use crate::catalog::Catalog;
+use crate::query::Query;
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Star,
+    Comma,
+    Dot,
+    Eq,
+    EppEq,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' if input.contains("--") => {
+                // line comment: skip to end of line
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(ParseError("stray '-'".into()));
+                }
+            }
+            '*' => {
+                chars.next();
+                out.push(Tok::Star);
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            '.' => {
+                chars.next();
+                out.push(Tok::Dot);
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '=' => {
+                chars.next();
+                out.push(Tok::Eq);
+            }
+            '?' => {
+                chars.next();
+                match chars.next() {
+                    Some('=') => out.push(Tok::EppEq),
+                    _ => return Err(ParseError("expected '=' after '?'".into())),
+                }
+            }
+            '0'..='9' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+'
+                    {
+                        // only allow '-'/'+' right after an exponent marker
+                        if (c == '-' || c == '+')
+                            && !matches!(s.chars().last(), Some('e') | Some('E'))
+                        {
+                            break;
+                        }
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: f64 =
+                    s.parse().map_err(|_| ParseError(format!("bad number {s:?}")))?;
+                out.push(Tok::Number(v));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else if c == '?' {
+                        // allow the `sel?` keyword
+                        s.push(c);
+                        chars.next();
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(s));
+            }
+            other => return Err(ParseError(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    catalog: &'a Catalog,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self.toks.get(self.pos).cloned().ok_or_else(|| {
+            ParseError("unexpected end of input".into())
+        })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(ParseError(format!("expected {what}, got {got:?}")))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next()? {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            got => Err(ParseError(format!("expected keyword {kw}, got {got:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            got => Err(ParseError(format!("expected identifier, got {got:?}"))),
+        }
+    }
+
+    fn column(&mut self) -> Result<(String, String), ParseError> {
+        let rel = self.ident()?;
+        self.expect(&Tok::Dot, "'.'")?;
+        let col = self.ident()?;
+        Ok((rel, col))
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.next()? {
+            Tok::Number(v) => Ok(v),
+            got => Err(ParseError(format!("expected number, got {got:?}"))),
+        }
+    }
+
+    fn query(&mut self, name: &str) -> Result<Query, ParseError> {
+        self.keyword("select")?;
+        self.expect(&Tok::Star, "'*'")?;
+        self.keyword("from")?;
+        let mut builder = QueryBuilder::new(self.catalog, name);
+        loop {
+            let table = self.ident()?;
+            if self.catalog.find_relation(&table).is_none() {
+                return Err(ParseError(format!("unknown relation {table:?}")));
+            }
+            builder = builder.table(&table);
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.keyword("where")?;
+        loop {
+            builder = self.condition(builder)?;
+            match self.peek() {
+                Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("and") => {
+                    self.pos += 1;
+                }
+                Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("group") => {
+                    self.pos += 1;
+                    self.keyword("by")?;
+                    loop {
+                        let (rel, col) = self.column()?;
+                        builder = builder.group_by(&rel, &col);
+                        if self.peek() == Some(&Tok::Comma) {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    break;
+                }
+                None => break,
+                Some(got) => {
+                    return Err(ParseError(format!("expected AND, GROUP BY or end, got {got:?}")))
+                }
+            }
+        }
+        Ok(builder.build())
+    }
+
+    fn condition(
+        &mut self,
+        builder: QueryBuilder<'a>,
+    ) -> Result<QueryBuilder<'a>, ParseError> {
+        // filter forms start with the `sel` / `sel?` keyword
+        if let Some(Tok::Ident(kw)) = self.peek() {
+            let kw = kw.clone();
+            if kw.eq_ignore_ascii_case("sel") || kw.eq_ignore_ascii_case("sel?") {
+                self.pos += 1;
+                self.expect(&Tok::LParen, "'('")?;
+                let (rel, col) = self.column()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::Eq, "'='")?;
+                let s = self.number()?;
+                if !(0.0..=1.0).contains(&s) {
+                    return Err(ParseError(format!("selectivity {s} out of [0,1]")));
+                }
+                return Ok(if kw.eq_ignore_ascii_case("sel") {
+                    builder.filter(&rel, &col, s)
+                } else {
+                    builder.epp_filter(&rel, &col, s)
+                });
+            }
+        }
+        // join forms: col (=|?=) col
+        let (lr, lc) = self.column()?;
+        let epp = match self.next()? {
+            Tok::Eq => false,
+            Tok::EppEq => true,
+            got => return Err(ParseError(format!("expected '=' or '?=', got {got:?}"))),
+        };
+        let (rr, rc) = self.column()?;
+        Ok(if epp {
+            builder.epp_join(&lr, &lc, &rr, &rc)
+        } else {
+            builder.join(&lr, &lc, &rr, &rc)
+        })
+    }
+}
+
+/// Parse a query in the robust-SPJ dialect against a catalog.
+pub fn parse_query(catalog: &Catalog, name: &str, sql: &str) -> Result<Query, ParseError> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0, catalog };
+    let q = p.query(name)?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError("trailing tokens after query".into()));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CatalogBuilder, RelationBuilder};
+
+    fn cat() -> Catalog {
+        CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("part", 1000)
+                    .indexed_column("p_partkey", 1000, 8)
+                    .column("p_retailprice", 100, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("lineitem", 5000)
+                    .indexed_column("l_partkey", 1000, 8)
+                    .indexed_column("l_orderkey", 2000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("orders", 2000)
+                    .indexed_column("o_orderkey", 2000, 8)
+                    .build(),
+            )
+            .build()
+    }
+
+    #[test]
+    fn parses_the_example_query() {
+        let c = cat();
+        let q = parse_query(
+            &c,
+            "EQ",
+            "SELECT * FROM part, lineitem, orders \
+             WHERE part.p_partkey ?= lineitem.l_partkey \
+               AND orders.o_orderkey ?= lineitem.l_orderkey \
+               AND sel(part.p_retailprice) = 0.05",
+        )
+        .unwrap();
+        assert_eq!(q.dims(), 2);
+        assert_eq!(q.relations.len(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.filters.len(), 1);
+        assert!((q.filters[0].selectivity - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliable_joins_are_not_dimensions() {
+        let c = cat();
+        let q = parse_query(
+            &c,
+            "t",
+            "select * from part, lineitem \
+             where part.p_partkey = lineitem.l_partkey \
+               and sel?(part.p_retailprice) = 0.1",
+        )
+        .unwrap();
+        assert_eq!(q.dims(), 1, "only the epp filter is a dimension");
+        assert!(q.filter(q.epp_pred(crate::query::EppId(0))).is_some());
+    }
+
+    #[test]
+    fn comments_and_case_are_tolerated() {
+        let c = cat();
+        let q = parse_query(
+            &c,
+            "t",
+            "SELECT * FROM part, lineitem -- the relations\n\
+             WHERE part.p_partkey ?= lineitem.l_partkey -- epp\n",
+        )
+        .unwrap();
+        assert_eq!(q.dims(), 1);
+    }
+
+    #[test]
+    fn scientific_notation_selectivities() {
+        let c = cat();
+        let q = parse_query(
+            &c,
+            "t",
+            "select * from part, lineitem \
+             where part.p_partkey ?= lineitem.l_partkey \
+             and sel(part.p_retailprice) = 5e-2",
+        )
+        .unwrap();
+        assert!((q.filters[0].selectivity - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_messages_are_specific() {
+        let c = cat();
+        let err = |sql: &str| parse_query(&c, "t", sql).unwrap_err().0;
+        assert!(err("SELECT * FROM nowhere WHERE a.b = c.d").contains("unknown relation"));
+        assert!(err("SELECT * FROM part").contains("unexpected end of input"));
+        assert!(err("SELECT * FROM part ORDER").contains("expected keyword where"));
+        assert!(
+            err("SELECT * FROM part, lineitem WHERE sel(part.p_retailprice) = 7")
+                .contains("out of [0,1]")
+        );
+        assert!(err("SELECT * FROM part WHERE part.p_partkey ? part.p_partkey")
+            .contains("expected '='"));
+    }
+
+    #[test]
+    fn validation_failures_become_panics_from_builder() {
+        // disconnected join graph is caught by Query::validate via build()
+        let c = cat();
+        let res = std::panic::catch_unwind(|| {
+            parse_query(
+                &c,
+                "t",
+                "select * from part, orders where sel(part.p_retailprice) = 0.5",
+            )
+        });
+        assert!(res.is_err(), "disconnected graph must be rejected");
+    }
+
+    #[test]
+    fn group_by_clause_is_parsed() {
+        let c = cat();
+        let q = parse_query(
+            &c,
+            "t",
+            "select * from part, lineitem \
+             where part.p_partkey ?= lineitem.l_partkey \
+             group by part.p_retailprice, lineitem.l_orderkey",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.dims(), 1);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let c = cat();
+        let e = parse_query(
+            &c,
+            "t",
+            "select * from part, lineitem where part.p_partkey ?= lineitem.l_partkey ) )",
+        );
+        assert!(e.is_err());
+    }
+}

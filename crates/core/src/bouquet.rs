@@ -1,0 +1,316 @@
+//! The PlanBouquet baseline (Dutt & Haritsa, TODS 2016) and the shared
+//! 1-D "endgame" used by SpillBound and AlignedBound.
+//!
+//! PlanBouquet walks the doubling iso-cost contours from the cheapest
+//! upward; on each contour it executes *every* contour plan under the
+//! contour budget, discarding partial results on expiry, until some plan
+//! completes (§1.1). Its guarantee is `MSO ≤ 4(1+λ)·ρ_red`, where `ρ_red`
+//! is the maximum contour plan-density after anorexic reduction — a
+//! *behavioural* bound that depends on the optimizer and platform.
+
+use crate::knowledge::Knowledge;
+use crate::runtime::RobustRuntime;
+use crate::trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
+use crate::Discovery;
+use parking_lot::Mutex;
+use rqp_ess::{anorexic_reduce, Cell, PlanId, Reduced};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-contour execution list: distinct plans with their budgets.
+type BandPlans = Arc<Vec<(PlanId, f64)>>;
+
+/// The PlanBouquet algorithm.
+pub struct PlanBouquet {
+    /// Optional anorexic-reduced cell→plan assignment (the paper always
+    /// runs PB on the reduced diagram, λ = 0.2, §6.2).
+    reduced: Option<Reduced>,
+    /// Lazily computed per-band plan lists.
+    bands: Mutex<BTreeMap<usize, BandPlans>>,
+}
+
+impl PlanBouquet {
+    /// PlanBouquet over the raw (unreduced) POSP diagram.
+    pub fn new() -> Self {
+        PlanBouquet { reduced: None, bands: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// PlanBouquet over the anorexic-reduced diagram with threshold
+    /// `lambda` (paper default 0.2).
+    pub fn anorexic(rt: &RobustRuntime<'_>, lambda: f64) -> Self {
+        let reduced = anorexic_reduce(&rt.ess.posp, &rt.optimizer, lambda);
+        PlanBouquet { reduced: Some(reduced), bands: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The swallowing threshold in use (0 when unreduced).
+    pub fn lambda(&self) -> f64 {
+        self.reduced.as_ref().map_or(0.0, |r| r.lambda)
+    }
+
+    /// The bouquet cardinality parameter of the MSO guarantee: maximum
+    /// plan-density over all contours (ρ, or ρ_red when reduced).
+    pub fn rho(&self, rt: &RobustRuntime<'_>) -> usize {
+        match &self.reduced {
+            Some(r) => rt.ess.contours.max_density_with(&r.cell_plan),
+            None => rt.ess.contours.max_density(&rt.ess.posp),
+        }
+    }
+
+    /// The plan assigned to a cell (reduced assignment if present).
+    fn assigned(&self, rt: &RobustRuntime<'_>, cell: Cell) -> PlanId {
+        match &self.reduced {
+            Some(r) => r.cell_plan[cell],
+            None => rt.ess.posp.plan_id(cell),
+        }
+    }
+
+    /// Distinct plans on a band with their budgets: the budget of plan `P`
+    /// is the maximum of `Cost(P, q)` over the band cells assigned to `P`
+    /// (equal to the optimal cost there for the unreduced diagram).
+    fn band_plans(&self, rt: &RobustRuntime<'_>, band: usize) -> BandPlans {
+        if let Some(b) = self.bands.lock().get(&band) {
+            return Arc::clone(b);
+        }
+        let mut budgets: BTreeMap<PlanId, f64> = BTreeMap::new();
+        for &cell in rt.ess.contours.cells(band) {
+            let plan = self.assigned(rt, cell);
+            let cost = if self.reduced.is_some() {
+                rt.ess.posp.cost_of_plan_at(&rt.optimizer, plan, cell)
+            } else {
+                rt.ess.posp.cost(cell)
+            };
+            let e = budgets.entry(plan).or_insert(0.0);
+            if cost > *e {
+                *e = cost;
+            }
+        }
+        let list: BandPlans = Arc::new(budgets.into_iter().collect());
+        self.bands.lock().insert(band, Arc::clone(&list));
+        list
+    }
+}
+
+impl Default for PlanBouquet {
+    fn default() -> Self {
+        PlanBouquet::new()
+    }
+}
+
+impl Discovery for PlanBouquet {
+    fn name(&self) -> &'static str {
+        if self.reduced.is_some() {
+            "PB"
+        } else {
+            "PB-raw"
+        }
+    }
+
+    fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
+        let qa_loc = rt.ess.grid().location(qa);
+        let mut steps = Vec::new();
+        let mut total = 0.0;
+        for band in 0..rt.ess.contours.num_bands() {
+            for &(plan_id, budget) in self.band_plans(rt, band).iter() {
+                let plan = rt.ess.posp.plan(plan_id);
+                let out = rt.engine.execute_budgeted(plan, &qa_loc, budget);
+                total += out.spent();
+                steps.push(Step {
+                    band,
+                    plan: PlanRef::Posp(plan_id),
+                    mode: ExecMode::Full,
+                    budget,
+                    spent: out.spent(),
+                    completed: out.completed(),
+                    learned: None,
+                });
+                if out.completed() {
+                    return DiscoveryTrace {
+                        algo: self.name(),
+                        qa,
+                        steps,
+                        total_cost: total,
+                        oracle_cost: rt.oracle_cost(qa),
+                    };
+                }
+            }
+        }
+        // Unreachable under a perfect cost model (qa's own band plan always
+        // completes); with a δ-perturbed engine (§7) actual costs can
+        // overshoot every budget, so run the final plan to completion.
+        run_to_completion(rt, None, &qa_loc, &mut steps, &mut total);
+        DiscoveryTrace {
+            algo: self.name(),
+            qa,
+            steps,
+            total_cost: total,
+            oracle_cost: rt.oracle_cost(qa),
+        }
+    }
+}
+
+/// Terminal safety net: execute the plan at the *effective terminus* —
+/// learnt dimensions pinned to their exact values, unlearnt dimensions at
+/// their maxima — with an unbounded budget (a real engine's "just finish
+/// it" step). The choice uses only discovered knowledge, never `qa`. Only
+/// reachable when the engine's actual costs deviate from the model (δ > 0).
+pub(crate) fn run_to_completion(
+    rt: &RobustRuntime<'_>,
+    know: Option<&Knowledge>,
+    qa_loc: &rqp_catalog::SelVector,
+    steps: &mut Vec<Step>,
+    total: &mut f64,
+) {
+    let grid = rt.ess.grid();
+    let coords: Vec<usize> = (0..grid.dims())
+        .map(|d| match know.and_then(|k| k.exact(rqp_catalog::EppId(d))) {
+            Some(v) => grid.snap_ceil(d, v),
+            None => grid.res(d) - 1,
+        })
+        .collect();
+    let cell = grid.index(&coords);
+    let plan_id = rt.ess.posp.plan_id(cell);
+    let plan = rt.ess.posp.plan(plan_id);
+    let out = rt.engine.execute_budgeted(plan, qa_loc, f64::INFINITY);
+    *total += out.spent();
+    steps.push(Step {
+        band: rt.ess.contours.num_bands() - 1,
+        plan: PlanRef::Posp(plan_id),
+        mode: ExecMode::Full,
+        budget: f64::INFINITY,
+        spent: out.spent(),
+        completed: true,
+        learned: None,
+    });
+}
+
+/// The shared endgame: plain contour-wise PlanBouquet over the *effective
+/// search space* (cells matching the exactly-learnt dimensions), starting
+/// from `start_band`. Used by 2D-SpillBound's 1-D phase (§4.1: "we simply
+/// invoke the standard PlanBouquet with only the [remaining] epp, starting
+/// from the contour currently being explored") and its D-dimensional and
+/// AlignedBound generalizations. Plans run in regular (non-spill) mode —
+/// spilling in the 1-D case weakens the bound.
+pub(crate) fn bouquet_endgame(
+    rt: &RobustRuntime<'_>,
+    know: &Knowledge,
+    start_band: usize,
+    qa: Cell,
+    qa_loc: &rqp_catalog::SelVector,
+    steps: &mut Vec<Step>,
+    total: &mut f64,
+) {
+    let grid = rt.ess.grid();
+    for band in start_band..rt.ess.contours.num_bands() {
+        // distinct plans on the effective slice of this band, with budgets
+        let mut budgets: BTreeMap<PlanId, f64> = BTreeMap::new();
+        for &cell in rt.ess.contours.cells(band) {
+            if !know.matches_exact(grid, cell) {
+                continue;
+            }
+            let plan = rt.ess.posp.plan_id(cell);
+            let cost = rt.ess.posp.cost(cell);
+            let e = budgets.entry(plan).or_insert(0.0);
+            if cost > *e {
+                *e = cost;
+            }
+        }
+        for (plan_id, budget) in budgets {
+            let plan = rt.ess.posp.plan(plan_id);
+            let out = rt.engine.execute_budgeted(plan, qa_loc, budget);
+            *total += out.spent();
+            steps.push(Step {
+                band,
+                plan: PlanRef::Posp(plan_id),
+                mode: ExecMode::Full,
+                budget,
+                spent: out.spent(),
+                completed: out.completed(),
+                learned: None,
+            });
+            if out.completed() {
+                return;
+            }
+        }
+    }
+    // only reachable with a δ-perturbed engine; see `run_to_completion`
+    let _ = qa;
+    run_to_completion(rt, Some(know), qa_loc, steps, total);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::example_2d;
+    use rqp_ess::EssConfig;
+    use rqp_qplan::CostModel;
+
+    fn runtime(catalog: &rqp_catalog::Catalog, query: &rqp_catalog::Query) -> RobustRuntime<'static> {
+        // tests keep fixtures alive via Box::leak for simplicity
+        let catalog: &'static _ = Box::leak(Box::new(catalog.clone()));
+        let query: &'static _ = Box::leak(Box::new(query.clone()));
+        RobustRuntime::compile(
+            catalog,
+            query,
+            CostModel::default(),
+            EssConfig { resolution: 12, min_sel: 1e-6, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn completes_everywhere_with_subopt_at_least_one() {
+        let (catalog, query) = example_2d();
+        let rt = runtime(&catalog, &query);
+        let pb = PlanBouquet::new();
+        for qa in rt.ess.grid().cells() {
+            let t = pb.discover(&rt, qa);
+            assert!(t.subopt() >= 1.0 - 1e-9, "cell {qa}: subopt {}", t.subopt());
+            assert!(t.steps.last().unwrap().completed);
+        }
+    }
+
+    #[test]
+    fn never_executes_more_than_density_per_band() {
+        let (catalog, query) = example_2d();
+        let rt = runtime(&catalog, &query);
+        let pb = PlanBouquet::new();
+        let t = pb.discover(&rt, rt.ess.grid().terminus());
+        let mut per_band: BTreeMap<usize, usize> = BTreeMap::new();
+        for s in &t.steps {
+            *per_band.entry(s.band).or_default() += 1;
+        }
+        for (band, n) in per_band {
+            assert!(
+                n <= rt.ess.contours.density(&rt.ess.posp, band).max(1),
+                "band {band}: {n} executions"
+            );
+        }
+    }
+
+    #[test]
+    fn anorexic_variant_respects_guarantee_parameters() {
+        let (catalog, query) = example_2d();
+        let rt = runtime(&catalog, &query);
+        let raw = PlanBouquet::new();
+        let red = PlanBouquet::anorexic(&rt, 0.2);
+        assert!(red.rho(&rt) <= raw.rho(&rt));
+        assert_eq!(red.lambda(), 0.2);
+        assert_eq!(raw.lambda(), 0.0);
+        // reduced bouquet still completes everywhere
+        for qa in [0, rt.ess.grid().num_cells() / 2, rt.ess.grid().terminus()] {
+            let t = red.discover(&rt, qa);
+            assert!(t.steps.last().unwrap().completed);
+            assert!(t.subopt() >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn origin_instance_is_cheap() {
+        let (catalog, query) = example_2d();
+        let rt = runtime(&catalog, &query);
+        let pb = PlanBouquet::new();
+        let t = pb.discover(&rt, rt.ess.grid().origin());
+        // qa at the origin lies on the first contour: few executions
+        assert!(t.steps.len() <= rt.ess.contours.density(&rt.ess.posp, 0));
+        assert!(t.subopt() < 4.0 * rt.ess.contours.density(&rt.ess.posp, 0) as f64);
+    }
+}

@@ -1,0 +1,53 @@
+//! The closed-form MSO guarantees (continuum formulas, as reported in the
+//! paper's figures).
+
+/// PlanBouquet's behavioural guarantee `4(1+λ)·ρ_red` (§6.2.1).
+pub fn pb_guarantee(rho_red: usize, lambda: f64) -> f64 {
+    4.0 * (1.0 + lambda) * rho_red as f64
+}
+
+/// SpillBound's structural guarantee `D² + 3D` (Theorem 4.5).
+pub fn sb_guarantee(d: usize) -> f64 {
+    (d * d + 3 * d) as f64
+}
+
+/// AlignedBound's guarantee range `[2D+2, D²+3D]` (§5.3).
+pub fn ab_guarantee_range(d: usize) -> (f64, f64) {
+    ((2 * d + 2) as f64, sb_guarantee(d))
+}
+
+/// The 2-D special case bound of Theorem 4.2.
+pub fn sb_guarantee_2d() -> f64 {
+    10.0
+}
+
+/// The lower bound of Theorem 4.6: every deterministic half-space-pruning
+/// algorithm has MSO at least `D`.
+pub fn lower_bound(d: usize) -> f64 {
+    d as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_match_the_papers_examples() {
+        // Q91 with six epps: PB 96 (ρ_red = 20, λ = 0.2), SB 54 (§1.4)
+        assert_eq!(pb_guarantee(20, 0.2), 96.0);
+        assert_eq!(sb_guarantee(6), 54.0);
+        // 4D_Q91: PB 52.8 (ρ_red = 11), SB 28 (§6.2.1)
+        assert!((pb_guarantee(11, 0.2) - 52.8).abs() < 1e-12);
+        assert_eq!(sb_guarantee(4), 28.0);
+        // the 2-D theorem matches the general formula
+        assert_eq!(sb_guarantee(2), sb_guarantee_2d());
+    }
+
+    #[test]
+    fn ab_range_brackets_linear_and_quadratic() {
+        let (lo, hi) = ab_guarantee_range(6);
+        assert_eq!(lo, 14.0);
+        assert_eq!(hi, 54.0);
+        assert!(lower_bound(6) <= lo);
+    }
+}

@@ -1,0 +1,153 @@
+//! The discovery algorithms' knowledge of the actual location `qa`.
+
+use rqp_catalog::{EppId, SelVector, Selectivity};
+use rqp_ess::{Cell, Grid};
+use std::collections::BTreeSet;
+
+/// What has been learnt about `qa` so far: a running lower-bound location
+/// `qrun` (§4: "the running selectivity location, as progressively learnt")
+/// plus the set of dimensions whose selectivity is known *exactly*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knowledge {
+    qrun: SelVector,
+    exact: Vec<Option<f64>>,
+}
+
+impl Knowledge {
+    /// Fresh knowledge: `qrun` at the grid origin, nothing exact.
+    pub fn new(grid: &Grid) -> Self {
+        Knowledge {
+            qrun: grid.location(grid.origin()),
+            exact: vec![None; grid.dims()],
+        }
+    }
+
+    /// The running location.
+    pub fn qrun(&self) -> &SelVector {
+        &self.qrun
+    }
+
+    /// Exact selectivity of a dimension, if learnt.
+    pub fn exact(&self, dim: EppId) -> Option<f64> {
+        self.exact[dim.0]
+    }
+
+    /// Dimensions not yet learnt exactly, in ascending order — the current
+    /// `EPP` set of Algorithm 1.
+    pub fn unlearnt(&self) -> BTreeSet<EppId> {
+        self.exact
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_none())
+            .map(|(d, _)| EppId(d))
+            .collect()
+    }
+
+    /// Number of dimensions learnt exactly.
+    pub fn num_exact(&self) -> usize {
+        self.exact.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Record an exactly-learnt selectivity.
+    ///
+    /// # Panics
+    /// Panics if the dimension was already learnt to a different value or
+    /// the value is below the current lower bound (no overshoot is possible
+    /// for a sound learner, so this indicates a bug).
+    pub fn learn_exact(&mut self, dim: EppId, value: f64) {
+        if let Some(prev) = self.exact[dim.0] {
+            assert_eq!(prev, value, "dim {dim} re-learnt to a different value");
+            return;
+        }
+        assert!(
+            value >= self.qrun.get(dim.0).value() * (1.0 - 1e-9),
+            "exact value {value} below running bound {}",
+            self.qrun.get(dim.0)
+        );
+        self.exact[dim.0] = Some(value);
+        self.qrun.set(dim.0, Selectivity::new(value));
+    }
+
+    /// Raise the lower bound of a dimension (no-op if not an improvement).
+    pub fn learn_bound(&mut self, dim: EppId, value: f64) {
+        debug_assert!(self.exact[dim.0].is_none(), "bound update on an exact dim");
+        if value > self.qrun.get(dim.0).value() {
+            self.qrun.set(dim.0, Selectivity::new(value));
+        }
+    }
+
+    /// Whether a grid cell is consistent with the exactly-learnt
+    /// selectivities — i.e. lies in the current *effective search space*
+    /// (§4.2: "the subset of locations … whose selectivity along the learnt
+    /// dimensions matches the learnt selectivities").
+    pub fn matches_exact(&self, grid: &Grid, cell: Cell) -> bool {
+        self.exact.iter().enumerate().all(|(d, e)| match e {
+            None => true,
+            Some(v) => grid.coord(cell, d) == grid.snap_ceil(d, *v),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::uniform(2, 5, 1e-4)
+    }
+
+    #[test]
+    fn starts_at_origin_all_unlearnt() {
+        let g = grid();
+        let k = Knowledge::new(&g);
+        assert_eq!(k.unlearnt().len(), 2);
+        assert_eq!(k.num_exact(), 0);
+        assert!((k.qrun().get(0).value() - 1e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_learning_pins_dimension() {
+        let g = grid();
+        let mut k = Knowledge::new(&g);
+        let v = g.value(0, 3);
+        k.learn_exact(EppId(0), v);
+        assert_eq!(k.exact(EppId(0)), Some(v));
+        assert_eq!(k.unlearnt().into_iter().collect::<Vec<_>>(), vec![EppId(1)]);
+        assert_eq!(k.qrun().get(0).value(), v);
+        // matches_exact keeps only the matching column
+        for cell in g.cells() {
+            let m = k.matches_exact(&g, cell);
+            assert_eq!(m, g.coord(cell, 0) == 3, "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn bounds_only_move_up() {
+        let g = grid();
+        let mut k = Knowledge::new(&g);
+        k.learn_bound(EppId(1), 0.01);
+        assert_eq!(k.qrun().get(1).value(), 0.01);
+        k.learn_bound(EppId(1), 0.001); // worse bound, ignored
+        assert_eq!(k.qrun().get(1).value(), 0.01);
+        k.learn_bound(EppId(1), 0.5);
+        assert_eq!(k.qrun().get(1).value(), 0.5);
+    }
+
+    #[test]
+    fn relearning_same_exact_value_is_idempotent() {
+        let g = grid();
+        let mut k = Knowledge::new(&g);
+        k.learn_exact(EppId(0), 0.5);
+        k.learn_exact(EppId(0), 0.5);
+        assert_eq!(k.num_exact(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below running bound")]
+    fn exact_below_bound_panics() {
+        let g = grid();
+        let mut k = Knowledge::new(&g);
+        k.learn_bound(EppId(0), 0.5);
+        k.learn_exact(EppId(0), 0.01);
+    }
+}

@@ -1,0 +1,112 @@
+//! The traditional-optimizer baseline.
+//!
+//! A conventional engine estimates the epp selectivities (`qe`), picks the
+//! plan optimal there, and runs it wherever the query actually lives
+//! (`qa`). Its sub-optimality is `Cost(P_qe, qa) / Cost(P_qa, qa)`, and its
+//! MSO — with estimation errors ranging over the whole ESS, as the paper
+//! assumes — is the worst such ratio over all `(qe, qa)` pairs (Eq. 2).
+
+use crate::runtime::RobustRuntime;
+use crate::trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
+use crate::Discovery;
+use rayon::prelude::*;
+use rqp_catalog::Estimator;
+use rqp_ess::Cell;
+
+/// The native-optimizer baseline with the catalog's own estimate for `qe`.
+pub struct NativeOptimizer;
+
+impl Discovery for NativeOptimizer {
+    fn name(&self) -> &'static str {
+        "Native"
+    }
+
+    fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
+        let qe = Estimator::new(rt.catalog).estimated_location(rt.query);
+        let planned = rt.optimizer.optimize(&qe);
+        let qa_loc = rt.ess.grid().location(qa);
+        let cost = rt.optimizer.cost_of(&planned.plan, &qa_loc);
+        let band = rt.ess.contours.band_of(qa);
+        DiscoveryTrace {
+            algo: self.name(),
+            qa,
+            steps: vec![Step {
+                band,
+                plan: PlanRef::Bespoke(std::sync::Arc::new(planned.plan)),
+                mode: ExecMode::Full,
+                budget: f64::INFINITY,
+                spent: cost,
+                completed: true,
+                learned: None,
+            }],
+            total_cost: cost,
+            oracle_cost: rt.oracle_cost(qa),
+        }
+    }
+}
+
+/// Worst-case native MSO with estimation errors spanning the entire ESS:
+/// `max_{qa} max_{qe} Cost(P_qe, qa) / Cost(P_qa, qa)`. Every `P_qe` is a
+/// POSP plan, so the inner maximum ranges over the plan registry.
+pub fn native_mso_worst_estimate(rt: &RobustRuntime<'_>) -> f64 {
+    let posp = &rt.ess.posp;
+    let plan_ids: Vec<_> = posp.registry().iter().map(|(id, _)| id).collect();
+    rt.ess
+        .grid()
+        .cells()
+        .into_par_iter()
+        .map(|qa| {
+            let oracle = posp.cost(qa);
+            plan_ids
+                .iter()
+                .map(|&id| posp.cost_of_plan_at(&rt.optimizer, id, qa) / oracle)
+                .fold(0.0f64, f64::max)
+        })
+        .reduce(|| 0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::example_2d;
+    use rqp_ess::EssConfig;
+    use rqp_qplan::CostModel;
+
+    fn runtime() -> RobustRuntime<'static> {
+        let (catalog, query) = example_2d();
+        let catalog: &'static _ = Box::leak(Box::new(catalog));
+        let query: &'static _ = Box::leak(Box::new(query));
+        RobustRuntime::compile(
+            catalog,
+            query,
+            CostModel::default(),
+            EssConfig { resolution: 10, min_sel: 1e-6, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn native_subopt_is_at_least_one_everywhere() {
+        let rt = runtime();
+        let native = NativeOptimizer;
+        for qa in rt.ess.grid().cells() {
+            let t = native.discover(&rt, qa);
+            assert!(t.subopt() >= 1.0 - 1e-9);
+            assert_eq!(t.steps.len(), 1);
+        }
+    }
+
+    #[test]
+    fn worst_estimate_mso_dominates_fixed_estimate_mso() {
+        let rt = runtime();
+        let native = NativeOptimizer;
+        let fixed = rt
+            .ess
+            .grid()
+            .cells()
+            .map(|qa| native.discover(&rt, qa).subopt())
+            .fold(0.0f64, f64::max);
+        let worst = native_mso_worst_estimate(&rt);
+        assert!(worst >= fixed - 1e-9);
+        assert!(worst >= 1.0);
+    }
+}

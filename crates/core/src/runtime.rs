@@ -1,0 +1,92 @@
+//! The shared runtime every robust algorithm executes against.
+
+use rqp_catalog::{Catalog, Query};
+use rqp_ess::{Ess, EssConfig};
+use rqp_executor::Engine;
+use rqp_optimizer::Optimizer;
+use rqp_qplan::CostModel;
+
+/// A query admitted for robust processing: catalog, query, optimizer,
+/// simulated execution engine, and the compiled ESS (POSP + contours).
+///
+/// Compiling the runtime performs the offline work of §7 ("construction of
+/// the contours in the ESS … repeated calls to the optimizer … can be
+/// carried out in parallel"); everything the discovery algorithms do at
+/// "run-time" is lookups into this structure plus budgeted executions.
+pub struct RobustRuntime<'a> {
+    /// Catalog statistics.
+    pub catalog: &'a Catalog,
+    /// The user query.
+    pub query: &'a Query,
+    /// The DP optimizer bound to the query.
+    pub optimizer: Optimizer<'a>,
+    /// The simulated execution engine.
+    pub engine: Engine<'a>,
+    /// The compiled error-prone selectivity space.
+    pub ess: Ess,
+}
+
+impl<'a> RobustRuntime<'a> {
+    /// Compile the runtime: build the optimizer, the engine, and the ESS.
+    ///
+    /// # Panics
+    /// Panics if the query has no error-prone predicates (there is nothing
+    /// to discover) or fails validation.
+    pub fn compile(
+        catalog: &'a Catalog,
+        query: &'a Query,
+        model: CostModel,
+        config: EssConfig,
+    ) -> Self {
+        assert!(query.dims() >= 1, "query {} has no error-prone predicates", query.name);
+        query.validate(catalog).expect("query must validate against the catalog");
+        let optimizer = Optimizer::new(catalog, query, model);
+        let engine = Engine::new(catalog, query, model);
+        let ess = Ess::compile(&optimizer, config);
+        RobustRuntime { catalog, query, optimizer, engine, ess }
+    }
+
+    /// Number of ESS dimensions, `D`.
+    pub fn dims(&self) -> usize {
+        self.query.dims()
+    }
+
+    /// Replace the engine with a δ-perturbed one (§7: bounded cost-model
+    /// error — actual execution costs deviate from the model by up to a
+    /// `(1+delta)` factor either way; the MSO guarantees inflate by at most
+    /// `(1+delta)²`).
+    pub fn set_cost_error(&mut self, delta: f64) {
+        self.engine = Engine::with_cost_error(
+            self.catalog,
+            self.query,
+            self.optimizer.model(),
+            delta,
+        );
+    }
+
+    /// Oracle cost `Cost(P_qa, qa)` for a grid cell.
+    pub fn oracle_cost(&self, qa: rqp_ess::Cell) -> f64 {
+        self.ess.posp.cost(qa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::example_2d;
+
+    #[test]
+    fn compile_builds_all_components() {
+        let (catalog, query) = example_2d();
+        let rt = RobustRuntime::compile(
+            &catalog,
+            &query,
+            CostModel::default(),
+            EssConfig { resolution: 10, ..Default::default() },
+        );
+        assert_eq!(rt.dims(), 2);
+        assert_eq!(rt.ess.grid().num_cells(), 100);
+        assert!(rt.oracle_cost(0) > 0.0);
+        assert!(rt.ess.contours.num_bands() > 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Iso-cost contours over the compiled POSP.
+//!
+//! On the continuum, contour `IC_i` is the curve where the optimal cost
+//! equals `CC_i = r^(i-1) · C_min` (cost-doubling, `r = 2`, by default). On
+//! a finite grid the curve becomes a **cost band**: cell `q` belongs to band
+//! `i` iff `Cost(P_q, q) ∈ [CC_i, r·CC_i)`. Bands partition the grid, every
+//! budgeted execution on band `i` uses the cost of its chosen cell (within
+//! the band, so < `r·CC_i`), and all the discovery guarantees of §3–§5
+//! survive discretization (see DESIGN.md, "Discretization of contours").
+
+use crate::grid::Cell;
+use crate::posp::Posp;
+use crate::registry::PlanId;
+use std::collections::BTreeSet;
+
+/// The contour bands of a compiled ESS.
+#[derive(Debug, Clone)]
+pub struct ContourSet {
+    /// Geometric cost ratio between consecutive contours.
+    pub ratio: f64,
+    /// Lower-edge cost of each band: `cc[i] = cmin · ratio^i`.
+    cc: Vec<f64>,
+    band_of: Vec<u32>,
+    bands: Vec<Vec<Cell>>,
+}
+
+impl ContourSet {
+    /// Build contour bands with the given cost ratio (the paper's default
+    /// is 2; §4.2 notes ratios like 1.8 can shave the guarantee slightly).
+    ///
+    /// # Panics
+    /// Panics if `ratio <= 1`.
+    pub fn build(posp: &Posp, ratio: f64) -> ContourSet {
+        assert!(ratio > 1.0, "contour ratio must exceed 1");
+        let cmin = posp.cmin();
+        let cmax = posp.cmax();
+        let m = ((cmax / cmin).ln() / ratio.ln()).floor() as usize + 1;
+        let cc: Vec<f64> = (0..m).map(|i| cmin * ratio.powi(i as i32)).collect();
+
+        let mut band_of = vec![0u32; posp.grid().num_cells()];
+        let mut bands = vec![Vec::new(); m];
+        for cell in posp.grid().cells() {
+            let b = (((posp.cost(cell) / cmin).ln() / ratio.ln()).floor() as usize).min(m - 1);
+            band_of[cell] = b as u32;
+            bands[b].push(cell);
+        }
+        ContourSet { ratio, cc, band_of, bands }
+    }
+
+    /// Number of contours, `m`.
+    pub fn num_bands(&self) -> usize {
+        self.cc.len()
+    }
+
+    /// Lower-edge cost `CC_i` of band `i` (0-based).
+    pub fn cc(&self, band: usize) -> f64 {
+        self.cc[band]
+    }
+
+    /// The band a cell belongs to.
+    pub fn band_of(&self, cell: Cell) -> usize {
+        self.band_of[cell] as usize
+    }
+
+    /// Cells of a band, ascending by cell index.
+    pub fn cells(&self, band: usize) -> &[Cell] {
+        &self.bands[band]
+    }
+
+    /// Distinct optimal plans appearing on a band — the contour's plan set
+    /// `PL_i`.
+    pub fn plans_on(&self, posp: &Posp, band: usize) -> BTreeSet<PlanId> {
+        self.bands[band].iter().map(|&c| posp.plan_id(c)).collect()
+    }
+
+    /// Plan density of a band (`|PL_i|`).
+    pub fn density(&self, posp: &Posp, band: usize) -> usize {
+        self.plans_on(posp, band).len()
+    }
+
+    /// Maximum density over all bands — the `ρ` of the PlanBouquet bound.
+    pub fn max_density(&self, posp: &Posp) -> usize {
+        (0..self.num_bands()).map(|b| self.density(posp, b)).max().unwrap_or(0)
+    }
+
+    /// Density of a band under a replacement cell→plan assignment (used for
+    /// the anorexic-reduced bouquet's `ρ_red`).
+    pub fn density_with(&self, assignment: &[PlanId], band: usize) -> usize {
+        self.bands[band]
+            .iter()
+            .map(|&c| assignment[c])
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Maximum density over all bands under a replacement assignment.
+    pub fn max_density_with(&self, assignment: &[PlanId]) -> usize {
+        (0..self.num_bands()).map(|b| self.density_with(assignment, b)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use rqp_catalog::{Catalog, CatalogBuilder, Query, QueryBuilder, RelationBuilder};
+    use rqp_optimizer::Optimizer;
+    use rqp_qplan::CostModel;
+
+    fn fixture() -> (Catalog, Query) {
+        let catalog = CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("part", 2_000_000)
+                    .indexed_column("p_partkey", 2_000_000, 8)
+                    .column("p_price", 50_000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("lineitem", 60_000_000)
+                    .indexed_column("l_partkey", 2_000_000, 8)
+                    .indexed_column("l_orderkey", 15_000_000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("orders", 15_000_000)
+                    .indexed_column("o_orderkey", 15_000_000, 8)
+                    .build(),
+            )
+            .build();
+        let query = QueryBuilder::new(&catalog, "EQ")
+            .table("part")
+            .table("lineitem")
+            .table("orders")
+            .epp_join("part", "p_partkey", "lineitem", "l_partkey")
+            .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
+            .filter("part", "p_price", 0.05)
+            .build();
+        (catalog, query)
+    }
+
+    fn compiled() -> (Posp, ContourSet) {
+        let (catalog, query) = fixture();
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        let posp = Posp::compile(&opt, Grid::uniform(2, 12, 1e-6));
+        let contours = ContourSet::build(&posp, 2.0);
+        (posp, contours)
+    }
+
+    #[test]
+    fn bands_partition_the_grid() {
+        let (posp, contours) = compiled();
+        let total: usize = (0..contours.num_bands()).map(|b| contours.cells(b).len()).sum();
+        assert_eq!(total, posp.grid().num_cells());
+        for b in 0..contours.num_bands() {
+            for &cell in contours.cells(b) {
+                assert_eq!(contours.band_of(cell), b);
+                let c = posp.cost(cell);
+                assert!(c >= contours.cc(b) * (1.0 - 1e-12));
+                if b + 1 < contours.num_bands() {
+                    assert!(c < contours.cc(b) * contours.ratio * (1.0 + 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn band_edges_double() {
+        let (_, contours) = compiled();
+        assert!(contours.num_bands() >= 3, "expected several contours");
+        for i in 1..contours.num_bands() {
+            let r = contours.cc(i) / contours.cc(i - 1);
+            assert!((r - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn origin_is_on_the_first_band_terminus_on_the_last() {
+        let (posp, contours) = compiled();
+        assert_eq!(contours.band_of(posp.grid().origin()), 0);
+        assert_eq!(contours.band_of(posp.grid().terminus()), contours.num_bands() - 1);
+    }
+
+    #[test]
+    fn densities_are_positive_and_bounded_by_plan_count() {
+        let (posp, contours) = compiled();
+        let rho = contours.max_density(&posp);
+        assert!(rho >= 1 && rho <= posp.num_plans());
+        // identity assignment reproduces plain densities
+        let identity: Vec<PlanId> =
+            posp.grid().cells().map(|c| posp.plan_id(c)).collect();
+        assert_eq!(contours.max_density_with(&identity), rho);
+    }
+
+    #[test]
+    fn custom_ratio_changes_band_count() {
+        let (posp, _) = compiled();
+        let c2 = ContourSet::build(&posp, 2.0);
+        let c15 = ContourSet::build(&posp, 1.5);
+        assert!(c15.num_bands() > c2.num_bands());
+    }
+}

@@ -1,0 +1,135 @@
+#![warn(missing_docs)]
+
+//! The error-prone selectivity space (ESS): grid, POSP compilation,
+//! iso-cost contours and anorexic reduction.
+//!
+//! [`Ess::compile`] bundles the full pipeline: discretize the selectivity
+//! space ([`grid::Grid`]), invoke the optimizer at every location in
+//! parallel ([`posp::Posp`]), and slice the resulting optimal cost surface
+//! into geometric cost bands ([`contours::ContourSet`]). The robust
+//! processing algorithms in `rqp-core` run entirely against this structure.
+
+pub mod anorexic;
+pub mod contours;
+pub mod grid;
+pub mod posp;
+pub mod registry;
+pub mod snapshot;
+
+pub use anorexic::{anorexic_reduce, Reduced};
+pub use contours::ContourSet;
+pub use grid::{Cell, Grid};
+pub use posp::Posp;
+pub use registry::{PlanId, PlanRegistry};
+pub use snapshot::PospSnapshot;
+
+use rqp_optimizer::Optimizer;
+
+/// ESS compilation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EssConfig {
+    /// Grid points per dimension.
+    pub resolution: usize,
+    /// Smallest grid selectivity (axes run log-spaced from here to 1.0).
+    pub min_sel: f64,
+    /// Geometric cost ratio between consecutive contours (paper default 2).
+    pub contour_ratio: f64,
+}
+
+impl Default for EssConfig {
+    fn default() -> Self {
+        EssConfig { resolution: 16, min_sel: 1e-5, contour_ratio: 2.0 }
+    }
+}
+
+impl EssConfig {
+    /// A resolution schedule that keeps `resolution^D` tractable while the
+    /// experiments sweep dimensionality: 2D:48, 3D:24, 4D:14, 5D:10, 6D:8.
+    pub fn for_dims(dims: usize) -> Self {
+        let resolution = match dims {
+            0 | 1 => 64,
+            2 => 48,
+            3 => 24,
+            4 => 14,
+            5 => 10,
+            _ => 8,
+        };
+        EssConfig { resolution, ..Default::default() }
+    }
+
+    /// Same schedule scaled down for unit tests and CI.
+    pub fn coarse(dims: usize) -> Self {
+        let resolution = match dims {
+            0 | 1 => 24,
+            2 => 16,
+            3 => 10,
+            4 => 7,
+            5 => 6,
+            _ => 5,
+        };
+        EssConfig { resolution, ..Default::default() }
+    }
+}
+
+/// A fully compiled ESS: POSP surface plus contour bands.
+#[derive(Debug, Clone)]
+pub struct Ess {
+    /// The compiled optimal-plan surface.
+    pub posp: Posp,
+    /// The iso-cost contour bands.
+    pub contours: ContourSet,
+}
+
+impl Ess {
+    /// Compile the ESS for the optimizer's query.
+    pub fn compile(optimizer: &Optimizer<'_>, config: EssConfig) -> Ess {
+        let dims = optimizer.query().dims().max(1);
+        let grid = Grid::uniform(dims, config.resolution, config.min_sel);
+        let posp = Posp::compile(optimizer, grid);
+        let contours = ContourSet::build(&posp, config.contour_ratio);
+        Ess { posp, contours }
+    }
+
+    /// The grid underlying the space.
+    pub fn grid(&self) -> &Grid {
+        self.posp.grid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::{CatalogBuilder, QueryBuilder, RelationBuilder};
+    use rqp_qplan::CostModel;
+
+    #[test]
+    fn end_to_end_compile() {
+        let catalog = CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("a", 1_000_000).indexed_column("k", 1_000_000, 8).build(),
+            )
+            .relation(
+                RelationBuilder::new("b", 8_000_000)
+                    .indexed_column("k", 1_000_000, 8)
+                    .build(),
+            )
+            .build();
+        let query = QueryBuilder::new(&catalog, "t")
+            .table("a")
+            .table("b")
+            .epp_join("a", "k", "b", "k")
+            .build();
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        let ess = Ess::compile(&opt, EssConfig { resolution: 20, ..Default::default() });
+        assert_eq!(ess.grid().dims(), 1);
+        assert_eq!(ess.grid().num_cells(), 20);
+        assert!(ess.contours.num_bands() >= 2);
+        assert!(ess.posp.num_plans() >= 1);
+    }
+
+    #[test]
+    fn resolution_schedules_shrink_with_dims() {
+        assert!(EssConfig::for_dims(2).resolution > EssConfig::for_dims(5).resolution);
+        assert!(EssConfig::coarse(3).resolution < EssConfig::for_dims(3).resolution);
+    }
+}

@@ -1,0 +1,210 @@
+//! POSP compilation: the Parametric Optimal Set of Plans over the ESS grid.
+//!
+//! The optimizer is invoked at every grid location ("repeated invocations of
+//! the optimizer with different selectivity values", §2.2); the resulting
+//! optimal plans are deduplicated into a [`PlanRegistry`] and each cell
+//! stores its optimal plan id and cost. Compilation is embarrassingly
+//! parallel (§7 notes contour construction parallelizes trivially), so the
+//! grid is mapped with rayon.
+
+use crate::grid::{Cell, Grid};
+use crate::registry::{PlanId, PlanRegistry};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use rqp_optimizer::Optimizer;
+use rqp_qplan::{Fingerprint, PlanNode};
+use std::collections::HashMap;
+
+/// The compiled optimal-plan surface: for every grid cell, the optimal plan
+/// and its cost (a discretized Optimal Cost Surface, §2.5).
+#[derive(Debug, Clone)]
+pub struct Posp {
+    grid: Grid,
+    registry: PlanRegistry,
+    cell_plan: Vec<PlanId>,
+    cell_cost: Vec<f64>,
+}
+
+impl Posp {
+    /// Compile the POSP by optimizing at every grid location in parallel.
+    pub fn compile(optimizer: &Optimizer<'_>, grid: Grid) -> Posp {
+        let distinct: Mutex<HashMap<Fingerprint, PlanNode>> = Mutex::new(HashMap::new());
+        let per_cell: Vec<(Fingerprint, f64)> = grid
+            .cells()
+            .into_par_iter()
+            .map(|cell| {
+                let loc = grid.location(cell);
+                let planned = optimizer.optimize(&loc);
+                let fp = Fingerprint::of(&planned.plan);
+                {
+                    let mut map = distinct.lock();
+                    map.entry(fp).or_insert(planned.plan);
+                }
+                (fp, planned.cost)
+            })
+            .collect();
+
+        // deterministic plan ids: first-seen order by cell index
+        let mut plans = distinct.into_inner();
+        let mut registry = PlanRegistry::new();
+        let mut cell_plan = Vec::with_capacity(per_cell.len());
+        let mut cell_cost = Vec::with_capacity(per_cell.len());
+        let mut fp_to_id: HashMap<Fingerprint, PlanId> = HashMap::new();
+        for (fp, cost) in per_cell {
+            let id = *fp_to_id.entry(fp).or_insert_with(|| {
+                registry.insert(plans.remove(&fp).expect("plan recorded for fingerprint"))
+            });
+            cell_plan.push(id);
+            cell_cost.push(cost);
+        }
+        Posp { grid, registry, cell_plan, cell_cost }
+    }
+
+    /// Reassemble a POSP from snapshot parts (see `crate::snapshot`).
+    pub(crate) fn from_parts(
+        grid: Grid,
+        registry: PlanRegistry,
+        cell_plan: Vec<PlanId>,
+        cell_cost: Vec<f64>,
+    ) -> Posp {
+        Posp { grid, registry, cell_plan, cell_cost }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The plan registry.
+    pub fn registry(&self) -> &PlanRegistry {
+        &self.registry
+    }
+
+    /// Optimal cost `Cost(P_q, q)` at a cell.
+    pub fn cost(&self, cell: Cell) -> f64 {
+        self.cell_cost[cell]
+    }
+
+    /// Optimal plan id at a cell.
+    pub fn plan_id(&self, cell: Cell) -> PlanId {
+        self.cell_plan[cell]
+    }
+
+    /// The plan with the given id.
+    pub fn plan(&self, id: PlanId) -> &std::sync::Arc<PlanNode> {
+        self.registry.plan(id)
+    }
+
+    /// Minimum optimal cost over the grid (at the origin under PCM).
+    pub fn cmin(&self) -> f64 {
+        self.cell_cost.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum optimal cost over the grid (at the terminus under PCM).
+    pub fn cmax(&self) -> f64 {
+        self.cell_cost.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of distinct POSP plans.
+    pub fn num_plans(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Cost of an arbitrary registered plan at an arbitrary cell (used by
+    /// anorexic reduction, AlignedBound's replacement search, and the
+    /// native-optimizer baseline).
+    pub fn cost_of_plan_at(&self, optimizer: &Optimizer<'_>, id: PlanId, cell: Cell) -> f64 {
+        optimizer.cost_of(self.registry.plan(id), &self.grid.location(cell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::{Catalog, CatalogBuilder, Query, QueryBuilder, RelationBuilder};
+    use rqp_qplan::CostModel;
+
+    fn fixture() -> (Catalog, Query) {
+        let catalog = CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("part", 2_000_000)
+                    .indexed_column("p_partkey", 2_000_000, 8)
+                    .column("p_price", 50_000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("lineitem", 60_000_000)
+                    .indexed_column("l_partkey", 2_000_000, 8)
+                    .indexed_column("l_orderkey", 15_000_000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("orders", 15_000_000)
+                    .indexed_column("o_orderkey", 15_000_000, 8)
+                    .build(),
+            )
+            .build();
+        let query = QueryBuilder::new(&catalog, "EQ")
+            .table("part")
+            .table("lineitem")
+            .table("orders")
+            .epp_join("part", "p_partkey", "lineitem", "l_partkey")
+            .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
+            .filter("part", "p_price", 0.05)
+            .build();
+        (catalog, query)
+    }
+
+    #[test]
+    fn compiles_with_multiple_plans_and_monotone_costs() {
+        let (catalog, query) = fixture();
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        let grid = Grid::uniform(2, 12, 1e-6);
+        let posp = Posp::compile(&opt, grid);
+
+        assert!(posp.num_plans() >= 3, "expected plan diversity, got {}", posp.num_plans());
+        assert!(posp.cmin() > 0.0);
+        assert!(posp.cmax() / posp.cmin() > 4.0, "cost surface should span several doublings");
+        // PCM on the optimal surface: cost non-decreasing along each axis
+        let g = posp.grid();
+        for cell in g.cells() {
+            for d in 0..g.dims() {
+                if g.coord(cell, d) + 1 < g.res(d) {
+                    let mut coords = g.coords_of(cell);
+                    coords[d] += 1;
+                    let up = g.index(&coords);
+                    assert!(
+                        posp.cost(up) >= posp.cost(cell) * (1.0 - 1e-12),
+                        "optimal cost decreased along dim {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_costs_match_reoptimization() {
+        let (catalog, query) = fixture();
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        let grid = Grid::uniform(2, 6, 1e-5);
+        let posp = Posp::compile(&opt, grid);
+        for cell in [0usize, 7, 17, posp.grid().terminus()] {
+            let loc = posp.grid().location(cell);
+            let planned = opt.optimize(&loc);
+            assert!((planned.cost - posp.cost(cell)).abs() < 1e-9 * planned.cost);
+            // optimal plan cost at its own cell equals the recorded cost
+            let via_registry = posp.cost_of_plan_at(&opt, posp.plan_id(cell), cell);
+            assert!((via_registry - posp.cost(cell)).abs() < 1e-9 * planned.cost);
+        }
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let (catalog, query) = fixture();
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        let a = Posp::compile(&opt, Grid::uniform(2, 8, 1e-5));
+        let b = Posp::compile(&opt, Grid::uniform(2, 8, 1e-5));
+        assert_eq!(a.cell_plan, b.cell_plan);
+        assert_eq!(a.num_plans(), b.num_plans());
+    }
+}

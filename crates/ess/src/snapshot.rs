@@ -1,0 +1,156 @@
+//! Offline ESS compilation snapshots.
+//!
+//! Contour construction is the expensive preprocessing step of the whole
+//! approach ("for canned queries, it may be feasible to carry out an
+//! offline enumeration", §7). This module serializes a compiled
+//! [`Posp`] — grid, plan registry and the optimal plan/cost per cell — to
+//! JSON so canned queries pay the optimizer invocations once.
+
+use crate::contours::ContourSet;
+use crate::grid::Grid;
+use crate::posp::Posp;
+use crate::registry::{PlanId, PlanRegistry};
+use crate::Ess;
+use rqp_qplan::PlanNode;
+use serde::{Deserialize, Serialize};
+
+/// The serialized form of a compiled POSP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PospSnapshot {
+    /// The grid.
+    pub grid: Grid,
+    /// Distinct plans, indexed by `PlanId`.
+    pub plans: Vec<PlanNode>,
+    /// Optimal plan id per cell.
+    pub cell_plan: Vec<u32>,
+    /// Optimal cost per cell.
+    pub cell_cost: Vec<f64>,
+    /// Contour cost ratio the snapshot was built with.
+    pub contour_ratio: f64,
+}
+
+impl PospSnapshot {
+    /// Capture a compiled ESS.
+    pub fn capture(ess: &Ess) -> PospSnapshot {
+        let posp = &ess.posp;
+        PospSnapshot {
+            grid: posp.grid().clone(),
+            plans: posp.registry().iter().map(|(_, p)| (**p).clone()).collect(),
+            cell_plan: posp.grid().cells().map(|c| posp.plan_id(c).0).collect(),
+            cell_cost: posp.grid().cells().map(|c| posp.cost(c)).collect(),
+            contour_ratio: ess.contours.ratio,
+        }
+    }
+
+    /// Restore the ESS (POSP + contours) from the snapshot.
+    ///
+    /// # Errors
+    /// Returns a message if the snapshot is internally inconsistent.
+    pub fn restore(self) -> Result<Ess, String> {
+        let cells = self.grid.num_cells();
+        if self.cell_plan.len() != cells || self.cell_cost.len() != cells {
+            return Err(format!(
+                "snapshot cell arrays ({} / {}) do not match grid ({cells})",
+                self.cell_plan.len(),
+                self.cell_cost.len()
+            ));
+        }
+        if self.contour_ratio <= 1.0 {
+            return Err(format!("invalid contour ratio {}", self.contour_ratio));
+        }
+        let mut registry = PlanRegistry::new();
+        for (i, plan) in self.plans.iter().enumerate() {
+            let id = registry.insert(plan.clone());
+            if id != PlanId(i as u32) {
+                return Err(format!("duplicate plan at snapshot index {i}"));
+            }
+        }
+        let nplans = registry.len() as u32;
+        let mut cell_plan = Vec::with_capacity(cells);
+        for (&id, &cost) in self.cell_plan.iter().zip(&self.cell_cost) {
+            if id >= nplans {
+                return Err(format!("cell references unknown plan P{}", id + 1));
+            }
+            if !cost.is_finite() || cost <= 0.0 {
+                return Err(format!("invalid cell cost {cost}"));
+            }
+            cell_plan.push(PlanId(id));
+        }
+        let posp = Posp::from_parts(self.grid, registry, cell_plan, self.cell_cost);
+        let contours = ContourSet::build(&posp, self.contour_ratio);
+        Ok(Ess { posp, contours })
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Deserialize from JSON.
+    ///
+    /// # Errors
+    /// Returns a message on malformed JSON or inconsistent contents.
+    pub fn from_json(json: &str) -> Result<PospSnapshot, String> {
+        serde_json::from_str(json).map_err(|e| format!("bad snapshot JSON: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EssConfig;
+    use rqp_catalog::{CatalogBuilder, QueryBuilder, RelationBuilder};
+    use rqp_optimizer::Optimizer;
+    use rqp_qplan::CostModel;
+
+    fn compiled() -> Ess {
+        let catalog = CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("a", 1_000_000).indexed_column("k", 1_000_000, 8).build(),
+            )
+            .relation(
+                RelationBuilder::new("b", 9_000_000).indexed_column("k", 1_000_000, 8).build(),
+            )
+            .build();
+        let query = QueryBuilder::new(&catalog, "t")
+            .table("a")
+            .table("b")
+            .epp_join("a", "k", "b", "k")
+            .build();
+        // leak: the test Ess must own nothing borrowed
+        let catalog: &'static _ = Box::leak(Box::new(catalog));
+        let query: &'static _ = Box::leak(Box::new(query));
+        let opt = Optimizer::new(catalog, query, CostModel::default());
+        Ess::compile(&opt, EssConfig { resolution: 12, ..Default::default() })
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ess = compiled();
+        let snap = PospSnapshot::capture(&ess);
+        let json = snap.to_json();
+        let restored = PospSnapshot::from_json(&json).unwrap().restore().unwrap();
+        assert_eq!(restored.grid().num_cells(), ess.grid().num_cells());
+        assert_eq!(restored.posp.num_plans(), ess.posp.num_plans());
+        assert_eq!(restored.contours.num_bands(), ess.contours.num_bands());
+        for cell in ess.grid().cells() {
+            assert_eq!(restored.posp.plan_id(cell), ess.posp.plan_id(cell));
+            assert_eq!(restored.posp.cost(cell), ess.posp.cost(cell));
+            assert_eq!(restored.contours.band_of(cell), ess.contours.band_of(cell));
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected() {
+        let ess = compiled();
+        let mut snap = PospSnapshot::capture(&ess);
+        snap.cell_cost[0] = -1.0;
+        assert!(snap.clone().restore().unwrap_err().contains("invalid cell cost"));
+        snap.cell_cost[0] = 1.0;
+        snap.cell_plan[0] = 999;
+        assert!(snap.clone().restore().unwrap_err().contains("unknown plan"));
+        snap.cell_plan.pop();
+        assert!(snap.restore().unwrap_err().contains("do not match grid"));
+        assert!(PospSnapshot::from_json("{oops").unwrap_err().contains("bad snapshot JSON"));
+    }
+}

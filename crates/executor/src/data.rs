@@ -1,0 +1,316 @@
+//! Synthetic table generation with controlled join selectivities.
+//!
+//! The cost-model simulation is the paper's own evaluation currency, but a
+//! credible engine must also *run*: this module generates miniature table
+//! instances whose actual predicate selectivities equal an injected ESS
+//! location, so the row-level executor in [`crate::rowexec`] can validate
+//! plan semantics, cardinality propagation and spill-mode selectivity
+//! monitoring against real tuples.
+//!
+//! Generation model: every column is uniform over a per-column integer
+//! domain. Two uniform columns sharing a domain of size `N` join with
+//! selectivity `1/N` (the System-R rule holds exactly in expectation), so
+//! an epp's target selectivity `s` is induced by giving both its endpoint
+//! columns the domain `round(1/s)`. A filter of selectivity `s` on a column
+//! with domain `N` becomes the predicate `value < s·N`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rqp_catalog::{Catalog, ColRef, Query, RelId, SelVector};
+use std::collections::HashMap;
+
+/// A generated table: column-major `u64` data plus per-column domains.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column values, `columns[c][r]` = row `r` of column `c`.
+    pub columns: Vec<Vec<u64>>,
+    /// Per-column domain size (values are uniform in `0..domain`).
+    pub domains: Vec<u64>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+}
+
+/// A generated database instance for one query: tables for every query
+/// relation, scaled down to at most `max_rows` rows each, with actual epp
+/// selectivities equal to `target` (in expectation).
+#[derive(Debug, Clone)]
+pub struct DataSet {
+    tables: HashMap<RelId, Table>,
+    /// Scaled row count per relation.
+    scaled_rows: HashMap<RelId, usize>,
+    /// The *true* selectivity of every filter predicate on this instance
+    /// (the injected target for epp filters, the recorded estimate
+    /// otherwise).
+    filter_sels: HashMap<rqp_catalog::PredId, f64>,
+}
+
+impl DataSet {
+    /// Generate an instance for `query` with the epp selectivities of
+    /// `target`. Tables are scaled so the largest has `max_rows` rows
+    /// (relative sizes are preserved on a log scale).
+    pub fn generate(
+        catalog: &Catalog,
+        query: &Query,
+        target: &SelVector,
+        max_rows: usize,
+        seed: u64,
+    ) -> DataSet {
+        assert_eq!(target.dims(), query.dims());
+        assert!(max_rows >= 16, "need at least 16 rows");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // scale factor: preserve size ratios on a log scale so dimension
+        // tables stay smaller than fact tables without exploding row counts
+        let max_real =
+            query.relations.iter().map(|&r| catalog.relation(r).rows).max().unwrap_or(1).max(1);
+        let scale = |rows: u64| -> usize {
+            let frac = ((rows.max(1) as f64).ln() / (max_real as f64).ln()).clamp(0.0, 1.0);
+            ((max_rows as f64).powf(frac).round() as usize).clamp(4, max_rows)
+        };
+
+        // per-column domain: epp join endpoints get round(1/s); non-epp join
+        // endpoints share the estimator's implied domain; everything else
+        // keeps its catalog NDV (capped by the scaled row count)
+        let mut domains: HashMap<ColRef, u64> = HashMap::new();
+        for j in &query.joins {
+            let d = match query.epp_dim(j.id) {
+                Some(dim) => (1.0 / target.get(dim.0).value()).round().max(1.0) as u64,
+                None => {
+                    let ndv_l = catalog.relation(j.left.rel).columns[j.left.col].ndv;
+                    let ndv_r = catalog.relation(j.right.rel).columns[j.right.col].ndv;
+                    // cap so scaled tables still produce matches
+                    ndv_l.max(ndv_r).min(scale(max_real) as u64 * 4).max(1)
+                }
+            };
+            domains.insert(j.left, d);
+            domains.insert(j.right, d);
+        }
+
+        let mut filter_sels = HashMap::new();
+        for f in &query.filters {
+            let s = match query.epp_dim(f.id) {
+                Some(dim) => target.get(dim.0).value(),
+                None => f.selectivity,
+            };
+            filter_sels.insert(f.id, s);
+        }
+
+        let mut tables = HashMap::new();
+        let mut scaled_rows = HashMap::new();
+        for &rel_id in &query.relations {
+            let rel = catalog.relation(rel_id);
+            let n = scale(rel.rows);
+            scaled_rows.insert(rel_id, n);
+            let mut columns = Vec::with_capacity(rel.columns.len());
+            let mut col_domains = Vec::with_capacity(rel.columns.len());
+            for (c, col) in rel.columns.iter().enumerate() {
+                let domain = domains
+                    .get(&ColRef::new(rel_id, c))
+                    .copied()
+                    .unwrap_or_else(|| col.ndv.min(n as u64 * 4).max(1));
+                let data: Vec<u64> = if col.skew > 0.0 {
+                    let sampler = ZipfSampler::new(domain, col.skew);
+                    (0..n).map(|_| sampler.sample(&mut rng)).collect()
+                } else {
+                    (0..n).map(|_| rng.gen_range(0..domain)).collect()
+                };
+                columns.push(data);
+                col_domains.push(domain);
+            }
+            tables.insert(rel_id, Table { columns, domains: col_domains });
+        }
+        DataSet { tables, scaled_rows, filter_sels }
+    }
+
+    /// The table generated for a relation.
+    ///
+    /// # Panics
+    /// Panics if the relation is not part of the generated query.
+    pub fn table(&self, rel: RelId) -> &Table {
+        self.tables.get(&rel).unwrap_or_else(|| panic!("no table generated for {rel}"))
+    }
+
+    /// The scaled row count of a relation.
+    pub fn rows(&self, rel: RelId) -> usize {
+        self.scaled_rows[&rel]
+    }
+
+    /// The filter threshold realizing a filter predicate's selectivity on
+    /// this instance: `value < threshold`.
+    pub fn filter_threshold(&self, col: ColRef, selectivity: f64) -> u64 {
+        let domain = self.table(col.rel).domains[col.col];
+        (selectivity * domain as f64).round() as u64
+    }
+
+    /// The true selectivity of a filter predicate on this instance.
+    pub fn filter_sel(&self, pred: rqp_catalog::PredId) -> f64 {
+        self.filter_sels[&pred]
+    }
+}
+
+/// Inverse-CDF zipf sampler over `0..domain` (table capped at 65 536
+/// entries; larger domains fold the tail into the last bucket, which is
+/// immaterial at the scaled instance sizes used here).
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(domain: u64, theta: f64) -> ZipfSampler {
+        let k = domain.clamp(1, 65_536) as usize;
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for i in 1..=k {
+            acc += (i as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::{CatalogBuilder, QueryBuilder, RelationBuilder};
+
+    fn fixture() -> (Catalog, Query) {
+        let catalog = CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("a", 1_000_000)
+                    .indexed_column("k", 1_000_000, 8)
+                    .column("v", 100, 4)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("b", 10_000_000)
+                    .indexed_column("k", 1_000_000, 8)
+                    .build(),
+            )
+            .build();
+        let query = QueryBuilder::new(&catalog, "t")
+            .table("a")
+            .table("b")
+            .epp_join("a", "k", "b", "k")
+            .filter("a", "v", 0.3)
+            .build();
+        (catalog, query)
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_scaled() {
+        let (catalog, query) = fixture();
+        let target = SelVector::from_values(&[0.01]);
+        let d1 = DataSet::generate(&catalog, &query, &target, 1000, 7);
+        let d2 = DataSet::generate(&catalog, &query, &target, 1000, 7);
+        let a = catalog.find_relation("a").unwrap();
+        let b = catalog.find_relation("b").unwrap();
+        assert_eq!(d1.table(a).columns, d2.table(a).columns);
+        assert_eq!(d1.rows(b), 1000, "largest table gets max_rows");
+        assert!(d1.rows(a) < d1.rows(b), "size order preserved");
+        assert!(d1.rows(a) >= 4);
+    }
+
+    #[test]
+    fn epp_join_selectivity_matches_target() {
+        let (catalog, query) = fixture();
+        let a = catalog.find_relation("a").unwrap();
+        let b = catalog.find_relation("b").unwrap();
+        for &s in &[0.05f64, 0.01] {
+            let target = SelVector::from_values(&[s]);
+            let d = DataSet::generate(&catalog, &query, &target, 2000, 42);
+            // count matching pairs by brute force
+            let (ta, tb) = (d.table(a), d.table(b));
+            let mut matches = 0usize;
+            for &x in &ta.columns[0] {
+                matches += tb.columns[0].iter().filter(|&&y| y == x).count();
+            }
+            let actual = matches as f64 / (ta.rows() as f64 * tb.rows() as f64);
+            assert!(
+                (actual - s).abs() < s * 0.5 + 1e-4,
+                "target {s}, actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_threshold_tracks_selectivity() {
+        let (catalog, query) = fixture();
+        let target = SelVector::from_values(&[0.01]);
+        let d = DataSet::generate(&catalog, &query, &target, 500, 1);
+        let a = catalog.find_relation("a").unwrap();
+        let col = query.filters[0].col;
+        let thr = d.filter_threshold(col, 0.3);
+        let t = d.table(a);
+        let kept = t.columns[col.col].iter().filter(|&&v| v < thr).count();
+        let frac = kept as f64 / t.rows() as f64;
+        assert!((frac - 0.3).abs() < 0.15, "filter fraction {frac} far from 0.3");
+    }
+
+    #[test]
+    fn skewed_columns_match_the_analytic_join_selectivity() {
+        // two zipf(1.0) join columns over a shared domain: the measured
+        // match rate should track H(2θ)/H(θ)², far above the uniform 1/N
+        let catalog = CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("l", 300_000)
+                    .skewed_column("k", 500, 8, 1.0)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("r", 300_000)
+                    .skewed_column("k", 500, 8, 1.0)
+                    .build(),
+            )
+            .build();
+        let query = QueryBuilder::new(&catalog, "skewed")
+            .table("l")
+            .table("r")
+            .join("l", "k", "r", "k")
+            .build();
+        let d = DataSet::generate(&catalog, &query, &SelVector::from_values(&[]), 3000, 99);
+        let (tl, tr) = (
+            d.table(catalog.find_relation("l").unwrap()),
+            d.table(catalog.find_relation("r").unwrap()),
+        );
+        let mut counts = std::collections::HashMap::new();
+        for &v in &tr.columns[0] {
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        let matches: usize =
+            tl.columns[0].iter().map(|v| counts.get(v).copied().unwrap_or(0)).sum();
+        let measured = matches as f64 / (tl.rows() as f64 * tr.rows() as f64);
+        let n = tl.domains[0];
+        let analytic = rqp_catalog::estimate::zipf_join_selectivity(n, 1.0);
+        let uniform = 1.0 / n as f64;
+        assert!(measured > uniform * 5.0, "skew must inflate selectivity: {measured}");
+        assert!(
+            (measured / analytic).ln().abs() < (2.0f64).ln(),
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no table generated")]
+    fn missing_table_panics() {
+        let (catalog, query) = fixture();
+        let target = SelVector::from_values(&[0.01]);
+        let d = DataSet::generate(&catalog, &query, &target, 100, 1);
+        d.table(RelId(99));
+    }
+}

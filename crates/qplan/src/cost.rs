@@ -1,0 +1,553 @@
+//! The cost model: classical I/O + CPU formulas with selectivity injection.
+//!
+//! Every cost is a pure function of (plan, catalog, query, ESS location), so
+//! any plan can be costed at any hypothetical location — the primitive that
+//! POSP compilation, iso-cost contours and budgeted execution simulation are
+//! all built on.
+//!
+//! **Plan Cost Monotonicity.** Each operator's cost is a sum of terms that
+//! are non-decreasing in its input cardinalities and output cardinality, and
+//! cardinalities are products of base cardinalities and selectivities; hence
+//! the total cost is non-decreasing in every injected selectivity (verified
+//! by property tests at the bottom of this file and in `rqp-ess`).
+
+use crate::ops::PlanNode;
+use rqp_catalog::{Catalog, PredId, Query, SelVector};
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the cost model, in the spirit of PostgreSQL's
+/// `seq_page_cost`-family settings. The defaults produce plan diagrams with
+/// the qualitative structure the paper relies on: index nested-loops win at
+/// low selectivities, hash joins at high ones, with sort-merge competitive
+/// in between.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Cost of a sequentially-fetched page.
+    pub seq_page: f64,
+    /// Cost of a randomly-fetched page.
+    pub rand_page: f64,
+    /// CPU cost of processing one tuple.
+    pub cpu_tuple: f64,
+    /// CPU cost of one index-structure traversal step.
+    pub cpu_index: f64,
+    /// CPU cost of one operator/comparison evaluation.
+    pub cpu_oper: f64,
+    /// Working memory in pages; larger builds/sorts pay external passes.
+    pub mem_pages: f64,
+    /// B-tree fanout used to derive index heights.
+    pub btree_fanout: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            seq_page: 1.0,
+            rand_page: 4.0,
+            cpu_tuple: 0.01,
+            cpu_index: 0.005,
+            cpu_oper: 0.0025,
+            mem_pages: 16_384.0, // 128 MiB of 8 KiB pages
+            btree_fanout: 300.0,
+        }
+    }
+}
+
+/// Output properties of a (sub)plan at a given ESS location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanProps {
+    /// Estimated output cardinality.
+    pub rows: f64,
+    /// Estimated output tuple width in bytes.
+    pub width: f64,
+}
+
+impl PlanProps {
+    /// Pages occupied if the output were materialized.
+    pub fn pages(&self) -> f64 {
+        (self.rows * self.width / rqp_catalog::stats::PAGE_SIZE as f64).max(1.0)
+    }
+}
+
+/// Costing context: a query, its catalog, and an injected ESS location.
+///
+/// Selectivity resolution (`sel`):
+/// * predicate is an epp → the location's coordinate for its dimension;
+/// * non-epp equi-join → the System-R `1/max(ndv)` value (treated as exact
+///   for non-error-prone predicates);
+/// * non-epp filter → the selectivity recorded in the query.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanCtx<'a> {
+    /// The catalog supplying statistics.
+    pub catalog: &'a Catalog,
+    /// The query being planned.
+    pub query: &'a Query,
+    /// The injected ESS location.
+    pub loc: &'a SelVector,
+}
+
+impl<'a> PlanCtx<'a> {
+    /// Create a context.
+    ///
+    /// # Panics
+    /// Panics (debug) if the location dimensionality differs from the
+    /// query's epp count.
+    pub fn new(catalog: &'a Catalog, query: &'a Query, loc: &'a SelVector) -> Self {
+        debug_assert_eq!(query.dims(), loc.dims(), "location dims must equal query epp count");
+        PlanCtx { catalog, query, loc }
+    }
+
+    /// Resolve the selectivity of any predicate of the query under this
+    /// context's injected location.
+    pub fn sel(&self, pred: PredId) -> f64 {
+        if let Some(dim) = self.query.epp_dim(pred) {
+            return self.loc.get(dim.0).value();
+        }
+        if let Some(j) = self.query.join(pred) {
+            let ndv_l = self.catalog.relation(j.left.rel).columns[j.left.col].ndv;
+            let ndv_r = self.catalog.relation(j.right.rel).columns[j.right.col].ndv;
+            return 1.0 / ndv_l.max(ndv_r) as f64;
+        }
+        if let Some(f) = self.query.filter(pred) {
+            return f.selectivity;
+        }
+        panic!("predicate {pred} not part of query {}", self.query.name)
+    }
+
+    fn sel_product(&self, preds: &[PredId]) -> f64 {
+        preds.iter().map(|&p| self.sel(p)).product()
+    }
+}
+
+/// The cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Model constants.
+    pub params: CostParams,
+}
+
+impl CostModel {
+    /// A model with the given constants.
+    pub fn new(params: CostParams) -> Self {
+        CostModel { params }
+    }
+
+    /// Height of the B-tree index on a relation of `rows` tuples.
+    fn btree_height(&self, rows: f64) -> f64 {
+        (rows.max(2.0).ln() / self.params.btree_fanout.ln()).ceil().max(1.0)
+    }
+
+    /// Total cost of executing `plan` under `ctx`.
+    pub fn cost(&self, plan: &PlanNode, ctx: &PlanCtx<'_>) -> f64 {
+        self.cost_with_props(plan, ctx).0
+    }
+
+    // ---- incremental operator helpers -----------------------------------
+    //
+    // The DP optimizer costs thousands of candidate joins per invocation;
+    // these helpers compute an operator's (cost, props) from its children's
+    // (cost, props) in O(1). `cost_with_props` delegates to them, so the
+    // recursive and incremental paths cannot diverge.
+
+    /// Cost of a sequential scan of relation `rel` applying `n_filters`
+    /// filters whose combined selectivity is `filter_sel`.
+    pub fn seq_scan_cost(
+        &self,
+        rel: &rqp_catalog::Relation,
+        filter_sel: f64,
+        n_filters: usize,
+    ) -> (f64, PlanProps) {
+        let p = &self.params;
+        let rows_in = rel.rows as f64;
+        let cost = rel.pages() as f64 * p.seq_page
+            + rows_in * p.cpu_tuple
+            + rows_in * n_filters as f64 * p.cpu_oper;
+        (cost, PlanProps { rows: rows_in * filter_sel, width: rel.tuple_width() as f64 })
+    }
+
+    /// Cost of an index scan of `rel` driven by a sarg of selectivity
+    /// `sarg_sel`, with `n_residual` residual filters of combined
+    /// selectivity `residual_sel`.
+    pub fn index_scan_cost(
+        &self,
+        rel: &rqp_catalog::Relation,
+        sarg_sel: f64,
+        residual_sel: f64,
+        n_residual: usize,
+    ) -> (f64, PlanProps) {
+        let p = &self.params;
+        let rows_in = rel.rows as f64;
+        let fetched = rows_in * sarg_sel;
+        let cost = self.btree_height(rows_in) * p.rand_page
+            + fetched.min(rel.pages() as f64) * p.rand_page
+            + fetched * (p.cpu_index + p.cpu_tuple)
+            + fetched * n_residual as f64 * p.cpu_oper;
+        (cost, PlanProps { rows: fetched * residual_sel, width: rel.tuple_width() as f64 })
+    }
+
+    /// Cost of sorting an input.
+    pub fn sort_cost(&self, input: (f64, PlanProps)) -> (f64, PlanProps) {
+        let p = &self.params;
+        let (c_in, props) = input;
+        let n = props.rows.max(1.0);
+        let mut cost = c_in + n * n.max(2.0).log2() * p.cpu_oper;
+        let pages = props.pages();
+        if pages > p.mem_pages {
+            cost += 2.0 * pages * p.seq_page;
+        }
+        (cost, props)
+    }
+
+    /// Cost of hash-aggregating an input into at most `group_cap` groups
+    /// (the product of the grouping columns' NDVs).
+    pub fn hash_aggregate_cost(&self, input: (f64, PlanProps), group_cap: f64) -> (f64, PlanProps) {
+        let p = &self.params;
+        let (c_in, props) = input;
+        let groups = props.rows.min(group_cap.max(1.0));
+        let out = PlanProps { rows: groups, width: props.width };
+        let mut cost = c_in + props.rows * (p.cpu_tuple + p.cpu_oper) + groups * p.cpu_tuple;
+        let table_pages = out.pages();
+        if table_pages > p.mem_pages {
+            // spill the hash table once
+            cost += 2.0 * table_pages * p.seq_page;
+        }
+        (cost, out)
+    }
+
+    /// Cost of streaming aggregation over an input already sorted on the
+    /// grouping columns.
+    pub fn sort_aggregate_cost(&self, input: (f64, PlanProps), group_cap: f64) -> (f64, PlanProps) {
+        let p = &self.params;
+        let (c_in, props) = input;
+        let groups = props.rows.min(group_cap.max(1.0));
+        let cost = c_in + props.rows * p.cpu_oper + groups * p.cpu_tuple;
+        (cost, PlanProps { rows: groups, width: props.width })
+    }
+
+    /// Cost of a hash join given build/probe inputs and the combined join
+    /// selectivity.
+    pub fn hash_join_cost(
+        &self,
+        build: (f64, PlanProps),
+        probe: (f64, PlanProps),
+        join_sel: f64,
+    ) -> (f64, PlanProps) {
+        let p = &self.params;
+        let (cb, pb) = build;
+        let (cp, pp) = probe;
+        let out = pb.rows * pp.rows * join_sel;
+        let mut cost = cb
+            + cp
+            + pb.rows * (p.cpu_tuple + p.cpu_oper)
+            + pp.rows * (p.cpu_tuple + p.cpu_oper)
+            + out * p.cpu_tuple;
+        if pb.pages() > p.mem_pages {
+            cost += 2.0 * (pb.pages() + pp.pages()) * p.seq_page;
+        }
+        (cost, PlanProps { rows: out, width: pb.width + pp.width })
+    }
+
+    /// Cost of merging two *already sorted* inputs.
+    pub fn merge_join_cost(
+        &self,
+        left: (f64, PlanProps),
+        right: (f64, PlanProps),
+        join_sel: f64,
+    ) -> (f64, PlanProps) {
+        let p = &self.params;
+        let (cl, pl) = left;
+        let (cr, pr) = right;
+        let out = pl.rows * pr.rows * join_sel;
+        let cost = cl + cr + (pl.rows + pr.rows) * p.cpu_oper + out * p.cpu_tuple;
+        (cost, PlanProps { rows: out, width: pl.width + pr.width })
+    }
+
+    /// Cost of a (materialized-inner) nested-loop join.
+    pub fn nest_loop_cost(
+        &self,
+        outer: (f64, PlanProps),
+        inner: (f64, PlanProps),
+        join_sel: f64,
+    ) -> (f64, PlanProps) {
+        let p = &self.params;
+        let (co, po) = outer;
+        let (ci, pi) = inner;
+        let out = po.rows * pi.rows * join_sel;
+        let cost = co
+            + ci
+            + pi.pages() * p.seq_page
+            + po.rows * pi.rows * p.cpu_oper
+            + out * p.cpu_tuple;
+        (cost, PlanProps { rows: out, width: po.width + pi.width })
+    }
+
+    /// Cost of an index nested-loop join probing `inner_rel` with a lookup
+    /// predicate of selectivity `lookup_sel`; `residual_sel` is the combined
+    /// selectivity of the `n_residual` residual join predicates and inner
+    /// filters.
+    pub fn index_nest_loop_cost(
+        &self,
+        outer: (f64, PlanProps),
+        inner_rel: &rqp_catalog::Relation,
+        lookup_sel: f64,
+        residual_sel: f64,
+        n_residual: usize,
+    ) -> (f64, PlanProps) {
+        let p = &self.params;
+        let (co, po) = outer;
+        let inner_rows = inner_rel.rows as f64;
+        let matches_total = po.rows * inner_rows * lookup_sel;
+        let out = matches_total * residual_sel;
+        // per probe: one leaf fetch (upper levels assumed cached) plus a CPU
+        // descent; matches of one key are clustered, so heap fetches
+        // amortize over the tuples sharing a page
+        let rows_per_page =
+            (rqp_catalog::stats::PAGE_SIZE as f64 / inner_rel.tuple_width() as f64).max(1.0);
+        let cost = co
+            + po.rows * (p.rand_page + self.btree_height(inner_rows) * p.cpu_index)
+            + (matches_total / rows_per_page) * p.rand_page
+            + matches_total * p.cpu_tuple
+            + matches_total * n_residual as f64 * p.cpu_oper
+            + out * p.cpu_tuple;
+        (cost, PlanProps { rows: out, width: po.width + inner_rel.tuple_width() as f64 })
+    }
+
+    /// Total cost plus output properties.
+    pub fn cost_with_props(&self, plan: &PlanNode, ctx: &PlanCtx<'_>) -> (f64, PlanProps) {
+        match plan {
+            PlanNode::SeqScan { rel, filters } => {
+                self.seq_scan_cost(ctx.catalog.relation(*rel), ctx.sel_product(filters), filters.len())
+            }
+            PlanNode::IndexScan { rel, sarg, filters } => self.index_scan_cost(
+                ctx.catalog.relation(*rel),
+                ctx.sel(*sarg),
+                ctx.sel_product(filters),
+                filters.len(),
+            ),
+            PlanNode::Sort { input } => self.sort_cost(self.cost_with_props(input, ctx)),
+            PlanNode::HashAggregate { input, groups } => self.hash_aggregate_cost(
+                self.cost_with_props(input, ctx),
+                group_ndv_cap(ctx, groups),
+            ),
+            PlanNode::SortAggregate { input, groups } => self.sort_aggregate_cost(
+                self.cost_with_props(input, ctx),
+                group_ndv_cap(ctx, groups),
+            ),
+            PlanNode::HashJoin { build, probe, preds } => self.hash_join_cost(
+                self.cost_with_props(build, ctx),
+                self.cost_with_props(probe, ctx),
+                ctx.sel_product(preds),
+            ),
+            PlanNode::MergeJoin { left, right, preds } => self.merge_join_cost(
+                self.cost_with_props(left, ctx),
+                self.cost_with_props(right, ctx),
+                ctx.sel_product(preds),
+            ),
+            PlanNode::NestLoop { outer, inner, preds } => self.nest_loop_cost(
+                self.cost_with_props(outer, ctx),
+                self.cost_with_props(inner, ctx),
+                ctx.sel_product(preds),
+            ),
+            PlanNode::IndexNestLoop { outer, inner_rel, lookup, preds, inner_filters } => {
+                let residual_sel = ctx.sel_product(inner_filters) * ctx.sel_product(preds);
+                self.index_nest_loop_cost(
+                    self.cost_with_props(outer, ctx),
+                    ctx.catalog.relation(*inner_rel),
+                    ctx.sel(*lookup),
+                    residual_sel,
+                    inner_filters.len() + preds.len(),
+                )
+            }
+        }
+    }
+}
+
+/// Upper bound on the number of groups: the product of the grouping
+/// columns' distinct-value counts.
+fn group_ndv_cap(ctx: &PlanCtx<'_>, groups: &[rqp_catalog::ColRef]) -> f64 {
+    groups
+        .iter()
+        .map(|g| ctx.catalog.relation(g.rel).columns[g.col].ndv as f64)
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::{CatalogBuilder, QueryBuilder, RelationBuilder};
+
+    fn fixture() -> (Catalog, Query) {
+        let catalog = CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("part", 2_000_000)
+                    .indexed_column("p_partkey", 2_000_000, 8)
+                    .column("p_price", 50_000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("lineitem", 60_000_000)
+                    .indexed_column("l_partkey", 2_000_000, 8)
+                    .indexed_column("l_orderkey", 15_000_000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("orders", 15_000_000)
+                    .indexed_column("o_orderkey", 15_000_000, 8)
+                    .build(),
+            )
+            .build();
+        let query = QueryBuilder::new(&catalog, "EQ")
+            .table("part")
+            .table("lineitem")
+            .table("orders")
+            .epp_join("part", "p_partkey", "lineitem", "l_partkey")
+            .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
+            .filter("part", "p_price", 0.05)
+            .build();
+        (catalog, query)
+    }
+
+    fn seq(catalog: &Catalog, name: &str, filters: Vec<PredId>) -> PlanNode {
+        PlanNode::SeqScan { rel: catalog.find_relation(name).unwrap(), filters }
+    }
+
+    fn two_join_plan(catalog: &Catalog, query: &Query) -> PlanNode {
+        let j_pl = query.epps[0];
+        let j_ol = query.epps[1];
+        let filter = query.filters[0].id;
+        PlanNode::HashJoin {
+            build: Box::new(PlanNode::HashJoin {
+                build: Box::new(seq(catalog, "part", vec![filter])),
+                probe: Box::new(seq(catalog, "lineitem", vec![])),
+                preds: vec![j_pl],
+            }),
+            probe: Box::new(seq(catalog, "orders", vec![])),
+            preds: vec![j_ol],
+        }
+    }
+
+    #[test]
+    fn costs_are_positive_and_finite() {
+        let (catalog, query) = fixture();
+        let plan = two_join_plan(&catalog, &query);
+        let model = CostModel::default();
+        for loc in [
+            SelVector::from_values(&[1e-6, 1e-6]),
+            SelVector::from_values(&[0.5, 0.5]),
+            SelVector::from_values(&[1.0, 1.0]),
+        ] {
+            let ctx = PlanCtx::new(&catalog, &query, &loc);
+            let (c, props) = model.cost_with_props(&plan, &ctx);
+            assert!(c.is_finite() && c > 0.0);
+            assert!(props.rows >= 0.0);
+            assert!(props.width > 0.0);
+        }
+    }
+
+    #[test]
+    fn pcm_holds_along_each_dimension() {
+        let (catalog, query) = fixture();
+        let plan = two_join_plan(&catalog, &query);
+        let model = CostModel::default();
+        let mut prev = 0.0;
+        for i in 0..20 {
+            let s = 10f64.powf(-6.0 + 6.0 * i as f64 / 19.0);
+            let loc = SelVector::from_values(&[s, 1e-4]);
+            let ctx = PlanCtx::new(&catalog, &query, &loc);
+            let c = model.cost(&plan, &ctx);
+            assert!(c >= prev, "PCM violated at step {i}: {c} < {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn index_nest_loop_beats_hash_join_at_tiny_selectivity() {
+        let (catalog, query) = fixture();
+        let model = CostModel::default();
+        let j_pl = query.epps[0];
+        let filter = query.filters[0].id;
+        let hj = PlanNode::HashJoin {
+            build: Box::new(seq(&catalog, "part", vec![filter])),
+            probe: Box::new(seq(&catalog, "lineitem", vec![])),
+            preds: vec![j_pl],
+        };
+        let inl = PlanNode::IndexNestLoop {
+            outer: Box::new(seq(&catalog, "part", vec![filter])),
+            inner_rel: catalog.find_relation("lineitem").unwrap(),
+            lookup: j_pl,
+            preds: vec![],
+            inner_filters: vec![],
+        };
+        let lo = SelVector::from_values(&[1e-8, 1e-8]);
+        let hi = SelVector::from_values(&[0.9, 1e-8]);
+        let ctx_lo = PlanCtx::new(&catalog, &query, &lo);
+        let ctx_hi = PlanCtx::new(&catalog, &query, &hi);
+        assert!(
+            model.cost(&inl, &ctx_lo) < model.cost(&hj, &ctx_lo),
+            "index NL should win at tiny selectivity"
+        );
+        assert!(
+            model.cost(&hj, &ctx_hi) < model.cost(&inl, &ctx_hi),
+            "hash join should win at large selectivity"
+        );
+    }
+
+    #[test]
+    fn sel_resolution_covers_all_predicate_kinds() {
+        let (catalog, query) = fixture();
+        let loc = SelVector::from_values(&[0.25, 0.75]);
+        let ctx = PlanCtx::new(&catalog, &query, &loc);
+        assert_eq!(ctx.sel(query.epps[0]), 0.25);
+        assert_eq!(ctx.sel(query.epps[1]), 0.75);
+        assert_eq!(ctx.sel(query.filters[0].id), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of query")]
+    fn unknown_predicate_selectivity_panics() {
+        let (catalog, query) = fixture();
+        let loc = SelVector::from_values(&[0.5, 0.5]);
+        let ctx = PlanCtx::new(&catalog, &query, &loc);
+        ctx.sel(PredId(99));
+    }
+
+    #[test]
+    fn sort_adds_external_pass_above_memory() {
+        let (catalog, query) = fixture();
+        let model = CostModel::default();
+        let loc = SelVector::from_values(&[1e-8, 1e-8]);
+        let ctx = PlanCtx::new(&catalog, &query, &loc);
+        let small = PlanNode::Sort { input: Box::new(seq(&catalog, "part", vec![])) };
+        let large = PlanNode::Sort { input: Box::new(seq(&catalog, "lineitem", vec![])) };
+        let (c_small, p_small) = model.cost_with_props(&small, &ctx);
+        let (c_large, p_large) = model.cost_with_props(&large, &ctx);
+        assert!(p_large.pages() > model.params.mem_pages);
+        // the large sort pays the extra I/O pass on top of its scan cost
+        let scan_large = model.cost(&seq(&catalog, "lineitem", vec![]), &ctx);
+        let scan_small = model.cost(&seq(&catalog, "part", vec![]), &ctx);
+        assert!((c_large - scan_large) > (c_small - scan_small) * 10.0);
+        assert!(p_small.pages() > 0.0);
+    }
+
+    #[test]
+    fn hash_join_children_commute_in_output_but_not_cost() {
+        let (catalog, query) = fixture();
+        let model = CostModel::default();
+        let loc = SelVector::from_values(&[1e-4, 1e-4]);
+        let ctx = PlanCtx::new(&catalog, &query, &loc);
+        let j = query.epps[0];
+        let a = PlanNode::HashJoin {
+            build: Box::new(seq(&catalog, "part", vec![])),
+            probe: Box::new(seq(&catalog, "lineitem", vec![])),
+            preds: vec![j],
+        };
+        let b = PlanNode::HashJoin {
+            build: Box::new(seq(&catalog, "lineitem", vec![])),
+            probe: Box::new(seq(&catalog, "part", vec![])),
+            preds: vec![j],
+        };
+        let (ca, pa) = model.cost_with_props(&a, &ctx);
+        let (cb, pb) = model.cost_with_props(&b, &ctx);
+        assert!((pa.rows - pb.rows).abs() < 1e-6);
+        assert!(ca < cb, "building on the smaller side must be cheaper");
+    }
+}

@@ -1,0 +1,158 @@
+//! Structural plan identity.
+//!
+//! POSP compilation invokes the optimizer at every grid location of the ESS;
+//! the same physical plan is typically optimal over a large region, so plans
+//! are deduplicated by a structural fingerprint before being registered in
+//! the plan registry of `rqp-ess`.
+
+use crate::ops::PlanNode;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A structural fingerprint of a plan: equal plans (same operators, shapes,
+/// relations and predicate placement) hash equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// Fingerprint a plan.
+    pub fn of(plan: &PlanNode) -> Fingerprint {
+        let mut h = DefaultHasher::new();
+        hash_node(plan, &mut h);
+        Fingerprint(h.finish())
+    }
+}
+
+fn hash_node(node: &PlanNode, h: &mut DefaultHasher) {
+    match node {
+        PlanNode::SeqScan { rel, filters } => {
+            0u8.hash(h);
+            rel.0.hash(h);
+            for f in filters {
+                f.0.hash(h);
+            }
+        }
+        PlanNode::IndexScan { rel, sarg, filters } => {
+            1u8.hash(h);
+            rel.0.hash(h);
+            sarg.0.hash(h);
+            for f in filters {
+                f.0.hash(h);
+            }
+        }
+        PlanNode::Sort { input } => {
+            2u8.hash(h);
+            hash_node(input, h);
+        }
+        PlanNode::HashJoin { build, probe, preds } => {
+            3u8.hash(h);
+            for p in preds {
+                p.0.hash(h);
+            }
+            hash_node(build, h);
+            hash_node(probe, h);
+        }
+        PlanNode::MergeJoin { left, right, preds } => {
+            4u8.hash(h);
+            for p in preds {
+                p.0.hash(h);
+            }
+            hash_node(left, h);
+            hash_node(right, h);
+        }
+        PlanNode::NestLoop { outer, inner, preds } => {
+            5u8.hash(h);
+            for p in preds {
+                p.0.hash(h);
+            }
+            hash_node(outer, h);
+            hash_node(inner, h);
+        }
+        PlanNode::HashAggregate { input, groups } => {
+            7u8.hash(h);
+            for g in groups {
+                g.rel.0.hash(h);
+                g.col.hash(h);
+            }
+            hash_node(input, h);
+        }
+        PlanNode::SortAggregate { input, groups } => {
+            8u8.hash(h);
+            for g in groups {
+                g.rel.0.hash(h);
+                g.col.hash(h);
+            }
+            hash_node(input, h);
+        }
+        PlanNode::IndexNestLoop { outer, inner_rel, lookup, preds, inner_filters } => {
+            6u8.hash(h);
+            inner_rel.0.hash(h);
+            lookup.0.hash(h);
+            for p in preds {
+                p.0.hash(h);
+            }
+            for p in inner_filters {
+                p.0.hash(h);
+            }
+            hash_node(outer, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::{PredId, RelId};
+
+    fn scan(r: u32) -> PlanNode {
+        PlanNode::SeqScan { rel: RelId(r), filters: vec![] }
+    }
+
+    #[test]
+    fn equal_plans_have_equal_fingerprints() {
+        let a = PlanNode::HashJoin {
+            build: Box::new(scan(0)),
+            probe: Box::new(scan(1)),
+            preds: vec![PredId(0)],
+        };
+        let b = a.clone();
+        assert_eq!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn swapped_sides_differ() {
+        let a = PlanNode::HashJoin {
+            build: Box::new(scan(0)),
+            probe: Box::new(scan(1)),
+            preds: vec![PredId(0)],
+        };
+        let b = PlanNode::HashJoin {
+            build: Box::new(scan(1)),
+            probe: Box::new(scan(0)),
+            preds: vec![PredId(0)],
+        };
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn operator_kind_distinguishes() {
+        let a = PlanNode::HashJoin {
+            build: Box::new(scan(0)),
+            probe: Box::new(scan(1)),
+            preds: vec![PredId(0)],
+        };
+        let b = PlanNode::MergeJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            preds: vec![PredId(0)],
+        };
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn filter_placement_distinguishes() {
+        let a = PlanNode::SeqScan { rel: RelId(0), filters: vec![PredId(1)] };
+        let b = PlanNode::SeqScan { rel: RelId(0), filters: vec![] };
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+}

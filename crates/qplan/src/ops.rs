@@ -1,0 +1,327 @@
+//! Physical operator trees.
+
+use rqp_catalog::{ColRef, PredId, RelId};
+use serde::{Deserialize, Serialize};
+
+/// A physical execution plan node.
+///
+/// Plans are ordinary owned trees: they are small (tens of nodes), cloned
+/// rarely, and owning boxes keep subtree extraction for spill-mode execution
+/// trivial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanNode {
+    /// Full scan of a base relation, applying the given filter predicates
+    /// on the fly.
+    SeqScan {
+        /// Scanned relation.
+        rel: RelId,
+        /// Filter predicates evaluated during the scan.
+        filters: Vec<PredId>,
+    },
+    /// B-tree index scan of a base relation driven by one sargable filter
+    /// predicate; remaining filters are applied as residuals.
+    IndexScan {
+        /// Scanned relation.
+        rel: RelId,
+        /// The indexed filter predicate used as the search argument.
+        sarg: PredId,
+        /// Residual filter predicates.
+        filters: Vec<PredId>,
+    },
+    /// Blocking sort of the input (used below merge joins).
+    Sort {
+        /// The sorted input.
+        input: Box<PlanNode>,
+    },
+    /// Hash join: `build` side is consumed into a hash table (blocking),
+    /// then `probe` streams through.
+    HashJoin {
+        /// Hash-table side.
+        build: Box<PlanNode>,
+        /// Streaming side.
+        probe: Box<PlanNode>,
+        /// Join predicates applied at this node.
+        preds: Vec<PredId>,
+    },
+    /// Merge join over two sorted inputs.
+    MergeJoin {
+        /// Left sorted input.
+        left: Box<PlanNode>,
+        /// Right sorted input.
+        right: Box<PlanNode>,
+        /// Join predicates applied at this node.
+        preds: Vec<PredId>,
+    },
+    /// Tuple nested-loop join with the inner side materialized once.
+    NestLoop {
+        /// Outer (driving) input.
+        outer: Box<PlanNode>,
+        /// Inner input, materialized and rescanned per outer tuple.
+        inner: Box<PlanNode>,
+        /// Join predicates applied at this node.
+        preds: Vec<PredId>,
+    },
+    /// Hash aggregation of the input by grouping columns (blocking).
+    HashAggregate {
+        /// Aggregated input.
+        input: Box<PlanNode>,
+        /// Grouping columns.
+        groups: Vec<ColRef>,
+    },
+    /// Streaming aggregation over an input sorted on the grouping columns.
+    SortAggregate {
+        /// Aggregated input (must be sorted on `groups`).
+        input: Box<PlanNode>,
+        /// Grouping columns.
+        groups: Vec<ColRef>,
+    },
+    /// Index nested-loop join: for each outer tuple, probe the B-tree index
+    /// on the inner base relation's join column.
+    IndexNestLoop {
+        /// Outer (driving) input.
+        outer: Box<PlanNode>,
+        /// Inner base relation probed via its index.
+        inner_rel: RelId,
+        /// The join predicate whose inner column is indexed (the lookup key).
+        lookup: PredId,
+        /// Additional join predicates applied as residuals.
+        preds: Vec<PredId>,
+        /// Filters on the inner relation applied after each fetch.
+        inner_filters: Vec<PredId>,
+    },
+}
+
+impl PlanNode {
+    /// Child subtrees, in execution-relevant order.
+    pub fn children(&self) -> Vec<&PlanNode> {
+        match self {
+            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => vec![],
+            PlanNode::Sort { input }
+            | PlanNode::HashAggregate { input, .. }
+            | PlanNode::SortAggregate { input, .. } => vec![input],
+            PlanNode::HashJoin { build, probe, .. } => vec![build, probe],
+            PlanNode::MergeJoin { left, right, .. } => vec![left, right],
+            PlanNode::NestLoop { outer, inner, .. } => vec![outer, inner],
+            PlanNode::IndexNestLoop { outer, .. } => vec![outer],
+        }
+    }
+
+    /// All join predicates applied at this node (empty for scans/sorts).
+    pub fn join_preds(&self) -> &[PredId] {
+        match self {
+            PlanNode::HashJoin { preds, .. }
+            | PlanNode::MergeJoin { preds, .. }
+            | PlanNode::NestLoop { preds, .. } => preds,
+            PlanNode::IndexNestLoop { preds, .. } => preds,
+            _ => &[],
+        }
+    }
+
+    /// Every predicate evaluated at this node, joins and filters alike.
+    /// For [`PlanNode::IndexNestLoop`] this includes the lookup predicate
+    /// and the inner filters; for scans, the sarg and filters.
+    pub fn local_preds(&self) -> Vec<PredId> {
+        match self {
+            PlanNode::SeqScan { filters, .. } => filters.clone(),
+            PlanNode::IndexScan { sarg, filters, .. } => {
+                let mut v = vec![*sarg];
+                v.extend_from_slice(filters);
+                v
+            }
+            PlanNode::Sort { .. }
+            | PlanNode::HashAggregate { .. }
+            | PlanNode::SortAggregate { .. } => vec![],
+            PlanNode::HashJoin { preds, .. }
+            | PlanNode::MergeJoin { preds, .. }
+            | PlanNode::NestLoop { preds, .. } => preds.clone(),
+            PlanNode::IndexNestLoop { lookup, preds, inner_filters, .. } => {
+                let mut v = vec![*lookup];
+                v.extend_from_slice(preds);
+                v.extend_from_slice(inner_filters);
+                v
+            }
+        }
+    }
+
+    /// The base relations contributing to this subtree.
+    pub fn base_relations(&self) -> Vec<RelId> {
+        let mut out = Vec::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut Vec<RelId>) {
+        match self {
+            PlanNode::SeqScan { rel, .. } | PlanNode::IndexScan { rel, .. } => out.push(*rel),
+            PlanNode::IndexNestLoop { outer, inner_rel, .. } => {
+                outer.collect_relations(out);
+                out.push(*inner_rel);
+            }
+            _ => {
+                for c in self.children() {
+                    c.collect_relations(out);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the subtree (counting the implicit inner index
+    /// scan of an [`PlanNode::IndexNestLoop`] as one node).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+            + matches!(self, PlanNode::IndexNestLoop { .. }) as usize
+    }
+
+    /// Find the unique node at which predicate `pred` is evaluated, if any.
+    pub fn node_evaluating(&self, pred: PredId) -> Option<&PlanNode> {
+        if self.local_preds().contains(&pred) {
+            return Some(self);
+        }
+        self.children().into_iter().find_map(|c| c.node_evaluating(pred))
+    }
+
+    /// Short operator name for display.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            PlanNode::SeqScan { .. } => "SeqScan",
+            PlanNode::IndexScan { .. } => "IndexScan",
+            PlanNode::Sort { .. } => "Sort",
+            PlanNode::HashAggregate { .. } => "HashAgg",
+            PlanNode::SortAggregate { .. } => "SortAgg",
+            PlanNode::HashJoin { .. } => "HashJoin",
+            PlanNode::MergeJoin { .. } => "MergeJoin",
+            PlanNode::NestLoop { .. } => "NestLoop",
+            PlanNode::IndexNestLoop { .. } => "IdxNestLoop",
+        }
+    }
+
+    /// Render the plan as an indented operator tree.
+    pub fn render(&self, catalog: &rqp_catalog::Catalog) -> String {
+        let mut s = String::new();
+        self.render_into(catalog, 0, &mut s);
+        s
+    }
+
+    fn render_into(&self, catalog: &rqp_catalog::Catalog, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            PlanNode::SeqScan { rel, filters } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}SeqScan {} {:?}",
+                    catalog.relation(*rel).name,
+                    filters.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                );
+            }
+            PlanNode::IndexScan { rel, sarg, filters } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexScan {} sarg={sarg} {:?}",
+                    catalog.relation(*rel).name,
+                    filters.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                );
+            }
+            PlanNode::Sort { input } => {
+                let _ = writeln!(out, "{pad}Sort");
+                input.render_into(catalog, depth + 1, out);
+            }
+            PlanNode::HashAggregate { input, groups }
+            | PlanNode::SortAggregate { input, groups } => {
+                let _ = writeln!(out, "{pad}{} ({} group cols)", self.op_name(), groups.len());
+                input.render_into(catalog, depth + 1, out);
+            }
+            PlanNode::HashJoin { build, probe, preds } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashJoin {:?}",
+                    preds.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                );
+                build.render_into(catalog, depth + 1, out);
+                probe.render_into(catalog, depth + 1, out);
+            }
+            PlanNode::MergeJoin { left, right, preds } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}MergeJoin {:?}",
+                    preds.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                );
+                left.render_into(catalog, depth + 1, out);
+                right.render_into(catalog, depth + 1, out);
+            }
+            PlanNode::NestLoop { outer, inner, preds } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}NestLoop {:?}",
+                    preds.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                );
+                outer.render_into(catalog, depth + 1, out);
+                inner.render_into(catalog, depth + 1, out);
+            }
+            PlanNode::IndexNestLoop { outer, inner_rel, lookup, preds, inner_filters } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IdxNestLoop {} lookup={lookup} {:?} inner_filters={:?}",
+                    catalog.relation(*inner_rel).name,
+                    preds.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                    inner_filters.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+                );
+                outer.render_into(catalog, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(r: u32) -> PlanNode {
+        PlanNode::SeqScan { rel: RelId(r), filters: vec![] }
+    }
+
+    #[test]
+    fn children_and_counts() {
+        let p = PlanNode::HashJoin {
+            build: Box::new(scan(0)),
+            probe: Box::new(PlanNode::Sort { input: Box::new(scan(1)) }),
+            preds: vec![PredId(0)],
+        };
+        assert_eq!(p.children().len(), 2);
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.base_relations(), vec![RelId(0), RelId(1)]);
+    }
+
+    #[test]
+    fn index_nest_loop_counts_inner_relation() {
+        let p = PlanNode::IndexNestLoop {
+            outer: Box::new(scan(0)),
+            inner_rel: RelId(1),
+            lookup: PredId(0),
+            preds: vec![],
+            inner_filters: vec![PredId(1)],
+        };
+        assert_eq!(p.base_relations(), vec![RelId(0), RelId(1)]);
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.local_preds(), vec![PredId(0), PredId(1)]);
+    }
+
+    #[test]
+    fn node_evaluating_finds_deep_predicate() {
+        let inner = PlanNode::SeqScan { rel: RelId(1), filters: vec![PredId(7)] };
+        let p = PlanNode::NestLoop {
+            outer: Box::new(scan(0)),
+            inner: Box::new(inner),
+            preds: vec![PredId(3)],
+        };
+        assert_eq!(p.node_evaluating(PredId(3)).unwrap().op_name(), "NestLoop");
+        assert_eq!(p.node_evaluating(PredId(7)).unwrap().op_name(), "SeqScan");
+        assert!(p.node_evaluating(PredId(9)).is_none());
+    }
+
+    #[test]
+    fn local_preds_of_index_scan_lists_sarg_first() {
+        let p = PlanNode::IndexScan { rel: RelId(0), sarg: PredId(2), filters: vec![PredId(5)] };
+        assert_eq!(p.local_preds(), vec![PredId(2), PredId(5)]);
+    }
+}

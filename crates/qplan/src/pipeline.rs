@@ -1,0 +1,324 @@
+//! Pipeline decomposition and spill-node identification (§3.1).
+//!
+//! Under the demand-driven iterator model a plan executes as a sequence of
+//! *pipelines* — maximal concurrently-executing subtrees — separated by
+//! blocking operators (hash-table builds, sorts, inner materializations).
+//! The paper's spilling machinery needs a *total order* over the epps of a
+//! plan, combining:
+//!
+//! * **inter-pipeline ordering** — epps follow the execution order of their
+//!   pipelines, and
+//! * **intra-pipeline ordering** — an epp downstream of another within the
+//!   same pipeline comes later.
+//!
+//! The *spill node* of a plan is the node of the first not-yet-learnt epp in
+//! this order; every predicate upstream of it then has an exactly-known
+//! selectivity (it is either not error-prone or was learnt earlier), which
+//! is what makes the half-space-pruning lemma (Lemma 3.1) sound.
+
+use crate::ops::PlanNode;
+use rqp_catalog::{EppId, PredId, Query};
+use std::collections::BTreeSet;
+
+/// One pipeline of a plan: the operator names it contains, in upstream-to-
+/// downstream order, for display and testing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Operator names, upstream first.
+    pub ops: Vec<String>,
+}
+
+/// Decompose a plan into its pipelines, in execution (completion) order.
+///
+/// Blocking boundaries: the build side of a hash join, the input of a sort,
+/// and the materialized inner of a nested-loop join each terminate a
+/// pipeline; the blocking operator's consumer starts/continues a later one.
+pub fn pipelines(plan: &PlanNode) -> Vec<Pipeline> {
+    let mut done = Vec::new();
+    let current = collect_pipelines(plan, &mut done);
+    done.push(current);
+    done
+}
+
+/// Returns the pipeline still being built at `node` (the one `node`'s parent
+/// would extend); completed pipelines are pushed to `done` in execution
+/// order.
+fn collect_pipelines(node: &PlanNode, done: &mut Vec<Pipeline>) -> Pipeline {
+    match node {
+        PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {
+            Pipeline { ops: vec![node.op_name().to_string()] }
+        }
+        PlanNode::Sort { input } => {
+            let mut inp = collect_pipelines(input, done);
+            inp.ops.push("Sort(write)".to_string());
+            done.push(inp);
+            Pipeline { ops: vec!["Sort(read)".to_string()] }
+        }
+        PlanNode::HashAggregate { input, .. } => {
+            // blocking: the input pipeline fills the hash table
+            let mut inp = collect_pipelines(input, done);
+            inp.ops.push("HashAgg(build)".to_string());
+            done.push(inp);
+            Pipeline { ops: vec!["HashAgg(read)".to_string()] }
+        }
+        PlanNode::SortAggregate { input, .. } => {
+            // streaming: groups emit as the sorted input flows
+            let mut inp = collect_pipelines(input, done);
+            inp.ops.push("SortAgg".to_string());
+            inp
+        }
+        PlanNode::HashJoin { build, probe, .. } => {
+            let mut b = collect_pipelines(build, done);
+            b.ops.push("HashBuild".to_string());
+            done.push(b);
+            let mut p = collect_pipelines(probe, done);
+            p.ops.push(node.op_name().to_string());
+            p
+        }
+        PlanNode::MergeJoin { left, right, .. } => {
+            // both inputs stream concurrently into the merge: their open
+            // pipelines fuse with the merge-join pipeline
+            let l = collect_pipelines(left, done);
+            let r = collect_pipelines(right, done);
+            let mut ops = l.ops;
+            ops.extend(r.ops);
+            ops.push(node.op_name().to_string());
+            Pipeline { ops }
+        }
+        PlanNode::NestLoop { outer, inner, .. } => {
+            let mut i = collect_pipelines(inner, done);
+            i.ops.push("Materialize".to_string());
+            done.push(i);
+            let mut o = collect_pipelines(outer, done);
+            o.ops.push(node.op_name().to_string());
+            o
+        }
+        PlanNode::IndexNestLoop { outer, .. } => {
+            let mut o = collect_pipelines(outer, done);
+            o.ops.push(node.op_name().to_string());
+            o
+        }
+    }
+}
+
+/// The epps of the plan in spill total order (§3.1.3): blocking children
+/// first (inter-pipeline rule), upstream before downstream within a pipeline
+/// (intra-pipeline rule). Only predicates that are epps of `query` are
+/// emitted.
+pub fn epp_spill_order(plan: &PlanNode, query: &Query) -> Vec<EppId> {
+    let mut preds = Vec::new();
+    emit_preds(plan, &mut preds);
+    preds.into_iter().filter_map(|p| query.epp_dim(p)).collect()
+}
+
+fn emit_preds(node: &PlanNode, out: &mut Vec<PredId>) {
+    match node {
+        PlanNode::SeqScan { filters, .. } => out.extend_from_slice(filters),
+        PlanNode::IndexScan { sarg, filters, .. } => {
+            out.push(*sarg);
+            out.extend_from_slice(filters);
+        }
+        PlanNode::Sort { input }
+        | PlanNode::HashAggregate { input, .. }
+        | PlanNode::SortAggregate { input, .. } => emit_preds(input, out),
+        PlanNode::HashJoin { build, probe, preds } => {
+            emit_preds(build, out);
+            emit_preds(probe, out);
+            out.extend_from_slice(preds);
+        }
+        PlanNode::MergeJoin { left, right, preds } => {
+            emit_preds(left, out);
+            emit_preds(right, out);
+            out.extend_from_slice(preds);
+        }
+        PlanNode::NestLoop { outer, inner, preds } => {
+            emit_preds(inner, out);
+            emit_preds(outer, out);
+            out.extend_from_slice(preds);
+        }
+        PlanNode::IndexNestLoop { outer, lookup, preds, inner_filters, .. } => {
+            emit_preds(outer, out);
+            out.push(*lookup);
+            out.extend_from_slice(preds);
+            out.extend_from_slice(inner_filters);
+        }
+    }
+}
+
+/// The epp a plan would spill on: the first epp in spill order that is still
+/// in `unlearnt`. Returns `None` if the plan evaluates no unlearnt epp.
+pub fn spill_target(plan: &PlanNode, query: &Query, unlearnt: &BTreeSet<EppId>) -> Option<EppId> {
+    epp_spill_order(plan, query).into_iter().find(|e| unlearnt.contains(e))
+}
+
+/// The subtree executed in spill-mode for epp `epp`: the subtree rooted at
+/// the node evaluating the epp's predicate (§3.1.2 — the output of that node
+/// is discarded instead of being forwarded downstream, so the downstream
+/// operators contribute no cost).
+///
+/// Returns `None` if the plan does not evaluate the predicate.
+pub fn spill_subtree(plan: &PlanNode, query: &Query, epp: EppId) -> Option<PlanNode> {
+    let pred = query.epp_pred(epp);
+    plan.node_evaluating(pred).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_catalog::{CatalogBuilder, QueryBuilder, RelationBuilder};
+    use rqp_catalog::Catalog;
+
+    fn fixture() -> (Catalog, Query) {
+        let catalog = CatalogBuilder::new()
+            .relation(
+                RelationBuilder::new("a", 1000).indexed_column("k", 1000, 8).build(),
+            )
+            .relation(
+                RelationBuilder::new("b", 2000)
+                    .indexed_column("k", 1000, 8)
+                    .indexed_column("j", 2000, 8)
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("c", 3000).indexed_column("j", 2000, 8).build(),
+            )
+            .build();
+        let query = QueryBuilder::new(&catalog, "t")
+            .table("a")
+            .table("b")
+            .table("c")
+            .epp_join("a", "k", "b", "k") // e0 -> dim0
+            .epp_join("b", "j", "c", "j") // e1 -> dim1
+            .build();
+        (catalog, query)
+    }
+
+    fn seq(catalog: &Catalog, name: &str) -> PlanNode {
+        PlanNode::SeqScan { rel: catalog.find_relation(name).unwrap(), filters: vec![] }
+    }
+
+    #[test]
+    fn hash_join_build_side_epps_come_first() {
+        let (catalog, query) = fixture();
+        // ((a ⋈ b) as build) ⋈ c : dim0 evaluated in the build pipeline of
+        // the outer join, so it precedes dim1.
+        let plan = PlanNode::HashJoin {
+            build: Box::new(PlanNode::HashJoin {
+                build: Box::new(seq(&catalog, "a")),
+                probe: Box::new(seq(&catalog, "b")),
+                preds: vec![query.epps[0]],
+            }),
+            probe: Box::new(seq(&catalog, "c")),
+            preds: vec![query.epps[1]],
+        };
+        assert_eq!(epp_spill_order(&plan, &query), vec![EppId(0), EppId(1)]);
+    }
+
+    #[test]
+    fn spill_target_skips_learnt_epps() {
+        let (catalog, query) = fixture();
+        let plan = PlanNode::HashJoin {
+            build: Box::new(PlanNode::HashJoin {
+                build: Box::new(seq(&catalog, "a")),
+                probe: Box::new(seq(&catalog, "b")),
+                preds: vec![query.epps[0]],
+            }),
+            probe: Box::new(seq(&catalog, "c")),
+            preds: vec![query.epps[1]],
+        };
+        let all: BTreeSet<_> = [EppId(0), EppId(1)].into();
+        assert_eq!(spill_target(&plan, &query, &all), Some(EppId(0)));
+        let only1: BTreeSet<_> = [EppId(1)].into();
+        assert_eq!(spill_target(&plan, &query, &only1), Some(EppId(1)));
+        let none: BTreeSet<_> = BTreeSet::new();
+        assert_eq!(spill_target(&plan, &query, &none), None);
+    }
+
+    #[test]
+    fn spill_subtree_is_rooted_at_the_epp_node() {
+        let (catalog, query) = fixture();
+        let lower = PlanNode::HashJoin {
+            build: Box::new(seq(&catalog, "a")),
+            probe: Box::new(seq(&catalog, "b")),
+            preds: vec![query.epps[0]],
+        };
+        let plan = PlanNode::HashJoin {
+            build: Box::new(lower.clone()),
+            probe: Box::new(seq(&catalog, "c")),
+            preds: vec![query.epps[1]],
+        };
+        let sub = spill_subtree(&plan, &query, EppId(0)).unwrap();
+        assert_eq!(sub, lower);
+        let whole = spill_subtree(&plan, &query, EppId(1)).unwrap();
+        assert_eq!(whole, plan);
+    }
+
+    #[test]
+    fn pipelines_of_two_hash_joins() {
+        let (catalog, query) = fixture();
+        let plan = PlanNode::HashJoin {
+            build: Box::new(PlanNode::HashJoin {
+                build: Box::new(seq(&catalog, "a")),
+                probe: Box::new(seq(&catalog, "b")),
+                preds: vec![query.epps[0]],
+            }),
+            probe: Box::new(seq(&catalog, "c")),
+            preds: vec![query.epps[1]],
+        };
+        let pls = pipelines(&plan);
+        // 1: scan a -> build; 2: scan b -> inner HJ -> outer build;
+        // 3: scan c -> outer HJ.
+        assert_eq!(pls.len(), 3);
+        assert_eq!(pls[0].ops, vec!["SeqScan", "HashBuild"]);
+        assert_eq!(pls[1].ops, vec!["SeqScan", "HashJoin", "HashBuild"]);
+        assert_eq!(pls[2].ops, vec!["SeqScan", "HashJoin"]);
+    }
+
+    #[test]
+    fn sort_is_blocking() {
+        let (catalog, query) = fixture();
+        let plan = PlanNode::MergeJoin {
+            left: Box::new(PlanNode::Sort { input: Box::new(seq(&catalog, "a")) }),
+            right: Box::new(PlanNode::Sort { input: Box::new(seq(&catalog, "b")) }),
+            preds: vec![query.epps[0]],
+        };
+        let pls = pipelines(&plan);
+        assert_eq!(pls.len(), 3, "two sort pipelines plus the merge pipeline");
+        assert_eq!(pls[2].ops.last().unwrap(), "MergeJoin");
+    }
+
+    #[test]
+    fn nest_loop_materializes_inner_first() {
+        let (catalog, query) = fixture();
+        let plan = PlanNode::NestLoop {
+            outer: Box::new(PlanNode::SeqScan {
+                rel: catalog.find_relation("a").unwrap(),
+                filters: vec![],
+            }),
+            inner: Box::new(seq(&catalog, "b")),
+            preds: vec![query.epps[0]],
+        };
+        let pls = pipelines(&plan);
+        assert_eq!(pls[0].ops, vec!["SeqScan", "Materialize"]);
+        assert_eq!(pls[1].ops, vec!["SeqScan", "NestLoop"]);
+    }
+
+    #[test]
+    fn index_nest_loop_orders_outer_epps_before_lookup() {
+        let (catalog, query) = fixture();
+        let plan = PlanNode::IndexNestLoop {
+            outer: Box::new(PlanNode::IndexNestLoop {
+                outer: Box::new(seq(&catalog, "a")),
+                inner_rel: catalog.find_relation("b").unwrap(),
+                lookup: query.epps[0],
+                preds: vec![],
+                inner_filters: vec![],
+            }),
+            inner_rel: catalog.find_relation("c").unwrap(),
+            lookup: query.epps[1],
+            preds: vec![],
+            inner_filters: vec![],
+        };
+        assert_eq!(epp_spill_order(&plan, &query), vec![EppId(0), EppId(1)]);
+    }
+}

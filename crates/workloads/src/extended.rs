@@ -1,0 +1,173 @@
+//! A secondary TPC-DS-shaped suite: grouped (aggregate) queries and
+//! cross-channel shapes beyond the paper's eleven figure queries.
+//!
+//! The paper's evaluation uses SPJ cores; real TPC-DS queries aggregate
+//! their join results. These skeletons exercise the aggregate-root plan
+//! path (hash vs sorted aggregation above the SPJ core) and multi-fact
+//! "channel" join shapes end to end, and back the schema-independence
+//! checks of the test suite.
+
+use rqp_catalog::{Catalog, Query, QueryBuilder};
+
+/// The extended suite, in display order.
+pub fn extended_suite(catalog: &Catalog) -> Vec<Query> {
+    vec![
+        q3(catalog),
+        q12(catalog),
+        q43(catalog),
+        q33(catalog),
+        q65(catalog),
+    ]
+}
+
+/// Q3-shaped: store sales by year for one manufacturer.
+pub fn q3(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "X_Q3")
+        .table("store_sales")
+        .table("date_dim")
+        .table("item")
+        .epp_join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk")
+        .epp_join("store_sales", "ss_item_sk", "item", "i_item_sk")
+        .filter("item", "i_manufact_id", 0.001)
+        .filter("date_dim", "d_moy", 0.083)
+        .group_by("date_dim", "d_year")
+        .build()
+}
+
+/// Q12-shaped: web sales by category over a date window.
+pub fn q12(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "X_Q12")
+        .table("web_sales")
+        .table("item")
+        .table("date_dim")
+        .epp_join("web_sales", "ws_item_sk", "item", "i_item_sk")
+        .epp_join("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk")
+        .filter("item", "i_category", 0.3)
+        .filter("date_dim", "d_year", 0.005)
+        .group_by("item", "i_category")
+        .build()
+}
+
+/// Q43-shaped: store sales by store state.
+pub fn q43(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "X_Q43")
+        .table("store_sales")
+        .table("date_dim")
+        .table("store")
+        .epp_join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk")
+        .epp_join("store_sales", "ss_store_sk", "store", "s_store_sk")
+        .filter("date_dim", "d_year", 0.005)
+        .group_by("store", "s_state")
+        .build()
+}
+
+/// Q33-shaped: a cross-channel star on `item` — store, catalog and web
+/// sales joined through the shared dimension.
+pub fn q33(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "X_Q33")
+        .table("store_sales")
+        .table("catalog_sales")
+        .table("web_sales")
+        .table("item")
+        .table("date_dim")
+        .epp_join("store_sales", "ss_item_sk", "item", "i_item_sk")
+        .epp_join("catalog_sales", "cs_item_sk", "item", "i_item_sk")
+        .epp_join("web_sales", "ws_item_sk", "item", "i_item_sk")
+        .epp_join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk")
+        .filter("item", "i_category", 0.1)
+        .group_by("item", "i_manufact_id")
+        .build()
+}
+
+/// Q65-shaped: store sales against item and store with a tight price band.
+pub fn q65(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "X_Q65")
+        .table("store_sales")
+        .table("item")
+        .table("store")
+        .epp_join("store_sales", "ss_item_sk", "item", "i_item_sk")
+        .epp_join("store_sales", "ss_store_sk", "store", "s_store_sk")
+        .filter("item", "i_current_price", 0.02)
+        .group_by("store", "s_store_sk")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcds::tpcds_catalog;
+    use rqp_core::{evaluate, sb_guarantee, Discovery, SpillBound};
+    use rqp_ess::EssConfig;
+    use rqp_qplan::{CostModel, PlanNode};
+    use rqp_optimizer::Optimizer;
+
+    #[test]
+    fn extended_suite_validates_and_aggregates() {
+        let c = tpcds_catalog();
+        let suite = extended_suite(&c);
+        assert_eq!(suite.len(), 5);
+        for q in &suite {
+            assert_eq!(q.validate(&c), Ok(()), "{}", q.name);
+            assert!(!q.group_by.is_empty(), "{} must aggregate", q.name);
+            assert!(q.dims() >= 2);
+        }
+    }
+
+    #[test]
+    fn grouped_plans_carry_aggregate_roots() {
+        let c = tpcds_catalog();
+        for q in extended_suite(&c) {
+            let opt = Optimizer::new(&c, &q, CostModel::default());
+            let loc = rqp_catalog::SelVector::from_values(&vec![1e-4; q.dims()]);
+            let planned = opt.optimize(&loc);
+            assert!(
+                matches!(
+                    planned.plan,
+                    PlanNode::HashAggregate { .. } | PlanNode::SortAggregate { .. }
+                ),
+                "{}: root is {}",
+                q.name,
+                planned.plan.op_name()
+            );
+        }
+    }
+
+    #[test]
+    fn sb_bound_holds_across_the_extended_suite() {
+        let c = tpcds_catalog();
+        for q in extended_suite(&c) {
+            let d = q.dims();
+            let rt = rqp_core::RobustRuntime::compile(
+                &c,
+                &q,
+                CostModel::default(),
+                EssConfig { resolution: if d <= 2 { 10 } else { 6 }, ..Default::default() },
+            );
+            let ev = evaluate(&rt, &SpillBound::new());
+            let bound = 2.0 * sb_guarantee(d);
+            assert!(
+                ev.mso <= bound + 1e-9,
+                "{}: MSOe {} exceeds {bound}",
+                q.name,
+                ev.mso
+            );
+        }
+    }
+
+    #[test]
+    fn cross_channel_star_discovers_each_channel_join() {
+        let c = tpcds_catalog();
+        let q = q33(&c);
+        let rt = rqp_core::RobustRuntime::compile(
+            &c,
+            &q,
+            CostModel::default(),
+            EssConfig { resolution: 5, ..Default::default() },
+        );
+        let sb = SpillBound::new();
+        let t = sb.discover(&rt, rt.ess.grid().terminus());
+        assert!(t.steps.last().unwrap().completed);
+        // at the terminus every channel join must be learnt or endgamed
+        assert!(t.subopt() >= 1.0 - 1e-9);
+    }
+}

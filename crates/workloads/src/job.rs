@@ -1,0 +1,92 @@
+//! An IMDB-shaped catalog and the Join Order Benchmark's Q1a (§6.5).
+//!
+//! JOB was designed to break cardinality estimators; the paper evaluates
+//! its algorithms on JOB after disabling the optimizer's implicit cyclic
+//! join predicates (which would violate the selectivity-independence
+//! assumption). The skeleton below is the acyclic Q1a join graph:
+//! `company_type ⋈ movie_companies ⋈ title ⋈ movie_info_idx ⋈ info_type`.
+
+use rqp_catalog::{Catalog, CatalogBuilder, Query, QueryBuilder, RelationBuilder};
+
+/// Build the IMDB-shaped catalog (cardinalities of the 2013 IMDB snapshot
+/// JOB ships with).
+pub fn imdb_catalog() -> Catalog {
+    CatalogBuilder::new()
+        .relation(
+            RelationBuilder::new("company_type", 4)
+                .indexed_column("ct_id", 4, 8)
+                .column("ct_kind", 4, 16)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("movie_companies", 2_609_129)
+                .indexed_column("mc_movie_id", 2_331_601, 8)
+                .indexed_column("mc_company_type_id", 2, 8)
+                .indexed_column("mc_company_id", 234_997, 8)
+                .column("mc_note", 100_000, 32)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("title", 2_528_312)
+                .indexed_column("t_id", 2_528_312, 8)
+                .column("t_production_year", 150, 4)
+                .column("t_kind_id", 7, 4)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("movie_info_idx", 1_380_035)
+                .indexed_column("mi_idx_movie_id", 459_925, 8)
+                .indexed_column("mi_idx_info_type_id", 5, 8)
+                .column("mi_idx_info", 100_000, 16)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("info_type", 113)
+                .indexed_column("it_id", 113, 8)
+                .column("it_info", 113, 16)
+                .build(),
+        )
+        .build()
+}
+
+/// JOB Q1a with three error-prone join predicates.
+pub fn job_q1a(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "JOB_Q1a")
+        .table("company_type")
+        .table("movie_companies")
+        .table("title")
+        .table("movie_info_idx")
+        .table("info_type")
+        .epp_join("movie_companies", "mc_movie_id", "title", "t_id")
+        .epp_join("movie_info_idx", "mi_idx_movie_id", "title", "t_id")
+        .epp_join("movie_info_idx", "mi_idx_info_type_id", "info_type", "it_id")
+        .join("movie_companies", "mc_company_type_id", "company_type", "ct_id")
+        .filter("company_type", "ct_kind", 0.25)
+        .filter("info_type", "it_info", 0.0088)
+        .filter("movie_companies", "mc_note", 0.03)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q1a_validates_with_three_epps() {
+        let c = imdb_catalog();
+        let q = job_q1a(&c);
+        assert_eq!(q.validate(&c), Ok(()));
+        assert_eq!(q.dims(), 3);
+        assert_eq!(q.relations.len(), 5);
+        assert_eq!(q.joins.len(), 4);
+    }
+
+    #[test]
+    fn catalog_mirrors_imdb_scale() {
+        let c = imdb_catalog();
+        let t = c.relation(c.find_relation("title").unwrap());
+        let ct = c.relation(c.find_relation("company_type").unwrap());
+        assert!(t.rows > 2_000_000);
+        assert_eq!(ct.rows, 4);
+    }
+}

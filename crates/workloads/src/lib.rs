@@ -1,0 +1,103 @@
+#![warn(missing_docs)]
+
+//! Benchmark workloads: TPC-DS-shaped and IMDB-shaped catalogs and the
+//! paper's query suite.
+//!
+//! ```
+//! use rqp_workloads::{BenchQuery, Workload};
+//! use rqp_ess::EssConfig;
+//!
+//! let w = Workload::tpcds(BenchQuery::Q15_3D);
+//! let rt = w.runtime(EssConfig::coarse(w.query.dims()));
+//! assert_eq!(rt.dims(), 3);
+//! ```
+
+pub mod extended;
+pub mod job;
+pub mod suite;
+pub mod synth;
+pub mod tpcds;
+
+pub use extended::extended_suite;
+pub use job::{imdb_catalog, job_q1a};
+pub use suite::{q91, BenchQuery};
+pub use synth::{synth_workload, Shape, SynthConfig};
+pub use tpcds::tpcds_catalog;
+
+use rqp_catalog::{Catalog, Query};
+use rqp_core::RobustRuntime;
+use rqp_ess::EssConfig;
+use rqp_qplan::CostModel;
+
+/// A self-contained workload: an owned catalog plus one query against it.
+pub struct Workload {
+    /// The catalog.
+    pub catalog: Catalog,
+    /// The query.
+    pub query: Query,
+}
+
+impl Workload {
+    /// A TPC-DS benchmark query.
+    pub fn tpcds(bq: BenchQuery) -> Workload {
+        let catalog = tpcds_catalog();
+        let query = bq.build(&catalog);
+        Workload { catalog, query }
+    }
+
+    /// TPC-DS Q91 at a chosen epp dimensionality (2..=6).
+    pub fn q91(dims: usize) -> Workload {
+        let catalog = tpcds_catalog();
+        let query = q91(&catalog, dims);
+        Workload { catalog, query }
+    }
+
+    /// JOB Q1a on the IMDB-shaped catalog.
+    pub fn job_q1a() -> Workload {
+        let catalog = imdb_catalog();
+        let query = job_q1a(&catalog);
+        Workload { catalog, query }
+    }
+
+    /// Compile a robust runtime for this workload with the default cost
+    /// model.
+    pub fn runtime(&self, config: EssConfig) -> RobustRuntime<'_> {
+        RobustRuntime::compile(&self.catalog, &self.query, CostModel::default(), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_core::{evaluate, Discovery, PlanBouquet, SpillBound};
+
+    #[test]
+    fn q15_end_to_end_spillbound_within_guarantee() {
+        let w = Workload::tpcds(BenchQuery::Q15_3D);
+        let rt = w.runtime(EssConfig::coarse(3));
+        let sb = SpillBound::new();
+        let ev = evaluate(&rt, &sb);
+        let bound = 2.0 * rqp_core::sb_guarantee(3);
+        assert!(ev.mso <= bound, "MSOe {} exceeds band-adjusted bound {bound}", ev.mso);
+        assert!(ev.aso >= 1.0);
+        assert!(rt.ess.posp.num_plans() >= 3, "expected plan diversity");
+    }
+
+    #[test]
+    fn job_q1a_runtime_compiles_with_plan_diversity() {
+        let w = Workload::job_q1a();
+        let rt = w.runtime(EssConfig::coarse(3));
+        assert!(rt.ess.posp.num_plans() >= 2);
+        let t = SpillBound::new().discover(&rt, rt.ess.grid().terminus());
+        assert!(t.steps.last().unwrap().completed);
+    }
+
+    #[test]
+    fn plan_bouquet_runs_on_a_star_query() {
+        let w = Workload::tpcds(BenchQuery::Q7_4D);
+        let rt = w.runtime(EssConfig { resolution: 5, ..Default::default() });
+        let pb = PlanBouquet::new();
+        let t = pb.discover(&rt, rt.ess.grid().num_cells() / 2);
+        assert!(t.subopt() >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,356 @@
+//! The benchmark query suite: SPJ skeletons of the paper's TPC-DS query
+//! instances with their error-prone join predicates.
+//!
+//! The paper evaluates representative SPJ (select-project-join) queries
+//! from TPC-DS with 4–10 relations and 2–6 error-prone join predicates,
+//! named `xD_Qz` (x = epp count, z = TPC-DS query number). The skeletons
+//! below reproduce each query's join graph geometry (chain / star /
+//! branch) and its epp dimensionality; filter predicates carry
+//! representative reliably-estimated selectivities. One simplification:
+//! tables that TPC-DS joins under several aliases (e.g. three `date_dim`
+//! roles in Q29) appear once, keeping the join graph acyclic — exactly the
+//! regime the paper's selectivity-independence assumption targets.
+
+use rqp_catalog::{Catalog, Query, QueryBuilder};
+
+/// The paper's benchmark query instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(non_camel_case_types)]
+pub enum BenchQuery {
+    /// TPC-DS Q15 with 3 epps.
+    Q15_3D,
+    /// TPC-DS Q96 with 3 epps.
+    Q96_3D,
+    /// TPC-DS Q7 with 4 epps.
+    Q7_4D,
+    /// TPC-DS Q26 with 4 epps.
+    Q26_4D,
+    /// TPC-DS Q27 with 4 epps.
+    Q27_4D,
+    /// TPC-DS Q91 with 4 epps.
+    Q91_4D,
+    /// TPC-DS Q19 with 5 epps.
+    Q19_5D,
+    /// TPC-DS Q29 with 5 epps.
+    Q29_5D,
+    /// TPC-DS Q84 with 5 epps.
+    Q84_5D,
+    /// TPC-DS Q18 with 6 epps.
+    Q18_6D,
+    /// TPC-DS Q91 with 6 epps.
+    Q91_6D,
+}
+
+impl BenchQuery {
+    /// Every instance, in the order the paper's figures list them.
+    pub fn all() -> &'static [BenchQuery] {
+        use BenchQuery::*;
+        &[Q15_3D, Q96_3D, Q7_4D, Q26_4D, Q27_4D, Q91_4D, Q19_5D, Q29_5D, Q84_5D, Q18_6D, Q91_6D]
+    }
+
+    /// The `xD_Qz` display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchQuery::Q15_3D => "3D_Q15",
+            BenchQuery::Q96_3D => "3D_Q96",
+            BenchQuery::Q7_4D => "4D_Q7",
+            BenchQuery::Q26_4D => "4D_Q26",
+            BenchQuery::Q27_4D => "4D_Q27",
+            BenchQuery::Q91_4D => "4D_Q91",
+            BenchQuery::Q19_5D => "5D_Q19",
+            BenchQuery::Q29_5D => "5D_Q29",
+            BenchQuery::Q84_5D => "5D_Q84",
+            BenchQuery::Q18_6D => "6D_Q18",
+            BenchQuery::Q91_6D => "6D_Q91",
+        }
+    }
+
+    /// Number of error-prone predicates.
+    pub fn dims(&self) -> usize {
+        match self {
+            BenchQuery::Q15_3D | BenchQuery::Q96_3D => 3,
+            BenchQuery::Q7_4D
+            | BenchQuery::Q26_4D
+            | BenchQuery::Q27_4D
+            | BenchQuery::Q91_4D => 4,
+            BenchQuery::Q19_5D | BenchQuery::Q29_5D | BenchQuery::Q84_5D => 5,
+            BenchQuery::Q18_6D | BenchQuery::Q91_6D => 6,
+        }
+    }
+
+    /// Build the query against the TPC-DS catalog.
+    pub fn build(&self, catalog: &Catalog) -> Query {
+        match self {
+            BenchQuery::Q15_3D => q15(catalog),
+            BenchQuery::Q96_3D => q96(catalog),
+            BenchQuery::Q7_4D => q7(catalog),
+            BenchQuery::Q26_4D => q26(catalog),
+            BenchQuery::Q27_4D => q27(catalog),
+            BenchQuery::Q91_4D => q91(catalog, 4),
+            BenchQuery::Q19_5D => q19(catalog),
+            BenchQuery::Q29_5D => q29(catalog),
+            BenchQuery::Q84_5D => q84(catalog),
+            BenchQuery::Q18_6D => q18(catalog),
+            BenchQuery::Q91_6D => q91(catalog, 6),
+        }
+    }
+}
+
+fn q15(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "3D_Q15")
+        .table("catalog_sales")
+        .table("customer")
+        .table("customer_address")
+        .table("date_dim")
+        .epp_join("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk")
+        .epp_join("customer", "c_current_addr_sk", "customer_address", "ca_address_sk")
+        .epp_join("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk")
+        .filter("customer_address", "ca_state", 0.1)
+        .filter("date_dim", "d_qoy", 0.25)
+        .build()
+}
+
+fn q96(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "3D_Q96")
+        .table("store_sales")
+        .table("household_demographics")
+        .table("time_dim")
+        .table("store")
+        .epp_join("store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk")
+        .epp_join("store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk")
+        .epp_join("store_sales", "ss_store_sk", "store", "s_store_sk")
+        .filter("time_dim", "t_hour", 0.042)
+        .filter("household_demographics", "hd_dep_count", 0.1)
+        .build()
+}
+
+fn q7(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "4D_Q7")
+        .table("store_sales")
+        .table("customer_demographics")
+        .table("date_dim")
+        .table("item")
+        .table("promotion")
+        .epp_join("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk")
+        .epp_join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk")
+        .epp_join("store_sales", "ss_item_sk", "item", "i_item_sk")
+        .epp_join("store_sales", "ss_promo_sk", "promotion", "p_promo_sk")
+        .filter("customer_demographics", "cd_gender", 0.5)
+        .filter("customer_demographics", "cd_marital_status", 0.2)
+        .filter("date_dim", "d_year", 0.005)
+        .filter("promotion", "p_channel_email", 0.5)
+        .build()
+}
+
+fn q26(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "4D_Q26")
+        .table("catalog_sales")
+        .table("customer_demographics")
+        .table("date_dim")
+        .table("item")
+        .table("promotion")
+        .epp_join("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics", "cd_demo_sk")
+        .epp_join("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk")
+        .epp_join("catalog_sales", "cs_item_sk", "item", "i_item_sk")
+        .epp_join("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk")
+        .filter("customer_demographics", "cd_gender", 0.5)
+        .filter("customer_demographics", "cd_education_status", 0.14)
+        .filter("date_dim", "d_year", 0.005)
+        .build()
+}
+
+fn q27(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "4D_Q27")
+        .table("store_sales")
+        .table("customer_demographics")
+        .table("date_dim")
+        .table("store")
+        .table("item")
+        .epp_join("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk")
+        .epp_join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk")
+        .epp_join("store_sales", "ss_store_sk", "store", "s_store_sk")
+        .epp_join("store_sales", "ss_item_sk", "item", "i_item_sk")
+        .filter("customer_demographics", "cd_gender", 0.5)
+        .filter("date_dim", "d_year", 0.005)
+        .filter("store", "s_state", 0.1)
+        .build()
+}
+
+/// TPC-DS Q91 with `dims ∈ 2..=6` of its six join predicates error-prone
+/// (the Fig. 9 dimensionality sweep; the 2-epp variant matches Fig. 7's
+/// `Catalog⋈Date-Dim` / `Customer⋈Customer-Address` pair).
+pub fn q91(c: &Catalog, dims: usize) -> Query {
+    assert!((2..=6).contains(&dims), "Q91 supports 2..=6 epps");
+    let name: &str = match dims {
+        2 => "2D_Q91",
+        3 => "3D_Q91",
+        4 => "4D_Q91",
+        5 => "5D_Q91",
+        _ => "6D_Q91",
+    };
+    let mut b = QueryBuilder::new(c, name)
+        .table("call_center")
+        .table("catalog_returns")
+        .table("date_dim")
+        .table("customer")
+        .table("customer_demographics")
+        .table("household_demographics")
+        .table("customer_address");
+    // epp order: the first `dims` of these six joins are error-prone
+    let joins: [(&str, &str, &str, &str); 6] = [
+        ("catalog_returns", "cr_returned_date_sk", "date_dim", "d_date_sk"),
+        ("customer", "c_current_addr_sk", "customer_address", "ca_address_sk"),
+        ("catalog_returns", "cr_returning_customer_sk", "customer", "c_customer_sk"),
+        ("customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+        ("customer", "c_current_hdemo_sk", "household_demographics", "hd_demo_sk"),
+        ("catalog_returns", "cr_call_center_sk", "call_center", "cc_call_center_sk"),
+    ];
+    for (i, (lr, lc, rr, rc)) in joins.iter().enumerate() {
+        b = if i < dims { b.epp_join(lr, lc, rr, rc) } else { b.join(lr, lc, rr, rc) };
+    }
+    b.filter("customer_demographics", "cd_marital_status", 0.2)
+        .filter("household_demographics", "hd_buy_potential", 0.17)
+        .filter("date_dim", "d_moy", 0.083)
+        .filter("customer_address", "ca_gmt_offset", 0.042)
+        .build()
+}
+
+fn q19(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "5D_Q19")
+        .table("store_sales")
+        .table("date_dim")
+        .table("item")
+        .table("customer")
+        .table("customer_address")
+        .table("store")
+        .epp_join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk")
+        .epp_join("store_sales", "ss_item_sk", "item", "i_item_sk")
+        .epp_join("store_sales", "ss_customer_sk", "customer", "c_customer_sk")
+        .epp_join("customer", "c_current_addr_sk", "customer_address", "ca_address_sk")
+        .epp_join("store_sales", "ss_store_sk", "store", "s_store_sk")
+        .filter("item", "i_manufact_id", 0.001)
+        .filter("date_dim", "d_moy", 0.083)
+        .filter("date_dim", "d_year", 0.005)
+        .build()
+}
+
+fn q29(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "5D_Q29")
+        .table("store_sales")
+        .table("store_returns")
+        .table("catalog_sales")
+        .table("date_dim")
+        .table("item")
+        .table("store")
+        .epp_join("store_sales", "ss_item_sk", "item", "i_item_sk")
+        .epp_join("store_returns", "sr_item_sk", "item", "i_item_sk")
+        .epp_join("catalog_sales", "cs_item_sk", "item", "i_item_sk")
+        .epp_join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk")
+        .epp_join("store_sales", "ss_store_sk", "store", "s_store_sk")
+        .filter("store_sales", "ss_quantity", 0.1)
+        .filter("date_dim", "d_moy", 0.083)
+        .build()
+}
+
+fn q84(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "5D_Q84")
+        .table("customer")
+        .table("customer_address")
+        .table("customer_demographics")
+        .table("household_demographics")
+        .table("income_band")
+        .table("store_returns")
+        .epp_join("customer", "c_current_addr_sk", "customer_address", "ca_address_sk")
+        .epp_join("customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk")
+        .epp_join("customer", "c_current_hdemo_sk", "household_demographics", "hd_demo_sk")
+        .epp_join("household_demographics", "hd_income_band_sk", "income_band", "ib_income_band_sk")
+        .epp_join("store_returns", "sr_cdemo_sk", "customer_demographics", "cd_demo_sk")
+        .filter("customer_address", "ca_city", 0.001)
+        .filter("income_band", "ib_lower_bound", 0.05)
+        .build()
+}
+
+fn q18(c: &Catalog) -> Query {
+    QueryBuilder::new(c, "6D_Q18")
+        .table("catalog_sales")
+        .table("customer_demographics")
+        .table("customer")
+        .table("customer_address")
+        .table("date_dim")
+        .table("item")
+        .table("household_demographics")
+        .epp_join("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics", "cd_demo_sk")
+        .epp_join("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk")
+        .epp_join("customer", "c_current_addr_sk", "customer_address", "ca_address_sk")
+        .epp_join("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk")
+        .epp_join("catalog_sales", "cs_item_sk", "item", "i_item_sk")
+        .epp_join("customer", "c_current_hdemo_sk", "household_demographics", "hd_demo_sk")
+        .filter("customer_demographics", "cd_gender", 0.5)
+        .filter("customer_demographics", "cd_education_status", 0.14)
+        .filter("date_dim", "d_year", 0.005)
+        .filter("customer_address", "ca_state", 0.1)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcds::tpcds_catalog;
+
+    #[test]
+    fn every_bench_query_validates_with_declared_dims() {
+        let c = tpcds_catalog();
+        for &bq in BenchQuery::all() {
+            let q = bq.build(&c);
+            assert_eq!(q.validate(&c), Ok(()), "{}", bq.name());
+            assert_eq!(q.dims(), bq.dims(), "{}", bq.name());
+            assert_eq!(q.name, bq.name());
+            assert!(q.join_graph_connected(), "{}", bq.name());
+        }
+    }
+
+    #[test]
+    fn q91_dimensionality_sweep() {
+        let c = tpcds_catalog();
+        for d in 2..=6 {
+            let q = q91(&c, d);
+            assert_eq!(q.dims(), d);
+            assert_eq!(q.relations.len(), 7);
+            assert_eq!(q.joins.len(), 6);
+            assert_eq!(q.validate(&c), Ok(()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supports 2..=6")]
+    fn q91_rejects_out_of_range_dims() {
+        let c = tpcds_catalog();
+        q91(&c, 7);
+    }
+
+    #[test]
+    fn join_graph_geometries_vary() {
+        let c = tpcds_catalog();
+        // Q7 is a pure star on store_sales; Q15 is a chain
+        let q7 = BenchQuery::Q7_4D.build(&c);
+        let ss = c.find_relation("store_sales").unwrap();
+        assert!(q7.joins.iter().all(|j| j.touches(ss)), "Q7 must be a star on store_sales");
+        let q15 = BenchQuery::Q15_3D.build(&c);
+        let cs = c.find_relation("catalog_sales").unwrap();
+        assert!(!q15.joins.iter().all(|j| j.touches(cs)), "Q15 is not a star");
+    }
+
+    #[test]
+    fn relation_counts_span_four_to_seven() {
+        let c = tpcds_catalog();
+        let mut min = usize::MAX;
+        let mut max = 0;
+        for &bq in BenchQuery::all() {
+            let q = bq.build(&c);
+            min = min.min(q.relations.len());
+            max = max.max(q.relations.len());
+        }
+        assert!(min >= 4);
+        assert!(max >= 7);
+    }
+}

@@ -1,0 +1,200 @@
+//! A TPC-DS-shaped synthetic catalog at scale factor 100 (the paper's
+//! "base size of 100 GB").
+//!
+//! MSO experiments depend only on the cost surface over the ESS, which the
+//! cost model derives from catalog statistics — not from actual tuples — so
+//! the catalog records the benchmark's official cardinalities at SF=100
+//! together with representative NDVs, widths and key indexes.
+
+use rqp_catalog::{Catalog, CatalogBuilder, RelationBuilder};
+
+/// Build the TPC-DS-shaped catalog (SF = 100).
+pub fn tpcds_catalog() -> Catalog {
+    CatalogBuilder::new()
+        .relation(
+            RelationBuilder::new("store_sales", 288_000_000)
+                .indexed_column("ss_sold_date_sk", 73_049, 8)
+                .indexed_column("ss_sold_time_sk", 86_400, 8)
+                .indexed_column("ss_item_sk", 204_000, 8)
+                .indexed_column("ss_customer_sk", 2_000_000, 8)
+                .indexed_column("ss_cdemo_sk", 1_920_800, 8)
+                .indexed_column("ss_hdemo_sk", 7_200, 8)
+                .indexed_column("ss_store_sk", 402, 8)
+                .indexed_column("ss_promo_sk", 1_000, 8)
+                .column("ss_quantity", 100, 4)
+                .column("ss_sales_price", 20_000, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("store_returns", 28_800_000)
+                .indexed_column("sr_returned_date_sk", 73_049, 8)
+                .indexed_column("sr_item_sk", 204_000, 8)
+                .indexed_column("sr_customer_sk", 2_000_000, 8)
+                .indexed_column("sr_cdemo_sk", 1_920_800, 8)
+                .indexed_column("sr_hdemo_sk", 7_200, 8)
+                .indexed_column("sr_store_sk", 402, 8)
+                .indexed_column("sr_ticket_number", 24_000_000, 8)
+                .column("sr_return_amt", 100_000, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("catalog_sales", 144_000_000)
+                .indexed_column("cs_sold_date_sk", 73_049, 8)
+                .indexed_column("cs_item_sk", 204_000, 8)
+                .indexed_column("cs_bill_customer_sk", 2_000_000, 8)
+                .indexed_column("cs_bill_cdemo_sk", 1_920_800, 8)
+                .indexed_column("cs_bill_hdemo_sk", 7_200, 8)
+                .indexed_column("cs_promo_sk", 1_000, 8)
+                .indexed_column("cs_call_center_sk", 30, 8)
+                .column("cs_quantity", 100, 4)
+                .column("cs_wholesale_cost", 10_000, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("catalog_returns", 14_400_000)
+                .indexed_column("cr_returned_date_sk", 73_049, 8)
+                .indexed_column("cr_item_sk", 204_000, 8)
+                .indexed_column("cr_returning_customer_sk", 2_000_000, 8)
+                .indexed_column("cr_call_center_sk", 30, 8)
+                .column("cr_return_amount", 100_000, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("web_sales", 72_000_000)
+                .indexed_column("ws_sold_date_sk", 73_049, 8)
+                .indexed_column("ws_item_sk", 204_000, 8)
+                .indexed_column("ws_bill_customer_sk", 2_000_000, 8)
+                .column("ws_net_profit", 100_000, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("date_dim", 73_049)
+                .indexed_column("d_date_sk", 73_049, 8)
+                .column("d_year", 200, 4)
+                .column("d_moy", 12, 4)
+                .column("d_qoy", 4, 4)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("time_dim", 86_400)
+                .indexed_column("t_time_sk", 86_400, 8)
+                .column("t_hour", 24, 4)
+                .column("t_minute", 60, 4)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("item", 204_000)
+                .indexed_column("i_item_sk", 204_000, 8)
+                .column("i_category", 10, 16)
+                .column("i_manufact_id", 1_000, 4)
+                .column("i_current_price", 10_000, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("customer", 2_000_000)
+                .indexed_column("c_customer_sk", 2_000_000, 8)
+                .indexed_column("c_current_addr_sk", 1_000_000, 8)
+                .indexed_column("c_current_cdemo_sk", 1_920_800, 8)
+                .indexed_column("c_current_hdemo_sk", 7_200, 8)
+                .column("c_birth_year", 100, 4)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("customer_address", 1_000_000)
+                .indexed_column("ca_address_sk", 1_000_000, 8)
+                .column("ca_state", 51, 4)
+                .column("ca_gmt_offset", 24, 4)
+                .column("ca_city", 20_000, 16)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("customer_demographics", 1_920_800)
+                .indexed_column("cd_demo_sk", 1_920_800, 8)
+                .column("cd_gender", 2, 2)
+                .column("cd_marital_status", 5, 2)
+                .column("cd_education_status", 7, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("household_demographics", 7_200)
+                .indexed_column("hd_demo_sk", 7_200, 8)
+                .indexed_column("hd_income_band_sk", 20, 8)
+                .column("hd_dep_count", 10, 4)
+                .column("hd_buy_potential", 6, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("income_band", 20)
+                .indexed_column("ib_income_band_sk", 20, 8)
+                .column("ib_lower_bound", 20, 4)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("store", 402)
+                .indexed_column("s_store_sk", 402, 8)
+                .column("s_state", 30, 4)
+                .column("s_number_employees", 300, 4)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("call_center", 30)
+                .indexed_column("cc_call_center_sk", 30, 8)
+                .column("cc_employees", 30, 4)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("promotion", 1_000)
+                .indexed_column("p_promo_sk", 1_000, 8)
+                .column("p_channel_email", 2, 2)
+                .build(),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_sixteen_tables() {
+        let c = tpcds_catalog();
+        assert_eq!(c.len(), 16);
+        for name in [
+            "store_sales",
+            "store_returns",
+            "catalog_sales",
+            "catalog_returns",
+            "web_sales",
+            "date_dim",
+            "time_dim",
+            "item",
+            "customer",
+            "customer_address",
+            "customer_demographics",
+            "household_demographics",
+            "income_band",
+            "store",
+            "call_center",
+            "promotion",
+        ] {
+            assert!(c.find_relation(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn fact_tables_dwarf_dimensions() {
+        let c = tpcds_catalog();
+        let ss = c.relation(c.find_relation("store_sales").unwrap());
+        let dd = c.relation(c.find_relation("date_dim").unwrap());
+        assert!(ss.rows > 1000 * dd.rows);
+        assert!(ss.pages() > dd.pages());
+    }
+
+    #[test]
+    fn key_columns_are_indexed() {
+        let c = tpcds_catalog();
+        let cust = c.relation(c.find_relation("customer").unwrap());
+        let idx = cust.column_index("c_customer_sk").unwrap();
+        assert!(cust.columns[idx].indexed);
+    }
+}

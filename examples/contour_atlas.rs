@@ -1,0 +1,78 @@
+//! Visualize the compiled ESS of a 2-epp query: the plan diagram (which
+//! POSP plan is optimal where), the iso-cost contour bands, and per-contour
+//! alignment statistics — ASCII renditions of the paper's Figs. 2, 3 and 6.
+//!
+//! Run with: `cargo run --release --example contour_atlas`
+
+use robust_qp::prelude::*;
+
+fn main() {
+    let w = Workload::q91(2);
+    let rt = w.runtime(EssConfig { resolution: 40, ..Default::default() });
+    let grid = rt.ess.grid();
+    let posp = &rt.ess.posp;
+    let contours = &rt.ess.contours;
+    let res = grid.res(0);
+
+    println!(
+        "2D_Q91: {} POSP plans over a {res}x{res} log-scale grid, {} contours, \
+         Cmin {:.3e}, Cmax {:.3e}",
+        posp.num_plans(),
+        contours.num_bands(),
+        posp.cmin(),
+        posp.cmax()
+    );
+
+    // plan diagram: one glyph per plan (top row = largest Y selectivity)
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    println!("\n--- plan diagram (glyph = optimal plan id) ---");
+    for y in (0..res).rev() {
+        let mut row = String::new();
+        for x in 0..res {
+            let cell = grid.index(&[x, y]);
+            let id = posp.plan_id(cell).0 as usize;
+            row.push(GLYPHS[id % GLYPHS.len()] as char);
+        }
+        println!("  {row}");
+    }
+
+    // contour bands: band index mod 10
+    println!("\n--- iso-cost contour bands (digit = band mod 10) ---");
+    for y in (0..res).rev() {
+        let mut row = String::new();
+        for x in 0..res {
+            let cell = grid.index(&[x, y]);
+            row.push(char::from_digit((contours.band_of(cell) % 10) as u32, 10).unwrap());
+        }
+        println!("  {row}");
+    }
+
+    // per-contour plan density and alignment penalty (Fig. 6 / Table 2 raw)
+    println!("\n--- per-contour density and alignment (Table 2 raw data) ---");
+    let stats = alignment_stats(&rt);
+    println!(
+        "{:>5} {:>12} {:>8} {:>10}",
+        "band", "cost", "density", "penalty"
+    );
+    let mut k = 0;
+    for band in 0..contours.num_bands() {
+        if contours.cells(band).is_empty() {
+            continue;
+        }
+        let density = contours.density(posp, band);
+        let penalty = stats.per_contour_penalty.get(k).copied().unwrap_or(f64::NAN);
+        k += 1;
+        println!(
+            "{band:>5} {:>12.3e} {density:>8} {:>10.2}{}",
+            contours.cc(band),
+            penalty,
+            if penalty <= 1.0 { "  (aligned)" } else { "" }
+        );
+    }
+    println!(
+        "\nnatively aligned: {:.0}%   within 1.5x: {:.0}%   max penalty: {:.2}",
+        stats.pct_within(1.0),
+        stats.pct_within(1.5),
+        stats.max_penalty()
+    );
+}

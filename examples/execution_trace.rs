@@ -1,0 +1,70 @@
+//! Fig. 7 / Table 3 style drill-down: the Manhattan profile of a
+//! SpillBound run on TPC-DS Q91, plus the simulated wall-clock comparison
+//! against the native optimizer and AlignedBound (§6.3).
+//!
+//! Run with: `cargo run --release --example execution_trace`
+
+use robust_qp::prelude::*;
+
+fn main() {
+    // 2D_Q91: the Fig. 7 setting — catalog_returns⋈date_dim on X,
+    // customer⋈customer_address on Y
+    let w = Workload::q91(2);
+    let rt = w.runtime(EssConfig { resolution: 32, ..Default::default() });
+    let grid = rt.ess.grid();
+    let qa = grid.index(&[grid.snap_ceil(0, 0.04), grid.snap_ceil(1, 0.1)]);
+
+    println!("=== Fig. 7: 2D_Q91, qa = {} ===", grid.location(qa));
+    let sb = SpillBound::with_refined_bounds();
+    let trace = sb.discover(&rt, qa);
+    println!("{}", trace.render());
+
+    // Manhattan profile: the running location after each execution
+    println!("Manhattan profile (running lower-bound location):");
+    let mut qrun = [grid.value(0, 0), grid.value(1, 0)];
+    println!("  start  ({:.3e}, {:.3e})", qrun[0], qrun[1]);
+    for s in &trace.steps {
+        if let Some((dim, v, exact)) = s.learned {
+            qrun[dim.0] = v;
+            println!(
+                "  {}{:<4}  ({:.3e}, {:.3e}){}",
+                if exact { "*" } else { " " },
+                format!("p{}", s.band),
+                qrun[0],
+                qrun[1],
+                if exact { "  <- exact" } else { "" }
+            );
+        }
+    }
+
+    // §6.3: wall-clock drill-down on 4D_Q91, oracle anchored at 44 s
+    println!("\n=== §6.3: wall-clock comparison on 4D_Q91 ===");
+    let w4 = Workload::q91(4);
+    let rt4 = w4.runtime(EssConfig::coarse(4));
+    let g4 = rt4.ess.grid();
+    let coords: Vec<usize> = (0..4).map(|d| g4.res(d) * 3 / 4).collect();
+    let qa4 = g4.index(&coords);
+    let secs = 44.0 / rt4.oracle_cost(qa4);
+
+    let native = NativeOptimizer.discover(&rt4, qa4);
+    let sb4 = SpillBound::with_refined_bounds().discover(&rt4, qa4);
+    let ab4 = AlignedBound::new().discover(&rt4, qa4);
+    println!("optimal plan : {:7.1} s", 44.0);
+    println!(
+        "native       : {:7.1} s  (subopt {:.1})",
+        native.total_cost * secs,
+        native.subopt()
+    );
+    println!(
+        "SpillBound   : {:7.1} s  (subopt {:.1}, {} executions)",
+        sb4.total_cost * secs,
+        sb4.subopt(),
+        sb4.num_executions()
+    );
+    println!(
+        "AlignedBound : {:7.1} s  (subopt {:.1}, {} executions)",
+        ab4.total_cost * secs,
+        ab4.subopt(),
+        ab4.num_executions()
+    );
+}

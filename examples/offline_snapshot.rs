@@ -1,0 +1,53 @@
+//! Offline ESS compilation (§7): compile once, snapshot to JSON, reload
+//! instantly for canned queries.
+//!
+//! Run with: `cargo run --release --example offline_snapshot`
+
+use robust_qp::ess::PospSnapshot;
+use robust_qp::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let w = Workload::q91(2);
+
+    // the expensive step: optimizer at every grid location
+    let t0 = Instant::now();
+    let rt = w.runtime(EssConfig { resolution: 32, ..Default::default() });
+    let compile_time = t0.elapsed();
+
+    // snapshot it
+    let snap = PospSnapshot::capture(&rt.ess);
+    let json = snap.to_json();
+    let path = std::env::temp_dir().join("rqp_2d_q91.ess.json");
+    std::fs::write(&path, &json).expect("snapshot written");
+    println!(
+        "compiled {} cells / {} plans in {compile_time:.2?}; snapshot {} KiB at {}",
+        rt.ess.grid().num_cells(),
+        rt.ess.posp.num_plans(),
+        json.len() / 1024,
+        path.display()
+    );
+
+    // the cheap step: restore without touching the optimizer
+    let t1 = Instant::now();
+    let loaded = std::fs::read_to_string(&path).expect("snapshot read");
+    let restored = PospSnapshot::from_json(&loaded)
+        .expect("snapshot parses")
+        .restore()
+        .expect("snapshot restores");
+    println!(
+        "restored in {:.2?} ({}x faster than compiling)",
+        t1.elapsed(),
+        (compile_time.as_nanos() / t1.elapsed().as_nanos().max(1)).max(1)
+    );
+
+    // the restored ESS is bit-identical where it matters
+    assert_eq!(restored.posp.num_plans(), rt.ess.posp.num_plans());
+    for cell in rt.ess.grid().cells() {
+        assert_eq!(restored.posp.cost(cell), rt.ess.posp.cost(cell));
+        assert_eq!(restored.posp.plan_id(cell), rt.ess.posp.plan_id(cell));
+    }
+    println!("restored ESS verified identical on all {} cells", rt.ess.grid().num_cells());
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,61 @@
+//! A robustness report over the full benchmark suite: guarantees and
+//! empirical MSO/ASO for PlanBouquet, SpillBound and AlignedBound, in one
+//! table — the condensed content of the paper's Figs. 8, 10, 11 and 13.
+//!
+//! Run with: `cargo run --release --example robustness_report`
+//! (pass `--fast` to use very coarse grids)
+
+use robust_qp::prelude::*;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    println!(
+        "{:<8} {:>2} {:>7} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7}",
+        "query", "D", "ρ_red", "PB MSOg", "SB MSOg", "PB MSOe", "SB MSOe", "AB MSOe", "PB ASO",
+        "SB ASO", "AB ASO"
+    );
+    for &bq in BenchQuery::all() {
+        let w = Workload::tpcds(bq);
+        let d = w.query.dims();
+        let mut cfg = EssConfig::coarse(d);
+        if fast {
+            cfg.resolution = (cfg.resolution * 2 / 3).max(4);
+        }
+        let rt = w.runtime(cfg);
+
+        let pb = PlanBouquet::anorexic(&rt, 0.2);
+        let rho = pb.rho(&rt);
+        let sb = SpillBound::new();
+        let ab = AlignedBound::new();
+
+        let pb_ev = evaluate(&rt, &pb);
+        let sb_ev = evaluate(&rt, &sb);
+        let ab_ev = evaluate(&rt, &ab);
+
+        println!(
+            "{:<8} {:>2} {:>7} {:>8.1} {:>8.1} | {:>8.1} {:>8.1} {:>8.1} | {:>7.2} {:>7.2} {:>7.2}",
+            bq.name(),
+            d,
+            rho,
+            pb_guarantee(rho, 0.2),
+            sb_guarantee(d),
+            pb_ev.mso,
+            sb_ev.mso,
+            ab_ev.mso,
+            pb_ev.aso,
+            sb_ev.aso,
+            ab_ev.aso,
+        );
+    }
+
+    // the JOB coda (§6.5)
+    let w = Workload::job_q1a();
+    let rt = w.runtime(EssConfig::coarse(3));
+    let native = robust_qp::core::native::native_mso_worst_estimate(&rt);
+    let sb = evaluate(&rt, &SpillBound::new());
+    let ab = evaluate(&rt, &AlignedBound::new());
+    println!(
+        "\nJOB Q1a: native MSO {:.0} -> SB {:.1} -> AB {:.1}",
+        native, sb.mso, ab.mso
+    );
+}

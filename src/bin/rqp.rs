@@ -1,0 +1,268 @@
+//! `rqp` — command-line front end to the robust query processing library.
+//!
+//! ```text
+//! rqp list
+//! rqp compile  --query 4D_Q91 [--resolution N] [--out ess.json]
+//! rqp run      --query 4D_Q91 [--algo sb|ab|pb|native] [--qa s1,s2,..] [--resolution N]
+//! rqp report   --query 3D_Q15 [--resolution N]
+//! rqp atlas    --query 2D_Q91 [--resolution N]
+//! rqp sql      --catalog tpcds|imdb --file query.sql [--algo sb] [--resolution N]
+//! ```
+
+use robust_qp::core::native::native_mso_worst_estimate;
+use robust_qp::ess::PospSnapshot;
+use robust_qp::prelude::*;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "list" => list(),
+        "compile" => compile(&flags),
+        "run" => run(&flags),
+        "report" => report(&flags),
+        "atlas" => atlas(&flags),
+        "sql" => sql(&flags),
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "rqp — robust query processing\n\
+         commands:\n\
+         \x20 list                                   list named workloads\n\
+         \x20 compile --query NAME [--resolution N] [--out FILE]\n\
+         \x20 run     --query NAME [--algo sb|ab|pb|native] [--qa s1,s2,..]\n\
+         \x20 report  --query NAME [--resolution N]\n\
+         \x20 atlas   --query NAME [--resolution N]   (2-epp queries)\n\
+         \x20 sql     --catalog tpcds|imdb --file FILE [--algo sb]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("expected --flag, got {a:?}");
+            exit(2);
+        };
+        let Some(v) = it.next() else {
+            eprintln!("flag --{key} needs a value");
+            exit(2);
+        };
+        flags.insert(key.to_string(), v.clone());
+    }
+    flags
+}
+
+fn workload_by_name(name: &str) -> Workload {
+    if name.eq_ignore_ascii_case("JOB_Q1a") {
+        return Workload::job_q1a();
+    }
+    if let Some(d) = name.strip_suffix("D_Q91").and_then(|p| p.parse::<usize>().ok()) {
+        if (2..=6).contains(&d) {
+            return Workload::q91(d);
+        }
+    }
+    for &bq in BenchQuery::all() {
+        if bq.name().eq_ignore_ascii_case(name) {
+            return Workload::tpcds(bq);
+        }
+    }
+    eprintln!("unknown workload {name:?}; try `rqp list`");
+    exit(2);
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing required flag --{key}");
+        exit(2);
+    })
+}
+
+fn config_for(flags: &HashMap<String, String>, dims: usize) -> EssConfig {
+    let mut cfg = EssConfig::coarse(dims);
+    if let Some(r) = flags.get("resolution") {
+        cfg.resolution = r.parse().unwrap_or_else(|_| {
+            eprintln!("bad --resolution {r:?}");
+            exit(2);
+        });
+    }
+    cfg
+}
+
+fn algo_by_name(name: &str) -> Box<dyn Discovery> {
+    match name.to_ascii_lowercase().as_str() {
+        "sb" => Box::new(SpillBound::with_refined_bounds()),
+        "ab" => Box::new(AlignedBound::new()),
+        "pb" => Box::new(PlanBouquet::new()),
+        "native" => Box::new(NativeOptimizer),
+        other => {
+            eprintln!("unknown algorithm {other:?} (sb|ab|pb|native)");
+            exit(2);
+        }
+    }
+}
+
+fn list() {
+    println!("named workloads:");
+    for &bq in BenchQuery::all() {
+        println!("  {:<8} TPC-DS, {} error-prone join predicates", bq.name(), bq.dims());
+    }
+    for d in 2..=6 {
+        println!("  {d}D_Q91   TPC-DS Q91 with {d} epps (dimensionality sweep)");
+    }
+    println!("  JOB_Q1a  Join Order Benchmark Q1a, 3 epps");
+}
+
+fn compile(flags: &HashMap<String, String>) {
+    let w = workload_by_name(required(flags, "query"));
+    let cfg = config_for(flags, w.query.dims());
+    let t0 = std::time::Instant::now();
+    let rt = w.runtime(cfg);
+    println!(
+        "compiled {}: {} cells, {} plans, {} contours in {:.2?}",
+        w.query.name,
+        rt.ess.grid().num_cells(),
+        rt.ess.posp.num_plans(),
+        rt.ess.contours.num_bands(),
+        t0.elapsed()
+    );
+    if let Some(out) = flags.get("out") {
+        let snap = PospSnapshot::capture(&rt.ess);
+        std::fs::write(out, snap.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            exit(1);
+        });
+        println!("snapshot written to {out}");
+    }
+}
+
+fn run(flags: &HashMap<String, String>) {
+    let w = workload_by_name(required(flags, "query"));
+    let cfg = config_for(flags, w.query.dims());
+    let rt = w.runtime(cfg);
+    let grid = rt.ess.grid();
+    let qa = match flags.get("qa") {
+        None => grid.num_cells() / 2,
+        Some(spec) => {
+            let vals: Vec<f64> = spec
+                .split(',')
+                .map(|s| {
+                    s.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("bad selectivity {s:?} in --qa");
+                        exit(2);
+                    })
+                })
+                .collect();
+            if vals.len() != grid.dims() {
+                eprintln!("--qa needs {} comma-separated selectivities", grid.dims());
+                exit(2);
+            }
+            let coords: Vec<usize> =
+                vals.iter().enumerate().map(|(d, &v)| grid.snap_ceil(d, v)).collect();
+            grid.index(&coords)
+        }
+    };
+    let algo = algo_by_name(flags.get("algo").map(String::as_str).unwrap_or("sb"));
+    let trace = algo.discover(&rt, qa);
+    println!("qa = {} (cell {qa})", grid.location(qa));
+    println!("{}", trace.render());
+}
+
+fn report(flags: &HashMap<String, String>) {
+    let w = workload_by_name(required(flags, "query"));
+    let d = w.query.dims();
+    let cfg = config_for(flags, d);
+    let rt = w.runtime(cfg);
+    let pb = PlanBouquet::anorexic(&rt, 0.2);
+    let rho = pb.rho(&rt);
+    println!("{}: D = {d}, ρ_red = {rho}", w.query.name);
+    println!("  guarantees: PB {:>7.1}   SB {:>7.1}   AB [{:.0}, {:.0}]",
+        pb_guarantee(rho, 0.2),
+        sb_guarantee(d),
+        ab_guarantee_range(d).0,
+        ab_guarantee_range(d).1,
+    );
+    let pb_ev = evaluate(&rt, &pb);
+    let sb_ev = evaluate(&rt, &SpillBound::new());
+    let ab_ev = evaluate(&rt, &AlignedBound::new());
+    println!(
+        "  empirical:  PB MSO {:>5.1} ASO {:>5.2} | SB MSO {:>5.1} ASO {:>5.2} | AB MSO {:>5.1} ASO {:>5.2}",
+        pb_ev.mso, pb_ev.aso, sb_ev.mso, sb_ev.aso, ab_ev.mso, ab_ev.aso
+    );
+    println!("  native worst-case MSO: {:.0}", native_mso_worst_estimate(&rt));
+}
+
+fn atlas(flags: &HashMap<String, String>) {
+    let w = workload_by_name(required(flags, "query"));
+    if w.query.dims() != 2 {
+        eprintln!("atlas needs a 2-epp query (try 2D_Q91)");
+        exit(2);
+    }
+    let cfg = config_for(flags, 2);
+    let rt = w.runtime(cfg);
+    let grid = rt.ess.grid();
+    let res = grid.res(0);
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    println!("plan diagram ({} plans):", rt.ess.posp.num_plans());
+    for y in (0..res).rev() {
+        let row: String = (0..res)
+            .map(|x| {
+                let id = rt.ess.posp.plan_id(grid.index(&[x, y])).0 as usize;
+                GLYPHS[id % GLYPHS.len()] as char
+            })
+            .collect();
+        println!("  {row}");
+    }
+    println!("contour bands (digit = band mod 10):");
+    for y in (0..res).rev() {
+        let row: String = (0..res)
+            .map(|x| {
+                char::from_digit((rt.ess.contours.band_of(grid.index(&[x, y])) % 10) as u32, 10)
+                    .unwrap()
+            })
+            .collect();
+        println!("  {row}");
+    }
+}
+
+fn sql(flags: &HashMap<String, String>) {
+    let catalog = match required(flags, "catalog") {
+        c if c.eq_ignore_ascii_case("tpcds") => robust_qp::workloads::tpcds_catalog(),
+        c if c.eq_ignore_ascii_case("imdb") => robust_qp::workloads::imdb_catalog(),
+        other => {
+            eprintln!("unknown catalog {other:?} (tpcds|imdb)");
+            exit(2);
+        }
+    };
+    let file = required(flags, "file");
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(1);
+    });
+    let query = robust_qp::catalog::parse_query(&catalog, "adhoc", &text)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1);
+        });
+    println!("parsed {:?}: {} relations, {} epps", file, query.relations.len(), query.dims());
+    let cfg = config_for(flags, query.dims());
+    let rt = RobustRuntime::compile(&catalog, &query, CostModel::default(), cfg);
+    let algo = algo_by_name(flags.get("algo").map(String::as_str).unwrap_or("sb"));
+    let qa = rt.ess.grid().num_cells() / 2;
+    let trace = algo.discover(&rt, qa);
+    println!("{}", trace.render());
+}

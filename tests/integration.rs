@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: the full pipeline from catalog building
+//! through ESS compilation to robust discovery, exercised over the public
+//! facade API.
+
+use robust_qp::core::native::native_mso_worst_estimate;
+use robust_qp::prelude::*;
+use robust_qp::qplan::pipeline::{epp_spill_order, pipelines, spill_subtree};
+
+fn example_runtime(resolution: usize) -> (Catalog, Query) {
+    let catalog = CatalogBuilder::new()
+        .relation(
+            RelationBuilder::new("part", 2_000_000)
+                .indexed_column("p_partkey", 2_000_000, 8)
+                .column("p_retailprice", 50_000, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("lineitem", 60_000_000)
+                .indexed_column("l_partkey", 2_000_000, 8)
+                .indexed_column("l_orderkey", 15_000_000, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("orders", 15_000_000)
+                .indexed_column("o_orderkey", 15_000_000, 8)
+                .build(),
+        )
+        .build();
+    let query = QueryBuilder::new(&catalog, "EQ")
+        .table("part")
+        .table("lineitem")
+        .table("orders")
+        .epp_join("part", "p_partkey", "lineitem", "l_partkey")
+        .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
+        .filter("part", "p_retailprice", 0.05)
+        .build();
+    let _ = resolution;
+    (catalog, query)
+}
+
+fn compile<'a>(catalog: &'a Catalog, query: &'a Query, resolution: usize) -> RobustRuntime<'a> {
+    // the runtime borrows both; callers keep them alive
+    RobustRuntime::compile(
+        catalog,
+        query,
+        CostModel::default(),
+        EssConfig { resolution, min_sel: 1e-6, ..Default::default() },
+    )
+}
+
+#[test]
+fn all_algorithms_complete_with_valid_suboptimality() {
+    let (catalog, query) = example_runtime(12);
+    let rt = compile(&catalog, &query, 12);
+    let algos: Vec<Box<dyn Discovery>> = vec![
+        Box::new(PlanBouquet::new()),
+        Box::new(PlanBouquet::anorexic(&rt, 0.2)),
+        Box::new(SpillBound::new()),
+        Box::new(SpillBound::with_refined_bounds()),
+        Box::new(AlignedBound::new()),
+        Box::new(NativeOptimizer),
+    ];
+    let cells = [
+        rt.ess.grid().origin(),
+        rt.ess.grid().num_cells() / 3,
+        rt.ess.grid().num_cells() / 2,
+        rt.ess.grid().terminus(),
+    ];
+    for algo in &algos {
+        for &qa in &cells {
+            let t = algo.discover(&rt, qa);
+            assert!(
+                t.subopt() >= 1.0 - 1e-9,
+                "{} at {qa}: subopt {} below 1",
+                algo.name(),
+                t.subopt()
+            );
+            assert!(t.steps.last().unwrap().completed, "{} at {qa}", algo.name());
+            for s in &t.steps {
+                assert!(
+                    s.spent <= s.budget * (1.0 + 1e-9),
+                    "{} at {qa}: spent exceeds budget",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn guarantees_hold_empirically_for_sb_and_ab() {
+    let (catalog, query) = example_runtime(12);
+    let rt = compile(&catalog, &query, 12);
+    let d = rt.dims();
+    // band-discretized guarantee (see DESIGN.md): 2 × (D²+3D)
+    let bound = 2.0 * sb_guarantee(d);
+    let sb = evaluate(&rt, &SpillBound::new());
+    let ab = evaluate(&rt, &AlignedBound::new());
+    assert!(sb.mso <= bound, "SB MSOe {} > {bound}", sb.mso);
+    assert!(ab.mso <= bound, "AB MSOe {} > {bound}", ab.mso);
+    // PlanBouquet's band-discretized behavioural bound: 8(1+λ)ρ_red
+    let pb = PlanBouquet::anorexic(&rt, 0.2);
+    let rho = pb.rho(&rt);
+    let pb_ev = evaluate(&rt, &pb);
+    assert!(
+        pb_ev.mso <= 2.0 * pb_guarantee(rho, 0.2),
+        "PB MSOe {} > band-adjusted 8(1+λ)ρ = {}",
+        pb_ev.mso,
+        2.0 * pb_guarantee(rho, 0.2)
+    );
+}
+
+#[test]
+fn optimizer_plans_decompose_into_pipelines_and_spill_subtrees() {
+    let (catalog, query) = example_runtime(8);
+    let rt = compile(&catalog, &query, 8);
+    let grid = rt.ess.grid();
+    for cell in [0, grid.num_cells() / 2, grid.terminus()] {
+        let loc = grid.location(cell);
+        let planned = rt.optimizer.optimize(&loc);
+        // the plan joins all query relations
+        let mut rels = planned.plan.base_relations();
+        rels.sort();
+        let mut expect = query.relations.clone();
+        expect.sort();
+        assert_eq!(rels, expect);
+        // pipelines cover the plan, epps have a total order
+        assert!(!pipelines(&planned.plan).is_empty());
+        let order = epp_spill_order(&planned.plan, &query);
+        assert_eq!(order.len(), query.dims(), "every epp appears in spill order");
+        // spill subtrees cost no more than the full plan
+        for &e in &order {
+            let sub = spill_subtree(&planned.plan, &query, e).unwrap();
+            assert!(
+                rt.optimizer.cost_of(&sub, &loc) <= planned.cost * (1.0 + 1e-9),
+                "subtree more expensive than plan"
+            );
+        }
+    }
+}
+
+#[test]
+fn native_baseline_is_dominated_by_spillbound_in_the_worst_case() {
+    let (catalog, query) = example_runtime(10);
+    let rt = compile(&catalog, &query, 10);
+    let native_worst = native_mso_worst_estimate(&rt);
+    let sb = evaluate(&rt, &SpillBound::new());
+    assert!(
+        native_worst > sb.mso,
+        "native worst-case {} should exceed SB MSOe {}",
+        native_worst,
+        sb.mso
+    );
+}
+
+#[test]
+fn tpcds_suite_smoke_runs_every_query() {
+    let catalog = robust_qp::workloads::tpcds_catalog();
+    for &bq in BenchQuery::all() {
+        let query = bq.build(&catalog);
+        let rt = RobustRuntime::compile(
+            &catalog,
+            &query,
+            CostModel::default(),
+            EssConfig { resolution: 4, ..Default::default() },
+        );
+        let sb = SpillBound::new();
+        for qa in [rt.ess.grid().origin(), rt.ess.grid().terminus()] {
+            let t = sb.discover(&rt, qa);
+            assert!(t.steps.last().unwrap().completed, "{} cell {qa}", bq.name());
+            assert!(t.subopt() >= 1.0 - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn evaluation_is_deterministic_across_runs() {
+    let (catalog, query) = example_runtime(8);
+    let rt = compile(&catalog, &query, 8);
+    let a = evaluate(&rt, &SpillBound::new());
+    let b = evaluate(&rt, &SpillBound::new());
+    assert_eq!(a.mso, b.mso);
+    assert_eq!(a.subopts, b.subopts);
+    let c = evaluate(&rt, &AlignedBound::new());
+    let d = evaluate(&rt, &AlignedBound::new());
+    assert_eq!(c.subopts, d.subopts);
+}
+
+#[test]
+fn alignment_statistics_exposed_through_facade() {
+    let (catalog, query) = example_runtime(10);
+    let rt = compile(&catalog, &query, 10);
+    let stats = alignment_stats(&rt);
+    assert!(!stats.per_contour_penalty.is_empty());
+    assert!(stats.pct_within(f64::INFINITY) == 100.0);
+}
