@@ -1,0 +1,22 @@
+# Convenience targets for the robust-qp workspace.
+
+.PHONY: verify build test clippy bench reproduce
+
+# The full pre-merge gate: release build, quiet tests, zero clippy warnings.
+verify:
+	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings
+
+build:
+	cargo build --workspace --release
+
+test:
+	cargo test --workspace
+
+clippy:
+	cargo clippy --workspace -- -D warnings
+
+bench:
+	cargo bench --workspace
+
+reproduce:
+	cargo run --release -p rqp-bench --bin reproduce

@@ -1,27 +1,99 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! Usage:
-//!   reproduce [--full] [EXPERIMENT ...]
+//!   reproduce [--full] [--list] [--metrics PATH] [--events PATH]
+//!             [--prometheus PATH] [EXPERIMENT ...]
 //!
-//! Without arguments all experiments run at Quick scale; `--full` switches
-//! to the DESIGN.md resolution schedule. Experiments: fig7 fig8 fig9 fig10
-//! fig12 fig13 table2 table3 job baselines random ratio anorexic cost_error resolution.
+//! Without experiment names every experiment runs; `--full` switches from
+//! the Quick scale to the DESIGN.md resolution schedule. `--list` prints
+//! the experiment names and exits. `--metrics` dumps the final metrics
+//! registry as JSON, `--events` streams structured JSONL events during the
+//! run, and `--prometheus` writes the registry in Prometheus text format.
+//! Unknown experiment names or flags are rejected.
 
 use rqp_bench::*;
 use std::time::Instant;
 
+struct Cli {
+    scale: Scale,
+    wanted: Vec<String>,
+    obs: ObsOptions,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: reproduce [--full] [--list] [--metrics PATH] [--events PATH] \
+         [--prometheus PATH] [EXPERIMENT ...]\nexperiments: {}",
+        EXPERIMENTS.join(" ")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut scale = Scale::Quick;
+    let mut wanted = Vec::new();
+    let mut obs = ObsOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--list" => {
+                for name in EXPERIMENTS {
+                    println!("{name}");
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            "--metrics" | "--events" | "--prometheus" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a file path argument"))?
+                    .clone();
+                match arg.as_str() {
+                    "--metrics" => obs.metrics_path = Some(path),
+                    "--events" => obs.events_path = Some(path),
+                    _ => obs.prometheus_path = Some(path),
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag: {flag}\n{}", usage()));
+            }
+            name => {
+                if !EXPERIMENTS.contains(&name) {
+                    return Err(format!(
+                        "unknown experiment: {name}\nvalid experiments: {}",
+                        EXPERIMENTS.join(" ")
+                    ));
+                }
+                wanted.push(name.to_string());
+            }
+        }
+    }
+    Ok(Some(Cli { scale, wanted, obs }))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let scale = if full { Scale::Full } else { Scale::Quick };
-    let wanted: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
-    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
 
-    println!(
-        "robust-qp reproduction harness (scale: {:?})\n",
-        scale
-    );
+    if let Err(e) = rqp_bench::obs::init(&cli.obs) {
+        eprintln!("error: failed to set up observability outputs: {e}");
+        std::process::exit(1);
+    }
+
+    let scale = cli.scale;
+    let want = |name: &str| cli.wanted.is_empty() || cli.wanted.iter().any(|w| w == name);
+
+    println!("robust-qp reproduction harness (scale: {:?})\n", scale);
 
     let t0 = Instant::now();
     if want("fig7") {
@@ -30,13 +102,19 @@ fn main() {
     }
     if want("fig8") {
         section("Fig 8: MSO guarantees");
-        println!("{}", render_guarantees("Fig 8: MSO guarantees (PB vs SB)", &fig8_mso_guarantees(scale)));
+        println!(
+            "{}",
+            render_guarantees("Fig 8: MSO guarantees (PB vs SB)", &fig8_mso_guarantees(scale))
+        );
     }
     if want("fig9") {
         section("Fig 9: guarantee vs dimensionality (Q91)");
         println!(
             "{}",
-            render_guarantees("Fig 9: MSOg vs dimensionality (Q91, D=2..6)", &fig9_dimensionality(scale))
+            render_guarantees(
+                "Fig 9: MSOg vs dimensionality (Q91, D=2..6)",
+                &fig9_dimensionality(scale)
+            )
         );
     }
     if want("fig10") || want("fig11") {
@@ -88,6 +166,22 @@ fn main() {
         println!("{}", render_resolution(&ablation_resolution(scale)));
     }
     println!("total: {:.1?}", t0.elapsed());
+
+    if let Err(e) = rqp_bench::obs::finish(&cli.obs) {
+        eprintln!("error: failed to write observability outputs: {e}");
+        std::process::exit(1);
+    }
+    if cli.obs.any() {
+        for (label, path) in [
+            ("metrics", &cli.obs.metrics_path),
+            ("events", &cli.obs.events_path),
+            ("prometheus", &cli.obs.prometheus_path),
+        ] {
+            if let Some(p) = path {
+                println!("{label}: {p}");
+            }
+        }
+    }
 }
 
 fn section(title: &str) {

@@ -8,10 +8,33 @@
 //! schedule, used by `reproduce --full` to regenerate EXPERIMENTS.md).
 
 pub mod experiments;
+pub mod obs;
 pub mod render;
 
 pub use experiments::*;
+pub use obs::{register_all_metrics, ObsOptions};
 pub use render::*;
+
+/// Every experiment name `reproduce` accepts, in presentation order.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table2",
+    "table3",
+    "table4",
+    "job",
+    "ratio",
+    "anorexic",
+    "baselines",
+    "random",
+    "cost_error",
+    "resolution",
+];
 
 use rqp_core::RobustRuntime;
 use rqp_ess::EssConfig;

@@ -1,0 +1,62 @@
+//! Observability wiring for the reproduction harness: pre-register every
+//! metric series, optionally stream JSONL events, and dump the registry as
+//! JSON and/or Prometheus text when a run finishes.
+
+use std::io;
+use std::sync::Arc;
+
+/// Where a `reproduce` run should leave its machine-readable record.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Write the final metrics registry snapshot as JSON here.
+    pub metrics_path: Option<String>,
+    /// Stream structured events as JSONL here while running.
+    pub events_path: Option<String>,
+    /// Write the final registry in Prometheus text exposition format here.
+    pub prometheus_path: Option<String>,
+}
+
+impl ObsOptions {
+    /// True when any output was requested.
+    pub fn any(&self) -> bool {
+        self.metrics_path.is_some() || self.events_path.is_some() || self.prometheus_path.is_some()
+    }
+}
+
+/// Pre-register every workspace metric series at zero, so a snapshot taken
+/// after a run that exercised only part of the stack (e.g. `fig8`, which
+/// computes guarantees without any budgeted executions) still lists all
+/// standard names.
+pub fn register_all_metrics() {
+    rqp_optimizer::register_metrics();
+    rqp_ess::register_metrics();
+    rqp_executor::register_metrics();
+    rqp_core::register_metrics();
+}
+
+/// Set up observability for a run: register all series and, when an events
+/// path is given, install the JSONL sink.
+pub fn init(opts: &ObsOptions) -> io::Result<()> {
+    register_all_metrics();
+    if let Some(path) = &opts.events_path {
+        let sink = rqp_obs::JsonlSink::create(path)?;
+        rqp_obs::set_sink(Arc::new(sink));
+    }
+    Ok(())
+}
+
+/// Tear down observability after a run: flush and remove the event sink,
+/// then write the requested metric dumps.
+pub fn finish(opts: &ObsOptions) -> io::Result<()> {
+    if opts.events_path.is_some() {
+        rqp_obs::flush_sink();
+        rqp_obs::clear_sink();
+    }
+    if let Some(path) = &opts.metrics_path {
+        std::fs::write(path, rqp_obs::global().to_json_pretty())?;
+    }
+    if let Some(path) = &opts.prometheus_path {
+        std::fs::write(path, rqp_obs::global().render_prometheus())?;
+    }
+    Ok(())
+}

@@ -107,9 +107,11 @@ impl Discovery for PlanBouquet {
 
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
         let qa_loc = rt.ess.grid().location(qa);
+        let band_hist = crate::obs::band_histogram(self.name());
         let mut steps = Vec::new();
         let mut total = 0.0;
         for band in 0..rt.ess.contours.num_bands() {
+            let _band_span = rqp_obs::time_histogram(&band_hist);
             for &(plan_id, budget) in self.band_plans(rt, band).iter() {
                 let plan = rt.ess.posp.plan(plan_id);
                 let out = rt.engine.execute_budgeted(plan, &qa_loc, budget);
@@ -124,13 +126,15 @@ impl Discovery for PlanBouquet {
                     learned: None,
                 });
                 if out.completed() {
-                    return DiscoveryTrace {
+                    let trace = DiscoveryTrace {
                         algo: self.name(),
                         qa,
                         steps,
                         total_cost: total,
                         oracle_cost: rt.oracle_cost(qa),
                     };
+                    crate::obs::record_trace(&trace);
+                    return trace;
                 }
             }
         }
@@ -138,13 +142,15 @@ impl Discovery for PlanBouquet {
         // completes); with a δ-perturbed engine (§7) actual costs can
         // overshoot every budget, so run the final plan to completion.
         run_to_completion(rt, None, &qa_loc, &mut steps, &mut total);
-        DiscoveryTrace {
+        let trace = DiscoveryTrace {
             algo: self.name(),
             qa,
             steps,
             total_cost: total,
             oracle_cost: rt.oracle_cost(qa),
-        }
+        };
+        crate::obs::record_trace(&trace);
+        trace
     }
 }
 

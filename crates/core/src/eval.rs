@@ -83,13 +83,9 @@ fn summarize(name: &str, subopts: Vec<f64>) -> Evaluation {
             worst = i;
         }
     }
-    Evaluation {
-        name: name.to_string(),
-        mso,
-        worst_cell: worst,
-        aso: sum / subopts.len() as f64,
-        subopts,
-    }
+    let aso = sum / subopts.len() as f64;
+    crate::obs::record_evaluation(name, mso, aso, subopts.len());
+    Evaluation { name: name.to_string(), mso, worst_cell: worst, aso, subopts }
 }
 
 #[cfg(test)]

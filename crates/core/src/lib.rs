@@ -30,6 +30,7 @@ pub mod guarantees;
 pub mod knowledge;
 pub mod lowerbound;
 pub mod native;
+pub mod obs;
 pub mod reopt;
 pub mod runtime;
 pub mod spillbound;
@@ -43,6 +44,7 @@ pub use guarantees::{ab_guarantee_range, pb_guarantee, sb_guarantee};
 pub use knowledge::Knowledge;
 pub use lowerbound::AdversarialGame;
 pub use native::NativeOptimizer;
+pub use obs::register_metrics;
 pub use reopt::ReOptimizer;
 pub use runtime::RobustRuntime;
 pub use spillbound::SpillBound;

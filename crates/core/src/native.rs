@@ -27,7 +27,7 @@ impl Discovery for NativeOptimizer {
         let qa_loc = rt.ess.grid().location(qa);
         let cost = rt.optimizer.cost_of(&planned.plan, &qa_loc);
         let band = rt.ess.contours.band_of(qa);
-        DiscoveryTrace {
+        let trace = DiscoveryTrace {
             algo: self.name(),
             qa,
             steps: vec![Step {
@@ -41,7 +41,9 @@ impl Discovery for NativeOptimizer {
             }],
             total_cost: cost,
             oracle_cost: rt.oracle_cost(qa),
-        }
+        };
+        crate::obs::record_trace(&trace);
+        trace
     }
 }
 

@@ -1,0 +1,105 @@
+//! Instrumentation shared by the discovery algorithms.
+//!
+//! Every algorithm funnels its finished [`DiscoveryTrace`] through
+//! [`record_trace`], which bumps the per-algorithm run/step/completion
+//! counters and — when an event sink is installed — replays the trace's
+//! learned selectivities as `learned_selectivity` events and emits one
+//! `discovery_complete` summary. Discovery runs in rayon threads during
+//! exhaustive MSO evaluation, so everything here is lock-free past the
+//! registry lookup.
+
+use crate::trace::DiscoveryTrace;
+use rqp_obs::{global, labeled, names, Counter, Histogram};
+use std::sync::Arc;
+
+/// Per-algorithm counter handle: `base{algo="<name>"}`.
+pub(crate) fn algo_counter(base: &str, algo: &str) -> Arc<Counter> {
+    global().counter(&labeled(base, &[("algo", algo)]))
+}
+
+/// Per-algorithm band-latency histogram:
+/// `rqp_discovery_band_seconds{algo="<name>"}`.
+pub(crate) fn band_histogram(algo: &str) -> Arc<Histogram> {
+    global().histogram(
+        &labeled(names::DISCOVERY_BAND_SECONDS, &[("algo", algo)]),
+        &rqp_obs::default_latency_buckets(),
+    )
+}
+
+/// Count one half-space pruning band promotion (SB/AB learnt only a lower
+/// bound on the current contour and jumped to the next one, §3.1.2) and
+/// emit the matching event.
+pub(crate) fn half_space_prune(algo: &str, band: usize, epp_bounds: usize) {
+    algo_counter(names::DISCOVERY_HALF_SPACE_PRUNES, algo).inc();
+    if rqp_obs::events_enabled() {
+        rqp_obs::emit(
+            rqp_obs::Event::new(names::EV_HALF_SPACE_PRUNING)
+                .with("algo", algo)
+                .with("band", band as u64)
+                .with("bounded_dims", epp_bounds as u64),
+        );
+    }
+}
+
+/// Account a finished discovery run.
+pub(crate) fn record_trace(trace: &DiscoveryTrace) {
+    let algo = trace.algo;
+    algo_counter(names::DISCOVERY_RUNS, algo).inc();
+    algo_counter(names::DISCOVERY_STEPS, algo).add(trace.steps.len() as u64);
+    if trace.steps.last().is_some_and(|s| s.completed) {
+        algo_counter(names::DISCOVERY_COMPLETED, algo).inc();
+    }
+    if rqp_obs::events_enabled() {
+        for step in &trace.steps {
+            if let Some((epp, value, exact)) = step.learned {
+                rqp_obs::emit(
+                    rqp_obs::Event::new(names::EV_LEARNED_SELECTIVITY)
+                        .with("algo", algo)
+                        .with("band", step.band as u64)
+                        .with("epp", epp.0 as u64)
+                        .with("value", value)
+                        .with("exact", exact),
+                );
+            }
+        }
+        rqp_obs::emit(
+            rqp_obs::Event::new(names::EV_DISCOVERY_COMPLETE)
+                .with("algo", algo)
+                .with("qa", trace.qa as u64)
+                .with("steps", trace.steps.len() as u64)
+                .with("total_cost", trace.total_cost)
+                .with("oracle_cost", trace.oracle_cost)
+                .with("subopt", trace.subopt()),
+        );
+    }
+}
+
+/// Publish an algorithm's summarized evaluation as gauges
+/// (`rqp_eval_mso{algo=…}`, `rqp_eval_aso{algo=…}`) and an `evaluation`
+/// event.
+pub(crate) fn record_evaluation(algo: &str, mso: f64, aso: f64, cells: usize) {
+    global().gauge(&labeled(names::EVAL_MSO, &[("algo", algo)])).set(mso);
+    global().gauge(&labeled(names::EVAL_ASO, &[("algo", algo)])).set(aso);
+    if rqp_obs::events_enabled() {
+        rqp_obs::emit(
+            rqp_obs::Event::new(names::EV_EVALUATION)
+                .with("algo", algo)
+                .with("mso", mso)
+                .with("aso", aso)
+                .with("cells", cells as u64),
+        );
+    }
+}
+
+/// Pre-register the discovery metric series (at zero) for the standard
+/// algorithm names, so snapshots taken before any discovery still list
+/// them.
+pub fn register_metrics() {
+    for algo in ["PB", "SB", "AB", "Native", "ReOpt"] {
+        let _ = algo_counter(names::DISCOVERY_RUNS, algo);
+        let _ = algo_counter(names::DISCOVERY_STEPS, algo);
+        let _ = algo_counter(names::DISCOVERY_COMPLETED, algo);
+        let _ = algo_counter(names::DISCOVERY_HALF_SPACE_PRUNES, algo);
+        let _ = band_histogram(algo);
+    }
+}

@@ -135,13 +135,15 @@ impl Discovery for ReOptimizer {
                         completed: true,
                         learned: None,
                     });
-                    return DiscoveryTrace {
+                    let trace = DiscoveryTrace {
                         algo: self.name(),
                         qa,
                         steps,
                         total_cost: total,
                         oracle_cost: rt.oracle_cost(qa),
                     };
+                    crate::obs::record_trace(&trace);
+                    return trace;
                 }
             }
         }

@@ -138,6 +138,7 @@ impl Discovery for SpillBound {
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
         let grid = rt.ess.grid();
         let qa_loc = grid.location(qa);
+        let band_hist = crate::obs::band_histogram(self.name());
         let m = rt.ess.contours.num_bands();
         let mut know = Knowledge::new(grid);
         let mut steps = Vec::new();
@@ -145,6 +146,7 @@ impl Discovery for SpillBound {
         let mut band = 0usize;
 
         loop {
+            let _band_span = rqp_obs::time_histogram(&band_hist);
             let unlearnt = know.unlearnt();
             if unlearnt.len() <= 1 || band >= m {
                 bouquet_endgame(rt, &know, band.min(m - 1), qa, &qa_loc, &mut steps, &mut total);
@@ -184,17 +186,21 @@ impl Discovery for SpillBound {
                 }
             }
             if !learnt_exact {
-                band += 1; // half-space pruning: qa lies beyond this contour
+                // half-space pruning: qa lies beyond this contour
+                crate::obs::half_space_prune(self.name(), band, unlearnt.len());
+                band += 1;
             }
         }
 
-        DiscoveryTrace {
+        let trace = DiscoveryTrace {
             algo: self.name(),
             qa,
             steps,
             total_cost: total,
             oracle_cost: rt.oracle_cost(qa),
-        }
+        };
+        crate::obs::record_trace(&trace);
+        trace
     }
 }
 

@@ -73,7 +73,17 @@ pub struct DiscoveryTrace {
 
 impl DiscoveryTrace {
     /// The instance sub-optimality `SubOpt(Seq_qa, qa)` (Eq. 3).
+    ///
+    /// A valid oracle cost is strictly positive (PCM cost surfaces are
+    /// bounded away from zero). If `oracle_cost <= 0` (or is NaN) the ratio
+    /// is meaningless, so the documented sentinel `f64::INFINITY` is
+    /// returned — a corrupt trace reads as "unboundedly sub-optimal" rather
+    /// than silently producing `NaN` or a negative ratio that would skew
+    /// MSO/ASO aggregation.
     pub fn subopt(&self) -> f64 {
+        if self.oracle_cost.is_nan() || self.oracle_cost <= 0.0 {
+            return f64::INFINITY;
+        }
         self.total_cost / self.oracle_cost
     }
 
@@ -134,6 +144,24 @@ mod tests {
             completed,
             learned: None,
         }
+    }
+
+    #[test]
+    fn subopt_guards_against_nonpositive_oracle_cost() {
+        let mut t = DiscoveryTrace {
+            algo: "test",
+            qa: 0,
+            steps: vec![step(0, 5.0, true)],
+            total_cost: 5.0,
+            oracle_cost: 0.0,
+        };
+        assert_eq!(t.subopt(), f64::INFINITY, "zero oracle cost → sentinel");
+        t.oracle_cost = -3.0;
+        assert_eq!(t.subopt(), f64::INFINITY, "negative oracle cost → sentinel");
+        t.oracle_cost = f64::NAN;
+        assert_eq!(t.subopt(), f64::INFINITY, "NaN oracle cost → sentinel");
+        t.oracle_cost = 5.0;
+        assert_eq!(t.subopt(), 1.0, "valid oracle cost unaffected");
     }
 
     #[test]

@@ -12,11 +12,13 @@
 pub mod anorexic;
 pub mod contours;
 pub mod grid;
+pub mod obs;
 pub mod posp;
 pub mod registry;
 pub mod snapshot;
 
 pub use anorexic::{anorexic_reduce, Reduced};
+pub use obs::register_metrics;
 pub use contours::ContourSet;
 pub use grid::{Cell, Grid};
 pub use posp::Posp;
@@ -83,10 +85,49 @@ pub struct Ess {
 impl Ess {
     /// Compile the ESS for the optimizer's query.
     pub fn compile(optimizer: &Optimizer<'_>, config: EssConfig) -> Ess {
+        let m = obs::metrics();
+        m.compiles.inc();
+        let span = rqp_obs::time_histogram(&m.compile_seconds);
+        let opt_calls = rqp_obs::global().counter(rqp_obs::names::OPTIMIZER_CALLS);
+        let calls_before = opt_calls.get();
+
         let dims = optimizer.query().dims().max(1);
         let grid = Grid::uniform(dims, config.resolution, config.min_sel);
         let posp = Posp::compile(optimizer, grid);
+
+        let contour_span = rqp_obs::time_histogram(&m.contour_build_seconds);
         let contours = ContourSet::build(&posp, config.contour_ratio);
+        let contour_secs = contour_span.stop();
+
+        m.grid_cells.set(posp.grid().num_cells() as f64);
+        m.contour_bands.set(contours.num_bands() as f64);
+        m.posp_plans.set(posp.num_plans() as f64);
+
+        if rqp_obs::events_enabled() {
+            for band in 0..contours.num_bands() {
+                rqp_obs::emit(
+                    rqp_obs::Event::new(rqp_obs::names::EV_CONTOUR_BAND)
+                        .with("query", optimizer.query().name.as_str())
+                        .with("band", band as u64)
+                        .with("cost", contours.cc(band))
+                        .with("cells", contours.cells(band).len() as u64)
+                        .with("plans", contours.plans_on(&posp, band).len() as u64),
+                );
+            }
+            rqp_obs::emit(
+                rqp_obs::Event::new(rqp_obs::names::EV_ESS_COMPILE)
+                    .with("query", optimizer.query().name.as_str())
+                    .with("dims", dims as u64)
+                    .with("resolution", config.resolution as u64)
+                    .with("grid_cells", posp.grid().num_cells() as u64)
+                    .with("posp_plans", posp.num_plans() as u64)
+                    .with("contour_bands", contours.num_bands() as u64)
+                    .with("optimizer_calls", opt_calls.get() - calls_before)
+                    .with("contour_build_seconds", contour_secs)
+                    .with("compile_seconds", span.stop()),
+            );
+        }
+
         Ess { posp, contours }
     }
 

@@ -1,0 +1,51 @@
+//! Instrumentation handles for ESS compilation — the §7 "repeated calls to
+//! the optimizer" overhead this crate exists to pay.
+
+use rqp_obs::{default_latency_buckets, global, names, Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct EssMetrics {
+    /// `rqp_ess_memo_hits_total`
+    pub memo_hits: Arc<Counter>,
+    /// `rqp_ess_posp_cells_total`
+    pub posp_cells: Arc<Counter>,
+    /// `rqp_ess_posp_compile_seconds`
+    pub posp_compile_seconds: Arc<Histogram>,
+    /// `rqp_ess_posp_plans`
+    pub posp_plans: Arc<Gauge>,
+    /// `rqp_ess_compile_seconds`
+    pub compile_seconds: Arc<Histogram>,
+    /// `rqp_ess_contour_build_seconds`
+    pub contour_build_seconds: Arc<Histogram>,
+    /// `rqp_ess_contour_bands`
+    pub contour_bands: Arc<Gauge>,
+    /// `rqp_ess_grid_cells`
+    pub grid_cells: Arc<Gauge>,
+    /// `rqp_ess_compiles_total`
+    pub compiles: Arc<Counter>,
+}
+
+pub(crate) fn metrics() -> &'static EssMetrics {
+    static METRICS: OnceLock<EssMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = global();
+        let buckets = default_latency_buckets();
+        EssMetrics {
+            memo_hits: g.counter(names::ESS_MEMO_HITS),
+            posp_cells: g.counter(names::ESS_POSP_CELLS),
+            posp_compile_seconds: g.histogram(names::ESS_POSP_COMPILE_SECONDS, &buckets),
+            posp_plans: g.gauge(names::ESS_POSP_PLANS),
+            compile_seconds: g.histogram(names::ESS_COMPILE_SECONDS, &buckets),
+            contour_build_seconds: g.histogram(names::ESS_CONTOUR_BUILD_SECONDS, &buckets),
+            contour_bands: g.gauge(names::ESS_CONTOUR_BANDS),
+            grid_cells: g.gauge(names::ESS_GRID_CELLS),
+            compiles: g.counter(names::ESS_COMPILES),
+        }
+    })
+}
+
+/// Pre-register the ESS metric series (at zero) in the global registry, so
+/// snapshots taken before any compile still list them.
+pub fn register_metrics() {
+    let _ = metrics();
+}

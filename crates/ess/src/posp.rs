@@ -28,6 +28,10 @@ pub struct Posp {
 impl Posp {
     /// Compile the POSP by optimizing at every grid location in parallel.
     pub fn compile(optimizer: &Optimizer<'_>, grid: Grid) -> Posp {
+        let m = crate::obs::metrics();
+        let _span = rqp_obs::time_histogram(&m.posp_compile_seconds);
+        m.posp_cells.add(grid.num_cells() as u64);
+
         let distinct: Mutex<HashMap<Fingerprint, PlanNode>> = Mutex::new(HashMap::new());
         let per_cell: Vec<(Fingerprint, f64)> = grid
             .cells()
@@ -37,8 +41,15 @@ impl Posp {
                 let planned = optimizer.optimize(&loc);
                 let fp = Fingerprint::of(&planned.plan);
                 {
+                    use std::collections::hash_map::Entry as MapEntry;
                     let mut map = distinct.lock();
-                    map.entry(fp).or_insert(planned.plan);
+                    match map.entry(fp) {
+                        // another cell already compiled this exact plan
+                        MapEntry::Occupied(_) => m.memo_hits.inc(),
+                        MapEntry::Vacant(slot) => {
+                            slot.insert(planned.plan);
+                        }
+                    }
                 }
                 (fp, planned.cost)
             })

@@ -21,9 +21,11 @@
 //!   `e_j` or learns `qa.j > q.j`.
 
 pub mod data;
+pub mod obs;
 pub mod rowexec;
 
 pub use data::{DataSet, Table};
+pub use obs::register_metrics;
 pub use rowexec::{QuotaExhausted, RowExecutor, Rows, Schema, SpillObservation};
 
 use rqp_catalog::{Catalog, EppId, Query, SelVector};
@@ -140,6 +142,30 @@ impl<'a> Engine<'a> {
         (1.0 + self.delta).powf(t)
     }
 
+    /// Account one spill-mode execution (shared by the refined and coarse
+    /// variants).
+    fn record_spill(&self, epp: EppId, out: &SpillOutcome, budget: f64) {
+        let m = obs::metrics();
+        m.spill.inc();
+        if out.learned.is_exact() {
+            m.spill_exact.inc();
+        } else {
+            m.spill_bound.inc();
+        }
+        obs::spill_observation(epp.0);
+        if rqp_obs::events_enabled() {
+            rqp_obs::emit(
+                rqp_obs::Event::new(rqp_obs::names::EV_SPILL_EXECUTION)
+                    .with("query", self.query.name.as_str())
+                    .with("epp", epp.0 as u64)
+                    .with("budget", budget)
+                    .with("exact", out.learned.is_exact())
+                    .with("learned", out.learned.value())
+                    .with("spent", out.spent),
+            );
+        }
+    }
+
     /// True cost of running `plan` to completion at the actual location
     /// (including any cost-model error).
     pub fn true_cost(&self, plan: &PlanNode, qa: &SelVector) -> f64 {
@@ -149,12 +175,27 @@ impl<'a> Engine<'a> {
 
     /// Execute `plan` with a cost budget at actual location `qa`.
     pub fn execute_budgeted(&self, plan: &PlanNode, qa: &SelVector, budget: f64) -> ExecOutcome {
+        let m = obs::metrics();
+        m.budgeted.inc();
         let cost = self.true_cost(plan, qa);
-        if cost <= budget {
+        let outcome = if cost <= budget {
+            m.completed.inc();
             ExecOutcome::Completed { cost }
         } else {
+            m.expired.inc();
             ExecOutcome::BudgetExhausted { spent: budget }
+        };
+        if rqp_obs::events_enabled() {
+            rqp_obs::emit(
+                rqp_obs::Event::new(rqp_obs::names::EV_BUDGETED_EXECUTION)
+                    .with("query", self.query.name.as_str())
+                    .with("budget", budget)
+                    .with("true_cost", cost)
+                    .with("completed", outcome.completed())
+                    .with("spent", outcome.spent()),
+            );
         }
+        outcome
     }
 
     /// Execute `plan` in spill-mode on `epp` with a cost budget.
@@ -167,6 +208,19 @@ impl<'a> Engine<'a> {
     /// # Panics
     /// Panics if the plan does not evaluate the epp's predicate.
     pub fn execute_spill(
+        &self,
+        plan: &PlanNode,
+        epp: EppId,
+        reference: &SelVector,
+        qa: &SelVector,
+        budget: f64,
+    ) -> SpillOutcome {
+        let out = self.spill_refined(plan, epp, reference, qa, budget);
+        self.record_spill(epp, &out, budget);
+        out
+    }
+
+    fn spill_refined(
         &self,
         plan: &PlanNode,
         epp: EppId,
@@ -220,6 +274,19 @@ impl<'a> Engine<'a> {
     /// (`qa.j > q.j`) — which is all the discovery algorithms need. This
     /// skips the bisection and keeps exhaustive MSO evaluation cheap.
     pub fn execute_spill_coarse(
+        &self,
+        plan: &PlanNode,
+        epp: EppId,
+        reference: &SelVector,
+        qa: &SelVector,
+        budget: f64,
+    ) -> SpillOutcome {
+        let out = self.spill_coarse(plan, epp, reference, qa, budget);
+        self.record_spill(epp, &out, budget);
+        out
+    }
+
+    fn spill_coarse(
         &self,
         plan: &PlanNode,
         epp: EppId,

@@ -1,0 +1,51 @@
+//! Instrumentation handles for the execution engine: budgeted-execution
+//! accounting and spill observations (the run-time monitoring of §6.1).
+
+use rqp_obs::{global, labeled, names, Counter};
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct ExecMetrics {
+    /// `rqp_exec_budgeted_total`
+    pub budgeted: Arc<Counter>,
+    /// `rqp_exec_budgeted_completed_total`
+    pub completed: Arc<Counter>,
+    /// `rqp_exec_budget_expired_total`
+    pub expired: Arc<Counter>,
+    /// `rqp_exec_spill_total`
+    pub spill: Arc<Counter>,
+    /// `rqp_exec_spill_exact_total`
+    pub spill_exact: Arc<Counter>,
+    /// `rqp_exec_spill_bound_total`
+    pub spill_bound: Arc<Counter>,
+}
+
+pub(crate) fn metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = global();
+        ExecMetrics {
+            budgeted: g.counter(names::EXEC_BUDGETED),
+            completed: g.counter(names::EXEC_BUDGETED_COMPLETED),
+            expired: g.counter(names::EXEC_BUDGET_EXPIRED),
+            spill: g.counter(names::EXEC_SPILL),
+            spill_exact: g.counter(names::EXEC_SPILL_EXACT),
+            spill_bound: g.counter(names::EXEC_SPILL_BOUND),
+        }
+    })
+}
+
+/// Bump the per-epp spill-observation series,
+/// `rqp_exec_spill_observations_total{epp="<id>"}`. The labelled handle is
+/// looked up per call — spills are rare next to optimizer invocations, and
+/// the lookup is one `RwLock` read on the registry.
+pub(crate) fn spill_observation(epp: usize) {
+    global()
+        .counter(&labeled(names::EXEC_SPILL_OBSERVATIONS, &[("epp", &epp.to_string())]))
+        .inc();
+}
+
+/// Pre-register the engine's metric series (at zero) in the global
+/// registry, so snapshots taken before any execution still list them.
+pub fn register_metrics() {
+    let _ = metrics();
+}

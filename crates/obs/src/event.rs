@@ -1,0 +1,221 @@
+//! The structured event stream: a process-global, pluggable sink behind a
+//! single atomic switch.
+//!
+//! The default state is "no sink installed": [`events_enabled`] is one
+//! relaxed atomic load returning `false`, so instrumented hot paths
+//! (`Engine::execute_budgeted`, the discovery loops) pay essentially
+//! nothing unless the user asked for `--events`.
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One structured event. Serializes as a flat JSON object:
+/// `{"event":"budgeted_execution","budget":12.5,…}`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Event {
+    /// The event kind, e.g. `"budgeted_execution"`.
+    #[serde(rename = "event")]
+    pub name: String,
+    /// Free-form payload fields, flattened into the object.
+    #[serde(flatten)]
+    pub fields: Map<String, Value>,
+}
+
+impl Event {
+    /// A new event with no payload yet.
+    pub fn new(name: &str) -> Self {
+        Event { name: name.to_string(), fields: Map::new() }
+    }
+
+    /// Attach a payload field (builder style).
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.fields.insert(key.to_string(), value.into());
+        self
+    }
+}
+
+/// Where emitted events go.
+pub trait EventSink: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: &Event);
+    /// Flush any buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// A sink writing one JSON object per line to any `Write` target.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    /// Wrap a writer (file, stderr, `Vec<u8>`…).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink { out: Mutex::new(out) }
+    }
+
+    /// Open (create/truncate) a JSONL file at `path`.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(f))))
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, event: &Event) {
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut out = self.out.lock();
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(b"\n");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+/// A sink buffering events in memory; useful in tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn drain(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn EventSink>>> = RwLock::new(None);
+
+/// True when a sink is installed. Instrumented code should check this
+/// before building an [`Event`] so the disabled path stays free.
+#[inline]
+pub fn events_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install the process-global event sink (replacing any previous one).
+pub fn set_sink(sink: Arc<dyn EventSink>) {
+    *SINK.write() = Some(sink);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Remove the sink; [`events_enabled`] turns false again.
+pub fn clear_sink() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *SINK.write() = None;
+}
+
+/// Send an event to the installed sink, if any.
+pub fn emit(event: Event) {
+    if !events_enabled() {
+        return;
+    }
+    let guard = SINK.read();
+    if let Some(sink) = guard.as_ref() {
+        sink.record(&event);
+    }
+}
+
+/// Flush the installed sink, if any.
+pub fn flush_sink() {
+    let guard = SINK.read();
+    if let Some(sink) = guard.as_ref() {
+        sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_event_round_trip_through_serde_json() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = JsonlSink::new(Box::new(Shared(Arc::clone(&buf))));
+        let ev = Event::new("budgeted_execution")
+            .with("budget", 12.5)
+            .with("completed", true)
+            .with("algo", "SB");
+        sink.record(&ev);
+        sink.record(&Event::new("spill_execution").with("epp", 2));
+
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: Event = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(back, ev);
+        assert_eq!(back.name, "budgeted_execution");
+        assert_eq!(back.fields["budget"], Value::from(12.5));
+        let v: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(v["event"], "spill_execution");
+        assert_eq!(v["epp"], 2);
+    }
+
+    // Global sink state is process-wide, so all assertions about it live
+    // in this single test to avoid interference from parallel test threads.
+    #[test]
+    fn global_sink_lifecycle() {
+        assert!(!events_enabled(), "no sink installed at start");
+        emit(Event::new("dropped")); // no-op, must not panic
+
+        let mem = Arc::new(MemorySink::new());
+        set_sink(Arc::clone(&mem) as Arc<dyn EventSink>);
+        assert!(events_enabled());
+        emit(Event::new("kept").with("n", 1));
+        flush_sink();
+        assert_eq!(mem.len(), 1);
+        assert_eq!(mem.drain()[0].name, "kept");
+
+        clear_sink();
+        assert!(!events_enabled());
+        emit(Event::new("dropped_again"));
+        assert_eq!(mem.len(), 1, "cleared sink receives nothing");
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Observability for robust-qp: metrics, timing spans and a structured
+//! event stream.
+//!
+//! The paper's own prototype leans on run-time monitoring — operator
+//! selectivity observation and budgeted-execution accounting (§6.1) — and
+//! flags ESS compilation ("repeated calls to the optimizer") as the
+//! dominant overhead (§7). This crate provides the system-wide telemetry
+//! layer the rest of the workspace records into:
+//!
+//! * a thread-safe [`MetricsRegistry`] of named [`Counter`]s, [`Gauge`]s
+//!   and fixed-bucket [`Histogram`]s, with JSON and Prometheus-text
+//!   exports ([`MetricsRegistry::snapshot`],
+//!   [`MetricsRegistry::render_prometheus`]);
+//! * lightweight RAII timing spans ([`Timer`]) feeding histograms;
+//! * a pluggable structured [`EventSink`] (JSONL via [`JsonlSink`], or
+//!   in-memory via [`MemorySink`]) behind a process-global switch. The
+//!   default sink is *none*: [`events_enabled`] is a single relaxed atomic
+//!   load, so instrumented code costs approximately nothing when
+//!   observability is off.
+//!
+//! Metric mutation (counter increments, histogram observations) is always
+//! on — individual operations are single relaxed atomics, negligible next
+//! to the optimizer invocations and plan costings they account for.
+//!
+//! All metric names used across the workspace are centralized in
+//! [`names`] so producers and consumers cannot drift apart.
+
+pub mod event;
+pub mod metrics;
+pub mod names;
+pub mod span;
+
+pub use event::{
+    clear_sink, emit, events_enabled, flush_sink, set_sink, Event, EventSink, JsonlSink,
+    MemorySink,
+};
+pub use metrics::{
+    exponential_buckets, global, labeled, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot,
+};
+pub use span::{default_latency_buckets, time_histogram, Timer};

@@ -1,0 +1,487 @@
+//! The thread-safe metrics registry: counters, gauges and fixed-bucket
+//! histograms, with JSON and Prometheus-text exports.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64` (stored as raw bits).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` exceeds the current value.
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self
+                .0
+                .compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A fixed-bucket histogram. `bounds` are the inclusive upper edges of the
+/// finite buckets, in strictly ascending order; one extra overflow bucket
+/// catches everything beyond the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given finite upper bounds (ascending).
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts,
+            sum: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. A value `v` lands in the first bucket whose
+    /// upper bound is `>= v` (the overflow bucket if none is).
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| v > b);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum, v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
+    }
+
+    /// The finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries; the last is the
+    /// overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Exponential bucket bounds: `start, start·factor, …` (`count` bounds).
+///
+/// # Panics
+/// Panics unless `start > 0`, `factor > 1` and `count >= 1`.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count >= 1, "invalid bucket schedule");
+    let mut v = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        v.push(b);
+        b *= factor;
+    }
+    v
+}
+
+/// Format a metric name with labels, `base{k="v",…}` — the flat naming
+/// convention the registry uses for labelled series.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{base}{{{}}}", body.join(","))
+}
+
+/// A point-in-time copy of a histogram, serializable and diffable.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1`; last is overflow).
+    pub counts: Vec<u64>,
+}
+
+/// A point-in-time copy of the whole registry. Serializes to the JSON that
+/// `reproduce --metrics` writes, and deserializes back for diffing runs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// A thread-safe registry of named metrics. Handles are `Arc`s: look one up
+/// once (e.g. into a `OnceLock` local to the instrumented module) and
+/// mutate it lock-free afterwards.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter with this name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create the gauge with this name.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create the histogram with this name. The bounds apply only on
+    /// first registration; later callers receive the existing histogram.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Snapshot every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+
+    /// Snapshot as pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("metrics serialize")
+    }
+
+    /// Render the registry in the Prometheus text exposition format.
+    /// Labelled series (`base{k="v"}` names) are grouped under their base
+    /// name; histograms expand to cumulative `_bucket`/`_sum`/`_count`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut last_type: Option<String> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let base = name.split('{').next().unwrap_or(name).to_string();
+            if last_type.as_deref() != Some(base.as_str()) {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+                last_type = Some(base);
+            }
+        };
+
+        for (name, c) in self.counters.read().iter() {
+            type_line(&mut out, name, "counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in self.gauges.read().iter() {
+            type_line(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, h) in self.histograms.read().iter() {
+            type_line(&mut out, name, "histogram");
+            let (base, labels) = match name.find('{') {
+                Some(i) => (&name[..i], name[i + 1..name.len() - 1].to_string()),
+                None => (&name[..], String::new()),
+            };
+            let with_le = |le: &str| {
+                if labels.is_empty() {
+                    format!("{base}_bucket{{le=\"{le}\"}}")
+                } else {
+                    format!("{base}_bucket{{{labels},le=\"{le}\"}}")
+                }
+            };
+            let mut cum = 0u64;
+            let counts = h.bucket_counts();
+            for (i, &b) in h.bounds().iter().enumerate() {
+                cum += counts[i];
+                let _ = writeln!(out, "{} {cum}", with_le(&format!("{b}")));
+            }
+            cum += counts[h.bounds().len()];
+            let _ = writeln!(out, "{} {cum}", with_le("+Inf"));
+            let suffix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            let _ = writeln!(out, "{base}_sum{suffix} {}", h.sum());
+            let _ = writeln!(out, "{base}_count{suffix} {}", h.count());
+        }
+        out
+    }
+
+    /// Remove every metric (test isolation).
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+/// The process-global registry all workspace instrumentation records into.
+pub fn global() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("c_total").get(), 5, "same name, same counter");
+        let g = reg.gauge("g");
+        g.set(2.5);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(7.0);
+        assert_eq!(reg.gauge("g").get(), 7.0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_rayon_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("parallel_total");
+        let h = reg.histogram("parallel_hist", &[0.5]);
+        rayon::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move |_| {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.observe((i % 2) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.bucket_counts(), vec![40_000, 40_000]);
+        assert!((h.sum() - 40_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_edges() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.0, 0.5, 1.0] {
+            h.observe(v); // first bucket: v <= 1.0
+        }
+        h.observe(1.0000001); // second bucket
+        h.observe(10.0); // still second (inclusive upper edge)
+        h.observe(99.0); // third
+        h.observe(100.0); // third (inclusive)
+        h.observe(1e9); // overflow
+        assert_eq!(h.bucket_counts(), vec![3, 2, 2, 1]);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn exponential_buckets_grow_geometrically() {
+        let b = exponential_buckets(1e-6, 4.0, 5);
+        assert_eq!(b.len(), 5);
+        assert!((b[4] / b[3] - 4.0).abs() < 1e-12);
+        assert!((b[0] - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn labeled_formats_flat_series_names() {
+        assert_eq!(labeled("m_total", &[]), "m_total");
+        assert_eq!(labeled("m_total", &[("algo", "SB")]), "m_total{algo=\"SB\"}");
+        assert_eq!(
+            labeled("m", &[("a", "1"), ("b", "2")]),
+            "m{a=\"1\",b=\"2\"}"
+        );
+    }
+
+    #[test]
+    fn snapshot_serializes_and_deserializes() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(3);
+        reg.gauge("b").set(1.25);
+        reg.histogram("h", &[1.0, 2.0]).observe(1.5);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counters["a_total"], 3);
+        assert_eq!(back.histograms["h"].counts, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").add(2);
+        reg.gauge("g").set(0.5);
+        let h = reg.histogram("lat{algo=\"SB\"}", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE c_total counter"));
+        assert!(text.contains("c_total 2"));
+        assert!(text.contains("# TYPE g gauge"));
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{algo=\"SB\",le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{algo=\"SB\",le=\"2\"} 2"));
+        assert!(text.contains("lat_bucket{algo=\"SB\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_count{algo=\"SB\"} 3"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.reset();
+        assert_eq!(reg.snapshot().counters.len(), 0);
+        assert_eq!(reg.counter("x").get(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Canonical metric and event names used across the workspace.
+//!
+//! Producers (optimizer, ess, executor, core) and consumers (bench, tests,
+//! dashboards) must both go through these constants so the series names
+//! cannot drift apart. Labelled series are flat names built with
+//! [`crate::labeled`], e.g. `rqp_discovery_steps_total{algo="SB"}`.
+
+// ---- optimizer --------------------------------------------------------
+
+/// Counter: total `Optimizer::optimize` invocations.
+pub const OPTIMIZER_CALLS: &str = "rqp_optimizer_calls_total";
+/// Histogram: wall-clock seconds per `Optimizer::optimize` call.
+pub const OPTIMIZER_OPTIMIZE_SECONDS: &str = "rqp_optimizer_optimize_seconds";
+/// Counter: DP memo entries materialized (plans enumerated).
+pub const OPTIMIZER_DP_ENTRIES: &str = "rqp_optimizer_dp_entries_total";
+/// Counter: join candidates considered across all DP splits.
+pub const OPTIMIZER_JOIN_CANDIDATES: &str = "rqp_optimizer_join_candidates_total";
+/// Counter: spill-constrained optimize calls (`optimize_spilling_on`).
+pub const OPTIMIZER_SPILL_CONSTRAINED_CALLS: &str = "rqp_optimizer_spill_constrained_calls_total";
+
+// ---- ess --------------------------------------------------------------
+
+/// Counter: POSP grid-cell fingerprints that hit an already-compiled plan.
+pub const ESS_MEMO_HITS: &str = "rqp_ess_memo_hits_total";
+/// Counter: POSP grid cells optimized.
+pub const ESS_POSP_CELLS: &str = "rqp_ess_posp_cells_total";
+/// Histogram: seconds per POSP compile (the §7 "repeated optimizer calls" overhead).
+pub const ESS_POSP_COMPILE_SECONDS: &str = "rqp_ess_posp_compile_seconds";
+/// Gauge: distinct plans in the most recent POSP.
+pub const ESS_POSP_PLANS: &str = "rqp_ess_posp_plans";
+/// Histogram: seconds per full `Ess::compile`.
+pub const ESS_COMPILE_SECONDS: &str = "rqp_ess_compile_seconds";
+/// Histogram: seconds to build the iso-cost contour set.
+pub const ESS_CONTOUR_BUILD_SECONDS: &str = "rqp_ess_contour_build_seconds";
+/// Gauge: contour bands in the most recent compile.
+pub const ESS_CONTOUR_BANDS: &str = "rqp_ess_contour_bands";
+/// Gauge: grid cells in the most recent compile.
+pub const ESS_GRID_CELLS: &str = "rqp_ess_grid_cells";
+/// Counter: total `Ess::compile` invocations.
+pub const ESS_COMPILES: &str = "rqp_ess_compiles_total";
+
+// ---- executor ---------------------------------------------------------
+
+/// Counter: budgeted executions started.
+pub const EXEC_BUDGETED: &str = "rqp_exec_budgeted_total";
+/// Counter: budgeted executions that completed within budget.
+pub const EXEC_BUDGETED_COMPLETED: &str = "rqp_exec_budgeted_completed_total";
+/// Counter: budgeted executions cut off at the budget.
+pub const EXEC_BUDGET_EXPIRED: &str = "rqp_exec_budget_expired_total";
+/// Counter: spill-mode executions (bisection-refined).
+pub const EXEC_SPILL: &str = "rqp_exec_spill_total";
+/// Counter: spill executions learning an exact selectivity.
+pub const EXEC_SPILL_EXACT: &str = "rqp_exec_spill_exact_total";
+/// Counter: spill executions learning only a lower bound.
+pub const EXEC_SPILL_BOUND: &str = "rqp_exec_spill_bound_total";
+/// Labelled counter base: spill observations per error-prone predicate,
+/// `rqp_exec_spill_observations_total{epp="<id>"}`.
+pub const EXEC_SPILL_OBSERVATIONS: &str = "rqp_exec_spill_observations_total";
+
+// ---- discovery / evaluation ------------------------------------------
+
+/// Labelled counter base: discovery runs per algorithm (`{algo="…"}`).
+pub const DISCOVERY_RUNS: &str = "rqp_discovery_runs_total";
+/// Labelled counter base: execution steps taken per algorithm.
+pub const DISCOVERY_STEPS: &str = "rqp_discovery_steps_total";
+/// Labelled counter base: discoveries whose final step completed.
+pub const DISCOVERY_COMPLETED: &str = "rqp_discovery_completed_total";
+/// Labelled histogram base: seconds spent per contour band.
+pub const DISCOVERY_BAND_SECONDS: &str = "rqp_discovery_band_seconds";
+/// Labelled counter base: half-space pruning steps (band promotions on a
+/// learned lower bound).
+pub const DISCOVERY_HALF_SPACE_PRUNES: &str = "rqp_discovery_half_space_prunes_total";
+/// Labelled gauge base: worst-case suboptimality per algorithm.
+pub const EVAL_MSO: &str = "rqp_eval_mso";
+/// Labelled gauge base: average suboptimality per algorithm.
+pub const EVAL_ASO: &str = "rqp_eval_aso";
+
+// ---- event kinds ------------------------------------------------------
+
+/// Event: one budgeted execution (one per `Engine::execute_budgeted`).
+pub const EV_BUDGETED_EXECUTION: &str = "budgeted_execution";
+/// Event: one spill-mode execution.
+pub const EV_SPILL_EXECUTION: &str = "spill_execution";
+/// Event: an `Ess::compile` finished.
+pub const EV_ESS_COMPILE: &str = "ess_compile";
+/// Event: one contour band summarized during compile.
+pub const EV_CONTOUR_BAND: &str = "contour_band";
+/// Event: a selectivity was learned during discovery.
+pub const EV_LEARNED_SELECTIVITY: &str = "learned_selectivity";
+/// Event: a half-space pruning band promotion.
+pub const EV_HALF_SPACE_PRUNING: &str = "half_space_pruning";
+/// Event: a discovery run finished.
+pub const EV_DISCOVERY_COMPLETE: &str = "discovery_complete";
+/// Event: an algorithm's MSO/ASO evaluation was summarized.
+pub const EV_EVALUATION: &str = "evaluation";

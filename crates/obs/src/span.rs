@@ -1,0 +1,84 @@
+//! RAII timing spans feeding histograms.
+
+use crate::metrics::{exponential_buckets, Histogram};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default latency bucket bounds: 1µs to ~268ms in ×4 steps (14 buckets
+/// plus the implicit overflow bucket). Wide enough to span a single plan
+/// costing up to a full ESS compile band.
+pub fn default_latency_buckets() -> Vec<f64> {
+    exponential_buckets(1e-6, 4.0, 14)
+}
+
+/// An RAII timing span. On drop it observes the elapsed wall-clock seconds
+/// into its histogram. Create one with [`time_histogram`] or
+/// [`Timer::new`]; use [`Timer::stop`] to end it early and read the
+/// elapsed time.
+#[derive(Debug)]
+pub struct Timer {
+    hist: Option<Arc<Histogram>>,
+    start: Instant,
+}
+
+impl Timer {
+    /// Start a span that reports into `hist` when dropped.
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        Timer { hist: Some(hist), start: Instant::now() }
+    }
+
+    /// Elapsed seconds so far, without ending the span.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// End the span now, record the observation, and return the elapsed
+    /// seconds.
+    pub fn stop(mut self) -> f64 {
+        let secs = self.elapsed();
+        if let Some(h) = self.hist.take() {
+            h.observe(secs);
+        }
+        secs
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.observe(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Start a [`Timer`] against a histogram handle.
+pub fn time_histogram(hist: &Arc<Histogram>) -> Timer {
+    Timer::new(Arc::clone(hist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn timer_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("span_seconds", &default_latency_buckets());
+        {
+            let _t = time_histogram(&h);
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn stop_records_exactly_once() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("span_seconds", &default_latency_buckets());
+        let t = time_histogram(&h);
+        let secs = t.stop();
+        assert!(secs >= 0.0);
+        assert_eq!(h.count(), 1, "stop() consumed the timer; drop adds nothing");
+    }
+}

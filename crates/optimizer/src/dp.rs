@@ -129,6 +129,10 @@ impl<'a> Optimizer<'a> {
 
     /// The cheapest plan for the query at the injected ESS location.
     pub fn optimize(&self, loc: &SelVector) -> Planned {
+        let m = crate::obs::metrics();
+        m.calls.inc();
+        let _span = rqp_obs::time_histogram(&m.optimize_seconds);
+
         let ctx = PlanCtx::new(self.catalog, self.query, loc);
         let n = self.query.relations.len();
         let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
@@ -144,6 +148,8 @@ impl<'a> Optimizer<'a> {
             }
             dp[mask as usize] = self.best_join(mask, &dp, &ctx);
         }
+
+        m.dp_entries.add(dp.iter().filter(|e| e.is_some()).count() as u64);
 
         let entry = dp[full as usize]
             .clone()
@@ -238,6 +244,7 @@ impl<'a> Optimizer<'a> {
     /// Best join plan for `mask`, combining DP entries of its partitions.
     fn best_join(&self, mask: u32, dp: &[Option<Entry>], ctx: &PlanCtx<'_>) -> Option<Entry> {
         let mut best: Option<(f64, PlanProps, u32, u32, Cand, Vec<PredId>)> = None;
+        let mut candidates: u64 = 0;
 
         let mut consider = |lmask: u32, rmask: u32| {
             let (Some(le), Some(re)) = (&dp[lmask as usize], &dp[rmask as usize]) else {
@@ -252,6 +259,7 @@ impl<'a> Optimizer<'a> {
             let r = (re.cost, re.props);
 
             let mut push = |cost: f64, props: PlanProps, cand: Cand| {
+                candidates += 1;
                 if best.as_ref().is_none_or(|b| cost < b.0) {
                     best = Some((cost, props, lmask, rmask, cand, preds.clone()));
                 }
@@ -335,6 +343,10 @@ impl<'a> Optimizer<'a> {
             }
         }
 
+        if candidates > 0 {
+            crate::obs::metrics().join_candidates.add(candidates);
+        }
+
         let (cost, props, lmask, rmask, cand, preds) = best?;
         let plan = self.build_candidate(lmask, rmask, cand, preds, dp);
         Some(Entry { plan, cost, props })
@@ -395,6 +407,7 @@ impl<'a> Optimizer<'a> {
         target: EppId,
         unlearnt: &BTreeSet<EppId>,
     ) -> Option<Planned> {
+        crate::obs::metrics().spill_constrained_calls.inc();
         let unconstrained = self.optimize(loc);
         if spill_target(&unconstrained.plan, self.query, unlearnt) == Some(target) {
             return Some(unconstrained);

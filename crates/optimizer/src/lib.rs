@@ -23,5 +23,7 @@
 //! engine extension §6.1 adds for AlignedBound's replacement-plan search.
 
 pub mod dp;
+pub mod obs;
 
 pub use dp::{JoinShape, Optimizer, OptimizerConfig, Planned};
+pub use obs::register_metrics;

@@ -1,0 +1,42 @@
+//! Instrumentation handles for the DP enumerator.
+//!
+//! All handles are looked up once from the global [`rqp_obs`] registry and
+//! cached in a `OnceLock`, so a hot-path increment is a single relaxed
+//! atomic operation.
+
+use rqp_obs::{default_latency_buckets, global, names, Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct OptMetrics {
+    /// `rqp_optimizer_calls_total`
+    pub calls: Arc<Counter>,
+    /// `rqp_optimizer_optimize_seconds`
+    pub optimize_seconds: Arc<Histogram>,
+    /// `rqp_optimizer_dp_entries_total`
+    pub dp_entries: Arc<Counter>,
+    /// `rqp_optimizer_join_candidates_total`
+    pub join_candidates: Arc<Counter>,
+    /// `rqp_optimizer_spill_constrained_calls_total`
+    pub spill_constrained_calls: Arc<Counter>,
+}
+
+pub(crate) fn metrics() -> &'static OptMetrics {
+    static METRICS: OnceLock<OptMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = global();
+        OptMetrics {
+            calls: g.counter(names::OPTIMIZER_CALLS),
+            optimize_seconds: g
+                .histogram(names::OPTIMIZER_OPTIMIZE_SECONDS, &default_latency_buckets()),
+            dp_entries: g.counter(names::OPTIMIZER_DP_ENTRIES),
+            join_candidates: g.counter(names::OPTIMIZER_JOIN_CANDIDATES),
+            spill_constrained_calls: g.counter(names::OPTIMIZER_SPILL_CONSTRAINED_CALLS),
+        }
+    })
+}
+
+/// Pre-register the optimizer's metric series (at zero) in the global
+/// registry, so snapshots taken before any optimization still list them.
+pub fn register_metrics() {
+    let _ = metrics();
+}

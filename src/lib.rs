@@ -29,12 +29,13 @@
 //!
 //! The facade re-exports each layer; see the member crates for details:
 //! [`catalog`], [`qplan`], [`optimizer`], [`executor`], [`ess`], [`core`],
-//! [`workloads`].
+//! [`workloads`], [`obs`].
 
 pub use rqp_catalog as catalog;
 pub use rqp_core as core;
 pub use rqp_ess as ess;
 pub use rqp_executor as executor;
+pub use rqp_obs as obs;
 pub use rqp_optimizer as optimizer;
 pub use rqp_qplan as qplan;
 pub use rqp_workloads as workloads;
