@@ -1,10 +1,15 @@
 # Convenience targets for the robust-qp workspace.
 
-.PHONY: verify build test clippy bench reproduce
+.PHONY: verify build test clippy lint bench reproduce
 
-# The full pre-merge gate: release build, quiet tests, zero clippy warnings.
+# The full pre-merge gate: release build, quiet tests, zero clippy
+# warnings, and a clean rqp-lint pass.
 verify:
-	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings
+	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings && cargo run -q -p rqp-lint
+
+# Workspace invariant linter (see README, "Static analysis").
+lint:
+	cargo run -q -p rqp-lint
 
 build:
 	cargo build --workspace --release

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let rows = ablation_anorexic(Scale::Quick);
     println!("{}", render_anorexic(&rows));
 
-    let w = Workload::tpcds(BenchQuery::Q96_3D);
+    let w = Workload::tpcds(BenchQuery::Q96_3D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     c.bench_function("ablation/anorexic_reduce_lambda02", |b| {
         b.iter(|| black_box(anorexic_reduce(&rt.ess.posp, &rt.optimizer, 0.2).num_plans))

@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     let rows = ablation_cost_error(Scale::Quick);
     println!("{}", render_cost_error(&rows));
 
-    let w = Workload::q91(3);
+    let w = Workload::q91(3).expect("workload builds");
     let mut rt = runtime_for(&w, Scale::Quick);
     rt.set_cost_error(0.3);
     let qa = rt.ess.grid().num_cells() / 2;

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let rows = ablation_cost_ratio(Scale::Quick);
     println!("{}", render_ratio(&rows));
 
-    let w = Workload::q91(2);
+    let w = Workload::q91(2).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     c.bench_function("ablation/contour_build_ratio2", |b| {
         b.iter(|| black_box(ContourSet::build(&rt.ess.posp, 2.0).num_bands()))

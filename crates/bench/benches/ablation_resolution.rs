@@ -14,8 +14,8 @@ fn bench(c: &mut Criterion) {
     let rows = ablation_resolution(Scale::Quick);
     println!("{}", render_resolution(&rows));
 
-    let w = Workload::q91(2);
-    let rt = w.runtime(EssConfig { resolution: 16, ..Default::default() });
+    let w = Workload::q91(2).expect("workload builds");
+    let rt = w.runtime(EssConfig { resolution: 16, ..Default::default() }).expect("ESS compiles");
     c.bench_function("ablation/evaluate_sb_res16_2d_q91", |b| {
         b.iter(|| black_box(evaluate(&rt, &SpillBound::new()).mso))
     });

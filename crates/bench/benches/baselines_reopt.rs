@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     let rows = baselines_comparison(Scale::Quick);
     println!("{}", render_baselines(&rows));
 
-    let w = Workload::tpcds(BenchQuery::Q91_4D);
+    let w = Workload::tpcds(BenchQuery::Q91_4D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     let qa = rt.ess.grid().terminus();
     c.bench_function("baselines/reopt_discover_4d_q91", |b| {

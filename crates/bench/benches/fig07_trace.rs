@@ -11,7 +11,7 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     println!("{}", fig7_trace(Scale::Quick));
 
-    let w = Workload::q91(2);
+    let w = Workload::q91(2).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     let grid = rt.ess.grid();
     let qa = grid.index(&[grid.snap_ceil(0, 0.04), grid.snap_ceil(1, 0.1)]);

@@ -15,11 +15,11 @@ fn bench(c: &mut Criterion) {
     let rows = fig9_dimensionality(Scale::Quick);
     println!("{}", render_guarantees("Fig 9: MSOg vs dimensionality (Q91)", &rows));
 
-    let w = Workload::q91(2);
+    let w = Workload::q91(2).expect("workload builds");
     let opt = Optimizer::new(&w.catalog, &w.query, CostModel::default());
     let cfg = Scale::Quick.ess_config(2);
     c.bench_function("fig09/ess_compile_2d_q91", |b| {
-        b.iter(|| black_box(Ess::compile(&opt, cfg).posp.num_plans()))
+        b.iter(|| black_box(Ess::compile(&opt, cfg).expect("ESS compiles").posp.num_plans()))
     });
 }
 

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let rows = fig10_11_empirical(Scale::Quick);
     println!("{}", render_empirical(&rows));
 
-    let w = Workload::tpcds(BenchQuery::Q15_3D);
+    let w = Workload::tpcds(BenchQuery::Q15_3D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     c.bench_function("fig10/evaluate_sb_full_grid_3d_q15", |b| {
         b.iter(|| black_box(evaluate(&rt, &SpillBound::new()).mso))

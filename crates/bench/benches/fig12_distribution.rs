@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let h = fig12_distribution(Scale::Quick);
     println!("{}", render_histogram(&h));
 
-    let w = Workload::tpcds(BenchQuery::Q91_4D);
+    let w = Workload::tpcds(BenchQuery::Q91_4D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     let ev = evaluate(&rt, &SpillBound::new());
     c.bench_function("fig12/histogram_from_evaluation", |b| {

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let rows = fig13_table4_aligned(Scale::Quick);
     println!("{}", render_aligned(&rows));
 
-    let w = Workload::tpcds(BenchQuery::Q91_4D);
+    let w = Workload::tpcds(BenchQuery::Q91_4D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     let qa = rt.ess.grid().num_cells() / 2;
     c.bench_function("fig13/ab_discover_cold_4d_q91", |b| {

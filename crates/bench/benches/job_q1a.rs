@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let r = job_q1a(Scale::Quick);
     println!("{}", render_job(&r));
 
-    let w = Workload::job_q1a();
+    let w = Workload::job_q1a().expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     c.bench_function("job/native_worst_estimate_mso", |b| {
         b.iter(|| black_box(native_mso_worst_estimate(&rt)))

@@ -14,14 +14,12 @@ use rqp_workloads::{BenchQuery, Workload};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let w = Workload::tpcds(BenchQuery::Q91_4D);
+    let w = Workload::tpcds(BenchQuery::Q91_4D).expect("workload builds");
     let opt = Optimizer::new(&w.catalog, &w.query, CostModel::default());
     let model = CostModel::default();
     let loc = SelVector::from_values(&[1e-3, 1e-4, 1e-2, 1e-3]);
 
-    c.bench_function("micro/optimize_7rel_4epp", |b| {
-        b.iter(|| black_box(opt.optimize(&loc).cost))
-    });
+    c.bench_function("micro/optimize_7rel_4epp", |b| b.iter(|| black_box(opt.optimize(&loc).cost)));
 
     let planned = opt.optimize(&loc);
     c.bench_function("micro/cost_plan_at_location", |b| {
@@ -42,9 +40,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("micro/spill_execution_coarse", |b| {
         b.iter(|| {
             black_box(
-                engine
-                    .execute_spill_coarse(&planned.plan, target, &loc, &qa, planned.cost)
-                    .spent,
+                engine.execute_spill_coarse(&planned.plan, target, &loc, &qa, planned.cost).spent,
             )
         })
     });

@@ -14,10 +14,11 @@ fn bench(c: &mut Criterion) {
     println!("{}", render_random(&rows));
     assert!(rows.iter().all(|r| r.sb_mso <= r.bound), "bound violated on a random workload");
 
-    let w = synth_workload(SynthConfig::chain(4, 7));
+    let w = synth_workload(SynthConfig::chain(4, 7)).expect("workload builds");
     c.bench_function("random/compile_and_evaluate_chain4", |b| {
         b.iter(|| {
-            let rt = w.runtime(EssConfig { resolution: 6, ..Default::default() });
+            let rt =
+                w.runtime(EssConfig { resolution: 6, ..Default::default() }).expect("ESS compiles");
             black_box(evaluate(&rt, &SpillBound::new()).mso)
         })
     });

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let rows = table2_alignment(Scale::Quick);
     println!("{}", render_alignment(&rows));
 
-    let w = Workload::tpcds(BenchQuery::Q96_3D);
+    let w = Workload::tpcds(BenchQuery::Q96_3D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     c.bench_function("table2/alignment_stats_3d_q96", |b| {
         b.iter(|| black_box(alignment_stats(&rt).max_penalty()))

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let r = table3_wall_clock(Scale::Quick);
     println!("{}", render_wall_clock(&r));
 
-    let w = Workload::tpcds(BenchQuery::Q91_4D);
+    let w = Workload::tpcds(BenchQuery::Q91_4D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     let qa = rt.ess.grid().terminus();
     c.bench_function("table3/native_discover_4d_q91", |b| {

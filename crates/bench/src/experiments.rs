@@ -3,8 +3,8 @@
 use crate::Scale;
 use rqp_core::{
     alignment_stats, evaluate, evaluate_sampled, native::native_mso_worst_estimate, pb_guarantee,
-    sb_guarantee, AlignedBound, Discovery, Evaluation, NativeOptimizer, PlanBouquet,
-    RobustRuntime, SpillBound,
+    sb_guarantee, AlignedBound, Discovery, Evaluation, NativeOptimizer, PlanBouquet, RobustRuntime,
+    SpillBound,
 };
 use rqp_workloads::{BenchQuery, Workload};
 use serde::Serialize;
@@ -29,7 +29,7 @@ fn eval_at_scale(rt: &RobustRuntime<'_>, algo: &dyn Discovery, scale: Scale) -> 
 /// the query instance in the upper-middle of the ESS, rendered as the
 /// Manhattan-profile execution listing.
 pub fn fig7_trace(scale: Scale) -> String {
-    let w = Workload::q91(2);
+    let w = Workload::q91(2).expect("Q91 builds");
     let rt = runtime(&w, scale);
     let grid = rt.ess.grid();
     // qa ≈ (0.04, 0.1), as in the paper's trace
@@ -74,7 +74,7 @@ pub fn fig8_mso_guarantees(scale: Scale) -> Vec<GuaranteeRow> {
     BenchQuery::all()
         .iter()
         .map(|&bq| {
-            let w = Workload::tpcds(bq);
+            let w = Workload::tpcds(bq).expect("suite query builds");
             let rt = runtime(&w, scale);
             guarantee_row(&rt, bq.name())
         })
@@ -97,7 +97,7 @@ fn guarantee_row(rt: &RobustRuntime<'_>, name: &str) -> GuaranteeRow {
 pub fn fig9_dimensionality(scale: Scale) -> Vec<GuaranteeRow> {
     (2..=6)
         .map(|d| {
-            let w = Workload::q91(d);
+            let w = Workload::q91(d).expect("Q91 builds");
             let rt = runtime(&w, scale);
             guarantee_row(&rt, &w.query.name)
         })
@@ -132,7 +132,7 @@ pub fn fig10_11_empirical(scale: Scale) -> Vec<EmpiricalRow> {
     BenchQuery::all()
         .iter()
         .map(|&bq| {
-            let w = Workload::tpcds(bq);
+            let w = Workload::tpcds(bq).expect("suite query builds");
             let rt = runtime(&w, scale);
             let pb = PlanBouquet::anorexic(&rt, LAMBDA);
             let sb = SpillBound::new();
@@ -168,7 +168,7 @@ pub struct HistogramResult {
 
 /// Fig. 12: sub-optimality distribution over the ESS for 4D_Q91.
 pub fn fig12_distribution(scale: Scale) -> HistogramResult {
-    let w = Workload::tpcds(BenchQuery::Q91_4D);
+    let w = Workload::tpcds(BenchQuery::Q91_4D).expect("suite query builds");
     let rt = runtime(&w, scale);
     let pb_ev = eval_at_scale(&rt, &PlanBouquet::anorexic(&rt, LAMBDA), scale);
     let sb_ev = eval_at_scale(&rt, &SpillBound::new(), scale);
@@ -208,7 +208,7 @@ pub fn fig13_table4_aligned(scale: Scale) -> Vec<AlignedRow> {
     BenchQuery::all()
         .iter()
         .map(|&bq| {
-            let w = Workload::tpcds(bq);
+            let w = Workload::tpcds(bq).expect("suite query builds");
             let rt = runtime(&w, scale);
             let sb_ev = eval_at_scale(&rt, &SpillBound::new(), scale);
             let ab = AlignedBound::new();
@@ -259,7 +259,7 @@ pub fn table2_alignment(scale: Scale) -> Vec<AlignmentRow> {
     ]
     .iter()
     .map(|&bq| {
-        let w = Workload::tpcds(bq);
+        let w = Workload::tpcds(bq).expect("suite query builds");
         let rt = runtime(&w, scale);
         let stats = alignment_stats(&rt);
         AlignmentRow {
@@ -309,7 +309,7 @@ pub struct WallClockResult {
 /// are mapped to seconds by anchoring the oracle execution at 44 s, the
 /// paper's measured optimal time.
 pub fn table3_wall_clock(scale: Scale) -> WallClockResult {
-    let w = Workload::tpcds(BenchQuery::Q91_4D);
+    let w = Workload::tpcds(BenchQuery::Q91_4D).expect("suite query builds");
     let rt = runtime(&w, scale);
     let grid = rt.ess.grid();
     // a challenging instance in the upper-middle region of the ESS
@@ -354,7 +354,7 @@ pub struct JobResult {
 /// §6.5: JOB Q1a — the native optimizer's MSO collapses from thousands to
 /// around `2D+2` under SB/AB.
 pub fn job_q1a(scale: Scale) -> JobResult {
-    let w = Workload::job_q1a();
+    let w = Workload::job_q1a().expect("JOB Q1a builds");
     let rt = runtime(&w, scale);
     JobResult {
         native_mso: native_mso_worst_estimate(&rt),
@@ -382,13 +382,13 @@ pub struct RatioRow {
 /// (the paper notes doubling is not quite ideal — e.g. 1.8 gives 9.9
 /// instead of 10 in 2D).
 pub fn ablation_cost_ratio(scale: Scale) -> Vec<RatioRow> {
-    let w = Workload::q91(2);
+    let w = Workload::q91(2).expect("Q91 builds");
     let mut cfg = scale.ess_config(2);
     [1.5, 1.8, 2.0, 2.5, 3.0]
         .iter()
         .map(|&ratio| {
             cfg.contour_ratio = ratio;
-            let rt = w.runtime(cfg);
+            let rt = w.runtime(cfg).expect("ESS compiles");
             let ev = eval_at_scale(&rt, &SpillBound::new(), scale);
             RatioRow { ratio, bands: rt.ess.contours.num_bands(), sb_mso: ev.mso }
         })
@@ -411,24 +411,16 @@ pub struct AnorexicRow {
 /// Ablation: PlanBouquet's guarantee and empirical MSO as the anorexic
 /// threshold λ varies (λ = 0 is the raw diagram).
 pub fn ablation_anorexic(scale: Scale) -> Vec<AnorexicRow> {
-    let w = Workload::tpcds(BenchQuery::Q96_3D);
+    let w = Workload::tpcds(BenchQuery::Q96_3D).expect("suite query builds");
     let rt = runtime(&w, scale);
     [0.0, 0.1, 0.2, 0.5, 1.0]
         .iter()
         .map(|&lambda| {
-            let pb = if lambda == 0.0 {
-                PlanBouquet::new()
-            } else {
-                PlanBouquet::anorexic(&rt, lambda)
-            };
+            let pb =
+                if lambda <= 0.0 { PlanBouquet::new() } else { PlanBouquet::anorexic(&rt, lambda) };
             let rho = pb.rho(&rt);
             let ev = eval_at_scale(&rt, &pb, scale);
-            AnorexicRow {
-                lambda,
-                rho,
-                pb_guarantee: pb_guarantee(rho, lambda),
-                pb_mso: ev.mso,
-            }
+            AnorexicRow { lambda, rho, pb_guarantee: pb_guarantee(rho, lambda), pb_mso: ev.mso }
         })
         .collect()
 }
@@ -466,7 +458,8 @@ pub fn random_workload_sweep(scale: Scale, count: usize) -> Vec<RandomWorkloadRo
                 shape,
                 grouped,
                 seed,
-            });
+            })
+            .expect("generated workload builds");
             let rt = runtime(&w, scale);
             let ev = eval_at_scale(&rt, &SpillBound::new(), scale);
             RandomWorkloadRow {
@@ -507,7 +500,7 @@ pub fn baselines_comparison(scale: Scale) -> Vec<BaselineRow> {
     [BenchQuery::Q15_3D, BenchQuery::Q96_3D, BenchQuery::Q91_4D, BenchQuery::Q19_5D]
         .iter()
         .map(|&bq| {
-            let w = Workload::tpcds(bq);
+            let w = Workload::tpcds(bq).expect("suite query builds");
             let rt = runtime(&w, scale);
             let reopt_ev = eval_at_scale(&rt, &rqp_core::ReOptimizer::default(), scale);
             let sb_ev = eval_at_scale(&rt, &SpillBound::new(), scale);
@@ -541,7 +534,7 @@ pub struct CostErrorRow {
 /// `(1+δ)²`; this experiment measures the empirical inflation
 /// (δ = 0.3 is the realistic modelling error the paper cites).
 pub fn ablation_cost_error(scale: Scale) -> Vec<CostErrorRow> {
-    let w = Workload::q91(3);
+    let w = Workload::q91(3).expect("Q91 builds");
     [0.0, 0.1, 0.3, 0.5, 1.0]
         .iter()
         .map(|&delta| {
@@ -572,7 +565,7 @@ pub struct ResolutionRow {
 /// (validates that the discretization substitution preserves the paper's
 /// comparisons).
 pub fn ablation_resolution(scale: Scale) -> Vec<ResolutionRow> {
-    let w = Workload::q91(2);
+    let w = Workload::q91(2).expect("Q91 builds");
     let resolutions: &[usize] = match scale {
         Scale::Quick => &[8, 16, 24],
         Scale::Full => &[12, 24, 48, 64],
@@ -582,7 +575,7 @@ pub fn ablation_resolution(scale: Scale) -> Vec<ResolutionRow> {
         .map(|&resolution| {
             let mut cfg = scale.ess_config(2);
             cfg.resolution = resolution;
-            let rt = w.runtime(cfg);
+            let rt = w.runtime(cfg).expect("ESS compiles");
             ResolutionRow {
                 resolution,
                 sb_mso: evaluate(&rt, &SpillBound::new()).mso,

@@ -1,3 +1,7 @@
+// Bench-harness exemption: experiment drivers abort loudly on setup
+// failure by design (rqp-lint likewise exempts crates/bench).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 //! The experiment harness: one function per table/figure of the paper's
 //! evaluation (§6), shared by the Criterion benches and the `reproduce`
 //! binary.
@@ -70,8 +74,12 @@ impl Scale {
 }
 
 /// Compile a workload's runtime at the given scale.
+///
+/// # Panics
+/// Panics if ESS compilation fails (harness-only convenience; the curated
+/// workloads always compile).
 pub fn runtime_for(w: &Workload, scale: Scale) -> RobustRuntime<'_> {
-    w.runtime(scale.ess_config(w.query.dims()))
+    w.runtime(scale.ess_config(w.query.dims())).expect("curated workload compiles")
 }
 
 #[cfg(test)]

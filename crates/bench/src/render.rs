@@ -40,11 +40,8 @@ pub fn render_histogram(h: &HistogramResult) -> String {
     let mut s = String::from("== Fig 12: sub-optimality distribution, 4D_Q91 ==\n");
     s.push_str(&format!("{:<12} {:>8} {:>8}\n", "bin", "PB %", "SB %"));
     for i in 0..h.bins.len() {
-        let hi = if i + 1 == h.bins.len() {
-            "+".to_string()
-        } else {
-            format!("-{}", h.bins[i] + 5.0)
-        };
+        let hi =
+            if i + 1 == h.bins.len() { "+".to_string() } else { format!("-{}", h.bins[i] + 5.0) };
         s.push_str(&format!(
             "[{:>3}{:<5}] {:>9.1} {:>8.1}\n",
             h.bins[i],
@@ -58,7 +55,8 @@ pub fn render_histogram(h: &HistogramResult) -> String {
 
 /// Render the Fig. 13 / Table 4 rows.
 pub fn render_aligned(rows: &[AlignedRow]) -> String {
-    let mut s = String::from("== Fig 13: SB vs AB MSOe (with 2D+2 line) & Table 4: AB max penalty ==\n");
+    let mut s =
+        String::from("== Fig 13: SB vs AB MSOe (with 2D+2 line) & Table 4: AB max penalty ==\n");
     s.push_str(&format!(
         "{:<8} {:>4} {:>10} {:>10} {:>8} {:>12}\n",
         "query", "D", "SB MSOe", "AB MSOe", "2D+2", "max penalty"
@@ -181,10 +179,7 @@ pub fn render_cost_error(rows: &[CostErrorRow]) -> String {
     let mut s = String::from("== Ablation: cost-model error δ (3D_Q91, §7) ==\n");
     s.push_str(&format!("{:>6} {:>9} {:>18}\n", "δ", "SB MSOe", "(1+δ)²(D²+3D)"));
     for r in rows {
-        s.push_str(&format!(
-            "{:>6.1} {:>9.1} {:>18.1}\n",
-            r.delta, r.sb_mso, r.inflated_guarantee
-        ));
+        s.push_str(&format!("{:>6.1} {:>9.1} {:>18.1}\n", r.delta, r.sb_mso, r.inflated_guarantee));
     }
     s
 }
@@ -220,11 +215,7 @@ mod tests {
 
     #[test]
     fn histogram_rendering_has_open_last_bin() {
-        let h = HistogramResult {
-            bins: vec![0.0, 5.0],
-            pb: vec![0.5, 0.5],
-            sb: vec![1.0, 0.0],
-        };
+        let h = HistogramResult { bins: vec![0.0, 5.0], pb: vec![0.5, 0.5], sb: vec![1.0, 0.0] };
         let s = render_histogram(&h);
         assert!(s.contains("5+"));
         assert!(s.contains("100.0"));

@@ -38,7 +38,8 @@ fn fixture() -> (Catalog, Query) {
         .epp_join("part", "p_partkey", "lineitem", "l_partkey")
         .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
         .filter("part", "p_price", 0.05)
-        .build();
+        .build()
+        .unwrap();
     (catalog, query)
 }
 
@@ -70,7 +71,8 @@ fn metrics_and_events_round_trip_through_serde_json() {
         &query,
         CostModel::default(),
         EssConfig { resolution: 7, min_sel: 1e-6, ..Default::default() },
-    );
+    )
+    .unwrap();
     let pb = PlanBouquet::new();
     let sb = SpillBound::new();
     let mut budgeted_steps = 0usize;

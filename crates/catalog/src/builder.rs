@@ -5,6 +5,7 @@
 //! relations) at construction time rather than deep inside the optimizer.
 
 use crate::catalog::Catalog;
+use crate::error::RqpError;
 use crate::predicate::{ColRef, FilterPredicate, JoinPredicate, PredId};
 use crate::query::Query;
 use crate::stats::{Column, RelId, Relation};
@@ -75,6 +76,11 @@ impl CatalogBuilder {
 /// Builder for a query against an existing catalog. Relations and columns
 /// are referenced by name; the builder resolves them and assigns predicate
 /// ids in declaration order.
+///
+/// Resolution errors (unknown relation or column, duplicate table) do not
+/// abort the fluent chain; the first one is remembered and surfaced by
+/// [`QueryBuilder::build`], so call sites stay declarative while remaining
+/// panic-free.
 #[derive(Debug)]
 pub struct QueryBuilder<'a> {
     catalog: &'a Catalog,
@@ -85,6 +91,7 @@ pub struct QueryBuilder<'a> {
     epps: Vec<PredId>,
     group_by: Vec<ColRef>,
     next_id: u32,
+    deferred: Option<RqpError>,
 }
 
 impl<'a> QueryBuilder<'a> {
@@ -99,30 +106,46 @@ impl<'a> QueryBuilder<'a> {
             epps: Vec::new(),
             group_by: Vec::new(),
             next_id: 0,
+            deferred: None,
         }
     }
 
-    fn resolve(&self, rel: &str, col: &str) -> ColRef {
-        let rid = self
-            .catalog
-            .find_relation(rel)
-            .unwrap_or_else(|| panic!("unknown relation {rel:?} in query {}", self.name));
-        let cid = self
-            .catalog
-            .relation(rid)
-            .column_index(col)
-            .unwrap_or_else(|| panic!("unknown column {rel}.{col} in query {}", self.name));
-        ColRef::new(rid, cid)
+    fn defer(&mut self, e: RqpError) {
+        if self.deferred.is_none() {
+            self.deferred = Some(e);
+        }
+    }
+
+    fn resolve(&mut self, rel: &str, col: &str) -> Option<ColRef> {
+        let Some(rid) = self.catalog.find_relation(rel) else {
+            self.defer(RqpError::UnknownRelation { rel: rel.into(), query: self.name.clone() });
+            return None;
+        };
+        let Some(cid) = self.catalog.relation(rid).column_index(col) else {
+            self.defer(RqpError::UnknownColumn {
+                rel: rel.into(),
+                col: col.into(),
+                query: self.name.clone(),
+            });
+            return None;
+        };
+        Some(ColRef::new(rid, cid))
     }
 
     /// Add a relation to the FROM list.
     pub fn table(mut self, rel: &str) -> Self {
-        let rid = self
-            .catalog
-            .find_relation(rel)
-            .unwrap_or_else(|| panic!("unknown relation {rel:?} in query {}", self.name));
-        assert!(!self.relations.contains(&rid), "relation {rel} added twice");
-        self.relations.push(rid);
+        match self.catalog.find_relation(rel) {
+            Some(rid) if self.relations.contains(&rid) => {
+                self.defer(RqpError::DuplicateRelation {
+                    rel: rel.into(),
+                    query: self.name.clone(),
+                });
+            }
+            Some(rid) => self.relations.push(rid),
+            None => {
+                self.defer(RqpError::UnknownRelation { rel: rel.into(), query: self.name.clone() });
+            }
+        }
         self
     }
 
@@ -132,57 +155,72 @@ impl<'a> QueryBuilder<'a> {
         id
     }
 
+    fn push_join(&mut self, l_rel: &str, l_col: &str, r_rel: &str, r_col: &str, epp: bool) {
+        let id = self.alloc_id();
+        let (Some(left), Some(right)) = (self.resolve(l_rel, l_col), self.resolve(r_rel, r_col))
+        else {
+            return;
+        };
+        self.joins.push(JoinPredicate { id, left, right });
+        if epp {
+            self.epps.push(id);
+        }
+    }
+
     /// Add an equi-join predicate with a reliably-known selectivity.
     pub fn join(mut self, l_rel: &str, l_col: &str, r_rel: &str, r_col: &str) -> Self {
-        let id = self.alloc_id();
-        let left = self.resolve(l_rel, l_col);
-        let right = self.resolve(r_rel, r_col);
-        self.joins.push(JoinPredicate { id, left, right });
+        self.push_join(l_rel, l_col, r_rel, r_col, false);
         self
     }
 
     /// Add an *error-prone* equi-join predicate: it becomes the next ESS
     /// dimension.
     pub fn epp_join(mut self, l_rel: &str, l_col: &str, r_rel: &str, r_col: &str) -> Self {
-        let id = self.alloc_id();
-        let left = self.resolve(l_rel, l_col);
-        let right = self.resolve(r_rel, r_col);
-        self.joins.push(JoinPredicate { id, left, right });
-        self.epps.push(id);
+        self.push_join(l_rel, l_col, r_rel, r_col, true);
         self
+    }
+
+    fn push_filter(&mut self, rel: &str, col: &str, selectivity: f64, epp: bool) {
+        let id = self.alloc_id();
+        let Some(colref) = self.resolve(rel, col) else {
+            return;
+        };
+        self.filters.push(FilterPredicate { id, col: colref, selectivity });
+        if epp {
+            self.epps.push(id);
+        }
     }
 
     /// Add a filter predicate with a known selectivity.
     pub fn filter(mut self, rel: &str, col: &str, selectivity: f64) -> Self {
-        let id = self.alloc_id();
-        let colref = self.resolve(rel, col);
-        self.filters.push(FilterPredicate { id, col: colref, selectivity });
+        self.push_filter(rel, col, selectivity, false);
         self
     }
 
     /// Add an *error-prone* filter predicate (its stored selectivity is only
     /// the optimizer's estimate; its true value is an ESS dimension).
     pub fn epp_filter(mut self, rel: &str, col: &str, est_selectivity: f64) -> Self {
-        let id = self.alloc_id();
-        let colref = self.resolve(rel, col);
-        self.filters.push(FilterPredicate { id, col: colref, selectivity: est_selectivity });
-        self.epps.push(id);
+        self.push_filter(rel, col, est_selectivity, true);
         self
     }
 
     /// Aggregate the result by a column (the aggregate sits above the SPJ
     /// core and does not affect selectivity discovery).
     pub fn group_by(mut self, rel: &str, col: &str) -> Self {
-        let colref = self.resolve(rel, col);
-        self.group_by.push(colref);
+        if let Some(colref) = self.resolve(rel, col) {
+            self.group_by.push(colref);
+        }
         self
     }
 
     /// Finish and validate the query.
     ///
-    /// # Panics
-    /// Panics if the query fails [`Query::validate`].
-    pub fn build(self) -> Query {
+    /// Returns the first deferred resolution error, if any, or a validation
+    /// failure from [`Query::validate`].
+    pub fn build(self) -> Result<Query, RqpError> {
+        if let Some(e) = self.deferred {
+            return Err(e);
+        }
         let q = Query {
             name: self.name,
             relations: self.relations,
@@ -191,10 +229,8 @@ impl<'a> QueryBuilder<'a> {
             epps: self.epps,
             group_by: self.group_by,
         };
-        if let Err(e) = q.validate(self.catalog) {
-            panic!("invalid query: {e}");
-        }
-        q
+        q.validate(self.catalog)?;
+        Ok(q)
     }
 }
 
@@ -236,7 +272,8 @@ mod tests {
             .epp_join("part", "p_partkey", "lineitem", "l_partkey")
             .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
             .filter("part", "p_retailprice", 0.05)
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(q.dims(), 2);
         assert_eq!(q.relations.len(), 3);
         assert_eq!(q.joins.len(), 2);
@@ -245,31 +282,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown column")]
-    fn bad_column_panics() {
+    fn bad_column_is_an_error() {
         let c = catalog();
-        let _ = QueryBuilder::new(&c, "bad")
+        let err = QueryBuilder::new(&c, "bad")
             .table("part")
             .table("lineitem")
-            .epp_join("part", "no_such", "lineitem", "l_partkey");
+            .epp_join("part", "no_such", "lineitem", "l_partkey")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown column"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "added twice")]
-    fn duplicate_table_panics() {
+    fn duplicate_table_is_an_error() {
         let c = catalog();
-        let _ = QueryBuilder::new(&c, "bad").table("part").table("part");
+        let err = QueryBuilder::new(&c, "bad").table("part").table("part").build().unwrap_err();
+        assert!(err.to_string().contains("added twice"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "disconnected")]
-    fn disconnected_build_panics() {
+    fn disconnected_build_is_an_error() {
         let c = catalog();
-        let _ = QueryBuilder::new(&c, "bad")
+        let err = QueryBuilder::new(&c, "bad")
             .table("part")
             .table("orders")
             .filter("part", "p_retailprice", 0.5)
-            .build();
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("disconnected"), "{err}");
+    }
+
+    #[test]
+    fn first_error_wins_across_the_chain() {
+        // Both the bad relation and the (consequent) dangling join are wrong;
+        // the first problem reported must be the unknown relation.
+        let c = catalog();
+        let err = QueryBuilder::new(&c, "bad")
+            .table("no_such_table")
+            .table("part")
+            .join("part", "p_partkey", "no_such_table", "x")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RqpError::UnknownRelation { rel: "no_such_table".into(), query: "bad".into() }
+        );
     }
 
     #[test]
@@ -280,7 +337,8 @@ mod tests {
             .table("lineitem")
             .join("part", "p_partkey", "lineitem", "l_partkey")
             .epp_filter("part", "p_retailprice", 0.1)
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(q.dims(), 1);
         assert!(q.filter(q.epp_pred(crate::query::EppId(0))).is_some());
     }

@@ -25,11 +25,7 @@ impl Catalog {
     /// # Panics
     /// Panics if a relation with the same name already exists.
     pub fn add_relation(&mut self, rel: Relation) -> RelId {
-        assert!(
-            self.find_relation(&rel.name).is_none(),
-            "duplicate relation name {:?}",
-            rel.name
-        );
+        assert!(self.find_relation(&rel.name).is_none(), "duplicate relation name {:?}", rel.name);
         let id = RelId(self.relations.len() as u32);
         self.relations.push(rel);
         id

@@ -49,10 +49,13 @@ pub fn apply_policy(catalog: &Catalog, query: &Query, policy: EppPolicy) -> Quer
                 .iter()
                 .map(|j| j.id)
                 .filter(|&id| {
-                    // estimate with an empty epp set so everything resolves
+                    // estimate with an empty epp set so everything resolves;
+                    // an unresolvable predicate is conservatively kept benign
                     let mut probe = query.clone();
                     probe.epps.clear();
-                    est.predicate_selectivity(&probe, id).value() < threshold
+                    est.predicate_selectivity(&probe, id)
+                        .map(|s| s.value() < threshold)
+                        .unwrap_or(false)
                 })
                 .collect()
         }
@@ -78,9 +81,7 @@ mod tests {
             .relation(
                 RelationBuilder::new("mid", 1_000_000).indexed_column("k", 10_000_000, 8).build(),
             )
-            .relation(
-                RelationBuilder::new("tiny", 10).indexed_column("k", 10, 8).build(),
-            )
+            .relation(RelationBuilder::new("tiny", 10).indexed_column("k", 10, 8).build())
             .build();
         // author marked nothing error-prone
         let query = QueryBuilder::new(&catalog, "unmarked")
@@ -90,7 +91,8 @@ mod tests {
             .join("big", "k", "mid", "k")
             .join("big", "tiny_fk", "tiny", "k")
             .filter("big", "v", 0.25)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 
@@ -114,8 +116,7 @@ mod tests {
     fn small_estimate_policy_selects_the_risky_join() {
         let (c, q) = fixture();
         // big⋈mid estimate = 1e-7 (risky); big⋈tiny estimate = 0.1 (benign)
-        let marked =
-            apply_policy(&c, &q, EppPolicy::SmallJoinEstimates { threshold: 1e-3 });
+        let marked = apply_policy(&c, &q, EppPolicy::SmallJoinEstimates { threshold: 1e-3 });
         assert_eq!(marked.dims(), 1);
         let epp = marked.epp_pred(crate::query::EppId(0));
         let j = marked.join(epp).unwrap();

@@ -1,0 +1,174 @@
+//! The shared error type for the robust-qp workspace.
+//!
+//! Library crates must not panic mid-query (rqp-lint rule `panic-free`):
+//! every fallible operation surfaces an [`RqpError`] instead. The type lives
+//! here, at the bottom of the crate graph, so every layer — optimizer, ESS
+//! compilation, execution, discovery — can share it; the root `robust_qp`
+//! crate re-exports it as `robust_qp::error::RqpError`.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type RqpResult<T> = Result<T, RqpError>;
+
+/// Unified error for catalog, planning, compilation and execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RqpError {
+    /// A query referenced a relation name not present in the catalog.
+    UnknownRelation {
+        /// The offending relation name.
+        rel: String,
+        /// The query being built.
+        query: String,
+    },
+    /// A query referenced a column not present on its relation.
+    UnknownColumn {
+        /// The relation holding (or not holding) the column.
+        rel: String,
+        /// The offending column name.
+        col: String,
+        /// The query being built.
+        query: String,
+    },
+    /// A predicate id names no predicate of the query.
+    UnknownPredicate {
+        /// Display form of the predicate id.
+        pred: String,
+        /// The query name.
+        query: String,
+    },
+    /// The same relation was added to a query twice.
+    DuplicateRelation {
+        /// The relation name.
+        rel: String,
+        /// The query being built.
+        query: String,
+    },
+    /// A query failed structural validation (disconnected join graph,
+    /// duplicate predicate ids, out-of-range selectivities, …).
+    InvalidQuery(String),
+    /// A selectivity vector's dimensionality does not match the query's
+    /// epp count.
+    DimensionMismatch {
+        /// Dimensions required by the context (query epp count).
+        expected: usize,
+        /// Dimensions actually supplied.
+        got: usize,
+    },
+    /// An ESS grid request exceeds the representable cell count.
+    GridTooLarge {
+        /// Cells per dimension at the point of overflow.
+        resolution: usize,
+        /// Number of dimensions requested.
+        dims: usize,
+    },
+    /// The optimizer could not produce a plan (e.g. a disconnected join
+    /// graph that slipped past validation).
+    PlanNotFound(String),
+    /// A plan does not evaluate the requested error-prone predicate.
+    EppNotInPlan {
+        /// ESS dimension of the missing epp.
+        epp: usize,
+    },
+    /// A POSP snapshot failed to serialize, parse or restore.
+    Snapshot(String),
+    /// Row-level execution failed (missing table, schema mismatch, …).
+    Execution(String),
+    /// An internal invariant was violated; carries a diagnostic message.
+    /// Debug builds additionally `debug_assert!` at the raise site.
+    Internal(String),
+}
+
+impl fmt::Display for RqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RqpError::UnknownRelation { rel, query } => {
+                write!(f, "unknown relation {rel:?} in query {query}")
+            }
+            RqpError::UnknownColumn { rel, col, query } => {
+                write!(f, "unknown column {rel}.{col} in query {query}")
+            }
+            RqpError::UnknownPredicate { pred, query } => {
+                write!(f, "predicate {pred} not found in query {query}")
+            }
+            RqpError::DuplicateRelation { rel, query } => {
+                write!(f, "relation {rel} added twice to query {query}")
+            }
+            RqpError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            RqpError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            RqpError::GridTooLarge { resolution, dims } => {
+                write!(f, "ESS grid too large: resolution {resolution} over {dims} dimensions")
+            }
+            RqpError::PlanNotFound(msg) => write!(f, "no plan found: {msg}"),
+            RqpError::EppNotInPlan { epp } => {
+                write!(f, "plan does not evaluate epp dim{epp}")
+            }
+            RqpError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            RqpError::Execution(msg) => write!(f, "execution error: {msg}"),
+            RqpError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RqpError {}
+
+impl From<RqpError> for String {
+    fn from(e: RqpError) -> String {
+        e.to_string()
+    }
+}
+
+/// Raise an [`RqpError::Internal`]: asserts in debug builds (so tests catch
+/// the broken invariant at its source) and returns the error in release
+/// builds (so production degrades into an `Err` instead of a panic).
+#[macro_export]
+macro_rules! internal_error {
+    ($($arg:tt)*) => {{
+        debug_assert!(false, $($arg)*);
+        $crate::RqpError::Internal(format!($($arg)*))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable_and_informative() {
+        let cases: Vec<(RqpError, &str)> = vec![
+            (
+                RqpError::UnknownRelation { rel: "part".into(), query: "EQ".into() },
+                "unknown relation \"part\" in query EQ",
+            ),
+            (
+                RqpError::UnknownColumn {
+                    rel: "part".into(),
+                    col: "p_x".into(),
+                    query: "EQ".into(),
+                },
+                "unknown column part.p_x in query EQ",
+            ),
+            (RqpError::InvalidQuery("join graph is disconnected".into()), "disconnected"),
+            (RqpError::DimensionMismatch { expected: 2, got: 3 }, "expected 2, got 3"),
+            (RqpError::EppNotInPlan { epp: 1 }, "dim1"),
+            (RqpError::Internal("contour out of order".into()), "invariant"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn converts_into_string_for_legacy_interfaces() {
+        let s: String = RqpError::PlanNotFound("q".into()).into();
+        assert!(s.contains("no plan"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(RqpError::Snapshot("bad".into()));
+        assert!(e.to_string().contains("snapshot"));
+    }
+}

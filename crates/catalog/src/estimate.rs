@@ -8,6 +8,7 @@
 //! executes the plan optimal at `qe` regardless of the actual location `qa`.
 
 use crate::catalog::Catalog;
+use crate::error::{RqpError, RqpResult};
 use crate::predicate::PredId;
 use crate::query::Query;
 use crate::selectivity::{SelVector, Selectivity};
@@ -36,7 +37,7 @@ pub fn harmonic(n: u64, s: f64) -> f64 {
 /// this is the uniform `1/n` (the System-R estimate); with skew it grows,
 /// which is exactly why such joins are error-prone.
 pub fn zipf_join_selectivity(n: u64, theta: f64) -> f64 {
-    if theta == 0.0 {
+    if theta <= 0.0 {
         return 1.0 / n.max(1) as f64;
     }
     harmonic(n, 2.0 * theta) / harmonic(n, theta).powi(2)
@@ -59,26 +60,30 @@ impl<'a> Estimator<'a> {
     /// * Equi-join `l = r`: `1 / max(ndv(l), ndv(r))` (System-R rule).
     /// * Filter: the selectivity recorded on the predicate.
     ///
-    /// # Panics
-    /// Panics if `pred` names no predicate of `query`.
-    pub fn predicate_selectivity(&self, query: &Query, pred: PredId) -> Selectivity {
+    /// Errors with [`RqpError::UnknownPredicate`] if `pred` names no
+    /// predicate of `query`.
+    pub fn predicate_selectivity(&self, query: &Query, pred: PredId) -> RqpResult<Selectivity> {
         if let Some(j) = query.join(pred) {
             let ndv_l = self.catalog.relation(j.left.rel).columns[j.left.col].ndv;
             let ndv_r = self.catalog.relation(j.right.rel).columns[j.right.col].ndv;
-            Selectivity::new(1.0 / ndv_l.max(ndv_r) as f64)
+            Ok(Selectivity::new(1.0 / ndv_l.max(ndv_r) as f64))
         } else if let Some(f) = query.filter(pred) {
-            Selectivity::new(f.selectivity)
+            Ok(Selectivity::new(f.selectivity))
         } else {
-            panic!("predicate {pred} not found in query {}", query.name)
+            Err(RqpError::UnknownPredicate { pred: pred.to_string(), query: query.name.clone() })
         }
     }
 
     /// The estimated ESS location `qe` for the query: the estimator's value
     /// for every epp, in ESS dimension order.
-    pub fn estimated_location(&self, query: &Query) -> SelVector {
-        SelVector::new(
-            query.epps.iter().map(|&p| self.predicate_selectivity(query, p)).collect(),
-        )
+    pub fn estimated_location(&self, query: &Query) -> RqpResult<SelVector> {
+        Ok(SelVector::new(
+            query
+                .epps
+                .iter()
+                .map(|&p| self.predicate_selectivity(query, p))
+                .collect::<RqpResult<Vec<_>>>()?,
+        ))
     }
 }
 
@@ -114,9 +119,9 @@ mod tests {
             group_by: vec![],
         };
         let est = Estimator::new(&c);
-        let s = est.predicate_selectivity(&q, PredId(0));
+        let s = est.predicate_selectivity(&q, PredId(0)).unwrap();
         assert!((s.value() - 1.0 / 400.0).abs() < 1e-12);
-        let qe = est.estimated_location(&q);
+        let qe = est.estimated_location(&q).unwrap();
         assert_eq!(qe.dims(), 1);
         assert_eq!(qe.get(0), s);
     }
@@ -142,7 +147,7 @@ mod tests {
             group_by: vec![],
         };
         let est = Estimator::new(&c);
-        assert_eq!(est.predicate_selectivity(&q, PredId(0)).value(), 0.25);
+        assert_eq!(est.predicate_selectivity(&q, PredId(0)).unwrap().value(), 0.25);
     }
 
     #[test]
@@ -177,8 +182,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not found")]
-    fn unknown_predicate_panics() {
+    fn unknown_predicate_is_an_error() {
         let mut c = Catalog::new();
         let a = c.add_relation(Relation {
             name: "a".into(),
@@ -193,6 +197,7 @@ mod tests {
             epps: vec![],
             group_by: vec![],
         };
-        Estimator::new(&c).predicate_selectivity(&q, PredId(9));
+        let err = Estimator::new(&c).predicate_selectivity(&q, PredId(9)).unwrap_err();
+        assert!(err.to_string().contains("not found"), "{err}");
     }
 }

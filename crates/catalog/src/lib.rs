@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 //! Catalog, statistics and the logical query model for the robust-qp engine.
 //!
@@ -16,6 +17,7 @@
 pub mod builder;
 pub mod catalog;
 pub mod epp_policy;
+pub mod error;
 pub mod estimate;
 pub mod predicate;
 pub mod query;
@@ -26,6 +28,7 @@ pub mod stats;
 pub use builder::{CatalogBuilder, QueryBuilder, RelationBuilder};
 pub use catalog::Catalog;
 pub use epp_policy::{apply_policy, EppPolicy};
+pub use error::{RqpError, RqpResult};
 pub use estimate::Estimator;
 pub use predicate::{ColRef, FilterPredicate, JoinPredicate, PredId};
 pub use query::{EppId, Query};

@@ -1,6 +1,7 @@
 //! The logical (select-project-join) query model.
 
 use crate::catalog::Catalog;
+use crate::error::RqpError;
 use crate::predicate::{FilterPredicate, JoinPredicate, PredId};
 use crate::stats::RelId;
 use serde::{Deserialize, Serialize};
@@ -112,30 +113,31 @@ impl Query {
     /// Checks: relations exist and are distinct; predicate ids are unique;
     /// predicates reference query relations and valid columns; every epp id
     /// names an existing predicate; the join graph is connected.
-    pub fn validate(&self, catalog: &Catalog) -> Result<(), String> {
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), RqpError> {
+        let invalid = |msg: String| Err(RqpError::InvalidQuery(msg));
         let rel_set: HashSet<RelId> = self.relations.iter().copied().collect();
         if rel_set.len() != self.relations.len() {
-            return Err(format!("query {}: duplicate relations", self.name));
+            return invalid(format!("query {}: duplicate relations", self.name));
         }
         for &r in &self.relations {
             if r.index() >= catalog.len() {
-                return Err(format!("query {}: relation {r} not in catalog", self.name));
+                return invalid(format!("query {}: relation {r} not in catalog", self.name));
             }
         }
         let mut ids = HashSet::new();
         for j in &self.joins {
             if !ids.insert(j.id) {
-                return Err(format!("query {}: duplicate predicate id {}", self.name, j.id));
+                return invalid(format!("query {}: duplicate predicate id {}", self.name, j.id));
             }
             for cr in [j.left, j.right] {
                 if !rel_set.contains(&cr.rel) {
-                    return Err(format!(
+                    return invalid(format!(
                         "query {}: join {} references non-query relation {}",
                         self.name, j.id, cr.rel
                     ));
                 }
                 if cr.col >= catalog.relation(cr.rel).columns.len() {
-                    return Err(format!(
+                    return invalid(format!(
                         "query {}: join {} references invalid column {} of {}",
                         self.name, j.id, cr.col, cr.rel
                     ));
@@ -144,16 +146,16 @@ impl Query {
         }
         for f in &self.filters {
             if !ids.insert(f.id) {
-                return Err(format!("query {}: duplicate predicate id {}", self.name, f.id));
+                return invalid(format!("query {}: duplicate predicate id {}", self.name, f.id));
             }
             if !rel_set.contains(&f.col.rel) {
-                return Err(format!(
+                return invalid(format!(
                     "query {}: filter {} references non-query relation {}",
                     self.name, f.id, f.col.rel
                 ));
             }
             if !(0.0..=1.0).contains(&f.selectivity) {
-                return Err(format!(
+                return invalid(format!(
                     "query {}: filter {} selectivity {} out of range",
                     self.name, f.id, f.selectivity
                 ));
@@ -162,28 +164,28 @@ impl Query {
         let mut epp_seen = HashSet::new();
         for &e in &self.epps {
             if !ids.contains(&e) {
-                return Err(format!("query {}: epp {} names no predicate", self.name, e));
+                return invalid(format!("query {}: epp {} names no predicate", self.name, e));
             }
             if !epp_seen.insert(e) {
-                return Err(format!("query {}: duplicate epp {}", self.name, e));
+                return invalid(format!("query {}: duplicate epp {}", self.name, e));
             }
         }
         for g in &self.group_by {
             if !rel_set.contains(&g.rel) {
-                return Err(format!(
+                return invalid(format!(
                     "query {}: group-by references non-query relation {}",
                     self.name, g.rel
                 ));
             }
             if g.col >= catalog.relation(g.rel).columns.len() {
-                return Err(format!(
+                return invalid(format!(
                     "query {}: group-by references invalid column {} of {}",
                     self.name, g.col, g.rel
                 ));
             }
         }
         if !self.join_graph_connected() {
-            return Err(format!("query {}: join graph is disconnected", self.name));
+            return invalid(format!("query {}: join graph is disconnected", self.name));
         }
         Ok(())
     }
@@ -215,7 +217,11 @@ mod tests {
                 left: ColRef::new(a, 0),
                 right: ColRef::new(b, 0),
             }],
-            filters: vec![FilterPredicate { id: PredId(1), col: ColRef::new(b, 1), selectivity: 0.1 }],
+            filters: vec![FilterPredicate {
+                id: PredId(1),
+                col: ColRef::new(b, 1),
+                selectivity: 0.1,
+            }],
             epps: vec![PredId(0)],
             group_by: vec![],
         };
@@ -249,28 +255,28 @@ mod tests {
             columns: vec![Column::new("k", 5, 8)],
         });
         q.relations.push(lone);
-        assert!(q.validate(&c).unwrap_err().contains("disconnected"));
+        assert!(q.validate(&c).unwrap_err().to_string().contains("disconnected"));
     }
 
     #[test]
     fn duplicate_pred_id_rejected() {
         let (c, mut q) = setup();
         q.filters[0].id = PredId(0);
-        assert!(q.validate(&c).unwrap_err().contains("duplicate predicate id"));
+        assert!(q.validate(&c).unwrap_err().to_string().contains("duplicate predicate id"));
     }
 
     #[test]
     fn unknown_epp_rejected() {
         let (c, mut q) = setup();
         q.epps.push(PredId(42));
-        assert!(q.validate(&c).unwrap_err().contains("names no predicate"));
+        assert!(q.validate(&c).unwrap_err().to_string().contains("names no predicate"));
     }
 
     #[test]
     fn bad_filter_selectivity_rejected() {
         let (c, mut q) = setup();
         q.filters[0].selectivity = 1.5;
-        assert!(q.validate(&c).unwrap_err().contains("out of range"));
+        assert!(q.validate(&c).unwrap_err().to_string().contains("out of range"));
     }
 
     #[test]

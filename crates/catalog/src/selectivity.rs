@@ -90,7 +90,7 @@ impl SelVector {
 
     /// `self ≻ other`: dominance with at least one strictly larger coordinate.
     pub fn strictly_dominates(&self, other: &SelVector) -> bool {
-        self.dominates(other) && self != other
+        self.dominates(other) && self.0.iter().zip(&other.0).any(|(a, b)| a.value() > b.value())
     }
 
     /// The component-wise maximum of two locations.

@@ -110,7 +110,12 @@ fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
             '0'..='9' => {
                 let mut s = String::new();
                 while let Some(&c) = chars.peek() {
-                    if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+'
+                    if c.is_ascii_digit()
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c == '-'
+                        || c == '+'
                     {
                         // only allow '-'/'+' right after an exponent marker
                         if (c == '-' || c == '+')
@@ -124,8 +129,7 @@ fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
                         break;
                     }
                 }
-                let v: f64 =
-                    s.parse().map_err(|_| ParseError(format!("bad number {s:?}")))?;
+                let v: f64 = s.parse().map_err(|_| ParseError(format!("bad number {s:?}")))?;
                 out.push(Tok::Number(v));
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -163,14 +167,16 @@ impl<'a> Parser<'a> {
     }
 
     fn next(&mut self) -> Result<Tok, ParseError> {
-        let t = self.toks.get(self.pos).cloned().ok_or_else(|| {
-            ParseError("unexpected end of input".into())
-        })?;
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError("unexpected end of input".into()))?;
         self.pos += 1;
         Ok(t)
     }
 
-    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+    fn expect_tok(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
         let got = self.next()?;
         if &got == want {
             Ok(())
@@ -195,7 +201,7 @@ impl<'a> Parser<'a> {
 
     fn column(&mut self) -> Result<(String, String), ParseError> {
         let rel = self.ident()?;
-        self.expect(&Tok::Dot, "'.'")?;
+        self.expect_tok(&Tok::Dot, "'.'")?;
         let col = self.ident()?;
         Ok((rel, col))
     }
@@ -209,7 +215,7 @@ impl<'a> Parser<'a> {
 
     fn query(&mut self, name: &str) -> Result<Query, ParseError> {
         self.keyword("select")?;
-        self.expect(&Tok::Star, "'*'")?;
+        self.expect_tok(&Tok::Star, "'*'")?;
         self.keyword("from")?;
         let mut builder = QueryBuilder::new(self.catalog, name);
         loop {
@@ -251,22 +257,19 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        Ok(builder.build())
+        builder.build().map_err(|e| ParseError(e.to_string()))
     }
 
-    fn condition(
-        &mut self,
-        builder: QueryBuilder<'a>,
-    ) -> Result<QueryBuilder<'a>, ParseError> {
+    fn condition(&mut self, builder: QueryBuilder<'a>) -> Result<QueryBuilder<'a>, ParseError> {
         // filter forms start with the `sel` / `sel?` keyword
         if let Some(Tok::Ident(kw)) = self.peek() {
             let kw = kw.clone();
             if kw.eq_ignore_ascii_case("sel") || kw.eq_ignore_ascii_case("sel?") {
                 self.pos += 1;
-                self.expect(&Tok::LParen, "'('")?;
+                self.expect_tok(&Tok::LParen, "'('")?;
                 let (rel, col) = self.column()?;
-                self.expect(&Tok::RParen, "')'")?;
-                self.expect(&Tok::Eq, "'='")?;
+                self.expect_tok(&Tok::RParen, "')'")?;
+                self.expect_tok(&Tok::Eq, "'='")?;
                 let s = self.number()?;
                 if !(0.0..=1.0).contains(&s) {
                     return Err(ParseError(format!("selectivity {s} out of [0,1]")));
@@ -325,9 +328,7 @@ mod tests {
                     .build(),
             )
             .relation(
-                RelationBuilder::new("orders", 2000)
-                    .indexed_column("o_orderkey", 2000, 8)
-                    .build(),
+                RelationBuilder::new("orders", 2000).indexed_column("o_orderkey", 2000, 8).build(),
             )
             .build()
     }
@@ -400,26 +401,20 @@ mod tests {
         assert!(err("SELECT * FROM nowhere WHERE a.b = c.d").contains("unknown relation"));
         assert!(err("SELECT * FROM part").contains("unexpected end of input"));
         assert!(err("SELECT * FROM part ORDER").contains("expected keyword where"));
-        assert!(
-            err("SELECT * FROM part, lineitem WHERE sel(part.p_retailprice) = 7")
-                .contains("out of [0,1]")
-        );
+        assert!(err("SELECT * FROM part, lineitem WHERE sel(part.p_retailprice) = 7")
+            .contains("out of [0,1]"));
         assert!(err("SELECT * FROM part WHERE part.p_partkey ? part.p_partkey")
             .contains("expected '='"));
     }
 
     #[test]
-    fn validation_failures_become_panics_from_builder() {
+    fn validation_failures_surface_as_parse_errors() {
         // disconnected join graph is caught by Query::validate via build()
         let c = cat();
-        let res = std::panic::catch_unwind(|| {
-            parse_query(
-                &c,
-                "t",
-                "select * from part, orders where sel(part.p_retailprice) = 0.5",
-            )
-        });
-        assert!(res.is_err(), "disconnected graph must be rejected");
+        let err =
+            parse_query(&c, "t", "select * from part, orders where sel(part.p_retailprice) = 0.5")
+                .unwrap_err();
+        assert!(err.0.contains("disconnected"), "{err}");
     }
 
     #[test]

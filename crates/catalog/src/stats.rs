@@ -118,11 +118,8 @@ mod tests {
 
     #[test]
     fn pages_scale_with_rows() {
-        let small = Relation {
-            name: "s".into(),
-            rows: 1_000,
-            columns: vec![Column::new("a", 10, 8)],
-        };
+        let small =
+            Relation { name: "s".into(), rows: 1_000, columns: vec![Column::new("a", 10, 8)] };
         let big = Relation { rows: 1_000_000, ..small.clone() };
         assert!(big.pages() > small.pages());
         assert!(small.pages() >= 1);

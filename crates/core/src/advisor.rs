@@ -102,6 +102,7 @@ mod tests {
             CostModel::default(),
             EssConfig { resolution: 10, min_sel: 1e-6, ..Default::default() },
         )
+        .unwrap()
     }
 
     #[test]

@@ -145,22 +145,14 @@ impl AlignedBound {
     /// taken so far (Table 4's "max penalty for AB"). Call after running
     /// [`Discovery::discover`] / `evaluate` with this instance.
     pub fn max_part_penalty_seen(&self) -> f64 {
-        self.cache
-            .lock()
-            .values()
-            .map(|d| d.max_part_penalty)
-            .fold(1.0, f64::max)
+        self.cache.lock().values().map(|d| d.max_part_penalty).fold(1.0, f64::max)
     }
 
     /// Largest *partition-total* penalty (sum over parts) across all
     /// contour decisions taken so far — AB's worst per-contour expenditure
     /// in contour-cost units.
     pub fn max_partition_penalty_seen(&self) -> f64 {
-        self.cache
-            .lock()
-            .values()
-            .map(|d| d.total_penalty)
-            .fold(0.0, f64::max)
+        self.cache.lock().values().map(|d| d.total_penalty).fold(0.0, f64::max)
     }
 
     /// Fraction of contour decisions that fell back to the SpillBound
@@ -237,8 +229,7 @@ fn compute_decision(
             }
         }
     }
-    let present: Vec<EppId> =
-        (0..dims).filter(|&d| max_coord[d][d].is_some()).map(EppId).collect();
+    let present: Vec<EppId> = (0..dims).filter(|&d| max_coord[d][d].is_some()).map(EppId).collect();
 
     // SpillBound's per-dimension choice, reused for native parts and the
     // fallback
@@ -257,17 +248,22 @@ fn compute_decision(
                 let j = leader.0;
                 // qTj: extreme coordinate along j among cells spilling on
                 // any dimension of the part
-                let q_t_j = part
-                    .iter()
-                    .filter_map(|t| max_coord[t.0][j])
-                    .max()
-                    .expect("part dims are present");
-                let native_max = max_coord[j][j].expect("leader is present");
+                let Some(q_t_j) = part.iter().filter_map(|t| max_coord[t.0][j]).max() else {
+                    debug_assert!(false, "part dims must be present");
+                    continue;
+                };
+                let Some(native_max) = max_coord[j][j] else {
+                    debug_assert!(false, "leader dim {j} must be present");
+                    continue;
+                };
                 let (penalty, exec) = if q_t_j <= native_max {
                     // natively aligned: SpillBound's P^j_max covers the part
-                    let (cell, plan_id) =
-                        sb_choice.per_dim[j].expect("present dim has a choice");
+                    let Some((cell, plan_id)) = sb_choice.per_dim[j] else {
+                        debug_assert!(false, "present dim {j} must have a choice");
+                        continue;
+                    };
                     let budget = rt.ess.posp.cost(cell);
+                    crate::invariants::debug_check_band_budget(&rt.ess, band, budget);
                     (
                         1.0,
                         PartExec {
@@ -324,12 +320,11 @@ fn compute_decision(
         }
     }
 
-    let (total_penalty, max_part_penalty, execs) =
-        best.expect("singleton partition is always feasible");
-
-    // retain the quadratic guarantee: if inducing alignment costs more than
-    // SpillBound's |present| executions would, run SpillBound's procedure
-    if total_penalty > present.len() as f64 + 1e-9 {
+    // SpillBound's own per-dimension procedure: the quadratic-guarantee
+    // fallback, and the degradation path should no partition be feasible
+    // (debug builds treat the latter as unreachable — the singleton
+    // partition is always feasible).
+    let spillbound_fallback = || -> ContourDecision {
         let execs = present
             .iter()
             .filter_map(|&j| {
@@ -342,12 +337,23 @@ fn compute_decision(
                 })
             })
             .collect();
-        return ContourDecision {
+        ContourDecision {
             execs,
             total_penalty: present.len() as f64,
             max_part_penalty: 1.0,
             fallback: true,
-        };
+        }
+    };
+
+    let Some((total_penalty, max_part_penalty, execs)) = best else {
+        debug_assert!(false, "singleton partition is always feasible");
+        return spillbound_fallback();
+    };
+
+    // retain the quadratic guarantee: if inducing alignment costs more than
+    // SpillBound's |present| executions would, run SpillBound's procedure
+    if total_penalty > present.len() as f64 + 1e-9 {
+        return spillbound_fallback();
     }
     ContourDecision { execs, total_penalty, max_part_penalty, fallback: false }
 }
@@ -440,11 +446,8 @@ impl AlignmentStats {
         if self.per_contour_penalty.is_empty() {
             return 0.0;
         }
-        let n = self
-            .per_contour_penalty
-            .iter()
-            .filter(|&&p| p <= threshold * (1.0 + 1e-12))
-            .count();
+        let n =
+            self.per_contour_penalty.iter().filter(|&&p| p <= threshold * (1.0 + 1e-12)).count();
         100.0 * n as f64 / self.per_contour_penalty.len() as f64
     }
 
@@ -502,11 +505,8 @@ pub fn alignment_stats(rt: &RobustRuntime<'_>) -> AlignmentStats {
             }
             // induction cost along j: replace the optimal plan at an
             // extreme location with a j-spilling plan
-            let extreme_cells: Vec<Cell> = cells
-                .iter()
-                .copied()
-                .filter(|&c| grid.coord(c, j) == ext[j])
-                .collect();
+            let extreme_cells: Vec<Cell> =
+                cells.iter().copied().filter(|&c| grid.coord(c, j) == ext[j]).collect();
             if let Some((_, _, cell, cost)) =
                 cheapest_spilling_plan(rt, &extreme_cells, EppId(j), &unlearnt)
             {
@@ -538,6 +538,7 @@ mod tests {
             CostModel::default(),
             EssConfig { resolution: 12, min_sel: 1e-6, ..Default::default() },
         )
+        .unwrap()
     }
 
     #[test]
@@ -564,11 +565,7 @@ mod tests {
         for qa in rt.ess.grid().cells() {
             let t = ab.discover(&rt, qa);
             assert!(t.subopt() >= 1.0 - 1e-9, "cell {qa}");
-            assert!(
-                t.subopt() <= bound + 1e-9,
-                "cell {qa}: subopt {} exceeds {bound}",
-                t.subopt()
-            );
+            assert!(t.subopt() <= bound + 1e-9, "cell {qa}: subopt {} exceeds {bound}", t.subopt());
             assert!(t.steps.last().unwrap().completed);
         }
     }

@@ -221,6 +221,7 @@ pub(crate) fn bouquet_endgame(
             }
         }
         for (plan_id, budget) in budgets {
+            crate::invariants::debug_check_band_budget(&rt.ess, band, budget);
             let plan = rt.ess.posp.plan(plan_id);
             let out = rt.engine.execute_budgeted(plan, qa_loc, budget);
             *total += out.spent();
@@ -250,7 +251,10 @@ mod tests {
     use rqp_ess::EssConfig;
     use rqp_qplan::CostModel;
 
-    fn runtime(catalog: &rqp_catalog::Catalog, query: &rqp_catalog::Query) -> RobustRuntime<'static> {
+    fn runtime(
+        catalog: &rqp_catalog::Catalog,
+        query: &rqp_catalog::Query,
+    ) -> RobustRuntime<'static> {
         // tests keep fixtures alive via Box::leak for simplicity
         let catalog: &'static _ = Box::leak(Box::new(catalog.clone()));
         let query: &'static _ = Box::leak(Box::new(query.clone()));
@@ -260,6 +264,7 @@ mod tests {
             CostModel::default(),
             EssConfig { resolution: 12, min_sel: 1e-6, ..Default::default() },
         )
+        .unwrap()
     }
 
     #[test]

@@ -37,11 +37,7 @@ impl Evaluation {
             counts[bin] += 1;
         }
         let n = self.subopts.len() as f64;
-        counts
-            .into_iter()
-            .enumerate()
-            .map(|(i, c)| (i as f64 * bin_width, c as f64 / n))
-            .collect()
+        counts.into_iter().enumerate().map(|(i, c)| (i as f64 * bin_width, c as f64 / n)).collect()
     }
 
     /// Fraction of cells with sub-optimality at most `threshold`.
@@ -53,13 +49,8 @@ impl Evaluation {
 
 /// Evaluate an algorithm exhaustively over every grid cell, in parallel.
 pub fn evaluate(rt: &RobustRuntime<'_>, algo: &dyn Discovery) -> Evaluation {
-    let subopts: Vec<f64> = rt
-        .ess
-        .grid()
-        .cells()
-        .into_par_iter()
-        .map(|qa| algo.discover(rt, qa).subopt())
-        .collect();
+    let subopts: Vec<f64> =
+        rt.ess.grid().cells().into_par_iter().map(|qa| algo.discover(rt, qa).subopt()).collect();
     summarize(algo.name(), subopts)
 }
 
@@ -107,6 +98,7 @@ mod tests {
             CostModel::default(),
             EssConfig { resolution: 10, min_sel: 1e-6, ..Default::default() },
         )
+        .unwrap()
     }
 
     #[test]

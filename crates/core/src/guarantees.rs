@@ -7,13 +7,19 @@ pub fn pb_guarantee(rho_red: usize, lambda: f64) -> f64 {
 }
 
 /// SpillBound's structural guarantee `D² + 3D` (Theorem 4.5).
+///
+/// Computed in `f64` so that pathologically large `D` degrades to a finite
+/// (approximate) bound instead of silently wrapping in integer arithmetic.
 pub fn sb_guarantee(d: usize) -> f64 {
-    (d * d + 3 * d) as f64
+    let d = d as f64;
+    d.mul_add(d, 3.0 * d)
 }
 
 /// AlignedBound's guarantee range `[2D+2, D²+3D]` (§5.3).
+///
+/// Like [`sb_guarantee`], evaluated in `f64` to avoid integer overflow.
 pub fn ab_guarantee_range(d: usize) -> (f64, f64) {
-    ((2 * d + 2) as f64, sb_guarantee(d))
+    ((d as f64).mul_add(2.0, 2.0), sb_guarantee(d))
 }
 
 /// The 2-D special case bound of Theorem 4.2.
@@ -41,6 +47,20 @@ mod tests {
         assert_eq!(sb_guarantee(4), 28.0);
         // the 2-D theorem matches the general formula
         assert_eq!(sb_guarantee(2), sb_guarantee_2d());
+    }
+
+    #[test]
+    fn huge_dimension_counts_do_not_overflow() {
+        // d² once overflowed usize here and wrapped to a tiny bound;
+        // f64 arithmetic keeps the guarantee monotone and finite
+        let huge = usize::MAX / 2;
+        let g = sb_guarantee(huge);
+        assert!(g.is_finite() && g > (huge as f64) * (huge as f64) * 0.99);
+        let (lo, hi) = ab_guarantee_range(huge);
+        assert!(lo.is_finite() && lo > huge as f64);
+        assert!(hi >= lo, "range must stay ordered at the boundary");
+        // monotonicity across the u32 boundary where usize math wrapped
+        assert!(sb_guarantee(1 << 32) > sb_guarantee((1 << 32) - 1));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Debug-build checks of the paper's structural invariants.
+//!
+//! Two assumptions underpin every MSO guarantee in the paper: (1) the
+//! optimal cost surface is monotone (PCM, §2.3), so the iso-cost contours
+//! are properly nested — the optimal cost recorded at every cell of band
+//! `i` lies inside the band's cost window; and (2) contour budgets grow
+//! geometrically (cost-doubling, §3.1) — `CC_{i+1} = r·CC_i`, and every
+//! budgeted execution drawn from band `i` spends within that window.
+//! Violating either does not crash anything; it silently voids the
+//! guarantees, which is exactly the class of bug best caught by
+//! `debug_assert!`. Every check here compiles to a no-op in release
+//! builds, so the hot discovery loops pay nothing in production.
+
+use rqp_ess::Ess;
+
+/// Relative slack for the window checks: contour edges are reconstructed
+/// through `ln`/`powi` round-trips, so exact equality is too strict.
+const SLACK: f64 = 1e-9;
+
+/// Check the compiled contour set: lower edges grow geometrically by the
+/// contour ratio, and every cell's optimal cost lies within its band's
+/// window `[CC_i, r·CC_i)` (the discretized contour-nesting invariant;
+/// the last band is open above because it absorbs the terminus).
+///
+/// Call once after ESS compilation. No-op in release builds.
+pub fn debug_check_contours(ess: &Ess) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let contours = &ess.contours;
+    let ratio = contours.ratio;
+    for b in 1..contours.num_bands() {
+        let r = contours.cc(b) / contours.cc(b - 1);
+        debug_assert!(
+            (r - ratio).abs() <= SLACK * ratio,
+            "contour edges must grow by {ratio}: band {b} edge ratio {r}"
+        );
+    }
+    let last = contours.num_bands() - 1;
+    for b in 0..contours.num_bands() {
+        let lo = contours.cc(b);
+        for &cell in contours.cells(b) {
+            let c = ess.posp.cost(cell);
+            debug_assert!(
+                c >= lo * (1.0 - SLACK),
+                "cell {cell}: optimal cost {c} below band {b} lower edge {lo}"
+            );
+            debug_assert!(
+                b == last || c < lo * ratio * (1.0 + SLACK),
+                "cell {cell}: optimal cost {c} above band {b} upper edge {}",
+                lo * ratio
+            );
+        }
+    }
+}
+
+/// Check that a budget charged on band `band` respects the doubling
+/// discipline: it is at least the band's lower edge `CC_band` and (except
+/// on the open last band) below the next edge `r·CC_band`. Discovery
+/// algorithms call this at every POSP-derived budget. No-op in release
+/// builds.
+pub fn debug_check_band_budget(ess: &Ess, band: usize, budget: f64) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let contours = &ess.contours;
+    let lo = contours.cc(band);
+    debug_assert!(
+        budget >= lo * (1.0 - SLACK),
+        "band {band}: budget {budget} below contour edge {lo}"
+    );
+    debug_assert!(
+        band + 1 >= contours.num_bands() || budget < lo * contours.ratio * (1.0 + SLACK),
+        "band {band}: budget {budget} breaches the doubling window (edge {lo}, ratio {})",
+        contours.ratio
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::example_2d;
+    use rqp_ess::EssConfig;
+    use rqp_optimizer::Optimizer;
+    use rqp_qplan::CostModel;
+
+    fn compiled_ess() -> Ess {
+        let (catalog, query) = example_2d();
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        Ess::compile(&opt, EssConfig { resolution: 8, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn compiled_ess_satisfies_both_invariants() {
+        let ess = compiled_ess();
+        debug_check_contours(&ess);
+        for band in 0..ess.contours.num_bands() {
+            for &cell in ess.contours.cells(band) {
+                debug_check_band_budget(&ess, band, ess.posp.cost(cell));
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "doubling window")]
+    fn budget_above_the_window_is_rejected() {
+        let ess = compiled_ess();
+        debug_check_band_budget(&ess, 0, ess.contours.cc(0) * ess.contours.ratio * 2.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "below contour edge")]
+    fn budget_below_the_edge_is_rejected() {
+        let ess = compiled_ess();
+        debug_check_band_budget(&ess, 1, ess.contours.cc(1) * 0.25);
+    }
+}

@@ -16,10 +16,7 @@ pub struct Knowledge {
 impl Knowledge {
     /// Fresh knowledge: `qrun` at the grid origin, nothing exact.
     pub fn new(grid: &Grid) -> Self {
-        Knowledge {
-            qrun: grid.location(grid.origin()),
-            exact: vec![None; grid.dims()],
-        }
+        Knowledge { qrun: grid.location(grid.origin()), exact: vec![None; grid.dims()] }
     }
 
     /// The running location.
@@ -35,12 +32,7 @@ impl Knowledge {
     /// Dimensions not yet learnt exactly, in ascending order — the current
     /// `EPP` set of Algorithm 1.
     pub fn unlearnt(&self) -> BTreeSet<EppId> {
-        self.exact
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.is_none())
-            .map(|(d, _)| EppId(d))
-            .collect()
+        self.exact.iter().enumerate().filter(|(_, e)| e.is_none()).map(|(d, _)| EppId(d)).collect()
     }
 
     /// Number of dimensions learnt exactly.
@@ -50,20 +42,27 @@ impl Knowledge {
 
     /// Record an exactly-learnt selectivity.
     ///
-    /// # Panics
-    /// Panics if the dimension was already learnt to a different value or
-    /// the value is below the current lower bound (no overshoot is possible
-    /// for a sound learner, so this indicates a bug).
+    /// Either misuse indicates a learner bug, and both degrade instead of
+    /// aborting: re-learning a dimension keeps the first value
+    /// (`debug_assert!`ing that both agree up to the cost epsilon), and an
+    /// "exact" value below the proven running lower bound is clamped up to
+    /// that bound — the conservative side for every guarantee, since no
+    /// sound learner can overshoot.
     pub fn learn_exact(&mut self, dim: EppId, value: f64) {
         if let Some(prev) = self.exact[dim.0] {
-            assert_eq!(prev, value, "dim {dim} re-learnt to a different value");
+            debug_assert!(
+                rqp_qplan::cost_eq(prev, value),
+                "dim {dim} re-learnt to a different value ({prev} vs {value})"
+            );
             return;
         }
-        assert!(
-            value >= self.qrun.get(dim.0).value() * (1.0 - 1e-9),
+        let bound = self.qrun.get(dim.0).value();
+        debug_assert!(
+            value >= bound * (1.0 - 1e-9),
             "exact value {value} below running bound {}",
             self.qrun.get(dim.0)
         );
+        let value = value.max(bound);
         self.exact[dim.0] = Some(value);
         self.qrun.set(dim.0, Selectivity::new(value));
     }
@@ -93,7 +92,7 @@ mod tests {
     use super::*;
 
     fn grid() -> Grid {
-        Grid::uniform(2, 5, 1e-4)
+        Grid::uniform(2, 5, 1e-4).unwrap()
     }
 
     #[test]
@@ -143,6 +142,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "below running bound")]
     fn exact_below_bound_panics() {
         let g = grid();

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 //! Robust query processing algorithms with provable MSO guarantees.
 //!
@@ -27,6 +28,7 @@ pub mod aligned;
 pub mod bouquet;
 pub mod eval;
 pub mod guarantees;
+pub mod invariants;
 pub mod knowledge;
 pub mod lowerbound;
 pub mod native;
@@ -97,7 +99,8 @@ pub(crate) mod test_support {
             .epp_join("part", "p_partkey", "lineitem", "l_partkey")
             .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
             .filter("part", "p_price", 0.05)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 
@@ -139,7 +142,8 @@ pub(crate) mod test_support {
             .epp_join("customer", "c_custkey", "orders", "o_custkey")
             .filter("part", "p_price", 0.05)
             .filter("customer", "c_balance", 0.1)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 }

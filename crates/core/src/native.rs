@@ -10,7 +10,6 @@ use crate::runtime::RobustRuntime;
 use crate::trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
 use crate::Discovery;
 use rayon::prelude::*;
-use rqp_catalog::Estimator;
 use rqp_ess::Cell;
 
 /// The native-optimizer baseline with the catalog's own estimate for `qe`.
@@ -22,8 +21,8 @@ impl Discovery for NativeOptimizer {
     }
 
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
-        let qe = Estimator::new(rt.catalog).estimated_location(rt.query);
-        let planned = rt.optimizer.optimize(&qe);
+        let qe = rt.estimated_location();
+        let planned = rt.optimizer.optimize(qe);
         let qa_loc = rt.ess.grid().location(qa);
         let cost = rt.optimizer.cost_of(&planned.plan, &qa_loc);
         let band = rt.ess.contours.band_of(qa);
@@ -84,6 +83,7 @@ mod tests {
             CostModel::default(),
             EssConfig { resolution: 10, min_sel: 1e-6, ..Default::default() },
         )
+        .unwrap()
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use crate::runtime::RobustRuntime;
 use crate::trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
 use crate::Discovery;
-use rqp_catalog::{EppId, Estimator, Selectivity};
+use rqp_catalog::{EppId, Selectivity};
 use rqp_ess::Cell;
 use rqp_qplan::pipeline::{epp_spill_order, spill_subtree};
 use std::sync::Arc;
@@ -70,7 +70,7 @@ impl Discovery for ReOptimizer {
         let qa_loc = grid.location(qa);
         // current selectivity beliefs: catalog estimates, progressively
         // overwritten by observed truths
-        let mut believed = Estimator::new(rt.catalog).estimated_location(rt.query);
+        let mut believed = rt.estimated_location().clone();
         let mut observed = vec![false; grid.dims()];
         let mut steps = Vec::new();
         let mut total = 0.0;
@@ -79,11 +79,7 @@ impl Discovery for ReOptimizer {
         for _round in 0..=grid.dims() {
             let planned = rt.optimizer.optimize(&believed);
             let plan = Arc::new(planned.plan);
-            let band = rt
-                .ess
-                .contours
-                .band_of(qa)
-                .min(rt.ess.contours.num_bands() - 1);
+            let band = rt.ess.contours.band_of(qa).min(rt.ess.contours.num_bands() - 1);
 
             // observation points in pipeline order
             let mut violation: Option<EppId> = None;
@@ -107,8 +103,13 @@ impl Discovery for ReOptimizer {
                     // pay for the work that produced the violating
                     // observation: the subtree rooted at the epp's node,
                     // at true cardinalities
-                    let subtree =
-                        spill_subtree(&plan, rt.query, e).expect("plan evaluates the epp");
+                    // epp_spill_order only yields epps the plan evaluates, so
+                    // the subtree always exists; if the invariant ever broke,
+                    // charging the whole plan keeps the cost conservative.
+                    let subtree = spill_subtree(&plan, rt.query, e).unwrap_or_else(|| {
+                        debug_assert!(false, "plan evaluates epp {e}");
+                        (*plan).clone()
+                    });
                     let spent = rt.engine.true_cost(&subtree, &qa_loc);
                     total += spent;
                     steps.push(Step {
@@ -147,7 +148,18 @@ impl Discovery for ReOptimizer {
                 }
             }
         }
-        unreachable!("every round observes a new epp; D+1 rounds always complete")
+        // every round observes ≥1 new epp, so the loop always returns from
+        // its completion arm; surface a broken invariant without panicking
+        debug_assert!(false, "D+1 reoptimization rounds did not complete");
+        let trace = DiscoveryTrace {
+            algo: self.name(),
+            qa,
+            steps,
+            total_cost: total,
+            oracle_cost: rt.oracle_cost(qa),
+        };
+        crate::obs::record_trace(&trace);
+        trace
     }
 }
 
@@ -170,6 +182,7 @@ mod tests {
             CostModel::default(),
             EssConfig { resolution: 12, min_sel: 1e-6, ..Default::default() },
         )
+        .unwrap()
     }
 
     #[test]
@@ -193,10 +206,9 @@ mod tests {
         let rt = runtime();
         let reopt = ReOptimizer::default();
         // put qa at (a grid snap of) the estimated location
-        let qe = rqp_catalog::Estimator::new(rt.catalog).estimated_location(rt.query);
+        let qe = rt.estimated_location();
         let grid = rt.ess.grid();
-        let coords: Vec<usize> =
-            (0..2).map(|d| grid.snap_ceil(d, qe.get(d).value())).collect();
+        let coords: Vec<usize> = (0..2).map(|d| grid.snap_ceil(d, qe.get(d).value())).collect();
         let qa = grid.index(&coords);
         let t = reopt.discover(&rt, qa);
         // close to its own estimate the plan should run in one round

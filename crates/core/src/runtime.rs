@@ -1,6 +1,6 @@
 //! The shared runtime every robust algorithm executes against.
 
-use rqp_catalog::{Catalog, Query};
+use rqp_catalog::{Catalog, Estimator, Query, RqpError, RqpResult, SelVector};
 use rqp_ess::{Ess, EssConfig};
 use rqp_executor::Engine;
 use rqp_optimizer::Optimizer;
@@ -24,26 +24,37 @@ pub struct RobustRuntime<'a> {
     pub engine: Engine<'a>,
     /// The compiled error-prone selectivity space.
     pub ess: Ess,
+    /// The native optimizer's estimated ESS location `qe`, computed once at
+    /// admission so run-time discovery never has to re-estimate (and never
+    /// has to handle estimation failure).
+    qe: SelVector,
 }
 
 impl<'a> RobustRuntime<'a> {
     /// Compile the runtime: build the optimizer, the engine, and the ESS.
     ///
-    /// # Panics
-    /// Panics if the query has no error-prone predicates (there is nothing
-    /// to discover) or fails validation.
+    /// Errors if the query has no error-prone predicates (there is nothing
+    /// to discover), fails validation, or requests an unrepresentable ESS
+    /// grid.
     pub fn compile(
         catalog: &'a Catalog,
         query: &'a Query,
         model: CostModel,
         config: EssConfig,
-    ) -> Self {
-        assert!(query.dims() >= 1, "query {} has no error-prone predicates", query.name);
-        query.validate(catalog).expect("query must validate against the catalog");
+    ) -> RqpResult<Self> {
+        if query.dims() < 1 {
+            return Err(RqpError::InvalidQuery(format!(
+                "query {} has no error-prone predicates",
+                query.name
+            )));
+        }
+        query.validate(catalog)?;
+        let qe = Estimator::new(catalog).estimated_location(query)?;
         let optimizer = Optimizer::new(catalog, query, model);
         let engine = Engine::new(catalog, query, model);
-        let ess = Ess::compile(&optimizer, config);
-        RobustRuntime { catalog, query, optimizer, engine, ess }
+        let ess = Ess::compile(&optimizer, config)?;
+        crate::invariants::debug_check_contours(&ess);
+        Ok(RobustRuntime { catalog, query, optimizer, engine, ess, qe })
     }
 
     /// Number of ESS dimensions, `D`.
@@ -51,17 +62,18 @@ impl<'a> RobustRuntime<'a> {
         self.query.dims()
     }
 
+    /// The estimated ESS location `qe` (the traditional optimizer's belief).
+    pub fn estimated_location(&self) -> &SelVector {
+        &self.qe
+    }
+
     /// Replace the engine with a δ-perturbed one (§7: bounded cost-model
     /// error — actual execution costs deviate from the model by up to a
     /// `(1+delta)` factor either way; the MSO guarantees inflate by at most
     /// `(1+delta)²`).
     pub fn set_cost_error(&mut self, delta: f64) {
-        self.engine = Engine::with_cost_error(
-            self.catalog,
-            self.query,
-            self.optimizer.model(),
-            delta,
-        );
+        self.engine =
+            Engine::with_cost_error(self.catalog, self.query, self.optimizer.model(), delta);
     }
 
     /// Oracle cost `Cost(P_qa, qa)` for a grid cell.
@@ -83,7 +95,8 @@ mod tests {
             &query,
             CostModel::default(),
             EssConfig { resolution: 10, ..Default::default() },
-        );
+        )
+        .unwrap();
         assert_eq!(rt.dims(), 2);
         assert_eq!(rt.ess.grid().num_cells(), 100);
         assert!(rt.oracle_cost(0) > 0.0);

@@ -42,11 +42,7 @@ pub(crate) struct ContourChoice {
 }
 
 /// Build the cache key for the current knowledge state.
-pub(crate) fn state_key(
-    rt: &RobustRuntime<'_>,
-    band: usize,
-    know: &Knowledge,
-) -> StateKey {
+pub(crate) fn state_key(rt: &RobustRuntime<'_>, band: usize, know: &Knowledge) -> StateKey {
     let grid = rt.ess.grid();
     let mut learnt = Vec::new();
     for d in 0..grid.dims() {
@@ -160,6 +156,7 @@ impl Discovery for SpillBound {
                 };
                 let plan = rt.ess.posp.plan(plan_id);
                 let budget = rt.ess.posp.cost(cell);
+                crate::invariants::debug_check_band_budget(&rt.ess, band, budget);
                 let reference = grid.location(cell);
                 let out = if self.refine_bounds {
                     rt.engine.execute_spill(plan, j, &reference, &qa_loc, budget)
@@ -222,6 +219,7 @@ mod tests {
             CostModel::default(),
             EssConfig { resolution: 12, min_sel: 1e-6, ..Default::default() },
         )
+        .unwrap()
     }
 
     #[test]
@@ -299,17 +297,14 @@ mod tests {
             query,
             CostModel::default(),
             EssConfig { resolution: 7, min_sel: 1e-6, ..Default::default() },
-        );
+        )
+        .unwrap();
         let sb = SpillBound::new();
         let bound = 2.0 * sb_guarantee(3);
         for qa in (0..rt.ess.grid().num_cells()).step_by(11) {
             let t = sb.discover(&rt, qa);
             assert!(t.steps.last().unwrap().completed, "cell {qa} did not complete");
-            assert!(
-                t.subopt() <= bound + 1e-9,
-                "cell {qa}: subopt {} exceeds {bound}",
-                t.subopt()
-            );
+            assert!(t.subopt() <= bound + 1e-9, "cell {qa}: subopt {} exceeds {bound}", t.subopt());
         }
     }
 
@@ -326,7 +321,8 @@ mod tests {
                 query,
                 CostModel::default(),
                 EssConfig { resolution: 10, min_sel: 1e-6, ..Default::default() },
-            );
+            )
+            .unwrap();
             rt.set_cost_error(delta);
             let bound = (1.0 + delta) * (1.0 + delta) * 2.0 * sb_guarantee(rt.dims());
             let sb = SpillBound::new();
@@ -355,9 +351,6 @@ mod tests {
         }
         // the paper's headline comparison: SB's empirical MSO should not be
         // materially worse than PB's (and is typically much better)
-        assert!(
-            mso_sb <= mso_pb * 1.5 + 1e-9,
-            "SB MSOe {mso_sb} much worse than PB MSOe {mso_pb}"
-        );
+        assert!(mso_sb <= mso_pb * 1.5 + 1e-9, "SB MSOe {mso_sb} much worse than PB MSOe {mso_pb}");
     }
 }

@@ -209,10 +209,7 @@ mod bespoke_tests {
 
     #[test]
     fn bespoke_plans_render_as_p_star() {
-        let plan = PlanRef::Bespoke(Arc::new(PlanNode::SeqScan {
-            rel: RelId(0),
-            filters: vec![],
-        }));
+        let plan = PlanRef::Bespoke(Arc::new(PlanNode::SeqScan { rel: RelId(0), filters: vec![] }));
         assert_eq!(plan.to_string(), "P*");
     }
 

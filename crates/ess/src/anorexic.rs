@@ -10,6 +10,8 @@ use crate::grid::Cell;
 use crate::posp::Posp;
 use crate::registry::PlanId;
 use rqp_optimizer::Optimizer;
+use rqp_qplan::cost_cmp;
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
 /// A reduced plan diagram: a replacement cell→plan assignment guaranteed to
@@ -62,14 +64,19 @@ pub fn anorexic_reduce(posp: &Posp, optimizer: &Optimizer<'_>, lambda: f64) -> R
         for swallower in candidates {
             let fits = victim_cells.iter().all(|&cell| {
                 let replacement = posp.cost_of_plan_at(optimizer, swallower, cell);
-                replacement <= (1.0 + lambda) * posp.cost(cell) * (1.0 + 1e-12)
+                cost_cmp(replacement, (1.0 + lambda) * posp.cost(cell)) != Ordering::Greater
             });
             if fits {
                 for &cell in &victim_cells {
                     cell_plan[cell] = swallower;
                 }
                 let moved = regions.remove(&victim).unwrap_or_default();
-                regions.get_mut(&swallower).expect("survivor").extend(moved);
+                // the swallower was drawn from the surviving regions above
+                if let Some(region) = regions.get_mut(&swallower) {
+                    region.extend(moved);
+                } else {
+                    debug_assert!(false, "swallower region must survive");
+                }
                 break;
             }
         }
@@ -114,7 +121,8 @@ mod tests {
             .epp_join("part", "p_partkey", "lineitem", "l_partkey")
             .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
             .filter("part", "p_price", 0.05)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 
@@ -122,7 +130,7 @@ mod tests {
     fn reduction_shrinks_plan_count_and_respects_lambda() {
         let (catalog, query) = fixture();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
-        let posp = Posp::compile(&opt, Grid::uniform(2, 12, 1e-6));
+        let posp = Posp::compile(&opt, Grid::uniform(2, 12, 1e-6).unwrap());
         let before = posp.num_plans();
         let reduced = anorexic_reduce(&posp, &opt, 0.2);
         assert!(reduced.num_plans <= before);
@@ -142,7 +150,7 @@ mod tests {
     fn zero_lambda_keeps_costs_optimal() {
         let (catalog, query) = fixture();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
-        let posp = Posp::compile(&opt, Grid::uniform(2, 8, 1e-5));
+        let posp = Posp::compile(&opt, Grid::uniform(2, 8, 1e-5).unwrap());
         let reduced = anorexic_reduce(&posp, &opt, 0.0);
         for cell in posp.grid().cells() {
             let c = posp.cost_of_plan_at(&opt, reduced.cell_plan[cell], cell);
@@ -154,7 +162,7 @@ mod tests {
     fn larger_lambda_reduces_at_least_as_much() {
         let (catalog, query) = fixture();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
-        let posp = Posp::compile(&opt, Grid::uniform(2, 10, 1e-6));
+        let posp = Posp::compile(&opt, Grid::uniform(2, 10, 1e-6).unwrap());
         let r_small = anorexic_reduce(&posp, &opt, 0.05);
         let r_big = anorexic_reduce(&posp, &opt, 1.0);
         assert!(r_big.num_plans <= r_small.num_plans);

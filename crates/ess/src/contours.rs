@@ -86,11 +86,7 @@ impl ContourSet {
     /// Density of a band under a replacement cell→plan assignment (used for
     /// the anorexic-reduced bouquet's `ρ_red`).
     pub fn density_with(&self, assignment: &[PlanId], band: usize) -> usize {
-        self.bands[band]
-            .iter()
-            .map(|&c| assignment[c])
-            .collect::<BTreeSet<_>>()
-            .len()
+        self.bands[band].iter().map(|&c| assignment[c]).collect::<BTreeSet<_>>().len()
     }
 
     /// Maximum density over all bands under a replacement assignment.
@@ -134,14 +130,15 @@ mod tests {
             .epp_join("part", "p_partkey", "lineitem", "l_partkey")
             .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
             .filter("part", "p_price", 0.05)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 
     fn compiled() -> (Posp, ContourSet) {
         let (catalog, query) = fixture();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
-        let posp = Posp::compile(&opt, Grid::uniform(2, 12, 1e-6));
+        let posp = Posp::compile(&opt, Grid::uniform(2, 12, 1e-6).unwrap());
         let contours = ContourSet::build(&posp, 2.0);
         (posp, contours)
     }
@@ -186,8 +183,7 @@ mod tests {
         let rho = contours.max_density(&posp);
         assert!(rho >= 1 && rho <= posp.num_plans());
         // identity assignment reproduces plain densities
-        let identity: Vec<PlanId> =
-            posp.grid().cells().map(|c| posp.plan_id(c)).collect();
+        let identity: Vec<PlanId> = posp.grid().cells().map(|c| posp.plan_id(c)).collect();
         assert_eq!(contours.max_density_with(&identity), rho);
     }
 

@@ -5,7 +5,7 @@
 //! of [0,1]^D"). Cells are addressed by a linear index in row-major order
 //! (dimension 0 varies fastest).
 
-use rqp_catalog::{SelVector, Selectivity};
+use rqp_catalog::{RqpError, RqpResult, SelVector, Selectivity};
 use serde::{Deserialize, Serialize};
 
 /// Linear index of a grid cell.
@@ -25,12 +25,15 @@ impl Grid {
     /// A uniform grid: every dimension gets `res` log-spaced points from
     /// `min_sel` to 1.0.
     ///
-    /// # Panics
-    /// Panics if `dims == 0`, `res < 2`, or `min_sel` is outside `(0,1)`.
-    pub fn uniform(dims: usize, res: usize, min_sel: f64) -> Self {
-        assert!(dims >= 1, "grid needs at least one dimension");
-        assert!(res >= 2, "grid needs at least two points per dimension");
-        assert!(min_sel > 0.0 && min_sel < 1.0, "min_sel must be in (0,1)");
+    /// Errors if `dims == 0`, `res < 2`, `min_sel` is outside `(0,1)`, or
+    /// the total cell count `res^dims` overflows.
+    pub fn uniform(dims: usize, res: usize, min_sel: f64) -> RqpResult<Self> {
+        if dims < 1 || res < 2 || !(min_sel > 0.0 && min_sel < 1.0) {
+            return Err(RqpError::InvalidQuery(format!(
+                "grid needs dims >= 1, res >= 2 and min_sel in (0,1); \
+                 got dims {dims}, res {res}, min_sel {min_sel}"
+            )));
+        }
         let axis: Vec<f64> = (0..res)
             .map(|k| {
                 let t = k as f64 / (res - 1) as f64;
@@ -43,25 +46,35 @@ impl Grid {
 
     /// A grid from explicit axes.
     ///
-    /// # Panics
-    /// Panics if any axis is not strictly increasing within `(0, 1]`.
-    pub fn from_axes(axes: Vec<Vec<f64>>) -> Self {
-        assert!(!axes.is_empty());
+    /// Errors if any axis is not strictly increasing within `(0, 1]`, or if
+    /// the total cell count overflows.
+    pub fn from_axes(axes: Vec<Vec<f64>>) -> RqpResult<Self> {
+        if axes.is_empty() {
+            return Err(RqpError::InvalidQuery("grid needs at least one axis".into()));
+        }
         for axis in &axes {
-            assert!(axis.len() >= 2, "axis needs at least two points");
-            assert!(
-                axis.windows(2).all(|w| w[0] < w[1]),
-                "axis must be strictly increasing"
-            );
-            assert!(axis[0] > 0.0 && *axis.last().unwrap() <= 1.0);
+            let ok = axis.len() >= 2
+                && axis.windows(2).all(|w| w[0] < w[1])
+                && axis[0] > 0.0
+                && axis[axis.len() - 1] <= 1.0;
+            if !ok {
+                return Err(RqpError::InvalidQuery(
+                    "grid axis must be strictly increasing within (0, 1] \
+                     with at least two points"
+                        .into(),
+                ));
+            }
         }
         let mut strides = Vec::with_capacity(axes.len());
         let mut acc = 1usize;
+        let max_res = axes.iter().map(Vec::len).max().unwrap_or(0);
         for axis in &axes {
             strides.push(acc);
-            acc = acc.checked_mul(axis.len()).expect("grid too large");
+            acc = acc
+                .checked_mul(axis.len())
+                .ok_or(RqpError::GridTooLarge { resolution: max_res, dims: axes.len() })?;
         }
-        Grid { axes, strides, cells: acc }
+        Ok(Grid { axes, strides, cells: acc })
     }
 
     /// Number of dimensions.
@@ -111,11 +124,7 @@ impl Grid {
     /// Linear index from coordinates.
     pub fn index(&self, coords: &[usize]) -> Cell {
         debug_assert_eq!(coords.len(), self.dims());
-        coords
-            .iter()
-            .zip(&self.strides)
-            .map(|(&c, &s)| c * s)
-            .sum()
+        coords.iter().zip(&self.strides).map(|(&c, &s)| c * s).sum()
     }
 
     /// The selectivity location of a cell.
@@ -123,11 +132,7 @@ impl Grid {
         let mut coords = vec![0; self.dims()];
         self.coords_into(cell, &mut coords);
         SelVector::new(
-            coords
-                .iter()
-                .enumerate()
-                .map(|(d, &i)| Selectivity::new(self.axes[d][i]))
-                .collect(),
+            coords.iter().enumerate().map(|(d, &i)| Selectivity::new(self.axes[d][i])).collect(),
         )
     }
 
@@ -151,9 +156,7 @@ impl Grid {
     /// Returns the last index if `v` exceeds the axis maximum.
     pub fn snap_ceil(&self, d: usize, v: f64) -> usize {
         let axis = &self.axes[d];
-        axis.iter()
-            .position(|&x| x >= v * (1.0 - 1e-12))
-            .unwrap_or(axis.len() - 1)
+        axis.iter().position(|&x| x >= v * (1.0 - 1e-12)).unwrap_or(axis.len() - 1)
     }
 
     /// Largest axis index of dimension `d` whose value is ≤ `v`; 0 if `v`
@@ -175,7 +178,7 @@ mod tests {
 
     #[test]
     fn uniform_axis_ends_are_exact() {
-        let g = Grid::uniform(2, 5, 1e-4);
+        let g = Grid::uniform(2, 5, 1e-4).unwrap();
         assert_eq!(g.dims(), 2);
         assert_eq!(g.res(0), 5);
         assert!((g.value(0, 0) - 1e-4).abs() < 1e-15);
@@ -185,7 +188,7 @@ mod tests {
 
     #[test]
     fn coords_roundtrip() {
-        let g = Grid::uniform(3, 4, 1e-3);
+        let g = Grid::uniform(3, 4, 1e-3).unwrap();
         for cell in g.cells() {
             let coords = g.coords_of(cell);
             assert_eq!(g.index(&coords), cell);
@@ -197,7 +200,7 @@ mod tests {
 
     #[test]
     fn dominance_matches_coordinates() {
-        let g = Grid::uniform(2, 4, 1e-3);
+        let g = Grid::uniform(2, 4, 1e-3).unwrap();
         let a = g.index(&[2, 3]);
         let b = g.index(&[1, 3]);
         let c = g.index(&[3, 1]);
@@ -210,7 +213,7 @@ mod tests {
 
     #[test]
     fn location_values_match_axes() {
-        let g = Grid::uniform(2, 3, 1e-2);
+        let g = Grid::uniform(2, 3, 1e-2).unwrap();
         let cell = g.index(&[1, 2]);
         let loc = g.location(cell);
         assert!((loc.get(0).value() - g.value(0, 1)).abs() < 1e-15);
@@ -219,7 +222,7 @@ mod tests {
 
     #[test]
     fn snapping_is_consistent() {
-        let g = Grid::uniform(1, 5, 1e-4);
+        let g = Grid::uniform(1, 5, 1e-4).unwrap();
         for i in 0..5 {
             let v = g.value(0, i);
             assert_eq!(g.snap_ceil(0, v), i, "exact point should snap to itself");
@@ -233,7 +236,7 @@ mod tests {
 
     #[test]
     fn asymmetric_axes_supported() {
-        let g = Grid::from_axes(vec![vec![0.1, 0.5, 1.0], vec![0.2, 1.0]]);
+        let g = Grid::from_axes(vec![vec![0.1, 0.5, 1.0], vec![0.2, 1.0]]).unwrap();
         assert_eq!(g.num_cells(), 6);
         assert_eq!(g.res(0), 3);
         assert_eq!(g.res(1), 2);
@@ -241,8 +244,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_axis() {
-        Grid::from_axes(vec![vec![0.5, 0.1, 1.0]]);
+        let err = Grid::from_axes(vec![vec![0.5, 0.1, 1.0]]).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"), "{err}");
+    }
+
+    #[test]
+    fn oversized_grid_is_an_error_not_an_abort() {
+        // 1000^8 cells overflows usize on every supported platform
+        let err = Grid::uniform(8, 1000, 1e-6).unwrap_err();
+        assert!(matches!(err, rqp_catalog::RqpError::GridTooLarge { resolution: 1000, dims: 8 }));
+    }
+
+    #[test]
+    fn degenerate_parameters_are_errors() {
+        assert!(Grid::uniform(0, 10, 1e-4).is_err());
+        assert!(Grid::uniform(2, 1, 1e-4).is_err());
+        assert!(Grid::uniform(2, 10, 0.0).is_err());
+        assert!(Grid::uniform(2, 10, 1.0).is_err());
+        assert!(Grid::from_axes(vec![]).is_err());
+        assert!(Grid::from_axes(vec![vec![0.5]]).is_err());
+        assert!(Grid::from_axes(vec![vec![0.5, 1.5]]).is_err());
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 //! The error-prone selectivity space (ESS): grid, POSP compilation,
 //! iso-cost contours and anorexic reduction.
@@ -18,13 +19,14 @@ pub mod registry;
 pub mod snapshot;
 
 pub use anorexic::{anorexic_reduce, Reduced};
-pub use obs::register_metrics;
 pub use contours::ContourSet;
 pub use grid::{Cell, Grid};
+pub use obs::register_metrics;
 pub use posp::Posp;
 pub use registry::{PlanId, PlanRegistry};
 pub use snapshot::PospSnapshot;
 
+use rqp_catalog::RqpResult;
 use rqp_optimizer::Optimizer;
 
 /// ESS compilation parameters.
@@ -84,7 +86,9 @@ pub struct Ess {
 
 impl Ess {
     /// Compile the ESS for the optimizer's query.
-    pub fn compile(optimizer: &Optimizer<'_>, config: EssConfig) -> Ess {
+    ///
+    /// Errors if the configured grid is degenerate or too large to address.
+    pub fn compile(optimizer: &Optimizer<'_>, config: EssConfig) -> RqpResult<Ess> {
         let m = obs::metrics();
         m.compiles.inc();
         let span = rqp_obs::time_histogram(&m.compile_seconds);
@@ -92,7 +96,7 @@ impl Ess {
         let calls_before = opt_calls.get();
 
         let dims = optimizer.query().dims().max(1);
-        let grid = Grid::uniform(dims, config.resolution, config.min_sel);
+        let grid = Grid::uniform(dims, config.resolution, config.min_sel)?;
         let posp = Posp::compile(optimizer, grid);
 
         let contour_span = rqp_obs::time_histogram(&m.contour_build_seconds);
@@ -128,7 +132,7 @@ impl Ess {
             );
         }
 
-        Ess { posp, contours }
+        Ok(Ess { posp, contours })
     }
 
     /// The grid underlying the space.
@@ -150,18 +154,17 @@ mod tests {
                 RelationBuilder::new("a", 1_000_000).indexed_column("k", 1_000_000, 8).build(),
             )
             .relation(
-                RelationBuilder::new("b", 8_000_000)
-                    .indexed_column("k", 1_000_000, 8)
-                    .build(),
+                RelationBuilder::new("b", 8_000_000).indexed_column("k", 1_000_000, 8).build(),
             )
             .build();
         let query = QueryBuilder::new(&catalog, "t")
             .table("a")
             .table("b")
             .epp_join("a", "k", "b", "k")
-            .build();
+            .build()
+            .unwrap();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
-        let ess = Ess::compile(&opt, EssConfig { resolution: 20, ..Default::default() });
+        let ess = Ess::compile(&opt, EssConfig { resolution: 20, ..Default::default() }).unwrap();
         assert_eq!(ess.grid().dims(), 1);
         assert_eq!(ess.grid().num_cells(), 20);
         assert!(ess.contours.num_bands() >= 2);

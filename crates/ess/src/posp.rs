@@ -62,9 +62,21 @@ impl Posp {
         let mut cell_cost = Vec::with_capacity(per_cell.len());
         let mut fp_to_id: HashMap<Fingerprint, PlanId> = HashMap::new();
         for (fp, cost) in per_cell {
-            let id = *fp_to_id.entry(fp).or_insert_with(|| {
-                registry.insert(plans.remove(&fp).expect("plan recorded for fingerprint"))
-            });
+            let id = if let Some(&id) = fp_to_id.get(&fp) {
+                id
+            } else {
+                let id = match plans.remove(&fp) {
+                    Some(plan) => registry.insert(plan),
+                    None => {
+                        // unreachable: the parallel pass recorded a plan for
+                        // every fingerprint; degrade to the first plan id
+                        debug_assert!(false, "plan recorded for fingerprint");
+                        PlanId(0)
+                    }
+                };
+                fp_to_id.insert(fp, id);
+                id
+            };
             cell_plan.push(id);
             cell_cost.push(cost);
         }
@@ -162,7 +174,8 @@ mod tests {
             .epp_join("part", "p_partkey", "lineitem", "l_partkey")
             .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
             .filter("part", "p_price", 0.05)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 
@@ -170,7 +183,7 @@ mod tests {
     fn compiles_with_multiple_plans_and_monotone_costs() {
         let (catalog, query) = fixture();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
-        let grid = Grid::uniform(2, 12, 1e-6);
+        let grid = Grid::uniform(2, 12, 1e-6).unwrap();
         let posp = Posp::compile(&opt, grid);
 
         assert!(posp.num_plans() >= 3, "expected plan diversity, got {}", posp.num_plans());
@@ -197,7 +210,7 @@ mod tests {
     fn cell_costs_match_reoptimization() {
         let (catalog, query) = fixture();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
-        let grid = Grid::uniform(2, 6, 1e-5);
+        let grid = Grid::uniform(2, 6, 1e-5).unwrap();
         let posp = Posp::compile(&opt, grid);
         for cell in [0usize, 7, 17, posp.grid().terminus()] {
             let loc = posp.grid().location(cell);
@@ -213,8 +226,8 @@ mod tests {
     fn compilation_is_deterministic() {
         let (catalog, query) = fixture();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
-        let a = Posp::compile(&opt, Grid::uniform(2, 8, 1e-5));
-        let b = Posp::compile(&opt, Grid::uniform(2, 8, 1e-5));
+        let a = Posp::compile(&opt, Grid::uniform(2, 8, 1e-5).unwrap());
+        let b = Posp::compile(&opt, Grid::uniform(2, 8, 1e-5).unwrap());
         assert_eq!(a.cell_plan, b.cell_plan);
         assert_eq!(a.num_plans(), b.num_plans());
     }

@@ -71,10 +71,7 @@ mod tests {
     use rqp_catalog::{PredId, RelId};
 
     fn scan(r: u32, f: Option<u32>) -> PlanNode {
-        PlanNode::SeqScan {
-            rel: RelId(r),
-            filters: f.map(PredId).into_iter().collect(),
-        }
+        PlanNode::SeqScan { rel: RelId(r), filters: f.map(PredId).into_iter().collect() }
     }
 
     #[test]

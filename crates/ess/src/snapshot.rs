@@ -11,6 +11,7 @@ use crate::grid::Grid;
 use crate::posp::Posp;
 use crate::registry::{PlanId, PlanRegistry};
 use crate::Ess;
+use rqp_catalog::{RqpError, RqpResult};
 use rqp_qplan::PlanNode;
 use serde::{Deserialize, Serialize};
 
@@ -45,53 +46,67 @@ impl PospSnapshot {
     /// Restore the ESS (POSP + contours) from the snapshot.
     ///
     /// # Errors
-    /// Returns a message if the snapshot is internally inconsistent.
-    pub fn restore(self) -> Result<Ess, String> {
-        let cells = self.grid.num_cells();
+    /// Returns [`RqpError::Snapshot`] if the snapshot is internally
+    /// inconsistent.
+    pub fn restore(self) -> RqpResult<Ess> {
+        let bad = |msg: String| Err(RqpError::Snapshot(msg));
+        // re-derive strides/cell-count from the axes instead of trusting the
+        // serialized values, and re-validate the axes while doing so
+        let axes: Vec<Vec<f64>> = (0..self.grid.dims())
+            .map(|d| (0..self.grid.res(d)).map(|i| self.grid.value(d, i)).collect())
+            .collect();
+        let grid = Grid::from_axes(axes)
+            .map_err(|e| RqpError::Snapshot(format!("bad snapshot grid: {e}")))?;
+        let cells = grid.num_cells();
         if self.cell_plan.len() != cells || self.cell_cost.len() != cells {
-            return Err(format!(
+            return bad(format!(
                 "snapshot cell arrays ({} / {}) do not match grid ({cells})",
                 self.cell_plan.len(),
                 self.cell_cost.len()
             ));
         }
         if self.contour_ratio <= 1.0 {
-            return Err(format!("invalid contour ratio {}", self.contour_ratio));
+            return bad(format!("invalid contour ratio {}", self.contour_ratio));
         }
         let mut registry = PlanRegistry::new();
         for (i, plan) in self.plans.iter().enumerate() {
             let id = registry.insert(plan.clone());
             if id != PlanId(i as u32) {
-                return Err(format!("duplicate plan at snapshot index {i}"));
+                return bad(format!("duplicate plan at snapshot index {i}"));
             }
         }
         let nplans = registry.len() as u32;
         let mut cell_plan = Vec::with_capacity(cells);
         for (&id, &cost) in self.cell_plan.iter().zip(&self.cell_cost) {
             if id >= nplans {
-                return Err(format!("cell references unknown plan P{}", id + 1));
+                return bad(format!("cell references unknown plan P{}", id + 1));
             }
             if !cost.is_finite() || cost <= 0.0 {
-                return Err(format!("invalid cell cost {cost}"));
+                return bad(format!("invalid cell cost {cost}"));
             }
             cell_plan.push(PlanId(id));
         }
-        let posp = Posp::from_parts(self.grid, registry, cell_plan, self.cell_cost);
+        let posp = Posp::from_parts(grid, registry, cell_plan, self.cell_cost);
         let contours = ContourSet::build(&posp, self.contour_ratio);
         Ok(Ess { posp, contours })
     }
 
     /// Serialize to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot serializes")
+    ///
+    /// # Errors
+    /// Returns [`RqpError::Snapshot`] if serialization fails.
+    pub fn to_json(&self) -> RqpResult<String> {
+        serde_json::to_string(self)
+            .map_err(|e| RqpError::Snapshot(format!("snapshot serialization failed: {e}")))
     }
 
     /// Deserialize from JSON.
     ///
     /// # Errors
-    /// Returns a message on malformed JSON or inconsistent contents.
-    pub fn from_json(json: &str) -> Result<PospSnapshot, String> {
-        serde_json::from_str(json).map_err(|e| format!("bad snapshot JSON: {e}"))
+    /// Returns [`RqpError::Snapshot`] on malformed JSON.
+    pub fn from_json(json: &str) -> RqpResult<PospSnapshot> {
+        serde_json::from_str(json)
+            .map_err(|e| RqpError::Snapshot(format!("bad snapshot JSON: {e}")))
     }
 }
 
@@ -116,19 +131,20 @@ mod tests {
             .table("a")
             .table("b")
             .epp_join("a", "k", "b", "k")
-            .build();
+            .build()
+            .unwrap();
         // leak: the test Ess must own nothing borrowed
         let catalog: &'static _ = Box::leak(Box::new(catalog));
         let query: &'static _ = Box::leak(Box::new(query));
         let opt = Optimizer::new(catalog, query, CostModel::default());
-        Ess::compile(&opt, EssConfig { resolution: 12, ..Default::default() })
+        Ess::compile(&opt, EssConfig { resolution: 12, ..Default::default() }).unwrap()
     }
 
     #[test]
     fn roundtrip_preserves_everything() {
         let ess = compiled();
         let snap = PospSnapshot::capture(&ess);
-        let json = snap.to_json();
+        let json = snap.to_json().unwrap();
         let restored = PospSnapshot::from_json(&json).unwrap().restore().unwrap();
         assert_eq!(restored.grid().num_cells(), ess.grid().num_cells());
         assert_eq!(restored.posp.num_plans(), ess.posp.num_plans());
@@ -145,12 +161,15 @@ mod tests {
         let ess = compiled();
         let mut snap = PospSnapshot::capture(&ess);
         snap.cell_cost[0] = -1.0;
-        assert!(snap.clone().restore().unwrap_err().contains("invalid cell cost"));
+        assert!(snap.clone().restore().unwrap_err().to_string().contains("invalid cell cost"));
         snap.cell_cost[0] = 1.0;
         snap.cell_plan[0] = 999;
-        assert!(snap.clone().restore().unwrap_err().contains("unknown plan"));
+        assert!(snap.clone().restore().unwrap_err().to_string().contains("unknown plan"));
         snap.cell_plan.pop();
-        assert!(snap.restore().unwrap_err().contains("do not match grid"));
-        assert!(PospSnapshot::from_json("{oops").unwrap_err().contains("bad snapshot JSON"));
+        assert!(snap.restore().unwrap_err().to_string().contains("do not match grid"));
+        assert!(PospSnapshot::from_json("{oops")
+            .unwrap_err()
+            .to_string()
+            .contains("bad snapshot JSON"));
     }
 }

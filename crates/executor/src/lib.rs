@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 //! Simulated budgeted and spill-mode plan execution with run-time
 //! selectivity monitoring.
@@ -29,7 +30,7 @@ pub use obs::register_metrics;
 pub use rowexec::{QuotaExhausted, RowExecutor, Rows, Schema, SpillObservation};
 
 use rqp_catalog::{Catalog, EppId, Query, SelVector};
-use rqp_qplan::cost::{CostModel, PlanCtx};
+use rqp_qplan::cost::{cost_cmp, CostModel, PlanCtx};
 use rqp_qplan::ops::PlanNode;
 use rqp_qplan::pipeline::spill_subtree;
 
@@ -133,7 +134,7 @@ impl<'a> Engine<'a> {
     /// `[1/(1+δ), 1+δ]`, derived from the plan's structural fingerprint so
     /// that re-executions of the same plan misbehave consistently.
     fn perturbation(&self, plan: &PlanNode) -> f64 {
-        if self.delta == 0.0 {
+        if self.delta <= 0.0 {
             return 1.0;
         }
         let fp = rqp_qplan::Fingerprint::of(plan).0;
@@ -178,7 +179,7 @@ impl<'a> Engine<'a> {
         let m = obs::metrics();
         m.budgeted.inc();
         let cost = self.true_cost(plan, qa);
-        let outcome = if cost <= budget {
+        let outcome = if cost_cmp(cost, budget) != std::cmp::Ordering::Greater {
             m.completed.inc();
             ExecOutcome::Completed { cost }
         } else {
@@ -205,8 +206,9 @@ impl<'a> Engine<'a> {
     /// values there for all epps *upstream* of the spill node (guaranteed by
     /// the spill-node identification rules), and `qa` supplies the truth.
     ///
-    /// # Panics
-    /// Panics if the plan does not evaluate the epp's predicate.
+    /// Spilling on an epp the plan does not evaluate is a programmer error:
+    /// debug builds assert, release builds conservatively charge the whole
+    /// plan as the spilled subtree.
     pub fn execute_spill(
         &self,
         plan: &PlanNode,
@@ -228,8 +230,10 @@ impl<'a> Engine<'a> {
         qa: &SelVector,
         budget: f64,
     ) -> SpillOutcome {
-        let subtree = spill_subtree(plan, self.query, epp)
-            .unwrap_or_else(|| panic!("plan does not evaluate epp {epp}"));
+        let subtree = spill_subtree(plan, self.query, epp).unwrap_or_else(|| {
+            debug_assert!(false, "plan does not evaluate epp {epp}");
+            plan.clone()
+        });
         let truth = qa.get(epp.0).value();
         let perturb = self.perturbation(&subtree);
 
@@ -294,8 +298,10 @@ impl<'a> Engine<'a> {
         qa: &SelVector,
         budget: f64,
     ) -> SpillOutcome {
-        let subtree = spill_subtree(plan, self.query, epp)
-            .unwrap_or_else(|| panic!("plan does not evaluate epp {epp}"));
+        let subtree = spill_subtree(plan, self.query, epp).unwrap_or_else(|| {
+            debug_assert!(false, "plan does not evaluate epp {epp}");
+            plan.clone()
+        });
         let truth = qa.get(epp.0).value();
         let perturb = self.perturbation(&subtree);
         let mut loc = reference.clone();
@@ -354,7 +360,8 @@ mod tests {
             .epp_join("part", "p_partkey", "lineitem", "l_partkey")
             .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
             .filter("part", "p_price", 0.05)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 
@@ -412,8 +419,7 @@ mod tests {
         let planned = opt.optimize(&q);
         let unlearnt: std::collections::BTreeSet<_> =
             [rqp_catalog::EppId(0), rqp_catalog::EppId(1)].into();
-        let target =
-            rqp_qplan::pipeline::spill_target(&planned.plan, &query, &unlearnt).unwrap();
+        let target = rqp_qplan::pipeline::spill_target(&planned.plan, &query, &unlearnt).unwrap();
         let out = engine.execute_spill(&planned.plan, target, &q, &qa, planned.cost);
         match out.learned {
             Learned::Exact(v) => assert_eq!(v, qa.get(target.0).value()),
@@ -438,8 +444,7 @@ mod tests {
         let planned = opt.optimize(&q);
         let unlearnt: std::collections::BTreeSet<_> =
             [rqp_catalog::EppId(0), rqp_catalog::EppId(1)].into();
-        let target =
-            rqp_qplan::pipeline::spill_target(&planned.plan, &query, &unlearnt).unwrap();
+        let target = rqp_qplan::pipeline::spill_target(&planned.plan, &query, &unlearnt).unwrap();
         let out = engine.execute_spill(&planned.plan, target, &q, &qa, 1e-9);
         assert!(!out.learned.is_exact());
         assert_eq!(out.spent, 1e-9);
@@ -461,9 +466,7 @@ mod coarse_vs_refined_tests {
                     .build(),
             )
             .relation(
-                RelationBuilder::new("b", 40_000_000)
-                    .indexed_column("k", 3_000_000, 8)
-                    .build(),
+                RelationBuilder::new("b", 40_000_000).indexed_column("k", 3_000_000, 8).build(),
             )
             .build();
         let query = QueryBuilder::new(&catalog, "t")
@@ -471,7 +474,8 @@ mod coarse_vs_refined_tests {
             .table("b")
             .epp_join("a", "k", "b", "k")
             .filter("a", "v", 0.2)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 
@@ -520,8 +524,8 @@ mod coarse_vs_refined_tests {
         let c2 = engine.true_cost(&planned.plan, &qa);
         assert_eq!(c1, c2, "same plan must misbehave identically");
         // the perturbation stays within the declared envelope
-        let unperturbed = Engine::new(&catalog, &query, CostModel::default())
-            .true_cost(&planned.plan, &qa);
+        let unperturbed =
+            Engine::new(&catalog, &query, CostModel::default()).true_cost(&planned.plan, &qa);
         assert!(c1 <= unperturbed * 1.3 * (1.0 + 1e-12));
         assert!(c1 >= unperturbed / 1.3 * (1.0 - 1e-12));
     }

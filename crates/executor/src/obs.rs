@@ -39,9 +39,7 @@ pub(crate) fn metrics() -> &'static ExecMetrics {
 /// looked up per call — spills are rare next to optimizer invocations, and
 /// the lookup is one `RwLock` read on the registry.
 pub(crate) fn spill_observation(epp: usize) {
-    global()
-        .counter(&labeled(names::EXEC_SPILL_OBSERVATIONS, &[("epp", &epp.to_string())]))
-        .inc();
+    global().counter(&labeled(names::EXEC_SPILL_OBSERVATIONS, &[("epp", &epp.to_string())])).inc();
 }
 
 /// Pre-register the engine's metric series (at zero) in the global

@@ -1,0 +1,15 @@
+//! A clean fixture: no rule fires on any line.
+
+pub fn safe(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+pub fn compare_counts(a: usize, b: usize) -> bool {
+    a == b
+}
+
+pub fn describe() -> &'static str {
+    // Pattern strings inside comments or literals must not trip the
+    // lexer-masked scanner: .unwrap() panic! std::time thread_rng
+    "cost == budget is only a string here"
+}

@@ -1,0 +1,30 @@
+//! Seeded L1 (no-panic) violations for the fixture tests.
+
+pub fn bad_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u8>) -> u8 {
+    x.expect("present")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn bad_todo() {
+    todo!()
+}
+
+pub fn escaped(x: Option<u8>) -> u8 {
+    // rqp-lint: allow(no-panic)
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u8).unwrap();
+    }
+}

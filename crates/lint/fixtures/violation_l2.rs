@@ -1,0 +1,17 @@
+//! Seeded L2 (float-eq) violations for the fixture tests.
+
+pub fn costs_equal(cost_a: f64, cost_b: f64) -> bool {
+    cost_a == cost_b
+}
+
+pub fn sel_is_full(filter_sel: f64) -> bool {
+    filter_sel != 1.0
+}
+
+pub fn literal_compare(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn clean_integer_compare(a: usize, b: usize) -> bool {
+    a == b
+}

@@ -1,0 +1,9 @@
+//! Seeded L3 (obs-names) violations for the fixture tests.
+
+pub fn rogue_event() {
+    let _ = rqp_obs::Event::new("rqp_rogue_event");
+}
+
+pub fn rogue_counter(g: &rqp_obs::MetricsGroup) {
+    g.counter("rqp_rogue_counter");
+}

@@ -1,0 +1,10 @@
+//! Seeded L4 (determinism) violations for the fixture tests.
+
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn ambient_rng() -> u8 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}

@@ -1,0 +1,556 @@
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+//! `rqp-lint`: the workspace invariant linter.
+//!
+//! Four rules, each tied to an invariant the paper's guarantees depend on
+//! (see DESIGN.md, "Static analysis"):
+//!
+//! * **L1 `no-panic`** — library code must not contain `.unwrap()`,
+//!   `.expect(…)`, `panic!`, `todo!` or `unimplemented!`. Discovery runs
+//!   inside a long-lived process; programmer errors degrade to
+//!   `debug_assert!` plus a PCM-safe fallback instead of aborting.
+//! * **L2 `float-eq`** — no raw `==`/`!=` on cost or selectivity
+//!   expressions; comparisons go through `rqp_qplan::cost_eq`/`cost_cmp`.
+//! * **L3 `obs-names`** — metric and event names at `rqp_obs` call sites
+//!   must be constants from `crates/obs/src/names.rs`, never inline string
+//!   literals, so series names cannot drift between producers and readers.
+//! * **L4 `determinism`** — the deterministic crates (`ess`, `core`,
+//!   `qplan`) must not read wall clocks or ambient randomness
+//!   (`std::time`, `thread_rng`, `rand::random`): compilation and
+//!   discovery must be replayable.
+//!
+//! Test modules (`#[cfg(test)]`), `tests/`, `benches/`, `examples/` and
+//! the `crates/bench` harness are exempt. A single site can be waived with
+//! a `// rqp-lint: allow(<rule>)` comment on the offending line or the
+//! line above it.
+//!
+//! The scanner is a hand-rolled lexical pass (comments, strings and char
+//! literals are masked before matching), deliberately dependency-free.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// L1: no panicking constructs in library code.
+    NoPanic,
+    /// L2: no raw float equality on cost/selectivity expressions.
+    FloatEq,
+    /// L3: metric/event names must come from `rqp_obs::names`.
+    ObsNames,
+    /// L4: no wall clocks or ambient randomness in deterministic crates.
+    Determinism,
+}
+
+impl Rule {
+    /// Stable rule identifier, as used in `allow(...)` directives.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::FloatEq => "float-eq",
+            Rule::ObsNames => "obs-names",
+            Rule::Determinism => "determinism",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}:{}: {}", self.rule, self.file, self.line, self.message)
+    }
+}
+
+/// Mask comments, string/char literal *contents* and doc text out of the
+/// source, byte for byte (masked bytes become spaces), so rule patterns
+/// only ever match real code. Delimiting quotes survive as code so rules
+/// can still see where a literal starts.
+fn code_mask(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
+                    if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b'
+                if {
+                    // raw (byte) string: r"…", r#"…"#, br#"…"#
+                    let mut j = i + 1;
+                    if c == b'b' && j < b.len() && b[j] == b'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while j < b.len() && b[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    (c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r'))
+                        && j < b.len()
+                        && b[j] == b'"'
+                        && (hashes > 0 || b[j] == b'"')
+                } =>
+            {
+                let mut j = i + 1;
+                if c == b'b' {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                out[j] = b'"';
+                j += 1; // past the opening quote
+                'raw: while j < b.len() {
+                    if b[j] == b'\n' {
+                        out[j] = b'\n';
+                    }
+                    if b[j] == b'"' {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while k < b.len() && seen < hashes && b[k] == b'#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            out[j] = b'"';
+                            j = k;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            b'"' => {
+                out[i] = b'"';
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
+                    if b[i] == b'\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == b'"' {
+                        out[i] = b'"';
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // char literal vs lifetime: a literal closes with ' within
+                // a few bytes; a lifetime never closes
+                let close = if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    (i + 2..b.len().min(i + 8)).find(|&k| b[k] == b'\'')
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(k) = close {
+                    out[i] = b'\'';
+                    out[k] = b'\'';
+                    i = k + 1;
+                } else {
+                    out[i] = b'\'';
+                    i += 1;
+                }
+            }
+            _ => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    // 'while' loops above can overshoot on truncated input; clamp is
+    // implicit because out was sized to b.len()
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Paths exempt from L1/L2/L3: test, bench and demo code.
+fn is_test_like(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("examples/")
+        || path.starts_with("crates/bench/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+/// Crates whose compile + discovery pipeline must be replayable (L4).
+fn is_deterministic_crate(path: &str) -> bool {
+    path.starts_with("crates/ess/src")
+        || path.starts_with("crates/core/src")
+        || path.starts_with("crates/qplan/src")
+}
+
+/// Byte offset where trailing `#[cfg(test)]` code begins, or `len`.
+fn cfg_test_offset(masked: &str) -> usize {
+    masked.find("#[cfg(test)]").unwrap_or(masked.len())
+}
+
+const L1_TOKENS: [(&str, &str); 5] = [
+    (".unwrap()", "`.unwrap()` in library code (use `?`, `let-else` or a fallback)"),
+    (".expect(", "`.expect(...)` in library code (use `?`, `let-else` or a fallback)"),
+    ("panic!", "`panic!` in library code (use `debug_assert!` + a PCM-safe fallback)"),
+    ("todo!", "`todo!` in library code"),
+    ("unimplemented!", "`unimplemented!` in library code"),
+];
+
+const L3_CALLS: [&str; 5] = ["Event::new(", ".counter(", ".gauge(", ".histogram(", "labeled("];
+
+const L4_TOKENS: [(&str, &str); 3] = [
+    ("std::time", "wall-clock access in a deterministic crate (route timing through rqp_obs)"),
+    ("thread_rng", "ambient RNG in a deterministic crate (use a seeded `StdRng`)"),
+    ("rand::random", "ambient RNG in a deterministic crate (use a seeded `StdRng`)"),
+];
+
+/// Words that mark an operand as a cost/selectivity expression for L2.
+const L2_WORDS: [&str; 10] =
+    ["cost", "sel", "sels", "selectivity", "budget", "lambda", "penalty", "spent", "mso", "subopt"];
+
+fn ident_words(operand: &str) -> impl Iterator<Item = &str> {
+    operand
+        .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .flat_map(|tok| tok.split('_'))
+        .filter(|w| !w.is_empty())
+}
+
+fn has_float_literal(operand: &str) -> bool {
+    let b = operand.as_bytes();
+    (1..b.len()).any(|i| {
+        b[i] == b'.' && b[i - 1].is_ascii_digit() && i + 1 < b.len() && b[i + 1].is_ascii_digit()
+    }) || operand.contains("f64::")
+}
+
+/// Comparisons that look cost-like but are fine: `.len()` counts are
+/// integers however the field is named, and a site already routed through
+/// the epsilon helpers (`cost_cmp(..) != Ordering::Greater`) is the
+/// approved idiom, not a violation.
+fn l2_operand_is_exempt(operand: &str) -> bool {
+    operand.ends_with(".len()")
+        || operand.contains("cost_cmp(")
+        || operand.contains("cost_eq(")
+        || operand.contains("total_cmp(")
+        || operand.contains("Ordering::")
+}
+
+fn l2_operand_is_costlike(operand: &str) -> bool {
+    has_float_literal(operand)
+        || ident_words(operand).any(|w| {
+            let lw = w.to_ascii_lowercase();
+            L2_WORDS.iter().any(|&t| t == lw)
+        })
+}
+
+/// The span of the operand adjacent to a comparison, bounded by expression
+/// punctuation.
+fn operand_left(line: &str, end: usize) -> &str {
+    let b = line.as_bytes();
+    let mut i = end;
+    while i > 0 {
+        let c = b[i - 1];
+        let keep = c.is_ascii_alphanumeric()
+            || matches!(c, b'_' | b':' | b'.' | b'(' | b')' | b'[' | b']' | b' ' | b'-');
+        if !keep {
+            break;
+        }
+        i -= 1;
+    }
+    line[i..end].trim()
+}
+
+fn operand_right(line: &str, start: usize) -> &str {
+    let b = line.as_bytes();
+    let mut i = start;
+    while i < b.len() {
+        let c = b[i];
+        let keep = c.is_ascii_alphanumeric()
+            || matches!(c, b'_' | b':' | b'.' | b'(' | b')' | b'[' | b']' | b' ' | b'-');
+        if !keep {
+            break;
+        }
+        i += 1;
+    }
+    line[start..i].trim()
+}
+
+/// Rules waived on `line` by an `allow(...)` directive on it or the line
+/// above. Raw (unmasked) lines are inspected so the directive may live in
+/// a comment.
+fn waived(raw_lines: &[&str], line_idx: usize, rule: Rule) -> bool {
+    let needle = format!("rqp-lint: allow({})", rule.id());
+    let here = raw_lines.get(line_idx).is_some_and(|l| l.contains(&needle));
+    let above = line_idx > 0 && raw_lines[line_idx - 1].contains(&needle);
+    here || above
+}
+
+/// Lint one file's source, classified by its workspace-relative `path`.
+pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let test_like = is_test_like(path);
+    let deterministic = is_deterministic_crate(path);
+    let obs_crate = path.starts_with("crates/obs/");
+    let masked = code_mask(src);
+    let cut = cfg_test_offset(&masked);
+    let raw_lines: Vec<&str> = src.lines().collect();
+
+    let mut offset = 0usize;
+    for (idx, mline) in masked.lines().enumerate() {
+        let line_start = offset;
+        offset += mline.len() + 1;
+        if line_start >= cut {
+            break; // trailing #[cfg(test)] module: all rules exempt
+        }
+        let lineno = idx + 1;
+        let mut report = |rule: Rule, message: String| {
+            if !waived(&raw_lines, idx, rule) {
+                out.push(Violation { rule, file: path.to_owned(), line: lineno, message });
+            }
+        };
+
+        if !test_like {
+            // L1 no-panic
+            for (tok, msg) in L1_TOKENS {
+                if mline.contains(tok) {
+                    report(Rule::NoPanic, (*msg).to_owned());
+                }
+            }
+
+            // L2 float-eq
+            let b = mline.as_bytes();
+            for i in 0..b.len().saturating_sub(1) {
+                let two = &mline[i..i + 2];
+                if two != "==" && two != "!=" {
+                    continue;
+                }
+                // not part of <=, >=, ===, =>, or a != that is part of =!=
+                if i > 0 && matches!(b[i - 1], b'<' | b'>' | b'=' | b'!') {
+                    continue;
+                }
+                if i + 2 < b.len() && b[i + 2] == b'=' {
+                    continue;
+                }
+                let lhs = operand_left(mline, i);
+                let rhs = operand_right(mline, i + 2);
+                if l2_operand_is_exempt(lhs) || l2_operand_is_exempt(rhs) {
+                    continue;
+                }
+                if l2_operand_is_costlike(lhs) || l2_operand_is_costlike(rhs) {
+                    report(
+                        Rule::FloatEq,
+                        format!(
+                            "raw `{two}` on a cost/selectivity expression \
+                             (use rqp_qplan::cost_eq / cost_cmp)"
+                        ),
+                    );
+                }
+            }
+
+            // L3 obs-names
+            if !obs_crate {
+                for call in L3_CALLS {
+                    let mut from = 0usize;
+                    while let Some(rel) = mline[from..].find(call) {
+                        let after = from + rel + call.len();
+                        let rest = mline[after..].trim_start();
+                        if rest.starts_with('"')
+                            || rest.starts_with("r\"")
+                            || rest.starts_with("r#")
+                        {
+                            report(
+                                Rule::ObsNames,
+                                format!(
+                                    "inline name literal at `{}…)` \
+                                     (declare it in crates/obs/src/names.rs)",
+                                    call
+                                ),
+                            );
+                        }
+                        from = after;
+                    }
+                }
+            }
+        }
+
+        // L4 determinism (deterministic crates only; test modules already
+        // excluded by the cfg(test) cut above)
+        if deterministic {
+            for (tok, msg) in L4_TOKENS {
+                if mline.contains(tok) {
+                    report(Rule::Determinism, (*msg).to_owned());
+                }
+            }
+        }
+    }
+    out
+}
+
+fn walk(dir: &Path, files: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "fixtures" | ".github" | "node_modules")
+            {
+                continue;
+            }
+            walk(&p, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under `root` (skipping `target/`, `.git/` and
+/// fixture directories). Paths in the findings are relative to `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let rel = f.strip_prefix(root).unwrap_or(&f).to_string_lossy().replace('\\', "/");
+        let src = fs::read_to_string(&f)?;
+        out.extend(lint_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_hides_comments_and_strings() {
+        let src = "let a = 1; // x.unwrap()\nlet s = \"panic!\";\n/* todo! */ let c = 'x';\n";
+        let m = code_mask(src);
+        assert!(!m.contains(".unwrap()"));
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains("todo!"));
+        assert!(m.contains("let a = 1;"));
+        assert!(m.contains("let s = \""));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "let s = r#\"x.unwrap() panic!\"#; y.unwrap()";
+        let m = code_mask(src);
+        assert_eq!(m.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_do_not_start_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // .expect(\nz.expect(\"\")";
+        let v = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_waives_one_site() {
+        let src =
+            "fn f(x: Option<u8>) -> u8 {\n    // rqp-lint: allow(no-panic)\n    x.unwrap()\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+        let src2 = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(lint_source("crates/x/src/lib.rs", src2).len(), 1);
+    }
+
+    #[test]
+    fn float_eq_needs_a_costlike_operand() {
+        let clean = "fn f(a: usize, b: usize) -> bool { a == b }\n";
+        assert!(lint_source("crates/x/src/lib.rs", clean).is_empty());
+        let dirty = "fn f(cost_a: f64, b: f64) -> bool { cost_a == b }\n";
+        let v = lint_source("crates/x/src/lib.rs", dirty);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::FloatEq);
+    }
+
+    #[test]
+    fn epsilon_helper_sites_and_len_counts_are_exempt() {
+        let idiom = "let ok = cost_cmp(cost, budget) != Ordering::Greater;\n";
+        assert!(lint_source("crates/x/src/lib.rs", idiom).is_empty());
+        let count = "if self.cell_cost.len() != cells { return; }\n";
+        assert!(lint_source("crates/x/src/lib.rs", count).is_empty());
+    }
+
+    #[test]
+    fn self_is_not_sel() {
+        let src = "fn f(a: &S, b: &S) -> bool { a.self_id == b.self_id }\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_like_paths_are_exempt_from_l1() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint_source("crates/core/tests/it.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+        assert!(lint_source("examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn determinism_applies_only_to_deterministic_crates() {
+        let src = "use std::time::Instant;\n";
+        assert_eq!(lint_source("crates/ess/src/lib.rs", src).len(), 1);
+        assert!(lint_source("crates/executor/src/lib.rs", src).is_empty());
+    }
+}

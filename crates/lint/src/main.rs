@@ -1,0 +1,51 @@
+//! CLI for `rqp-lint`. See the library docs for the rule catalog.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -q -p rqp-lint             # lint the workspace rooted at .
+//! cargo run -q -p rqp-lint -- <path>   # lint another root, or one file
+//! ```
+//!
+//! A single-file argument is linted as if it lived at
+//! `crates/core/src/<name>` so every rule (including the
+//! deterministic-crate ones) applies — that is what the fixture checks in
+//! CI rely on.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let path = Path::new(&arg);
+
+    let result = if path.is_file() {
+        let synthetic = format!(
+            "crates/core/src/{}",
+            path.file_name().map_or_else(|| arg.clone(), |n| n.to_string_lossy().into_owned())
+        );
+        std::fs::read_to_string(path).map(|src| rqp_lint::lint_source(&synthetic, &src))
+    } else {
+        rqp_lint::lint_workspace(path)
+    };
+
+    match result {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("rqp-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("rqp-lint: {} violation(s)", violations.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("rqp-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

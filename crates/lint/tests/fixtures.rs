@@ -1,0 +1,70 @@
+//! End-to-end checks of the rule scanners against seeded fixtures, plus
+//! the self-hosting check: the workspace this linter ships in must itself
+//! be clean.
+
+use rqp_lint::{lint_source, lint_workspace, Rule};
+use std::path::Path;
+
+fn lint_fixture(name: &str) -> Vec<(Rule, usize)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    // Synthetic location inside a deterministic crate so all four rules
+    // apply, mirroring the single-file mode of the CLI.
+    lint_source(&format!("crates/core/src/{name}"), &src)
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn l1_fixture_reports_each_panic_site_once() {
+    let got = lint_fixture("violation_l1.rs");
+    assert_eq!(
+        got,
+        vec![
+            (Rule::NoPanic, 4),  // .unwrap()
+            (Rule::NoPanic, 8),  // .expect(
+            (Rule::NoPanic, 12), // panic!
+            (Rule::NoPanic, 16), // todo!
+        ],
+        "allow(...) escape and #[cfg(test)] module must be exempt"
+    );
+}
+
+#[test]
+fn l2_fixture_flags_costlike_comparisons_only() {
+    let got = lint_fixture("violation_l2.rs");
+    assert_eq!(
+        got,
+        vec![(Rule::FloatEq, 4), (Rule::FloatEq, 8), (Rule::FloatEq, 12)],
+        "the integer == on line 16 must not fire"
+    );
+}
+
+#[test]
+fn l3_fixture_flags_inline_name_literals() {
+    let got = lint_fixture("violation_l3.rs");
+    assert_eq!(got, vec![(Rule::ObsNames, 4), (Rule::ObsNames, 8)]);
+}
+
+#[test]
+fn l4_fixture_flags_clock_and_rng() {
+    let got = lint_fixture("violation_l4.rs");
+    assert_eq!(got, vec![(Rule::Determinism, 3), (Rule::Determinism, 4), (Rule::Determinism, 8)]);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert_eq!(lint_fixture("clean.rs"), vec![]);
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let violations = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        violations.is_empty(),
+        "workspace must lint clean:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 //! Observability for robust-qp: metrics, timing spans and a structured
 //! event stream.
@@ -33,8 +34,7 @@ pub mod names;
 pub mod span;
 
 pub use event::{
-    clear_sink, emit, events_enabled, flush_sink, set_sink, Event, EventSink, JsonlSink,
-    MemorySink,
+    clear_sink, emit, events_enabled, flush_sink, set_sink, Event, EventSink, JsonlSink, MemorySink,
 };
 pub use metrics::{
     exponential_buckets, global, labeled, Counter, Gauge, Histogram, HistogramSnapshot,

@@ -58,10 +58,12 @@ impl Gauge {
     pub fn set_max(&self, v: f64) {
         let mut cur = self.0.load(Ordering::Relaxed);
         while v > f64::from_bits(cur) {
-            match self
-                .0
-                .compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }
@@ -168,8 +170,7 @@ pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return base.to_string();
     }
-    let body: Vec<String> =
-        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
     format!("{base}{{{}}}", body.join(","))
 }
 
@@ -233,10 +234,7 @@ impl MetricsRegistry {
             return Arc::clone(g);
         }
         Arc::clone(
-            self.gauges
-                .write()
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Gauge::new())),
+            self.gauges.write().entry(name.to_string()).or_insert_with(|| Arc::new(Gauge::new())),
         )
     }
 
@@ -256,18 +254,8 @@ impl MetricsRegistry {
 
     /// Snapshot every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect();
-        let gauges = self
-            .gauges
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect();
+        let counters = self.counters.read().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        let gauges = self.gauges.read().iter().map(|(k, v)| (k.clone(), v.get())).collect();
         let histograms = self
             .histograms
             .read()
@@ -287,9 +275,14 @@ impl MetricsRegistry {
         MetricsSnapshot { counters, gauges, histograms }
     }
 
-    /// Snapshot as pretty-printed JSON.
+    /// Snapshot as pretty-printed JSON (an error placeholder on the
+    /// never-expected serialization failure: metrics must not abort the
+    /// host process).
     pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(&self.snapshot()).expect("metrics serialize")
+        serde_json::to_string_pretty(&self.snapshot()).unwrap_or_else(|e| {
+            debug_assert!(false, "metrics serialize: {e}");
+            format!("{{\"error\":\"metrics serialization failed: {e}\"}}")
+        })
     }
 
     /// Render the registry in the Prometheus text exposition format.
@@ -336,11 +329,7 @@ impl MetricsRegistry {
             }
             cum += counts[h.bounds().len()];
             let _ = writeln!(out, "{} {cum}", with_le("+Inf"));
-            let suffix = if labels.is_empty() {
-                String::new()
-            } else {
-                format!("{{{labels}}}")
-            };
+            let suffix = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
             let _ = writeln!(out, "{base}_sum{suffix} {}", h.sum());
             let _ = writeln!(out, "{base}_count{suffix} {}", h.count());
         }
@@ -436,10 +425,7 @@ mod tests {
     fn labeled_formats_flat_series_names() {
         assert_eq!(labeled("m_total", &[]), "m_total");
         assert_eq!(labeled("m_total", &[("algo", "SB")]), "m_total{algo=\"SB\"}");
-        assert_eq!(
-            labeled("m", &[("a", "1"), ("b", "2")]),
-            "m{a=\"1\",b=\"2\"}"
-        );
+        assert_eq!(labeled("m", &[("a", "1"), ("b", "2")]), "m{a=\"1\",b=\"2\"}");
     }
 
     #[test]

@@ -64,11 +64,18 @@ struct Entry {
 /// A join candidate description, costed before any plan tree is built.
 #[derive(Clone, Copy)]
 enum Cand {
-    Hash { build_left: bool },
+    Hash {
+        build_left: bool,
+    },
     Merge,
-    NestLoop { outer_left: bool },
+    NestLoop {
+        outer_left: bool,
+    },
     /// Index NL with the single-relation side as inner.
-    IndexNl { outer_left: bool, lookup: PredId },
+    IndexNl {
+        outer_left: bool,
+        lookup: PredId,
+    },
 }
 
 impl<'a> Optimizer<'a> {
@@ -86,10 +93,14 @@ impl<'a> Optimizer<'a> {
     ) -> Self {
         let n = query.relations.len();
         assert!((1..=20).contains(&n), "query must join 1..=20 relations");
-        let rel_index = |r: RelId| query.relations.iter().position(|&x| x == r).unwrap();
-        let filters = (0..n)
-            .map(|i| query.filters_on(query.relations[i]).map(|f| f.id).collect())
-            .collect();
+        let rel_index = |r: RelId| {
+            query.relations.iter().position(|&x| x == r).unwrap_or_else(|| {
+                debug_assert!(false, "join relation {r:?} not in query relation list");
+                0
+            })
+        };
+        let filters =
+            (0..n).map(|i| query.filters_on(query.relations[i]).map(|f| f.id).collect()).collect();
         let edges = query
             .joins
             .iter()
@@ -151,9 +162,16 @@ impl<'a> Optimizer<'a> {
 
         m.dp_entries.add(dp.iter().filter(|e| e.is_some()).count() as u64);
 
-        let entry = dp[full as usize]
-            .clone()
-            .unwrap_or_else(|| panic!("no plan for query {} (disconnected?)", self.query.name));
+        let entry = match dp[full as usize].clone() {
+            Some(e) => e,
+            None => {
+                // A disconnected join graph is a programmer error upstream;
+                // degrade to a deterministic left-deep cross-product plan
+                // (never cheaper than any connected optimum, so PCM-safe).
+                debug_assert!(false, "no connected plan for query {}", self.query.name);
+                self.fallback_plan(&ctx)
+            }
+        };
         let entry = self.finalize_aggregate(entry, &ctx);
         Planned { plan: entry.plan, cost: entry.cost, rows: entry.props.rows }
     }
@@ -165,16 +183,12 @@ impl<'a> Optimizer<'a> {
             return entry;
         }
         let groups = self.query.group_by.clone();
-        let cap: f64 = groups
-            .iter()
-            .map(|g| self.catalog.relation(g.rel).columns[g.col].ndv as f64)
-            .product();
+        let cap: f64 =
+            groups.iter().map(|g| self.catalog.relation(g.rel).columns[g.col].ndv as f64).product();
         let _ = ctx;
         let input = (entry.cost, entry.props);
         let (hash_c, hash_p) = self.model.hash_aggregate_cost(input, cap);
-        let (sorted_c, sorted_p) = self
-            .model
-            .sort_aggregate_cost(self.model.sort_cost(input), cap);
+        let (sorted_c, sorted_p) = self.model.sort_aggregate_cost(self.model.sort_cost(input), cap);
         if hash_c <= sorted_c {
             Entry {
                 plan: PlanNode::HashAggregate { input: Box::new(entry.plan), groups },
@@ -193,6 +207,35 @@ impl<'a> Optimizer<'a> {
         }
     }
 
+    /// Deterministic left-deep nested-loop fallback chaining all relations
+    /// in query order. Only reached (in release builds) when the join graph
+    /// is disconnected; the cross products make it an overestimate, never an
+    /// underestimate, of any connected plan's cost.
+    fn fallback_plan(&self, ctx: &PlanCtx<'_>) -> Entry {
+        let n = self.query.relations.len();
+        let mut entry = self.best_access_path(0, ctx);
+        for i in 1..n {
+            let right = self.best_access_path(i, ctx);
+            let preds = self.connecting_preds((1u32 << i) - 1, 1u32 << i);
+            let join_sel: f64 = preds.iter().map(|&p| ctx.sel(p)).product();
+            let (cost, props) = self.model.nest_loop_cost(
+                (entry.cost, entry.props),
+                (right.cost, right.props),
+                join_sel,
+            );
+            entry = Entry {
+                plan: PlanNode::NestLoop {
+                    outer: Box::new(entry.plan),
+                    inner: Box::new(right.plan),
+                    preds,
+                },
+                cost,
+                props,
+            };
+        }
+        entry
+    }
+
     /// Best access path for relation index `i`.
     fn best_access_path(&self, i: usize, ctx: &PlanCtx<'_>) -> Entry {
         let rel_id = self.query.relations[i];
@@ -201,15 +244,16 @@ impl<'a> Optimizer<'a> {
         let filter_sel: f64 = fs.iter().map(|&p| ctx.sel(p)).product();
 
         let (c, props) = self.model.seq_scan_cost(rel, filter_sel, fs.len());
-        let mut best = Entry {
-            plan: PlanNode::SeqScan { rel: rel_id, filters: fs.clone() },
-            cost: c,
-            props,
-        };
+        let mut best =
+            Entry { plan: PlanNode::SeqScan { rel: rel_id, filters: fs.clone() }, cost: c, props };
 
         // index scans driven by each indexed sargable filter
         for (k, &sarg) in fs.iter().enumerate() {
-            let col = self.query.filter(sarg).expect("filter pred").col;
+            let Some(f) = self.query.filter(sarg) else {
+                debug_assert!(false, "filter predicate {sarg} not in query");
+                continue;
+            };
+            let col = f.col;
             if !self.catalog.relation(col.rel).columns[col.col].indexed {
                 continue;
             }
@@ -297,18 +341,17 @@ impl<'a> Optimizer<'a> {
                 let inner_rel = self.catalog.relation(inner_rel_id);
                 let outer = if outer_left { l } else { r };
                 for &pid in &preds {
-                    let j = self.query.join(pid).expect("join pred");
-                    let inner_col =
-                        if j.left.rel == inner_rel_id { j.left } else { j.right };
+                    let Some(j) = self.query.join(pid) else {
+                        debug_assert!(false, "join predicate {pid} not in query");
+                        continue;
+                    };
+                    let inner_col = if j.left.rel == inner_rel_id { j.left } else { j.right };
                     if !self.catalog.relation(inner_col.rel).columns[inner_col.col].indexed {
                         continue;
                     }
                     let lookup_sel = ctx.sel(pid);
-                    let others: f64 = preds
-                        .iter()
-                        .filter(|&&p| p != pid)
-                        .map(|&p| ctx.sel(p))
-                        .product();
+                    let others: f64 =
+                        preds.iter().filter(|&&p| p != pid).map(|&p| ctx.sel(p)).product();
                     let fsel: f64 = self.filters[i].iter().map(|&p| ctx.sel(p)).product();
                     let n_res = preds.len() - 1 + self.filters[i].len();
                     let (c, p) = self.model.index_nest_loop_cost(
@@ -360,12 +403,24 @@ impl<'a> Optimizer<'a> {
         preds: Vec<PredId>,
         dp: &[Option<Entry>],
     ) -> PlanNode {
-        let l = || Box::new(dp[lmask as usize].as_ref().unwrap().plan.clone());
-        let r = || Box::new(dp[rmask as usize].as_ref().unwrap().plan.clone());
-        match cand {
-            Cand::Hash { build_left: true } => {
-                PlanNode::HashJoin { build: l(), probe: r(), preds }
+        let take = |m: u32| -> Box<PlanNode> {
+            match dp[m as usize].as_ref() {
+                Some(e) => Box::new(e.plan.clone()),
+                None => {
+                    // unreachable: best_join only selects masks with entries
+                    debug_assert!(false, "dp entry for chosen mask {m:#b} must exist");
+                    let i = (m.trailing_zeros() as usize).min(self.query.relations.len() - 1);
+                    Box::new(PlanNode::SeqScan {
+                        rel: self.query.relations[i],
+                        filters: Vec::new(),
+                    })
+                }
             }
+        };
+        let l = || take(lmask);
+        let r = || take(rmask);
+        match cand {
+            Cand::Hash { build_left: true } => PlanNode::HashJoin { build: l(), probe: r(), preds },
             Cand::Hash { build_left: false } => {
                 PlanNode::HashJoin { build: r(), probe: l(), preds }
             }
@@ -425,7 +480,12 @@ impl<'a> Optimizer<'a> {
         let ctx = PlanCtx::new(self.catalog, self.query, loc);
         let pred = self.query.epp_pred(target);
         let n = self.query.relations.len();
-        let rel_index = |r: RelId| self.query.relations.iter().position(|&x| x == r).unwrap();
+        let rel_index = |r: RelId| {
+            self.query.relations.iter().position(|&x| x == r).unwrap_or_else(|| {
+                debug_assert!(false, "epp relation {r:?} not in query relation list");
+                0
+            })
+        };
 
         // seed: the epp's own relations (join) or relation (filter)
         let (mut mask, mut current): (u32, Entry) = if let Some(j) = self.query.join(pred) {
@@ -518,7 +578,8 @@ mod tests {
             .epp_join("part", "p_partkey", "lineitem", "l_partkey")
             .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
             .filter("part", "p_price", 0.05)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 
@@ -638,7 +699,8 @@ mod tests {
         let query = QueryBuilder::new(&catalog, "single")
             .table("t")
             .epp_filter("t", "a", 0.1)
-            .build();
+            .build()
+            .unwrap();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
         let lo = opt.optimize(&SelVector::from_values(&[1e-6]));
         let hi = opt.optimize(&SelVector::from_values(&[1.0]));
@@ -686,7 +748,8 @@ mod aggregate_tests {
             .table("item")
             .epp_join("sales", "item_sk", "item", "i_item_sk")
             .group_by("item", "i_category")
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 

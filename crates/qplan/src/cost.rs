@@ -110,7 +110,10 @@ impl<'a> PlanCtx<'a> {
         if let Some(f) = self.query.filter(pred) {
             return f.selectivity;
         }
-        panic!("predicate {pred} not part of query {}", self.query.name)
+        // Unknown predicate: a programmer error upstream. Degrade to the
+        // PCM-safe worst case (selectivity 1.0) instead of aborting.
+        debug_assert!(false, "predicate {pred} not part of query {}", self.query.name);
+        1.0
     }
 
     fn sel_product(&self, preds: &[PredId]) -> f64 {
@@ -272,11 +275,8 @@ impl CostModel {
         let (co, po) = outer;
         let (ci, pi) = inner;
         let out = po.rows * pi.rows * join_sel;
-        let cost = co
-            + ci
-            + pi.pages() * p.seq_page
-            + po.rows * pi.rows * p.cpu_oper
-            + out * p.cpu_tuple;
+        let cost =
+            co + ci + pi.pages() * p.seq_page + po.rows * pi.rows * p.cpu_oper + out * p.cpu_tuple;
         (cost, PlanProps { rows: out, width: po.width + pi.width })
     }
 
@@ -314,9 +314,11 @@ impl CostModel {
     /// Total cost plus output properties.
     pub fn cost_with_props(&self, plan: &PlanNode, ctx: &PlanCtx<'_>) -> (f64, PlanProps) {
         match plan {
-            PlanNode::SeqScan { rel, filters } => {
-                self.seq_scan_cost(ctx.catalog.relation(*rel), ctx.sel_product(filters), filters.len())
-            }
+            PlanNode::SeqScan { rel, filters } => self.seq_scan_cost(
+                ctx.catalog.relation(*rel),
+                ctx.sel_product(filters),
+                filters.len(),
+            ),
             PlanNode::IndexScan { rel, sarg, filters } => self.index_scan_cost(
                 ctx.catalog.relation(*rel),
                 ctx.sel(*sarg),
@@ -324,14 +326,10 @@ impl CostModel {
                 filters.len(),
             ),
             PlanNode::Sort { input } => self.sort_cost(self.cost_with_props(input, ctx)),
-            PlanNode::HashAggregate { input, groups } => self.hash_aggregate_cost(
-                self.cost_with_props(input, ctx),
-                group_ndv_cap(ctx, groups),
-            ),
-            PlanNode::SortAggregate { input, groups } => self.sort_aggregate_cost(
-                self.cost_with_props(input, ctx),
-                group_ndv_cap(ctx, groups),
-            ),
+            PlanNode::HashAggregate { input, groups } => self
+                .hash_aggregate_cost(self.cost_with_props(input, ctx), group_ndv_cap(ctx, groups)),
+            PlanNode::SortAggregate { input, groups } => self
+                .sort_aggregate_cost(self.cost_with_props(input, ctx), group_ndv_cap(ctx, groups)),
             PlanNode::HashJoin { build, probe, preds } => self.hash_join_cost(
                 self.cost_with_props(build, ctx),
                 self.cost_with_props(probe, ctx),
@@ -361,13 +359,39 @@ impl CostModel {
     }
 }
 
+/// Relative tolerance for comparing plan costs and selectivities.
+///
+/// Costs are chains of f64 products and sums; two mathematically equal
+/// costs computed along different association orders can differ by a few
+/// ulps. Everything in the workspace that asks "are these costs equal?" or
+/// "is this cost strictly larger?" must go through [`cost_eq`] /
+/// [`cost_cmp`] with this tolerance rather than raw `==` on floats (the
+/// `rqp-lint` L2 rule enforces this).
+pub const COST_EPS: f64 = 1e-9;
+
+/// Whether two cost/selectivity values are equal within [`COST_EPS`]
+/// relative tolerance (absolute near zero).
+#[must_use]
+pub fn cost_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= COST_EPS * scale
+}
+
+/// Total order on cost values that collapses [`cost_eq`] pairs to
+/// `Ordering::Equal`; NaNs order via `f64::total_cmp`.
+#[must_use]
+pub fn cost_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    if cost_eq(a, b) {
+        std::cmp::Ordering::Equal
+    } else {
+        a.total_cmp(&b)
+    }
+}
+
 /// Upper bound on the number of groups: the product of the grouping
 /// columns' distinct-value counts.
 fn group_ndv_cap(ctx: &PlanCtx<'_>, groups: &[rqp_catalog::ColRef]) -> f64 {
-    groups
-        .iter()
-        .map(|g| ctx.catalog.relation(g.rel).columns[g.col].ndv as f64)
-        .product()
+    groups.iter().map(|g| ctx.catalog.relation(g.rel).columns[g.col].ndv as f64).product()
 }
 
 #[cfg(test)]
@@ -402,7 +426,8 @@ mod tests {
             .epp_join("part", "p_partkey", "lineitem", "l_partkey")
             .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
             .filter("part", "p_price", 0.05)
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 
@@ -502,12 +527,25 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "not part of query")]
     fn unknown_predicate_selectivity_panics() {
         let (catalog, query) = fixture();
         let loc = SelVector::from_values(&[0.5, 0.5]);
         let ctx = PlanCtx::new(&catalog, &query, &loc);
         ctx.sel(PredId(99));
+    }
+
+    #[test]
+    fn cost_eq_and_cmp_respect_the_epsilon() {
+        use std::cmp::Ordering;
+        assert!(cost_eq(1.0, 1.0 + 1e-12));
+        assert!(cost_eq(1e6, 1e6 * (1.0 + 1e-10)));
+        assert!(!cost_eq(1.0, 1.0 + 1e-6));
+        assert!(cost_eq(0.0, 1e-12), "absolute tolerance near zero");
+        assert_eq!(cost_cmp(1.0, 1.0 + 1e-12), Ordering::Equal);
+        assert_eq!(cost_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(cost_cmp(2.0, 1.0), Ordering::Greater);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 //! Physical query plans, pipeline decomposition and the PCM cost model.
 //!
@@ -24,7 +25,7 @@ pub mod fingerprint;
 pub mod ops;
 pub mod pipeline;
 
-pub use cost::{CostModel, CostParams, PlanCtx};
+pub use cost::{cost_cmp, cost_eq, CostModel, CostParams, PlanCtx, COST_EPS};
 pub use fingerprint::Fingerprint;
 pub use ops::PlanNode;
 pub use pipeline::{epp_spill_order, pipelines, spill_subtree, spill_target, Pipeline};

@@ -165,23 +165,19 @@ pub fn spill_subtree(plan: &PlanNode, query: &Query, epp: EppId) -> Option<PlanN
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rqp_catalog::{CatalogBuilder, QueryBuilder, RelationBuilder};
     use rqp_catalog::Catalog;
+    use rqp_catalog::{CatalogBuilder, QueryBuilder, RelationBuilder};
 
     fn fixture() -> (Catalog, Query) {
         let catalog = CatalogBuilder::new()
-            .relation(
-                RelationBuilder::new("a", 1000).indexed_column("k", 1000, 8).build(),
-            )
+            .relation(RelationBuilder::new("a", 1000).indexed_column("k", 1000, 8).build())
             .relation(
                 RelationBuilder::new("b", 2000)
                     .indexed_column("k", 1000, 8)
                     .indexed_column("j", 2000, 8)
                     .build(),
             )
-            .relation(
-                RelationBuilder::new("c", 3000).indexed_column("j", 2000, 8).build(),
-            )
+            .relation(RelationBuilder::new("c", 3000).indexed_column("j", 2000, 8).build())
             .build();
         let query = QueryBuilder::new(&catalog, "t")
             .table("a")
@@ -189,7 +185,8 @@ mod tests {
             .table("c")
             .epp_join("a", "k", "b", "k") // e0 -> dim0
             .epp_join("b", "j", "c", "j") // e1 -> dim1
-            .build();
+            .build()
+            .unwrap();
         (catalog, query)
     }
 

@@ -7,21 +7,18 @@
 //! "channel" join shapes end to end, and back the schema-independence
 //! checks of the test suite.
 
-use rqp_catalog::{Catalog, Query, QueryBuilder};
+use rqp_catalog::{Catalog, Query, QueryBuilder, RqpResult};
 
 /// The extended suite, in display order.
-pub fn extended_suite(catalog: &Catalog) -> Vec<Query> {
-    vec![
-        q3(catalog),
-        q12(catalog),
-        q43(catalog),
-        q33(catalog),
-        q65(catalog),
-    ]
+///
+/// # Errors
+/// Propagates builder errors (impossible against the stock catalog).
+pub fn extended_suite(catalog: &Catalog) -> RqpResult<Vec<Query>> {
+    Ok(vec![q3(catalog)?, q12(catalog)?, q43(catalog)?, q33(catalog)?, q65(catalog)?])
 }
 
 /// Q3-shaped: store sales by year for one manufacturer.
-pub fn q3(c: &Catalog) -> Query {
+pub fn q3(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "X_Q3")
         .table("store_sales")
         .table("date_dim")
@@ -35,7 +32,7 @@ pub fn q3(c: &Catalog) -> Query {
 }
 
 /// Q12-shaped: web sales by category over a date window.
-pub fn q12(c: &Catalog) -> Query {
+pub fn q12(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "X_Q12")
         .table("web_sales")
         .table("item")
@@ -49,7 +46,7 @@ pub fn q12(c: &Catalog) -> Query {
 }
 
 /// Q43-shaped: store sales by store state.
-pub fn q43(c: &Catalog) -> Query {
+pub fn q43(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "X_Q43")
         .table("store_sales")
         .table("date_dim")
@@ -63,7 +60,7 @@ pub fn q43(c: &Catalog) -> Query {
 
 /// Q33-shaped: a cross-channel star on `item` — store, catalog and web
 /// sales joined through the shared dimension.
-pub fn q33(c: &Catalog) -> Query {
+pub fn q33(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "X_Q33")
         .table("store_sales")
         .table("catalog_sales")
@@ -80,7 +77,7 @@ pub fn q33(c: &Catalog) -> Query {
 }
 
 /// Q65-shaped: store sales against item and store with a tight price band.
-pub fn q65(c: &Catalog) -> Query {
+pub fn q65(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "X_Q65")
         .table("store_sales")
         .table("item")
@@ -98,13 +95,13 @@ mod tests {
     use crate::tpcds::tpcds_catalog;
     use rqp_core::{evaluate, sb_guarantee, Discovery, SpillBound};
     use rqp_ess::EssConfig;
-    use rqp_qplan::{CostModel, PlanNode};
     use rqp_optimizer::Optimizer;
+    use rqp_qplan::{CostModel, PlanNode};
 
     #[test]
     fn extended_suite_validates_and_aggregates() {
         let c = tpcds_catalog();
-        let suite = extended_suite(&c);
+        let suite = extended_suite(&c).unwrap();
         assert_eq!(suite.len(), 5);
         for q in &suite {
             assert_eq!(q.validate(&c), Ok(()), "{}", q.name);
@@ -116,7 +113,7 @@ mod tests {
     #[test]
     fn grouped_plans_carry_aggregate_roots() {
         let c = tpcds_catalog();
-        for q in extended_suite(&c) {
+        for q in extended_suite(&c).unwrap() {
             let opt = Optimizer::new(&c, &q, CostModel::default());
             let loc = rqp_catalog::SelVector::from_values(&vec![1e-4; q.dims()]);
             let planned = opt.optimize(&loc);
@@ -135,35 +132,32 @@ mod tests {
     #[test]
     fn sb_bound_holds_across_the_extended_suite() {
         let c = tpcds_catalog();
-        for q in extended_suite(&c) {
+        for q in extended_suite(&c).unwrap() {
             let d = q.dims();
             let rt = rqp_core::RobustRuntime::compile(
                 &c,
                 &q,
                 CostModel::default(),
                 EssConfig { resolution: if d <= 2 { 10 } else { 6 }, ..Default::default() },
-            );
+            )
+            .unwrap();
             let ev = evaluate(&rt, &SpillBound::new());
             let bound = 2.0 * sb_guarantee(d);
-            assert!(
-                ev.mso <= bound + 1e-9,
-                "{}: MSOe {} exceeds {bound}",
-                q.name,
-                ev.mso
-            );
+            assert!(ev.mso <= bound + 1e-9, "{}: MSOe {} exceeds {bound}", q.name, ev.mso);
         }
     }
 
     #[test]
     fn cross_channel_star_discovers_each_channel_join() {
         let c = tpcds_catalog();
-        let q = q33(&c);
+        let q = q33(&c).unwrap();
         let rt = rqp_core::RobustRuntime::compile(
             &c,
             &q,
             CostModel::default(),
             EssConfig { resolution: 5, ..Default::default() },
-        );
+        )
+        .unwrap();
         let sb = SpillBound::new();
         let t = sb.discover(&rt, rt.ess.grid().terminus());
         assert!(t.steps.last().unwrap().completed);

@@ -6,7 +6,7 @@
 //! assumption). The skeleton below is the acyclic Q1a join graph:
 //! `company_type ⋈ movie_companies ⋈ title ⋈ movie_info_idx ⋈ info_type`.
 
-use rqp_catalog::{Catalog, CatalogBuilder, Query, QueryBuilder, RelationBuilder};
+use rqp_catalog::{Catalog, CatalogBuilder, Query, QueryBuilder, RelationBuilder, RqpResult};
 
 /// Build the IMDB-shaped catalog (cardinalities of the 2013 IMDB snapshot
 /// JOB ships with).
@@ -50,7 +50,10 @@ pub fn imdb_catalog() -> Catalog {
 }
 
 /// JOB Q1a with three error-prone join predicates.
-pub fn job_q1a(c: &Catalog) -> Query {
+///
+/// # Errors
+/// Propagates builder errors (impossible against [`imdb_catalog`]).
+pub fn job_q1a(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "JOB_Q1a")
         .table("company_type")
         .table("movie_companies")
@@ -74,7 +77,7 @@ mod tests {
     #[test]
     fn q1a_validates_with_three_epps() {
         let c = imdb_catalog();
-        let q = job_q1a(&c);
+        let q = job_q1a(&c).unwrap();
         assert_eq!(q.validate(&c), Ok(()));
         assert_eq!(q.dims(), 3);
         assert_eq!(q.relations.len(), 5);

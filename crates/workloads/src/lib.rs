@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 //! Benchmark workloads: TPC-DS-shaped and IMDB-shaped catalogs and the
 //! paper's query suite.
@@ -7,8 +8,8 @@
 //! use rqp_workloads::{BenchQuery, Workload};
 //! use rqp_ess::EssConfig;
 //!
-//! let w = Workload::tpcds(BenchQuery::Q15_3D);
-//! let rt = w.runtime(EssConfig::coarse(w.query.dims()));
+//! let w = Workload::tpcds(BenchQuery::Q15_3D).unwrap();
+//! let rt = w.runtime(EssConfig::coarse(w.query.dims())).unwrap();
 //! assert_eq!(rt.dims(), 3);
 //! ```
 
@@ -24,7 +25,7 @@ pub use suite::{q91, BenchQuery};
 pub use synth::{synth_workload, Shape, SynthConfig};
 pub use tpcds::tpcds_catalog;
 
-use rqp_catalog::{Catalog, Query};
+use rqp_catalog::{Catalog, Query, RqpResult};
 use rqp_core::RobustRuntime;
 use rqp_ess::EssConfig;
 use rqp_qplan::CostModel;
@@ -39,29 +40,41 @@ pub struct Workload {
 
 impl Workload {
     /// A TPC-DS benchmark query.
-    pub fn tpcds(bq: BenchQuery) -> Workload {
+    ///
+    /// # Errors
+    /// Propagates builder errors (impossible for the curated suite).
+    pub fn tpcds(bq: BenchQuery) -> RqpResult<Workload> {
         let catalog = tpcds_catalog();
-        let query = bq.build(&catalog);
-        Workload { catalog, query }
+        let query = bq.build(&catalog)?;
+        Ok(Workload { catalog, query })
     }
 
     /// TPC-DS Q91 at a chosen epp dimensionality (2..=6).
-    pub fn q91(dims: usize) -> Workload {
+    ///
+    /// # Errors
+    /// Propagates builder errors (impossible for in-range `dims`).
+    pub fn q91(dims: usize) -> RqpResult<Workload> {
         let catalog = tpcds_catalog();
-        let query = q91(&catalog, dims);
-        Workload { catalog, query }
+        let query = q91(&catalog, dims)?;
+        Ok(Workload { catalog, query })
     }
 
     /// JOB Q1a on the IMDB-shaped catalog.
-    pub fn job_q1a() -> Workload {
+    ///
+    /// # Errors
+    /// Propagates builder errors (impossible for the stock catalog).
+    pub fn job_q1a() -> RqpResult<Workload> {
         let catalog = imdb_catalog();
-        let query = job_q1a(&catalog);
-        Workload { catalog, query }
+        let query = job_q1a(&catalog)?;
+        Ok(Workload { catalog, query })
     }
 
     /// Compile a robust runtime for this workload with the default cost
     /// model.
-    pub fn runtime(&self, config: EssConfig) -> RobustRuntime<'_> {
+    ///
+    /// # Errors
+    /// Propagates [`RobustRuntime::compile`] errors.
+    pub fn runtime(&self, config: EssConfig) -> RqpResult<RobustRuntime<'_>> {
         RobustRuntime::compile(&self.catalog, &self.query, CostModel::default(), config)
     }
 }
@@ -73,8 +86,8 @@ mod tests {
 
     #[test]
     fn q15_end_to_end_spillbound_within_guarantee() {
-        let w = Workload::tpcds(BenchQuery::Q15_3D);
-        let rt = w.runtime(EssConfig::coarse(3));
+        let w = Workload::tpcds(BenchQuery::Q15_3D).unwrap();
+        let rt = w.runtime(EssConfig::coarse(3)).unwrap();
         let sb = SpillBound::new();
         let ev = evaluate(&rt, &sb);
         let bound = 2.0 * rqp_core::sb_guarantee(3);
@@ -85,8 +98,8 @@ mod tests {
 
     #[test]
     fn job_q1a_runtime_compiles_with_plan_diversity() {
-        let w = Workload::job_q1a();
-        let rt = w.runtime(EssConfig::coarse(3));
+        let w = Workload::job_q1a().unwrap();
+        let rt = w.runtime(EssConfig::coarse(3)).unwrap();
         assert!(rt.ess.posp.num_plans() >= 2);
         let t = SpillBound::new().discover(&rt, rt.ess.grid().terminus());
         assert!(t.steps.last().unwrap().completed);
@@ -94,8 +107,8 @@ mod tests {
 
     #[test]
     fn plan_bouquet_runs_on_a_star_query() {
-        let w = Workload::tpcds(BenchQuery::Q7_4D);
-        let rt = w.runtime(EssConfig { resolution: 5, ..Default::default() });
+        let w = Workload::tpcds(BenchQuery::Q7_4D).unwrap();
+        let rt = w.runtime(EssConfig { resolution: 5, ..Default::default() }).unwrap();
         let pb = PlanBouquet::new();
         let t = pb.discover(&rt, rt.ess.grid().num_cells() / 2);
         assert!(t.subopt() >= 1.0 - 1e-9);

@@ -11,7 +11,7 @@
 //! roles in Q29) appear once, keeping the join graph acyclic — exactly the
 //! regime the paper's selectivity-independence assumption targets.
 
-use rqp_catalog::{Catalog, Query, QueryBuilder};
+use rqp_catalog::{Catalog, Query, QueryBuilder, RqpResult};
 
 /// The paper's benchmark query instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,17 +69,18 @@ impl BenchQuery {
     pub fn dims(&self) -> usize {
         match self {
             BenchQuery::Q15_3D | BenchQuery::Q96_3D => 3,
-            BenchQuery::Q7_4D
-            | BenchQuery::Q26_4D
-            | BenchQuery::Q27_4D
-            | BenchQuery::Q91_4D => 4,
+            BenchQuery::Q7_4D | BenchQuery::Q26_4D | BenchQuery::Q27_4D | BenchQuery::Q91_4D => 4,
             BenchQuery::Q19_5D | BenchQuery::Q29_5D | BenchQuery::Q84_5D => 5,
             BenchQuery::Q18_6D | BenchQuery::Q91_6D => 6,
         }
     }
 
     /// Build the query against the TPC-DS catalog.
-    pub fn build(&self, catalog: &Catalog) -> Query {
+    ///
+    /// # Errors
+    /// Propagates builder/validation errors (impossible for the curated
+    /// suite against the stock TPC-DS catalog).
+    pub fn build(&self, catalog: &Catalog) -> RqpResult<Query> {
         match self {
             BenchQuery::Q15_3D => q15(catalog),
             BenchQuery::Q96_3D => q96(catalog),
@@ -96,7 +97,7 @@ impl BenchQuery {
     }
 }
 
-fn q15(c: &Catalog) -> Query {
+fn q15(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "3D_Q15")
         .table("catalog_sales")
         .table("customer")
@@ -110,7 +111,7 @@ fn q15(c: &Catalog) -> Query {
         .build()
 }
 
-fn q96(c: &Catalog) -> Query {
+fn q96(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "3D_Q96")
         .table("store_sales")
         .table("household_demographics")
@@ -124,7 +125,7 @@ fn q96(c: &Catalog) -> Query {
         .build()
 }
 
-fn q7(c: &Catalog) -> Query {
+fn q7(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "4D_Q7")
         .table("store_sales")
         .table("customer_demographics")
@@ -142,7 +143,7 @@ fn q7(c: &Catalog) -> Query {
         .build()
 }
 
-fn q26(c: &Catalog) -> Query {
+fn q26(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "4D_Q26")
         .table("catalog_sales")
         .table("customer_demographics")
@@ -159,7 +160,7 @@ fn q26(c: &Catalog) -> Query {
         .build()
 }
 
-fn q27(c: &Catalog) -> Query {
+fn q27(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "4D_Q27")
         .table("store_sales")
         .table("customer_demographics")
@@ -179,7 +180,7 @@ fn q27(c: &Catalog) -> Query {
 /// TPC-DS Q91 with `dims ∈ 2..=6` of its six join predicates error-prone
 /// (the Fig. 9 dimensionality sweep; the 2-epp variant matches Fig. 7's
 /// `Catalog⋈Date-Dim` / `Customer⋈Customer-Address` pair).
-pub fn q91(c: &Catalog, dims: usize) -> Query {
+pub fn q91(c: &Catalog, dims: usize) -> RqpResult<Query> {
     assert!((2..=6).contains(&dims), "Q91 supports 2..=6 epps");
     let name: &str = match dims {
         2 => "2D_Q91",
@@ -215,7 +216,7 @@ pub fn q91(c: &Catalog, dims: usize) -> Query {
         .build()
 }
 
-fn q19(c: &Catalog) -> Query {
+fn q19(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "5D_Q19")
         .table("store_sales")
         .table("date_dim")
@@ -234,7 +235,7 @@ fn q19(c: &Catalog) -> Query {
         .build()
 }
 
-fn q29(c: &Catalog) -> Query {
+fn q29(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "5D_Q29")
         .table("store_sales")
         .table("store_returns")
@@ -252,7 +253,7 @@ fn q29(c: &Catalog) -> Query {
         .build()
 }
 
-fn q84(c: &Catalog) -> Query {
+fn q84(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "5D_Q84")
         .table("customer")
         .table("customer_address")
@@ -270,7 +271,7 @@ fn q84(c: &Catalog) -> Query {
         .build()
 }
 
-fn q18(c: &Catalog) -> Query {
+fn q18(c: &Catalog) -> RqpResult<Query> {
     QueryBuilder::new(c, "6D_Q18")
         .table("catalog_sales")
         .table("customer_demographics")
@@ -301,7 +302,7 @@ mod tests {
     fn every_bench_query_validates_with_declared_dims() {
         let c = tpcds_catalog();
         for &bq in BenchQuery::all() {
-            let q = bq.build(&c);
+            let q = bq.build(&c).unwrap();
             assert_eq!(q.validate(&c), Ok(()), "{}", bq.name());
             assert_eq!(q.dims(), bq.dims(), "{}", bq.name());
             assert_eq!(q.name, bq.name());
@@ -313,7 +314,7 @@ mod tests {
     fn q91_dimensionality_sweep() {
         let c = tpcds_catalog();
         for d in 2..=6 {
-            let q = q91(&c, d);
+            let q = q91(&c, d).unwrap();
             assert_eq!(q.dims(), d);
             assert_eq!(q.relations.len(), 7);
             assert_eq!(q.joins.len(), 6);
@@ -325,17 +326,17 @@ mod tests {
     #[should_panic(expected = "supports 2..=6")]
     fn q91_rejects_out_of_range_dims() {
         let c = tpcds_catalog();
-        q91(&c, 7);
+        let _ = q91(&c, 7);
     }
 
     #[test]
     fn join_graph_geometries_vary() {
         let c = tpcds_catalog();
         // Q7 is a pure star on store_sales; Q15 is a chain
-        let q7 = BenchQuery::Q7_4D.build(&c);
+        let q7 = BenchQuery::Q7_4D.build(&c).unwrap();
         let ss = c.find_relation("store_sales").unwrap();
         assert!(q7.joins.iter().all(|j| j.touches(ss)), "Q7 must be a star on store_sales");
-        let q15 = BenchQuery::Q15_3D.build(&c);
+        let q15 = BenchQuery::Q15_3D.build(&c).unwrap();
         let cs = c.find_relation("catalog_sales").unwrap();
         assert!(!q15.joins.iter().all(|j| j.touches(cs)), "Q15 is not a star");
     }
@@ -346,7 +347,7 @@ mod tests {
         let mut min = usize::MAX;
         let mut max = 0;
         for &bq in BenchQuery::all() {
-            let q = bq.build(&c);
+            let q = bq.build(&c).unwrap();
             min = min.min(q.relations.len());
             max = max.max(q.relations.len());
         }

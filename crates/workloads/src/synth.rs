@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rqp_catalog::{CatalogBuilder, QueryBuilder, RelationBuilder};
+use rqp_catalog::{CatalogBuilder, QueryBuilder, RelationBuilder, RqpResult};
 
 use crate::Workload;
 
@@ -64,9 +64,12 @@ impl SynthConfig {
 
 /// Generate a deterministic random workload.
 ///
+/// # Errors
+/// Propagates builder errors (impossible for the generated schema).
+///
 /// # Panics
 /// Panics if `relations < 2` or `epps > relations - 1`.
-pub fn synth_workload(cfg: SynthConfig) -> Workload {
+pub fn synth_workload(cfg: SynthConfig) -> RqpResult<Workload> {
     assert!(cfg.relations >= 2, "need at least two relations");
     assert!(cfg.epps < cfg.relations, "at most one epp per join edge");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -78,7 +81,7 @@ pub fn synth_workload(cfg: SynthConfig) -> Workload {
             (2f64).powf(rng.gen_range(lo..hi)) as u64
         })
         .collect();
-    rows[0] = rows[0].max(*rows.iter().max().unwrap());
+    rows[0] = rows[0].max(rows.iter().copied().max().unwrap_or(2));
 
     let mut cb = CatalogBuilder::new();
     for (i, &r) in rows.iter().enumerate() {
@@ -126,8 +129,8 @@ pub fn synth_workload(cfg: SynthConfig) -> Workload {
     if cfg.grouped {
         qb = qb.group_by("t0", "attr");
     }
-    let query = qb.build();
-    Workload { catalog, query }
+    let query = qb.build()?;
+    Ok(Workload { catalog, query })
 }
 
 #[cfg(test)]
@@ -138,12 +141,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = synth_workload(SynthConfig::chain(4, 9));
-        let b = synth_workload(SynthConfig::chain(4, 9));
+        let a = synth_workload(SynthConfig::chain(4, 9)).unwrap();
+        let b = synth_workload(SynthConfig::chain(4, 9)).unwrap();
         assert_eq!(a.query.joins.len(), b.query.joins.len());
-        assert_eq!(a.catalog.relation(a.query.relations[0]).rows,
-                   b.catalog.relation(b.query.relations[0]).rows);
-        let c = synth_workload(SynthConfig::chain(4, 10));
+        assert_eq!(
+            a.catalog.relation(a.query.relations[0]).rows,
+            b.catalog.relation(b.query.relations[0]).rows
+        );
+        let c = synth_workload(SynthConfig::chain(4, 10)).unwrap();
         assert_ne!(
             a.catalog.relation(a.query.relations[1]).rows,
             c.catalog.relation(c.query.relations[1]).rows,
@@ -161,7 +166,8 @@ mod tests {
                     shape,
                     grouped: seed % 2 == 0,
                     seed,
-                });
+                })
+                .unwrap();
                 assert_eq!(w.query.validate(&w.catalog), Ok(()), "{shape:?} seed {seed}");
                 assert_eq!(w.query.dims(), 3);
             }
@@ -180,8 +186,9 @@ mod tests {
                 shape,
                 grouped: seed % 2 == 1,
                 seed: seed as u64,
-            });
-            let rt = w.runtime(EssConfig { resolution: 8, ..Default::default() });
+            })
+            .unwrap();
+            let rt = w.runtime(EssConfig { resolution: 8, ..Default::default() }).unwrap();
             let ev = evaluate(&rt, &SpillBound::new());
             let bound = 2.0 * sb_guarantee(2);
             assert!(

@@ -8,17 +8,14 @@ use robust_qp::core::advisor::advise;
 use robust_qp::prelude::*;
 
 fn main() {
-    let w = Workload::q91(2);
-    let rt = w.runtime(EssConfig { resolution: 24, ..Default::default() });
+    let w = Workload::q91(2).expect("workload builds");
+    let rt = w.runtime(EssConfig { resolution: 24, ..Default::default() }).expect("ESS compiles");
     println!(
         "query {} — SB structural guarantee D²+3D = {}",
         w.query.name,
         sb_guarantee(rt.dims())
     );
-    println!(
-        "\n{:>14} {:>14} {:>10}   recommendation",
-        "error factor", "native worst", "SB worst"
-    );
+    println!("\n{:>14} {:>14} {:>10}   recommendation", "error factor", "native worst", "SB worst");
     for factor in [1.0, 2.0, 10.0, 100.0, 1e4, 1e6] {
         let advice = advise(&rt, factor);
         println!(

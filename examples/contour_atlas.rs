@@ -7,8 +7,8 @@
 use robust_qp::prelude::*;
 
 fn main() {
-    let w = Workload::q91(2);
-    let rt = w.runtime(EssConfig { resolution: 40, ..Default::default() });
+    let w = Workload::q91(2).expect("Q91 builds");
+    let rt = w.runtime(EssConfig { resolution: 40, ..Default::default() }).expect("ESS compiles");
     let grid = rt.ess.grid();
     let posp = &rt.ess.posp;
     let contours = &rt.ess.contours;
@@ -50,10 +50,7 @@ fn main() {
     // per-contour plan density and alignment penalty (Fig. 6 / Table 2 raw)
     println!("\n--- per-contour density and alignment (Table 2 raw data) ---");
     let stats = alignment_stats(&rt);
-    println!(
-        "{:>5} {:>12} {:>8} {:>10}",
-        "band", "cost", "density", "penalty"
-    );
+    println!("{:>5} {:>12} {:>8} {:>10}", "band", "cost", "density", "penalty");
     let mut k = 0;
     for band in 0..contours.num_bands() {
         if contours.cells(band).is_empty() {

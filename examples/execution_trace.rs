@@ -9,8 +9,8 @@ use robust_qp::prelude::*;
 fn main() {
     // 2D_Q91: the Fig. 7 setting — catalog_returns⋈date_dim on X,
     // customer⋈customer_address on Y
-    let w = Workload::q91(2);
-    let rt = w.runtime(EssConfig { resolution: 32, ..Default::default() });
+    let w = Workload::q91(2).expect("workload builds");
+    let rt = w.runtime(EssConfig { resolution: 32, ..Default::default() }).expect("ESS compiles");
     let grid = rt.ess.grid();
     let qa = grid.index(&[grid.snap_ceil(0, 0.04), grid.snap_ceil(1, 0.1)]);
 
@@ -39,8 +39,8 @@ fn main() {
 
     // §6.3: wall-clock drill-down on 4D_Q91, oracle anchored at 44 s
     println!("\n=== §6.3: wall-clock comparison on 4D_Q91 ===");
-    let w4 = Workload::q91(4);
-    let rt4 = w4.runtime(EssConfig::coarse(4));
+    let w4 = Workload::q91(4).expect("workload builds");
+    let rt4 = w4.runtime(EssConfig::coarse(4)).expect("ESS compiles");
     let g4 = rt4.ess.grid();
     let coords: Vec<usize> = (0..4).map(|d| g4.res(d) * 3 / 4).collect();
     let qa4 = g4.index(&coords);
@@ -50,11 +50,7 @@ fn main() {
     let sb4 = SpillBound::with_refined_bounds().discover(&rt4, qa4);
     let ab4 = AlignedBound::new().discover(&rt4, qa4);
     println!("optimal plan : {:7.1} s", 44.0);
-    println!(
-        "native       : {:7.1} s  (subopt {:.1})",
-        native.total_cost * secs,
-        native.subopt()
-    );
+    println!("native       : {:7.1} s  (subopt {:.1})", native.total_cost * secs, native.subopt());
     println!(
         "SpillBound   : {:7.1} s  (subopt {:.1}, {} executions)",
         sb4.total_cost * secs,

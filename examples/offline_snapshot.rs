@@ -8,16 +8,16 @@ use robust_qp::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let w = Workload::q91(2);
+    let w = Workload::q91(2).expect("Q91 builds");
 
     // the expensive step: optimizer at every grid location
     let t0 = Instant::now();
-    let rt = w.runtime(EssConfig { resolution: 32, ..Default::default() });
+    let rt = w.runtime(EssConfig { resolution: 32, ..Default::default() }).expect("ESS compiles");
     let compile_time = t0.elapsed();
 
     // snapshot it
     let snap = PospSnapshot::capture(&rt.ess);
-    let json = snap.to_json();
+    let json = snap.to_json().expect("snapshot serializes");
     let path = std::env::temp_dir().join("rqp_2d_q91.ess.json");
     std::fs::write(&path, &json).expect("snapshot written");
     println!(

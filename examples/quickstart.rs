@@ -40,7 +40,8 @@ fn main() {
         .epp_join("part", "p_partkey", "lineitem", "l_partkey")
         .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
         .filter("part", "p_retailprice", 0.05)
-        .build();
+        .build()
+        .expect("EQ builds against the catalog");
 
     // 3. compile the runtime: optimizer + ESS (POSP + iso-cost contours)
     let rt = RobustRuntime::compile(
@@ -48,7 +49,8 @@ fn main() {
         &query,
         CostModel::default(),
         EssConfig { resolution: 24, min_sel: 1e-6, ..Default::default() },
-    );
+    )
+    .expect("ESS compiles");
     println!(
         "compiled ESS: {} cells, {} POSP plans, {} contours, guarantee D²+3D = {}",
         rt.ess.grid().num_cells(),

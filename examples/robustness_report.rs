@@ -11,17 +11,26 @@ fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
     println!(
         "{:<8} {:>2} {:>7} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7}",
-        "query", "D", "ρ_red", "PB MSOg", "SB MSOg", "PB MSOe", "SB MSOe", "AB MSOe", "PB ASO",
-        "SB ASO", "AB ASO"
+        "query",
+        "D",
+        "ρ_red",
+        "PB MSOg",
+        "SB MSOg",
+        "PB MSOe",
+        "SB MSOe",
+        "AB MSOe",
+        "PB ASO",
+        "SB ASO",
+        "AB ASO"
     );
     for &bq in BenchQuery::all() {
-        let w = Workload::tpcds(bq);
+        let w = Workload::tpcds(bq).expect("suite query builds");
         let d = w.query.dims();
         let mut cfg = EssConfig::coarse(d);
         if fast {
             cfg.resolution = (cfg.resolution * 2 / 3).max(4);
         }
-        let rt = w.runtime(cfg);
+        let rt = w.runtime(cfg).expect("ESS compiles");
 
         let pb = PlanBouquet::anorexic(&rt, 0.2);
         let rho = pb.rho(&rt);
@@ -49,13 +58,10 @@ fn main() {
     }
 
     // the JOB coda (§6.5)
-    let w = Workload::job_q1a();
-    let rt = w.runtime(EssConfig::coarse(3));
+    let w = Workload::job_q1a().expect("JOB Q1a builds");
+    let rt = w.runtime(EssConfig::coarse(3)).expect("ESS compiles");
     let native = robust_qp::core::native::native_mso_worst_estimate(&rt);
     let sb = evaluate(&rt, &SpillBound::new());
     let ab = evaluate(&rt, &AlignedBound::new());
-    println!(
-        "\nJOB Q1a: native MSO {:.0} -> SB {:.1} -> AB {:.1}",
-        native, sb.mso, ab.mso
-    );
+    println!("\nJOB Q1a: native MSO {:.0} -> SB {:.1} -> AB {:.1}", native, sb.mso, ab.mso);
 }

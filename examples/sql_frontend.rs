@@ -34,7 +34,8 @@ fn main() {
         &query,
         CostModel::default(),
         EssConfig::coarse(query.dims()),
-    );
+    )
+    .expect("ESS compiles");
     println!(
         "ESS: {} cells, {} plans, {} contours; SB guarantee D²+3D = {}",
         rt.ess.grid().num_cells(),

@@ -68,21 +68,34 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn workload_by_name(name: &str) -> Workload {
+    let or_exit = |r: Result<Workload, RqpError>| {
+        r.unwrap_or_else(|e| {
+            eprintln!("cannot build workload {name:?}: {e}");
+            exit(1)
+        })
+    };
     if name.eq_ignore_ascii_case("JOB_Q1a") {
-        return Workload::job_q1a();
+        return or_exit(Workload::job_q1a());
     }
     if let Some(d) = name.strip_suffix("D_Q91").and_then(|p| p.parse::<usize>().ok()) {
         if (2..=6).contains(&d) {
-            return Workload::q91(d);
+            return or_exit(Workload::q91(d));
         }
     }
     for &bq in BenchQuery::all() {
         if bq.name().eq_ignore_ascii_case(name) {
-            return Workload::tpcds(bq);
+            return or_exit(Workload::tpcds(bq));
         }
     }
     eprintln!("unknown workload {name:?}; try `rqp list`");
     exit(2);
+}
+
+fn runtime_or_exit<'a>(w: &'a Workload, cfg: EssConfig) -> RobustRuntime<'a> {
+    w.runtime(cfg).unwrap_or_else(|e| {
+        eprintln!("ESS compilation failed: {e}");
+        exit(1)
+    })
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
@@ -131,7 +144,7 @@ fn compile(flags: &HashMap<String, String>) {
     let w = workload_by_name(required(flags, "query"));
     let cfg = config_for(flags, w.query.dims());
     let t0 = std::time::Instant::now();
-    let rt = w.runtime(cfg);
+    let rt = runtime_or_exit(&w, cfg);
     println!(
         "compiled {}: {} cells, {} plans, {} contours in {:.2?}",
         w.query.name,
@@ -142,7 +155,11 @@ fn compile(flags: &HashMap<String, String>) {
     );
     if let Some(out) = flags.get("out") {
         let snap = PospSnapshot::capture(&rt.ess);
-        std::fs::write(out, snap.to_json()).unwrap_or_else(|e| {
+        let json = snap.to_json().unwrap_or_else(|e| {
+            eprintln!("cannot serialize snapshot: {e}");
+            exit(1)
+        });
+        std::fs::write(out, json).unwrap_or_else(|e| {
             eprintln!("cannot write {out}: {e}");
             exit(1);
         });
@@ -153,7 +170,7 @@ fn compile(flags: &HashMap<String, String>) {
 fn run(flags: &HashMap<String, String>) {
     let w = workload_by_name(required(flags, "query"));
     let cfg = config_for(flags, w.query.dims());
-    let rt = w.runtime(cfg);
+    let rt = runtime_or_exit(&w, cfg);
     let grid = rt.ess.grid();
     let qa = match flags.get("qa") {
         None => grid.num_cells() / 2,
@@ -186,11 +203,12 @@ fn report(flags: &HashMap<String, String>) {
     let w = workload_by_name(required(flags, "query"));
     let d = w.query.dims();
     let cfg = config_for(flags, d);
-    let rt = w.runtime(cfg);
+    let rt = runtime_or_exit(&w, cfg);
     let pb = PlanBouquet::anorexic(&rt, 0.2);
     let rho = pb.rho(&rt);
     println!("{}: D = {d}, ρ_red = {rho}", w.query.name);
-    println!("  guarantees: PB {:>7.1}   SB {:>7.1}   AB [{:.0}, {:.0}]",
+    println!(
+        "  guarantees: PB {:>7.1}   SB {:>7.1}   AB [{:.0}, {:.0}]",
         pb_guarantee(rho, 0.2),
         sb_guarantee(d),
         ab_guarantee_range(d).0,
@@ -213,7 +231,7 @@ fn atlas(flags: &HashMap<String, String>) {
         exit(2);
     }
     let cfg = config_for(flags, 2);
-    let rt = w.runtime(cfg);
+    let rt = runtime_or_exit(&w, cfg);
     let grid = rt.ess.grid();
     let res = grid.res(0);
     const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
@@ -232,7 +250,7 @@ fn atlas(flags: &HashMap<String, String>) {
         let row: String = (0..res)
             .map(|x| {
                 char::from_digit((rt.ess.contours.band_of(grid.index(&[x, y])) % 10) as u32, 10)
-                    .unwrap()
+                    .unwrap_or('?')
             })
             .collect();
         println!("  {row}");
@@ -253,14 +271,17 @@ fn sql(flags: &HashMap<String, String>) {
         eprintln!("cannot read {file}: {e}");
         exit(1);
     });
-    let query = robust_qp::catalog::parse_query(&catalog, "adhoc", &text)
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            exit(1);
-        });
+    let query = robust_qp::catalog::parse_query(&catalog, "adhoc", &text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
     println!("parsed {:?}: {} relations, {} epps", file, query.relations.len(), query.dims());
     let cfg = config_for(flags, query.dims());
-    let rt = RobustRuntime::compile(&catalog, &query, CostModel::default(), cfg);
+    let rt =
+        RobustRuntime::compile(&catalog, &query, CostModel::default(), cfg).unwrap_or_else(|e| {
+            eprintln!("ESS compilation failed: {e}");
+            exit(1)
+        });
     let algo = algo_by_name(flags.get("algo").map(String::as_str).unwrap_or("sb"));
     let qa = rt.ess.grid().num_cells() / 2;
     let trace = algo.discover(&rt, qa);

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 //! # robust-qp — platform-independent robust query processing
 //!
@@ -19,12 +20,13 @@
 //! use robust_qp::prelude::*;
 //!
 //! // a workload: TPC-DS Q15 with three error-prone join predicates
-//! let w = Workload::tpcds(BenchQuery::Q15_3D);
+//! let w = Workload::tpcds(BenchQuery::Q15_3D)?;
 //! // compile the ESS (coarse grid for the doctest)
-//! let rt = w.runtime(EssConfig::coarse(3));
+//! let rt = w.runtime(EssConfig::coarse(3))?;
 //! // run SpillBound for a query instance at the grid terminus
 //! let trace = SpillBound::new().discover(&rt, rt.ess.grid().terminus());
 //! assert!(trace.subopt() <= 2.0 * sb_guarantee(3));
+//! # Ok::<(), RqpError>(())
 //! ```
 //!
 //! The facade re-exports each layer; see the member crates for details:
@@ -43,8 +45,8 @@ pub use rqp_workloads as workloads;
 /// The commonly-used surface of the library.
 pub mod prelude {
     pub use rqp_catalog::{
-        Catalog, CatalogBuilder, EppId, Query, QueryBuilder, RelationBuilder, SelVector,
-        Selectivity,
+        Catalog, CatalogBuilder, EppId, Query, QueryBuilder, RelationBuilder, RqpError, RqpResult,
+        SelVector, Selectivity,
     };
     pub use rqp_core::{
         ab_guarantee_range, alignment_stats, evaluate, pb_guarantee, sb_guarantee, AlignedBound,

@@ -27,13 +27,17 @@ fn run_prints_a_trace() {
 
 #[test]
 fn run_accepts_explicit_qa() {
-    let out = rqp(&[
-        "run", "--query", "2D_Q91", "--resolution", "8", "--qa", "0.01,0.1", "--algo", "ab",
-    ]);
+    let out =
+        rqp(&["run", "--query", "2D_Q91", "--resolution", "8", "--qa", "0.01,0.1", "--algo", "ab"]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("AB at cell"));
 }
 
+// Triage note (tier-1 sweep): this test round-trips a snapshot through
+// serde_json, so it is the one root test that fails when the workspace is
+// built against offline serde stubs (their `to_string` degenerates to
+// "{}"). Against the real crates.io serde_json it passes; do not
+// quarantine it for stub-environment failures.
 #[test]
 fn compile_writes_a_loadable_snapshot() {
     let dir = std::env::temp_dir().join(format!("rqp_cli_test_{}", std::process::id()));

@@ -33,7 +33,8 @@ fn example_runtime(resolution: usize) -> (Catalog, Query) {
         .epp_join("part", "p_partkey", "lineitem", "l_partkey")
         .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
         .filter("part", "p_retailprice", 0.05)
-        .build();
+        .build()
+        .unwrap();
     let _ = resolution;
     (catalog, query)
 }
@@ -46,6 +47,7 @@ fn compile<'a>(catalog: &'a Catalog, query: &'a Query, resolution: usize) -> Rob
         CostModel::default(),
         EssConfig { resolution, min_sel: 1e-6, ..Default::default() },
     )
+    .unwrap()
 }
 
 #[test]
@@ -157,13 +159,14 @@ fn native_baseline_is_dominated_by_spillbound_in_the_worst_case() {
 fn tpcds_suite_smoke_runs_every_query() {
     let catalog = robust_qp::workloads::tpcds_catalog();
     for &bq in BenchQuery::all() {
-        let query = bq.build(&catalog);
+        let query = bq.build(&catalog).unwrap();
         let rt = RobustRuntime::compile(
             &catalog,
             &query,
             CostModel::default(),
             EssConfig { resolution: 4, ..Default::default() },
-        );
+        )
+        .unwrap();
         let sb = SpillBound::new();
         for qa in [rt.ess.grid().origin(), rt.ess.grid().terminus()] {
             let t = sb.discover(&rt, qa);

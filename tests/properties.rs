@@ -46,7 +46,7 @@ fn build_workload(spec: &ChainSpec) -> (Catalog, Query) {
         let (l, r) = (format!("r{i}"), format!("r{}", i + 1));
         qb = qb.epp_join(&l, "j", &r, "k");
     }
-    let query = qb.filter("r0", "v", spec.filter_sel).build();
+    let query = qb.filter("r0", "v", spec.filter_sel).build().unwrap();
     (catalog, query)
 }
 
@@ -95,7 +95,8 @@ proptest! {
             &query,
             CostModel::default(),
             EssConfig { resolution: 5, min_sel: 1e-5, ..Default::default() },
-        );
+        )
+        .unwrap();
         let grid = rt.ess.grid();
         let step = (grid.num_cells() / 16).max(1);
         for cell in (0..grid.num_cells()).step_by(step) {
@@ -120,7 +121,8 @@ proptest! {
             &query,
             CostModel::default(),
             EssConfig { resolution: 5, min_sel: 1e-5, ..Default::default() },
-        );
+        )
+        .unwrap();
         let grid = rt.ess.grid();
         let sb = SpillBound::new();
         let bound = 2.0 * sb_guarantee(rt.dims());
@@ -153,7 +155,8 @@ proptest! {
             &query,
             CostModel::default(),
             EssConfig { resolution: 5, min_sel: 1e-5, ..Default::default() },
-        );
+        )
+        .unwrap();
         let contours = &rt.ess.contours;
         let total: usize = (0..contours.num_bands()).map(|b| contours.cells(b).len()).sum();
         prop_assert_eq!(total, rt.ess.grid().num_cells());
@@ -178,7 +181,8 @@ proptest! {
             &query,
             CostModel::default(),
             EssConfig { resolution: 5, min_sel: 1e-5, ..Default::default() },
-        );
+        )
+        .unwrap();
         let reduced = robust_qp::ess::anorexic_reduce(&rt.ess.posp, &rt.optimizer, lambda);
         prop_assert!(reduced.num_plans <= rt.ess.posp.num_plans());
         let step = (rt.ess.grid().num_cells() / 16).max(1);
@@ -227,7 +231,8 @@ mod row_level {
         ) {
             let w = robust_qp::workloads::synth_workload(
                 robust_qp::workloads::SynthConfig::chain(3, seed),
-            );
+            )
+            .unwrap();
             let target = SelVector::from_values(&[sel_a, sel_b]);
             let data = DataSet::generate(&w.catalog, &w.query, &target, 400, seed);
             let opt = Optimizer::new(&w.catalog, &w.query, CostModel::default());
@@ -250,10 +255,11 @@ mod row_level {
         fn snapshot_roundtrip_is_lossless(seed in 0u64..200) {
             let w = robust_qp::workloads::synth_workload(
                 robust_qp::workloads::SynthConfig::star(3, seed),
-            );
-            let rt = w.runtime(EssConfig { resolution: 6, ..Default::default() });
+            )
+            .unwrap();
+            let rt = w.runtime(EssConfig { resolution: 6, ..Default::default() }).unwrap();
             let snap = robust_qp::ess::PospSnapshot::capture(&rt.ess);
-            let restored = robust_qp::ess::PospSnapshot::from_json(&snap.to_json())
+            let restored = robust_qp::ess::PospSnapshot::from_json(&snap.to_json().unwrap())
                 .unwrap()
                 .restore()
                 .unwrap();
