@@ -1,11 +1,17 @@
 # Convenience targets for the robust-qp workspace.
 
-.PHONY: verify build test clippy lint bench reproduce
+.PHONY: verify build test clippy lint bench reproduce chaos
 
 # The full pre-merge gate: release build, quiet tests, zero clippy
-# warnings, and a clean rqp-lint pass.
+# warnings, a clean rqp-lint pass, and the fixed-seed chaos smoke sweep.
 verify:
-	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings && cargo run -q -p rqp-lint
+	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings && cargo run -q -p rqp-lint && $(MAKE) chaos
+
+# Fixed-seed fault-injection smoke sweep: every discovery algorithm must
+# terminate with honest accounting under each fault class (see README,
+# "Fault injection & chaos testing").
+chaos:
+	cargo run --release --bin rqp -- chaos --query 2D_Q91 --resolution 6 --seed 1 --schedules 2
 
 # Workspace invariant linter (see README, "Static analysis").
 lint:

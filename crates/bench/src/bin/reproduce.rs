@@ -165,6 +165,10 @@ fn main() {
         section("Ablation: grid resolution");
         println!("{}", render_resolution(&ablation_resolution(scale)));
     }
+    if want("chaos") {
+        section("Robustness: deterministic fault-injection sweep (2D_Q91)");
+        println!("{}", chaos_sweep_experiment(scale));
+    }
     println!("total: {:.1?}", t0.elapsed());
 
     if let Err(e) = rqp_bench::obs::finish(&cli.obs) {

@@ -585,9 +585,52 @@ pub fn ablation_resolution(scale: Scale) -> Vec<ResolutionRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Chaos — fault-injection sweep over every discovery algorithm
+// ---------------------------------------------------------------------
+
+/// The chaos experiment: sweep every discovery algorithm on 2D_Q91 over
+/// seeded fault schedules (one per fault class plus a mixed storm) and
+/// render the per-class outcome table. Returns the invariant-violation
+/// message instead of a table if the supervised runtime breaks one of the
+/// harness invariants — a sweep that *renders* is a sweep that passed.
+pub fn chaos_sweep_experiment(scale: Scale) -> String {
+    use rqp_chaos::{probe_cells, standard_schedules, sweep, ChaosReport, FaultPlan};
+
+    let w = Workload::q91(2).expect("Q91 builds");
+    let plan = FaultPlan::idle();
+    let mut rt = w.runtime(scale.ess_config(2)).expect("ESS compiles");
+    rt.set_fault_injector(&plan);
+    let cells = probe_cells(&rt);
+    let rounds: u64 = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 8,
+    };
+    let mut all = ChaosReport::default();
+    for k in 0..rounds {
+        let schedules = standard_schedules(0xC0FF_EE00 + k, 0.35);
+        match sweep(&rt, &plan, &cells, &schedules) {
+            Ok(mut r) => all.runs.append(&mut r.runs),
+            Err(e) => return format!("CHAOS INVARIANT VIOLATED: {e}"),
+        }
+    }
+    format!(
+        "{}all invariants held (degraded charge factor {:.1}x per logical execution)\n",
+        all.render(),
+        rt.retry_policy().degraded_factor()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chaos_sweep_holds_its_invariants_at_quick_scale() {
+        let out = chaos_sweep_experiment(Scale::Quick);
+        assert!(out.contains("all invariants held"), "chaos sweep reported a violation:\n{out}");
+        assert!(out.contains("storm"));
+    }
 
     #[test]
     fn fig9_rows_cover_dimensionalities_two_to_six() {

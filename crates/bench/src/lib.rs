@@ -38,6 +38,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "random",
     "cost_error",
     "resolution",
+    "chaos",
 ];
 
 use rqp_core::RobustRuntime;

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+//! `rqp-chaos`: deterministic fault injection and the chaos harness for
+//! the discovery runtime.
+//!
+//! Robustness to estimation error is the paper's subject; robustness to
+//! *execution* error is this crate's. It drives the executor's fault
+//! seams (`rqp_executor::FaultInjector`) with seeded, replayable
+//! schedules and asserts that the supervised runtime (retry, quarantine,
+//! degrade — see `rqp_core::supervise`) keeps every discovery algorithm
+//! terminating with honestly accounted cost:
+//!
+//! * [`rng::SplitMix64`] — the crate-local seeded PRNG. The deterministic
+//!   crates (`ess`, `core`, `qplan`) stay RNG-free under `rqp-lint`'s
+//!   determinism rule; chaos is the designated owner of randomness, and
+//!   only the reproducible kind.
+//! * [`plan::FaultPlan`] / [`plan::FaultConfig`] — a reconfigurable
+//!   injector whose whole schedule is a pure function of a 64-bit seed:
+//!   mid-flight failures, spurious budget exhaustions, perturbed observed
+//!   costs and corrupted (NaN) spill observations.
+//! * [`harness::sweep`] — algorithms × instances × fault classes, with
+//!   the invariants (termination, accounting, degraded cost cap, clean
+//!   control arm) checked on every run.
+
+pub mod harness;
+pub mod plan;
+pub mod rng;
+
+pub use harness::{
+    degraded_cost_cap, probe_cells, standard_schedules, sweep, ChaosReport, ChaosRun,
+};
+pub use plan::{FaultConfig, FaultCounts, FaultPlan};
+pub use rng::SplitMix64;

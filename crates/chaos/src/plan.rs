@@ -1,0 +1,264 @@
+//! Seeded fault plans: the [`FaultInjector`] implementation behind every
+//! chaos run.
+//!
+//! A [`FaultPlan`] draws from a [`SplitMix64`] stream at each executor
+//! seam and decides — reproducibly — whether that execution fails
+//! mid-flight, spuriously reports budget exhaustion, comes back with a
+//! perturbed observed cost, or yields a corrupted (NaN) spill
+//! observation. The whole schedule is a pure function of the
+//! [`FaultConfig`], so any anomaly a sweep surfaces replays exactly from
+//! its seed.
+//!
+//! The plan is reconfigurable in place (interior mutability) because the
+//! engine holds it by shared reference for the lifetime of the runtime: a
+//! harness attaches one plan once and re-seeds it between schedules.
+
+use crate::rng::SplitMix64;
+use parking_lot::Mutex;
+use rqp_executor::{FaultInjector, InjectedFault, Seam};
+
+/// A deterministic fault schedule: per-class injection rates plus the
+/// seed that fixes exactly which executions are struck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the schedule's PRNG stream.
+    pub seed: u64,
+    /// Probability an execution fails mid-flight (crash with sunk work).
+    pub p_fail: f64,
+    /// Probability of a spurious budget-exhaustion report.
+    pub p_spurious: f64,
+    /// Probability the observed cost is multiplicatively perturbed.
+    pub p_perturb: f64,
+    /// Probability a spill observation comes back corrupted (NaN).
+    pub p_corrupt: f64,
+    /// Maximum multiplicative cost distortion (factor drawn log-uniform
+    /// in `[1/perturb_max, perturb_max]`). Must be ≥ 1.
+    pub perturb_max: f64,
+    /// Optional cap on total injected faults per schedule (`None` =
+    /// unlimited). A cap guarantees even the harshest schedule eventually
+    /// goes quiet, mirroring transient real-world fault bursts.
+    pub max_faults: Option<u32>,
+}
+
+impl FaultConfig {
+    /// A schedule that never injects anything — the control arm. A
+    /// runtime carrying a quiet plan must produce byte-identical traces
+    /// to one carrying no injector at all.
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            p_fail: 0.0,
+            p_spurious: 0.0,
+            p_perturb: 0.0,
+            p_corrupt: 0.0,
+            perturb_max: 1.0,
+            max_faults: None,
+        }
+    }
+
+    /// A single-class schedule: rate `p` for `class`
+    /// ("fail" | "spurious_exhaust" | "perturb_cost" |
+    /// "corrupt_observation"), zero for the rest.
+    pub fn single(seed: u64, class: &str, p: f64) -> Self {
+        let mut c = FaultConfig::quiet(seed);
+        c.perturb_max = 4.0;
+        match class {
+            "fail" => c.p_fail = p,
+            "spurious_exhaust" => c.p_spurious = p,
+            "perturb_cost" => c.p_perturb = p,
+            _ => c.p_corrupt = p,
+        }
+        c
+    }
+
+    /// A mixed-class storm: every class at rate `p`, capped so the run
+    /// still terminates briskly.
+    pub fn storm(seed: u64, p: f64) -> Self {
+        FaultConfig {
+            seed,
+            p_fail: p,
+            p_spurious: p,
+            p_perturb: p,
+            p_corrupt: p,
+            perturb_max: 4.0,
+            max_faults: Some(64),
+        }
+    }
+
+    /// Sum of the class rates (the per-seam injection probability).
+    pub fn total_rate(&self) -> f64 {
+        self.p_fail + self.p_spurious + self.p_perturb + self.p_corrupt
+    }
+}
+
+/// Injected-fault counts per class, snapshotted from a plan.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Mid-flight execution failures.
+    pub fail: u32,
+    /// Spurious budget exhaustions.
+    pub spurious: u32,
+    /// Perturbed observed costs.
+    pub perturb: u32,
+    /// Corrupted spill observations.
+    pub corrupt: u32,
+}
+
+impl FaultCounts {
+    /// Total injected faults.
+    pub fn total(&self) -> u32 {
+        self.fail + self.spurious + self.perturb + self.corrupt
+    }
+}
+
+struct PlanState {
+    config: FaultConfig,
+    rng: SplitMix64,
+    counts: FaultCounts,
+}
+
+/// A reconfigurable, seeded [`FaultInjector`].
+pub struct FaultPlan {
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// A plan running `config`'s schedule from its seed.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan {
+            state: Mutex::new(PlanState {
+                config,
+                rng: SplitMix64::new(config.seed),
+                counts: FaultCounts::default(),
+            }),
+        }
+    }
+
+    /// A quiet plan (control arm).
+    pub fn idle() -> Self {
+        FaultPlan::new(FaultConfig::quiet(0))
+    }
+
+    /// Replace the schedule: new config, PRNG rewound to the new seed,
+    /// counts cleared. The engine's shared reference observes the change
+    /// on its next seam.
+    pub fn reconfigure(&self, config: FaultConfig) {
+        let mut st = self.state.lock();
+        st.config = config;
+        st.rng = SplitMix64::new(config.seed);
+        st.counts = FaultCounts::default();
+    }
+
+    /// Faults injected since the last (re)configuration.
+    pub fn counts(&self) -> FaultCounts {
+        self.state.lock().counts
+    }
+
+    /// The schedule currently in force.
+    pub fn config(&self) -> FaultConfig {
+        self.state.lock().config
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn inject(&self, _seam: Seam) -> Option<InjectedFault> {
+        let mut st = self.state.lock();
+        if st.config.total_rate() <= 0.0 {
+            // quiet plans draw nothing: the stream position is untouched,
+            // so a quiet run is bit-identical to an injector-free run
+            return None;
+        }
+        if let Some(cap) = st.config.max_faults {
+            if st.counts.total() >= cap {
+                return None;
+            }
+        }
+        let u = st.rng.next_f64();
+        let c = st.config;
+        let fault = if u < c.p_fail {
+            st.counts.fail += 1;
+            let spent_frac = st.rng.next_f64();
+            InjectedFault::Fail { spent_frac }
+        } else if u < c.p_fail + c.p_spurious {
+            st.counts.spurious += 1;
+            InjectedFault::SpuriousExhaust
+        } else if u < c.p_fail + c.p_spurious + c.p_perturb {
+            st.counts.perturb += 1;
+            // log-uniform in [1/perturb_max, perturb_max]
+            let v = st.rng.next_f64();
+            let factor = c.perturb_max.max(1.0).powf(2.0 * v - 1.0);
+            InjectedFault::PerturbCost { factor }
+        } else if u < c.total_rate() {
+            st.counts.corrupt += 1;
+            InjectedFault::CorruptObservation
+        } else {
+            return None;
+        };
+        Some(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_replay_exactly_from_their_seed() {
+        let cfg = FaultConfig::storm(99, 0.2);
+        let a = FaultPlan::new(cfg);
+        let b = FaultPlan::new(cfg);
+        for _ in 0..500 {
+            let fa = a.inject(Seam::Budgeted);
+            let fb = b.inject(Seam::Budgeted);
+            assert_eq!(format!("{fa:?}"), format!("{fb:?}"));
+        }
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn quiet_plans_never_inject_and_never_advance_the_stream() {
+        let plan = FaultPlan::idle();
+        for _ in 0..100 {
+            assert!(plan.inject(Seam::Spill).is_none());
+        }
+        assert_eq!(plan.counts().total(), 0);
+        // reconfiguring to a storm after the quiet draws behaves as a
+        // fresh storm: the quiet phase consumed no stream positions
+        plan.reconfigure(FaultConfig::storm(7, 1.0));
+        let fresh = FaultPlan::new(FaultConfig::storm(7, 1.0));
+        assert_eq!(
+            format!("{:?}", plan.inject(Seam::Budgeted)),
+            format!("{:?}", fresh.inject(Seam::Budgeted))
+        );
+    }
+
+    #[test]
+    fn the_fault_cap_silences_the_schedule() {
+        let plan =
+            FaultPlan::new(FaultConfig { max_faults: Some(3), ..FaultConfig::storm(1, 1.0) });
+        let mut injected = 0;
+        for _ in 0..50 {
+            if plan.inject(Seam::SpillCoarse).is_some() {
+                injected += 1;
+            }
+        }
+        assert_eq!(injected, 3);
+        assert_eq!(plan.counts().total(), 3);
+    }
+
+    #[test]
+    fn class_rates_steer_the_class_mix() {
+        let plan = FaultPlan::new(FaultConfig::single(5, "perturb_cost", 1.0));
+        for _ in 0..20 {
+            match plan.inject(Seam::Budgeted) {
+                Some(InjectedFault::PerturbCost { factor }) => {
+                    assert!((0.25..=4.0).contains(&factor));
+                }
+                other => unreachable!("expected PerturbCost, got {other:?}"),
+            }
+        }
+        let c = plan.counts();
+        assert_eq!(c.perturb, 20);
+        assert_eq!(c.fail + c.spurious + c.corrupt, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! A self-contained, seedable PRNG for fault schedules.
+//!
+//! The repo-wide determinism rule (enforced by `rqp-lint`) bans RNG and
+//! wall-clock access from the compilation crates (`ess`, `core`, `qplan`):
+//! compiling the same query twice must produce bit-identical artifacts.
+//! Chaos testing *needs* randomness — but only the reproducible kind, so
+//! this crate owns its own tiny generator instead of pulling in `rand`:
+//! a [SplitMix64](https://prng.di.unimi.it/splitmix64.c) stream, fully
+//! determined by its 64-bit seed, identical on every platform.
+
+/// SplitMix64: the 64-bit finalizer-based generator used to seed the
+/// xoshiro family. Passes BigCrush; one `u64` of state; never zero-locked.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose entire future stream is fixed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform draw in `[0, 1)`, built from the top 53 bits so the
+    /// mapping to `f64` is exact.
+    pub fn next_f64(&mut self) -> f64 {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(0xDEAD_BEEF);
+        let mut b = SplitMix64::new(0xDEAD_BEEF);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_vector_from_the_reference_implementation() {
+        // splitmix64.c with seed 1234567
+        let mut g = SplitMix64::new(1_234_567);
+        assert_eq!(g.next_u64(), 6_457_827_717_110_365_317);
+        assert_eq!(g.next_u64(), 3_203_168_211_198_807_973);
+    }
+
+    #[test]
+    fn unit_draws_stay_in_range_and_vary() {
+        let mut g = SplitMix64::new(42);
+        let draws: Vec<f64> = (0..1000).map(|_| g.next_f64()).collect();
+        assert!(draws.iter().all(|&u| (0.0..1.0).contains(&u)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from uniform");
+    }
+}

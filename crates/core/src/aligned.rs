@@ -18,7 +18,7 @@ use crate::bouquet::bouquet_endgame;
 use crate::knowledge::Knowledge;
 use crate::runtime::RobustRuntime;
 use crate::spillbound::{contour_choice, state_key, StateKey};
-use crate::trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
+use crate::trace::{DiscoveryTrace, PlanRef};
 use crate::Discovery;
 use parking_lot::Mutex;
 use rqp_catalog::EppId;
@@ -368,6 +368,7 @@ impl Discovery for AlignedBound {
         let qa_loc = grid.location(qa);
         let band_hist = crate::obs::band_histogram(self.name());
         let m = rt.ess.contours.num_bands();
+        let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
         let mut know = Knowledge::new(grid);
         let mut steps = Vec::new();
         let mut total = 0.0;
@@ -377,32 +378,47 @@ impl Discovery for AlignedBound {
             let _band_span = rqp_obs::time_histogram(&band_hist);
             let unlearnt = know.unlearnt();
             if unlearnt.len() <= 1 || band >= m {
-                bouquet_endgame(rt, &know, band.min(m - 1), qa, &qa_loc, &mut steps, &mut total);
+                bouquet_endgame(
+                    rt,
+                    &know,
+                    band.min(m - 1),
+                    qa,
+                    &qa_loc,
+                    &mut sup,
+                    &mut steps,
+                    &mut total,
+                );
                 break;
             }
             let decision = self.decision(rt, band, &know, &unlearnt);
             let mut learnt_exact = false;
             for exec in &decision.execs {
-                let reference = grid.location(exec.reference);
-                let out = rt.engine.execute_spill_coarse(
-                    &exec.node,
-                    exec.dim,
-                    &reference,
-                    &qa_loc,
-                    exec.budget,
+                // graceful degradation: a quarantined aligned (possibly
+                // induced) plan is replaced by SpillBound's surrogate
+                // choice for the same dimension, retaining the quadratic
+                // guarantee's execution shape
+                let mut plan_ref = exec.plan_ref.clone();
+                let mut node = Arc::clone(&exec.node);
+                let mut budget = exec.budget;
+                let mut ref_cell = exec.reference;
+                if sup.is_quarantined(&node) {
+                    let sb = contour_choice(rt, band, &know, &unlearnt);
+                    if let Some((cell, plan_id)) = sb.per_dim[exec.dim.0] {
+                        let surrogate = rt.ess.posp.plan(plan_id);
+                        if !sup.is_quarantined(surrogate) {
+                            plan_ref = PlanRef::Posp(plan_id);
+                            node = Arc::clone(surrogate);
+                            budget = rt.ess.posp.cost(cell);
+                            ref_cell = cell;
+                        }
+                    }
+                }
+                let reference = grid.location(ref_cell);
+                let out = sup.execute_spill(
+                    &rt.engine, &node, &plan_ref, band, exec.dim, &reference, &qa_loc, budget,
+                    false, &mut total, &mut steps,
                 );
-                total += out.spent;
-                let exact = out.learned.is_exact();
-                steps.push(Step {
-                    band,
-                    plan: exec.plan_ref.clone(),
-                    mode: ExecMode::Spill(exec.dim),
-                    budget: exec.budget,
-                    spent: out.spent,
-                    completed: exact,
-                    learned: Some((exec.dim, out.learned.value(), exact)),
-                });
-                if exact {
+                if out.learned.is_exact() {
                     know.learn_exact(exec.dim, out.learned.value());
                     learnt_exact = true;
                     break;
@@ -423,6 +439,8 @@ impl Discovery for AlignedBound {
             steps,
             total_cost: total,
             oracle_cost: rt.oracle_cost(qa),
+            failure: None,
+            quarantined: sup.quarantined(),
         };
         crate::obs::record_trace(&trace);
         trace

@@ -10,7 +10,7 @@
 
 use crate::knowledge::Knowledge;
 use crate::runtime::RobustRuntime;
-use crate::trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
+use crate::trace::{DiscoveryTrace, PlanRef, Step};
 use crate::Discovery;
 use parking_lot::Mutex;
 use rqp_ess::{anorexic_reduce, Cell, PlanId, Reduced};
@@ -108,23 +108,28 @@ impl Discovery for PlanBouquet {
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
         let qa_loc = rt.ess.grid().location(qa);
         let band_hist = crate::obs::band_histogram(self.name());
+        let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
         let mut steps = Vec::new();
         let mut total = 0.0;
         for band in 0..rt.ess.contours.num_bands() {
             let _band_span = rqp_obs::time_histogram(&band_hist);
             for &(plan_id, budget) in self.band_plans(rt, band).iter() {
                 let plan = rt.ess.posp.plan(plan_id);
-                let out = rt.engine.execute_budgeted(plan, &qa_loc, budget);
-                total += out.spent();
-                steps.push(Step {
+                // graceful degradation: a plan whose supervision gave up
+                // (or that is quarantined) falls through to the next
+                // contour plan — the doubling walk absorbs the skip
+                let Some(out) = sup.execute_full(
+                    &rt.engine,
+                    plan,
+                    &PlanRef::Posp(plan_id),
                     band,
-                    plan: PlanRef::Posp(plan_id),
-                    mode: ExecMode::Full,
+                    &qa_loc,
                     budget,
-                    spent: out.spent(),
-                    completed: out.completed(),
-                    learned: None,
-                });
+                    &mut total,
+                    &mut steps,
+                ) else {
+                    continue;
+                };
                 if out.completed() {
                     let trace = DiscoveryTrace {
                         algo: self.name(),
@@ -132,6 +137,8 @@ impl Discovery for PlanBouquet {
                         steps,
                         total_cost: total,
                         oracle_cost: rt.oracle_cost(qa),
+                        failure: None,
+                        quarantined: sup.quarantined(),
                     };
                     crate::obs::record_trace(&trace);
                     return trace;
@@ -140,14 +147,17 @@ impl Discovery for PlanBouquet {
         }
         // Unreachable under a perfect cost model (qa's own band plan always
         // completes); with a δ-perturbed engine (§7) actual costs can
-        // overshoot every budget, so run the final plan to completion.
-        run_to_completion(rt, None, &qa_loc, &mut steps, &mut total);
+        // overshoot every budget — or chaos can quarantine every contour
+        // plan — so run the final plan to completion.
+        run_to_completion(rt, None, &qa_loc, &mut sup, &mut steps, &mut total);
         let trace = DiscoveryTrace {
             algo: self.name(),
             qa,
             steps,
             total_cost: total,
             oracle_cost: rt.oracle_cost(qa),
+            failure: None,
+            quarantined: sup.quarantined(),
         };
         crate::obs::record_trace(&trace);
         trace
@@ -163,6 +173,7 @@ pub(crate) fn run_to_completion(
     rt: &RobustRuntime<'_>,
     know: Option<&Knowledge>,
     qa_loc: &rqp_catalog::SelVector,
+    sup: &mut crate::supervise::Supervisor,
     steps: &mut Vec<Step>,
     total: &mut f64,
 ) {
@@ -176,17 +187,19 @@ pub(crate) fn run_to_completion(
     let cell = grid.index(&coords);
     let plan_id = rt.ess.posp.plan_id(cell);
     let plan = rt.ess.posp.plan(plan_id);
-    let out = rt.engine.execute_budgeted(plan, qa_loc, f64::INFINITY);
-    *total += out.spent();
-    steps.push(Step {
-        band: rt.ess.contours.num_bands() - 1,
-        plan: PlanRef::Posp(plan_id),
-        mode: ExecMode::Full,
-        budget: f64::INFINITY,
-        spent: out.spent(),
-        completed: true,
-        learned: None,
-    });
+    let band = rt.ess.contours.num_bands() - 1;
+    let plan_ref = PlanRef::Posp(plan_id);
+    // supervised attempt first (identical to the pre-chaos behaviour when
+    // nothing is injected) …
+    let done = sup
+        .execute_full(&rt.engine, plan, &plan_ref, band, qa_loc, f64::INFINITY, total, steps)
+        .is_some_and(|out| out.completed());
+    // … but the terminal safety net must finish: if supervision gave up or
+    // a spurious exhaust masqueraded as an expiry, the injector-free
+    // engine settles it
+    if !done {
+        sup.finish_clean(&rt.engine, plan, &plan_ref, band, qa_loc, total, steps);
+    }
 }
 
 /// The shared endgame: plain contour-wise PlanBouquet over the *effective
@@ -196,12 +209,14 @@ pub(crate) fn run_to_completion(
 /// from the contour currently being explored") and its D-dimensional and
 /// AlignedBound generalizations. Plans run in regular (non-spill) mode —
 /// spilling in the 1-D case weakens the bound.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn bouquet_endgame(
     rt: &RobustRuntime<'_>,
     know: &Knowledge,
     start_band: usize,
     qa: Cell,
     qa_loc: &rqp_catalog::SelVector,
+    sup: &mut crate::supervise::Supervisor,
     steps: &mut Vec<Step>,
     total: &mut f64,
 ) {
@@ -223,25 +238,29 @@ pub(crate) fn bouquet_endgame(
         for (plan_id, budget) in budgets {
             crate::invariants::debug_check_band_budget(&rt.ess, band, budget);
             let plan = rt.ess.posp.plan(plan_id);
-            let out = rt.engine.execute_budgeted(plan, qa_loc, budget);
-            *total += out.spent();
-            steps.push(Step {
+            // a plan whose supervision gave up falls through to the next
+            // one, exactly like a budget expiry
+            let Some(out) = sup.execute_full(
+                &rt.engine,
+                plan,
+                &PlanRef::Posp(plan_id),
                 band,
-                plan: PlanRef::Posp(plan_id),
-                mode: ExecMode::Full,
+                qa_loc,
                 budget,
-                spent: out.spent(),
-                completed: out.completed(),
-                learned: None,
-            });
+                total,
+                steps,
+            ) else {
+                continue;
+            };
             if out.completed() {
                 return;
             }
         }
     }
-    // only reachable with a δ-perturbed engine; see `run_to_completion`
+    // only reachable with a δ-perturbed engine or under chaos; see
+    // `run_to_completion`
     let _ = qa;
-    run_to_completion(rt, Some(know), qa_loc, steps, total);
+    run_to_completion(rt, Some(know), qa_loc, sup, steps, total);
 }
 
 #[cfg(test)]
@@ -312,6 +331,35 @@ mod tests {
             assert!(t.steps.last().unwrap().completed);
             assert!(t.subopt() >= 1.0 - 1e-9);
         }
+    }
+
+    #[test]
+    fn expired_contour_executions_charge_the_full_budget() {
+        // paper-faithful accounting (Lemma 3.1): an execution that expires
+        // against its contour budget is charged the *whole* budget in the
+        // trace, even though the row executor aborted mid-flight — and the
+        // trace total accumulates every such charge
+        let (catalog, query) = example_2d();
+        let rt = runtime(&catalog, &query);
+        let pb = PlanBouquet::new();
+        let t = pb.discover(&rt, rt.ess.grid().terminus());
+        let expired: Vec<_> =
+            t.steps.iter().filter(|s| !s.completed && s.budget.is_finite()).collect();
+        assert!(!expired.is_empty(), "terminus discovery must expire some executions");
+        let mut sum = 0.0;
+        for s in &t.steps {
+            if !s.completed && s.budget.is_finite() {
+                assert!(
+                    (s.spent - s.budget).abs() <= 1e-9 * s.budget,
+                    "expired step charged {} against budget {}",
+                    s.spent,
+                    s.budget
+                );
+            }
+            sum += s.spent;
+        }
+        assert!((sum - t.total_cost).abs() <= 1e-9 * t.total_cost);
+        crate::invariants::check_trace_accounting(&t).unwrap();
     }
 
     #[test]

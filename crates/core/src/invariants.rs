@@ -11,6 +11,8 @@
 //! `debug_assert!`. Every check here compiles to a no-op in release
 //! builds, so the hot discovery loops pay nothing in production.
 
+use crate::supervise::RetryPolicy;
+use crate::trace::DiscoveryTrace;
 use rqp_ess::Ess;
 
 /// Relative slack for the window checks: contour edges are reconstructed
@@ -76,6 +78,47 @@ pub fn debug_check_band_budget(ess: &Ess, band: usize, budget: f64) {
     );
 }
 
+/// Check a finished trace's cost accounting, *including* under fault
+/// injection: every step's expenditure is finite and non-negative, and the
+/// step expenditures sum to the accounted `total_cost` (wasted retry work
+/// must appear in both places or in neither). Unlike the debug checks
+/// above this runs in release builds too — the chaos harness calls it on
+/// every swept trace.
+pub fn check_trace_accounting(trace: &DiscoveryTrace) -> Result<(), String> {
+    if !trace.total_cost.is_finite() || trace.total_cost < 0.0 {
+        return Err(format!(
+            "{}: total cost {} is not finite/non-negative",
+            trace.algo, trace.total_cost
+        ));
+    }
+    let mut sum = 0.0;
+    for (i, s) in trace.steps.iter().enumerate() {
+        if !s.spent.is_finite() || s.spent < 0.0 {
+            return Err(format!(
+                "{}: step {i} spent {} is not finite/non-negative",
+                trace.algo, s.spent
+            ));
+        }
+        sum += s.spent;
+    }
+    let tol = SLACK * (1.0 + trace.total_cost.abs());
+    if (sum - trace.total_cost).abs() > tol {
+        return Err(format!(
+            "{}: step expenditures sum to {sum} but the trace accounts {}",
+            trace.algo, trace.total_cost
+        ));
+    }
+    Ok(())
+}
+
+/// The degraded sub-optimality bound a clean guarantee implies under
+/// supervised fault injection: every logical execution can be re-issued
+/// with backed-off budgets plus one clean last resort, so the clean bound
+/// dilates by exactly [`RetryPolicy::degraded_factor`].
+pub fn chaos_degraded_bound(clean_bound: f64, policy: &RetryPolicy) -> f64 {
+    clean_bound * policy.degraded_factor()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +142,45 @@ mod tests {
                 debug_check_band_budget(&ess, band, ess.posp.cost(cell));
             }
         }
+    }
+
+    #[test]
+    fn trace_accounting_accepts_consistent_and_rejects_corrupt_traces() {
+        use crate::trace::{ExecMode, PlanRef, Step};
+        let step = |spent: f64| {
+            Step::clean(
+                0,
+                PlanRef::Posp(rqp_ess::PlanId(0)),
+                ExecMode::Full,
+                10.0,
+                spent,
+                true,
+                None,
+            )
+        };
+        let mut t = DiscoveryTrace {
+            algo: "T",
+            qa: 0,
+            steps: vec![step(3.0), step(4.5)],
+            total_cost: 7.5,
+            oracle_cost: 1.0,
+            failure: None,
+            quarantined: vec![],
+        };
+        assert!(check_trace_accounting(&t).is_ok());
+        t.total_cost = 9.0;
+        assert!(check_trace_accounting(&t).is_err());
+        t.total_cost = 7.5;
+        t.steps.push(step(f64::NAN));
+        assert!(check_trace_accounting(&t).is_err());
+    }
+
+    #[test]
+    fn degraded_bound_dilates_by_the_policy_factor() {
+        let p = RetryPolicy::default();
+        let clean = 10.0;
+        assert!((chaos_degraded_bound(clean, &p) - clean * p.degraded_factor()).abs() < 1e-12);
+        assert!(chaos_degraded_bound(clean, &p) >= clean);
     }
 
     #[test]

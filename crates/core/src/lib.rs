@@ -36,6 +36,7 @@ pub mod obs;
 pub mod reopt;
 pub mod runtime;
 pub mod spillbound;
+pub mod supervise;
 pub mod trace;
 
 pub use advisor::{advise, Advice, Recommendation};
@@ -50,6 +51,7 @@ pub use obs::register_metrics;
 pub use reopt::ReOptimizer;
 pub use runtime::RobustRuntime;
 pub use spillbound::SpillBound;
+pub use supervise::{RetryPolicy, Supervisor, SupervisorStats};
 pub use trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
 
 use rqp_ess::Cell;

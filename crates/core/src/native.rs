@@ -7,10 +7,11 @@
 //! assumes — is the worst such ratio over all `(qe, qa)` pairs (Eq. 2).
 
 use crate::runtime::RobustRuntime;
-use crate::trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
+use crate::trace::{DiscoveryTrace, PlanRef};
 use crate::Discovery;
 use rayon::prelude::*;
 use rqp_ess::Cell;
+use std::sync::Arc;
 
 /// The native-optimizer baseline with the catalog's own estimate for `qe`.
 pub struct NativeOptimizer;
@@ -23,23 +24,45 @@ impl Discovery for NativeOptimizer {
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
         let qe = rt.estimated_location();
         let planned = rt.optimizer.optimize(qe);
+        let plan = Arc::new(planned.plan);
         let qa_loc = rt.ess.grid().location(qa);
-        let cost = rt.optimizer.cost_of(&planned.plan, &qa_loc);
         let band = rt.ess.contours.band_of(qa);
+        let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
+        let plan_ref = PlanRef::Bespoke(Arc::clone(&plan));
+        let mut steps = Vec::new();
+        let mut total = 0.0;
+        // the traditional optimizer has exactly one plan and no fallback:
+        // if it keeps faulting past the retry budget, the honest outcome is
+        // a structured failure (with all sunk work accounted), not an abort
+        let completed = sup
+            .execute_full(
+                &rt.engine,
+                &plan,
+                &plan_ref,
+                band,
+                &qa_loc,
+                f64::INFINITY,
+                &mut total,
+                &mut steps,
+            )
+            .is_some_and(|out| out.completed());
+        let failure = if completed {
+            None
+        } else {
+            Some(
+                "native plan failed beyond the retry budget; \
+                 the traditional optimizer has no fallback plan"
+                    .to_string(),
+            )
+        };
         let trace = DiscoveryTrace {
             algo: self.name(),
             qa,
-            steps: vec![Step {
-                band,
-                plan: PlanRef::Bespoke(std::sync::Arc::new(planned.plan)),
-                mode: ExecMode::Full,
-                budget: f64::INFINITY,
-                spent: cost,
-                completed: true,
-                learned: None,
-            }],
-            total_cost: cost,
+            steps,
+            total_cost: total,
             oracle_cost: rt.oracle_cost(qa),
+            failure,
+            quarantined: sup.quarantined(),
         };
         crate::obs::record_trace(&trace);
         trace

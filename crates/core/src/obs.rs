@@ -41,6 +41,37 @@ pub(crate) fn half_space_prune(algo: &str, band: usize, epp_bounds: usize) {
     }
 }
 
+/// Count one supervised retry of a failed execution and emit the matching
+/// event.
+pub(crate) fn supervisor_retry(algo: &str, attempt: u32, budget: f64) {
+    global().counter(names::SUPERVISOR_RETRIES).inc();
+    if rqp_obs::events_enabled() {
+        rqp_obs::emit(
+            rqp_obs::Event::new(names::EV_EXECUTION_RETRY)
+                .with("algo", algo)
+                .with("attempt", attempt as u64)
+                .with("budget", budget),
+        );
+    }
+}
+
+/// Count one plan quarantine and emit the matching event.
+pub(crate) fn plan_quarantined(algo: &str, fingerprint: u64) {
+    global().counter(names::SUPERVISOR_QUARANTINES).inc();
+    if rqp_obs::events_enabled() {
+        rqp_obs::emit(
+            rqp_obs::Event::new(names::EV_PLAN_QUARANTINED)
+                .with("algo", algo)
+                .with("fingerprint", fingerprint),
+        );
+    }
+}
+
+/// Count one last-resort clean execution (retries ran dry).
+pub(crate) fn last_resort(_algo: &str) {
+    global().counter(names::SUPERVISOR_LAST_RESORT).inc();
+}
+
 /// Account a finished discovery run.
 pub(crate) fn record_trace(trace: &DiscoveryTrace) {
     let algo = trace.algo;
@@ -48,6 +79,18 @@ pub(crate) fn record_trace(trace: &DiscoveryTrace) {
     algo_counter(names::DISCOVERY_STEPS, algo).add(trace.steps.len() as u64);
     if trace.steps.last().is_some_and(|s| s.completed) {
         algo_counter(names::DISCOVERY_COMPLETED, algo).inc();
+    }
+    if let Some(reason) = &trace.failure {
+        algo_counter(names::DISCOVERY_STRUCTURED_FAILURES, algo).inc();
+        if rqp_obs::events_enabled() {
+            rqp_obs::emit(
+                rqp_obs::Event::new(names::EV_DISCOVERY_FAILED)
+                    .with("algo", algo)
+                    .with("qa", trace.qa as u64)
+                    .with("reason", reason.as_str())
+                    .with("total_cost", trace.total_cost),
+            );
+        }
     }
     if rqp_obs::events_enabled() {
         for step in &trace.steps {
@@ -100,6 +143,11 @@ pub fn register_metrics() {
         let _ = algo_counter(names::DISCOVERY_STEPS, algo);
         let _ = algo_counter(names::DISCOVERY_COMPLETED, algo);
         let _ = algo_counter(names::DISCOVERY_HALF_SPACE_PRUNES, algo);
+        let _ = algo_counter(names::DISCOVERY_STRUCTURED_FAILURES, algo);
         let _ = band_histogram(algo);
     }
+    let g = global();
+    let _ = g.counter(names::SUPERVISOR_RETRIES);
+    let _ = g.counter(names::SUPERVISOR_QUARANTINES);
+    let _ = g.counter(names::SUPERVISOR_LAST_RESORT);
 }

@@ -26,7 +26,7 @@
 //! oracle — exactly why no MSO bound exists for this class.
 
 use crate::runtime::RobustRuntime;
-use crate::trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
+use crate::trace::{DiscoveryTrace, PlanRef};
 use crate::Discovery;
 use rqp_catalog::{EppId, Selectivity};
 use rqp_ess::Cell;
@@ -72,6 +72,7 @@ impl Discovery for ReOptimizer {
         // overwritten by observed truths
         let mut believed = rt.estimated_location().clone();
         let mut observed = vec![false; grid.dims()];
+        let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
         let mut steps = Vec::new();
         let mut total = 0.0;
 
@@ -110,38 +111,78 @@ impl Discovery for ReOptimizer {
                         debug_assert!(false, "plan evaluates epp {e}");
                         (*plan).clone()
                     });
-                    let spent = rt.engine.true_cost(&subtree, &qa_loc);
-                    total += spent;
-                    steps.push(Step {
+                    let plan_ref = PlanRef::Bespoke(Arc::clone(&plan));
+                    let done = sup.execute_full(
+                        &rt.engine,
+                        &subtree,
+                        &plan_ref,
                         band,
-                        plan: PlanRef::Bespoke(Arc::clone(&plan)),
-                        mode: ExecMode::Full,
-                        budget: f64::INFINITY,
-                        spent,
-                        completed: false,
-                        learned: Some((e, qa_loc.get(e.0).value(), true)),
-                    });
+                        &qa_loc,
+                        f64::INFINITY,
+                        &mut total,
+                        &mut steps,
+                    );
+                    if done.is_none() {
+                        // the observing subtree failed beyond the retry
+                        // budget: without the observation this class has no
+                        // recovery path, so report a structured failure
+                        // with all sunk work accounted
+                        let trace = DiscoveryTrace {
+                            algo: self.name(),
+                            qa,
+                            steps,
+                            total_cost: total,
+                            oracle_cost: rt.oracle_cost(qa),
+                            failure: Some(format!(
+                                "reoptimization aborted: observing subtree for \
+                                 epp {e} failed beyond the retry budget"
+                            )),
+                            quarantined: sup.quarantined(),
+                        };
+                        crate::obs::record_trace(&trace);
+                        return trace;
+                    }
+                    // the subtree run only produced an observation, not the
+                    // query result: rewrite the supervisor's final step to
+                    // say so
+                    if let Some(last) = steps.last_mut() {
+                        last.completed = false;
+                        last.learned = Some((e, qa_loc.get(e.0).value(), true));
+                    }
                     // loop: reoptimize with the corrected beliefs
                 }
                 None => {
                     // all observations in range: the plan runs to the end
-                    let spent = rt.engine.true_cost(&plan, &qa_loc);
-                    total += spent;
-                    steps.push(Step {
-                        band,
-                        plan: PlanRef::Bespoke(plan),
-                        mode: ExecMode::Full,
-                        budget: f64::INFINITY,
-                        spent,
-                        completed: true,
-                        learned: None,
-                    });
+                    let plan_ref = PlanRef::Bespoke(Arc::clone(&plan));
+                    let completed = sup
+                        .execute_full(
+                            &rt.engine,
+                            &plan,
+                            &plan_ref,
+                            band,
+                            &qa_loc,
+                            f64::INFINITY,
+                            &mut total,
+                            &mut steps,
+                        )
+                        .is_some_and(|out| out.completed());
+                    let failure = if completed {
+                        None
+                    } else {
+                        Some(
+                            "final reoptimization round failed beyond the \
+                             retry budget"
+                                .to_string(),
+                        )
+                    };
                     let trace = DiscoveryTrace {
                         algo: self.name(),
                         qa,
                         steps,
                         total_cost: total,
                         oracle_cost: rt.oracle_cost(qa),
+                        failure,
+                        quarantined: sup.quarantined(),
                     };
                     crate::obs::record_trace(&trace);
                     return trace;
@@ -157,6 +198,8 @@ impl Discovery for ReOptimizer {
             steps,
             total_cost: total,
             oracle_cost: rt.oracle_cost(qa),
+            failure: None,
+            quarantined: sup.quarantined(),
         };
         crate::obs::record_trace(&trace);
         trace

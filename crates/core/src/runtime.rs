@@ -28,6 +28,9 @@ pub struct RobustRuntime<'a> {
     /// admission so run-time discovery never has to re-estimate (and never
     /// has to handle estimation failure).
     qe: SelVector,
+    /// Retry policy every discovery run's [`crate::Supervisor`] starts
+    /// from.
+    retry: crate::supervise::RetryPolicy,
 }
 
 impl<'a> RobustRuntime<'a> {
@@ -54,7 +57,15 @@ impl<'a> RobustRuntime<'a> {
         let engine = Engine::new(catalog, query, model);
         let ess = Ess::compile(&optimizer, config)?;
         crate::invariants::debug_check_contours(&ess);
-        Ok(RobustRuntime { catalog, query, optimizer, engine, ess, qe })
+        Ok(RobustRuntime {
+            catalog,
+            query,
+            optimizer,
+            engine,
+            ess,
+            qe,
+            retry: crate::supervise::RetryPolicy::default(),
+        })
     }
 
     /// Number of ESS dimensions, `D`.
@@ -72,8 +83,34 @@ impl<'a> RobustRuntime<'a> {
     /// `(1+delta)` factor either way; the MSO guarantees inflate by at most
     /// `(1+delta)²`).
     pub fn set_cost_error(&mut self, delta: f64) {
+        let injector = self.engine.injector();
         self.engine =
             Engine::with_cost_error(self.catalog, self.query, self.optimizer.model(), delta);
+        if let Some(inj) = injector {
+            self.engine = self.engine.with_injector(inj);
+        }
+    }
+
+    /// Attach a fault injector to the engine (chaos testing): every
+    /// subsequent execution consults it once and applies whatever fault it
+    /// returns. The supervision layer in [`crate::Supervisor`] recovers.
+    pub fn set_fault_injector(&mut self, injector: &'a dyn rqp_executor::FaultInjector) {
+        self.engine = self.engine.with_injector(injector);
+    }
+
+    /// Detach any fault injector from the engine.
+    pub fn clear_fault_injector(&mut self) {
+        self.engine = self.engine.without_injector();
+    }
+
+    /// The retry policy discovery runs supervise executions with.
+    pub fn retry_policy(&self) -> crate::supervise::RetryPolicy {
+        self.retry
+    }
+
+    /// Replace the supervision retry policy.
+    pub fn set_retry_policy(&mut self, policy: crate::supervise::RetryPolicy) {
+        self.retry = policy;
     }
 
     /// Oracle cost `Cost(P_qa, qa)` for a grid cell.

@@ -21,7 +21,7 @@
 use crate::bouquet::bouquet_endgame;
 use crate::knowledge::Knowledge;
 use crate::runtime::RobustRuntime;
-use crate::trace::{DiscoveryTrace, ExecMode, PlanRef, Step};
+use crate::trace::{DiscoveryTrace, PlanRef};
 use crate::Discovery;
 use parking_lot::Mutex;
 use rqp_catalog::EppId;
@@ -136,6 +136,7 @@ impl Discovery for SpillBound {
         let qa_loc = grid.location(qa);
         let band_hist = crate::obs::band_histogram(self.name());
         let m = rt.ess.contours.num_bands();
+        let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
         let mut know = Knowledge::new(grid);
         let mut steps = Vec::new();
         let mut total = 0.0;
@@ -145,7 +146,16 @@ impl Discovery for SpillBound {
             let _band_span = rqp_obs::time_histogram(&band_hist);
             let unlearnt = know.unlearnt();
             if unlearnt.len() <= 1 || band >= m {
-                bouquet_endgame(rt, &know, band.min(m - 1), qa, &qa_loc, &mut steps, &mut total);
+                bouquet_endgame(
+                    rt,
+                    &know,
+                    band.min(m - 1),
+                    qa,
+                    &qa_loc,
+                    &mut sup,
+                    &mut steps,
+                    &mut total,
+                );
                 break;
             }
             let choice = self.choice(rt, band, &know, &unlearnt);
@@ -158,23 +168,23 @@ impl Discovery for SpillBound {
                 let budget = rt.ess.posp.cost(cell);
                 crate::invariants::debug_check_band_budget(&rt.ess, band, budget);
                 let reference = grid.location(cell);
-                let out = if self.refine_bounds {
-                    rt.engine.execute_spill(plan, j, &reference, &qa_loc, budget)
-                } else {
-                    rt.engine.execute_spill_coarse(plan, j, &reference, &qa_loc, budget)
-                };
-                total += out.spent;
-                let exact = out.learned.is_exact();
-                steps.push(Step {
+                // supervised: retried on injected failures, backed by a
+                // clean surrogate execution, so the observation is always
+                // sound
+                let out = sup.execute_spill(
+                    &rt.engine,
+                    plan,
+                    &PlanRef::Posp(plan_id),
                     band,
-                    plan: PlanRef::Posp(plan_id),
-                    mode: ExecMode::Spill(j),
+                    j,
+                    &reference,
+                    &qa_loc,
                     budget,
-                    spent: out.spent,
-                    completed: exact,
-                    learned: Some((j, out.learned.value(), exact)),
-                });
-                if exact {
+                    self.refine_bounds,
+                    &mut total,
+                    &mut steps,
+                );
+                if out.learned.is_exact() {
                     know.learn_exact(j, out.learned.value());
                     learnt_exact = true;
                     break; // re-derive choices on the same contour
@@ -195,6 +205,8 @@ impl Discovery for SpillBound {
             steps,
             total_cost: total,
             oracle_cost: rt.oracle_cost(qa),
+            failure: None,
+            quarantined: sup.quarantined(),
         };
         crate::obs::record_trace(&trace);
         trace
@@ -206,6 +218,7 @@ mod tests {
     use super::*;
     use crate::guarantees::sb_guarantee;
     use crate::test_support::{example_2d, example_3d};
+    use crate::trace::ExecMode;
     use rqp_ess::EssConfig;
     use rqp_qplan::CostModel;
 

@@ -54,6 +54,30 @@ pub struct Step {
     pub completed: bool,
     /// Selectivity knowledge gained: `(dim, value, exact)`.
     pub learned: Option<(EppId, f64, bool)>,
+    /// Which attempt of a supervised execution this was: 0 for the first
+    /// try, counting up across retries of the same logical execution.
+    pub attempt: u32,
+    /// The execution died from an injected fault. Its `spent` is sunk work
+    /// (charged against the MSO accounting like any other expenditure) and
+    /// its `learned` is always `None`.
+    pub faulted: bool,
+}
+
+impl Step {
+    /// A first-attempt, un-faulted step (the common case; chaos-aware call
+    /// sites override `attempt`/`faulted` explicitly).
+    #[allow(clippy::too_many_arguments)]
+    pub fn clean(
+        band: usize,
+        plan: PlanRef,
+        mode: ExecMode,
+        budget: f64,
+        spent: f64,
+        completed: bool,
+        learned: Option<(EppId, f64, bool)>,
+    ) -> Self {
+        Step { band, plan, mode, budget, spent, completed, learned, attempt: 0, faulted: false }
+    }
 }
 
 /// The complete discovery record for one query instance.
@@ -69,6 +93,14 @@ pub struct DiscoveryTrace {
     pub total_cost: f64,
     /// The oracle cost `Cost(P_qa, qa)`.
     pub oracle_cost: f64,
+    /// Structured failure: `Some(reason)` when the algorithm could not
+    /// produce a final result (e.g. the native optimizer's only plan kept
+    /// faulting). The cost accounting in `steps`/`total_cost` stays valid
+    /// even for failed runs — wasted work is never hidden.
+    pub failure: Option<String>,
+    /// Structural fingerprints of plans quarantined during this run (after
+    /// exceeding the supervisor's failure threshold).
+    pub quarantined: Vec<u64>,
 }
 
 impl DiscoveryTrace {
@@ -92,6 +124,21 @@ impl DiscoveryTrace {
         self.steps.len()
     }
 
+    /// Number of supervised retries (steps beyond each first attempt).
+    pub fn retries(&self) -> usize {
+        self.steps.iter().filter(|s| s.attempt > 0).count()
+    }
+
+    /// Number of executions that died from an injected fault.
+    pub fn faulted_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.faulted).count()
+    }
+
+    /// Whether the run ended in a structured failure.
+    pub fn failed(&self) -> bool {
+        self.failure.is_some()
+    }
+
     /// Render the trace as a compact table (one row per execution), in the
     /// spirit of Table 3.
     pub fn render(&self) -> String {
@@ -105,6 +152,12 @@ impl DiscoveryTrace {
             self.subopt(),
             self.steps.len()
         );
+        if let Some(reason) = &self.failure {
+            let _ = writeln!(s, "  FAILED: {reason}");
+        }
+        if !self.quarantined.is_empty() {
+            let _ = writeln!(s, "  quarantined {} plan(s)", self.quarantined.len());
+        }
         for st in &self.steps {
             let mode = match st.mode {
                 ExecMode::Full => format!("{}", st.plan),
@@ -115,15 +168,19 @@ impl DiscoveryTrace {
                 Some((e, v, false)) => format!("  -> dim{} > {v:.3e}", e.0),
                 None => String::new(),
             };
+            let status = if st.faulted {
+                "FLT "
+            } else if st.completed {
+                "done"
+            } else {
+                "cut "
+            };
+            let retry =
+                if st.attempt > 0 { format!("  (retry {})", st.attempt) } else { String::new() };
             let _ = writeln!(
                 s,
-                "  band {:>2}  {:<18} budget {:>12.3e}  spent {:>12.3e}  {}{}",
-                st.band,
-                mode,
-                st.budget,
-                st.spent,
-                if st.completed { "done" } else { "cut " },
-                learned
+                "  band {:>2}  {:<18} budget {:>12.3e}  spent {:>12.3e}  {}{}{}",
+                st.band, mode, st.budget, st.spent, status, learned, retry
             );
         }
         s
@@ -135,15 +192,7 @@ mod tests {
     use super::*;
 
     fn step(band: usize, spent: f64, completed: bool) -> Step {
-        Step {
-            band,
-            plan: PlanRef::Posp(PlanId(0)),
-            mode: ExecMode::Full,
-            budget: spent,
-            spent,
-            completed,
-            learned: None,
-        }
+        Step::clean(band, PlanRef::Posp(PlanId(0)), ExecMode::Full, spent, spent, completed, None)
     }
 
     #[test]
@@ -154,6 +203,8 @@ mod tests {
             steps: vec![step(0, 5.0, true)],
             total_cost: 5.0,
             oracle_cost: 0.0,
+            failure: None,
+            quarantined: vec![],
         };
         assert_eq!(t.subopt(), f64::INFINITY, "zero oracle cost → sentinel");
         t.oracle_cost = -3.0;
@@ -172,6 +223,8 @@ mod tests {
             steps: vec![step(0, 10.0, false), step(1, 30.0, true)],
             total_cost: 40.0,
             oracle_cost: 20.0,
+            failure: None,
+            quarantined: vec![],
         };
         assert_eq!(t.subopt(), 2.0);
         assert_eq!(t.num_executions(), 2);
@@ -190,9 +243,13 @@ mod tests {
                 spent: 100.0,
                 completed: false,
                 learned: Some((EppId(1), 0.25, false)),
+                attempt: 0,
+                faulted: false,
             }],
             total_cost: 100.0,
             oracle_cost: 50.0,
+            failure: None,
+            quarantined: vec![],
         };
         let r = t.render();
         assert!(r.contains("spill[1](P5)"));
@@ -229,9 +286,13 @@ mod bespoke_tests {
                 spent: 7.0,
                 completed: true,
                 learned: None,
+                attempt: 0,
+                faulted: false,
             }],
             total_cost: 7.0,
             oracle_cost: 7.0,
+            failure: None,
+            quarantined: vec![],
         };
         let r = t.render();
         assert!(r.contains("P*"));

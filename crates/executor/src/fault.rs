@@ -1,0 +1,107 @@
+//! Deterministic fault injection at the engine's execution seams.
+//!
+//! The discovery algorithms assume a well-behaved substrate: a budgeted
+//! execution either completes or cleanly exhausts its budget, and a
+//! spill-mode execution always reports a sound observation. Real engines
+//! break those assumptions — executors die mid-pipeline, admission
+//! controllers kill queries spuriously, monitors mis-measure. This module
+//! defines the *seam* through which a fault source (see the `rqp-chaos`
+//! crate) can perturb each execution, so the supervision machinery in
+//! `rqp-core` can be tested against a precise, replayable fault model.
+//!
+//! The engine itself stays passive: it asks an optional [`FaultInjector`]
+//! whether the current execution is struck, and applies the returned
+//! [`InjectedFault`] to the clean outcome. Injection never changes the
+//! *truth* (the actual location `qa` or the plan's true cost) — only what
+//! the caller observes and what work gets charged.
+
+/// Which engine entry point an execution is passing through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seam {
+    /// [`crate::Engine::execute_budgeted`] — a full plan under a budget.
+    Budgeted,
+    /// [`crate::Engine::execute_spill`] — bisection-refined spill mode.
+    Spill,
+    /// [`crate::Engine::execute_spill_coarse`] — coarse (Lemma 3.1(b))
+    /// spill mode.
+    SpillCoarse,
+}
+
+impl Seam {
+    /// Stable display name (used as a metric label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Seam::Budgeted => "budgeted",
+            Seam::Spill => "spill",
+            Seam::SpillCoarse => "spill_coarse",
+        }
+    }
+}
+
+/// The four fault classes of the chaos model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// The executor dies mid-execution: all partial work is wasted. The
+    /// fraction (in `(0, 1]`) of the would-be expenditure that was sunk
+    /// before the crash.
+    Fail {
+        /// Fraction of the clean expenditure sunk before the crash.
+        spent_frac: f64,
+    },
+    /// A spurious `QuotaExhausted`: the execution would have completed (or
+    /// learnt more), but the engine reports a budget expiry and discards
+    /// the partial result. Indistinguishable from a legitimate expiry to
+    /// the caller — the discovery loops absorb it as one.
+    SpuriousExhaust,
+    /// The cost monitor mis-measures: the observed execution cost is the
+    /// true cost times `factor` (in `[1/(1+γ), 1+γ]`), shifting both the
+    /// completion decision and the charge.
+    PerturbCost {
+        /// Multiplicative observation error.
+        factor: f64,
+    },
+    /// The selectivity/cost observation comes back as NaN garbage. The
+    /// engine flags the outcome as failed so no corrupted value can ever
+    /// enter the discovery state.
+    CorruptObservation,
+}
+
+impl InjectedFault {
+    /// Stable class name (used as a metric label and in events).
+    pub fn class(&self) -> &'static str {
+        match self {
+            InjectedFault::Fail { .. } => "fail",
+            InjectedFault::SpuriousExhaust => "spurious_exhaust",
+            InjectedFault::PerturbCost { .. } => "perturb_cost",
+            InjectedFault::CorruptObservation => "corrupt_observation",
+        }
+    }
+}
+
+/// A source of injected faults, asked once per execution.
+///
+/// Implementations must be deterministic given their construction seed:
+/// the chaos harness replays fault schedules and asserts byte-identical
+/// traces, so two walks of the same schedule must return the same
+/// sequence of answers. `Sync` because discovery runs under rayon during
+/// exhaustive evaluation.
+pub trait FaultInjector: Sync {
+    /// Whether (and how) the execution entering `seam` is struck.
+    fn inject(&self, seam: Seam) -> Option<InjectedFault>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(InjectedFault::Fail { spent_frac: 0.5 }.class(), "fail");
+        assert_eq!(InjectedFault::SpuriousExhaust.class(), "spurious_exhaust");
+        assert_eq!(InjectedFault::PerturbCost { factor: 1.1 }.class(), "perturb_cost");
+        assert_eq!(InjectedFault::CorruptObservation.class(), "corrupt_observation");
+        assert_eq!(Seam::Budgeted.name(), "budgeted");
+        assert_eq!(Seam::Spill.name(), "spill");
+        assert_eq!(Seam::SpillCoarse.name(), "spill_coarse");
+    }
+}

@@ -22,10 +22,12 @@
 //!   `e_j` or learns `qa.j > q.j`.
 
 pub mod data;
+pub mod fault;
 pub mod obs;
 pub mod rowexec;
 
 pub use data::{DataSet, Table};
+pub use fault::{FaultInjector, InjectedFault, Seam};
 pub use obs::register_metrics;
 pub use rowexec::{QuotaExhausted, RowExecutor, Rows, Schema, SpillObservation};
 
@@ -48,6 +50,14 @@ pub enum ExecOutcome {
         /// The expended budget.
         spent: f64,
     },
+    /// The execution died from an injected (or substrate) fault before
+    /// either finishing or exhausting its budget. The work sunk before the
+    /// failure is still charged — wasted work is never hidden from the MSO
+    /// accounting — but nothing was learnt and no result exists.
+    Failed {
+        /// Work sunk before the failure.
+        spent: f64,
+    },
 }
 
 impl ExecOutcome {
@@ -55,13 +65,19 @@ impl ExecOutcome {
     pub fn spent(&self) -> f64 {
         match *self {
             ExecOutcome::Completed { cost } => cost,
-            ExecOutcome::BudgetExhausted { spent } => spent,
+            ExecOutcome::BudgetExhausted { spent } | ExecOutcome::Failed { spent } => spent,
         }
     }
 
     /// Whether the execution completed.
     pub fn completed(&self) -> bool {
         matches!(self, ExecOutcome::Completed { .. })
+    }
+
+    /// Whether the execution died from a fault (neither completion nor a
+    /// legitimate budget expiry).
+    pub fn failed(&self) -> bool {
+        matches!(self, ExecOutcome::Failed { .. })
     }
 }
 
@@ -95,10 +111,15 @@ pub struct SpillOutcome {
     pub learned: Learned,
     /// Cost charged to the discovery process.
     pub spent: f64,
+    /// The execution died from an injected fault; `learned` carries no
+    /// usable knowledge (it may even be NaN for a corrupted observation)
+    /// and must not enter the discovery state. `spent` is still real,
+    /// charged work.
+    pub failed: bool,
 }
 
 /// The simulated execution engine, bound to one query.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct Engine<'a> {
     catalog: &'a Catalog,
     query: &'a Query,
@@ -108,12 +129,24 @@ pub struct Engine<'a> {
     /// `[1/(1+δ), 1+δ]`, while budgets are still set from the unperturbed
     /// model. δ = 0 is the perfect-cost-model assumption.
     delta: f64,
+    /// Optional fault source consulted once per execution (chaos testing).
+    injector: Option<&'a dyn fault::FaultInjector>,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("query", &self.query.name)
+            .field("delta", &self.delta)
+            .field("injector", &self.injector.map(|_| "dyn FaultInjector"))
+            .finish()
+    }
 }
 
 impl<'a> Engine<'a> {
     /// Create an engine with a perfect cost model (δ = 0).
     pub fn new(catalog: &'a Catalog, query: &'a Query, model: CostModel) -> Self {
-        Engine { catalog, query, model, delta: 0.0 }
+        Engine { catalog, query, model, delta: 0.0, injector: None }
     }
 
     /// Create an engine whose actual execution costs deviate from the
@@ -127,7 +160,48 @@ impl<'a> Engine<'a> {
         delta: f64,
     ) -> Self {
         assert!(delta >= 0.0, "delta must be non-negative");
-        Engine { catalog, query, model, delta }
+        Engine { catalog, query, model, delta, injector: None }
+    }
+
+    /// This engine with a fault injector attached: every subsequent
+    /// execution consults `injector` once and applies whatever fault it
+    /// returns.
+    pub fn with_injector(self, injector: &'a dyn fault::FaultInjector) -> Self {
+        Engine { injector: Some(injector), ..self }
+    }
+
+    /// This engine with any fault injector detached — the clean engine the
+    /// supervision layer uses for last-resort executions that must not be
+    /// struck again.
+    pub fn without_injector(self) -> Self {
+        Engine { injector: None, ..self }
+    }
+
+    /// Whether a fault injector is attached.
+    pub fn has_injector(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// The attached fault injector, if any (so a caller rebuilding the
+    /// engine — e.g. to change δ — can carry the injector over).
+    pub fn injector(&self) -> Option<&'a dyn fault::FaultInjector> {
+        self.injector
+    }
+
+    /// Ask the injector (if any) about the execution entering `seam`,
+    /// accounting whatever it returns.
+    fn draw_fault(&self, seam: fault::Seam) -> Option<fault::InjectedFault> {
+        let f = self.injector?.inject(seam)?;
+        obs::fault_injected(f.class());
+        if rqp_obs::events_enabled() {
+            rqp_obs::emit(
+                rqp_obs::Event::new(rqp_obs::names::EV_FAULT_INJECTED)
+                    .with("query", self.query.name.as_str())
+                    .with("seam", seam.name())
+                    .with("class", f.class()),
+            );
+        }
+        Some(f)
     }
 
     /// The deterministic per-plan perturbation factor in
@@ -148,7 +222,9 @@ impl<'a> Engine<'a> {
     fn record_spill(&self, epp: EppId, out: &SpillOutcome, budget: f64) {
         let m = obs::metrics();
         m.spill.inc();
-        if out.learned.is_exact() {
+        if out.failed {
+            // no usable observation; already counted in `exec_failed`
+        } else if out.learned.is_exact() {
             m.spill_exact.inc();
         } else {
             m.spill_bound.inc();
@@ -162,7 +238,8 @@ impl<'a> Engine<'a> {
                     .with("budget", budget)
                     .with("exact", out.learned.is_exact())
                     .with("learned", out.learned.value())
-                    .with("spent", out.spent),
+                    .with("spent", out.spent)
+                    .with("failed", out.failed),
             );
         }
     }
@@ -179,12 +256,45 @@ impl<'a> Engine<'a> {
         let m = obs::metrics();
         m.budgeted.inc();
         let cost = self.true_cost(plan, qa);
-        let outcome = if cost_cmp(cost, budget) != std::cmp::Ordering::Greater {
-            m.completed.inc();
-            ExecOutcome::Completed { cost }
-        } else {
-            m.expired.inc();
-            ExecOutcome::BudgetExhausted { spent: budget }
+        // the work an uninterrupted run would sink: the true cost, capped
+        // by the budget (infinite budgets cap nothing)
+        let clean_spend = cost.min(budget);
+        let outcome = match self.draw_fault(fault::Seam::Budgeted) {
+            Some(fault::InjectedFault::Fail { spent_frac }) => {
+                m.exec_failed.inc();
+                ExecOutcome::Failed { spent: spent_frac * clean_spend }
+            }
+            Some(fault::InjectedFault::CorruptObservation) => {
+                // the run finished but its completion status is garbage:
+                // all the work is sunk and nothing can be trusted
+                m.exec_failed.inc();
+                ExecOutcome::Failed { spent: clean_spend }
+            }
+            Some(fault::InjectedFault::SpuriousExhaust) => {
+                m.expired.inc();
+                ExecOutcome::BudgetExhausted {
+                    spent: if budget.is_finite() { budget } else { cost },
+                }
+            }
+            Some(fault::InjectedFault::PerturbCost { factor }) => {
+                let observed = cost * factor;
+                if cost_cmp(observed, budget) != std::cmp::Ordering::Greater {
+                    m.completed.inc();
+                    ExecOutcome::Completed { cost: observed }
+                } else {
+                    m.expired.inc();
+                    ExecOutcome::BudgetExhausted { spent: budget }
+                }
+            }
+            None => {
+                if cost_cmp(cost, budget) != std::cmp::Ordering::Greater {
+                    m.completed.inc();
+                    ExecOutcome::Completed { cost }
+                } else {
+                    m.expired.inc();
+                    ExecOutcome::BudgetExhausted { spent: budget }
+                }
+            }
         };
         if rqp_obs::events_enabled() {
             rqp_obs::emit(
@@ -193,6 +303,7 @@ impl<'a> Engine<'a> {
                     .with("budget", budget)
                     .with("true_cost", cost)
                     .with("completed", outcome.completed())
+                    .with("failed", outcome.failed())
                     .with("spent", outcome.spent()),
             );
         }
@@ -217,9 +328,58 @@ impl<'a> Engine<'a> {
         qa: &SelVector,
         budget: f64,
     ) -> SpillOutcome {
-        let out = self.spill_refined(plan, epp, reference, qa, budget);
+        let out = match self.draw_fault(fault::Seam::Spill) {
+            Some(f) => {
+                let clean = self.spill_refined(plan, epp, reference, qa, budget, 1.0);
+                self.corrupt_spill(f, clean, budget, |factor| {
+                    self.spill_refined(plan, epp, reference, qa, budget, factor)
+                })
+            }
+            None => self.spill_refined(plan, epp, reference, qa, budget, 1.0),
+        };
         self.record_spill(epp, &out, budget);
         out
+    }
+
+    /// Apply an injected fault to a spill-mode execution. Fault semantics
+    /// are chosen so that no *unsound* knowledge can ever be produced: a
+    /// failed or spuriously-cut execution reports the trivially-true
+    /// minimum lower bound (nothing learnt) rather than a fabricated
+    /// value, and a corrupted observation is flagged `failed` so callers
+    /// discard it before it reaches the discovery state.
+    fn corrupt_spill(
+        &self,
+        f: fault::InjectedFault,
+        clean: SpillOutcome,
+        budget: f64,
+        rerun: impl Fn(f64) -> SpillOutcome,
+    ) -> SpillOutcome {
+        let nothing = Learned::LowerBound(rqp_catalog::Selectivity::MIN.value());
+        let full_charge = if budget.is_finite() { budget } else { clean.spent };
+        match f {
+            fault::InjectedFault::Fail { spent_frac } => {
+                self.spill_failed_metric();
+                SpillOutcome { learned: nothing, spent: spent_frac * clean.spent, failed: true }
+            }
+            fault::InjectedFault::SpuriousExhaust => {
+                // reported as a budget expiry with the partial observation
+                // discarded: the full budget is charged, nothing is learnt
+                SpillOutcome { learned: nothing, spent: full_charge, failed: false }
+            }
+            fault::InjectedFault::PerturbCost { factor } => rerun(factor),
+            fault::InjectedFault::CorruptObservation => {
+                self.spill_failed_metric();
+                SpillOutcome {
+                    learned: Learned::LowerBound(f64::NAN),
+                    spent: full_charge,
+                    failed: true,
+                }
+            }
+        }
+    }
+
+    fn spill_failed_metric(&self) {
+        obs::metrics().exec_failed.inc();
     }
 
     fn spill_refined(
@@ -229,13 +389,14 @@ impl<'a> Engine<'a> {
         reference: &SelVector,
         qa: &SelVector,
         budget: f64,
+        fault_factor: f64,
     ) -> SpillOutcome {
         let subtree = spill_subtree(plan, self.query, epp).unwrap_or_else(|| {
             debug_assert!(false, "plan does not evaluate epp {epp}");
             plan.clone()
         });
         let truth = qa.get(epp.0).value();
-        let perturb = self.perturbation(&subtree);
+        let perturb = self.perturbation(&subtree) * fault_factor;
 
         // cost of the spilled subtree as a function of the epp selectivity
         let sub_cost = |x: f64| -> f64 {
@@ -247,7 +408,7 @@ impl<'a> Engine<'a> {
 
         let at_truth = sub_cost(truth);
         if at_truth <= budget {
-            return SpillOutcome { learned: Learned::Exact(truth), spent: at_truth };
+            return SpillOutcome { learned: Learned::Exact(truth), spent: at_truth, failed: false };
         }
 
         // Budget expired: the monitor observed progress equivalent to the
@@ -258,7 +419,11 @@ impl<'a> Engine<'a> {
         let mut hi = truth;
         if sub_cost(lo0) > budget {
             // not even the minimum fits: nothing new was learnt
-            return SpillOutcome { learned: Learned::LowerBound(lo0), spent: budget };
+            return SpillOutcome {
+                learned: Learned::LowerBound(lo0),
+                spent: budget,
+                failed: false,
+            };
         }
         for _ in 0..64 {
             let mid = (lo * hi).sqrt(); // log-scale bisection
@@ -269,7 +434,7 @@ impl<'a> Engine<'a> {
             }
         }
         debug_assert!(lo < truth);
-        SpillOutcome { learned: Learned::LowerBound(lo), spent: budget }
+        SpillOutcome { learned: Learned::LowerBound(lo), spent: budget, failed: false }
     }
 
     /// Like [`Engine::execute_spill`] but without refining the lower bound
@@ -285,7 +450,15 @@ impl<'a> Engine<'a> {
         qa: &SelVector,
         budget: f64,
     ) -> SpillOutcome {
-        let out = self.spill_coarse(plan, epp, reference, qa, budget);
+        let out = match self.draw_fault(fault::Seam::SpillCoarse) {
+            Some(f) => {
+                let clean = self.spill_coarse(plan, epp, reference, qa, budget, 1.0);
+                self.corrupt_spill(f, clean, budget, |factor| {
+                    self.spill_coarse(plan, epp, reference, qa, budget, factor)
+                })
+            }
+            None => self.spill_coarse(plan, epp, reference, qa, budget, 1.0),
+        };
         self.record_spill(epp, &out, budget);
         out
     }
@@ -297,19 +470,20 @@ impl<'a> Engine<'a> {
         reference: &SelVector,
         qa: &SelVector,
         budget: f64,
+        fault_factor: f64,
     ) -> SpillOutcome {
         let subtree = spill_subtree(plan, self.query, epp).unwrap_or_else(|| {
             debug_assert!(false, "plan does not evaluate epp {epp}");
             plan.clone()
         });
         let truth = qa.get(epp.0).value();
-        let perturb = self.perturbation(&subtree);
+        let perturb = self.perturbation(&subtree) * fault_factor;
         let mut loc = reference.clone();
         loc.set(epp.0, rqp_catalog::Selectivity::new(truth));
         let ctx = PlanCtx::new(self.catalog, self.query, &loc);
         let at_truth = self.model.cost(&subtree, &ctx) * perturb;
         if at_truth <= budget {
-            return SpillOutcome { learned: Learned::Exact(truth), spent: at_truth };
+            return SpillOutcome { learned: Learned::Exact(truth), spent: at_truth, failed: false };
         }
         // guaranteed learning: qa's coordinate strictly exceeds the
         // reference coordinate, provided the reference itself fits the
@@ -323,7 +497,7 @@ impl<'a> Engine<'a> {
         } else {
             rqp_catalog::Selectivity::MIN.value()
         };
-        SpillOutcome { learned: Learned::LowerBound(bound), spent: budget }
+        SpillOutcome { learned: Learned::LowerBound(bound), spent: budget, failed: false }
     }
 }
 

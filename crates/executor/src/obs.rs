@@ -17,6 +17,8 @@ pub(crate) struct ExecMetrics {
     pub spill_exact: Arc<Counter>,
     /// `rqp_exec_spill_bound_total`
     pub spill_bound: Arc<Counter>,
+    /// `rqp_exec_failed_total`
+    pub exec_failed: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static ExecMetrics {
@@ -30,8 +32,16 @@ pub(crate) fn metrics() -> &'static ExecMetrics {
             spill: g.counter(names::EXEC_SPILL),
             spill_exact: g.counter(names::EXEC_SPILL_EXACT),
             spill_bound: g.counter(names::EXEC_SPILL_BOUND),
+            exec_failed: g.counter(names::EXEC_FAILED),
         }
     })
+}
+
+/// Bump the per-class injected-fault series,
+/// `rqp_chaos_faults_injected_total{class="<class>"}`. Looked up per call —
+/// faults are rare by construction.
+pub(crate) fn fault_injected(class: &str) {
+    global().counter(&labeled(names::FAULTS_INJECTED, &[("class", class)])).inc();
 }
 
 /// Bump the per-epp spill-observation series,
@@ -46,4 +56,7 @@ pub(crate) fn spill_observation(epp: usize) {
 /// registry, so snapshots taken before any execution still list them.
 pub fn register_metrics() {
     let _ = metrics();
+    for class in ["fail", "spurious_exhaust", "perturb_cost", "corrupt_observation"] {
+        let _ = global().counter(&labeled(names::FAULTS_INJECTED, &[("class", class)]));
+    }
 }

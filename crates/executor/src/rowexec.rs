@@ -345,6 +345,24 @@ impl<'a> RowExecutor<'a> {
         Ok(Rows { schema: out_schema, data })
     }
 
+    /// Execute a plan under the work quota and translate the result into
+    /// the engine's [`crate::ExecOutcome`] terms.
+    ///
+    /// On an abort, `BudgetExhausted::spent` carries the work actually
+    /// expended when the quota fired — not the full quota. The quota check
+    /// runs after each charge, so at abort the executor has sunk slightly
+    /// *more* than the quota (the in-flight batch completes before the
+    /// check), never an unconditional full-quota charge for a cheap early
+    /// abort. The paper-faithful full-budget charge for contour executions
+    /// is the discovery layer's accounting decision, made in
+    /// `DiscoveryTrace` — see the budget-charging tests in `rqp-core`.
+    pub fn run_budgeted(&mut self, plan: &PlanNode) -> crate::ExecOutcome {
+        match self.run(plan) {
+            Ok(_) => crate::ExecOutcome::Completed { cost: self.work as f64 },
+            Err(QuotaExhausted) => crate::ExecOutcome::BudgetExhausted { spent: self.work as f64 },
+        }
+    }
+
     /// Spill-mode execution at row level: run only the subtree rooted at
     /// the epp's node and observe the predicate's selectivity from the
     /// tuples that actually flowed (§3.1.2 + selectivity monitoring).
@@ -542,6 +560,42 @@ mod tests {
         let mut ample = RowExecutor::with_quota(&catalog, &query, &data, u64::MAX / 2);
         assert!(ample.run(&planned.plan).is_ok());
         assert!(ample.work() > 0);
+    }
+
+    #[test]
+    fn abort_reports_actual_work_not_the_full_quota() {
+        let (catalog, query) = fixture();
+        let target = SelVector::from_values(&[0.05, 0.05]);
+        let data = DataSet::generate(&catalog, &query, &target, 800, 9);
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        let planned = opt.optimize(&target);
+        // measure the full run's work, then abort at a third of it
+        let mut free = RowExecutor::new(&catalog, &query, &data);
+        free.run(&planned.plan).unwrap();
+        let full = free.work();
+        assert!(full > 30, "fixture too small to abort mid-run");
+        let quota = full / 3;
+        let mut tight = RowExecutor::with_quota(&catalog, &query, &data, quota);
+        match tight.run_budgeted(&planned.plan) {
+            crate::ExecOutcome::BudgetExhausted { spent } => {
+                assert_eq!(spent, tight.work() as f64, "spent must be the work at abort");
+                assert!(
+                    spent >= quota as f64,
+                    "the in-flight batch completes before the quota check"
+                );
+                assert!(
+                    spent < full as f64,
+                    "an early abort must not be charged the full run: {spent} vs {full}"
+                );
+            }
+            other => panic!("expected an abort, got {other:?}"),
+        }
+        // a completing run reports its actual work as the cost
+        let mut ample = RowExecutor::with_quota(&catalog, &query, &data, full * 2);
+        match ample.run_budgeted(&planned.plan) {
+            crate::ExecOutcome::Completed { cost } => assert_eq!(cost, full as f64),
+            other => panic!("expected completion, got {other:?}"),
+        }
     }
 
     #[test]

@@ -56,6 +56,23 @@ pub const EXEC_SPILL_BOUND: &str = "rqp_exec_spill_bound_total";
 /// Labelled counter base: spill observations per error-prone predicate,
 /// `rqp_exec_spill_observations_total{epp="<id>"}`.
 pub const EXEC_SPILL_OBSERVATIONS: &str = "rqp_exec_spill_observations_total";
+/// Counter: executions that died from an injected fault (any seam).
+pub const EXEC_FAILED: &str = "rqp_exec_failed_total";
+
+// ---- chaos / supervision ----------------------------------------------
+
+/// Labelled counter base: injected faults per class,
+/// `rqp_chaos_faults_injected_total{class="…"}`.
+pub const FAULTS_INJECTED: &str = "rqp_chaos_faults_injected_total";
+/// Counter: supervised retries of failed executions.
+pub const SUPERVISOR_RETRIES: &str = "rqp_supervisor_retries_total";
+/// Counter: plans quarantined after exceeding the failure threshold.
+pub const SUPERVISOR_QUARANTINES: &str = "rqp_supervisor_quarantines_total";
+/// Counter: last-resort clean executions after retries ran dry.
+pub const SUPERVISOR_LAST_RESORT: &str = "rqp_supervisor_last_resort_total";
+/// Labelled counter base: discoveries ending in a structured failure,
+/// `rqp_discovery_structured_failures_total{algo="…"}`.
+pub const DISCOVERY_STRUCTURED_FAILURES: &str = "rqp_discovery_structured_failures_total";
 
 // ---- discovery / evaluation ------------------------------------------
 
@@ -93,3 +110,11 @@ pub const EV_HALF_SPACE_PRUNING: &str = "half_space_pruning";
 pub const EV_DISCOVERY_COMPLETE: &str = "discovery_complete";
 /// Event: an algorithm's MSO/ASO evaluation was summarized.
 pub const EV_EVALUATION: &str = "evaluation";
+/// Event: a fault was injected into an execution.
+pub const EV_FAULT_INJECTED: &str = "fault_injected";
+/// Event: the supervisor retried a failed execution.
+pub const EV_EXECUTION_RETRY: &str = "execution_retry";
+/// Event: a plan was quarantined for the rest of the run.
+pub const EV_PLAN_QUARANTINED: &str = "plan_quarantined";
+/// Event: a discovery run ended in a structured failure.
+pub const EV_DISCOVERY_FAILED: &str = "discovery_failed";

@@ -3,10 +3,12 @@
 //! ```text
 //! rqp list
 //! rqp compile  --query 4D_Q91 [--resolution N] [--out ess.json]
-//! rqp run      --query 4D_Q91 [--algo sb|ab|pb|native] [--qa s1,s2,..] [--resolution N]
+//! rqp run      --query 4D_Q91 [--algo sb|ab|pb|native|reopt] [--qa s1,s2,..] [--resolution N]
 //! rqp report   --query 3D_Q15 [--resolution N]
 //! rqp atlas    --query 2D_Q91 [--resolution N]
 //! rqp sql      --catalog tpcds|imdb --file query.sql [--algo sb] [--resolution N]
+//! rqp chaos    --query 2D_Q91 [--resolution N] [--seed S] [--schedules K]
+//!              [--rate P] [--metrics PATH]
 //! ```
 
 use robust_qp::core::native::native_mso_worst_estimate;
@@ -29,6 +31,7 @@ fn main() {
         "report" => report(&flags),
         "atlas" => atlas(&flags),
         "sql" => sql(&flags),
+        "chaos" => chaos(&flags),
         other => {
             eprintln!("unknown command {other:?}");
             usage();
@@ -43,10 +46,11 @@ fn usage() {
          commands:\n\
          \x20 list                                   list named workloads\n\
          \x20 compile --query NAME [--resolution N] [--out FILE]\n\
-         \x20 run     --query NAME [--algo sb|ab|pb|native] [--qa s1,s2,..]\n\
+         \x20 run     --query NAME [--algo sb|ab|pb|native|reopt] [--qa s1,s2,..]\n\
          \x20 report  --query NAME [--resolution N]\n\
          \x20 atlas   --query NAME [--resolution N]   (2-epp queries)\n\
-         \x20 sql     --catalog tpcds|imdb --file FILE [--algo sb]"
+         \x20 sql     --catalog tpcds|imdb --file FILE [--algo sb]\n\
+         \x20 chaos   --query NAME [--seed S] [--schedules K] [--rate P] [--metrics FILE]"
     );
 }
 
@@ -122,8 +126,9 @@ fn algo_by_name(name: &str) -> Box<dyn Discovery> {
         "ab" => Box::new(AlignedBound::new()),
         "pb" => Box::new(PlanBouquet::new()),
         "native" => Box::new(NativeOptimizer),
+        "reopt" => Box::new(ReOptimizer::default()),
         other => {
-            eprintln!("unknown algorithm {other:?} (sb|ab|pb|native)");
+            eprintln!("unknown algorithm {other:?} (sb|ab|pb|native|reopt)");
             exit(2);
         }
     }
@@ -254,6 +259,70 @@ fn atlas(flags: &HashMap<String, String>) {
             })
             .collect();
         println!("  {row}");
+    }
+}
+
+fn chaos(flags: &HashMap<String, String>) {
+    use robust_qp::chaos::{probe_cells, standard_schedules, sweep, ChaosReport, FaultPlan};
+
+    let w = workload_by_name(required(flags, "query"));
+    let cfg = config_for(flags, w.query.dims());
+    fn parse_or<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+        flags.get(key).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad --{key} {v:?}");
+                exit(2);
+            })
+        })
+    }
+    let seed: u64 = parse_or(flags, "seed", 1);
+    let schedules_n: u64 = parse_or(flags, "schedules", 4);
+    let rate: f64 = parse_or(flags, "rate", 0.35);
+    if schedules_n == 0 {
+        eprintln!("--schedules must be at least 1 (a zero-run sweep verifies nothing)");
+        exit(2);
+    }
+    if !(0.0..=1.0).contains(&rate) {
+        eprintln!("--rate must lie in [0, 1], got {rate}");
+        exit(2);
+    }
+
+    robust_qp::executor::register_metrics();
+    robust_qp::core::register_metrics();
+
+    let plan = FaultPlan::idle();
+    let mut rt = runtime_or_exit(&w, cfg);
+    rt.set_fault_injector(&plan);
+    let cells = probe_cells(&rt);
+    println!(
+        "chaos sweep on {}: {} schedules x 6 fault classes x 5 algorithms x {} instances \
+         (seed {seed}, rate {rate})",
+        w.query.name,
+        schedules_n,
+        cells.len()
+    );
+    let mut all = ChaosReport::default();
+    for k in 0..schedules_n {
+        let schedules = standard_schedules(seed.wrapping_add(k), rate);
+        match sweep(&rt, &plan, &cells, &schedules) {
+            Ok(mut r) => all.runs.append(&mut r.runs),
+            Err(e) => {
+                eprintln!("chaos invariant violated: {e}");
+                exit(1);
+            }
+        }
+    }
+    println!("{}", all.render());
+    println!(
+        "all invariants held (degraded charge factor {:.1}x per logical execution)",
+        rt.retry_policy().degraded_factor()
+    );
+    if let Some(path) = flags.get("metrics") {
+        std::fs::write(path, robust_qp::obs::global().to_json_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("metrics: {path}");
     }
 }
 

@@ -31,9 +31,10 @@
 //!
 //! The facade re-exports each layer; see the member crates for details:
 //! [`catalog`], [`qplan`], [`optimizer`], [`executor`], [`ess`], [`core`],
-//! [`workloads`], [`obs`].
+//! [`workloads`], [`obs`], [`chaos`].
 
 pub use rqp_catalog as catalog;
+pub use rqp_chaos as chaos;
 pub use rqp_core as core;
 pub use rqp_ess as ess;
 pub use rqp_executor as executor;
@@ -48,9 +49,11 @@ pub mod prelude {
         Catalog, CatalogBuilder, EppId, Query, QueryBuilder, RelationBuilder, RqpError, RqpResult,
         SelVector, Selectivity,
     };
+    pub use rqp_chaos::{FaultConfig, FaultPlan};
     pub use rqp_core::{
         ab_guarantee_range, alignment_stats, evaluate, pb_guarantee, sb_guarantee, AlignedBound,
-        Discovery, DiscoveryTrace, NativeOptimizer, PlanBouquet, RobustRuntime, SpillBound,
+        Discovery, DiscoveryTrace, NativeOptimizer, PlanBouquet, ReOptimizer, RetryPolicy,
+        RobustRuntime, SpillBound,
     };
     pub use rqp_ess::{Ess, EssConfig, Grid, PlanId, Posp};
     pub use rqp_executor::Engine;

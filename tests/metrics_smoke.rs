@@ -1,0 +1,17 @@
+//! Chaos counters land in the registry (stub-immune Prometheus render).
+#[test]
+fn chaos_counters_visible_in_prometheus_render() {
+    robust_qp::executor::register_metrics();
+    robust_qp::core::register_metrics();
+    let w = robust_qp::workloads::Workload::q91(2).unwrap();
+    let plan = robust_qp::chaos::FaultPlan::idle();
+    let cfg = robust_qp::ess::EssConfig { resolution: 6, ..robust_qp::ess::EssConfig::for_dims(2) };
+    let mut rt = w.runtime(cfg).unwrap();
+    rt.set_fault_injector(&plan);
+    let cells = robust_qp::chaos::probe_cells(&rt);
+    let scheds = robust_qp::chaos::standard_schedules(3, 0.5);
+    robust_qp::chaos::sweep(&rt, &plan, &cells, &scheds).unwrap();
+    let prom = robust_qp::obs::global().render_prometheus();
+    assert!(prom.contains("rqp_chaos_faults_injected_total"), "{prom}");
+    assert!(prom.contains("rqp_supervisor_retries_total"), "{prom}");
+}
