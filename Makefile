@@ -1,6 +1,6 @@
 # Convenience targets for the robust-qp workspace.
 
-.PHONY: verify build test clippy lint bench reproduce chaos
+.PHONY: verify build test clippy lint bench bench-compile cache-smoke reproduce chaos
 
 # The full pre-merge gate: release build, quiet tests, zero clippy
 # warnings, a clean rqp-lint pass, and the fixed-seed chaos smoke sweep.
@@ -26,8 +26,24 @@ test:
 clippy:
 	cargo clippy --workspace -- -D warnings
 
+# Full criterion sweep. The compile_cache bench records the POSP compile
+# acceleration trajectory (exact vs recost vs warm cache on the 3D coarse
+# fixture) in BENCH_4.json at the repo root.
 bench:
 	cargo bench --workspace
+	@test -f BENCH_4.json && echo "compile perf trajectory: BENCH_4.json" || true
+
+# Just the compile-acceleration benchmark (fast; CI smoke).
+bench-compile:
+	cargo bench -p rqp-bench --bench compile_cache
+
+# Persistent-cache smoke: the second identical compile must be a disk hit.
+cache-smoke:
+	rm -rf target/cache-smoke
+	cargo run --release --bin rqp -- compile --query 2D_Q91 --resolution 6 --cache-dir target/cache-smoke
+	cargo run --release --bin rqp -- compile --query 2D_Q91 --resolution 6 --cache-dir target/cache-smoke \
+		| grep -q "compile cache: 1 hit(s)"
+	@echo "cache-smoke: ok"
 
 reproduce:
 	cargo run --release -p rqp-bench --bin reproduce

@@ -2,13 +2,15 @@
 //!
 //! Usage:
 //!   reproduce [--full] [--list] [--metrics PATH] [--events PATH]
-//!             [--prometheus PATH] [EXPERIMENT ...]
+//!             [--prometheus PATH] [--cache-dir DIR] [EXPERIMENT ...]
 //!
 //! Without experiment names every experiment runs; `--full` switches from
 //! the Quick scale to the DESIGN.md resolution schedule. `--list` prints
 //! the experiment names and exits. `--metrics` dumps the final metrics
 //! registry as JSON, `--events` streams structured JSONL events during the
 //! run, and `--prometheus` writes the registry in Prometheus text format.
+//! `--cache-dir` routes every ESS compile through a persistent snapshot
+//! cache, so repeated reproduction runs skip the optimizer sweeps.
 //! Unknown experiment names or flags are rejected.
 
 use rqp_bench::*;
@@ -23,7 +25,7 @@ struct Cli {
 fn usage() -> String {
     format!(
         "usage: reproduce [--full] [--list] [--metrics PATH] [--events PATH] \
-         [--prometheus PATH] [EXPERIMENT ...]\nexperiments: {}",
+         [--prometheus PATH] [--cache-dir DIR] [EXPERIMENT ...]\nexperiments: {}",
         EXPERIMENTS.join(" ")
     )
 }
@@ -56,6 +58,14 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                     "--events" => obs.events_path = Some(path),
                     _ => obs.prometheus_path = Some(path),
                 }
+            }
+            "--cache-dir" => {
+                let dir = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a directory argument"))?
+                    .clone();
+                rqp_ess::set_global_cache_dir(&dir)
+                    .map_err(|e| format!("cannot enable compile cache: {e}"))?;
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}\n{}", usage()));

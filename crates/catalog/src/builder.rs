@@ -330,6 +330,27 @@ mod tests {
     }
 
     #[test]
+    fn over_wide_query_is_rejected_at_build_time() {
+        // 21 chained relations: the DP optimizer must never see this query,
+        // so the builder surfaces the width error before any planning.
+        let mut cb = CatalogBuilder::new();
+        for i in 0..=crate::query::MAX_RELATIONS {
+            cb = cb
+                .relation(RelationBuilder::new(format!("w{i}"), 1000).column("k", 100, 8).build());
+        }
+        let c = cb.build();
+        let mut qb = QueryBuilder::new(&c, "wide");
+        for i in 0..=crate::query::MAX_RELATIONS {
+            qb = qb.table(&format!("w{i}"));
+        }
+        for i in 1..=crate::query::MAX_RELATIONS {
+            qb = qb.join(&format!("w{}", i - 1), "k", &format!("w{i}"), "k");
+        }
+        let err = qb.build().unwrap_err();
+        assert!(err.to_string().contains("maximum supported"), "{err}");
+    }
+
+    #[test]
     fn epp_filter_becomes_dimension() {
         let c = catalog();
         let q = QueryBuilder::new(&c, "f")

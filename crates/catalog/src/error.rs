@@ -47,6 +47,9 @@ pub enum RqpError {
     /// A query failed structural validation (disconnected join graph,
     /// duplicate predicate ids, out-of-range selectivities, …).
     InvalidQuery(String),
+    /// A tuning parameter is outside its legal range (contour ratio ≤ 1,
+    /// zero recosting stride, unusable cache directory, …).
+    Config(String),
     /// A selectivity vector's dimensionality does not match the query's
     /// epp count.
     DimensionMismatch {
@@ -95,6 +98,7 @@ impl fmt::Display for RqpError {
                 write!(f, "relation {rel} added twice to query {query}")
             }
             RqpError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            RqpError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             RqpError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
@@ -151,6 +155,7 @@ mod tests {
                 "unknown column part.p_x in query EQ",
             ),
             (RqpError::InvalidQuery("join graph is disconnected".into()), "disconnected"),
+            (RqpError::Config("contour ratio must exceed 1".into()), "invalid configuration"),
             (RqpError::DimensionMismatch { expected: 2, got: 3 }, "expected 2, got 3"),
             (RqpError::EppNotInPlan { epp: 1 }, "dim1"),
             (RqpError::Internal("contour out of order".into()), "invariant"),

@@ -31,7 +31,7 @@ pub use epp_policy::{apply_policy, EppPolicy};
 pub use error::{RqpError, RqpResult};
 pub use estimate::Estimator;
 pub use predicate::{ColRef, FilterPredicate, JoinPredicate, PredId};
-pub use query::{EppId, Query};
+pub use query::{EppId, Query, MAX_RELATIONS};
 pub use selectivity::{SelVector, Selectivity};
 pub use sql::{parse_query, ParseError};
 pub use stats::{Column, RelId, Relation};

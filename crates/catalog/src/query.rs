@@ -19,6 +19,16 @@ impl std::fmt::Display for EppId {
     }
 }
 
+/// Maximum number of relations a query may join.
+///
+/// The DP optimizer addresses relation subsets with `u32` bitmasks and
+/// materializes a table of `2^n` entries; past 20 relations that table
+/// alone is gigabytes (and a 32-relation query would ask for a 4-billion
+/// entry allocation). Queries wider than this are rejected with a
+/// structured error at build/validation time, long before the optimizer
+/// could attempt the allocation.
+pub const MAX_RELATIONS: usize = 20;
+
 /// A select-project-join query with a designated set of error-prone
 /// predicates.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -110,11 +120,23 @@ impl Query {
 
     /// Validate internal consistency against a catalog.
     ///
-    /// Checks: relations exist and are distinct; predicate ids are unique;
-    /// predicates reference query relations and valid columns; every epp id
-    /// names an existing predicate; the join graph is connected.
+    /// Checks: the relation list is non-empty and no wider than
+    /// [`MAX_RELATIONS`]; relations exist and are distinct; predicate ids
+    /// are unique; predicates reference query relations and valid columns;
+    /// every epp id names an existing predicate; the join graph is
+    /// connected.
     pub fn validate(&self, catalog: &Catalog) -> Result<(), RqpError> {
         let invalid = |msg: String| Err(RqpError::InvalidQuery(msg));
+        if self.relations.is_empty() {
+            return invalid(format!("query {}: no relations", self.name));
+        }
+        if self.relations.len() > MAX_RELATIONS {
+            return invalid(format!(
+                "query {}: joins {} relations, maximum supported is {MAX_RELATIONS}",
+                self.name,
+                self.relations.len()
+            ));
+        }
         let rel_set: HashSet<RelId> = self.relations.iter().copied().collect();
         if rel_set.len() != self.relations.len() {
             return invalid(format!("query {}: duplicate relations", self.name));
@@ -277,6 +299,56 @@ mod tests {
         let (c, mut q) = setup();
         q.filters[0].selectivity = 1.5;
         assert!(q.validate(&c).unwrap_err().to_string().contains("out of range"));
+    }
+
+    /// A connected chain query of `n` relations (r0 ⋈ r1 ⋈ … ⋈ r{n-1}).
+    fn chain_query(n: usize) -> (Catalog, Query) {
+        let mut c = Catalog::new();
+        let rels: Vec<RelId> = (0..n)
+            .map(|i| {
+                c.add_relation(Relation {
+                    name: format!("r{i}"),
+                    rows: 100,
+                    columns: vec![Column::new("k", 100, 8)],
+                })
+            })
+            .collect();
+        let joins: Vec<JoinPredicate> = (1..n)
+            .map(|i| JoinPredicate {
+                id: PredId(i as u32 - 1),
+                left: ColRef::new(rels[i - 1], 0),
+                right: ColRef::new(rels[i], 0),
+            })
+            .collect();
+        let q = Query {
+            name: format!("chain{n}"),
+            relations: rels,
+            joins,
+            filters: vec![],
+            epps: vec![PredId(0)],
+            group_by: vec![],
+        };
+        (c, q)
+    }
+
+    #[test]
+    fn relation_count_boundary_is_enforced() {
+        // MAX_RELATIONS is accepted; one more is a structured error, not a
+        // multi-gigabyte DP-table allocation attempt downstream.
+        let (c, q) = chain_query(MAX_RELATIONS);
+        assert_eq!(q.validate(&c), Ok(()));
+        let (c, q) = chain_query(MAX_RELATIONS + 1);
+        let err = q.validate(&c).unwrap_err();
+        assert!(err.to_string().contains("maximum supported is 20"), "{err}");
+    }
+
+    #[test]
+    fn empty_relation_list_rejected() {
+        let (c, mut q) = chain_query(2);
+        q.relations.clear();
+        q.joins.clear();
+        q.epps.clear();
+        assert!(q.validate(&c).unwrap_err().to_string().contains("no relations"));
     }
 
     #[test]

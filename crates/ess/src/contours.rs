@@ -11,6 +11,9 @@
 use crate::grid::Cell;
 use crate::posp::Posp;
 use crate::registry::PlanId;
+use rqp_catalog::{RqpError, RqpResult};
+use rqp_qplan::cost_cmp;
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 
 /// The contour bands of a compiled ESS.
@@ -24,27 +27,57 @@ pub struct ContourSet {
     bands: Vec<Vec<Cell>>,
 }
 
+/// Band index of cost `c` on the geometric ladder `cmin · ratio^k`.
+///
+/// The naive `floor(ln(c/cmin) / ln(ratio))` misclassifies costs sitting
+/// exactly on a band edge `cmin·r^k`: a few ulps of logarithm error can
+/// push the quotient to `k - ε`, flooring into band `k-1` and breaking the
+/// `[CC_i, r·CC_i)` partition invariant. The floor therefore only seeds the
+/// search; the final index is settled against the *exact* `powi` edges with
+/// the workspace cost tolerance ([`cost_cmp`]), with edge-equal costs
+/// belonging to the band whose lower (inclusive) edge they sit on.
+fn band_index(c: f64, cmin: f64, ratio: f64) -> usize {
+    let raw = ((c / cmin).ln() / ratio.ln()).floor();
+    let mut b = if raw.is_finite() && raw > 0.0 { raw as usize } else { 0 };
+    while cost_cmp(c, cmin * ratio.powi(b as i32 + 1)) != Ordering::Less {
+        b += 1;
+    }
+    while b > 0 && cost_cmp(c, cmin * ratio.powi(b as i32)) == Ordering::Less {
+        b -= 1;
+    }
+    b
+}
+
 impl ContourSet {
     /// Build contour bands with the given cost ratio (the paper's default
     /// is 2; §4.2 notes ratios like 1.8 can shave the guarantee slightly).
     ///
-    /// # Panics
-    /// Panics if `ratio <= 1`.
-    pub fn build(posp: &Posp, ratio: f64) -> ContourSet {
-        assert!(ratio > 1.0, "contour ratio must exceed 1");
+    /// # Errors
+    /// Returns [`RqpError::Config`] if `ratio` is not a finite value above
+    /// 1, or if the POSP cost surface is degenerate (non-positive or
+    /// non-finite extrema), instead of panicking mid-compile.
+    pub fn build(posp: &Posp, ratio: f64) -> RqpResult<ContourSet> {
+        if !(ratio.is_finite() && ratio > 1.0) {
+            return Err(RqpError::Config(format!("contour ratio must exceed 1, got {ratio}")));
+        }
         let cmin = posp.cmin();
         let cmax = posp.cmax();
-        let m = ((cmax / cmin).ln() / ratio.ln()).floor() as usize + 1;
+        if !(cmin > 0.0 && cmax.is_finite()) {
+            return Err(RqpError::Config(format!(
+                "degenerate optimal cost surface: cmin {cmin}, cmax {cmax}"
+            )));
+        }
+        let m = band_index(cmax, cmin, ratio) + 1;
         let cc: Vec<f64> = (0..m).map(|i| cmin * ratio.powi(i as i32)).collect();
 
         let mut band_of = vec![0u32; posp.grid().num_cells()];
         let mut bands = vec![Vec::new(); m];
         for cell in posp.grid().cells() {
-            let b = (((posp.cost(cell) / cmin).ln() / ratio.ln()).floor() as usize).min(m - 1);
+            let b = band_index(posp.cost(cell), cmin, ratio).min(m - 1);
             band_of[cell] = b as u32;
             bands[b].push(cell);
         }
-        ContourSet { ratio, cc, band_of, bands }
+        Ok(ContourSet { ratio, cc, band_of, bands })
     }
 
     /// Number of contours, `m`.
@@ -139,8 +172,20 @@ mod tests {
         let (catalog, query) = fixture();
         let opt = Optimizer::new(&catalog, &query, CostModel::default());
         let posp = Posp::compile(&opt, Grid::uniform(2, 12, 1e-6).unwrap());
-        let contours = ContourSet::build(&posp, 2.0);
+        let contours = ContourSet::build(&posp, 2.0).unwrap();
         (posp, contours)
+    }
+
+    /// A synthetic one-plan POSP whose cell costs are chosen exactly.
+    fn synthetic(costs: Vec<f64>) -> Posp {
+        let grid = Grid::uniform(1, costs.len(), 1e-4).unwrap();
+        let mut registry = crate::registry::PlanRegistry::new();
+        let id = registry.insert(rqp_qplan::PlanNode::SeqScan {
+            rel: rqp_catalog::RelId(0),
+            filters: Vec::new(),
+        });
+        let cell_plan = vec![id; costs.len()];
+        Posp::from_parts(grid, registry, cell_plan, costs)
     }
 
     #[test]
@@ -190,8 +235,55 @@ mod tests {
     #[test]
     fn custom_ratio_changes_band_count() {
         let (posp, _) = compiled();
-        let c2 = ContourSet::build(&posp, 2.0);
-        let c15 = ContourSet::build(&posp, 1.5);
+        let c2 = ContourSet::build(&posp, 2.0).unwrap();
+        let c15 = ContourSet::build(&posp, 1.5).unwrap();
         assert!(c15.num_bands() > c2.num_bands());
+    }
+
+    #[test]
+    fn bad_ratio_is_a_config_error_not_a_panic() {
+        let (posp, _) = compiled();
+        for ratio in [1.0, 0.5, -2.0, f64::NAN, f64::INFINITY] {
+            let err = ContourSet::build(&posp, ratio).unwrap_err();
+            assert!(err.to_string().contains("contour ratio"), "{err}");
+        }
+    }
+
+    #[test]
+    fn exact_power_of_ratio_costs_land_on_their_own_band() {
+        // Every cost sits exactly on a band edge cmin·r^k. The naive
+        // floor(ln/ln) assignment drifts below the edge for some k (e.g.
+        // ln(1.1^3)/ln(1.1) = 2.9999…); the epsilon-robust version must put
+        // edge costs in the band they open, for any ratio.
+        for ratio in [2.0f64, 1.1, 1.8, 3.0] {
+            let cmin = 7.5;
+            let costs: Vec<f64> = (0..8).map(|k| cmin * ratio.powi(k)).collect();
+            let posp = synthetic(costs.clone());
+            let contours = ContourSet::build(&posp, ratio).unwrap();
+            assert_eq!(contours.num_bands(), costs.len(), "ratio {ratio}");
+            for (k, _) in costs.iter().enumerate() {
+                assert_eq!(contours.band_of(k), k, "ratio {ratio}, edge {k}");
+                assert_eq!(contours.cells(k), &[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn costs_a_hair_under_an_edge_stay_with_the_edge_band() {
+        // A cost within the cost_eq tolerance below cmin·r^k counts as *on*
+        // the edge and belongs to band k, not k-1.
+        let cmin = 10.0;
+        let ratio = 2.0;
+        let edge = cmin * ratio * ratio; // opens band 2
+        let posp = synthetic(vec![cmin, edge * (1.0 - 1e-13)]);
+        let contours = ContourSet::build(&posp, ratio).unwrap();
+        assert_eq!(contours.band_of(1), 2);
+    }
+
+    #[test]
+    fn degenerate_cost_surface_is_rejected() {
+        let posp = synthetic(vec![0.0, 4.0]);
+        let err = ContourSet::build(&posp, 2.0).unwrap_err();
+        assert!(err.to_string().contains("degenerate"), "{err}");
     }
 }

@@ -11,6 +11,7 @@
 //! processing algorithms in `rqp-core` run entirely against this structure.
 
 pub mod anorexic;
+pub mod cache;
 pub mod contours;
 pub mod grid;
 pub mod obs;
@@ -19,10 +20,11 @@ pub mod registry;
 pub mod snapshot;
 
 pub use anorexic::{anorexic_reduce, Reduced};
+pub use cache::{compile_fingerprint, set_global_cache_dir, CompileCache};
 pub use contours::ContourSet;
 pub use grid::{Cell, Grid};
 pub use obs::register_metrics;
-pub use posp::Posp;
+pub use posp::{CompileMode, Posp};
 pub use registry::{PlanId, PlanRegistry};
 pub use snapshot::PospSnapshot;
 
@@ -38,11 +40,19 @@ pub struct EssConfig {
     pub min_sel: f64,
     /// Geometric cost ratio between consecutive contours (paper default 2).
     pub contour_ratio: f64,
+    /// How the optimal-plan surface is computed (recosting-first by
+    /// default; see [`CompileMode`]).
+    pub mode: CompileMode,
 }
 
 impl Default for EssConfig {
     fn default() -> Self {
-        EssConfig { resolution: 16, min_sel: 1e-5, contour_ratio: 2.0 }
+        EssConfig {
+            resolution: 16,
+            min_sel: 1e-5,
+            contour_ratio: 2.0,
+            mode: CompileMode::default(),
+        }
     }
 }
 
@@ -85,22 +95,67 @@ pub struct Ess {
 }
 
 impl Ess {
-    /// Compile the ESS for the optimizer's query.
+    /// Compile the ESS for the optimizer's query, consulting the
+    /// process-wide persistent cache if one was installed via
+    /// [`set_global_cache_dir`].
     ///
     /// Errors if the configured grid is degenerate or too large to address.
     pub fn compile(optimizer: &Optimizer<'_>, config: EssConfig) -> RqpResult<Ess> {
+        Ess::compile_cached(optimizer, config, cache::global_cache())
+    }
+
+    /// Compile the ESS, consulting an explicit persistent cache (if any).
+    ///
+    /// On a hit, the surface is restored from disk without a single
+    /// optimizer call; a miss compiles normally and stores the snapshot for
+    /// the next run. Entries are keyed by [`compile_fingerprint`], so any
+    /// change to the catalog, query, cost model or config invalidates them.
+    pub fn compile_cached(
+        optimizer: &Optimizer<'_>,
+        config: EssConfig,
+        cache: Option<&CompileCache>,
+    ) -> RqpResult<Ess> {
         let m = obs::metrics();
         m.compiles.inc();
         let span = rqp_obs::time_histogram(&m.compile_seconds);
         let opt_calls = rqp_obs::global().counter(rqp_obs::names::OPTIMIZER_CALLS);
         let calls_before = opt_calls.get();
 
+        let fingerprint = cache.map(|_| {
+            compile_fingerprint(optimizer.catalog(), optimizer.query(), &optimizer.model(), &config)
+        });
+        if let (Some(cache), Some(fp)) = (cache, fingerprint) {
+            if let Some(ess) = cache.load(fp).and_then(|snap| snap.restore().ok()) {
+                m.cache_hits.inc();
+                m.grid_cells.set(ess.posp.grid().num_cells() as f64);
+                m.contour_bands.set(ess.contours.num_bands() as f64);
+                m.posp_plans.set(ess.posp.num_plans() as f64);
+                if rqp_obs::events_enabled() {
+                    rqp_obs::emit(
+                        rqp_obs::Event::new(rqp_obs::names::EV_ESS_CACHE)
+                            .with("query", optimizer.query().name.as_str())
+                            .with("outcome", "hit")
+                            .with("seconds", span.stop()),
+                    );
+                }
+                return Ok(ess);
+            }
+            m.cache_misses.inc();
+            if rqp_obs::events_enabled() {
+                rqp_obs::emit(
+                    rqp_obs::Event::new(rqp_obs::names::EV_ESS_CACHE)
+                        .with("query", optimizer.query().name.as_str())
+                        .with("outcome", "miss"),
+                );
+            }
+        }
+
         let dims = optimizer.query().dims().max(1);
         let grid = Grid::uniform(dims, config.resolution, config.min_sel)?;
-        let posp = Posp::compile(optimizer, grid);
+        let posp = Posp::compile_with(optimizer, grid, config.mode);
 
         let contour_span = rqp_obs::time_histogram(&m.contour_build_seconds);
-        let contours = ContourSet::build(&posp, config.contour_ratio);
+        let contours = ContourSet::build(&posp, config.contour_ratio)?;
         let contour_secs = contour_span.stop();
 
         m.grid_cells.set(posp.grid().num_cells() as f64);
@@ -132,7 +187,13 @@ impl Ess {
             );
         }
 
-        Ok(Ess { posp, contours })
+        let ess = Ess { posp, contours };
+        if let (Some(cache), Some(fp)) = (cache, fingerprint) {
+            if cache.store(fp, &PospSnapshot::capture(&ess)).is_ok() {
+                m.cache_stores.inc();
+            }
+        }
+        Ok(ess)
     }
 
     /// The grid underlying the space.

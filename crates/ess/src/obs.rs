@@ -23,6 +23,18 @@ pub(crate) struct EssMetrics {
     pub grid_cells: Arc<Gauge>,
     /// `rqp_ess_compiles_total`
     pub compiles: Arc<Counter>,
+    /// `rqp_ess_seed_cells_total`
+    pub seed_cells: Arc<Counter>,
+    /// `rqp_ess_recost_cells_total`
+    pub recost_cells: Arc<Counter>,
+    /// `rqp_ess_recost_fallback_cells_total`
+    pub recost_fallback_cells: Arc<Counter>,
+    /// `rqp_ess_cache_hits_total`
+    pub cache_hits: Arc<Counter>,
+    /// `rqp_ess_cache_misses_total`
+    pub cache_misses: Arc<Counter>,
+    /// `rqp_ess_cache_stores_total`
+    pub cache_stores: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static EssMetrics {
@@ -40,6 +52,12 @@ pub(crate) fn metrics() -> &'static EssMetrics {
             contour_bands: g.gauge(names::ESS_CONTOUR_BANDS),
             grid_cells: g.gauge(names::ESS_GRID_CELLS),
             compiles: g.counter(names::ESS_COMPILES),
+            seed_cells: g.counter(names::ESS_SEED_CELLS),
+            recost_cells: g.counter(names::ESS_RECOST_CELLS),
+            recost_fallback_cells: g.counter(names::ESS_RECOST_FALLBACK_CELLS),
+            cache_hits: g.counter(names::ESS_CACHE_HITS),
+            cache_misses: g.counter(names::ESS_CACHE_MISSES),
+            cache_stores: g.counter(names::ESS_CACHE_STORES),
         }
     })
 }

@@ -15,6 +15,31 @@ use rqp_optimizer::Optimizer;
 use rqp_qplan::{Fingerprint, PlanNode};
 use std::collections::HashMap;
 
+/// Strategy for computing the optimal-plan surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileMode {
+    /// Full Selinger DP at every grid cell — the paper's brute-force
+    /// enumeration ("repeated invocations of the optimizer", §2.2).
+    Exact,
+    /// DP only on a seed sublattice (every `seed_stride`-th coordinate per
+    /// dimension, plus the axis ends). Each remaining cell looks at the
+    /// corners of its surrounding seed box: when all corners agree on the
+    /// optimal plan, that plan is recosted at the cell via
+    /// `Optimizer::cost_of` (no DP); when they disagree, the cell falls
+    /// back to full DP.
+    Recost {
+        /// Coordinate stride between seed cells; values ≤ 1 degrade to
+        /// [`CompileMode::Exact`].
+        seed_stride: usize,
+    },
+}
+
+impl Default for CompileMode {
+    fn default() -> Self {
+        CompileMode::Recost { seed_stride: 3 }
+    }
+}
+
 /// The compiled optimal-plan surface: for every grid cell, the optimal plan
 /// and its cost (a discretized Optimal Cost Surface, §2.5).
 #[derive(Debug, Clone)]
@@ -25,38 +50,177 @@ pub struct Posp {
     cell_cost: Vec<f64>,
 }
 
+/// Record a plan under its fingerprint, counting rediscoveries.
+fn record_plan(distinct: &Mutex<HashMap<Fingerprint, PlanNode>>, fp: Fingerprint, plan: PlanNode) {
+    use std::collections::hash_map::Entry as MapEntry;
+    let mut map = distinct.lock();
+    match map.entry(fp) {
+        // another cell already compiled this exact plan
+        MapEntry::Occupied(_) => crate::obs::metrics().memo_hits.inc(),
+        MapEntry::Vacant(slot) => {
+            slot.insert(plan);
+        }
+    }
+}
+
+/// Full DP at every cell: `(fingerprint, cost)` per cell plus the distinct
+/// plan set.
+fn exact_surface(
+    optimizer: &Optimizer<'_>,
+    grid: &Grid,
+) -> (Vec<(Fingerprint, f64)>, HashMap<Fingerprint, PlanNode>) {
+    let distinct: Mutex<HashMap<Fingerprint, PlanNode>> = Mutex::new(HashMap::new());
+    let per_cell: Vec<(Fingerprint, f64)> = grid
+        .cells()
+        .into_par_iter()
+        .map(|cell| {
+            let planned = optimizer.optimize(&grid.location(cell));
+            let fp = Fingerprint::of(&planned.plan);
+            record_plan(&distinct, fp, planned.plan);
+            (fp, planned.cost)
+        })
+        .collect();
+    (per_cell, distinct.into_inner())
+}
+
+/// Recosting-first surface: DP on the seed sublattice, recost fill between
+/// agreeing seed corners, DP fallback where corners disagree.
+fn recost_surface(
+    optimizer: &Optimizer<'_>,
+    grid: &Grid,
+    stride: usize,
+) -> (Vec<(Fingerprint, f64)>, HashMap<Fingerprint, PlanNode>) {
+    let m = crate::obs::metrics();
+    let dims = grid.dims();
+
+    // per-dimension seed coordinates: every `stride`-th point plus the end
+    let is_seed: Vec<Vec<bool>> = (0..dims)
+        .map(|d| {
+            let r = grid.res(d);
+            let mut marks = vec![false; r];
+            for c in (0..r).step_by(stride) {
+                marks[c] = true;
+            }
+            marks[r - 1] = true;
+            marks
+        })
+        .collect();
+    let seed_cells: Vec<Cell> =
+        grid.cells().filter(|&c| (0..dims).all(|d| is_seed[d][grid.coord(c, d)])).collect();
+
+    let distinct: Mutex<HashMap<Fingerprint, PlanNode>> = Mutex::new(HashMap::new());
+    let seed_results: Vec<(Cell, Fingerprint, f64)> = seed_cells
+        .par_iter()
+        .map(|&cell| {
+            let planned = optimizer.optimize(&grid.location(cell));
+            let fp = Fingerprint::of(&planned.plan);
+            record_plan(&distinct, fp, planned.plan);
+            (cell, fp, planned.cost)
+        })
+        .collect();
+    m.seed_cells.add(seed_cells.len() as u64);
+
+    let mut slot: Vec<Option<(Fingerprint, f64)>> = vec![None; grid.num_cells()];
+    for &(cell, fp, cost) in &seed_results {
+        slot[cell] = Some((fp, cost));
+    }
+    // the fill pass only ever *reads* seed plans; fallback DP discoveries
+    // go into `distinct` as usual
+    let seed_plans: HashMap<Fingerprint, PlanNode> = distinct.lock().clone();
+
+    let filled: Vec<(Cell, Fingerprint, f64)> = grid
+        .cells()
+        .into_par_iter()
+        .filter(|&c| slot[c].is_none())
+        .map(|cell| {
+            // corners of the surrounding seed box, per dimension the
+            // nearest seed coordinate at-or-below and at-or-above
+            let mut lo = vec![0usize; dims];
+            let mut hi = vec![0usize; dims];
+            for d in 0..dims {
+                let c = grid.coord(cell, d);
+                lo[d] = (c / stride) * stride;
+                hi[d] = if is_seed[d][c] { c } else { (lo[d] + stride).min(grid.res(d) - 1) };
+            }
+            let mut coords = vec![0usize; dims];
+            let mut agreed: Option<Fingerprint> = None;
+            let mut agree = true;
+            'corners: for mask in 0u32..(1u32 << dims) {
+                for d in 0..dims {
+                    coords[d] = if mask & (1 << d) != 0 { hi[d] } else { lo[d] };
+                }
+                match (slot[grid.index(&coords)], agreed) {
+                    (Some((fp, _)), None) => agreed = Some(fp),
+                    (Some((fp, _)), Some(first)) if fp == first => {}
+                    _ => {
+                        agree = false;
+                        break 'corners;
+                    }
+                }
+            }
+            if agree {
+                if let Some(fp) = agreed {
+                    if let Some(plan) = seed_plans.get(&fp) {
+                        m.recost_cells.inc();
+                        let cost = optimizer.cost_of(plan, &grid.location(cell));
+                        return (cell, fp, cost);
+                    }
+                }
+            }
+            m.recost_fallback_cells.inc();
+            let planned = optimizer.optimize(&grid.location(cell));
+            let fp = Fingerprint::of(&planned.plan);
+            record_plan(&distinct, fp, planned.plan);
+            (cell, fp, planned.cost)
+        })
+        .collect();
+    for (cell, fp, cost) in filled {
+        slot[cell] = Some((fp, cost));
+    }
+    // belt-and-braces: any cell both passes somehow missed gets its own DP
+    for cell in grid.cells() {
+        if slot[cell].is_none() {
+            debug_assert!(false, "cell {cell} left unfilled by recost passes");
+            let planned = optimizer.optimize(&grid.location(cell));
+            let fp = Fingerprint::of(&planned.plan);
+            record_plan(&distinct, fp, planned.plan);
+            slot[cell] = Some((fp, planned.cost));
+        }
+    }
+    (slot.into_iter().flatten().collect(), distinct.into_inner())
+}
+
 impl Posp {
-    /// Compile the POSP by optimizing at every grid location in parallel.
+    /// Compile the POSP by optimizing at every grid location in parallel
+    /// (brute-force [`CompileMode::Exact`]).
     pub fn compile(optimizer: &Optimizer<'_>, grid: Grid) -> Posp {
+        Posp::compile_with(optimizer, grid, CompileMode::Exact)
+    }
+
+    /// Compile the POSP with an explicit surface strategy.
+    pub fn compile_with(optimizer: &Optimizer<'_>, grid: Grid, mode: CompileMode) -> Posp {
         let m = crate::obs::metrics();
         let _span = rqp_obs::time_histogram(&m.posp_compile_seconds);
         m.posp_cells.add(grid.num_cells() as u64);
 
-        let distinct: Mutex<HashMap<Fingerprint, PlanNode>> = Mutex::new(HashMap::new());
-        let per_cell: Vec<(Fingerprint, f64)> = grid
-            .cells()
-            .into_par_iter()
-            .map(|cell| {
-                let loc = grid.location(cell);
-                let planned = optimizer.optimize(&loc);
-                let fp = Fingerprint::of(&planned.plan);
-                {
-                    use std::collections::hash_map::Entry as MapEntry;
-                    let mut map = distinct.lock();
-                    match map.entry(fp) {
-                        // another cell already compiled this exact plan
-                        MapEntry::Occupied(_) => m.memo_hits.inc(),
-                        MapEntry::Vacant(slot) => {
-                            slot.insert(planned.plan);
-                        }
-                    }
-                }
-                (fp, planned.cost)
-            })
-            .collect();
+        let (per_cell, plans) = match mode {
+            // the corner-agreement test enumerates 2^dims seed-box corners;
+            // past 8 dims the sublattice stops being a win, degrade to exact
+            CompileMode::Recost { seed_stride } if seed_stride > 1 && grid.dims() <= 8 => {
+                recost_surface(optimizer, &grid, seed_stride)
+            }
+            _ => exact_surface(optimizer, &grid),
+        };
+        Posp::assemble(grid, per_cell, plans)
+    }
 
-        // deterministic plan ids: first-seen order by cell index
-        let mut plans = distinct.into_inner();
+    /// Assign deterministic plan ids (first-seen order by cell index) and
+    /// assemble the surface.
+    fn assemble(
+        grid: Grid,
+        per_cell: Vec<(Fingerprint, f64)>,
+        mut plans: HashMap<Fingerprint, PlanNode>,
+    ) -> Posp {
         let mut registry = PlanRegistry::new();
         let mut cell_plan = Vec::with_capacity(per_cell.len());
         let mut cell_cost = Vec::with_capacity(per_cell.len());

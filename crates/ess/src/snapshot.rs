@@ -100,7 +100,7 @@ impl PospSnapshot {
             cell_plan.push(PlanId(id));
         }
         let posp = Posp::from_parts(grid, registry, cell_plan, self.cell_cost);
-        let contours = ContourSet::build(&posp, self.contour_ratio);
+        let contours = ContourSet::build(&posp, self.contour_ratio)?;
         Ok(Ess { posp, contours })
     }
 

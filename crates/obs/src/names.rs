@@ -38,6 +38,19 @@ pub const ESS_CONTOUR_BANDS: &str = "rqp_ess_contour_bands";
 pub const ESS_GRID_CELLS: &str = "rqp_ess_grid_cells";
 /// Counter: total `Ess::compile` invocations.
 pub const ESS_COMPILES: &str = "rqp_ess_compiles_total";
+/// Counter: seed-sublattice cells optimized with full DP in recost mode.
+pub const ESS_SEED_CELLS: &str = "rqp_ess_seed_cells_total";
+/// Counter: cells filled by recosting an agreed seed plan (no DP).
+pub const ESS_RECOST_CELLS: &str = "rqp_ess_recost_cells_total";
+/// Counter: recost-mode cells that fell back to full DP because their seed
+/// corners disagreed on the optimal plan.
+pub const ESS_RECOST_FALLBACK_CELLS: &str = "rqp_ess_recost_fallback_cells_total";
+/// Counter: ESS compiles served from the persistent snapshot cache.
+pub const ESS_CACHE_HITS: &str = "rqp_ess_cache_hits_total";
+/// Counter: ESS compiles that missed the persistent snapshot cache.
+pub const ESS_CACHE_MISSES: &str = "rqp_ess_cache_misses_total";
+/// Counter: snapshots written to the persistent snapshot cache.
+pub const ESS_CACHE_STORES: &str = "rqp_ess_cache_stores_total";
 
 // ---- executor ---------------------------------------------------------
 
@@ -102,6 +115,8 @@ pub const EV_SPILL_EXECUTION: &str = "spill_execution";
 pub const EV_ESS_COMPILE: &str = "ess_compile";
 /// Event: one contour band summarized during compile.
 pub const EV_CONTOUR_BAND: &str = "contour_band";
+/// Event: a persistent compile-cache lookup resolved (hit or miss).
+pub const EV_ESS_CACHE: &str = "ess_cache";
 /// Event: a selectivity was learned during discovery.
 pub const EV_LEARNED_SELECTIVITY: &str = "learned_selectivity";
 /// Event: a half-space pruning band promotion.

@@ -91,8 +91,18 @@ impl<'a> Optimizer<'a> {
         model: CostModel,
         config: OptimizerConfig,
     ) -> Self {
+        // Width is enforced with a structured error at Query build/validate
+        // time (rqp_catalog::MAX_RELATIONS); by the time an Optimizer is
+        // constructed the count fits comfortably in a u32 subset mask. The
+        // release-mode clamp keeps an invariant breach from ever sizing the
+        // 2^n DP table off an unvalidated count.
         let n = query.relations.len();
-        assert!((1..=20).contains(&n), "query must join 1..=20 relations");
+        debug_assert!(
+            (1..=rqp_catalog::MAX_RELATIONS).contains(&n),
+            "query must join 1..={} relations (got {n}); Query::validate enforces this",
+            rqp_catalog::MAX_RELATIONS
+        );
+        let n = n.clamp(1, rqp_catalog::MAX_RELATIONS);
         let rel_index = |r: RelId| {
             query.relations.iter().position(|&x| x == r).unwrap_or_else(|| {
                 debug_assert!(false, "join relation {r:?} not in query relation list");
@@ -145,8 +155,12 @@ impl<'a> Optimizer<'a> {
         let _span = rqp_obs::time_histogram(&m.optimize_seconds);
 
         let ctx = PlanCtx::new(self.catalog, self.query, loc);
-        let n = self.query.relations.len();
-        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        // Query::validate caps the relation count at MAX_RELATIONS (20), so
+        // the subset mask always fits a u32 and the DP table tops out at
+        // 2^20 + 1 entries; the clamp mirrors `with_config` so a validation
+        // bypass degrades instead of attempting a 4-billion-entry table.
+        let n = self.query.relations.len().clamp(1, rqp_catalog::MAX_RELATIONS);
+        let full: u32 = (1u32 << n) - 1;
         let mut dp: Vec<Option<Entry>> = vec![None; (full as usize) + 1];
 
         for i in 0..n {

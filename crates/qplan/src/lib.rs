@@ -18,14 +18,18 @@
 //!   and the inter-/intra-pipeline total ordering of epps (§3.1.3) that
 //!   determines the *spill node* of a plan;
 //! * [`fingerprint`] — structural plan identity for deduplication across the
-//!   thousands of optimizer calls that compile an ESS.
+//!   thousands of optimizer calls that compile an ESS;
+//! * [`stable`] — a version-stable FNV-1a hasher for fingerprints that are
+//!   persisted to disk (the ESS compile cache key).
 
 pub mod cost;
 pub mod fingerprint;
 pub mod ops;
 pub mod pipeline;
+pub mod stable;
 
 pub use cost::{cost_cmp, cost_eq, CostModel, CostParams, PlanCtx, COST_EPS};
 pub use fingerprint::Fingerprint;
 pub use ops::PlanNode;
 pub use pipeline::{epp_spill_order, pipelines, spill_subtree, spill_target, Pipeline};
+pub use stable::StableHasher;

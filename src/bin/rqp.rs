@@ -46,6 +46,7 @@ fn usage() {
          commands:\n\
          \x20 list                                   list named workloads\n\
          \x20 compile --query NAME [--resolution N] [--out FILE]\n\
+         \x20         [--cache-dir DIR] [--mode exact|recost|recost:STRIDE]\n\
          \x20 run     --query NAME [--algo sb|ab|pb|native|reopt] [--qa s1,s2,..]\n\
          \x20 report  --query NAME [--resolution N]\n\
          \x20 atlas   --query NAME [--resolution N]   (2-epp queries)\n\
@@ -117,7 +118,37 @@ fn config_for(flags: &HashMap<String, String>, dims: usize) -> EssConfig {
             exit(2);
         });
     }
+    if let Some(mode) = flags.get("mode") {
+        cfg.mode = match mode.to_ascii_lowercase().as_str() {
+            "exact" => CompileMode::Exact,
+            "recost" => CompileMode::default(),
+            other => match other.strip_prefix("recost:").and_then(|s| s.parse().ok()) {
+                Some(stride) => CompileMode::Recost { seed_stride: stride },
+                None => {
+                    eprintln!("bad --mode {mode:?} (exact|recost|recost:STRIDE)");
+                    exit(2);
+                }
+            },
+        };
+    }
+    if let Some(dir) = flags.get("cache-dir") {
+        if let Err(e) = robust_qp::ess::set_global_cache_dir(dir) {
+            eprintln!("cannot enable compile cache: {e}");
+            exit(2);
+        }
+    }
     cfg
+}
+
+/// One-line summary of the persistent-cache counters for this process.
+fn cache_summary() -> String {
+    let g = robust_qp::obs::global();
+    format!(
+        "compile cache: {} hit(s), {} miss(es), {} store(s)",
+        g.counter(robust_qp::obs::names::ESS_CACHE_HITS).get(),
+        g.counter(robust_qp::obs::names::ESS_CACHE_MISSES).get(),
+        g.counter(robust_qp::obs::names::ESS_CACHE_STORES).get()
+    )
 }
 
 fn algo_by_name(name: &str) -> Box<dyn Discovery> {
@@ -158,6 +189,9 @@ fn compile(flags: &HashMap<String, String>) {
         rt.ess.contours.num_bands(),
         t0.elapsed()
     );
+    if flags.contains_key("cache-dir") {
+        println!("{}", cache_summary());
+    }
     if let Some(out) = flags.get("out") {
         let snap = PospSnapshot::capture(&rt.ess);
         let json = snap.to_json().unwrap_or_else(|e| {

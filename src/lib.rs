@@ -55,7 +55,7 @@ pub mod prelude {
         Discovery, DiscoveryTrace, NativeOptimizer, PlanBouquet, ReOptimizer, RetryPolicy,
         RobustRuntime, SpillBound,
     };
-    pub use rqp_ess::{Ess, EssConfig, Grid, PlanId, Posp};
+    pub use rqp_ess::{CompileCache, CompileMode, Ess, EssConfig, Grid, PlanId, Posp};
     pub use rqp_executor::Engine;
     pub use rqp_optimizer::{Optimizer, Planned};
     pub use rqp_qplan::{CostModel, CostParams, PlanNode};
