@@ -1,6 +1,6 @@
 # Convenience targets for the robust-qp workspace.
 
-.PHONY: verify build test clippy lint bench bench-compile cache-smoke reproduce chaos
+.PHONY: verify build test clippy lint bench bench-compile cache-smoke serve-smoke reproduce chaos
 
 # The full pre-merge gate: release build, quiet tests, zero clippy
 # warnings, a clean rqp-lint pass, and the fixed-seed chaos smoke sweep.
@@ -44,6 +44,15 @@ cache-smoke:
 	cargo run --release --bin rqp -- compile --query 2D_Q91 --resolution 6 --cache-dir target/cache-smoke \
 		| grep -q "compile cache: 1 hit(s)"
 	@echo "cache-smoke: ok"
+
+# Concurrent-serving smoke: 16 sessions over 2 fingerprints through the
+# shared registry under a quiet chaos schedule. --strict fails on any
+# rejected/failed session, a non-finite suboptimality, or a compile count
+# different from the distinct fingerprint count.
+serve-smoke:
+	cargo run --release --bin rqp -- serve --workload examples/serve_smoke.workload \
+		--workers 8 --queue 16 --chaos-seed 1 --strict true
+	@echo "serve-smoke: ok"
 
 reproduce:
 	cargo run --release -p rqp-bench --bin reproduce

@@ -179,6 +179,10 @@ fn main() {
         section("Robustness: deterministic fault-injection sweep (2D_Q91)");
         println!("{}", chaos_sweep_experiment(scale));
     }
+    if want("serve") {
+        section("Serving: concurrent sessions over a shared POSP registry");
+        println!("{}", serve_experiment(scale));
+    }
     println!("total: {:.1?}", t0.elapsed());
 
     if let Err(e) = rqp_bench::obs::finish(&cli.obs) {

@@ -621,9 +621,63 @@ pub fn chaos_sweep_experiment(scale: Scale) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+
+/// The serving experiment: push a mixed multi-session workload through
+/// the concurrent `rqp-serve` scheduler and report session-level MSO/ASO
+/// over the shared POSP registry, plus throughput and latency
+/// percentiles. Sessions repeating a fingerprint must ride the registry
+/// (exactly one compile per distinct fingerprint); any violation is
+/// rendered as a SERVE VIOLATION line instead of a table.
+pub fn serve_experiment(scale: Scale) -> String {
+    use rqp_serve::{serve_workload, ServeConfig};
+    use rqp_workloads::parse_session_file;
+
+    let (spec, distinct) = match scale {
+        Scale::Quick => ("2D_Q91 sb x4\n2D_Q91 ab x4\n3D_Q15 sb x4\nJOB_Q1a sb x4\n", 3),
+        Scale::Full => (
+            "2D_Q91 sb x8\n2D_Q91 ab x8\n2D_Q91 pb x8\n3D_Q15 sb x8\n3D_Q15 ab x8\n\
+             4D_Q91 sb x8\nJOB_Q1a sb x8\nJOB_Q1a ab x8\n",
+            4,
+        ),
+    };
+    let entries = parse_session_file(spec).expect("experiment session file parses");
+    let total: usize = entries.iter().map(|e| e.count).sum();
+    let config = ServeConfig { workers: 8, queue_cap: total, ..ServeConfig::default() };
+    let report = match serve_workload(config, &entries) {
+        Ok(r) => r,
+        Err(e) => return format!("SERVE VIOLATION: {e}\n"),
+    };
+    let mut violations = Vec::new();
+    if report.completed() != total as u64 {
+        violations.push(format!("{} of {total} sessions completed", report.completed()));
+    }
+    if report.registry.compiles != distinct {
+        violations.push(format!(
+            "{} compiles for {distinct} distinct fingerprints",
+            report.registry.compiles
+        ));
+    }
+    if report.non_finite_subopts() > 0 {
+        violations.push(format!("{} non-finite subopt(s)", report.non_finite_subopts()));
+    }
+    if violations.is_empty() {
+        format!("{}every session completed; one compile per fingerprint\n", report.render())
+    } else {
+        format!("{}SERVE VIOLATION: {}\n", report.render(), violations.join("; "))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serve_experiment_shares_compiles_at_quick_scale() {
+        let out = serve_experiment(Scale::Quick);
+        assert!(out.contains("one compile per fingerprint"), "{out}");
+        assert!(out.contains("MSO"), "{out}");
+    }
 
     #[test]
     fn chaos_sweep_holds_its_invariants_at_quick_scale() {

@@ -39,6 +39,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "cost_error",
     "resolution",
     "chaos",
+    "serve",
 ];
 
 use rqp_core::RobustRuntime;

@@ -32,6 +32,7 @@ pub fn register_all_metrics() {
     rqp_ess::register_metrics();
     rqp_executor::register_metrics();
     rqp_core::register_metrics();
+    rqp_serve::register_metrics();
 }
 
 /// Set up observability for a run: register all series and, when an events
@@ -53,7 +54,10 @@ pub fn finish(opts: &ObsOptions) -> io::Result<()> {
         rqp_obs::clear_sink();
     }
     if let Some(path) = &opts.metrics_path {
-        std::fs::write(path, rqp_obs::global().to_json_pretty())?;
+        let json = rqp_obs::global()
+            .to_json_pretty()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json)?;
     }
     if let Some(path) = &opts.prometheus_path {
         std::fs::write(path, rqp_obs::global().render_prometheus())?;

@@ -1,7 +1,7 @@
 //! End-to-end observability checks: the acceptance criteria of the rqp-obs
 //! work — metrics JSON with optimizer/ESS/discovery series, one JSONL
 //! event per budgeted execution, and both artifacts parsing back through
-//! `serde_json`.
+//! the self-contained `rqp_obs::json` codec.
 
 use rqp_bench::ObsOptions;
 use rqp_catalog::{Catalog, CatalogBuilder, Query, QueryBuilder, RelationBuilder};
@@ -53,7 +53,7 @@ fn temp_path(name: &str) -> String {
 /// The whole pipeline in one test: the event sink is process-global, so
 /// every assertion about it lives here to avoid cross-test interference.
 #[test]
-fn metrics_and_events_round_trip_through_serde_json() {
+fn metrics_and_events_round_trip_through_json_codec() {
     let metrics_path = temp_path("m.json");
     let events_path = temp_path("e.jsonl");
     let prom_path = temp_path("prom.txt");
@@ -86,7 +86,7 @@ fn metrics_and_events_round_trip_through_serde_json() {
 
     // --- metrics JSON parses and contains the advertised series ---
     let metrics_text = std::fs::read_to_string(&metrics_path).unwrap();
-    let snap: MetricsSnapshot = serde_json::from_str(&metrics_text).unwrap();
+    let snap = MetricsSnapshot::from_json(&metrics_text).unwrap();
     assert!(
         snap.counters["rqp_optimizer_calls_total"] > 0,
         "optimizer call count missing from snapshot"
@@ -109,7 +109,7 @@ fn metrics_and_events_round_trip_through_serde_json() {
     let mut ess_compiles = 0usize;
     let mut lines = 0usize;
     for line in events_text.lines() {
-        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        let v = rqp_obs::json::parse(line).unwrap();
         lines += 1;
         match v["event"].as_str().unwrap() {
             "budgeted_execution" => budgeted_events += 1,

@@ -75,6 +75,14 @@ pub enum RqpError {
     },
     /// A POSP snapshot failed to serialize, parse or restore.
     Snapshot(String),
+    /// A serving layer refused new work: its admission queue is full.
+    /// Callers should back off and retry rather than block.
+    Overloaded {
+        /// Sessions already waiting when admission was refused.
+        queue_depth: usize,
+        /// The configured queue capacity.
+        cap: usize,
+    },
     /// Row-level execution failed (missing table, schema mismatch, …).
     Execution(String),
     /// An internal invariant was violated; carries a diagnostic message.
@@ -110,6 +118,9 @@ impl fmt::Display for RqpError {
                 write!(f, "plan does not evaluate epp dim{epp}")
             }
             RqpError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            RqpError::Overloaded { queue_depth, cap } => {
+                write!(f, "overloaded: admission queue holds {queue_depth} of {cap} sessions")
+            }
             RqpError::Execution(msg) => write!(f, "execution error: {msg}"),
             RqpError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
@@ -158,6 +169,10 @@ mod tests {
             (RqpError::Config("contour ratio must exceed 1".into()), "invalid configuration"),
             (RqpError::DimensionMismatch { expected: 2, got: 3 }, "expected 2, got 3"),
             (RqpError::EppNotInPlan { epp: 1 }, "dim1"),
+            (
+                RqpError::Overloaded { queue_depth: 8, cap: 8 },
+                "overloaded: admission queue holds 8 of 8 sessions",
+            ),
             (RqpError::Internal("contour out of order".into()), "invariant"),
         ];
         for (e, needle) in cases {

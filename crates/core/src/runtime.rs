@@ -1,10 +1,11 @@
 //! The shared runtime every robust algorithm executes against.
 
 use rqp_catalog::{Catalog, Estimator, Query, RqpError, RqpResult, SelVector};
-use rqp_ess::{Ess, EssConfig};
+use rqp_ess::{CompileCache, Ess, EssConfig};
 use rqp_executor::Engine;
 use rqp_optimizer::Optimizer;
 use rqp_qplan::CostModel;
+use std::sync::Arc;
 
 /// A query admitted for robust processing: catalog, query, optimizer,
 /// simulated execution engine, and the compiled ESS (POSP + contours).
@@ -13,6 +14,11 @@ use rqp_qplan::CostModel;
 /// the contours in the ESS … repeated calls to the optimizer … can be
 /// carried out in parallel"); everything the discovery algorithms do at
 /// "run-time" is lookups into this structure plus budgeted executions.
+///
+/// The ESS is held behind an [`Arc`] so many concurrent sessions (the
+/// `rqp-serve` registry) can share one compiled surface; discovery runs
+/// only read it, so sharing is free. Field access is unchanged for
+/// single-session callers thanks to deref coercion.
 pub struct RobustRuntime<'a> {
     /// Catalog statistics.
     pub catalog: &'a Catalog,
@@ -22,8 +28,9 @@ pub struct RobustRuntime<'a> {
     pub optimizer: Optimizer<'a>,
     /// The simulated execution engine.
     pub engine: Engine<'a>,
-    /// The compiled error-prone selectivity space.
-    pub ess: Ess,
+    /// The compiled error-prone selectivity space (shareable across
+    /// sessions).
+    pub ess: Arc<Ess>,
     /// The native optimizer's estimated ESS location `qe`, computed once at
     /// admission so run-time discovery never has to re-estimate (and never
     /// has to handle estimation failure).
@@ -45,6 +52,54 @@ impl<'a> RobustRuntime<'a> {
         model: CostModel,
         config: EssConfig,
     ) -> RqpResult<Self> {
+        Self::admit(catalog, query, model, |optimizer| {
+            Ok(Arc::new(Ess::compile(optimizer, config)?))
+        })
+    }
+
+    /// Like [`RobustRuntime::compile`], but consulting an explicit
+    /// per-instance persistent [`CompileCache`] instead of the process
+    /// global (multi-tenant embedders thread their own cache policy).
+    pub fn compile_with_cache(
+        catalog: &'a Catalog,
+        query: &'a Query,
+        model: CostModel,
+        config: EssConfig,
+        cache: Option<&CompileCache>,
+    ) -> RqpResult<Self> {
+        Self::admit(catalog, query, model, |optimizer| {
+            Ok(Arc::new(Ess::compile_cached(optimizer, config, cache)?))
+        })
+    }
+
+    /// Admit a session against an ESS compiled elsewhere (the serve
+    /// registry's shared, fingerprint-keyed surfaces). The ESS must have
+    /// been compiled for this same (catalog, query, model) triple; the
+    /// dimension check below catches gross mismatches, the fingerprint
+    /// keying upstream is what guarantees the rest.
+    pub fn with_shared_ess(
+        catalog: &'a Catalog,
+        query: &'a Query,
+        model: CostModel,
+        ess: Arc<Ess>,
+    ) -> RqpResult<Self> {
+        Self::admit(catalog, query, model, |_| {
+            if ess.grid().dims() != query.dims() {
+                return Err(RqpError::DimensionMismatch {
+                    expected: query.dims(),
+                    got: ess.grid().dims(),
+                });
+            }
+            Ok(ess)
+        })
+    }
+
+    fn admit(
+        catalog: &'a Catalog,
+        query: &'a Query,
+        model: CostModel,
+        ess_for: impl FnOnce(&Optimizer<'a>) -> RqpResult<Arc<Ess>>,
+    ) -> RqpResult<Self> {
         if query.dims() < 1 {
             return Err(RqpError::InvalidQuery(format!(
                 "query {} has no error-prone predicates",
@@ -55,7 +110,7 @@ impl<'a> RobustRuntime<'a> {
         let qe = Estimator::new(catalog).estimated_location(query)?;
         let optimizer = Optimizer::new(catalog, query, model);
         let engine = Engine::new(catalog, query, model);
-        let ess = Ess::compile(&optimizer, config)?;
+        let ess = ess_for(&optimizer)?;
         crate::invariants::debug_check_contours(&ess);
         Ok(RobustRuntime {
             catalog,
@@ -138,5 +193,22 @@ mod tests {
         assert_eq!(rt.ess.grid().num_cells(), 100);
         assert!(rt.oracle_cost(0) > 0.0);
         assert!(rt.ess.contours.num_bands() > 1);
+    }
+
+    #[test]
+    fn shared_ess_admission_reuses_the_surface() {
+        let (catalog, query) = example_2d();
+        let rt = RobustRuntime::compile(
+            &catalog,
+            &query,
+            CostModel::default(),
+            EssConfig { resolution: 10, ..Default::default() },
+        )
+        .unwrap();
+        let shared = Arc::clone(&rt.ess);
+        let rt2 =
+            RobustRuntime::with_shared_ess(&catalog, &query, CostModel::default(), shared).unwrap();
+        assert!(Arc::ptr_eq(&rt.ess, &rt2.ess), "no recompile, same surface");
+        assert_eq!(rt2.dims(), 2);
     }
 }

@@ -24,7 +24,7 @@ use crate::EssConfig;
 use rqp_catalog::{Catalog, Query, RqpError, RqpResult};
 use rqp_qplan::{CostModel, StableHasher};
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::RwLock;
 
 /// Stable fingerprint of a compile's inputs: catalog statistics, logical
 /// query, cost-model constants and ESS configuration.
@@ -160,32 +160,38 @@ impl CompileCache {
     }
 }
 
-static GLOBAL_CACHE: OnceLock<CompileCache> = OnceLock::new();
+static GLOBAL_CACHE: RwLock<Option<CompileCache>> = RwLock::new(None);
 
 /// Route every subsequent [`crate::Ess::compile`] in this process through a
 /// persistent cache rooted at `dir` (the CLI `--cache-dir` hook).
 ///
+/// This is a thin compatibility shim over per-instance [`CompileCache`]
+/// handles: new code (the serve registry, `Ess::compile_cached`) should
+/// thread an explicit cache instead. Unlike the original `OnceLock`
+/// global, re-rooting is allowed — the last call wins — so embedders with
+/// different cache policies are not locked out by whoever ran first.
+///
 /// # Errors
-/// Returns [`RqpError::Config`] if the directory is unusable, or if a cache
-/// at a *different* directory was already installed for this process.
+/// Returns [`RqpError::Config`] if the directory is unusable.
 pub fn set_global_cache_dir(dir: impl Into<PathBuf>) -> RqpResult<()> {
     let cache = CompileCache::new(dir)?;
-    let installed = GLOBAL_CACHE.get_or_init(|| cache.clone());
-    if installed.dir == cache.dir {
-        Ok(())
-    } else {
-        Err(RqpError::Config(format!(
-            "compile cache already rooted at {}; cannot re-root at {}",
-            installed.dir.display(),
-            cache.dir.display()
-        )))
-    }
+    *GLOBAL_CACHE.write().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cache);
+    Ok(())
 }
 
-/// The process-wide cache installed by [`set_global_cache_dir`], if any.
-pub fn global_cache() -> Option<&'static CompileCache> {
-    GLOBAL_CACHE.get()
+/// Uninstall the process-wide cache; subsequent [`crate::Ess::compile`]
+/// calls go back to compiling from scratch.
+pub fn clear_global_cache_dir() {
+    *GLOBAL_CACHE.write().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
 }
+
+/// The process-wide cache installed by [`set_global_cache_dir`], if any
+/// (a cheap handle clone: the cache itself lives on disk).
+pub fn global_cache() -> Option<CompileCache> {
+    GLOBAL_CACHE.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+pub(crate) use codec::{plan_from_text, plan_to_text};
 
 /// The snapshot text codec.
 ///
@@ -363,6 +369,24 @@ mod codec {
                 .map(f64::from_bits)
                 .map_err(|_| bad(format!("bad float bits {t:?}")))
         }
+    }
+
+    /// One plan as a space-separated token string (the snapshot JSON format
+    /// embeds plans in this form).
+    pub(crate) fn plan_to_text(p: &PlanNode) -> String {
+        let mut s = String::new();
+        encode_plan(p, &mut s);
+        s.trim_start().to_string()
+    }
+
+    /// Inverse of [`plan_to_text`]; rejects trailing tokens.
+    pub(crate) fn plan_from_text(text: &str) -> RqpResult<PlanNode> {
+        let mut t = Toks::new(text);
+        let p = decode_plan(&mut t)?;
+        if t.it.next().is_some() {
+            return Err(bad("trailing tokens after plan"));
+        }
+        Ok(p)
     }
 
     fn decode_pred_list(t: &mut Toks<'_>) -> RqpResult<Vec<PredId>> {

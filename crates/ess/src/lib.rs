@@ -20,7 +20,7 @@ pub mod registry;
 pub mod snapshot;
 
 pub use anorexic::{anorexic_reduce, Reduced};
-pub use cache::{compile_fingerprint, set_global_cache_dir, CompileCache};
+pub use cache::{clear_global_cache_dir, compile_fingerprint, set_global_cache_dir, CompileCache};
 pub use contours::ContourSet;
 pub use grid::{Cell, Grid};
 pub use obs::register_metrics;
@@ -101,7 +101,7 @@ impl Ess {
     ///
     /// Errors if the configured grid is degenerate or too large to address.
     pub fn compile(optimizer: &Optimizer<'_>, config: EssConfig) -> RqpResult<Ess> {
-        Ess::compile_cached(optimizer, config, cache::global_cache())
+        Ess::compile_cached(optimizer, config, cache::global_cache().as_ref())
     }
 
     /// Compile the ESS, consulting an explicit persistent cache (if any).

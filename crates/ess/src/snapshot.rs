@@ -6,17 +6,18 @@
 //! [`Posp`] — grid, plan registry and the optimal plan/cost per cell — to
 //! JSON so canned queries pay the optimizer invocations once.
 
+use crate::cache::{plan_from_text, plan_to_text};
 use crate::contours::ContourSet;
 use crate::grid::Grid;
 use crate::posp::Posp;
 use crate::registry::{PlanId, PlanRegistry};
 use crate::Ess;
 use rqp_catalog::{RqpError, RqpResult};
+use rqp_obs::json::{self, JsonValue};
 use rqp_qplan::PlanNode;
-use serde::{Deserialize, Serialize};
 
 /// The serialized form of a compiled POSP.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PospSnapshot {
     /// The grid.
     pub grid: Grid,
@@ -32,7 +33,6 @@ pub struct PospSnapshot {
     /// (empty for snapshots captured outside chaos testing; absent in
     /// older snapshots). Purely advisory: `restore` carries it through so
     /// a post-mortem can see which plans the supervisor banned.
-    #[serde(default)]
     pub quarantined: Vec<u64>,
 }
 
@@ -104,24 +104,113 @@ impl PospSnapshot {
         Ok(Ess { posp, contours })
     }
 
-    /// Serialize to JSON.
+    /// Serialize to JSON (the self-contained codec in `rqp_obs::json`;
+    /// floats use shortest-round-trip decimals, so costs restore exactly).
+    /// Plans embed as the cache codec's token strings, e.g. `"H 1 0 S 1 0"`.
     ///
     /// # Errors
-    /// Returns [`RqpError::Snapshot`] if serialization fails.
+    /// Returns [`RqpError::Snapshot`] if a float in the snapshot is
+    /// non-finite and therefore unrepresentable in JSON.
     pub fn to_json(&self) -> RqpResult<String> {
-        serde_json::to_string(self)
-            .map_err(|e| RqpError::Snapshot(format!("snapshot serialization failed: {e}")))
+        let finite = |vals: &[f64]| vals.iter().all(|v| v.is_finite());
+        let axes: Vec<Vec<f64>> = (0..self.grid.dims())
+            .map(|d| (0..self.grid.res(d)).map(|i| self.grid.value(d, i)).collect())
+            .collect();
+        if !axes.iter().all(|a| finite(a)) || !finite(&self.cell_cost) {
+            return Err(RqpError::Snapshot(
+                "snapshot serialization failed: non-finite value".to_string(),
+            ));
+        }
+        let num_array =
+            |vals: &[f64]| JsonValue::Array(vals.iter().map(|&v| JsonValue::Num(v)).collect());
+        let mut m = json::Map::new();
+        m.insert("format".to_string(), JsonValue::from(FORMAT));
+        m.insert("axes".to_string(), JsonValue::Array(axes.iter().map(|a| num_array(a)).collect()));
+        m.insert(
+            "plans".to_string(),
+            JsonValue::Array(self.plans.iter().map(|p| JsonValue::Str(plan_to_text(p))).collect()),
+        );
+        m.insert(
+            "cell_plan".to_string(),
+            JsonValue::Array(self.cell_plan.iter().map(|&id| JsonValue::from(id)).collect()),
+        );
+        m.insert("cell_cost".to_string(), num_array(&self.cell_cost));
+        m.insert("contour_ratio".to_string(), JsonValue::Num(self.contour_ratio));
+        m.insert(
+            "quarantined".to_string(),
+            JsonValue::Array(self.quarantined.iter().map(|&q| JsonValue::from(q)).collect()),
+        );
+        Ok(JsonValue::Object(m).to_json())
     }
 
     /// Deserialize from JSON.
     ///
     /// # Errors
-    /// Returns [`RqpError::Snapshot`] on malformed JSON.
-    pub fn from_json(json: &str) -> RqpResult<PospSnapshot> {
-        serde_json::from_str(json)
-            .map_err(|e| RqpError::Snapshot(format!("bad snapshot JSON: {e}")))
+    /// Returns [`RqpError::Snapshot`] on malformed JSON or a shape/format
+    /// mismatch.
+    pub fn from_json(text: &str) -> RqpResult<PospSnapshot> {
+        let bad = |msg: String| RqpError::Snapshot(format!("bad snapshot JSON: {msg}"));
+        let v = json::parse(text).map_err(|e| bad(e.to_string()))?;
+        if v["format"].as_str() != Some(FORMAT) {
+            return Err(bad(format!("unknown snapshot format {:?}", v["format"].as_str())));
+        }
+        let f64_list = |v: &JsonValue, what: &str| -> RqpResult<Vec<f64>> {
+            v.as_array()
+                .ok_or_else(|| bad(format!("{what} is not an array")))?
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| bad(format!("{what} entry is not a number"))))
+                .collect()
+        };
+        let axes = v["axes"]
+            .as_array()
+            .ok_or_else(|| bad("axes is not an array".to_string()))?
+            .iter()
+            .map(|a| f64_list(a, "axis"))
+            .collect::<RqpResult<Vec<_>>>()?;
+        let grid = Grid::from_axes(axes).map_err(|e| bad(format!("bad grid: {e}")))?;
+        let plans = v["plans"]
+            .as_array()
+            .ok_or_else(|| bad("plans is not an array".to_string()))?
+            .iter()
+            .map(|p| {
+                plan_from_text(
+                    p.as_str().ok_or_else(|| bad("plan entry is not a string".to_string()))?,
+                )
+                .map_err(|e| bad(e.to_string()))
+            })
+            .collect::<RqpResult<Vec<_>>>()?;
+        let cell_plan = v["cell_plan"]
+            .as_array()
+            .ok_or_else(|| bad("cell_plan is not an array".to_string()))?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| bad("cell_plan entry is not a u32".to_string()))
+            })
+            .collect::<RqpResult<Vec<_>>>()?;
+        let cell_cost = f64_list(&v["cell_cost"], "cell_cost")?;
+        let contour_ratio = v["contour_ratio"]
+            .as_f64()
+            .ok_or_else(|| bad("contour_ratio is not a number".to_string()))?;
+        // absent in older snapshots → empty
+        let quarantined = match v.get("quarantined") {
+            None => Vec::new(),
+            Some(q) => q
+                .as_array()
+                .ok_or_else(|| bad("quarantined is not an array".to_string()))?
+                .iter()
+                .map(|x| {
+                    x.as_u64().ok_or_else(|| bad("quarantined entry is not a u64".to_string()))
+                })
+                .collect::<RqpResult<Vec<_>>>()?,
+        };
+        Ok(PospSnapshot { grid, plans, cell_plan, cell_cost, contour_ratio, quarantined })
     }
 }
+
+/// Format marker written into every snapshot JSON document.
+const FORMAT: &str = "rqp-posp-snapshot-v1";
 
 #[cfg(test)]
 mod tests {
@@ -175,13 +264,14 @@ mod tests {
         let snap = PospSnapshot::capture_with_quarantine(&ess, vec![7, 42]);
         assert_eq!(snap.quarantined, vec![7, 42]);
         let json = snap.to_json().unwrap();
-        // serde stubs degrade all JSON to "{}"; only assert the roundtrip
-        // when serialization is real
-        if json.contains("quarantined") {
-            let back = PospSnapshot::from_json(&json).unwrap();
-            assert_eq!(back.quarantined, vec![7, 42]);
-        }
+        let back = PospSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.quarantined, vec![7, 42]);
         assert!(PospSnapshot::capture(&ess).quarantined.is_empty());
+        // snapshots from before the field existed decode to empty
+        let legacy =
+            json.replace(",\"quarantined\":[7,42]", "").replace("\"quarantined\":[7,42],", "");
+        assert!(!legacy.contains("quarantined"), "test must actually strip the key");
+        assert!(PospSnapshot::from_json(&legacy).unwrap().quarantined.is_empty());
     }
 
     #[test]

@@ -6,23 +6,20 @@
 //! (`Engine::execute_budgeted`, the discovery loops) pay essentially
 //! nothing unless the user asked for `--events`.
 
+use crate::json::{self, JsonError, JsonValue, Map};
 use parking_lot::{Mutex, RwLock};
-use serde::{Deserialize, Serialize};
-use serde_json::{Map, Value};
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// One structured event. Serializes as a flat JSON object:
-/// `{"event":"budgeted_execution","budget":12.5,…}`.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+/// One structured event. Encodes as a flat JSON object with the kind
+/// first: `{"event":"budgeted_execution","budget":12.5,…}`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// The event kind, e.g. `"budgeted_execution"`.
-    #[serde(rename = "event")]
     pub name: String,
     /// Free-form payload fields, flattened into the object.
-    #[serde(flatten)]
-    pub fields: Map<String, Value>,
+    pub fields: Map,
 }
 
 impl Event {
@@ -32,9 +29,44 @@ impl Event {
     }
 
     /// Attach a payload field (builder style).
-    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Self {
+    pub fn with(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
         self.fields.insert(key.to_string(), value.into());
         self
+    }
+
+    /// Encode as one compact JSON object, the `"event"` key first. Uses the
+    /// self-contained codec in [`crate::json`], so the output is real JSON
+    /// even when the workspace is built against the offline serde stubs.
+    pub fn to_json(&self) -> String {
+        // "event" must lead the line for greppability, so the object is
+        // assembled by hand rather than through a (sorted) Map.
+        let mut out = String::from("{\"event\":");
+        out.push_str(&JsonValue::from(self.name.as_str()).to_json());
+        for (k, v) in &self.fields {
+            out.push(',');
+            out.push_str(&JsonValue::from(k.as_str()).to_json());
+            out.push(':');
+            out.push_str(&v.to_json());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decode one JSONL line produced by [`Event::to_json`].
+    ///
+    /// # Errors
+    /// Fails on malformed JSON, a non-object, or a missing/non-string
+    /// `"event"` key.
+    pub fn from_json(line: &str) -> Result<Event, JsonError> {
+        let parsed = json::parse(line)?;
+        let JsonValue::Object(mut fields) = parsed else {
+            return Err(JsonError::new("event line is not a JSON object"));
+        };
+        let name = match fields.remove("event") {
+            Some(JsonValue::Str(s)) => s,
+            _ => return Err(JsonError::new("event line has no string \"event\" key")),
+        };
+        Ok(Event { name, fields })
     }
 }
 
@@ -72,11 +104,10 @@ impl JsonlSink {
 
 impl EventSink for JsonlSink {
     fn record(&self, event: &Event) {
-        if let Ok(line) = serde_json::to_string(event) {
-            let mut out = self.out.lock();
-            let _ = out.write_all(line.as_bytes());
-            let _ = out.write_all(b"\n");
-        }
+        let line = event.to_json();
+        let mut out = self.out.lock();
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
     }
 
     fn flush(&self) {
@@ -164,7 +195,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn jsonl_event_round_trip_through_serde_json() {
+    fn jsonl_event_round_trip_through_json_codec() {
         let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
 
         struct Shared(Arc<Mutex<Vec<u8>>>);
@@ -189,13 +220,22 @@ mod tests {
         let text = String::from_utf8(buf.lock().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
-        let back: Event = serde_json::from_str(lines[0]).unwrap();
+        assert!(lines[0].starts_with("{\"event\":\"budgeted_execution\""));
+        let back = Event::from_json(lines[0]).unwrap();
         assert_eq!(back, ev);
         assert_eq!(back.name, "budgeted_execution");
-        assert_eq!(back.fields["budget"], Value::from(12.5));
-        let v: Value = serde_json::from_str(lines[1]).unwrap();
-        assert_eq!(v["event"], "spill_execution");
-        assert_eq!(v["epp"], 2);
+        assert_eq!(back.fields["budget"], JsonValue::from(12.5));
+        let v = json::parse(lines[1]).unwrap();
+        assert_eq!(v["event"], JsonValue::from("spill_execution"));
+        assert_eq!(v["epp"], JsonValue::from(2));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_lines() {
+        assert!(Event::from_json("not json").is_err());
+        assert!(Event::from_json("[1,2]").is_err());
+        assert!(Event::from_json("{\"no_event_key\":1}").is_err());
+        assert!(Event::from_json("{\"event\":42}").is_err());
     }
 
     // Global sink state is process-wide, so all assertions about it live

@@ -29,6 +29,7 @@
 //! [`names`] so producers and consumers cannot drift apart.
 
 pub mod event;
+pub mod json;
 pub mod metrics;
 pub mod names;
 pub mod span;
@@ -36,6 +37,7 @@ pub mod span;
 pub use event::{
     clear_sink, emit, events_enabled, flush_sink, set_sink, Event, EventSink, JsonlSink, MemorySink,
 };
+pub use json::{JsonError, JsonValue};
 pub use metrics::{
     exponential_buckets, global, labeled, Counter, Gauge, Histogram, HistogramSnapshot,
     MetricsRegistry, MetricsSnapshot,

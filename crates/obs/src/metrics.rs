@@ -1,8 +1,8 @@
 //! The thread-safe metrics registry: counters, gauges and fixed-bucket
 //! histograms, with JSON and Prometheus-text exports.
 
+use crate::json::{self, JsonError, JsonValue};
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -175,7 +175,7 @@ pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
 }
 
 /// A point-in-time copy of a histogram, serializable and diffable.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Number of observations.
     pub count: u64,
@@ -187,9 +187,11 @@ pub struct HistogramSnapshot {
     pub counts: Vec<u64>,
 }
 
-/// A point-in-time copy of the whole registry. Serializes to the JSON that
-/// `reproduce --metrics` writes, and deserializes back for diffing runs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+/// A point-in-time copy of the whole registry. Encodes to the JSON that
+/// `reproduce --metrics` writes, and decodes back for diffing runs. The
+/// codec is the self-contained [`crate::json`] module, so round-trips work
+/// regardless of which `serde_json` the workspace was built against.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
@@ -197,6 +199,152 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Gauges may legitimately hold ±∞ (e.g. the `subopt()` failure sentinel)
+/// or NaN, which JSON numbers cannot carry; encode those as string
+/// sentinels so decode restores the exact value.
+fn gauge_to_value(v: f64) -> JsonValue {
+    if v.is_finite() {
+        JsonValue::Num(v)
+    } else if v.is_nan() {
+        JsonValue::Str("NaN".to_string())
+    } else if v > 0.0 {
+        JsonValue::Str("Infinity".to_string())
+    } else {
+        JsonValue::Str("-Infinity".to_string())
+    }
+}
+
+fn value_to_gauge(v: &JsonValue) -> Result<f64, JsonError> {
+    match v {
+        JsonValue::Str(s) if s == "NaN" => Ok(f64::NAN),
+        JsonValue::Str(s) if s == "Infinity" => Ok(f64::INFINITY),
+        JsonValue::Str(s) if s == "-Infinity" => Ok(f64::NEG_INFINITY),
+        other => other.as_f64().ok_or_else(|| JsonError::new("gauge value is not a number")),
+    }
+}
+
+fn num_array(vals: &[f64]) -> JsonValue {
+    JsonValue::Array(vals.iter().map(|&v| JsonValue::Num(v)).collect())
+}
+
+fn uint_array(vals: &[u64]) -> JsonValue {
+    JsonValue::Array(vals.iter().map(|&v| JsonValue::from(v)).collect())
+}
+
+fn decode_f64_array(v: &JsonValue, what: &str) -> Result<Vec<f64>, JsonError> {
+    v.as_array()
+        .ok_or_else(|| JsonError::new(format!("{what} is not an array")))?
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| JsonError::new(format!("{what} entry is not a number"))))
+        .collect()
+}
+
+fn decode_u64_array(v: &JsonValue, what: &str) -> Result<Vec<u64>, JsonError> {
+    v.as_array()
+        .ok_or_else(|| JsonError::new(format!("{what} is not an array")))?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| JsonError::new(format!("{what} entry is not a u64"))))
+        .collect()
+}
+
+impl HistogramSnapshot {
+    fn to_value(&self) -> JsonValue {
+        let mut m = json::Map::new();
+        m.insert("count".to_string(), JsonValue::from(self.count));
+        m.insert("sum".to_string(), JsonValue::Num(self.sum));
+        m.insert("bounds".to_string(), num_array(&self.bounds));
+        m.insert("counts".to_string(), uint_array(&self.counts));
+        JsonValue::Object(m)
+    }
+
+    fn from_value(v: &JsonValue) -> Result<HistogramSnapshot, JsonError> {
+        Ok(HistogramSnapshot {
+            count: v["count"].as_u64().ok_or_else(|| JsonError::new("histogram count missing"))?,
+            sum: v["sum"].as_f64().ok_or_else(|| JsonError::new("histogram sum missing"))?,
+            bounds: decode_f64_array(&v["bounds"], "histogram bounds")?,
+            counts: decode_u64_array(&v["counts"], "histogram counts")?,
+        })
+    }
+}
+
+impl MetricsSnapshot {
+    fn to_value(&self) -> JsonValue {
+        let counters =
+            self.counters.iter().map(|(k, &v)| (k.clone(), JsonValue::from(v))).collect();
+        let gauges = self.gauges.iter().map(|(k, &v)| (k.clone(), gauge_to_value(v))).collect();
+        let histograms = self.histograms.iter().map(|(k, h)| (k.clone(), h.to_value())).collect();
+        let mut m = json::Map::new();
+        m.insert("counters".to_string(), JsonValue::Object(counters));
+        m.insert("gauges".to_string(), JsonValue::Object(gauges));
+        m.insert("histograms".to_string(), JsonValue::Object(histograms));
+        JsonValue::Object(m)
+    }
+
+    /// Encode as compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Encode as pretty-printed JSON, then verify the text decodes back to
+    /// an equal snapshot.
+    ///
+    /// # Errors
+    /// Fails if the round-trip check does — i.e. the snapshot holds a
+    /// value the codec cannot carry losslessly.
+    pub fn to_json_pretty(&self) -> Result<String, JsonError> {
+        let text = self.to_value().to_json_pretty();
+        let back = MetricsSnapshot::from_json(&text)?;
+        if self.roundtrip_eq(&back) {
+            Ok(text)
+        } else {
+            Err(JsonError::new("metrics snapshot did not survive a JSON round-trip"))
+        }
+    }
+
+    /// Round-trip equality: like `==`, but gauges compare bitwise so a NaN
+    /// gauge that decodes back to NaN still counts as faithful.
+    fn roundtrip_eq(&self, other: &MetricsSnapshot) -> bool {
+        self.counters == other.counters
+            && self.histograms == other.histograms
+            && self.gauges.len() == other.gauges.len()
+            && self.gauges.iter().zip(other.gauges.iter()).all(|((ka, va), (kb, vb))| {
+                ka == kb && (va.to_bits() == vb.to_bits() || (va.is_nan() && vb.is_nan()))
+            })
+    }
+
+    /// Decode a snapshot from JSON produced by [`MetricsSnapshot::to_json`]
+    /// or [`MetricsSnapshot::to_json_pretty`].
+    ///
+    /// # Errors
+    /// Fails on malformed JSON or a shape mismatch.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, JsonError> {
+        let v = json::parse(text)?;
+        let counters = v["counters"]
+            .as_object()
+            .ok_or_else(|| JsonError::new("counters is not an object"))?
+            .iter()
+            .map(|(k, x)| {
+                x.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| JsonError::new("counter value is not a u64"))
+            })
+            .collect::<Result<BTreeMap<_, _>, _>>()?;
+        let gauges = v["gauges"]
+            .as_object()
+            .ok_or_else(|| JsonError::new("gauges is not an object"))?
+            .iter()
+            .map(|(k, x)| value_to_gauge(x).map(|g| (k.clone(), g)))
+            .collect::<Result<BTreeMap<_, _>, _>>()?;
+        let histograms = v["histograms"]
+            .as_object()
+            .ok_or_else(|| JsonError::new("histograms is not an object"))?
+            .iter()
+            .map(|(k, x)| HistogramSnapshot::from_value(x).map(|h| (k.clone(), h)))
+            .collect::<Result<BTreeMap<_, _>, _>>()?;
+        Ok(MetricsSnapshot { counters, gauges, histograms })
+    }
 }
 
 /// A thread-safe registry of named metrics. Handles are `Arc`s: look one up
@@ -275,14 +423,14 @@ impl MetricsRegistry {
         MetricsSnapshot { counters, gauges, histograms }
     }
 
-    /// Snapshot as pretty-printed JSON (an error placeholder on the
-    /// never-expected serialization failure: metrics must not abort the
-    /// host process).
-    pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(&self.snapshot()).unwrap_or_else(|e| {
-            debug_assert!(false, "metrics serialize: {e}");
-            format!("{{\"error\":\"metrics serialization failed: {e}\"}}")
-        })
+    /// Snapshot as pretty-printed JSON, round-trip verified.
+    ///
+    /// # Errors
+    /// Fails if the encoded text does not decode back to an equal
+    /// snapshot. Callers (the CLI, `reproduce`) surface this instead of
+    /// writing a broken snapshot file.
+    pub fn to_json_pretty(&self) -> Result<String, JsonError> {
+        self.snapshot().to_json_pretty()
     }
 
     /// Render the registry in the Prometheus text exposition format.
@@ -435,11 +583,27 @@ mod tests {
         reg.gauge("b").set(1.25);
         reg.histogram("h", &[1.0, 2.0]).observe(1.5);
         let snap = reg.snapshot();
-        let json = serde_json::to_string(&snap).unwrap();
-        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.counters["a_total"], 3);
         assert_eq!(back.histograms["h"].counts, vec![0, 1, 0]);
+        // the pretty form is round-trip verified and decodes identically
+        let pretty = reg.to_json_pretty().unwrap();
+        assert_eq!(MetricsSnapshot::from_json(&pretty).unwrap(), snap);
+    }
+
+    #[test]
+    fn non_finite_gauges_survive_snapshot_json() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("mso").set(f64::INFINITY);
+        reg.gauge("aso").set(f64::NEG_INFINITY);
+        reg.gauge("nan").set(f64::NAN);
+        let text = reg.to_json_pretty().unwrap();
+        let back = MetricsSnapshot::from_json(&text).unwrap();
+        assert_eq!(back.gauges["mso"], f64::INFINITY);
+        assert_eq!(back.gauges["aso"], f64::NEG_INFINITY);
+        assert!(back.gauges["nan"].is_nan());
     }
 
     #[test]

@@ -105,6 +105,34 @@ pub const EVAL_MSO: &str = "rqp_eval_mso";
 /// Labelled gauge base: average suboptimality per algorithm.
 pub const EVAL_ASO: &str = "rqp_eval_aso";
 
+// ---- serve ------------------------------------------------------------
+
+/// Gauge: sessions currently executing inside the serve worker pool.
+pub const SERVE_SESSIONS_ACTIVE: &str = "rqp_serve_sessions_active";
+/// Gauge: sessions waiting in the admission queue.
+pub const SERVE_QUEUE_DEPTH: &str = "rqp_serve_queue_depth";
+/// Counter: sessions admitted into the queue.
+pub const SERVE_ADMITTED: &str = "rqp_serve_admitted_total";
+/// Counter: sessions refused at admission (queue at capacity).
+pub const SERVE_REJECTED: &str = "rqp_serve_rejected_total";
+/// Counter: sessions that finished discovery successfully.
+pub const SERVE_COMPLETED: &str = "rqp_serve_completed_total";
+/// Counter: sessions that ended in failure (compile error, expired
+/// deadline, blown budget cap).
+pub const SERVE_FAILED: &str = "rqp_serve_failed_total";
+/// Counter: sessions still queued when a graceful drain finished them off.
+pub const SERVE_DRAINED: &str = "rqp_serve_drained_total";
+/// Histogram: wall-clock seconds per served session (admission → result).
+pub const SERVE_SESSION_SECONDS: &str = "rqp_serve_session_seconds";
+/// Counter: registry lookups served by an already-compiled shared ESS.
+pub const SERVE_REGISTRY_HITS: &str = "rqp_serve_registry_hits_total";
+/// Counter: registry lookups that had to compile (first session for a
+/// fingerprint).
+pub const SERVE_REGISTRY_MISSES: &str = "rqp_serve_registry_misses_total";
+/// Counter: sessions that blocked on a peer's in-flight compile instead of
+/// starting their own (single-flight suppression).
+pub const SERVE_SINGLEFLIGHT_WAITS: &str = "rqp_serve_singleflight_waits_total";
+
 // ---- event kinds ------------------------------------------------------
 
 /// Event: one budgeted execution (one per `Engine::execute_budgeted`).
@@ -133,3 +161,11 @@ pub const EV_EXECUTION_RETRY: &str = "execution_retry";
 pub const EV_PLAN_QUARANTINED: &str = "plan_quarantined";
 /// Event: a discovery run ended in a structured failure.
 pub const EV_DISCOVERY_FAILED: &str = "discovery_failed";
+/// Event: a session was admitted into the serve queue.
+pub const EV_SESSION_ADMITTED: &str = "session_admitted";
+/// Event: a session was refused at admission (backpressure).
+pub const EV_SESSION_REJECTED: &str = "session_rejected";
+/// Event: a served session finished (any outcome).
+pub const EV_SESSION_COMPLETE: &str = "session_complete";
+/// Event: the serve scheduler drained and shut down.
+pub const EV_SERVE_DRAIN: &str = "serve_drain";

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+//! `rqp-serve` — a concurrent multi-session discovery service over a
+//! shared POSP registry.
+//!
+//! The paper's runtime story is per-query: compile the ESS once, then
+//! discover. A serving deployment runs *many* sessions at once, and most
+//! of them repeat a small set of query templates — so the expensive
+//! compile (§7's repeated optimizer calls) must be shared, not repeated.
+//! This crate provides:
+//!
+//! * [`EssRegistry`] — a sharded, fingerprint-keyed map of compiled
+//!   [`rqp_ess::Ess`] surfaces with **single-flight** compilation: N
+//!   simultaneous sessions for one fingerprint trigger exactly one
+//!   compile, peers block on a condvar and share the resulting
+//!   `Arc<Ess>`. Compile failures are cached; an unwinding compile
+//!   publishes a failure instead of wedging its waiters.
+//! * [`Server`] — a bounded admission queue in front of a worker-thread
+//!   pool. Admission is non-blocking: beyond the queue cap,
+//!   [`Server::submit`] returns the structured
+//!   [`rqp_catalog::RqpError::Overloaded`] instead of stalling the
+//!   caller. Per-session deadlines and suboptimality budget caps turn
+//!   runaway sessions into structured outcomes; [`Server::drain`]
+//!   finishes every admitted session before shutdown.
+//! * [`ServeReport`] — session-level MSO/ASO per (query, algorithm)
+//!   group, throughput, and latency percentiles, the serving analogue of
+//!   the paper's robustness metrics.
+//!
+//! Sessions may carry chaos fault schedules ([`ServeConfig::chaos`]);
+//! faults strike a session's *executions*, never the shared registry —
+//! the compiled surface is immutable behind its `Arc`.
+//!
+//! ```
+//! use rqp_serve::{serve_workload, ServeConfig};
+//! use rqp_workloads::parse_session_file;
+//!
+//! let entries = parse_session_file("2D_Q91 sb x4\n2D_Q91 ab x4\n").unwrap();
+//! let report = serve_workload(ServeConfig::default(), &entries).unwrap();
+//! assert_eq!(report.completed(), 8);
+//! assert_eq!(report.registry.compiles, 1); // one fingerprint, one compile
+//! ```
+
+pub mod obs;
+pub mod registry;
+pub mod report;
+pub mod server;
+pub mod session;
+
+pub use obs::register_metrics;
+pub use registry::{EssRegistry, Lookup, RegistryStats};
+pub use report::{GroupStats, ServeReport};
+pub use server::{serve_workload, ServeConfig, Server};
+pub use session::{algo_by_name, SessionOutcome, SessionResult, SessionSpec};

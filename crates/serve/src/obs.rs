@@ -1,0 +1,57 @@
+//! Instrumentation handles for the serving layer: admission, queueing,
+//! session outcomes and shared-registry effectiveness.
+
+use rqp_obs::{default_latency_buckets, global, names, Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct ServeMetrics {
+    /// `rqp_serve_sessions_active`
+    pub sessions_active: Arc<Gauge>,
+    /// `rqp_serve_queue_depth`
+    pub queue_depth: Arc<Gauge>,
+    /// `rqp_serve_admitted_total`
+    pub admitted: Arc<Counter>,
+    /// `rqp_serve_rejected_total`
+    pub rejected: Arc<Counter>,
+    /// `rqp_serve_completed_total`
+    pub completed: Arc<Counter>,
+    /// `rqp_serve_failed_total`
+    pub failed: Arc<Counter>,
+    /// `rqp_serve_drained_total`
+    pub drained: Arc<Counter>,
+    /// `rqp_serve_session_seconds`
+    pub session_seconds: Arc<Histogram>,
+    /// `rqp_serve_registry_hits_total`
+    pub registry_hits: Arc<Counter>,
+    /// `rqp_serve_registry_misses_total`
+    pub registry_misses: Arc<Counter>,
+    /// `rqp_serve_singleflight_waits_total`
+    pub singleflight_waits: Arc<Counter>,
+}
+
+pub(crate) fn metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = global();
+        let buckets = default_latency_buckets();
+        ServeMetrics {
+            sessions_active: g.gauge(names::SERVE_SESSIONS_ACTIVE),
+            queue_depth: g.gauge(names::SERVE_QUEUE_DEPTH),
+            admitted: g.counter(names::SERVE_ADMITTED),
+            rejected: g.counter(names::SERVE_REJECTED),
+            completed: g.counter(names::SERVE_COMPLETED),
+            failed: g.counter(names::SERVE_FAILED),
+            drained: g.counter(names::SERVE_DRAINED),
+            session_seconds: g.histogram(names::SERVE_SESSION_SECONDS, &buckets),
+            registry_hits: g.counter(names::SERVE_REGISTRY_HITS),
+            registry_misses: g.counter(names::SERVE_REGISTRY_MISSES),
+            singleflight_waits: g.counter(names::SERVE_SINGLEFLIGHT_WAITS),
+        }
+    })
+}
+
+/// Pre-register the serve metric series (at zero) in the global registry,
+/// so snapshots taken before any session still list them.
+pub fn register_metrics() {
+    let _ = metrics();
+}

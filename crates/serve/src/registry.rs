@@ -1,0 +1,275 @@
+//! The shared POSP registry: fingerprint-keyed, single-flight compiled
+//! ESS surfaces shared across concurrent sessions.
+//!
+//! Compiling an ESS is the expensive offline step of the paper (§7:
+//! repeated optimizer calls over the whole grid); a serving deployment
+//! sees the same query templates over and over, so N simultaneous
+//! sessions for one fingerprint must trigger exactly **one** compile. The
+//! registry guarantees that with a classic single-flight protocol:
+//!
+//! * first session for a fingerprint inserts a `Pending` marker, drops
+//!   the shard lock, and compiles;
+//! * peers arriving mid-compile block on the shard's condvar (counted as
+//!   single-flight waits) instead of starting their own compile;
+//! * the finished surface is published as `Ready(Arc<Ess>)` and every
+//!   waiter clones the `Arc` — the surface itself is never copied.
+//!
+//! Compile **failures are cached** too (`Failed`): a fingerprint that
+//! cannot compile is refused instantly for every later session instead of
+//! burning a full grid sweep per arrival. And because the compile runs
+//! outside the lock under a drop guard, a compile that unwinds (only
+//! possible under test harnesses; library code is panic-free by lint)
+//! publishes `Failed` rather than wedging its waiters — a chaotic session
+//! can never poison the shared registry.
+
+use crate::obs::metrics;
+use rqp_catalog::{RqpError, RqpResult};
+use rqp_ess::Ess;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// How a [`EssRegistry::get_or_compile`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// This call compiled the surface (first session for the fingerprint).
+    Compiled,
+    /// The surface was already resident; served instantly.
+    Hit,
+    /// A peer was mid-compile; this call blocked until it published.
+    Waited,
+}
+
+enum Entry {
+    /// A session is compiling this fingerprint right now.
+    Pending,
+    /// The compiled surface, shared by reference counting.
+    Ready(Arc<Ess>),
+    /// The compile failed; refused instantly for every later session.
+    Failed(RqpError),
+}
+
+struct Shard {
+    map: Mutex<HashMap<u64, Entry>>,
+    published: Condvar,
+}
+
+impl Shard {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Entry>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Counter snapshot of a registry's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Compiles actually executed (== distinct fingerprints attempted).
+    pub compiles: u64,
+    /// Lookups served by an already-resident surface (or cached failure).
+    pub hits: u64,
+    /// Lookups that blocked on a peer's in-flight compile.
+    pub waits: u64,
+    /// Fingerprints currently resident (ready or failed).
+    pub entries: usize,
+}
+
+/// Publishes `Failed` if the compiling session unwinds before storing a
+/// result, so waiters wake with an error instead of blocking forever.
+struct PendingGuard<'a> {
+    shard: &'a Shard,
+    fp: u64,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shard.lock().insert(
+                self.fp,
+                Entry::Failed(RqpError::Internal("ESS compile aborted mid-flight".to_string())),
+            );
+            self.shard.published.notify_all();
+        }
+    }
+}
+
+/// A sharded, fingerprint-keyed map of compiled ESS surfaces with
+/// single-flight compilation.
+pub struct EssRegistry {
+    shards: Vec<Shard>,
+    compiles: AtomicU64,
+    hits: AtomicU64,
+    waits: AtomicU64,
+}
+
+impl EssRegistry {
+    /// A registry with `shards` independent lock domains (clamped to at
+    /// least 1). Sessions for different fingerprints in different shards
+    /// never contend on a lock.
+    pub fn new(shards: usize) -> EssRegistry {
+        let shards = shards.max(1);
+        EssRegistry {
+            shards: (0..shards)
+                .map(|_| Shard { map: Mutex::new(HashMap::new()), published: Condvar::new() })
+                .collect(),
+            compiles: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &Shard {
+        let n = self.shards.len();
+        &self.shards[(fp % n as u64) as usize]
+    }
+
+    /// Fetch the surface for `fp`, compiling it with `compile` if this is
+    /// the first session to ask. Concurrent callers for the same
+    /// fingerprint block until the one compile publishes; its failure (if
+    /// any) is cached and returned to everyone.
+    ///
+    /// # Errors
+    /// Propagates the (possibly cached) compile error.
+    pub fn get_or_compile(
+        &self,
+        fp: u64,
+        compile: impl FnOnce() -> RqpResult<Ess>,
+    ) -> RqpResult<(Arc<Ess>, Lookup)> {
+        let m = metrics();
+        let shard = self.shard(fp);
+        let mut map = shard.lock();
+        let mut waited = false;
+        loop {
+            match map.get(&fp) {
+                None => break,
+                Some(Entry::Ready(ess)) => {
+                    let ess = Arc::clone(ess);
+                    drop(map);
+                    let lookup = self.note_resident(waited);
+                    return Ok((ess, lookup));
+                }
+                Some(Entry::Failed(e)) => {
+                    let e = e.clone();
+                    drop(map);
+                    self.note_resident(waited);
+                    return Err(e);
+                }
+                Some(Entry::Pending) => {
+                    if !waited {
+                        waited = true;
+                        self.waits.fetch_add(1, Ordering::Relaxed);
+                        m.singleflight_waits.inc();
+                    }
+                    map = shard.published.wait(map).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+        // First session for this fingerprint: claim it and compile outside
+        // the shard lock so peers of *other* fingerprints keep flowing.
+        map.insert(fp, Entry::Pending);
+        drop(map);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        m.registry_misses.inc();
+        let mut guard = PendingGuard { shard, fp, armed: true };
+        let result = compile();
+        let mut map = shard.lock();
+        guard.armed = false;
+        let out = match result {
+            Ok(ess) => {
+                let ess = Arc::new(ess);
+                map.insert(fp, Entry::Ready(Arc::clone(&ess)));
+                Ok((ess, Lookup::Compiled))
+            }
+            Err(e) => {
+                map.insert(fp, Entry::Failed(e.clone()));
+                Err(e)
+            }
+        };
+        drop(map);
+        shard.published.notify_all();
+        out
+    }
+
+    fn note_resident(&self, waited: bool) -> Lookup {
+        let m = metrics();
+        if waited {
+            Lookup::Waited
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            m.registry_hits.inc();
+            Lookup::Hit
+        }
+    }
+
+    /// Lifetime counters plus the resident-entry count.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+        }
+    }
+
+    /// Number of resident fingerprints (ready or failed).
+    pub fn len(&self) -> usize {
+        self.stats().entries
+    }
+
+    /// Whether no fingerprint is resident yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqp_ess::EssConfig;
+    use rqp_optimizer::Optimizer;
+    use rqp_qplan::CostModel;
+    use rqp_workloads::Workload;
+
+    fn compile_example() -> RqpResult<Ess> {
+        let w = Workload::q91(2)?;
+        let opt = Optimizer::new(&w.catalog, &w.query, CostModel::default());
+        Ess::compile_cached(&opt, EssConfig { resolution: 6, ..Default::default() }, None)
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_on_the_same_surface() {
+        let reg = EssRegistry::new(4);
+        let (a, l1) = reg.get_or_compile(42, compile_example).unwrap();
+        let (b, l2) = reg.get_or_compile(42, || panic!("must not recompile")).unwrap();
+        assert_eq!(l1, Lookup::Compiled);
+        assert_eq!(l2, Lookup::Hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = reg.stats();
+        assert_eq!((stats.compiles, stats.hits, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn failures_are_cached_and_refused_instantly() {
+        let reg = EssRegistry::new(1);
+        let boom = || Err(RqpError::Config("no".into()));
+        assert!(reg.get_or_compile(7, boom).is_err());
+        let err = reg.get_or_compile(7, || panic!("must not retry")).unwrap_err();
+        assert!(err.to_string().contains("no"));
+        assert_eq!(reg.stats().compiles, 1);
+    }
+
+    #[test]
+    fn a_panicking_compile_does_not_wedge_the_registry() {
+        let reg = Arc::new(EssRegistry::new(1));
+        let r2 = Arc::clone(&reg);
+        let h = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = r2.get_or_compile(9, || panic!("chaotic compile"));
+            }));
+        });
+        h.join().unwrap();
+        // The guard published Failed; later sessions get an error, not a hang.
+        let err = reg.get_or_compile(9, || panic!("must not retry")).unwrap_err();
+        assert!(err.to_string().contains("aborted"), "{err}");
+    }
+}

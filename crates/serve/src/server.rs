@@ -1,0 +1,403 @@
+//! The serving scheduler: a bounded admission queue in front of a pool of
+//! OS worker threads, all sharing one [`EssRegistry`].
+//!
+//! Admission is **non-blocking by contract**: [`Server::submit`] either
+//! enqueues the session or returns [`RqpError::Overloaded`] immediately.
+//! Backpressure is therefore visible to the caller as a structured error
+//! (to be retried after backoff) instead of an invisible stall — the
+//! serving-side analogue of the paper's "no silent worst case" stance.
+//!
+//! Shutdown is a graceful drain: [`Server::drain`] closes the queue,
+//! lets the workers finish every already-admitted session, and only then
+//! joins them. Sessions admitted before the close are never dropped.
+
+use crate::obs::metrics;
+use crate::registry::EssRegistry;
+use crate::report::ServeReport;
+use crate::session::{algo_by_name, SessionOutcome, SessionResult, SessionSpec};
+use rqp_catalog::{RqpError, RqpResult};
+use rqp_chaos::{FaultConfig, FaultPlan};
+use rqp_core::RobustRuntime;
+use rqp_ess::{compile_fingerprint, CompileCache, Ess, EssConfig};
+use rqp_obs::names;
+use rqp_optimizer::Optimizer;
+use rqp_qplan::CostModel;
+use rqp_workloads::Workload;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing sessions (≥ 1).
+    pub workers: usize,
+    /// Admission-queue capacity; a submit beyond this is refused with
+    /// [`RqpError::Overloaded`] (≥ 1).
+    pub queue_cap: usize,
+    /// ESS grid resolution override; `None` uses the coarse default for
+    /// each query's dimensionality.
+    pub resolution: Option<usize>,
+    /// Per-session wall-clock deadline, measured from admission. A
+    /// session past its deadline is failed, not silently run.
+    pub deadline: Option<Duration>,
+    /// Cap on accounted suboptimality; a discovery spending more ends in
+    /// [`SessionOutcome::OverBudget`].
+    pub budget_cap: Option<f64>,
+    /// Base fault schedule injected into every session (chaos serving).
+    /// Each session mixes its own seed in, so schedules are independent.
+    pub chaos: Option<FaultConfig>,
+    /// Keep each session's rendered discovery trace in its result.
+    pub keep_traces: bool,
+    /// Directory for the persistent compile cache shared by the registry
+    /// (`None` = in-memory registry only).
+    pub cache_dir: Option<PathBuf>,
+    /// Lock shards in the registry.
+    pub registry_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 64,
+            resolution: None,
+            deadline: None,
+            budget_cap: None,
+            chaos: None,
+            keep_traces: false,
+            cache_dir: None,
+            registry_shards: 8,
+        }
+    }
+}
+
+struct Queued {
+    spec: SessionSpec,
+    admitted_at: Instant,
+}
+
+struct QueueState {
+    queue: VecDeque<Queued>,
+    closed: bool,
+}
+
+struct Inner {
+    config: ServeConfig,
+    registry: EssRegistry,
+    cache: Option<CompileCache>,
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    results: Mutex<Vec<SessionResult>>,
+    active: std::sync::atomic::AtomicUsize,
+}
+
+impl Inner {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running serving instance: admission queue, worker pool, shared
+/// registry.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    started_at: Instant,
+}
+
+impl Server {
+    /// Validate the config, build the shared registry, and spawn the
+    /// worker pool.
+    ///
+    /// # Errors
+    /// [`RqpError::Config`] on a zero worker/queue size or an unusable
+    /// cache directory; [`RqpError::Internal`] if the OS refuses to spawn
+    /// a thread.
+    pub fn start(config: ServeConfig) -> RqpResult<Server> {
+        if config.workers == 0 {
+            return Err(RqpError::Config("serve needs at least one worker".to_string()));
+        }
+        if config.queue_cap == 0 {
+            return Err(RqpError::Config("serve queue capacity must be at least 1".to_string()));
+        }
+        crate::obs::register_metrics();
+        let cache = match &config.cache_dir {
+            Some(dir) => Some(CompileCache::new(dir.clone())?),
+            None => None,
+        };
+        let inner = Arc::new(Inner {
+            registry: EssRegistry::new(config.registry_shards),
+            cache,
+            state: Mutex::new(QueueState { queue: VecDeque::new(), closed: false }),
+            work_ready: Condvar::new(),
+            results: Mutex::new(Vec::new()),
+            active: std::sync::atomic::AtomicUsize::new(0),
+            config,
+        });
+        let mut workers = Vec::with_capacity(inner.config.workers);
+        for i in 0..inner.config.workers {
+            let inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("rqp-serve-{i}"))
+                .spawn(move || worker_loop(&inner))
+                .map_err(|e| RqpError::Internal(format!("cannot spawn serve worker: {e}")))?;
+            workers.push(handle);
+        }
+        Ok(Server { inner, workers, started_at: Instant::now() })
+    }
+
+    /// Admit a session, or refuse it immediately if the queue is full.
+    ///
+    /// # Errors
+    /// [`RqpError::Overloaded`] (queue at capacity) or
+    /// [`RqpError::Config`] (server already draining). Neither blocks.
+    pub fn submit(&self, spec: SessionSpec) -> RqpResult<()> {
+        let m = metrics();
+        let mut st = self.inner.lock_state();
+        if st.closed {
+            return Err(RqpError::Config("server is draining; no new sessions".to_string()));
+        }
+        if st.queue.len() >= self.inner.config.queue_cap {
+            let (depth, cap) = (st.queue.len(), self.inner.config.queue_cap);
+            drop(st);
+            m.rejected.inc();
+            if rqp_obs::events_enabled() {
+                rqp_obs::emit(
+                    rqp_obs::Event::new(names::EV_SESSION_REJECTED)
+                        .with("session", spec.id as u64)
+                        .with("query", spec.query.as_str())
+                        .with("queue_depth", depth as u64)
+                        .with("cap", cap as u64),
+                );
+            }
+            return Err(RqpError::Overloaded { queue_depth: depth, cap });
+        }
+        m.admitted.inc();
+        if rqp_obs::events_enabled() {
+            rqp_obs::emit(
+                rqp_obs::Event::new(names::EV_SESSION_ADMITTED)
+                    .with("session", spec.id as u64)
+                    .with("query", spec.query.as_str())
+                    .with("algo", spec.algo.as_str()),
+            );
+        }
+        st.queue.push_back(Queued { spec, admitted_at: Instant::now() });
+        m.queue_depth.set(st.queue.len() as f64);
+        drop(st);
+        self.inner.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Sessions currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.lock_state().queue.len()
+    }
+
+    /// The shared registry's lifetime counters.
+    pub fn registry_stats(&self) -> crate::registry::RegistryStats {
+        self.inner.registry.stats()
+    }
+
+    /// Close the queue, let the workers finish every admitted session,
+    /// join them, and summarize the run.
+    pub fn drain(self) -> ServeReport {
+        let m = metrics();
+        let drained = {
+            let mut st = self.inner.lock_state();
+            st.closed = true;
+            st.queue.len()
+        };
+        m.drained.add(drained as u64);
+        self.inner.work_ready.notify_all();
+        for handle in self.workers {
+            // A worker that panicked already published what it could; the
+            // drain still returns every recorded result.
+            let _ = handle.join();
+        }
+        let results =
+            std::mem::take(&mut *self.inner.results.lock().unwrap_or_else(PoisonError::into_inner));
+        let report = ServeReport {
+            results,
+            registry: self.inner.registry.stats(),
+            drained,
+            wall: self.started_at.elapsed(),
+        };
+        if rqp_obs::events_enabled() {
+            rqp_obs::emit(
+                rqp_obs::Event::new(names::EV_SERVE_DRAIN)
+                    .with("completed", report.count(|r| r.outcome == SessionOutcome::Completed))
+                    .with("failed", report.count(|r| r.outcome != SessionOutcome::Completed))
+                    .with("drained", drained as u64)
+                    .with("seconds", report.wall.as_secs_f64()),
+            );
+        }
+        report
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let m = metrics();
+    loop {
+        let queued = {
+            let mut st = inner.lock_state();
+            loop {
+                if let Some(q) = st.queue.pop_front() {
+                    m.queue_depth.set(st.queue.len() as f64);
+                    break Some(q);
+                }
+                if st.closed {
+                    break None;
+                }
+                st = inner.work_ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(queued) = queued else { return };
+        use std::sync::atomic::Ordering;
+        m.sessions_active.set((inner.active.fetch_add(1, Ordering::Relaxed) + 1) as f64);
+        let result = run_session(inner, queued);
+        m.sessions_active.set((inner.active.fetch_sub(1, Ordering::Relaxed) - 1) as f64);
+        m.session_seconds.observe(result.wall.as_secs_f64());
+        match result.outcome {
+            SessionOutcome::Completed => m.completed.inc(),
+            _ => m.failed.inc(),
+        }
+        if rqp_obs::events_enabled() {
+            let mut ev = rqp_obs::Event::new(names::EV_SESSION_COMPLETE)
+                .with("session", result.id as u64)
+                .with("query", result.query.as_str())
+                .with("algo", result.algo.as_str())
+                .with("outcome", result.outcome.label())
+                .with("seconds", result.wall.as_secs_f64());
+            if let Some(s) = result.subopt {
+                ev = ev.with("subopt", s);
+            }
+            rqp_obs::emit(ev);
+        }
+        inner.results.lock().unwrap_or_else(PoisonError::into_inner).push(result);
+    }
+}
+
+/// Execute one admitted session end to end: resolve the workload, fetch
+/// (or single-flight compile) the shared ESS, admit a runtime against it,
+/// attach the session's fault schedule, and run discovery.
+fn run_session(inner: &Inner, queued: Queued) -> SessionResult {
+    let Queued { spec, admitted_at } = queued;
+    let algo_token = spec.algo.to_ascii_lowercase();
+    let mut result = SessionResult {
+        id: spec.id,
+        query: spec.query.clone(),
+        algo: algo_token,
+        outcome: SessionOutcome::Completed,
+        subopt: None,
+        steps: 0,
+        wall: Duration::ZERO,
+        lookup: None,
+        trace_render: None,
+    };
+    let finish = |mut r: SessionResult, outcome: SessionOutcome| {
+        r.outcome = outcome;
+        r.wall = admitted_at.elapsed();
+        r
+    };
+    let past_deadline = || inner.config.deadline.is_some_and(|d| admitted_at.elapsed() > d);
+    if past_deadline() {
+        return finish(result, SessionOutcome::DeadlineExpired);
+    }
+    let algo = match algo_by_name(&spec.algo) {
+        Ok(a) => a,
+        Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
+    };
+    let w = match Workload::by_name(&spec.query) {
+        Ok(w) => w,
+        Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
+    };
+    let model = CostModel::default();
+    let mut cfg = EssConfig::coarse(w.query.dims());
+    if let Some(r) = inner.config.resolution {
+        cfg.resolution = r;
+    }
+    let fp = compile_fingerprint(&w.catalog, &w.query, &model, &cfg);
+    let lookup = inner.registry.get_or_compile(fp, || {
+        let optimizer = Optimizer::new(&w.catalog, &w.query, model);
+        Ess::compile_cached(&optimizer, cfg, inner.cache.as_ref())
+    });
+    let (ess, how) = match lookup {
+        Ok(pair) => pair,
+        Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
+    };
+    result.lookup = Some(how);
+    let mut rt = match RobustRuntime::with_shared_ess(&w.catalog, &w.query, model, ess) {
+        Ok(rt) => rt,
+        Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
+    };
+    let plan = inner.config.chaos.map(|base| {
+        let mut fc = base;
+        fc.seed = fc.seed.wrapping_add(spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        FaultPlan::new(fc)
+    });
+    if let Some(plan) = &plan {
+        rt.set_fault_injector(plan);
+    }
+    let cells = rt.ess.grid().num_cells();
+    let qa = spec.qa.unwrap_or(cells / 2).min(cells.saturating_sub(1));
+    let trace = algo.discover(&rt, qa);
+    result.subopt = Some(trace.subopt());
+    result.steps = trace.num_executions();
+    if inner.config.keep_traces {
+        result.trace_render = Some(trace.render());
+    }
+    if let Some(reason) = trace.failure {
+        return finish(result, SessionOutcome::Failed(reason));
+    }
+    if past_deadline() {
+        return finish(result, SessionOutcome::DeadlineExpired);
+    }
+    if inner.config.budget_cap.is_some_and(|cap| trace.total_cost > cap * trace.oracle_cost) {
+        return finish(result, SessionOutcome::OverBudget);
+    }
+    finish(result, SessionOutcome::Completed)
+}
+
+/// Expand session-file entries into specs, submit them all, and drain.
+///
+/// Entries beyond the queue capacity are refused by admission control
+/// (the structured [`RqpError::Overloaded`]) and recorded as
+/// [`SessionOutcome::Rejected`] results — the driver never blocks on a
+/// full queue and never silently drops a session.
+///
+/// # Errors
+/// Propagates [`Server::start`] configuration errors; per-session
+/// failures are reported in the [`ServeReport`], not as an `Err`.
+pub fn serve_workload(
+    config: ServeConfig,
+    entries: &[rqp_workloads::SessionEntry],
+) -> RqpResult<ServeReport> {
+    let server = Server::start(config)?;
+    let mut rejected = Vec::new();
+    let mut next_id = 0usize;
+    for entry in entries {
+        for _ in 0..entry.count {
+            let spec = SessionSpec::new(next_id, entry.query.as_str(), entry.algo.as_str());
+            next_id += 1;
+            if server.submit(spec.clone()).is_err() {
+                rejected.push(SessionResult {
+                    id: spec.id,
+                    query: spec.query,
+                    algo: spec.algo.to_ascii_lowercase(),
+                    outcome: SessionOutcome::Rejected,
+                    subopt: None,
+                    steps: 0,
+                    wall: Duration::ZERO,
+                    lookup: None,
+                    trace_render: None,
+                });
+            }
+        }
+    }
+    let mut report = server.drain();
+    report.results.extend(rejected);
+    report.results.sort_by_key(|r| r.id);
+    Ok(report)
+}

@@ -1,0 +1,134 @@
+//! Session specifications and per-session results.
+
+use rqp_catalog::{RqpError, RqpResult};
+use rqp_core::{AlignedBound, Discovery, NativeOptimizer, PlanBouquet, ReOptimizer, SpillBound};
+use rqp_ess::Cell;
+use std::time::Duration;
+
+/// One unit of serving work: a named workload, a discovery algorithm, and
+/// (optionally) where in the ESS the actual selectivities land.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Unique session id (assigned at submission).
+    pub id: usize,
+    /// Workload name, resolved via [`rqp_workloads::Workload::by_name`].
+    pub query: String,
+    /// Algorithm token (`sb` | `ab` | `pb` | `native` | `reopt`).
+    pub algo: String,
+    /// Actual-location grid cell; `None` picks the grid midpoint. Clamped
+    /// into the grid.
+    pub qa: Option<Cell>,
+    /// Per-session chaos seed, mixed into the server's base fault config
+    /// so concurrent sessions draw independent fault schedules.
+    pub seed: u64,
+}
+
+impl SessionSpec {
+    /// A midpoint session with a seed derived from its id.
+    pub fn new(id: usize, query: impl Into<String>, algo: impl Into<String>) -> SessionSpec {
+        SessionSpec { id, query: query.into(), algo: algo.into(), qa: None, seed: id as u64 }
+    }
+}
+
+/// Resolve an algorithm token to its discovery implementation.
+///
+/// # Errors
+/// Returns [`RqpError::Config`] for unknown tokens.
+pub fn algo_by_name(name: &str) -> RqpResult<Box<dyn Discovery>> {
+    match name.to_ascii_lowercase().as_str() {
+        "sb" => Ok(Box::new(SpillBound::with_refined_bounds())),
+        "ab" => Ok(Box::new(AlignedBound::new())),
+        "pb" => Ok(Box::new(PlanBouquet::new())),
+        "native" => Ok(Box::new(NativeOptimizer)),
+        "reopt" => Ok(Box::new(ReOptimizer::default())),
+        other => {
+            Err(RqpError::Config(format!("unknown algorithm {other:?} (sb|ab|pb|native|reopt)")))
+        }
+    }
+}
+
+/// How a session ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// Discovery finished; the trace completed cleanly.
+    Completed,
+    /// Admission was refused — the queue was at capacity.
+    Rejected,
+    /// The per-session deadline elapsed (before or during discovery).
+    DeadlineExpired,
+    /// Discovery finished but spent more than the configured
+    /// suboptimality budget cap.
+    OverBudget,
+    /// Compilation or discovery failed; carries the reason.
+    Failed(String),
+}
+
+impl SessionOutcome {
+    /// Short stable label for reports and events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionOutcome::Completed => "completed",
+            SessionOutcome::Rejected => "rejected",
+            SessionOutcome::DeadlineExpired => "deadline_expired",
+            SessionOutcome::OverBudget => "over_budget",
+            SessionOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// The record a served session leaves behind.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The session id from the spec.
+    pub id: usize,
+    /// Workload name.
+    pub query: String,
+    /// Algorithm token (normalized to lowercase).
+    pub algo: String,
+    /// How the session ended.
+    pub outcome: SessionOutcome,
+    /// Accounted suboptimality (`None` when discovery never ran).
+    pub subopt: Option<f64>,
+    /// Executions in the discovery trace (0 when discovery never ran).
+    pub steps: usize,
+    /// Wall-clock from admission to result (queueing included).
+    pub wall: Duration,
+    /// How this session's registry lookup resolved (`None` when it never
+    /// reached the registry).
+    pub lookup: Option<crate::registry::Lookup>,
+    /// Rendered discovery trace, kept only when the server is configured
+    /// with `keep_traces`.
+    pub trace_render: Option<String>,
+}
+
+impl SessionResult {
+    /// Whether this session's discovery finished (completed or
+    /// over-budget — the trace is valid either way).
+    pub fn discovered(&self) -> bool {
+        matches!(self.outcome, SessionOutcome::Completed | SessionOutcome::OverBudget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_tokens_resolve_case_insensitively() {
+        for t in ["sb", "AB", "pb", "native", "REOPT"] {
+            assert!(algo_by_name(t).is_ok(), "{t}");
+        }
+        let err = match algo_by_name("vulcan") {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("vulcan must not resolve"),
+        };
+        assert!(err.contains("unknown algorithm"), "{err}");
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(SessionOutcome::Completed.label(), "completed");
+        assert_eq!(SessionOutcome::Failed("x".into()).label(), "failed");
+        assert_eq!(SessionOutcome::Rejected.label(), "rejected");
+    }
+}

@@ -15,17 +15,19 @@
 
 pub mod extended;
 pub mod job;
+pub mod session;
 pub mod suite;
 pub mod synth;
 pub mod tpcds;
 
 pub use extended::extended_suite;
 pub use job::{imdb_catalog, job_q1a};
+pub use session::{parse_session_file, SessionEntry};
 pub use suite::{q91, BenchQuery};
 pub use synth::{synth_workload, Shape, SynthConfig};
 pub use tpcds::tpcds_catalog;
 
-use rqp_catalog::{Catalog, Query, RqpResult};
+use rqp_catalog::{Catalog, Query, RqpError, RqpResult};
 use rqp_core::RobustRuntime;
 use rqp_ess::EssConfig;
 use rqp_qplan::CostModel;
@@ -67,6 +69,30 @@ impl Workload {
         let catalog = imdb_catalog();
         let query = job_q1a(&catalog)?;
         Ok(Workload { catalog, query })
+    }
+
+    /// Look a workload up by its CLI name: `JOB_Q1a`, the `{2..6}D_Q91`
+    /// dimensionality sweep, or any [`BenchQuery`] name (all matched
+    /// case-insensitively).
+    ///
+    /// # Errors
+    /// Returns [`RqpError::Config`] with an "unknown workload" message for
+    /// unrecognized names.
+    pub fn by_name(name: &str) -> RqpResult<Workload> {
+        if name.eq_ignore_ascii_case("JOB_Q1a") {
+            return Workload::job_q1a();
+        }
+        if let Some(d) = name.strip_suffix("D_Q91").and_then(|p| p.parse::<usize>().ok()) {
+            if (2..=6).contains(&d) {
+                return Workload::q91(d);
+            }
+        }
+        for &bq in BenchQuery::all() {
+            if bq.name().eq_ignore_ascii_case(name) {
+                return Workload::tpcds(bq);
+            }
+        }
+        Err(RqpError::Config(format!("unknown workload {name:?}")))
     }
 
     /// Compile a robust runtime for this workload with the default cost

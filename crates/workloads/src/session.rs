@@ -1,0 +1,109 @@
+//! Session workload files for the serving layer.
+//!
+//! A session file describes a stream of concurrent discovery sessions, one
+//! group per line:
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! 2D_Q91  sb  x8     # eight SpillBound sessions over 2D_Q91
+//! 3D_Q15  ab         # one AlignedBound session
+//! JOB_Q1a pb  x4
+//! ```
+//!
+//! Each line is `QUERY ALGO [xCOUNT]`. The query token is any name
+//! [`crate::Workload::by_name`] accepts; the algorithm token is passed
+//! through verbatim (the serving layer resolves it, so the parser does not
+//! depend on the algorithm set). `xCOUNT` repeats the session; it defaults
+//! to 1 and must be at least 1.
+
+use rqp_catalog::{RqpError, RqpResult};
+
+/// One line of a session file: `count` sessions of `algo` over `query`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionEntry {
+    /// Workload name (resolved later via [`crate::Workload::by_name`]).
+    pub query: String,
+    /// Discovery algorithm token (e.g. `sb`, `ab`, `pb`), not validated
+    /// here.
+    pub algo: String,
+    /// How many identical sessions this line expands to.
+    pub count: usize,
+}
+
+/// Parse a session file.
+///
+/// # Errors
+/// Returns [`RqpError::Config`] (with the 1-based line number) on a
+/// malformed line, a zero repeat count, or an empty file.
+pub fn parse_session_file(text: &str) -> RqpResult<Vec<SessionEntry>> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut toks = line.split_whitespace();
+        let (Some(query), Some(algo)) = (toks.next(), toks.next()) else {
+            return Err(RqpError::Config(format!(
+                "session file line {lineno}: expected `QUERY ALGO [xCOUNT]`, got {line:?}"
+            )));
+        };
+        let count = match toks.next() {
+            None => 1,
+            Some(tok) => tok
+                .strip_prefix('x')
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    RqpError::Config(format!(
+                        "session file line {lineno}: bad repeat count {tok:?} (use x1, x8, …)"
+                    ))
+                })?,
+        };
+        if let Some(extra) = toks.next() {
+            return Err(RqpError::Config(format!(
+                "session file line {lineno}: unexpected trailing token {extra:?}"
+            )));
+        }
+        entries.push(SessionEntry { query: query.to_string(), algo: algo.to_string(), count });
+    }
+    if entries.is_empty() {
+        return Err(RqpError::Config("session file defines no sessions".to_string()));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_groups_comments_and_counts() {
+        let text = "# header\n\n2D_Q91 sb x8   # eight\n3D_Q15 ab\nJOB_Q1a pb x4\n";
+        let entries = parse_session_file(text).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                SessionEntry { query: "2D_Q91".into(), algo: "sb".into(), count: 8 },
+                SessionEntry { query: "3D_Q15".into(), algo: "ab".into(), count: 1 },
+                SessionEntry { query: "JOB_Q1a".into(), algo: "pb".into(), count: 4 },
+            ]
+        );
+        assert_eq!(entries.iter().map(|e| e.count).sum::<usize>(), 13);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let err = parse_session_file("2D_Q91\n").unwrap_err().to_string();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_session_file("2D_Q91 sb x0\n").unwrap_err().to_string();
+        assert!(err.contains("bad repeat count"), "{err}");
+        let err = parse_session_file("2D_Q91 sb 8\n").unwrap_err().to_string();
+        assert!(err.contains("bad repeat count"), "{err}");
+        let err = parse_session_file("a b x2 extra\n").unwrap_err().to_string();
+        assert!(err.contains("trailing"), "{err}");
+        let err = parse_session_file("# only comments\n").unwrap_err().to_string();
+        assert!(err.contains("no sessions"), "{err}");
+    }
+}

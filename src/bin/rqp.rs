@@ -9,6 +9,10 @@
 //! rqp sql      --catalog tpcds|imdb --file query.sql [--algo sb] [--resolution N]
 //! rqp chaos    --query 2D_Q91 [--resolution N] [--seed S] [--schedules K]
 //!              [--rate P] [--metrics PATH]
+//! rqp serve    --workload FILE | --query 2D_Q91 [--sessions K] [--algo sb]
+//!              [--workers N] [--queue M] [--resolution N] [--deadline-ms T]
+//!              [--budget-cap X] [--chaos-seed S] [--rate P] [--cache-dir DIR]
+//!              [--strict true]
 //! ```
 
 use robust_qp::core::native::native_mso_worst_estimate;
@@ -32,6 +36,7 @@ fn main() {
         "atlas" => atlas(&flags),
         "sql" => sql(&flags),
         "chaos" => chaos(&flags),
+        "serve" => serve(&flags),
         other => {
             eprintln!("unknown command {other:?}");
             usage();
@@ -51,7 +56,10 @@ fn usage() {
          \x20 report  --query NAME [--resolution N]\n\
          \x20 atlas   --query NAME [--resolution N]   (2-epp queries)\n\
          \x20 sql     --catalog tpcds|imdb --file FILE [--algo sb]\n\
-         \x20 chaos   --query NAME [--seed S] [--schedules K] [--rate P] [--metrics FILE]"
+         \x20 chaos   --query NAME [--seed S] [--schedules K] [--rate P] [--metrics FILE]\n\
+         \x20 serve   --workload FILE | --query NAME [--sessions K] [--algo sb]\n\
+         \x20         [--workers N] [--queue M] [--deadline-ms T] [--budget-cap X]\n\
+         \x20         [--chaos-seed S] [--rate P] [--cache-dir DIR] [--strict true]"
     );
 }
 
@@ -73,27 +81,16 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn workload_by_name(name: &str) -> Workload {
-    let or_exit = |r: Result<Workload, RqpError>| {
-        r.unwrap_or_else(|e| {
-            eprintln!("cannot build workload {name:?}: {e}");
-            exit(1)
-        })
-    };
-    if name.eq_ignore_ascii_case("JOB_Q1a") {
-        return or_exit(Workload::job_q1a());
-    }
-    if let Some(d) = name.strip_suffix("D_Q91").and_then(|p| p.parse::<usize>().ok()) {
-        if (2..=6).contains(&d) {
-            return or_exit(Workload::q91(d));
+    Workload::by_name(name).unwrap_or_else(|e| match e {
+        RqpError::Config(msg) => {
+            eprintln!("{msg}; try `rqp list`");
+            exit(2);
         }
-    }
-    for &bq in BenchQuery::all() {
-        if bq.name().eq_ignore_ascii_case(name) {
-            return or_exit(Workload::tpcds(bq));
+        other => {
+            eprintln!("cannot build workload {name:?}: {other}");
+            exit(1);
         }
-    }
-    eprintln!("unknown workload {name:?}; try `rqp list`");
-    exit(2);
+    })
 }
 
 fn runtime_or_exit<'a>(w: &'a Workload, cfg: EssConfig) -> RobustRuntime<'a> {
@@ -352,7 +349,11 @@ fn chaos(flags: &HashMap<String, String>) {
         rt.retry_policy().degraded_factor()
     );
     if let Some(path) = flags.get("metrics") {
-        std::fs::write(path, robust_qp::obs::global().to_json_pretty()).unwrap_or_else(|e| {
+        let json = robust_qp::obs::global().to_json_pretty().unwrap_or_else(|e| {
+            eprintln!("cannot serialize metrics snapshot: {e}");
+            exit(1);
+        });
+        std::fs::write(path, json).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             exit(1);
         });
@@ -389,4 +390,122 @@ fn sql(flags: &HashMap<String, String>) {
     let qa = rt.ess.grid().num_cells() / 2;
     let trace = algo.discover(&rt, qa);
     println!("{}", trace.render());
+}
+
+fn serve(flags: &HashMap<String, String>) {
+    use robust_qp::serve::{serve_workload, ServeConfig};
+    use robust_qp::workloads::{parse_session_file, SessionEntry};
+
+    fn parse_or<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+        flags.get(key).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad --{key} {v:?}");
+                exit(2);
+            })
+        })
+    }
+
+    let entries: Vec<SessionEntry> = if let Some(file) = flags.get("workload") {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("cannot read {file}: {e}");
+            exit(1);
+        });
+        parse_session_file(&text).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        })
+    } else {
+        let query = required(flags, "query").to_string();
+        let algo = flags.get("algo").cloned().unwrap_or_else(|| "sb".to_string());
+        let count = parse_or(flags, "sessions", 8usize);
+        vec![SessionEntry { query, algo, count }]
+    };
+    let total: usize = entries.iter().map(|e| e.count).sum();
+
+    let rate: f64 = parse_or(flags, "rate", 0.0);
+    if !(0.0..=1.0).contains(&rate) {
+        eprintln!("--rate must lie in [0, 1], got {rate}");
+        exit(2);
+    }
+    let chaos = flags.get("chaos-seed").map(|s| {
+        let seed: u64 = s.parse().unwrap_or_else(|_| {
+            eprintln!("bad --chaos-seed {s:?}");
+            exit(2);
+        });
+        if rate > 0.0 {
+            robust_qp::chaos::FaultConfig::storm(seed, rate)
+        } else {
+            robust_qp::chaos::FaultConfig::quiet(seed)
+        }
+    });
+
+    let config = ServeConfig {
+        workers: parse_or(flags, "workers", 4usize),
+        queue_cap: parse_or(flags, "queue", 64usize),
+        resolution: flags.get("resolution").map(|r| {
+            r.parse().unwrap_or_else(|_| {
+                eprintln!("bad --resolution {r:?}");
+                exit(2);
+            })
+        }),
+        deadline: flags.get("deadline-ms").map(|v| {
+            let ms: u64 = v.parse().unwrap_or_else(|_| {
+                eprintln!("bad --deadline-ms {v:?}");
+                exit(2);
+            });
+            std::time::Duration::from_millis(ms)
+        }),
+        budget_cap: flags.get("budget-cap").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad --budget-cap {v:?}");
+                exit(2);
+            })
+        }),
+        chaos,
+        keep_traces: false,
+        cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+
+    robust_qp::serve::register_metrics();
+    println!(
+        "serving {total} session(s) with {} worker(s), queue capacity {}",
+        config.workers, config.queue_cap
+    );
+    let report = serve_workload(config, &entries).unwrap_or_else(|e| {
+        eprintln!("serve failed: {e}");
+        exit(1);
+    });
+    print!("{}", report.render());
+    if flags.contains_key("cache-dir") {
+        println!("{}", cache_summary());
+    }
+
+    if flags.get("strict").map(String::as_str) == Some("true") {
+        let distinct: std::collections::HashSet<String> =
+            entries.iter().map(|e| e.query.to_ascii_lowercase()).collect();
+        let mut violations = Vec::new();
+        if report.rejected() > 0 {
+            violations.push(format!("{} session(s) rejected", report.rejected()));
+        }
+        let other = report.results.len() as u64 - report.completed() - report.rejected();
+        if other > 0 {
+            violations.push(format!("{other} session(s) failed"));
+        }
+        if report.non_finite_subopts() > 0 {
+            violations.push(format!("{} non-finite subopt(s)", report.non_finite_subopts()));
+        }
+        if report.registry.compiles != distinct.len() as u64 {
+            violations.push(format!(
+                "{} compile(s) for {} distinct fingerprint(s)",
+                report.registry.compiles,
+                distinct.len()
+            ));
+        }
+        if !violations.is_empty() {
+            eprintln!("strict serve failed: {}", violations.join("; "));
+            exit(1);
+        }
+        println!("strict serve passed: every session completed, one compile per fingerprint");
+    }
 }

@@ -31,7 +31,7 @@
 //!
 //! The facade re-exports each layer; see the member crates for details:
 //! [`catalog`], [`qplan`], [`optimizer`], [`executor`], [`ess`], [`core`],
-//! [`workloads`], [`obs`], [`chaos`].
+//! [`workloads`], [`obs`], [`chaos`], [`serve`].
 
 pub use rqp_catalog as catalog;
 pub use rqp_chaos as chaos;
@@ -41,6 +41,7 @@ pub use rqp_executor as executor;
 pub use rqp_obs as obs;
 pub use rqp_optimizer as optimizer;
 pub use rqp_qplan as qplan;
+pub use rqp_serve as serve;
 pub use rqp_workloads as workloads;
 
 /// The commonly-used surface of the library.
@@ -59,5 +60,6 @@ pub mod prelude {
     pub use rqp_executor::Engine;
     pub use rqp_optimizer::{Optimizer, Planned};
     pub use rqp_qplan::{CostModel, CostParams, PlanNode};
-    pub use rqp_workloads::{BenchQuery, Workload};
+    pub use rqp_serve::{serve_workload, ServeConfig, ServeReport, Server, SessionSpec};
+    pub use rqp_workloads::{parse_session_file, BenchQuery, SessionEntry, Workload};
 }

@@ -33,22 +33,8 @@ fn run_accepts_explicit_qa() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("AB at cell"));
 }
 
-/// True when the workspace was built against degenerate offline serde
-/// stubs: real serde_json serializes a vec as `[1]`, the stubs collapse
-/// every value to `"{}"`. Snapshot round-trip tests cannot work there.
-fn serde_is_stubbed() -> bool {
-    serde_json::to_string(&vec![1u32]).map(|s| s == "{}").unwrap_or(true)
-}
-
 #[test]
 fn compile_writes_a_loadable_snapshot() {
-    if serde_is_stubbed() {
-        eprintln!(
-            "skipping: serde_json is an offline stub (to_string degenerates to \"{{}}\"), \
-             so snapshot JSON cannot round-trip in this environment"
-        );
-        return;
-    }
     let dir = std::env::temp_dir().join(format!("rqp_cli_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let out_file = dir.join("snap.json");
