@@ -1,11 +1,12 @@
 # Convenience targets for the robust-qp workspace.
 
-.PHONY: verify build test clippy lint bench bench-compile cache-smoke serve-smoke reproduce chaos
+.PHONY: verify build test clippy lint bench bench-compile bench-trace cache-smoke serve-smoke trace-smoke reproduce chaos
 
 # The full pre-merge gate: release build, quiet tests, zero clippy
-# warnings, a clean rqp-lint pass, and the fixed-seed chaos smoke sweep.
+# warnings, a clean rqp-lint pass, the fixed-seed chaos smoke sweep, and
+# the causal-trace smoke.
 verify:
-	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings && cargo run -q -p rqp-lint && $(MAKE) chaos
+	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings && cargo run -q -p rqp-lint && $(MAKE) chaos && $(MAKE) trace-smoke
 
 # Fixed-seed fault-injection smoke sweep: every discovery algorithm must
 # terminate with honest accounting under each fault class (see README,
@@ -37,6 +38,11 @@ bench:
 bench-compile:
 	cargo bench -p rqp-bench --bench compile_cache
 
+# Tracing-overhead benchmark; records the ≤5% acceptance measure in
+# BENCH_6.json at the repo root.
+bench-trace:
+	cargo bench -p rqp-bench --bench trace_overhead
+
 # Persistent-cache smoke: the second identical compile must be a disk hit.
 cache-smoke:
 	rm -rf target/cache-smoke
@@ -53,6 +59,18 @@ serve-smoke:
 	cargo run --release --bin rqp -- serve --workload examples/serve_smoke.workload \
 		--workers 8 --queue 16 --chaos-seed 1 --strict true
 	@echo "serve-smoke: ok"
+
+# Causal-tracing smoke: a traced serve run must export a Chrome trace
+# that reparses through the obs JSON codec and carries at least one
+# single-flight compile span and one wait-on-peer span (`rqp trace-check`
+# validates both). The folded-stack export must name the compile path.
+trace-smoke:
+	cargo run --release --bin rqp -- serve --workload examples/serve_smoke.workload \
+		--workers 8 --queue 16 --strict true \
+		--trace-out target/trace-smoke.json --flame-out target/trace-smoke.folded
+	cargo run --release --bin rqp -- trace-check --file target/trace-smoke.json
+	grep -q "session;ess_compile" target/trace-smoke.folded
+	@echo "trace-smoke: ok"
 
 reproduce:
 	cargo run --release -p rqp-bench --bin reproduce

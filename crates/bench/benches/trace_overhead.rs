@@ -1,0 +1,111 @@
+//! Tracing-overhead benchmark. Two views:
+//!
+//! * criterion micro: a bare discovery run (no compile) with the tracer
+//!   off vs. on — the worst case for tracing, since a simulated discovery
+//!   run is microseconds long and every span's fixed cost shows;
+//! * the recorded number: a full serve run (single-flight ESS compile +
+//!   8 discovery sessions, the paths sessions actually pay) off vs. on,
+//!   where the ≤5% overhead acceptance bar applies. Median timings and
+//!   the measured ratio go to `BENCH_6.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rqp_core::{Discovery, SpillBound};
+use rqp_ess::EssConfig;
+use rqp_obs::{install, SpanKind, Tracer};
+use rqp_serve::{serve_workload, ServeConfig};
+use rqp_workloads::{parse_session_file, Workload};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::q91(3).expect("workload builds");
+    let rt = w.runtime(EssConfig::coarse(3)).expect("ESS compiles");
+    let qa = rt.ess.grid().num_cells() / 2;
+    let algo = SpillBound::with_refined_bounds();
+
+    c.bench_function("trace_overhead/discover_off", |b| {
+        b.iter(|| {
+            let _scope = install(Tracer::disabled());
+            black_box(algo.discover(&rt, qa).total_cost)
+        })
+    });
+    c.bench_function("trace_overhead/discover_on", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let tracer = Tracer::new(id, 0);
+            let _scope = install(tracer.clone());
+            let mut root = tracer.span(rqp_obs::names::SPAN_SESSION, SpanKind::Session);
+            root.attr("session", id);
+            let cost = algo.discover(&rt, qa).total_cost;
+            drop(root);
+            black_box((cost, tracer.spans().len()))
+        })
+    });
+
+    // bare-discovery medians: the worst case, reported for context
+    let reps = 15;
+    let discover_off_s = median_secs(reps, || {
+        let _scope = install(Tracer::disabled());
+        black_box(algo.discover(&rt, qa).total_cost);
+    });
+    let mut id = 1_000_000u64;
+    let discover_on_s = median_secs(reps, || {
+        id += 1;
+        let tracer = Tracer::new(id, 0);
+        let _scope = install(tracer.clone());
+        let _root = tracer.span(rqp_obs::names::SPAN_SESSION, SpanKind::Session);
+        black_box(algo.discover(&rt, qa).total_cost);
+    });
+
+    // the acceptance measure: a full serve run (compile + 8 sessions),
+    // i.e. what a traced deployment actually pays per unit of service
+    let entries = parse_session_file("3D_Q91 sb x8\n").expect("session file parses");
+    let serve_reps = 9;
+    let run = |tracing: bool| {
+        let report = serve_workload(
+            ServeConfig { workers: 4, queue_cap: 16, tracing, ..ServeConfig::default() },
+            &entries,
+        )
+        .expect("serve run succeeds");
+        assert_eq!(report.completed(), 8);
+        black_box(report.results.len());
+    };
+    let off_s = median_secs(serve_reps, || run(false));
+    let on_s = median_secs(serve_reps, || run(true));
+    let overhead = on_s / off_s.max(1e-12) - 1.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \
+         \"fixture\": \"q91 3D coarse; serve: 1 compile + 8 SpillBound sessions, 4 workers\",\n  \
+         \"serve_reps\": {serve_reps},\n  \"serve_off_seconds\": {off_s:.6},\n  \
+         \"serve_on_seconds\": {on_s:.6},\n  \"overhead_ratio\": {overhead:.4},\n  \
+         \"budget_ratio\": 0.05,\n  \"discover_reps\": {reps},\n  \
+         \"bare_discover_off_seconds\": {discover_off_s:.6},\n  \
+         \"bare_discover_on_seconds\": {discover_on_s:.6}\n}}\n"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}\n{json}"),
+        Err(e) => eprintln!("could not write {out}: {e}\n{json}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -111,8 +111,13 @@ impl Discovery for PlanBouquet {
         let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
         let mut steps = Vec::new();
         let mut total = 0.0;
+        let tracer = rqp_obs::current();
         for band in 0..rt.ess.contours.num_bands() {
-            let _band_span = rqp_obs::time_histogram(&band_hist);
+            let mut band_span = tracer
+                .span(rqp_obs::names::SPAN_CONTOUR_BAND, rqp_obs::SpanKind::Contour)
+                .with_histogram(&band_hist);
+            band_span.attr("band", band as u64);
+            let _band_span = band_span;
             for &(plan_id, budget) in self.band_plans(rt, band).iter() {
                 let plan = rt.ess.posp.plan(plan_id);
                 // graceful degradation: a plan whose supervision gave up

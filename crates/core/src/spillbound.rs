@@ -141,9 +141,14 @@ impl Discovery for SpillBound {
         let mut steps = Vec::new();
         let mut total = 0.0;
         let mut band = 0usize;
+        let tracer = rqp_obs::current();
 
         loop {
-            let _band_span = rqp_obs::time_histogram(&band_hist);
+            let mut band_span = tracer
+                .span(rqp_obs::names::SPAN_CONTOUR_BAND, rqp_obs::SpanKind::Contour)
+                .with_histogram(&band_hist);
+            band_span.attr("band", band as u64);
+            let _band_span = band_span;
             let unlearnt = know.unlearnt();
             if unlearnt.len() <= 1 || band >= m {
                 bouquet_endgame(

@@ -27,6 +27,7 @@
 use crate::trace::{ExecMode, PlanRef, Step};
 use rqp_catalog::{EppId, SelVector};
 use rqp_executor::{Engine, ExecOutcome, SpillOutcome};
+use rqp_obs::{names as obs_names, SpanKind};
 use rqp_qplan::{Fingerprint, PlanNode};
 use std::collections::{BTreeSet, HashMap};
 
@@ -86,6 +87,9 @@ pub struct SupervisorStats {
 pub struct Supervisor {
     algo: &'static str,
     policy: RetryPolicy,
+    /// The discovery run's causal tracer (the thread's current tracer at
+    /// construction; disabled outside traced serve sessions).
+    tracer: rqp_obs::Tracer,
     /// Total failures per plan fingerprint.
     fails: HashMap<u64, u32>,
     /// Fingerprints banned for the rest of the run.
@@ -100,6 +104,7 @@ impl Supervisor {
         Supervisor {
             algo,
             policy,
+            tracer: rqp_obs::current(),
             fails: HashMap::new(),
             quarantined: BTreeSet::new(),
             stats: SupervisorStats::default(),
@@ -164,12 +169,23 @@ impl Supervisor {
         if self.quarantined.contains(&fp) {
             return None;
         }
+        let mut step_span = self.tracer.span(obs_names::SPAN_DISCOVERY_STEP, SpanKind::Step);
+        step_span.attr("band", band as u64);
+        step_span.attr("mode", "full");
         let mut b = budget;
         for attempt in 0..=self.policy.max_retries {
+            let mut exec_span = self.tracer.span(obs_names::SPAN_EXECUTION, SpanKind::Execution);
             let out = engine.execute_budgeted(plan, qa_loc, b);
             let spent = Self::sanitize(out.spent());
             *total += spent;
             let faulted = out.failed();
+            exec_span.attr("band", band as u64);
+            exec_span.attr("attempt", attempt as u64);
+            exec_span.attr("budget", b);
+            exec_span.attr("spent", spent);
+            exec_span.attr("completed", out.completed());
+            exec_span.attr("faulted", faulted);
+            drop(exec_span);
             steps.push(Step {
                 band,
                 plan: plan_ref.clone(),
@@ -215,9 +231,19 @@ impl Supervisor {
     ) {
         self.stats.last_resort += 1;
         crate::obs::last_resort(self.algo);
+        let mut step_span = self.tracer.span(obs_names::SPAN_DISCOVERY_STEP, SpanKind::Step);
+        step_span.attr("band", band as u64);
+        step_span.attr("mode", "last_resort");
+        let mut exec_span = self.tracer.span(obs_names::SPAN_EXECUTION, SpanKind::Execution);
         let out = engine.without_injector().execute_budgeted(plan, qa_loc, f64::INFINITY);
         let spent = Self::sanitize(out.spent());
         *total += spent;
+        exec_span.attr("band", band as u64);
+        exec_span.attr("attempt", (self.policy.max_retries + 1) as u64);
+        exec_span.attr("spent", spent);
+        exec_span.attr("completed", true);
+        exec_span.attr("faulted", false);
+        drop(exec_span);
         steps.push(Step {
             band,
             plan: plan_ref.clone(),
@@ -262,12 +288,25 @@ impl Supervisor {
                 eng.execute_spill_coarse(plan, epp, reference, qa_loc, b)
             }
         };
+        let mut step_span = self.tracer.span(obs_names::SPAN_DISCOVERY_STEP, SpanKind::Step);
+        step_span.attr("band", band as u64);
+        step_span.attr("mode", "spill");
+        step_span.attr("epp", epp.0 as u64);
         let mut b = budget;
         if !self.quarantined.contains(&fp) {
             for attempt in 0..=self.policy.max_retries {
+                let mut exec_span =
+                    self.tracer.span(obs_names::SPAN_EXECUTION, SpanKind::Execution);
                 let out = run(engine, b);
                 let spent = Self::sanitize(out.spent);
                 *total += spent;
+                exec_span.attr("band", band as u64);
+                exec_span.attr("attempt", attempt as u64);
+                exec_span.attr("budget", b);
+                exec_span.attr("spent", spent);
+                exec_span.attr("completed", !out.failed && out.learned.is_exact());
+                exec_span.attr("faulted", out.failed);
+                drop(exec_span);
                 if !out.failed {
                     let exact = out.learned.is_exact();
                     steps.push(Step {
@@ -309,10 +348,18 @@ impl Supervisor {
         // sound (no injector, so `failed` cannot be set)
         self.stats.last_resort += 1;
         crate::obs::last_resort(self.algo);
+        let mut exec_span = self.tracer.span(obs_names::SPAN_EXECUTION, SpanKind::Execution);
         let out = run(&engine.without_injector(), budget);
         let spent = Self::sanitize(out.spent);
         *total += spent;
         let exact = out.learned.is_exact();
+        exec_span.attr("band", band as u64);
+        exec_span.attr("attempt", (self.policy.max_retries + 1) as u64);
+        exec_span.attr("budget", budget);
+        exec_span.attr("spent", spent);
+        exec_span.attr("completed", exact);
+        exec_span.attr("faulted", false);
+        drop(exec_span);
         steps.push(Step {
             band,
             plan: plan_ref.clone(),

@@ -118,6 +118,10 @@ impl Ess {
         let m = obs::metrics();
         m.compiles.inc();
         let span = rqp_obs::time_histogram(&m.compile_seconds);
+        let tracer = rqp_obs::current();
+        let mut compile_span =
+            tracer.span(rqp_obs::names::SPAN_ESS_COMPILE, rqp_obs::SpanKind::Compile);
+        compile_span.attr("query", optimizer.query().name.as_str());
         let opt_calls = rqp_obs::global().counter(rqp_obs::names::OPTIMIZER_CALLS);
         let calls_before = opt_calls.get();
 
@@ -127,6 +131,7 @@ impl Ess {
         if let (Some(cache), Some(fp)) = (cache, fingerprint) {
             if let Some(ess) = cache.load(fp).and_then(|snap| snap.restore().ok()) {
                 m.cache_hits.inc();
+                compile_span.attr("cache", "hit");
                 m.grid_cells.set(ess.posp.grid().num_cells() as f64);
                 m.contour_bands.set(ess.contours.num_bands() as f64);
                 m.posp_plans.set(ess.posp.num_plans() as f64);
@@ -154,10 +159,19 @@ impl Ess {
         let grid = Grid::uniform(dims, config.resolution, config.min_sel)?;
         let posp = Posp::compile_with(optimizer, grid, config.mode);
 
-        let contour_span = rqp_obs::time_histogram(&m.contour_build_seconds);
-        let contours = ContourSet::build(&posp, config.contour_ratio)?;
-        let contour_secs = contour_span.stop();
+        let sw = rqp_obs::Stopwatch::start();
+        let contours = {
+            let _cb = tracer
+                .span(rqp_obs::names::SPAN_CONTOUR_BUILD, rqp_obs::SpanKind::CompilePhase)
+                .with_histogram(&m.contour_build_seconds);
+            ContourSet::build(&posp, config.contour_ratio)?
+        };
+        let contour_secs = sw.elapsed_secs();
 
+        compile_span.attr("grid_cells", posp.grid().num_cells() as u64);
+        compile_span.attr("posp_plans", posp.num_plans() as u64);
+        compile_span.attr("contour_bands", contours.num_bands() as u64);
+        compile_span.attr("optimizer_calls", opt_calls.get() - calls_before);
         m.grid_cells.set(posp.grid().num_cells() as f64);
         m.contour_bands.set(contours.num_bands() as f64);
         m.posp_plans.set(posp.num_plans() as f64);

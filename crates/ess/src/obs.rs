@@ -1,7 +1,7 @@
 //! Instrumentation handles for ESS compilation — the §7 "repeated calls to
 //! the optimizer" overhead this crate exists to pay.
 
-use rqp_obs::{default_latency_buckets, global, names, Counter, Gauge, Histogram};
+use rqp_obs::{default_compile_buckets, global, names, Counter, Gauge, Histogram};
 use std::sync::{Arc, OnceLock};
 
 pub(crate) struct EssMetrics {
@@ -41,7 +41,9 @@ pub(crate) fn metrics() -> &'static EssMetrics {
     static METRICS: OnceLock<EssMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let g = global();
-        let buckets = default_latency_buckets();
+        // Compile-scale buckets: cold 4D+ compiles run multi-second to
+        // multi-minute, far past the ~67s latency-bucket ceiling.
+        let buckets = default_compile_buckets();
         EssMetrics {
             memo_hits: g.counter(names::ESS_MEMO_HITS),
             posp_cells: g.counter(names::ESS_POSP_CELLS),

@@ -11,9 +11,54 @@ use crate::grid::{Cell, Grid};
 use crate::registry::{PlanId, PlanRegistry};
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use rqp_obs::{JsonValue, Stopwatch};
 use rqp_optimizer::Optimizer;
 use rqp_qplan::{Fingerprint, PlanNode};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Accumulates one compile phase's total work across parallel workers:
+/// per-cell [`Stopwatch`] readings land in an atomic nanosecond counter,
+/// reported afterwards as one synthetic aggregate span. Summed worker time
+/// can exceed the enclosing span's wall time — it is attribution ("where
+/// did the optimizer calls go"), not a timeline.
+struct PhaseClock {
+    enabled: bool,
+    nanos: AtomicU64,
+    cells: AtomicU64,
+}
+
+impl PhaseClock {
+    fn new(enabled: bool) -> PhaseClock {
+        PhaseClock { enabled, nanos: AtomicU64::new(0), cells: AtomicU64::new(0) }
+    }
+
+    /// Start timing one cell's work (no-op when tracing is disabled).
+    fn cell(&self) -> Option<Stopwatch> {
+        self.enabled.then(Stopwatch::start)
+    }
+
+    fn add(&self, sw: Option<Stopwatch>) {
+        if let Some(sw) = sw {
+            self.nanos.fetch_add(sw.elapsed_nanos(), Ordering::Relaxed);
+            self.cells.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Emit the aggregate as a synthetic span under the current parent.
+    fn report(&self, tracer: &rqp_obs::Tracer, name: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        let cells = self.cells.load(Ordering::Relaxed);
+        tracer.record_span(
+            name,
+            rqp_obs::SpanKind::CompilePhase,
+            self.nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            vec![("cells", JsonValue::from(cells))],
+        );
+    }
+}
 
 /// Strategy for computing the optimal-plan surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,17 +114,22 @@ fn exact_surface(
     optimizer: &Optimizer<'_>,
     grid: &Grid,
 ) -> (Vec<(Fingerprint, f64)>, HashMap<Fingerprint, PlanNode>) {
+    let tracer = rqp_obs::current();
+    let dp = PhaseClock::new(tracer.is_enabled());
     let distinct: Mutex<HashMap<Fingerprint, PlanNode>> = Mutex::new(HashMap::new());
     let per_cell: Vec<(Fingerprint, f64)> = grid
         .cells()
         .into_par_iter()
         .map(|cell| {
+            let sw = dp.cell();
             let planned = optimizer.optimize(&grid.location(cell));
             let fp = Fingerprint::of(&planned.plan);
             record_plan(&distinct, fp, planned.plan);
+            dp.add(sw);
             (fp, planned.cost)
         })
         .collect();
+    dp.report(&tracer, rqp_obs::names::SPAN_POSP_EXACT_DP);
     (per_cell, distinct.into_inner())
 }
 
@@ -108,17 +158,24 @@ fn recost_surface(
     let seed_cells: Vec<Cell> =
         grid.cells().filter(|&c| (0..dims).all(|d| is_seed[d][grid.coord(c, d)])).collect();
 
+    let tracer = rqp_obs::current();
+    let seed_dp = PhaseClock::new(tracer.is_enabled());
+    let recost = PhaseClock::new(tracer.is_enabled());
+    let fallback_dp = PhaseClock::new(tracer.is_enabled());
     let distinct: Mutex<HashMap<Fingerprint, PlanNode>> = Mutex::new(HashMap::new());
     let seed_results: Vec<(Cell, Fingerprint, f64)> = seed_cells
         .par_iter()
         .map(|&cell| {
+            let sw = seed_dp.cell();
             let planned = optimizer.optimize(&grid.location(cell));
             let fp = Fingerprint::of(&planned.plan);
             record_plan(&distinct, fp, planned.plan);
+            seed_dp.add(sw);
             (cell, fp, planned.cost)
         })
         .collect();
     m.seed_cells.add(seed_cells.len() as u64);
+    seed_dp.report(&tracer, rqp_obs::names::SPAN_POSP_SEED_DP);
 
     let mut slot: Vec<Option<(Fingerprint, f64)>> = vec![None; grid.num_cells()];
     for &(cell, fp, cost) in &seed_results {
@@ -162,18 +219,24 @@ fn recost_surface(
                 if let Some(fp) = agreed {
                     if let Some(plan) = seed_plans.get(&fp) {
                         m.recost_cells.inc();
+                        let sw = recost.cell();
                         let cost = optimizer.cost_of(plan, &grid.location(cell));
+                        recost.add(sw);
                         return (cell, fp, cost);
                     }
                 }
             }
             m.recost_fallback_cells.inc();
+            let sw = fallback_dp.cell();
             let planned = optimizer.optimize(&grid.location(cell));
             let fp = Fingerprint::of(&planned.plan);
             record_plan(&distinct, fp, planned.plan);
+            fallback_dp.add(sw);
             (cell, fp, planned.cost)
         })
         .collect();
+    recost.report(&tracer, rqp_obs::names::SPAN_POSP_RECOST);
+    fallback_dp.report(&tracer, rqp_obs::names::SPAN_POSP_FALLBACK_DP);
     for (cell, fp, cost) in filled {
         slot[cell] = Some((fp, cost));
     }

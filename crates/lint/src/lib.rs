@@ -12,8 +12,9 @@
 //!   `debug_assert!` plus a PCM-safe fallback instead of aborting.
 //! * **L2 `float-eq`** — no raw `==`/`!=` on cost or selectivity
 //!   expressions; comparisons go through `rqp_qplan::cost_eq`/`cost_cmp`.
-//! * **L3 `obs-names`** — metric and event names at `rqp_obs` call sites
-//!   must be constants from `crates/obs/src/names.rs`, never inline string
+//! * **L3 `obs-names`** — metric, event and span names at `rqp_obs` call
+//!   sites (including `Tracer::span` / `Tracer::record_span`) must be
+//!   constants from `crates/obs/src/names.rs`, never inline string
 //!   literals, so series names cannot drift between producers and readers.
 //! * **L4 `determinism`** — the deterministic crates (`ess`, `core`,
 //!   `qplan`) must not read wall clocks or ambient randomness
@@ -42,7 +43,7 @@ pub enum Rule {
     NoPanic,
     /// L2: no raw float equality on cost/selectivity expressions.
     FloatEq,
-    /// L3: metric/event names must come from `rqp_obs::names`.
+    /// L3: metric/event/span names must come from `rqp_obs::names`.
     ObsNames,
     /// L4: no wall clocks or ambient randomness in deterministic crates.
     Determinism,
@@ -251,7 +252,8 @@ const L1_TOKENS: [(&str, &str); 5] = [
     ("unimplemented!", "`unimplemented!` in library code"),
 ];
 
-const L3_CALLS: [&str; 5] = ["Event::new(", ".counter(", ".gauge(", ".histogram(", "labeled("];
+const L3_CALLS: [&str; 7] =
+    ["Event::new(", ".counter(", ".gauge(", ".histogram(", "labeled(", ".span(", ".record_span("];
 
 const L4_TOKENS: [(&str, &str); 3] = [
     ("std::time", "wall-clock access in a deterministic crate (route timing through rqp_obs)"),
@@ -447,8 +449,10 @@ fn walk(dir: &Path, files: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if p.is_dir() {
-            if matches!(name.as_ref(), "target" | ".git" | "fixtures" | ".github" | "node_modules")
-            {
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | "fixtures" | ".github" | "node_modules" | "third_party"
+            ) {
                 continue;
             }
             walk(&p, files)?;
@@ -549,6 +553,21 @@ mod tests {
         assert!(lint_source("crates/core/tests/it.rs", src).is_empty());
         assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
         assert!(lint_source("examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn span_sites_with_inline_names_trip_l3() {
+        let dirty = "let _g = tracer.span(\"my_span\", SpanKind::Step);\n";
+        let v = lint_source("crates/x/src/lib.rs", dirty);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ObsNames);
+        let dirty2 = "t.record_span(\"phase\", SpanKind::CompilePhase, secs, vec![]);\n";
+        assert_eq!(lint_source("crates/x/src/lib.rs", dirty2).len(), 1);
+        // Constants from rqp_obs::names are the approved form.
+        let clean = "let _g = tracer.span(names::SPAN_EXECUTION, SpanKind::Execution);\n";
+        assert!(lint_source("crates/x/src/lib.rs", clean).is_empty());
+        // The obs crate defines the names; its own call sites are exempt.
+        assert!(lint_source("crates/obs/src/trace.rs", dirty).is_empty());
     }
 
     #[test]

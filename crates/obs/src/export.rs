@@ -1,0 +1,148 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and
+//! folded-stack flamegraph text.
+//!
+//! Both exporters are pure functions over [`SpanRecord`]s and build their
+//! output through the self-contained [`crate::json`] codec, so exported
+//! traces round-trip through [`crate::json::parse`] — the trace-smoke
+//! check in CI relies on that.
+
+use crate::json::{JsonValue, Map};
+use crate::trace::SpanRecord;
+
+/// Build a Chrome trace-event document (the `{"traceEvents": [...]}` form)
+/// from completed spans. Each span becomes a complete (`"ph":"X"`) event;
+/// timestamps and durations are microseconds relative to the trace epoch;
+/// each span's `lane` becomes the `tid`, giving one display lane per
+/// worker/session in Perfetto.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> JsonValue {
+    let mut events = Vec::with_capacity(spans.len());
+    for s in spans {
+        let mut args = Map::new();
+        args.insert("trace_id".to_owned(), JsonValue::from(s.trace_id));
+        args.insert("span_id".to_owned(), JsonValue::from(s.span_id));
+        match s.parent_id {
+            Some(p) => args.insert("parent_id".to_owned(), JsonValue::from(p)),
+            None => args.insert("parent_id".to_owned(), JsonValue::Null),
+        };
+        for (k, v) in &s.attrs {
+            args.insert((*k).to_owned(), v.clone());
+        }
+        let mut ev = Map::new();
+        ev.insert("name".to_owned(), JsonValue::Str(s.name.to_owned()));
+        ev.insert("cat".to_owned(), JsonValue::Str(s.kind.as_str().to_owned()));
+        ev.insert("ph".to_owned(), JsonValue::Str("X".to_owned()));
+        ev.insert("ts".to_owned(), JsonValue::Num(s.start * 1e6));
+        ev.insert("dur".to_owned(), JsonValue::Num(s.duration * 1e6));
+        ev.insert("pid".to_owned(), JsonValue::Int(1));
+        ev.insert("tid".to_owned(), JsonValue::from(s.lane));
+        ev.insert("args".to_owned(), JsonValue::Object(args));
+        events.push(JsonValue::Object(ev));
+    }
+    let mut doc = Map::new();
+    doc.insert("traceEvents".to_owned(), JsonValue::Array(events));
+    doc.insert("displayTimeUnit".to_owned(), JsonValue::Str("ms".to_owned()));
+    JsonValue::Object(doc)
+}
+
+/// Merge spans from several traces (e.g. one per session) into a single
+/// Chrome trace document; lanes keep the events visually separated.
+pub fn chrome_trace_json_multi(traces: &[Vec<SpanRecord>]) -> JsonValue {
+    let all: Vec<SpanRecord> = traces.iter().flat_map(|t| t.iter().cloned()).collect();
+    chrome_trace_json(&all)
+}
+
+/// Render spans as folded stacks (`frame;frame;frame <self-µs>` per line),
+/// the input format of flamegraph tooling. Self time is a span's duration
+/// minus the summed durations of its direct children, clamped at zero;
+/// values are integer microseconds. Lines are emitted in deterministic
+/// (stack-lexicographic) order.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for s in spans {
+        let children_secs: f64 = spans
+            .iter()
+            .filter(|c| c.trace_id == s.trace_id && c.parent_id == Some(s.span_id))
+            .map(|c| c.duration)
+            .sum();
+        let self_micros = ((s.duration - children_secs).max(0.0) * 1e6).round() as u64;
+        // Walk ancestors to the root to build the stack.
+        let mut stack = vec![s.name];
+        let mut cursor = s.parent_id;
+        while let Some(pid) = cursor {
+            match spans.iter().find(|p| p.trace_id == s.trace_id && p.span_id == pid) {
+                Some(p) => {
+                    stack.push(p.name);
+                    cursor = p.parent_id;
+                }
+                None => break,
+            }
+        }
+        stack.reverse();
+        lines.push(format!("{} {}", stack.join(";"), self_micros));
+    }
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanKind, Tracer};
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        let t = Tracer::new(77, 3);
+        {
+            let mut root = t.span("session", SpanKind::Session);
+            root.attr("query", "2D_Q91");
+            {
+                let _c = t.span("compile", SpanKind::Compile);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let _e = t.span("exec", SpanKind::Execution);
+        }
+        t.spans()
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_codec() {
+        let spans = sample_spans();
+        let doc = chrome_trace_json(&spans);
+        let text = doc.to_json_pretty();
+        let parsed = crate::json::parse(&text).expect("exporter output must reparse");
+        let JsonValue::Object(obj) = &parsed else { panic!("expected object") };
+        let JsonValue::Array(events) = &obj["traceEvents"] else { panic!("expected array") };
+        assert_eq!(events.len(), spans.len());
+        let JsonValue::Object(first) = &events[0] else { panic!("expected object event") };
+        assert_eq!(first["ph"], JsonValue::Str("X".to_owned()));
+        assert_eq!(first["pid"], JsonValue::Int(1));
+        assert_eq!(first["tid"], JsonValue::Int(3));
+        let JsonValue::Object(args) = &first["args"] else { panic!("expected args object") };
+        assert_eq!(args["trace_id"], JsonValue::Int(77));
+    }
+
+    #[test]
+    fn folded_stacks_walks_parent_chains() {
+        let spans = sample_spans();
+        let folded = folded_stacks(&spans);
+        assert!(folded.contains("session;compile "), "missing nested stack in: {folded}");
+        assert!(folded.contains("session;exec "), "missing nested stack in: {folded}");
+        // Root line carries self time only (children subtracted).
+        let root_line =
+            folded.lines().find(|l| l.starts_with("session ")).expect("root stack line");
+        let self_us: u64 = root_line.rsplit(' ').next().expect("count").parse().expect("number");
+        let compile = spans.iter().find(|s| s.name == "compile").expect("compile span");
+        assert!((self_us as f64) < compile.duration * 1e6 + 1.0 || self_us == 0);
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        assert_eq!(folded_stacks(&[]), "");
+        let doc = chrome_trace_json(&[]);
+        let text = doc.to_json_pretty();
+        assert!(crate::json::parse(&text).is_ok());
+    }
+}

@@ -15,6 +15,11 @@
 //!   exports ([`MetricsRegistry::snapshot`],
 //!   [`MetricsRegistry::render_prometheus`]);
 //! * lightweight RAII timing spans ([`Timer`]) feeding histograms;
+//! * hierarchical causal tracing ([`trace::Tracer`]) with deterministic
+//!   span ids, thread-local propagation ([`trace::install`] /
+//!   [`trace::current`]) and two exporters: Chrome trace-event JSON
+//!   ([`chrome_trace_json`]) and folded flamegraph stacks
+//!   ([`folded_stacks`]);
 //! * a pluggable structured [`EventSink`] (JSONL via [`JsonlSink`], or
 //!   in-memory via [`MemorySink`]) behind a process-global switch. The
 //!   default sink is *none*: [`events_enabled`] is a single relaxed atomic
@@ -29,17 +34,25 @@
 //! [`names`] so producers and consumers cannot drift apart.
 
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod names;
 pub mod span;
+pub mod trace;
 
 pub use event::{
     clear_sink, emit, events_enabled, flush_sink, set_sink, Event, EventSink, JsonlSink, MemorySink,
 };
+pub use export::{chrome_trace_json, chrome_trace_json_multi, folded_stacks};
 pub use json::{JsonError, JsonValue};
 pub use metrics::{
-    exponential_buckets, global, labeled, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricsRegistry, MetricsSnapshot,
+    escape_label_value, exponential_buckets, global, labeled, Counter, Gauge, Histogram,
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
-pub use span::{default_latency_buckets, time_histogram, Timer};
+pub use span::{
+    default_compile_buckets, default_latency_buckets, time_histogram, Stopwatch, Timer,
+};
+pub use trace::{
+    current, install, structural_render, SpanGuard, SpanKind, SpanRecord, TraceScope, Tracer,
+};

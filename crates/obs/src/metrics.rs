@@ -164,13 +164,33 @@ pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
     v
 }
 
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote and newline must be written `\\`, `\"`, `\n`.
+/// Escaping happens here, at series-name construction time — a raw `"` in
+/// the stored flat name would make `base{k="v"}` unparseable later.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Format a metric name with labels, `base{k="v",…}` — the flat naming
-/// convention the registry uses for labelled series.
+/// convention the registry uses for labelled series. Label *values* are
+/// escaped per the Prometheus text exposition format
+/// ([`escape_label_value`]); keys are assumed to be identifiers.
 pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return base.to_string();
     }
-    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
     format!("{base}{{{}}}", body.join(","))
 }
 
@@ -574,6 +594,41 @@ mod tests {
         assert_eq!(labeled("m_total", &[]), "m_total");
         assert_eq!(labeled("m_total", &[("algo", "SB")]), "m_total{algo=\"SB\"}");
         assert_eq!(labeled("m", &[("a", "1"), ("b", "2")]), "m{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn labeled_escapes_prometheus_special_characters() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(
+            labeled("m_total", &[("query", "SELECT \"x\"\nFROM t\\u")]),
+            "m_total{query=\"SELECT \\\"x\\\"\\nFROM t\\\\u\"}"
+        );
+    }
+
+    #[test]
+    fn render_prometheus_escapes_quoted_query_names() {
+        let reg = MetricsRegistry::new();
+        // A query name containing quotes, a backslash and a newline must
+        // render as a single well-formed exposition line.
+        let series = labeled("rqp_query_runs_total", &[("query", "Q\"91\"\\odd\nname")]);
+        reg.counter(&series).add(2);
+        let text = reg.render_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("rqp_query_runs_total{"))
+            .expect("labelled counter line");
+        assert_eq!(line, "rqp_query_runs_total{query=\"Q\\\"91\\\"\\\\odd\\nname\"} 2");
+        // No raw (unescaped) newline may survive inside a label value: every
+        // exposition line must start with a metric name or '#'.
+        for l in text.lines() {
+            assert!(
+                l.starts_with('#') || l.starts_with("rqp_query_runs_total"),
+                "unexpected continuation line {l:?}"
+            );
+        }
     }
 
     #[test]

@@ -133,6 +133,35 @@ pub const SERVE_REGISTRY_MISSES: &str = "rqp_serve_registry_misses_total";
 /// starting their own (single-flight suppression).
 pub const SERVE_SINGLEFLIGHT_WAITS: &str = "rqp_serve_singleflight_waits_total";
 
+// ---- span names -------------------------------------------------------
+//
+// Causal-trace span names (see [`crate::trace`]). rqp-lint's `obs-names`
+// rule forbids inline string literals at `Tracer::span` / `record_span`
+// call sites, so every span name used in the workspace lives here.
+
+/// Span: a whole served session (admission → result).
+pub const SPAN_SESSION: &str = "session";
+/// Span: an `Ess::compile_cached` performed by this session.
+pub const SPAN_ESS_COMPILE: &str = "ess_compile";
+/// Span: blocked on a peer session's in-flight compile (single-flight).
+pub const SPAN_REGISTRY_WAIT: &str = "registry_wait";
+/// Span: building the iso-cost contour set inside a compile.
+pub const SPAN_CONTOUR_BUILD: &str = "contour_build";
+/// Span: aggregate seed-sublattice full-DP phase of a recost compile.
+pub const SPAN_POSP_SEED_DP: &str = "posp_seed_dp";
+/// Span: aggregate corner-agreement recosting phase of a recost compile.
+pub const SPAN_POSP_RECOST: &str = "posp_recost";
+/// Span: aggregate fallback full-DP phase (seed corners disagreed).
+pub const SPAN_POSP_FALLBACK_DP: &str = "posp_fallback_dp";
+/// Span: aggregate exhaustive per-cell DP phase of an exact compile.
+pub const SPAN_POSP_EXACT_DP: &str = "posp_exact_dp";
+/// Span: one iso-cost contour band of the discovery climb.
+pub const SPAN_CONTOUR_BAND: &str = "contour_band";
+/// Span: one discovery step (plan choice / spill probe / re-opt round).
+pub const SPAN_DISCOVERY_STEP: &str = "discovery_step";
+/// Span: one budgeted engine execution attempt (supervised).
+pub const SPAN_EXECUTION: &str = "execution";
+
 // ---- event kinds ------------------------------------------------------
 
 /// Event: one budgeted execution (one per `Engine::execute_budgeted`).

@@ -11,6 +11,41 @@ pub fn default_latency_buckets() -> Vec<f64> {
     exponential_buckets(1e-6, 4.0, 14)
 }
 
+/// Bucket bounds for compile-scale latencies: 1ms to ~1049s in ×4 steps
+/// (11 buckets plus the implicit overflow bucket). [`default_latency_buckets`]
+/// tops out near 268ms, so cold 4D+ ESS compiles — multi-second in
+/// BENCH_4.json — would otherwise land entirely in the overflow bucket;
+/// use these at compile and serve-session registration sites.
+pub fn default_compile_buckets() -> Vec<f64> {
+    exponential_buckets(1e-3, 4.0, 11)
+}
+
+/// A plain elapsed-time stopwatch with no metric attached. This is the
+/// sanctioned timing primitive for the deterministic crates (rqp-lint L4
+/// forbids `std::time` there): per-cell compile attribution accumulates
+/// `Stopwatch` readings into atomics and reports them as aggregate spans.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start the stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed nanoseconds since start (saturating at `u64::MAX`).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed seconds since start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
 /// An RAII timing span. On drop it observes the elapsed wall-clock seconds
 /// into its histogram. Create one with [`time_histogram`] or
 /// [`Timer::new`]; use [`Timer::stop`] to end it early and read the
@@ -70,6 +105,29 @@ mod tests {
         }
         assert_eq!(h.count(), 1);
         assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn compile_buckets_cover_cold_multi_second_compiles() {
+        let b = default_compile_buckets();
+        let top = b.last().copied().unwrap_or(0.0);
+        assert!(top >= 1000.0, "compile buckets must reach ~1000s, got {top}");
+        assert!(b[0] <= 1e-3);
+        // The latency buckets top out far below the compile buckets.
+        let lat_top = default_latency_buckets().last().copied().unwrap_or(0.0);
+        assert!(
+            lat_top < top / 10.0,
+            "latency ceiling {lat_top} too close to compile ceiling {top}"
+        );
+    }
+
+    #[test]
+    fn stopwatch_reads_monotonically() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
     }
 
     #[test]

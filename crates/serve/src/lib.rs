@@ -26,6 +26,12 @@
 //! * [`ServeReport`] — session-level MSO/ASO per (query, algorithm)
 //!   group, throughput, and latency percentiles, the serving analogue of
 //!   the paper's robustness metrics.
+//! * Causal tracing ([`ServeConfig::tracing`]) — each session records a
+//!   deterministic span tree (session → compile/wait → step → execution,
+//!   see `rqp_obs::trace`) carried in [`SessionResult::spans`], and
+//!   [`TelemetryServer`] ([`ServeConfig::telemetry_addr`]) serves
+//!   `/metrics`, `/healthz` and `/trace/<session>` live on the running
+//!   server.
 //!
 //! Sessions may carry chaos fault schedules ([`ServeConfig::chaos`]);
 //! faults strike a session's *executions*, never the shared registry —
@@ -46,9 +52,11 @@ pub mod registry;
 pub mod report;
 pub mod server;
 pub mod session;
+pub mod telemetry;
 
 pub use obs::register_metrics;
 pub use registry::{EssRegistry, Lookup, RegistryStats};
 pub use report::{GroupStats, ServeReport};
 pub use server::{serve_workload, ServeConfig, Server};
 pub use session::{algo_by_name, SessionOutcome, SessionResult, SessionSpec};
+pub use telemetry::{TelemetryServer, TraceStore};

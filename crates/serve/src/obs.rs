@@ -1,7 +1,7 @@
 //! Instrumentation handles for the serving layer: admission, queueing,
 //! session outcomes and shared-registry effectiveness.
 
-use rqp_obs::{default_latency_buckets, global, names, Counter, Gauge, Histogram};
+use rqp_obs::{default_compile_buckets, global, names, Counter, Gauge, Histogram};
 use std::sync::{Arc, OnceLock};
 
 pub(crate) struct ServeMetrics {
@@ -33,7 +33,9 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
     static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let g = global();
-        let buckets = default_latency_buckets();
+        // Sessions include a cold ESS compile in the worst case, so they get
+        // compile-scale buckets rather than per-plan latency buckets.
+        let buckets = default_compile_buckets();
         ServeMetrics {
             sessions_active: g.gauge(names::SERVE_SESSIONS_ACTIVE),
             queue_depth: g.gauge(names::SERVE_QUEUE_DEPTH),

@@ -138,25 +138,37 @@ impl EssRegistry {
         let m = metrics();
         let shard = self.shard(fp);
         let mut map = shard.lock();
-        let mut waited = false;
+        let mut wait_sw: Option<rqp_obs::Stopwatch> = None;
+        let record_wait = |sw: Option<rqp_obs::Stopwatch>| {
+            if let Some(sw) = sw {
+                rqp_obs::current().record_span(
+                    rqp_obs::names::SPAN_REGISTRY_WAIT,
+                    rqp_obs::SpanKind::Wait,
+                    sw.elapsed_secs(),
+                    vec![("fingerprint", rqp_obs::JsonValue::from(fp))],
+                );
+            }
+        };
         loop {
             match map.get(&fp) {
                 None => break,
                 Some(Entry::Ready(ess)) => {
                     let ess = Arc::clone(ess);
                     drop(map);
-                    let lookup = self.note_resident(waited);
+                    let lookup = self.note_resident(wait_sw.is_some());
+                    record_wait(wait_sw);
                     return Ok((ess, lookup));
                 }
                 Some(Entry::Failed(e)) => {
                     let e = e.clone();
                     drop(map);
-                    self.note_resident(waited);
+                    self.note_resident(wait_sw.is_some());
+                    record_wait(wait_sw);
                     return Err(e);
                 }
                 Some(Entry::Pending) => {
-                    if !waited {
-                        waited = true;
+                    if wait_sw.is_none() {
+                        wait_sw = Some(rqp_obs::Stopwatch::start());
                         self.waits.fetch_add(1, Ordering::Relaxed);
                         m.singleflight_waits.inc();
                     }

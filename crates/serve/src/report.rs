@@ -181,6 +181,8 @@ mod tests {
             wall: Duration::from_millis(10 * (id as u64 + 1)),
             lookup: None,
             trace_render: None,
+            total_cost: None,
+            spans: Vec::new(),
         }
     }
 
@@ -211,6 +213,38 @@ mod tests {
         assert_eq!(r.latency_percentile(0.5), Some(Duration::from_millis(10)));
         assert_eq!(r.latency_percentile(1.0), Some(Duration::from_millis(20)));
         assert!((r.throughput() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentile_is_none_without_worker_sessions() {
+        assert_eq!(report(vec![]).latency_percentile(0.5), None);
+        // Rejected sessions never reached a worker; they don't count.
+        let r = report(vec![result(0, "sb", SessionOutcome::Rejected, None)]);
+        assert_eq!(r.latency_percentile(0.99), None);
+    }
+
+    #[test]
+    fn latency_percentile_single_sample_answers_every_quantile() {
+        let r = report(vec![result(0, "sb", SessionOutcome::Completed, Some(1.0))]);
+        let only = Some(Duration::from_millis(10));
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(r.latency_percentile(q), only, "q={q}");
+        }
+    }
+
+    #[test]
+    fn latency_percentile_exact_boundaries() {
+        // 100 sessions with walls 10ms, 20ms, ..., 1000ms: the ceil-rank
+        // definition puts p50 exactly at the 50th sample, p95 at the 95th,
+        // p99 at the 99th.
+        let results: Vec<SessionResult> =
+            (0..100).map(|i| result(i, "sb", SessionOutcome::Completed, Some(1.0))).collect();
+        let r = report(results);
+        assert_eq!(r.latency_percentile(0.50), Some(Duration::from_millis(500)));
+        assert_eq!(r.latency_percentile(0.95), Some(Duration::from_millis(950)));
+        assert_eq!(r.latency_percentile(0.99), Some(Duration::from_millis(990)));
+        assert_eq!(r.latency_percentile(0.0), Some(Duration::from_millis(10)));
+        assert_eq!(r.latency_percentile(1.0), Some(Duration::from_millis(1000)));
     }
 
     #[test]

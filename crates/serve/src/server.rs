@@ -55,6 +55,13 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Lock shards in the registry.
     pub registry_shards: usize,
+    /// Record a causal trace per session (admission → compile/wait →
+    /// contour → execution spans); results carry their spans and finished
+    /// traces are published to the trace store.
+    pub tracing: bool,
+    /// Bind address for the live telemetry endpoint (`/metrics`,
+    /// `/healthz`, `/trace/<session>`); `None` disables it.
+    pub telemetry_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +76,8 @@ impl Default for ServeConfig {
             keep_traces: false,
             cache_dir: None,
             registry_shards: 8,
+            tracing: false,
+            telemetry_addr: None,
         }
     }
 }
@@ -91,6 +100,8 @@ struct Inner {
     work_ready: Condvar,
     results: Mutex<Vec<SessionResult>>,
     active: std::sync::atomic::AtomicUsize,
+    /// Finished-session Chrome traces, shared with the telemetry endpoint.
+    traces: Arc<crate::telemetry::TraceStore>,
 }
 
 impl Inner {
@@ -105,6 +116,7 @@ pub struct Server {
     inner: Arc<Inner>,
     workers: Vec<std::thread::JoinHandle<()>>,
     started_at: Instant,
+    telemetry: Option<crate::telemetry::TelemetryServer>,
 }
 
 impl Server {
@@ -134,8 +146,15 @@ impl Server {
             work_ready: Condvar::new(),
             results: Mutex::new(Vec::new()),
             active: std::sync::atomic::AtomicUsize::new(0),
+            traces: Arc::new(crate::telemetry::TraceStore::new()),
             config,
         });
+        let telemetry = match &inner.config.telemetry_addr {
+            Some(addr) => {
+                Some(crate::telemetry::TelemetryServer::start(addr, Arc::clone(&inner.traces))?)
+            }
+            None => None,
+        };
         let mut workers = Vec::with_capacity(inner.config.workers);
         for i in 0..inner.config.workers {
             let inner = Arc::clone(&inner);
@@ -145,7 +164,7 @@ impl Server {
                 .map_err(|e| RqpError::Internal(format!("cannot spawn serve worker: {e}")))?;
             workers.push(handle);
         }
-        Ok(Server { inner, workers, started_at: Instant::now() })
+        Ok(Server { inner, workers, started_at: Instant::now(), telemetry })
     }
 
     /// Admit a session, or refuse it immediately if the queue is full.
@@ -200,6 +219,12 @@ impl Server {
         self.inner.registry.stats()
     }
 
+    /// The telemetry endpoint's bound address (`None` when disabled).
+    /// With `telemetry_addr` set to port 0, this reveals the chosen port.
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry.as_ref().map(crate::telemetry::TelemetryServer::local_addr)
+    }
+
     /// Close the queue, let the workers finish every admitted session,
     /// join them, and summarize the run.
     pub fn drain(self) -> ServeReport {
@@ -215,6 +240,9 @@ impl Server {
             // A worker that panicked already published what it could; the
             // drain still returns every recorded result.
             let _ = handle.join();
+        }
+        if let Some(telemetry) = self.telemetry {
+            telemetry.stop();
         }
         let results =
             std::mem::take(&mut *self.inner.results.lock().unwrap_or_else(PoisonError::into_inner));
@@ -279,10 +307,57 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// FNV-1a, the deterministic seed for session trace ids.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wrap one session in its causal trace: derive the deterministic trace
+/// id, install the tracer on this worker thread, open the root session
+/// span, run the session, and collect the spans into the result (and the
+/// shared trace store for the telemetry endpoint).
+fn run_session(inner: &Inner, queued: Queued) -> SessionResult {
+    let spec = &queued.spec;
+    let tracer = if inner.config.tracing {
+        // deterministic: same (query, algo, id) → same trace id across runs
+        let trace_id = fnv1a(spec.query.as_bytes())
+            ^ fnv1a(spec.algo.as_bytes()).rotate_left(17)
+            ^ spec.id as u64;
+        rqp_obs::Tracer::new(trace_id, spec.id as u64)
+    } else {
+        rqp_obs::Tracer::disabled()
+    };
+    let scope = rqp_obs::install(tracer.clone());
+    let mut session_span = tracer.span(names::SPAN_SESSION, rqp_obs::SpanKind::Session);
+    session_span.attr("session", spec.id as u64);
+    session_span.attr("query", spec.query.as_str());
+    session_span.attr("algo", spec.algo.as_str());
+    let mut result = run_session_inner(inner, queued);
+    session_span.attr("outcome", result.outcome.label());
+    if let Some(total) = result.total_cost {
+        session_span.attr("total_cost", total);
+    }
+    if let Some(s) = result.subopt {
+        session_span.attr("subopt", s);
+    }
+    drop(session_span);
+    drop(scope);
+    if tracer.is_enabled() {
+        result.spans = tracer.spans();
+        inner.traces.insert(result.id, rqp_obs::chrome_trace_json(&result.spans).to_json_pretty());
+    }
+    result
+}
+
 /// Execute one admitted session end to end: resolve the workload, fetch
 /// (or single-flight compile) the shared ESS, admit a runtime against it,
 /// attach the session's fault schedule, and run discovery.
-fn run_session(inner: &Inner, queued: Queued) -> SessionResult {
+fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
     let Queued { spec, admitted_at } = queued;
     let algo_token = spec.algo.to_ascii_lowercase();
     let mut result = SessionResult {
@@ -295,6 +370,8 @@ fn run_session(inner: &Inner, queued: Queued) -> SessionResult {
         wall: Duration::ZERO,
         lookup: None,
         trace_render: None,
+        total_cost: None,
+        spans: Vec::new(),
     };
     let finish = |mut r: SessionResult, outcome: SessionOutcome| {
         r.outcome = outcome;
@@ -345,6 +422,7 @@ fn run_session(inner: &Inner, queued: Queued) -> SessionResult {
     let trace = algo.discover(&rt, qa);
     result.subopt = Some(trace.subopt());
     result.steps = trace.num_executions();
+    result.total_cost = Some(trace.total_cost);
     if inner.config.keep_traces {
         result.trace_render = Some(trace.render());
     }
@@ -392,6 +470,8 @@ pub fn serve_workload(
                     wall: Duration::ZERO,
                     lookup: None,
                     trace_render: None,
+                    total_cost: None,
+                    spans: Vec::new(),
                 });
             }
         }

@@ -99,6 +99,13 @@ pub struct SessionResult {
     /// Rendered discovery trace, kept only when the server is configured
     /// with `keep_traces`.
     pub trace_render: Option<String>,
+    /// Total accounted execution cost of the discovery run (`None` when
+    /// discovery never ran). Causal Execution spans' `spent` attributes sum
+    /// to this.
+    pub total_cost: Option<f64>,
+    /// The session's causal trace, populated when the server runs with
+    /// `tracing` enabled (empty otherwise). Ordered by span start time.
+    pub spans: Vec<rqp_obs::SpanRecord>,
 }
 
 impl SessionResult {

@@ -1,0 +1,237 @@
+//! A dependency-free live telemetry endpoint for a running server.
+//!
+//! [`TelemetryServer`] binds a plain `std::net::TcpListener` and answers
+//! three `GET` routes with minimal HTTP/1.1:
+//!
+//! * `/metrics`  — the global registry in Prometheus text exposition format
+//! * `/healthz`  — liveness (`ok`)
+//! * `/trace/<session-id>` — the session's causal trace as Chrome
+//!   trace-event JSON (populated once the session finishes)
+//!
+//! The accept loop runs on one background thread with a non-blocking
+//! listener so [`TelemetryServer::stop`] never blocks on a quiet socket.
+//! Responses are built whole and written once; every connection is
+//! `Connection: close`, so no keep-alive state exists to leak.
+
+use rqp_catalog::{RqpError, RqpResult};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Finished-session traces, keyed by session id, rendered as Chrome
+/// trace-event JSON. Shared between the serve workers (producers) and the
+/// telemetry endpoint (consumer).
+#[derive(Default)]
+pub struct TraceStore {
+    map: Mutex<HashMap<usize, String>>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> TraceStore {
+        TraceStore::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<usize, String>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publish a session's rendered trace.
+    pub fn insert(&self, session: usize, chrome_json: String) {
+        self.lock().insert(session, chrome_json);
+    }
+
+    /// The rendered trace for a session, if it has finished.
+    pub fn get(&self, session: usize) -> Option<String> {
+        self.lock().get(&session).cloned()
+    }
+
+    /// Session ids with a published trace, ascending.
+    pub fn ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// The live telemetry endpoint. Dropping (or [`stop`](Self::stop)ping) it
+/// shuts the accept loop down and joins the thread.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9921`; port 0 picks a free port) and
+    /// start answering telemetry requests against `traces`.
+    ///
+    /// # Errors
+    /// [`RqpError::Config`] when the address cannot be bound or the spawn
+    /// fails.
+    pub fn start(addr: &str, traces: Arc<TraceStore>) -> RqpResult<TelemetryServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| RqpError::Config(format!("telemetry cannot bind {addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RqpError::Config(format!("telemetry listener setup: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| RqpError::Config(format!("telemetry local addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("rqp-telemetry".to_string())
+            .spawn(move || accept_loop(&listener, &stop_flag, &traces))
+            .map_err(|e| RqpError::Config(format!("cannot spawn telemetry thread: {e}")))?;
+        Ok(TelemetryServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shut the accept loop down and join its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, traces: &Arc<TraceStore>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, traces),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // transient accept errors (aborted handshakes etc.): keep serving
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Read the request head (bounded), route it, and write one response.
+fn handle_connection(mut stream: TcpStream, traces: &Arc<TraceStore>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    let mut buf = [0u8; 4096];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = match std::str::from_utf8(&head).ok().and_then(|s| s.lines().next()) {
+        Some(line) => line.to_string(),
+        None => return,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return,
+    };
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "only GET is served\n".to_string())
+    } else {
+        route(path, traces)
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Resolve a `GET` path to `(status, content-type, body)`.
+fn route(path: &str, traces: &Arc<TraceStore>) -> (&'static str, &'static str, String) {
+    const OK: &str = "200 OK";
+    const NOT_FOUND: &str = "404 Not Found";
+    const TEXT: &str = "text/plain; charset=utf-8";
+    match path {
+        "/metrics" => {
+            // version 0.0.4 is the Prometheus text exposition format version,
+            // not ours
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                rqp_obs::global().render_prometheus(),
+            )
+        }
+        "/healthz" => (OK, TEXT, "ok\n".to_string()),
+        "/trace" | "/trace/" => {
+            let ids = traces.ids().iter().map(usize::to_string).collect::<Vec<_>>().join(", ");
+            (OK, "application/json", format!("{{\"sessions\": [{ids}]}}\n"))
+        }
+        _ => match path.strip_prefix("/trace/").and_then(|id| id.parse::<usize>().ok()) {
+            Some(id) => match traces.get(id) {
+                Some(json) => (OK, "application/json", json),
+                None => (NOT_FOUND, TEXT, format!("no trace for session {id}\n")),
+            },
+            None => (NOT_FOUND, TEXT, "routes: /metrics /healthz /trace/<session>\n".to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_traces() {
+        let traces = Arc::new(TraceStore::new());
+        traces.insert(3, "{\"traceEvents\": []}".to_string());
+        let srv = TelemetryServer::start("127.0.0.1:0", Arc::clone(&traces)).unwrap();
+        let addr = srv.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+
+        let index = get(addr, "/trace");
+        assert!(index.contains("\"sessions\": [3]"), "{index}");
+        let trace = get(addr, "/trace/3");
+        assert!(trace.contains("traceEvents"), "{trace}");
+        let missing = get(addr, "/trace/99");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let bogus = get(addr, "/nope");
+        assert!(bogus.starts_with("HTTP/1.1 404"), "{bogus}");
+        srv.stop();
+    }
+}

@@ -12,7 +12,9 @@
 //! rqp serve    --workload FILE | --query 2D_Q91 [--sessions K] [--algo sb]
 //!              [--workers N] [--queue M] [--resolution N] [--deadline-ms T]
 //!              [--budget-cap X] [--chaos-seed S] [--rate P] [--cache-dir DIR]
-//!              [--strict true]
+//!              [--strict true] [--telemetry-addr HOST:PORT]
+//!              [--trace-out FILE] [--flame-out FILE]
+//! rqp trace-check --file trace.json
 //! ```
 
 use robust_qp::core::native::native_mso_worst_estimate;
@@ -37,6 +39,7 @@ fn main() {
         "sql" => sql(&flags),
         "chaos" => chaos(&flags),
         "serve" => serve(&flags),
+        "trace-check" => trace_check(&flags),
         other => {
             eprintln!("unknown command {other:?}");
             usage();
@@ -59,7 +62,9 @@ fn usage() {
          \x20 chaos   --query NAME [--seed S] [--schedules K] [--rate P] [--metrics FILE]\n\
          \x20 serve   --workload FILE | --query NAME [--sessions K] [--algo sb]\n\
          \x20         [--workers N] [--queue M] [--deadline-ms T] [--budget-cap X]\n\
-         \x20         [--chaos-seed S] [--rate P] [--cache-dir DIR] [--strict true]"
+         \x20         [--chaos-seed S] [--rate P] [--cache-dir DIR] [--strict true]\n\
+         \x20         [--telemetry-addr HOST:PORT] [--trace-out FILE] [--flame-out FILE]\n\
+         \x20 trace-check --file FILE                validate a Chrome trace export"
     );
 }
 
@@ -464,10 +469,16 @@ fn serve(flags: &HashMap<String, String>) {
         chaos,
         keep_traces: false,
         cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
+        // Any trace consumer (live endpoint or file export) turns tracing on.
+        tracing: flags.contains_key("telemetry-addr")
+            || flags.contains_key("trace-out")
+            || flags.contains_key("flame-out"),
+        telemetry_addr: flags.get("telemetry-addr").cloned(),
         ..ServeConfig::default()
     };
 
     robust_qp::serve::register_metrics();
+    let tracing_on = config.tracing;
     println!(
         "serving {total} session(s) with {} worker(s), queue capacity {}",
         config.workers, config.queue_cap
@@ -479,6 +490,31 @@ fn serve(flags: &HashMap<String, String>) {
     print!("{}", report.render());
     if flags.contains_key("cache-dir") {
         println!("{}", cache_summary());
+    }
+
+    if let Some(path) = flags.get("trace-out") {
+        let traces: Vec<Vec<robust_qp::obs::SpanRecord>> =
+            report.results.iter().map(|r| r.spans.clone()).collect();
+        let json = robust_qp::obs::chrome_trace_json_multi(&traces).to_json_pretty();
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("trace: {path} (load in Perfetto / chrome://tracing)");
+    }
+    if let Some(path) = flags.get("flame-out") {
+        let all: Vec<robust_qp::obs::SpanRecord> =
+            report.results.iter().flat_map(|r| r.spans.iter().cloned()).collect();
+        std::fs::write(path, robust_qp::obs::folded_stacks(&all)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("flamegraph stacks: {path}");
+    }
+
+    if tracing_on {
+        let traced = report.count(|r| !r.spans.is_empty());
+        println!("tracing: {traced} session trace(s) captured");
     }
 
     if flags.get("strict").map(String::as_str) == Some("true") {
@@ -508,4 +544,64 @@ fn serve(flags: &HashMap<String, String>) {
         }
         println!("strict serve passed: every session completed, one compile per fingerprint");
     }
+}
+
+/// Validate a Chrome trace-event export produced by `serve --trace-out`:
+/// it must reparse through the obs JSON codec, carry a `traceEvents`
+/// array, and contain at least one compile span and one single-flight
+/// wait span — the causal shape the trace-smoke CI job asserts.
+fn trace_check(flags: &HashMap<String, String>) {
+    use robust_qp::obs::JsonValue;
+
+    let file = required(flags, "file");
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(1);
+    });
+    let parsed = robust_qp::obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{file} is not valid trace JSON: {e}");
+        exit(1);
+    });
+    let JsonValue::Object(doc) = &parsed else {
+        eprintln!("{file}: top level must be an object");
+        exit(1);
+    };
+    let Some(JsonValue::Array(events)) = doc.get("traceEvents") else {
+        eprintln!("{file}: missing traceEvents array");
+        exit(1);
+    };
+    let mut by_cat: HashMap<String, usize> = HashMap::new();
+    let mut sessions = std::collections::HashSet::new();
+    for ev in events {
+        let JsonValue::Object(ev) = ev else {
+            eprintln!("{file}: non-object trace event");
+            exit(1);
+        };
+        match (ev.get("cat"), ev.get("ph"), ev.get("tid")) {
+            (Some(JsonValue::Str(cat)), Some(JsonValue::Str(_)), Some(tid)) => {
+                *by_cat.entry(cat.clone()).or_insert(0) += 1;
+                sessions.insert(format!("{tid:?}"));
+            }
+            _ => {
+                eprintln!("{file}: trace event missing cat/ph/tid");
+                exit(1);
+            }
+        }
+    }
+    let mut cats: Vec<(&String, &usize)> = by_cat.iter().collect();
+    cats.sort();
+    println!("{file}: {} event(s) across {} session lane(s)", events.len(), sessions.len());
+    for (cat, n) in cats {
+        println!("  {cat:<14} {n}");
+    }
+    let compiles = by_cat.get("compile").copied().unwrap_or(0);
+    let waits = by_cat.get("wait").copied().unwrap_or(0);
+    if compiles == 0 || waits == 0 {
+        eprintln!(
+            "trace check failed: need at least one compile span and one wait span \
+             (got {compiles} compile, {waits} wait)"
+        );
+        exit(1);
+    }
+    println!("trace check passed: {compiles} compile span(s), {waits} wait span(s)");
 }

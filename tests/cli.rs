@@ -89,6 +89,46 @@ fn unknown_workload_fails_cleanly() {
 }
 
 #[test]
+fn traced_serve_exports_pass_trace_check() {
+    let dir = std::env::temp_dir().join(format!("rqp_cli_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let flame = dir.join("stacks.folded");
+    let out = rqp(&[
+        "serve",
+        "--query",
+        "2D_Q91",
+        "--sessions",
+        "8",
+        "--workers",
+        "8",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--flame-out",
+        flame.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("8 session trace(s) captured"), "{text}");
+
+    let check = rqp(&["trace-check", "--file", trace.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", String::from_utf8_lossy(&check.stderr));
+    let verdict = String::from_utf8_lossy(&check.stdout);
+    assert!(verdict.contains("trace check passed"), "{verdict}");
+
+    let folded = std::fs::read_to_string(&flame).unwrap();
+    assert!(folded.contains("session;ess_compile"), "compile path missing in:\n{folded}");
+
+    // A non-trace JSON file is refused with a structured failure.
+    let bogus = dir.join("bogus.json");
+    std::fs::write(&bogus, "{\"traceEvents\": []}").unwrap();
+    let fail = rqp(&["trace-check", "--file", bogus.to_str().unwrap()]);
+    assert!(!fail.status.success());
+    assert!(String::from_utf8_lossy(&fail.stderr).contains("trace check failed"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn sql_subcommand_parses_and_runs() {
     let dir = std::env::temp_dir().join(format!("rqp_cli_sql_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,118 @@
+//! Offline stub of `criterion`: a minimal timing harness exposing the
+//! macro/API surface the workspace benches use (`criterion_group!` with
+//! `name`/`config`/`targets`, `criterion_main!`, `Criterion::default()
+//! .sample_size(n)`, `bench_function`, `Bencher::iter`, `black_box`).
+//! Each benchmark runs `sample_size` samples of one iteration each and
+//! prints median/min/max — no statistics, plots or baselines.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing handle passed to `bench_function` closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f` once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed().as_secs_f64());
+    }
+}
+
+/// Stub of `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (builder style, like criterion).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark and print a summary line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{id}: no samples");
+            return self;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = s[s.len() / 2];
+        println!(
+            "{id}: median {:.6}s  min {:.6}s  max {:.6}s  ({} samples)",
+            median,
+            s[0],
+            s[s.len() - 1],
+            s.len()
+        );
+        self
+    }
+
+    /// Criterion's CLI handshake — a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Stub `criterion_group!`: both the struct form (`name/config/targets`)
+/// and the plain list form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Stub `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_times() {
+        let mut runs = 0usize;
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("stub/smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert_eq!(runs, 5);
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline stub of `rand` 0.8, covering the API surface the workspace
+//! uses: `StdRng::seed_from_u64`, `Rng::gen_range` over integer/float
+//! ranges, and `Rng::gen::<f64>()`. The generator is SplitMix64 — not the
+//! real ChaCha-based `StdRng`, but deterministic per seed, which is all
+//! the seeded data/workload generators require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable RNG constructors.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods, generic over range types via [`SampleRange`].
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniform sample of a [`Standard`]-distributed value (`f64` in
+    /// `[0, 1)`, or raw bits for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Sample one value from `rng`.
+    fn from_rng<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniformly sampleable element types. As in real rand, `Range<T>` /
+/// `RangeInclusive<T>` get single blanket [`SampleRange`] impls bounded on
+/// this trait — that blanket shape is what lets inference unify `T` with
+/// the range's element type in expressions like `x / rng.gen_range(1..=8)`
+/// (an integer-literal var can unify with `u64` but never with `&u64`).
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_range<R: Rng>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "empty range in gen_range");
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "empty range in gen_range");
+                let u = f64::from_rng(rng) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Uniform sample from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(lo, hi, true, rng)
+    }
+}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seeded RNG (SplitMix64 under this stub).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(1usize..=8);
+            assert!((1..=8).contains(&y));
+            let f = rng.gen_range(-3.0f64..-0.3);
+            assert!((-3.0..-0.3).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            let i = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stub of `rayon`: the parallel-iterator entry points degrade to
+//! ordinary sequential `std` iterators, and `scope` maps onto
+//! `std::thread::scope` (real OS threads, so concurrency tests still
+//! exercise real interleavings).
+//!
+//! `into_par_iter()`/`par_iter()` return a thin [`ParIter`] wrapper that
+//! keeps rayon-specific signatures working (notably the two-argument
+//! `reduce(identity, op)`); everything else delegates to
+//! `std::iter::Iterator`.
+
+/// Sequential stand-in for a rayon parallel iterator. Implements
+/// `Iterator` by delegation, and re-implements the rayon adapters whose
+/// signatures differ from std (`reduce`) or that must keep returning a
+/// `ParIter` so such a `reduce` stays reachable (`map`, `filter`).
+#[derive(Debug, Clone)]
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// rayon's `map`, staying in `ParIter`.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// rayon's `filter`, staying in `ParIter`.
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<std::iter::Filter<I, P>> {
+        ParIter(self.0.filter(p))
+    }
+
+    /// rayon's two-argument `reduce(identity, op)` (std's takes only `op`).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+/// Parallel-iterator traits. Under this stub the wrapped iterators are
+/// the sequential `std` ones.
+pub mod prelude {
+    pub use crate::ParIter;
+
+    /// `into_par_iter()` — sequential under the stub.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Convert into a "parallel" (here: sequential) iterator.
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` — sequential under the stub.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Borrowing "parallel" (here: sequential) iteration.
+        fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    }
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+}
+
+/// A scope handle mirroring `rayon::Scope`, backed by `std::thread::scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task on a real OS thread inside the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let s = Scope { inner };
+            f(&s);
+        });
+    }
+}
+
+/// Run `f` with a scope on which tasks can be spawned; returns once every
+/// spawned task has finished (exactly rayon's contract).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iters_behave_like_std() {
+        let doubled: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().copied().sum();
+        assert_eq!(sum, 6);
+        let r: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rayon_style_reduce_and_filter() {
+        let m = (0..10u64).into_par_iter().map(|x| x as f64).reduce(|| 0.0, f64::max);
+        assert_eq!(m, 9.0);
+        let odds: Vec<u64> = (0..10u64).into_par_iter().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odds, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn scope_joins_spawned_threads() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+}

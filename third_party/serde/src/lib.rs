@@ -1,0 +1,23 @@
+//! Offline stub of `serde`: `Serialize`/`Deserialize` are marker traits
+//! and the derives (feature `derive`) emit empty impls. The workspace
+//! never calls serde serialization at runtime — all persisted formats go
+//! through self-contained codecs (`rqp_obs::json`, the ESS snapshot text
+//! codec) precisely so the offline stub suffices. See third_party/README.md.
+
+/// Marker stub of `serde::Serialize`. Carries no methods; deriving it is
+/// a statement of intent only under the offline stub.
+pub trait Serialize {}
+
+/// Marker stub of `serde::Deserialize`. The lifetime parameter mirrors
+/// real serde so `Deserialize<'de>` bounds would still parse.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stub of `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Owned-deserialization marker.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

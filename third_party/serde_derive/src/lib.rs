@@ -1,0 +1,43 @@
+//! Offline stub of `serde_derive`: emits empty trait impls for the stub
+//! marker traits in the sibling `serde` stub. Handles plain (non-generic)
+//! structs and enums, which is every serde-derived type in the workspace;
+//! `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name: the identifier following the `struct`/`enum`/`union`
+/// keyword at the top level of the derive input.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kind = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kind {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kind = true;
+            }
+        }
+    }
+    None
+}
+
+fn emit(input: TokenStream, render: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => render(&name).parse().unwrap_or_else(|_| TokenStream::new()),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| format!("impl ::serde::Serialize for {name} {{}}"))
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}"))
+}

@@ -1,0 +1,31 @@
+//! Offline stub of `serde_json`. No workspace code calls it at runtime —
+//! persisted formats use the self-contained `rqp_obs::json` codec and the
+//! ESS snapshot text codec — but several manifests list it, so this stub
+//! keeps dependency resolution working offline. The one entry point is a
+//! `to_string` that reports the stub honestly instead of emitting bogus
+//! JSON.
+
+use serde::Serialize;
+
+/// Error type mirroring `serde_json::Error` in name only.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stub `to_string`: always errors, directing callers to the offline
+/// codecs (`rqp_obs::json`) the workspace actually uses.
+pub fn to_string<T: Serialize + ?Sized>(_value: &T) -> Result<String, Error> {
+    Err(Error("serde_json offline stub cannot serialize; use rqp_obs::json".to_owned()))
+}
+
+/// Stub `to_string_pretty`: same contract as [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
