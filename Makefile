@@ -1,12 +1,12 @@
 # Convenience targets for the robust-qp workspace.
 
-.PHONY: verify build test clippy lint bench bench-compile bench-trace cache-smoke serve-smoke trace-smoke reproduce chaos
+.PHONY: verify build test clippy lint lint-graph bench bench-compile bench-trace cache-smoke serve-smoke trace-smoke reproduce chaos
 
 # The full pre-merge gate: release build, quiet tests, zero clippy
-# warnings, a clean rqp-lint pass, the fixed-seed chaos smoke sweep, and
-# the causal-trace smoke.
+# warnings, a clean rqp-lint pass (warnings denied), an acyclic lock
+# graph, the fixed-seed chaos smoke sweep, and the causal-trace smoke.
 verify:
-	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings && cargo run -q -p rqp-lint && $(MAKE) chaos && $(MAKE) trace-smoke
+	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings && $(MAKE) lint && $(MAKE) lint-graph && $(MAKE) chaos && $(MAKE) trace-smoke
 
 # Fixed-seed fault-injection smoke sweep: every discovery algorithm must
 # terminate with honest accounting under each fault class (see README,
@@ -14,9 +14,16 @@ verify:
 chaos:
 	cargo run --release --bin rqp -- chaos --query 2D_Q91 --resolution 6 --seed 1 --schedules 2
 
-# Workspace invariant linter (see README, "Static analysis").
+# Workspace invariant linter (see README, "Static analysis"). Warnings
+# (raii-span) are promoted to denials at the pre-merge gate.
 lint:
-	cargo run -q -p rqp-lint
+	cargo run -q -p rqp-lint -- --deny-warnings
+
+# Lock acquisition graph of the serving tier as GraphViz DOT. Fails
+# (exit 1) if any acquisition-order cycle exists.
+lint-graph:
+	@mkdir -p target
+	cargo run -q -p rqp-lint -- --lock-graph crates/serve --dot target/lock-graph.dot
 
 build:
 	cargo build --workspace --release

@@ -139,6 +139,8 @@ impl CompileCache {
         match codec::decode(&text, fp) {
             Ok(snap) => Some(snap),
             Err(_) => {
+                // A leftover corrupt file is simply re-evicted on next load.
+                // rqp-lint: allow(swallowed-result): best-effort eviction
                 let _ = std::fs::remove_file(&path);
                 None
             }

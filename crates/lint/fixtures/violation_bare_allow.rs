@@ -1,0 +1,7 @@
+//! Seeded bare-allow violation: the directive waives its rule, but a
+//! reasonless `allow` is itself a deny-level violation.
+
+pub fn escaped_without_reason(x: Option<u8>) -> u8 {
+    // rqp-lint: allow(no-panic)
+    x.unwrap()
+}

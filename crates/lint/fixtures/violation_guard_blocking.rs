@@ -1,0 +1,19 @@
+//! Seeded guard-across-blocking violation: a mutex guard held across a
+//! blocking channel receive parks the thread with the lock still held.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, PoisonError};
+
+pub struct Inbox {
+    state: Mutex<Vec<u64>>,
+    rx: Receiver<u64>,
+}
+
+impl Inbox {
+    pub fn drain_one(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Ok(v) = self.rx.recv() {
+            state.push(v);
+        }
+    }
+}

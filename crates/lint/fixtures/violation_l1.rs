@@ -17,7 +17,7 @@ pub fn bad_todo() {
 }
 
 pub fn escaped(x: Option<u8>) -> u8 {
-    // rqp-lint: allow(no-panic)
+    // rqp-lint: allow(no-panic): fixture demonstrating the reasoned escape
     x.unwrap()
 }
 

@@ -1,0 +1,24 @@
+//! Seeded lock-order violation for the fixture tests: two functions
+//! acquire the same pair of mutexes in opposite orders — a potential
+//! deadlock the acquisition graph reports as a cycle.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn alpha_then_beta(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        *a + *b
+    }
+
+    pub fn beta_then_alpha(&self) -> u64 {
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        *a - *b
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded raii-span violations: a span guard bound to `_` (drops
+//! immediately), a non-LIFO drop, and a `record_span` twin of a live
+//! guard.
+
+use rqp_obs::{names, SpanKind, Tracer};
+
+pub fn discarded(tracer: &Tracer) {
+    let _ = tracer.span(names::SPAN_SESSION, SpanKind::Session);
+}
+
+pub fn out_of_order(tracer: &Tracer) {
+    let outer = tracer.span(names::SPAN_SESSION, SpanKind::Session);
+    let inner = tracer.span(names::SPAN_COMPILE, SpanKind::CompilePhase);
+    drop(outer);
+    drop(inner);
+}
+
+pub fn double_accounted(tracer: &Tracer) {
+    let guard = tracer.span(names::SPAN_COMPILE, SpanKind::CompilePhase);
+    tracer.record_span(names::SPAN_COMPILE, SpanKind::CompilePhase, 0.5, vec![]);
+    drop(guard);
+}

@@ -1,0 +1,18 @@
+//! Seeded swallowed-result violations: `let _ =` and bare-`;` drops of
+//! `io::Result`s, including through a crate-local fallible fn.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn swallow_socket_io(mut stream: TcpStream) {
+    let _ = stream.write_all(b"hello");
+    stream.flush();
+}
+
+pub fn persist(path: &str, payload: &str) -> std::io::Result<()> {
+    std::fs::write(path, payload)
+}
+
+pub fn fire_and_forget(path: &str) {
+    let _ = persist(path, "snapshot");
+}

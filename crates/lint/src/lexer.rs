@@ -1,0 +1,391 @@
+//! The lexer front end: comment/string masking plus a line-tracking
+//! tokenizer over the masked source.
+//!
+//! Masking runs first and is byte-preserving (masked bytes become spaces,
+//! newlines survive), so every token the tokenizer produces carries the
+//! 1-based line number of the original source. Delimiting quotes survive
+//! masking, so string and char literals appear in the token stream as
+//! opaque `Str`/`Char` tokens — rules can see *that* a literal sits at a
+//! call site without ever matching its contents.
+
+/// Token classes the rule passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `cost_a`, `unwrap`, …).
+    Ident,
+    /// A lifetime (`'a`); produced so char-literal detection stays exact.
+    Lifetime,
+    /// A (masked) string literal, raw or not, including byte strings.
+    Str,
+    /// A (masked) char literal.
+    Char,
+    /// A numeric literal (`3`, `1.0`, `0x2545`, `1e-5`, `2.0f64`).
+    Num,
+    /// Punctuation; multi-byte operators (`==`, `::`, `->`, …) are one token.
+    Punct,
+}
+
+/// One lexed token with its source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text (for `Str`/`Char`, just the delimiters).
+    pub text: String,
+    /// 1-based source line of the token's first byte.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// Whether this token is the exact identifier `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// Mask comments, string/char literal *contents* and doc text out of the
+/// source, byte for byte (masked bytes become spaces), so rule patterns
+/// only ever match real code. Delimiting quotes survive as code so the
+/// tokenizer can still see where a literal starts.
+pub fn mask(src: &str) -> String {
+    mask_impl(src, false)
+}
+
+/// Like [`mask`], but comments survive: used for scanning
+/// `// rqp-lint: allow(…)` directives, which live in comments but must not
+/// be picked up out of string literals (e.g. linter test sources).
+pub fn mask_strings(src: &str) -> String {
+    mask_impl(src, true)
+}
+
+fn mask_impl(src: &str, keep_comments: bool) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    if keep_comments {
+                        out[i] = b[i];
+                    }
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
+                    if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b'
+                if {
+                    // raw (byte) string: r"…", r#"…"#, br#"…"#
+                    let mut j = i + 1;
+                    if c == b'b' && j < b.len() && b[j] == b'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while j < b.len() && b[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    (c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r'))
+                        && j < b.len()
+                        && b[j] == b'"'
+                        && (hashes > 0 || b[j] == b'"')
+                } =>
+            {
+                let mut j = i + 1;
+                if c == b'b' {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                out[j] = b'"';
+                j += 1; // past the opening quote
+                'raw: while j < b.len() {
+                    if b[j] == b'\n' {
+                        out[j] = b'\n';
+                    }
+                    if b[j] == b'"' {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while k < b.len() && seen < hashes && b[k] == b'#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            out[j] = b'"';
+                            j = k;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            b'"' => {
+                out[i] = b'"';
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
+                    if b[i] == b'\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == b'"' {
+                        out[i] = b'"';
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // char literal vs lifetime: a literal closes with ' within
+                // a few bytes; a lifetime never closes. An escaped literal
+                // (`'\''`, `'\u{41}'`) must search *past* the escaped
+                // character, or the escaped quote is mistaken for the close.
+                let close = if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    (i + 3..b.len().min(i + 12)).find(|&k| b[k] == b'\'')
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(k) = close {
+                    out[i] = b'\'';
+                    out[k] = b'\'';
+                    i = k + 1;
+                } else {
+                    out[i] = b'\'';
+                    i += 1;
+                }
+            }
+            _ => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Multi-byte operators lexed as single tokens, longest first.
+const MULTI_PUNCT: [&str; 18] = [
+    "::", "==", "!=", "<=", ">=", "=>", "->", "..", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=",
+    "<<", ">>",
+];
+
+/// Tokenize a *masked* source (see [`mask`]) into a flat token stream with
+/// line numbers.
+pub fn lex(masked: &str) -> Vec<Tok> {
+    let b = masked.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'"' => {
+                // masked string literal: contents are spaces, delimiters survive
+                let start = line;
+                let mut j = i + 1;
+                while j < b.len() && b[j] != b'"' {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Str, text: "\"\"".to_string(), line: start });
+                i = (j + 1).min(b.len());
+            }
+            b'\'' => {
+                // masked char literal closes with '; a lifetime never does
+                let close = (i + 1..b.len().min(i + 12)).find(|&k| b[k] == b'\'');
+                match close {
+                    Some(k) if !(i + 1 < b.len() && is_ident_byte(b[i + 1]) && k > i + 2) => {
+                        toks.push(Tok { kind: TokKind::Char, text: "''".to_string(), line });
+                        i = k + 1;
+                    }
+                    _ => {
+                        // lifetime: ' plus the following identifier
+                        let mut j = i + 1;
+                        while j < b.len() && is_ident_byte(b[j]) {
+                            j += 1;
+                        }
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: masked[i..j].to_string(),
+                            line,
+                        });
+                        i = j;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() && (is_ident_byte(b[j]) || b[j] == b'.') {
+                    if b[j] == b'.' {
+                        // `0..n` is a range, not a fraction
+                        if j + 1 < b.len() && b[j + 1] == b'.' {
+                            break;
+                        }
+                        // `x.method()` after a number would be odd; accept
+                        // digits only after the dot
+                        if j + 1 < b.len() && !b[j + 1].is_ascii_digit() {
+                            break;
+                        }
+                    }
+                    // exponent sign: 1e-5 / 2.5E+8
+                    if (b[j] == b'e' || b[j] == b'E')
+                        && j + 1 < b.len()
+                        && (b[j + 1] == b'-' || b[j + 1] == b'+')
+                        && j + 2 < b.len()
+                        && b[j + 2].is_ascii_digit()
+                    {
+                        j += 2;
+                    }
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Num, text: masked[i..j].to_string(), line });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_byte(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Ident, text: masked[i..j].to_string(), line });
+                i = j;
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &masked[i..i + 2] } else { "" };
+                if let Some(&op) = MULTI_PUNCT.iter().find(|&&op| op == two) {
+                    toks.push(Tok { kind: TokKind::Punct, text: op.to_string(), line });
+                    i += 2;
+                } else {
+                    toks.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line });
+                    i += 1;
+                }
+            }
+        }
+    }
+    toks
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_src(src: &str) -> Vec<Tok> {
+        lex(&mask(src))
+    }
+
+    #[test]
+    fn masking_hides_comments_and_strings() {
+        let src = "let a = 1; // x.unwrap()\nlet s = \"panic!\";\n/* todo! */ let c = 'x';\n";
+        let m = mask(src);
+        assert!(!m.contains(".unwrap()"));
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains("todo!"));
+        assert!(m.contains("let a = 1;"));
+        assert!(m.contains("let s = \""));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = "let s = r#\"x.unwrap() panic!\"#; y.unwrap()";
+        let m = mask(src);
+        assert_eq!(m.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let src = "/* outer /* inner panic! */ still.unwrap() */ real_code()";
+        let m = mask(src);
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains(".unwrap()"));
+        assert!(m.contains("real_code()"));
+    }
+
+    #[test]
+    fn escaped_char_literals_close_correctly() {
+        // '\'' and '"' both contain a quote character; the masker must not
+        // treat the contained quote as a delimiter.
+        let src = "let a = '\\''; let b = '\"'; x.unwrap()";
+        let toks = lex_src(src);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2, "{toks:?}");
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+        // no stray Str token from the contained double quote
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 0);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex_src("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 3);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 0);
+    }
+
+    #[test]
+    fn lines_survive_masking_and_lexing() {
+        let toks = lex_src("a\n\nb // comment\nc");
+        let lines: Vec<(String, usize)> = toks.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(lines, vec![("a".to_string(), 1), ("b".to_string(), 3), ("c".to_string(), 4)]);
+    }
+
+    #[test]
+    fn multibyte_operators_are_single_tokens() {
+        let toks = lex_src("a == b != c :: d -> e => f");
+        let ops: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Punct).map(|t| t.text.as_str()).collect();
+        assert_eq!(ops, vec!["==", "!=", "::", "->", "=>"]);
+    }
+
+    #[test]
+    fn numbers_lex_with_fraction_and_exponent() {
+        let toks = lex_src("1.0 0x2545F4914F6CDD1D 1e-5 0..n 2.0f64");
+        let nums: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text.as_str()).collect();
+        assert_eq!(nums, vec!["1.0", "0x2545F4914F6CDD1D", "1e-5", "0", "2.0f64"]);
+    }
+}

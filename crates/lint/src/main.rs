@@ -1,51 +1,188 @@
-//! CLI for `rqp-lint`. See the library docs for the rule catalog.
-//!
-//! Usage:
+//! `rqp-lint` CLI.
 //!
 //! ```text
-//! cargo run -q -p rqp-lint             # lint the workspace rooted at .
-//! cargo run -q -p rqp-lint -- <path>   # lint another root, or one file
+//! rqp-lint [PATH] [--format text|json] [--deny-warnings]
+//! rqp-lint --lock-graph DIR [--dot FILE]
 //! ```
 //!
-//! A single-file argument is linted as if it lived at
-//! `crates/core/src/<name>` so every rule (including the
-//! deterministic-crate ones) applies — that is what the fixture checks in
-//! CI rely on.
+//! With no `PATH`, lints the workspace rooted at the current directory.
+//! A file `PATH` is linted standalone, classified as `crates/core/src/…`
+//! so every rule (including the deterministic-crate ones) applies — that
+//! is what the fixture checks in CI rely on. A directory `PATH` is linted
+//! as a workspace root. `--lock-graph DIR` prints the lock acquisition
+//! graph of the subtree as GraphViz DOT (or writes it to `--dot FILE`)
+//! and fails if the graph has a cycle.
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 I/O error.
+//! Exit codes: 0 clean, 1 violations (or cycles) found, 2 usage/IO error.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
-    let path = Path::new(&arg);
+#[derive(Debug, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
-    let result = if path.is_file() {
-        let synthetic = format!(
-            "crates/core/src/{}",
-            path.file_name().map_or_else(|| arg.clone(), |n| n.to_string_lossy().into_owned())
+struct Args {
+    path: Option<PathBuf>,
+    format: Format,
+    deny_warnings: bool,
+    lock_graph: Option<PathBuf>,
+    dot_out: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rqp-lint [PATH] [--format text|json] [--deny-warnings]\n\
+         \x20      rqp-lint --lock-graph DIR [--dot FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        path: None,
+        format: Format::Text,
+        deny_warnings: false,
+        lock_graph: None,
+        dot_out: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                args.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format expects text|json, got {other:?}")),
+                };
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "--lock-graph" => {
+                let dir = it.next().ok_or("--lock-graph expects a directory")?;
+                args.lock_graph = Some(PathBuf::from(dir));
+            }
+            "--dot" => {
+                let file = it.next().ok_or("--dot expects a file path")?;
+                args.dot_out = Some(PathBuf::from(file));
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => {
+                if args.path.is_some() {
+                    return Err("at most one PATH".to_string());
+                }
+                args.path = Some(PathBuf::from(path));
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn run_lock_graph(dir: &Path, dot_out: Option<&Path>) -> ExitCode {
+    let graph = match rqp_lint::lock_graph(dir) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("rqp-lint: {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    let dot = graph.to_dot();
+    if let Some(out) = dot_out {
+        if let Err(e) = std::fs::write(out, &dot) {
+            eprintln!("rqp-lint: write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "rqp-lint: lock graph of {} ({} locks, {} edges) -> {}",
+            dir.display(),
+            graph.nodes().len(),
+            graph.edges.len(),
+            out.display()
         );
-        std::fs::read_to_string(path).map(|src| rqp_lint::lint_source(&synthetic, &src))
     } else {
-        rqp_lint::lint_workspace(path)
+        print!("{dot}");
+    }
+    let cycles = graph.cycles();
+    if cycles.is_empty() {
+        eprintln!("rqp-lint: lock graph is acyclic");
+        ExitCode::SUCCESS
+    } else {
+        for (_, v) in rqp_lint::passes::locks::cycle_violations(&graph) {
+            eprintln!("rqp-lint: {}", v.message);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rqp-lint: {e}");
+            return usage();
+        }
+    };
+    if let Some(dir) = &args.lock_graph {
+        return run_lock_graph(dir, args.dot_out.as_deref());
+    }
+
+    let violations = match &args.path {
+        Some(p) if p.is_file() => {
+            let synthetic = format!(
+                "crates/core/src/{}",
+                p.file_name()
+                    .map_or_else(|| "input.rs".to_string(), |n| n.to_string_lossy().into_owned())
+            );
+            match std::fs::read_to_string(p) {
+                Ok(src) => rqp_lint::lint_source(&synthetic, &src),
+                Err(e) => {
+                    eprintln!("rqp-lint: {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Some(p) => match rqp_lint::lint_workspace(p) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("rqp-lint: {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => match rqp_lint::lint_workspace(Path::new(".")) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("rqp-lint: error: {e}");
+                return ExitCode::from(2);
+            }
+        },
     };
 
-    match result {
-        Ok(violations) if violations.is_empty() => {
-            eprintln!("rqp-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
+    let denied = violations
+        .iter()
+        .filter(|v| args.deny_warnings || v.severity == rqp_lint::Severity::Deny)
+        .count();
+    let warned = violations.len() - denied;
+
+    match args.format {
+        Format::Json => print!("{}", rqp_lint::render_json(&violations)),
+        Format::Text => {
             for v in &violations {
                 println!("{v}");
             }
-            eprintln!("rqp-lint: {} violation(s)", violations.len());
-            ExitCode::from(1)
         }
-        Err(e) => {
-            eprintln!("rqp-lint: error: {e}");
-            ExitCode::from(2)
-        }
+    }
+
+    if denied > 0 {
+        let tail = if warned > 0 { format!(" + {warned} warning(s)") } else { String::new() };
+        eprintln!("rqp-lint: {denied} violation(s){tail}");
+        ExitCode::FAILURE
+    } else if warned > 0 {
+        eprintln!("rqp-lint: clean ({warned} warning(s))");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("rqp-lint: clean");
+        ExitCode::SUCCESS
     }
 }

@@ -1,0 +1,25 @@
+//! `determinism`: no wall clocks or ambient randomness in the
+//! deterministic crates (`ess`, `core`, `qplan`).
+//!
+//! Compilation and discovery must be replayable; `crates/chaos` is the
+//! designated owner of seeded pseudo-randomness and is outside this rule.
+
+use super::{is_seq, FileCtx, Finding};
+use crate::Rule;
+
+pub(crate) fn run(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.deterministic {
+        return;
+    }
+    let code = &ctx.index.code;
+    for (i, t) in code.iter().enumerate() {
+        let msg = if is_seq(code, i, &["std", "::", "time"]) {
+            "wall-clock access in a deterministic crate (route timing through rqp_obs)"
+        } else if t.is_ident("thread_rng") || is_seq(code, i, &["rand", "::", "random"]) {
+            "ambient RNG in a deterministic crate (use a seeded `StdRng`)"
+        } else {
+            continue;
+        };
+        out.push(Finding { rule: Rule::Determinism, line: t.line, message: msg.to_string() });
+    }
+}

@@ -1,0 +1,149 @@
+//! `float-eq`: no raw `==`/`!=` on cost or selectivity expressions;
+//! comparisons go through `rqp_qplan::cost_eq`/`cost_cmp`.
+//!
+//! Operands are gathered by walking the token stream outward from the
+//! comparison (balanced through call/index groups), so multi-line
+//! comparisons — invisible to the line-lexical v1 rule — are analyzed
+//! like any other.
+
+use super::{FileCtx, Finding};
+use crate::lexer::TokKind;
+use crate::tree::FlatTok;
+use crate::Rule;
+
+/// Words that mark an operand as a cost/selectivity expression.
+const COST_WORDS: [&str; 10] =
+    ["cost", "sel", "sels", "selectivity", "budget", "lambda", "penalty", "spent", "mso", "subopt"];
+
+/// Statement/expression keywords that terminate an operand walk.
+const STOP_KEYWORDS: [&str; 12] = [
+    "if", "else", "while", "for", "let", "match", "return", "in", "as", "move", "break", "continue",
+];
+
+pub(crate) fn run(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.test_like {
+        return;
+    }
+    let code = &ctx.index.code;
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let lhs = operand_left(code, i);
+        let rhs = operand_right(code, i);
+        if is_exempt(&lhs) || is_exempt(&rhs) {
+            continue;
+        }
+        if is_costlike(&lhs) || is_costlike(&rhs) {
+            out.push(Finding {
+                rule: Rule::FloatEq,
+                line: t.line,
+                message: format!(
+                    "raw `{}` on a cost/selectivity expression \
+                     (use rqp_qplan::cost_eq / cost_cmp)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Whether a token may extend an operand chain at group depth zero.
+fn chain_tok(t: &FlatTok) -> bool {
+    match t.kind {
+        TokKind::Ident => !STOP_KEYWORDS.contains(&t.text.as_str()),
+        TokKind::Num => true,
+        TokKind::Punct => matches!(t.text.as_str(), "." | "::" | "-"),
+        _ => false,
+    }
+}
+
+/// Operand tokens left of the comparison at `cmp`, in source order.
+fn operand_left(code: &[FlatTok], cmp: usize) -> Vec<&FlatTok> {
+    let mut toks = Vec::new();
+    let mut depth = 0i32;
+    let mut j = cmp;
+    while j > 0 {
+        j -= 1;
+        let t = &code[j];
+        if t.is_punct(")") || t.is_punct("]") {
+            depth += 1;
+        } else if t.is_punct("(") || t.is_punct("[") {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && !chain_tok(t) {
+            break;
+        }
+        toks.push(t);
+    }
+    toks.reverse();
+    toks
+}
+
+/// Operand tokens right of the comparison at `cmp`, in source order.
+fn operand_right(code: &[FlatTok], cmp: usize) -> Vec<&FlatTok> {
+    let mut toks = Vec::new();
+    let mut depth = 0i32;
+    let mut j = cmp + 1;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && !chain_tok(t) {
+            break;
+        }
+        toks.push(t);
+        j += 1;
+    }
+    toks
+}
+
+/// Comparisons that look cost-like but are fine: `.len()` counts are
+/// integers however the field is named, and a site already routed through
+/// the epsilon helpers (`cost_cmp(..) != Ordering::Greater`) is the
+/// approved idiom, not a violation.
+fn is_exempt(operand: &[&FlatTok]) -> bool {
+    operand.iter().any(|t| {
+        t.is_ident("cost_cmp")
+            || t.is_ident("cost_eq")
+            || t.is_ident("total_cmp")
+            || t.is_ident("Ordering")
+    }) || operand
+        .windows(3)
+        .any(|w| w[0].is_ident("len") && w[1].is_punct("(") && w[2].is_punct(")"))
+}
+
+fn is_costlike(operand: &[&FlatTok]) -> bool {
+    for (k, t) in operand.iter().enumerate() {
+        match t.kind {
+            TokKind::Num => {
+                // a float literal: `1.0`, `2.5e8`, `3.0f64`
+                let b = t.text.as_bytes();
+                if (1..b.len().saturating_sub(1))
+                    .any(|i| b[i] == b'.' && b[i - 1].is_ascii_digit() && b[i + 1].is_ascii_digit())
+                {
+                    return true;
+                }
+            }
+            TokKind::Ident => {
+                // `f64::EPSILON`-style constants
+                if t.text == "f64" && operand.get(k + 1).is_some_and(|n| n.is_punct("::")) {
+                    return true;
+                }
+                let lower = t.text.to_ascii_lowercase();
+                if lower.split('_').any(|w| COST_WORDS.contains(&w)) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}

@@ -1,0 +1,205 @@
+//! The rule passes and the contexts they share.
+//!
+//! Each pass is a function from a [`FileCtx`] (one file's token tree plus
+//! its path classification) to [`Finding`]s. Crate-wide knowledge that a
+//! single file cannot see — lock *wrapper* functions, fallible functions —
+//! is pooled into a [`CrateCtx`] before any pass runs, so e.g. a
+//! `shard.lock()` call in `registry.rs` resolves to the `Shard::map` mutex
+//! even though the wrapper body lives in another item.
+
+pub mod determinism;
+pub mod float_eq;
+pub mod locks;
+pub mod no_panic;
+pub mod obs_names;
+pub mod raii_span;
+pub mod swallowed_result;
+
+use crate::tree::{FileIndex, FlatTok, Function};
+use crate::Rule;
+use std::collections::{HashMap, HashSet};
+
+/// One rule finding, before file attribution and `allow` filtering.
+#[derive(Debug)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Per-file context shared by every pass.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// Test/bench/example code: exempt from most rules.
+    pub test_like: bool,
+    /// A crate whose compile path must be replayable (L4).
+    pub deterministic: bool,
+    /// `crates/obs` itself: exempt from obs-names (it defines the names).
+    pub obs_crate: bool,
+    /// The file's token tree index.
+    pub index: &'a FileIndex,
+}
+
+/// Crate-wide knowledge pooled across files before the passes run.
+#[derive(Debug, Default)]
+pub struct CrateCtx {
+    /// Lock wrapper functions — fns returning a `MutexGuard` whose body
+    /// acquires `self.<field>.lock()` — keyed by `(impl type, fn name)`,
+    /// mapped to the canonical lock id (`Type::field`) they acquire.
+    pub wrappers: HashMap<(Option<String>, String), String>,
+    /// Names of functions in this crate returning `RqpResult`/`io::Result`.
+    pub result_fns: HashSet<String>,
+}
+
+impl CrateCtx {
+    /// Pool wrapper and fallible-fn registries from every file of a crate.
+    pub fn collect<'a>(indexes: impl Iterator<Item = &'a FileIndex>) -> CrateCtx {
+        let mut ctx = CrateCtx::default();
+        for idx in indexes {
+            for f in &idx.functions {
+                if f.is_test {
+                    continue;
+                }
+                if returns_guard(f) {
+                    if let Some(field) = self_locked_field(&f.body) {
+                        let ty = f.impl_ty.clone().unwrap_or_else(|| "?".to_string());
+                        ctx.wrappers
+                            .insert((f.impl_ty.clone(), f.name.clone()), format!("{ty}::{field}"));
+                    }
+                }
+                if returns_result(f) {
+                    ctx.result_fns.insert(f.name.clone());
+                }
+            }
+        }
+        ctx
+    }
+}
+
+/// Whether a function's signature returns a mutex guard.
+fn returns_guard(f: &Function) -> bool {
+    let mut after_arrow = false;
+    f.signature.iter().any(|t| {
+        if t.is_punct("->") {
+            after_arrow = true;
+        }
+        after_arrow && t.is_ident("MutexGuard")
+    })
+}
+
+/// Whether a function's signature returns `RqpResult<…>` or `io::Result<…>`.
+fn returns_result(f: &Function) -> bool {
+    let mut after_arrow = false;
+    for (i, t) in f.signature.iter().enumerate() {
+        if t.is_punct("->") {
+            after_arrow = true;
+        }
+        if !after_arrow {
+            continue;
+        }
+        if t.is_ident("RqpResult") {
+            return true;
+        }
+        if t.is_ident("Result")
+            && i >= 2
+            && f.signature[i - 1].is_punct("::")
+            && f.signature[i - 2].is_ident("io")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// The `self.<field>.lock()` receiver field in a wrapper body, if any.
+fn self_locked_field(body: &[FlatTok]) -> Option<String> {
+    for i in 0..body.len().saturating_sub(5) {
+        if body[i].is_ident("self")
+            && body[i + 1].is_punct(".")
+            && body[i + 3].is_punct(".")
+            && body[i + 4].is_ident("lock")
+            && body[i + 5].is_punct("(")
+        {
+            return Some(body[i + 2].text.clone());
+        }
+    }
+    None
+}
+
+/// Whether `toks[i..]` matches the token texts in `pat`.
+pub fn is_seq(toks: &[FlatTok], i: usize, pat: &[&str]) -> bool {
+    pat.len() <= toks.len().saturating_sub(i)
+        && pat.iter().enumerate().all(|(k, p)| toks[i + k].text == *p)
+}
+
+/// The identifier chain of a call receiver, nearest-first: for
+/// `self.map.lock()` with `dot` at the final `.`, returns
+/// `["map", "self"]`.
+pub fn receiver_chain(toks: &[FlatTok], dot: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut j = dot;
+    loop {
+        if j == 0 || !(toks[j].is_punct(".") || toks[j].is_punct("::")) {
+            break;
+        }
+        let prev = &toks[j - 1];
+        if prev.kind == crate::lexer::TokKind::Ident {
+            chain.push(prev.text.clone());
+            if j < 2 {
+                break;
+            }
+            j -= 2;
+        } else if prev.is_punct(")") || prev.is_punct("]") {
+            // a call/index in the chain: skip the balanced group and keep
+            // the method name as the chain element
+            let close_txt = &prev.text;
+            let open_txt = if close_txt == ")" { "(" } else { "[" };
+            let mut depth = 1i32;
+            let mut k = j - 1;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if toks[k].text == *close_txt {
+                    depth += 1;
+                } else if toks[k].text == open_txt {
+                    depth -= 1;
+                }
+            }
+            if k == 0 {
+                break;
+            }
+            if toks[k - 1].kind == crate::lexer::TokKind::Ident {
+                chain.push(toks[k - 1].text.clone());
+                if k < 2 {
+                    break;
+                }
+                j = k - 2;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    chain
+}
+
+/// Index of the `)` matching the `(` at `open` (same nesting level), or
+/// the slice end on unbalanced input.
+pub fn matching_close(toks: &[FlatTok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}

@@ -1,0 +1,44 @@
+//! `no-panic`: no panicking constructs in library code.
+//!
+//! Discovery runs inside a long-lived process; programmer errors degrade
+//! to `debug_assert!` plus a PCM-safe fallback instead of aborting. Token
+//! matching (rather than substring matching) means `unwrap_or_else`,
+//! identifiers containing `panic`, and literals spelling `.unwrap()` can
+//! never false-positive.
+
+use super::{FileCtx, Finding};
+use crate::lexer::TokKind;
+use crate::Rule;
+
+pub(crate) fn run(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.test_like {
+        return;
+    }
+    let code = &ctx.index.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && code[i - 1].is_punct(".");
+        let next_open = code.get(i + 1).is_some_and(|n| n.is_punct("("));
+        let msg = match t.text.as_str() {
+            "unwrap"
+                if prev_dot && next_open && code.get(i + 2).is_some_and(|n| n.is_punct(")")) =>
+            {
+                "`.unwrap()` in library code (use `?`, `let-else` or a fallback)"
+            }
+            "expect" if prev_dot && next_open => {
+                "`.expect(...)` in library code (use `?`, `let-else` or a fallback)"
+            }
+            "panic" if code.get(i + 1).is_some_and(|n| n.is_punct("!")) => {
+                "`panic!` in library code (use `debug_assert!` + a PCM-safe fallback)"
+            }
+            "todo" if code.get(i + 1).is_some_and(|n| n.is_punct("!")) => "`todo!` in library code",
+            "unimplemented" if code.get(i + 1).is_some_and(|n| n.is_punct("!")) => {
+                "`unimplemented!` in library code"
+            }
+            _ => continue,
+        };
+        out.push(Finding { rule: Rule::NoPanic, line: t.line, message: msg.to_string() });
+    }
+}

@@ -1,0 +1,139 @@
+//! `swallowed-result`: a `let _ =` or `;`-dropped `RqpResult`/`io::Result`
+//! outside tests silently discards an error the serving tier needs to
+//! account for.
+//!
+//! A call is fallible when its method name is a known `io::Result`
+//! producer, when it is a path-qualified `fs::` operation, or when the
+//! crate itself defines a function by that name returning `RqpResult` or
+//! `io::Result` (pooled in [`CrateCtx`](super::CrateCtx)). The result is
+//! "swallowed" only when the call's value dies at the statement end: a
+//! `?`, a `return`, an assignment to a real binding, or any continued
+//! method chain (`.is_err()`, `.ok()`, `.map_err(..)`) all count as
+//! handling.
+
+use super::{matching_close, CrateCtx, FileCtx, Finding};
+use crate::lexer::TokKind;
+use crate::tree::FlatTok;
+use crate::Rule;
+
+/// Method names returning `io::Result` (called with a `.`).
+const IO_METHODS: [&str; 13] = [
+    "write_all",
+    "flush",
+    "set_read_timeout",
+    "set_write_timeout",
+    "set_nodelay",
+    "set_nonblocking",
+    "read_exact",
+    "read_to_string",
+    "read_to_end",
+    "sync_all",
+    "sync_data",
+    "send",
+    "recv",
+];
+
+/// `std::fs` free functions (matched only behind a `fs::` path).
+const FS_FNS: [&str; 8] = [
+    "remove_file",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "write",
+    "rename",
+    "copy",
+    "set_permissions",
+];
+
+pub(crate) fn run(ctx: &FileCtx<'_>, krate: &CrateCtx, out: &mut Vec<Finding>) {
+    if ctx.test_like {
+        return;
+    }
+    for f in &ctx.index.functions {
+        if f.is_test {
+            continue;
+        }
+        scan_body(&f.body, krate, out);
+    }
+}
+
+fn scan_body(body: &[FlatTok], krate: &CrateCtx, out: &mut Vec<Finding>) {
+    let mut stmt_start = 0usize;
+    for i in 0..body.len() {
+        let t = &body[i];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            stmt_start = i + 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let method = IO_METHODS.contains(&name) && i > 0 && body[i - 1].is_punct(".");
+        let fs_fn = FS_FNS.contains(&name)
+            && i >= 2
+            && body[i - 1].is_punct("::")
+            && body[i - 2].is_ident("fs");
+        let crate_fn = krate.result_fns.contains(name);
+        if !(method || fs_fn || crate_fn) {
+            continue;
+        }
+        if !body.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        let close = matching_close(body, i + 1);
+        // the result is only dropped when the call's value dies at the
+        // statement end; a continued chain, `?`, etc. is handling
+        if !body.get(close + 1).is_some_and(|n| n.is_punct(";")) {
+            continue;
+        }
+        let stmt = &body[stmt_start..=close];
+        let kind = if method || fs_fn { "io::Result" } else { "Result" };
+        match classify(stmt) {
+            StmtKind::LetUnderscore => out.push(Finding {
+                rule: Rule::SwallowedResult,
+                line: t.line,
+                message: format!(
+                    "`let _ =` swallows the {kind} of `{name}(…)` \
+                     (handle the error or count it in a metric)"
+                ),
+            }),
+            StmtKind::BareDrop => out.push(Finding {
+                rule: Rule::SwallowedResult,
+                line: t.line,
+                message: format!(
+                    "{kind} of `{name}(…)` dropped by `;` \
+                     (handle the error or count it in a metric)"
+                ),
+            }),
+            StmtKind::Consumed => {}
+        }
+    }
+}
+
+enum StmtKind {
+    LetUnderscore,
+    BareDrop,
+    Consumed,
+}
+
+fn classify(stmt: &[FlatTok]) -> StmtKind {
+    if stmt.len() >= 3 && stmt[0].is_ident("let") && stmt[1].is_ident("_") && stmt[2].is_punct("=")
+    {
+        return StmtKind::LetUnderscore;
+    }
+    if stmt.first().is_some_and(|t| t.is_ident("let")) {
+        return StmtKind::Consumed;
+    }
+    let consumed = stmt.iter().any(|t| {
+        t.is_punct("=")
+            || t.is_punct("?")
+            || (t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "return" | "break" | "match" | "if" | "while"))
+    });
+    if consumed {
+        StmtKind::Consumed
+    } else {
+        StmtKind::BareDrop
+    }
+}

@@ -1,0 +1,534 @@
+//! Token tree and item index: brace/paren/bracket nesting, item
+//! boundaries (`fn` / `impl` / `mod` / `trait`), and per-function token
+//! lists with scope depth.
+//!
+//! This is the structural layer between the lexer and the rule passes:
+//! passes never re-scan text, they walk [`FileIndex::code`] (every
+//! non-test token in the file) or [`Function::body`] (one function's
+//! tokens with brace depth), so `#[cfg(test)]` exemption is *item*-scoped
+//! — a test module in the middle of a file no longer exempts the real
+//! code after it, which was the line-lexical v1 linter's worst blind spot.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One node of the token tree.
+#[derive(Debug)]
+pub enum Tree {
+    /// A leaf token.
+    Tok(Tok),
+    /// A delimited group (`{…}`, `(…)`, `[…]`).
+    Group(Group),
+}
+
+/// A delimited token group.
+#[derive(Debug)]
+pub struct Group {
+    /// Opening delimiter: `'{'`, `'('`, `'['` (or `'\0'` for the root).
+    pub delim: char,
+    /// Line of the opening delimiter.
+    pub open_line: usize,
+    /// Children in source order.
+    pub items: Vec<Tree>,
+}
+
+/// Parse a flat token stream into a nesting tree rooted at a synthetic
+/// delimiter-less group. Unbalanced input closes groups at end of file
+/// rather than failing: the linter must degrade on code mid-edit.
+pub fn parse(toks: Vec<Tok>) -> Group {
+    let mut stack = vec![Group { delim: '\0', open_line: 0, items: Vec::new() }];
+    for t in toks {
+        match t.text.as_str() {
+            "{" | "(" | "[" if t.kind == TokKind::Punct => {
+                let delim = t.text.as_bytes()[0] as char;
+                stack.push(Group { delim, open_line: t.line, items: Vec::new() });
+            }
+            "}" | ")" | "]" if t.kind == TokKind::Punct => {
+                let want = match t.text.as_str() {
+                    "}" => '{',
+                    ")" => '(',
+                    _ => '[',
+                };
+                if stack.len() > 1 && stack[stack.len() - 1].delim == want {
+                    let done = match stack.pop() {
+                        Some(g) => g,
+                        None => continue,
+                    };
+                    if let Some(top) = stack.last_mut() {
+                        top.items.push(Tree::Group(done));
+                    }
+                }
+                // mismatched closer: drop it and keep going
+            }
+            _ => {
+                if let Some(top) = stack.last_mut() {
+                    top.items.push(Tree::Tok(t));
+                }
+            }
+        }
+    }
+    // unbalanced opens: fold everything back into the root
+    while stack.len() > 1 {
+        let done = match stack.pop() {
+            Some(g) => g,
+            None => break,
+        };
+        if let Some(top) = stack.last_mut() {
+            top.items.push(Tree::Group(done));
+        }
+    }
+    stack.pop().unwrap_or(Group { delim: '\0', open_line: 0, items: Vec::new() })
+}
+
+/// One token of a flattened group, with its brace-nesting depth.
+///
+/// Delimiters are emitted as `Punct` tokens; an open brace carries the
+/// depth *outside* it, tokens inside carry depth+1, and the matching
+/// close brace carries the open's depth again — so "release everything
+/// deeper than d" on a close brace is a single comparison.
+#[derive(Debug, Clone)]
+pub struct FlatTok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Brace-nesting depth (parens/brackets do not change it).
+    pub depth: u32,
+}
+
+impl FlatTok {
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// Whether this token is the exact identifier `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+fn flatten_into(g: &Group, depth: u32, out: &mut Vec<FlatTok>) {
+    for item in &g.items {
+        match item {
+            Tree::Tok(t) => {
+                out.push(FlatTok { kind: t.kind, text: t.text.clone(), line: t.line, depth })
+            }
+            Tree::Group(sub) => {
+                let (open, close) = match sub.delim {
+                    '{' => ("{", "}"),
+                    '(' => ("(", ")"),
+                    _ => ("[", "]"),
+                };
+                let inner = if sub.delim == '{' { depth + 1 } else { depth };
+                out.push(FlatTok {
+                    kind: TokKind::Punct,
+                    text: open.to_string(),
+                    line: sub.open_line,
+                    depth,
+                });
+                flatten_into(sub, inner, out);
+                let end_line = out.last().map_or(sub.open_line, |t| t.line);
+                out.push(FlatTok {
+                    kind: TokKind::Punct,
+                    text: close.to_string(),
+                    line: end_line,
+                    depth,
+                });
+            }
+        }
+    }
+}
+
+/// One function item found in a file.
+#[derive(Debug)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub impl_ty: Option<String>,
+    /// Signature tokens between `fn` and the body (params flattened in).
+    pub signature: Vec<FlatTok>,
+    /// Flattened body tokens; depth 0 is the body's own scope.
+    pub body: Vec<FlatTok>,
+    /// Whether this function lives under `#[cfg(test)]` / `#[test]`.
+    pub is_test: bool,
+}
+
+/// A file's structural index: its functions and its non-test token soup.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    /// Every function item, including those in nested modules.
+    pub functions: Vec<Function>,
+    /// Every token outside `#[cfg(test)]` items, in source order
+    /// (attribute contents excluded). Group delimiters appear as puncts.
+    pub code: Vec<FlatTok>,
+}
+
+/// Build the index for a file's source.
+pub fn index(src: &str) -> FileIndex {
+    let toks = crate::lexer::lex(&crate::lexer::mask(src));
+    let root = parse(toks);
+    let mut idx = FileIndex::default();
+    scan(&root, None, false, &mut idx);
+    idx
+}
+
+/// Whether an attribute group (`#[…]`'s bracket contents) gates its item
+/// to test builds: `cfg(test)`, `cfg(any(test, …))`, `test`,
+/// `tokio::test`, … — but *not* `cfg_attr(test, …)`, which only makes
+/// other attributes conditional.
+fn attr_is_test_gate(attr: &Group) -> bool {
+    let mut idents = attr.items.iter().filter_map(|t| match t {
+        Tree::Tok(t) if t.kind == TokKind::Ident => Some(t.text.as_str()),
+        _ => None,
+    });
+    let Some(first) = idents.next() else { return false };
+    match first {
+        "cfg" => group_contains_ident(attr, "test"),
+        "cfg_attr" => false,
+        "test" => true,
+        // path attributes like tokio::test — look at the trailing segment
+        _ => attr.items.iter().rev().any(|t| match t {
+            Tree::Tok(t) => t.is_ident("test"),
+            Tree::Group(_) => false,
+        }),
+    }
+}
+
+fn group_contains_ident(g: &Group, id: &str) -> bool {
+    g.items.iter().any(|t| match t {
+        Tree::Tok(t) => t.is_ident(id),
+        Tree::Group(sub) => group_contains_ident(sub, id),
+    })
+}
+
+/// Extract the implemented type name from the tokens between `impl` (or
+/// `trait`) and the body: the last path identifier at angle-bracket depth
+/// zero before any `where` clause, preferring what follows `for`.
+fn impl_type_name(toks: &[&Tok]) -> Option<String> {
+    let mut angle = 0i32;
+    let mut last: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    for t in toks {
+        match t.text.as_str() {
+            "<" if t.kind == TokKind::Punct => angle += 1,
+            ">" if t.kind == TokKind::Punct => angle -= 1,
+            ">>" if t.kind == TokKind::Punct => angle -= 2,
+            "where" if t.kind == TokKind::Ident => break,
+            "for" if t.kind == TokKind::Ident && angle == 0 => saw_for = true,
+            _ if t.kind == TokKind::Ident && angle == 0 => {
+                if saw_for {
+                    after_for = Some(t.text.clone());
+                } else {
+                    last = Some(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    after_for.or(last)
+}
+
+/// Item keywords that consume a pending `#[…]` attribute.
+fn is_item_keyword(id: &str) -> bool {
+    matches!(
+        id,
+        "fn" | "mod"
+            | "impl"
+            | "trait"
+            | "struct"
+            | "enum"
+            | "union"
+            | "use"
+            | "static"
+            | "const"
+            | "type"
+            | "macro_rules"
+    )
+}
+
+/// Visibility/qualifier tokens that sit between an attribute and its item.
+fn is_item_qualifier(id: &str) -> bool {
+    matches!(id, "pub" | "unsafe" | "async" | "extern" | "crate" | "default")
+}
+
+fn scan(g: &Group, impl_ty: Option<&str>, in_test: bool, idx: &mut FileIndex) {
+    let items = &g.items;
+    let mut i = 0usize;
+    let mut pending_test = false;
+    while i < items.len() {
+        match &items[i] {
+            Tree::Tok(t) if t.is_punct("#") => {
+                // attribute: #[...] (outer) or #![...] (inner, ignored)
+                let mut j = i + 1;
+                let inner = matches!(&items.get(j), Some(Tree::Tok(t)) if t.is_punct("!"));
+                if inner {
+                    j += 1;
+                }
+                if let Some(Tree::Group(attr)) = items.get(j) {
+                    if attr.delim == '[' {
+                        if !inner && attr_is_test_gate(attr) {
+                            pending_test = true;
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Tree::Tok(t) if t.is_ident("fn") => {
+                let fn_line = t.line;
+                let name = match items.get(i + 1) {
+                    Some(Tree::Tok(n)) if n.kind == TokKind::Ident => n.text.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                // scan forward for the body; a `;` (or end) first means a
+                // declaration (trait method) — skip it. `,` does NOT end
+                // the scan: generic return types (`MutexGuard<'_, T>`)
+                // contain commas at this tree level.
+                let mut j = i + 2;
+                let mut signature: Vec<FlatTok> = Vec::new();
+                let mut body: Option<&Group> = None;
+                while j < items.len() {
+                    match &items[j] {
+                        Tree::Tok(t) if t.is_punct(";") => break,
+                        Tree::Tok(t) => {
+                            signature.push(FlatTok {
+                                kind: t.kind,
+                                text: t.text.clone(),
+                                line: t.line,
+                                depth: 0,
+                            });
+                            j += 1;
+                        }
+                        Tree::Group(sub) if sub.delim == '{' => {
+                            body = Some(sub);
+                            break;
+                        }
+                        Tree::Group(sub) => {
+                            // params / default-value groups: flatten into
+                            // the signature
+                            flatten_into(sub, 0, &mut signature);
+                            j += 1;
+                        }
+                    }
+                }
+                let is_test = in_test || pending_test;
+                pending_test = false;
+                if let Some(bg) = body {
+                    let mut flat = Vec::new();
+                    flatten_into(bg, 0, &mut flat);
+                    if !is_test {
+                        // the fn's own tokens join the file-wide code soup
+                        idx.code.push(FlatTok {
+                            kind: TokKind::Ident,
+                            text: "fn".to_string(),
+                            line: fn_line,
+                            depth: 0,
+                        });
+                        idx.code.push(FlatTok {
+                            kind: TokKind::Ident,
+                            text: name.clone(),
+                            line: fn_line,
+                            depth: 0,
+                        });
+                        idx.code.extend(signature.iter().cloned());
+                        idx.code.extend(flat.iter().cloned());
+                    }
+                    idx.functions.push(Function {
+                        name,
+                        line: fn_line,
+                        impl_ty: impl_ty.map(str::to_owned),
+                        signature,
+                        body: flat,
+                        is_test,
+                    });
+                    i = j + 1;
+                } else {
+                    i = j;
+                }
+            }
+            Tree::Tok(t) if t.is_ident("mod") || t.is_ident("impl") || t.is_ident("trait") => {
+                let kw = t.text.clone();
+                // gather header tokens up to the body group or `;`
+                let mut j = i + 1;
+                let mut header: Vec<&Tok> = Vec::new();
+                let mut body: Option<&Group> = None;
+                while j < items.len() {
+                    match &items[j] {
+                        Tree::Tok(t) if t.is_punct(";") => break,
+                        Tree::Tok(t) => {
+                            header.push(t);
+                            j += 1;
+                        }
+                        Tree::Group(sub) if sub.delim == '{' => {
+                            body = Some(sub);
+                            break;
+                        }
+                        Tree::Group(_) => j += 1,
+                    }
+                }
+                let gated = in_test || pending_test;
+                pending_test = false;
+                if let Some(bg) = body {
+                    let ty = if kw == "mod" {
+                        impl_ty.map(str::to_owned)
+                    } else {
+                        impl_type_name(&header)
+                    };
+                    // a test module named `tests` without the attribute is
+                    // still a test module by strong convention
+                    let named_tests = kw == "mod"
+                        && header
+                            .first()
+                            .is_some_and(|t| t.is_ident("tests") || t.text.ends_with("_tests"));
+                    scan(bg, ty.as_deref(), gated || named_tests, idx);
+                }
+                i = j + 1;
+            }
+            Tree::Tok(t)
+                if pending_test && t.kind == TokKind::Ident && is_item_keyword(&t.text) =>
+            {
+                // a test-gated item we don't descend into (struct / enum /
+                // use / const / …): skip it wholesale so its tokens stay
+                // out of the code soup
+                pending_test = false;
+                let mut j = i + 1;
+                while j < items.len() {
+                    match &items[j] {
+                        Tree::Tok(t) if t.is_punct(";") => {
+                            j += 1;
+                            break;
+                        }
+                        Tree::Group(sub) if sub.delim == '{' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+            }
+            Tree::Tok(t) => {
+                // visibility/qualifier idents keep a pending test attr
+                // alive until its item keyword; anything else ends its
+                // reach (the attr belonged to a non-scanned item)
+                if !(t.kind == TokKind::Ident && is_item_qualifier(&t.text)) {
+                    pending_test = false;
+                }
+                if !in_test {
+                    idx.code.push(FlatTok {
+                        kind: t.kind,
+                        text: t.text.clone(),
+                        line: t.line,
+                        depth: 0,
+                    });
+                }
+                i += 1;
+            }
+            Tree::Group(sub) => {
+                // a paren group between a test attr and its item is
+                // `pub(crate)`-style visibility: it keeps the gate alive
+                if pending_test && sub.delim == '(' {
+                    i += 1;
+                    continue;
+                }
+                // non-item group at this level (const initializer, static
+                // value, struct body, …): flatten into the code soup
+                if !in_test && !pending_test {
+                    let mut flat = Vec::new();
+                    flatten_into(sub, 0, &mut flat);
+                    idx.code.extend(flat);
+                }
+                pending_test = false;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_are_found_with_impl_context() {
+        let src = "impl Shard {\n    fn lock(&self) -> MutexGuard<'_, u8> {\n        self.map.lock()\n    }\n}\nfn free() {}\n";
+        let idx = index(src);
+        let names: Vec<(String, Option<String>)> =
+            idx.functions.iter().map(|f| (f.name.clone(), f.impl_ty.clone())).collect();
+        assert_eq!(
+            names,
+            vec![("lock".to_string(), Some("Shard".to_string())), ("free".to_string(), None)]
+        );
+        assert!(idx.functions[0].signature.iter().any(|t| t.is_ident("MutexGuard")));
+    }
+
+    #[test]
+    fn impl_trait_for_type_names_the_type() {
+        let src = "impl fmt::Display for Violation { fn fmt(&self) {} }\nimpl<T: Clone> Registry<T> { fn get(&self) {} }\n";
+        let idx = index(src);
+        assert_eq!(idx.functions[0].impl_ty.as_deref(), Some("Violation"));
+        assert_eq!(idx.functions[1].impl_ty.as_deref(), Some("Registry"));
+    }
+
+    #[test]
+    fn cfg_test_is_item_scoped_not_file_trailing() {
+        let src = "fn before() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let idx = index(src);
+        let tests: Vec<(String, bool)> =
+            idx.functions.iter().map(|f| (f.name.clone(), f.is_test)).collect();
+        assert_eq!(
+            tests,
+            vec![
+                ("before".to_string(), false),
+                ("t".to_string(), true),
+                ("after".to_string(), false)
+            ]
+        );
+        // the code soup must still contain `after`'s tokens
+        assert!(idx.code.iter().any(|t| t.is_ident("after")));
+        assert!(!idx.code.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn pub_crate_visibility_keeps_the_test_gate() {
+        let src = "#[cfg(test)]\npub(crate) mod test_support {\n    pub fn fixture() { x.unwrap(); }\n}\n";
+        let idx = index(src);
+        assert!(idx.functions[0].is_test);
+        assert!(!idx.code.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn cfg_attr_does_not_gate_an_item() {
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn kept() {}\n";
+        let idx = index(src);
+        assert!(!idx.functions[0].is_test);
+    }
+
+    #[test]
+    fn test_attribute_gates_a_function() {
+        let src = "#[test]\nfn t() {}\nfn real() {}\n";
+        let idx = index(src);
+        assert!(idx.functions[0].is_test);
+        assert!(!idx.functions[1].is_test);
+    }
+
+    #[test]
+    fn body_depth_tracks_braces() {
+        let src = "fn f() { if x { inner(); } tail(); }\n";
+        let f = &index(src).functions[0];
+        let inner = f.body.iter().find(|t| t.is_ident("inner")).map(|t| t.depth);
+        let tail = f.body.iter().find(|t| t.is_ident("tail")).map(|t| t.depth);
+        assert_eq!(inner, Some(1));
+        assert_eq!(tail, Some(0));
+    }
+}

@@ -54,6 +54,52 @@ fn l4_fixture_flags_clock_and_rng() {
 }
 
 #[test]
+fn lock_order_fixture_reports_the_cycle_once() {
+    let got = lint_fixture("violation_lock_order.rs");
+    assert_eq!(
+        got,
+        vec![(Rule::LockOrder, 15)],
+        "one cycle, anchored at the first conflicting acquisition site"
+    );
+}
+
+#[test]
+fn guard_blocking_fixture_flags_the_recv_under_guard() {
+    let got = lint_fixture("violation_guard_blocking.rs");
+    assert_eq!(got, vec![(Rule::GuardAcrossBlocking, 15)]);
+}
+
+#[test]
+fn raii_span_fixture_flags_all_three_antipatterns() {
+    let got = lint_fixture("violation_raii_span.rs");
+    assert_eq!(
+        got,
+        vec![(Rule::RaiiSpan, 8), (Rule::RaiiSpan, 14), (Rule::RaiiSpan, 20)],
+        "underscore binding, non-LIFO drop, record_span twin"
+    );
+}
+
+#[test]
+fn swallowed_fixture_flags_let_underscore_and_bare_drops() {
+    let got = lint_fixture("violation_swallowed.rs");
+    assert_eq!(
+        got,
+        vec![(Rule::SwallowedResult, 8), (Rule::SwallowedResult, 9), (Rule::SwallowedResult, 17),],
+        "socket writes and a crate-local fallible fn"
+    );
+}
+
+#[test]
+fn bare_allow_fixture_is_flagged_but_still_waives() {
+    let got = lint_fixture("violation_bare_allow.rs");
+    assert_eq!(
+        got,
+        vec![(Rule::BareAllow, 5)],
+        "the waive applies to the unwrap; the bare directive is the violation"
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     assert_eq!(lint_fixture("clean.rs"), vec![]);
 }

@@ -9,7 +9,7 @@
 use crate::json::{self, JsonError, JsonValue, Map};
 use parking_lot::{Mutex, RwLock};
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One structured event. Encodes as a flat JSON object with the kind
@@ -79,8 +79,14 @@ pub trait EventSink: Send + Sync {
 }
 
 /// A sink writing one JSON object per line to any `Write` target.
+///
+/// Write errors never propagate to the instrumented hot path (an event
+/// stream must not take the engine down), but they are not silent either:
+/// every failed write/flush is counted, and [`io_errors`](Self::io_errors)
+/// exposes the tally so a harness can fail loudly on a broken sink.
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
+    errors: AtomicU64,
 }
 
 impl std::fmt::Debug for JsonlSink {
@@ -92,7 +98,7 @@ impl std::fmt::Debug for JsonlSink {
 impl JsonlSink {
     /// Wrap a writer (file, stderr, `Vec<u8>`…).
     pub fn new(out: Box<dyn Write + Send>) -> Self {
-        JsonlSink { out: Mutex::new(out) }
+        JsonlSink { out: Mutex::new(out), errors: AtomicU64::new(0) }
     }
 
     /// Open (create/truncate) a JSONL file at `path`.
@@ -100,18 +106,33 @@ impl JsonlSink {
         let f = std::fs::File::create(path)?;
         Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(f))))
     }
+
+    /// Number of write/flush errors swallowed so far (events are
+    /// best-effort; the count makes a broken sink observable).
+    pub fn io_errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
 }
 
 impl EventSink for JsonlSink {
     fn record(&self, event: &Event) {
         let line = event.to_json();
         let mut out = self.out.lock();
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.write_all(b"\n");
+        // This mutex exists solely to serialize writes to the sink: holding
+        // it across the write IS the serialization, and only other emitters
+        // can contend on it.
+        // rqp-lint: allow(guard-across-blocking): write-serialization mutex
+        let res = out.write_all(line.as_bytes()).and_then(|()| out.write_all(b"\n"));
+        if res.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().flush();
+        // rqp-lint: allow(guard-across-blocking): write-serialization mutex
+        if self.out.lock().flush().is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -186,6 +207,7 @@ pub fn emit(event: Event) {
 pub fn flush_sink() {
     let guard = SINK.read();
     if let Some(sink) = guard.as_ref() {
+        // rqp-lint: allow(swallowed-result): EventSink::flush returns ()
         sink.flush();
     }
 }

@@ -132,6 +132,10 @@ pub const SERVE_REGISTRY_MISSES: &str = "rqp_serve_registry_misses_total";
 /// Counter: sessions that blocked on a peer's in-flight compile instead of
 /// starting their own (single-flight suppression).
 pub const SERVE_SINGLEFLIGHT_WAITS: &str = "rqp_serve_singleflight_waits_total";
+/// Counter: telemetry endpoint connections that failed on a socket error
+/// (setup, write or flush) — a scrape failing silently looks like a wedged
+/// server, so the failure itself is counted.
+pub const SERVE_TELEMETRY_ERRORS: &str = "rqp_serve_telemetry_errors_total";
 
 // ---- span names -------------------------------------------------------
 //

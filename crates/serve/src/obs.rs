@@ -27,6 +27,8 @@ pub(crate) struct ServeMetrics {
     pub registry_misses: Arc<Counter>,
     /// `rqp_serve_singleflight_waits_total`
     pub singleflight_waits: Arc<Counter>,
+    /// `rqp_serve_telemetry_errors_total`
+    pub telemetry_errors: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static ServeMetrics {
@@ -48,6 +50,7 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
             registry_hits: g.counter(names::SERVE_REGISTRY_HITS),
             registry_misses: g.counter(names::SERVE_REGISTRY_MISSES),
             singleflight_waits: g.counter(names::SERVE_SINGLEFLIGHT_WAITS),
+            telemetry_errors: g.counter(names::SERVE_TELEMETRY_ERRORS),
         }
     })
 }

@@ -127,10 +127,20 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool, traces: &Arc<TraceStor
     }
 }
 
+/// Handle one connection, counting any socket error in
+/// `rqp_serve_telemetry_errors_total` instead of dropping it on the floor:
+/// a scrape endpoint silently failing to answer looks exactly like a
+/// wedged server, so the failure itself must be observable.
+fn handle_connection(stream: TcpStream, traces: &Arc<TraceStore>) {
+    if try_handle(stream, traces).is_err() {
+        crate::obs::metrics().telemetry_errors.inc();
+    }
+}
+
 /// Read the request head (bounded), route it, and write one response.
-fn handle_connection(mut stream: TcpStream, traces: &Arc<TraceStore>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.set_nodelay(true);
+fn try_handle(mut stream: TcpStream, traces: &Arc<TraceStore>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_nodelay(true)?;
     let mut buf = [0u8; 4096];
     let mut head = Vec::new();
     loop {
@@ -147,12 +157,12 @@ fn handle_connection(mut stream: TcpStream, traces: &Arc<TraceStore>) {
     }
     let request_line = match std::str::from_utf8(&head).ok().and_then(|s| s.lines().next()) {
         Some(line) => line.to_string(),
-        None => return,
+        None => return Ok(()),
     };
     let mut parts = request_line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m, p),
-        _ => return,
+        _ => return Ok(()),
     };
     let (status, content_type, body) = if method != "GET" {
         ("405 Method Not Allowed", "text/plain; charset=utf-8", "only GET is served\n".to_string())
@@ -163,8 +173,8 @@ fn handle_connection(mut stream: TcpStream, traces: &Arc<TraceStore>) {
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
 }
 
 /// Resolve a `GET` path to `(status, content-type, body)`.
