@@ -1,12 +1,23 @@
 # Convenience targets for the robust-qp workspace.
 
-.PHONY: verify build test clippy lint lint-graph bench bench-compile bench-trace cache-smoke serve-smoke trace-smoke reproduce chaos
+.PHONY: verify build test clippy lint lint-graph bench bench-compile bench-trace cache-smoke serve-smoke trace-smoke reproduce chaos drill
 
 # The full pre-merge gate: release build, quiet tests, zero clippy
 # warnings, a clean rqp-lint pass (warnings denied), an acyclic lock
-# graph, the fixed-seed chaos smoke sweep, and the causal-trace smoke.
+# graph, the fixed-seed chaos smoke sweep, the causal-trace smoke, and
+# the scripted resilience drills.
 verify:
-	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings && $(MAKE) lint && $(MAKE) lint-graph && $(MAKE) chaos && $(MAKE) trace-smoke
+	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings && $(MAKE) lint && $(MAKE) lint-graph && $(MAKE) chaos && $(MAKE) trace-smoke && $(MAKE) drill
+
+# Resilience drills (see README, "Resilience"): crash-recovery must
+# restore every fingerprint from the disk tier with zero recompiles, and
+# the seeded chaos storm must hold the deadline and breaker-consistency
+# bounds over >= 100 sessions. Both exit non-zero on any violation.
+drill:
+	rm -rf target/drill-cache
+	cargo run --release --bin rqp -- serve --drill crash-recover --cache-dir target/drill-cache
+	cargo run --release --bin rqp -- serve --drill storm --chaos-seed 3 --sessions 120
+	@echo "drill: ok"
 
 # Fixed-seed fault-injection smoke sweep: every discovery algorithm must
 # terminate with honest accounting under each fault class (see README,

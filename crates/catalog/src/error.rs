@@ -85,6 +85,22 @@ pub enum RqpError {
     },
     /// Row-level execution failed (missing table, schema mismatch, …).
     Execution(String),
+    /// A wall-clock deadline expired before the operation could finish.
+    /// Carries the phase that was cut short (admission queue, registry
+    /// wait, discovery, …) so operators can tell *where* time went.
+    DeadlineExpired {
+        /// The phase in progress when the deadline lapsed.
+        phase: String,
+    },
+    /// A per-fingerprint circuit breaker is open: the last compile(s) for
+    /// this surface failed and the backoff window has not elapsed, so the
+    /// request is refused instantly instead of burning another compile.
+    BreakerOpen {
+        /// Milliseconds until the breaker admits a half-open re-probe.
+        retry_in_ms: u64,
+        /// Display form of the failure that opened the breaker.
+        cause: String,
+    },
     /// An internal invariant was violated; carries a diagnostic message.
     /// Debug builds additionally `debug_assert!` at the raise site.
     Internal(String),
@@ -122,6 +138,12 @@ impl fmt::Display for RqpError {
                 write!(f, "overloaded: admission queue holds {queue_depth} of {cap} sessions")
             }
             RqpError::Execution(msg) => write!(f, "execution error: {msg}"),
+            RqpError::DeadlineExpired { phase } => {
+                write!(f, "deadline expired during {phase}")
+            }
+            RqpError::BreakerOpen { retry_in_ms, cause } => {
+                write!(f, "circuit breaker open (re-probe in {retry_in_ms}ms): {cause}")
+            }
             RqpError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
@@ -172,6 +194,14 @@ mod tests {
             (
                 RqpError::Overloaded { queue_depth: 8, cap: 8 },
                 "overloaded: admission queue holds 8 of 8 sessions",
+            ),
+            (
+                RqpError::DeadlineExpired { phase: "registry wait".into() },
+                "deadline expired during registry wait",
+            ),
+            (
+                RqpError::BreakerOpen { retry_in_ms: 250, cause: "compile panicked".into() },
+                "circuit breaker open (re-probe in 250ms)",
             ),
             (RqpError::Internal("contour out of order".into()), "invariant"),
         ];

@@ -1,0 +1,330 @@
+//! Seeded fault injection for the **compile and cache seams**.
+//!
+//! PR 7's executor seams exercise the *discovery* recovery machinery
+//! (retry, quarantine, last resort); the serving tier's remaining failure
+//! domain is the compile path itself — the single-flight ESS compile and
+//! the persistent snapshot cache around it. A [`CompileFaultPlan`] drives
+//! those seams with the same discipline as [`crate::plan::FaultPlan`]:
+//! the whole schedule is a pure function of a 64-bit seed, quiet plans
+//! draw nothing from the PRNG stream, and every injection is counted (and
+//! exported via `rqp_chaos_compile_faults_injected_total{class=…}`) so a
+//! harness can reconcile injected faults against observed recoveries.
+//!
+//! Fault classes and the recovery path each one exists to test:
+//!
+//! * [`CompileFault::Panic`] — the compile unwinds mid-flight; the
+//!   registry's drop guard must open the breaker instead of wedging
+//!   waiters.
+//! * [`CompileFault::Fail`] — the compile returns a structured error; the
+//!   per-fingerprint circuit breaker must open, back off, and re-probe.
+//! * [`CompileFault::SlowIo`] — the compile (or cache IO) stalls; peers
+//!   must honor their deadlines via timed waits instead of blocking.
+//! * [`CompileFault::CorruptEntry`] — the on-disk cache entry is garbage;
+//!   the cache must quarantine it to `*.corrupt` and recompile.
+
+use crate::rng::SplitMix64;
+use parking_lot::Mutex;
+use rqp_obs::{global, labeled, names};
+
+/// Where in the compile path an injection decision is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileSeam {
+    /// Entering an ESS compile (the single-flight critical section).
+    Compile,
+    /// About to read a persistent cache entry from disk.
+    CacheLoad,
+}
+
+/// A fault injected at a compile seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileFault {
+    /// The compile unwinds (panics) mid-flight.
+    Panic,
+    /// The compile returns a structured internal error.
+    Fail,
+    /// IO/compile stalls for this many milliseconds before proceeding.
+    SlowIo {
+        /// Injected stall duration in milliseconds.
+        millis: u64,
+    },
+    /// The on-disk cache entry is corrupted before it is read.
+    CorruptEntry,
+}
+
+impl CompileFault {
+    /// Stable class label for metrics and events.
+    pub fn class(&self) -> &'static str {
+        match self {
+            CompileFault::Panic => "panic",
+            CompileFault::Fail => "fail",
+            CompileFault::SlowIo { .. } => "slow_io",
+            CompileFault::CorruptEntry => "corrupt_entry",
+        }
+    }
+}
+
+/// A hook the serving registry consults at each compile seam.
+///
+/// Mirrors `rqp_executor::FaultInjector`; implementations must be cheap
+/// and thread-safe (one registry, many sessions).
+pub trait CompileFaultInjector: Sync {
+    /// Decide whether (and how) to strike this seam crossing.
+    fn inject(&self, seam: CompileSeam) -> Option<CompileFault>;
+}
+
+/// A deterministic compile-fault schedule: per-class rates plus the seed
+/// that fixes exactly which compiles are struck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileFaultConfig {
+    /// Seed for the schedule's PRNG stream.
+    pub seed: u64,
+    /// Probability a compile panics mid-flight.
+    pub p_panic: f64,
+    /// Probability a compile returns a structured failure.
+    pub p_fail: f64,
+    /// Probability of an injected slow-IO stall.
+    pub p_slow: f64,
+    /// Probability a cache entry is corrupted before it is read.
+    pub p_corrupt: f64,
+    /// Stall duration for injected slow IO, in milliseconds.
+    pub slow_ms: u64,
+    /// Optional cap on total injected faults (`None` = unlimited). A cap
+    /// makes a transiently-failing fingerprint *recover*: after the burst
+    /// the schedule goes quiet and the breaker's re-probe succeeds.
+    pub max_faults: Option<u32>,
+}
+
+impl CompileFaultConfig {
+    /// A schedule that never injects anything — the control arm.
+    pub fn quiet(seed: u64) -> Self {
+        CompileFaultConfig {
+            seed,
+            p_panic: 0.0,
+            p_fail: 0.0,
+            p_slow: 0.0,
+            p_corrupt: 0.0,
+            slow_ms: 0,
+            max_faults: None,
+        }
+    }
+
+    /// A single-class schedule: rate `p` for `class`
+    /// ("panic" | "fail" | "slow_io" | "corrupt_entry"), zero for the
+    /// rest.
+    pub fn single(seed: u64, class: &str, p: f64) -> Self {
+        let mut c = CompileFaultConfig::quiet(seed);
+        c.slow_ms = 50;
+        match class {
+            "panic" => c.p_panic = p,
+            "fail" => c.p_fail = p,
+            "slow_io" => c.p_slow = p,
+            _ => c.p_corrupt = p,
+        }
+        c
+    }
+
+    /// A mixed-class storm at rate `p` per class, capped so every
+    /// fingerprint eventually compiles and the run terminates.
+    pub fn storm(seed: u64, p: f64) -> Self {
+        CompileFaultConfig {
+            seed,
+            p_panic: p,
+            p_fail: p,
+            p_slow: p,
+            p_corrupt: p,
+            slow_ms: 20,
+            max_faults: Some(16),
+        }
+    }
+
+    /// Sum of the compile-seam class rates.
+    pub fn total_rate(&self) -> f64 {
+        self.p_panic + self.p_fail + self.p_slow + self.p_corrupt
+    }
+}
+
+/// Injected compile-fault counts per class, snapshotted from a plan.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompileFaultCounts {
+    /// Mid-flight compile panics.
+    pub panics: u32,
+    /// Structured compile failures.
+    pub fails: u32,
+    /// Injected slow-IO stalls.
+    pub slow: u32,
+    /// Corrupted cache entries.
+    pub corrupt: u32,
+}
+
+impl CompileFaultCounts {
+    /// Total injected compile faults.
+    pub fn total(&self) -> u32 {
+        self.panics + self.fails + self.slow + self.corrupt
+    }
+}
+
+struct CompileState {
+    config: CompileFaultConfig,
+    rng: SplitMix64,
+    counts: CompileFaultCounts,
+}
+
+/// A reconfigurable, seeded [`CompileFaultInjector`].
+pub struct CompileFaultPlan {
+    state: Mutex<CompileState>,
+}
+
+impl CompileFaultPlan {
+    /// A plan running `config`'s schedule from its seed.
+    pub fn new(config: CompileFaultConfig) -> Self {
+        CompileFaultPlan {
+            state: Mutex::new(CompileState {
+                config,
+                rng: SplitMix64::new(config.seed),
+                counts: CompileFaultCounts::default(),
+            }),
+        }
+    }
+
+    /// A quiet plan (control arm).
+    pub fn idle() -> Self {
+        CompileFaultPlan::new(CompileFaultConfig::quiet(0))
+    }
+
+    /// Replace the schedule: new config, PRNG rewound, counts cleared.
+    pub fn reconfigure(&self, config: CompileFaultConfig) {
+        let mut st = self.state.lock();
+        st.config = config;
+        st.rng = SplitMix64::new(config.seed);
+        st.counts = CompileFaultCounts::default();
+    }
+
+    /// Faults injected since the last (re)configuration.
+    pub fn counts(&self) -> CompileFaultCounts {
+        self.state.lock().counts
+    }
+
+    /// The schedule currently in force.
+    pub fn config(&self) -> CompileFaultConfig {
+        self.state.lock().config
+    }
+}
+
+impl CompileFaultInjector for CompileFaultPlan {
+    fn inject(&self, seam: CompileSeam) -> Option<CompileFault> {
+        let mut st = self.state.lock();
+        if st.config.total_rate() <= 0.0 {
+            // quiet plans draw nothing: the stream position is untouched,
+            // so a quiet run is bit-identical to an injector-free run
+            return None;
+        }
+        if let Some(cap) = st.config.max_faults {
+            if st.counts.total() >= cap {
+                return None;
+            }
+        }
+        let u = st.rng.next_f64();
+        let c = st.config;
+        let fault = match seam {
+            // the compile seam draws panic / fail / slow_io
+            CompileSeam::Compile => {
+                if u < c.p_panic {
+                    st.counts.panics += 1;
+                    CompileFault::Panic
+                } else if u < c.p_panic + c.p_fail {
+                    st.counts.fails += 1;
+                    CompileFault::Fail
+                } else if u < c.p_panic + c.p_fail + c.p_slow {
+                    st.counts.slow += 1;
+                    CompileFault::SlowIo { millis: c.slow_ms }
+                } else {
+                    return None;
+                }
+            }
+            // the cache-load seam draws corrupt_entry / slow_io
+            CompileSeam::CacheLoad => {
+                if u < c.p_corrupt {
+                    st.counts.corrupt += 1;
+                    CompileFault::CorruptEntry
+                } else if u < c.p_corrupt + c.p_slow {
+                    st.counts.slow += 1;
+                    CompileFault::SlowIo { millis: c.slow_ms }
+                } else {
+                    return None;
+                }
+            }
+        };
+        drop(st);
+        global()
+            .counter(&labeled(names::COMPILE_FAULTS_INJECTED, &[("class", fault.class())]))
+            .inc();
+        if rqp_obs::events_enabled() {
+            rqp_obs::emit(
+                rqp_obs::Event::new(names::EV_COMPILE_FAULT_INJECTED)
+                    .with("class", fault.class())
+                    .with("seam", format!("{seam:?}")),
+            );
+        }
+        Some(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_replay_exactly_from_their_seed() {
+        let cfg = CompileFaultConfig::storm(99, 0.3);
+        let a = CompileFaultPlan::new(cfg);
+        let b = CompileFaultPlan::new(cfg);
+        for i in 0..300 {
+            let seam = if i % 2 == 0 { CompileSeam::Compile } else { CompileSeam::CacheLoad };
+            assert_eq!(a.inject(seam), b.inject(seam));
+        }
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn quiet_plans_never_inject_and_never_advance_the_stream() {
+        let plan = CompileFaultPlan::idle();
+        for _ in 0..100 {
+            assert!(plan.inject(CompileSeam::Compile).is_none());
+        }
+        assert_eq!(plan.counts().total(), 0);
+        plan.reconfigure(CompileFaultConfig::storm(7, 1.0));
+        let fresh = CompileFaultPlan::new(CompileFaultConfig::storm(7, 1.0));
+        assert_eq!(plan.inject(CompileSeam::Compile), fresh.inject(CompileSeam::Compile));
+    }
+
+    #[test]
+    fn the_fault_cap_silences_the_schedule() {
+        let plan = CompileFaultPlan::new(CompileFaultConfig {
+            max_faults: Some(3),
+            ..CompileFaultConfig::storm(1, 1.0)
+        });
+        let mut injected = 0;
+        for _ in 0..50 {
+            if plan.inject(CompileSeam::Compile).is_some() {
+                injected += 1;
+            }
+        }
+        assert_eq!(injected, 3);
+        assert_eq!(plan.counts().total(), 3);
+    }
+
+    #[test]
+    fn seams_draw_only_their_own_classes() {
+        let fails = CompileFaultPlan::new(CompileFaultConfig::single(5, "fail", 1.0));
+        for _ in 0..20 {
+            assert_eq!(fails.inject(CompileSeam::Compile), Some(CompileFault::Fail));
+            // a fail-only schedule never strikes the cache-load seam
+            assert_eq!(fails.inject(CompileSeam::CacheLoad), None);
+        }
+        let corrupt = CompileFaultPlan::new(CompileFaultConfig::single(5, "corrupt_entry", 1.0));
+        for _ in 0..20 {
+            assert_eq!(corrupt.inject(CompileSeam::CacheLoad), Some(CompileFault::CorruptEntry));
+            assert_eq!(corrupt.inject(CompileSeam::Compile), None);
+        }
+    }
+}

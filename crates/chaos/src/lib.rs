@@ -19,14 +19,24 @@
 //!   injector whose whole schedule is a pure function of a 64-bit seed:
 //!   mid-flight failures, spurious budget exhaustions, perturbed observed
 //!   costs and corrupted (NaN) spill observations.
+//! * [`compile::CompileFaultPlan`] / [`compile::CompileFaultConfig`] — the
+//!   same discipline for the serving tier's **compile and cache seams**:
+//!   seeded compile panics, structured compile failures, slow IO and
+//!   cache-entry corruption, driving the registry's circuit breakers,
+//!   timed waits and quarantine paths.
 //! * [`harness::sweep`] — algorithms × instances × fault classes, with
 //!   the invariants (termination, accounting, degraded cost cap, clean
 //!   control arm) checked on every run.
 
+pub mod compile;
 pub mod harness;
 pub mod plan;
 pub mod rng;
 
+pub use compile::{
+    CompileFault, CompileFaultConfig, CompileFaultCounts, CompileFaultInjector, CompileFaultPlan,
+    CompileSeam,
+};
 pub use harness::{
     degraded_cost_cap, probe_cells, standard_schedules, sweep, ChaosReport, ChaosRun,
 };

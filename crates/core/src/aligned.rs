@@ -368,7 +368,7 @@ impl Discovery for AlignedBound {
         let qa_loc = grid.location(qa);
         let band_hist = crate::obs::band_histogram(self.name());
         let m = rt.ess.contours.num_bands();
-        let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
+        let mut sup = rt.supervisor(self.name());
         let mut know = Knowledge::new(grid);
         let mut steps = Vec::new();
         let mut total = 0.0;

@@ -108,7 +108,7 @@ impl Discovery for PlanBouquet {
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
         let qa_loc = rt.ess.grid().location(qa);
         let band_hist = crate::obs::band_histogram(self.name());
-        let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
+        let mut sup = rt.supervisor(self.name());
         let mut steps = Vec::new();
         let mut total = 0.0;
         let tracer = rqp_obs::current();

@@ -27,7 +27,7 @@ impl Discovery for NativeOptimizer {
         let plan = Arc::new(planned.plan);
         let qa_loc = rt.ess.grid().location(qa);
         let band = rt.ess.contours.band_of(qa);
-        let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
+        let mut sup = rt.supervisor(self.name());
         let plan_ref = PlanRef::Bespoke(Arc::clone(&plan));
         let mut steps = Vec::new();
         let mut total = 0.0;

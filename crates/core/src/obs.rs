@@ -72,6 +72,11 @@ pub(crate) fn last_resort(_algo: &str) {
     global().counter(names::SUPERVISOR_LAST_RESORT).inc();
 }
 
+/// Count one retry skipped because the session deadline lapsed.
+pub(crate) fn deadline_stop(_algo: &str) {
+    global().counter(names::SUPERVISOR_DEADLINE_STOPS).inc();
+}
+
 /// Account a finished discovery run.
 pub(crate) fn record_trace(trace: &DiscoveryTrace) {
     let algo = trace.algo;
@@ -150,4 +155,5 @@ pub fn register_metrics() {
     let _ = g.counter(names::SUPERVISOR_RETRIES);
     let _ = g.counter(names::SUPERVISOR_QUARANTINES);
     let _ = g.counter(names::SUPERVISOR_LAST_RESORT);
+    let _ = g.counter(names::SUPERVISOR_DEADLINE_STOPS);
 }

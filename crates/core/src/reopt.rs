@@ -72,7 +72,7 @@ impl Discovery for ReOptimizer {
         // overwritten by observed truths
         let mut believed = rt.estimated_location().clone();
         let mut observed = vec![false; grid.dims()];
-        let mut sup = crate::supervise::Supervisor::new(self.name(), rt.retry_policy());
+        let mut sup = rt.supervisor(self.name());
         let mut steps = Vec::new();
         let mut total = 0.0;
 

@@ -38,6 +38,10 @@ pub struct RobustRuntime<'a> {
     /// Retry policy every discovery run's [`crate::Supervisor`] starts
     /// from.
     retry: crate::supervise::RetryPolicy,
+    /// Session deadline threaded into every discovery run's supervisor
+    /// (serving tier); [`rqp_obs::Deadline::none`] — the default — never
+    /// lapses.
+    deadline: rqp_obs::Deadline,
 }
 
 impl<'a> RobustRuntime<'a> {
@@ -120,6 +124,7 @@ impl<'a> RobustRuntime<'a> {
             ess,
             qe,
             retry: crate::supervise::RetryPolicy::default(),
+            deadline: rqp_obs::Deadline::none(),
         })
     }
 
@@ -166,6 +171,24 @@ impl<'a> RobustRuntime<'a> {
     /// Replace the supervision retry policy.
     pub fn set_retry_policy(&mut self, policy: crate::supervise::RetryPolicy) {
         self.retry = policy;
+    }
+
+    /// Bound every subsequent discovery run by a session deadline (see
+    /// [`crate::Supervisor::with_deadline`]).
+    pub fn set_deadline(&mut self, deadline: rqp_obs::Deadline) {
+        self.deadline = deadline;
+    }
+
+    /// The session deadline in force ([`rqp_obs::Deadline::none`] unless
+    /// [`set_deadline`](Self::set_deadline) was called).
+    pub fn deadline(&self) -> rqp_obs::Deadline {
+        self.deadline
+    }
+
+    /// A fresh supervisor for one discovery run: the runtime's retry
+    /// policy and session deadline, the calling thread's tracer.
+    pub fn supervisor(&self, algo: &'static str) -> crate::supervise::Supervisor {
+        crate::supervise::Supervisor::new(algo, self.retry).with_deadline(self.deadline)
     }
 
     /// Oracle cost `Cost(P_qa, qa)` for a grid cell.

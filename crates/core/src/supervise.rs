@@ -27,7 +27,7 @@
 use crate::trace::{ExecMode, PlanRef, Step};
 use rqp_catalog::{EppId, SelVector};
 use rqp_executor::{Engine, ExecOutcome, SpillOutcome};
-use rqp_obs::{names as obs_names, SpanKind};
+use rqp_obs::{names as obs_names, Deadline, SpanKind};
 use rqp_qplan::{Fingerprint, PlanNode};
 use std::collections::{BTreeSet, HashMap};
 
@@ -77,6 +77,9 @@ pub struct SupervisorStats {
     pub last_resort: u32,
     /// Full executions abandoned (caller degraded to the next plan).
     pub gave_up: u32,
+    /// Retries skipped because the session deadline had already lapsed
+    /// (the run winds down on first attempts and last resorts only).
+    pub deadline_stops: u32,
 }
 
 /// Per-run supervision state: retry bookkeeping and the quarantine set.
@@ -87,6 +90,12 @@ pub struct SupervisorStats {
 pub struct Supervisor {
     algo: &'static str,
     policy: RetryPolicy,
+    /// Session deadline: once lapsed, the supervisor stops spending the
+    /// retry budget (first attempts and last resorts still run, so every
+    /// discovery run terminates with honest accounting). The default
+    /// [`Deadline::none`] never lapses — single-session behavior is
+    /// byte-identical.
+    deadline: Deadline,
     /// The discovery run's causal tracer (the thread's current tracer at
     /// construction; disabled outside traced serve sessions).
     tracer: rqp_obs::Tracer,
@@ -104,6 +113,7 @@ impl Supervisor {
         Supervisor {
             algo,
             policy,
+            deadline: Deadline::none(),
             tracer: rqp_obs::current(),
             fails: HashMap::new(),
             quarantined: BTreeSet::new(),
@@ -111,9 +121,30 @@ impl Supervisor {
         }
     }
 
+    /// Bound this run by a session deadline (serving tier): after it
+    /// lapses, retries are skipped — each logical execution still gets its
+    /// first attempt (and spills their last resort) so the trace stays
+    /// complete, but no backoff-doubled budget is burned past the wall.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// The policy in force.
     pub fn policy(&self) -> RetryPolicy {
         self.policy
+    }
+
+    /// Whether the session deadline has lapsed (always `false` for the
+    /// default unbounded supervisor).
+    fn winding_down(&mut self) -> bool {
+        if self.deadline.expired() {
+            self.stats.deadline_stops += 1;
+            crate::obs::deadline_stop(self.algo);
+            return true;
+        }
+        false
     }
 
     /// Whether `plan` is quarantined for the rest of this run.
@@ -205,6 +236,9 @@ impl Supervisor {
                 break;
             }
             if attempt < self.policy.max_retries {
+                if self.winding_down() {
+                    break;
+                }
                 self.stats.retries += 1;
                 crate::obs::supervisor_retry(self.algo, attempt + 1, b);
                 b *= self.policy.backoff;
@@ -293,7 +327,9 @@ impl Supervisor {
         step_span.attr("mode", "spill");
         step_span.attr("epp", epp.0 as u64);
         let mut b = budget;
-        if !self.quarantined.contains(&fp) {
+        // A lapsed deadline routes straight to the last-resort clean
+        // execution below: one sound observation, no budgeted retries.
+        if !self.quarantined.contains(&fp) && !self.winding_down() {
             for attempt in 0..=self.policy.max_retries {
                 let mut exec_span =
                     self.tracer.span(obs_names::SPAN_EXECUTION, SpanKind::Execution);
@@ -338,6 +374,9 @@ impl Supervisor {
                     break;
                 }
                 if attempt < self.policy.max_retries {
+                    if self.winding_down() {
+                        break;
+                    }
                     self.stats.retries += 1;
                     crate::obs::supervisor_retry(self.algo, attempt + 1, b);
                     b *= self.policy.backoff;
@@ -400,6 +439,20 @@ mod tests {
         // repeated failures do not double-count the quarantine
         sup.record_failure(42);
         assert_eq!(sup.stats.quarantines, 1);
+    }
+
+    #[test]
+    fn a_lapsed_deadline_winds_the_supervisor_down() {
+        // `core::time::Duration`, not `std::time`: this crate is under the
+        // determinism lint; the wall-clock read happens inside rqp_obs.
+        let mut sup = Supervisor::new("test", RetryPolicy::default())
+            .with_deadline(Deadline::within(core::time::Duration::ZERO));
+        assert!(sup.winding_down(), "a zero-window deadline lapses immediately");
+        assert_eq!(sup.stats.deadline_stops, 1);
+        // The default supervisor is unbounded: it never winds down.
+        let mut unbounded = Supervisor::new("test", RetryPolicy::default());
+        assert!(!unbounded.winding_down());
+        assert_eq!(unbounded.stats.deadline_stops, 0);
     }
 
     #[test]

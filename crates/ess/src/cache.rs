@@ -11,8 +11,12 @@
 //! [`PospSnapshot`] per key in a directory. Any input change produces a new
 //! key, so a stored entry can never be served for a surface it does not
 //! describe; an entry whose *recorded* fingerprint disagrees with its file
-//! name (manual tampering, partial copy) is invalidated and deleted on
-//! load.
+//! name (manual tampering, partial copy), whose trailing FNV-1a checksum
+//! disagrees with its payload (bit rot, torn write), or that fails to
+//! decode is invalidated on load — **quarantined** to `<name>.corrupt`
+//! (counted by `rqp_ess_cache_corrupt_total`) rather than silently
+//! deleted, so operators keep the evidence while the rebuilt surface
+//! replaces the entry.
 //!
 //! Entries use a hand-rolled line/token text format rather than JSON:
 //! floats are written as their exact IEEE-754 bit patterns, which is what
@@ -130,20 +134,37 @@ impl CompileCache {
     }
 
     /// Load the snapshot cached under `fp`, if present and valid. An entry
-    /// whose recorded fingerprint no longer matches, or that fails to
-    /// decode, counts as a miss and is deleted so the rebuilt surface can
-    /// replace it.
+    /// whose recorded fingerprint no longer matches, whose checksum
+    /// disagrees with its payload, or that fails to decode counts as a
+    /// miss and is quarantined to `<name>.corrupt` so the rebuilt surface
+    /// can replace it while the bad bytes stay inspectable.
     pub fn load(&self, fp: u64) -> Option<PospSnapshot> {
         let path = self.path_for(fp);
         let text = std::fs::read_to_string(&path).ok()?;
         match codec::decode(&text, fp) {
             Ok(snap) => Some(snap),
-            Err(_) => {
-                // A leftover corrupt file is simply re-evicted on next load.
-                // rqp-lint: allow(swallowed-result): best-effort eviction
-                let _ = std::fs::remove_file(&path);
+            Err(e) => {
+                self.quarantine(&path, &e);
                 None
             }
+        }
+    }
+
+    /// Move a corrupt entry aside to `<name>.corrupt` (falling back to
+    /// deletion if the rename fails) and account it.
+    fn quarantine(&self, path: &std::path::Path, err: &RqpError) {
+        let corrupt = path.with_extension("rqpc.corrupt");
+        if std::fs::rename(path, &corrupt).is_err() {
+            // rqp-lint: allow(swallowed-result): best-effort eviction when the quarantine rename itself fails (e.g. read-only dir)
+            let _ = std::fs::remove_file(path);
+        }
+        crate::obs::metrics().cache_corrupt.inc();
+        if rqp_obs::events_enabled() {
+            rqp_obs::emit(
+                rqp_obs::Event::new(rqp_obs::names::EV_CACHE_QUARANTINE)
+                    .with("path", path.display().to_string())
+                    .with("error", err.to_string()),
+            );
         }
     }
 
@@ -199,16 +220,19 @@ pub(crate) use codec::{plan_from_text, plan_to_text};
 ///
 /// JSON is not used deliberately: cache entries must round-trip `f64`s
 /// byte-exactly (cell costs feed contour arithmetic), so every float is
-/// written as its 16-hex-digit IEEE-754 bit pattern.
+/// written as its 16-hex-digit IEEE-754 bit pattern. Since `v2` every
+/// entry ends with a `checksum` line — FNV-1a over the full payload
+/// (everything through `end\n`) — so bit rot and torn writes are caught
+/// before the payload is parsed at all.
 mod codec {
     use super::PospSnapshot;
     use crate::grid::Grid;
     use rqp_catalog::{ColRef, PredId, RelId, RqpError, RqpResult};
-    use rqp_qplan::PlanNode;
+    use rqp_qplan::{PlanNode, StableHasher};
     use std::fmt::Write as _;
 
     const MAGIC: &str = "rqp-posp-cache";
-    const VERSION: &str = "v1";
+    const VERSION: &str = "v2";
     /// Upper bound on any decoded collection length, so a corrupt entry
     /// cannot provoke a huge allocation.
     const MAX_LEN: usize = 64 * 1024 * 1024;
@@ -327,7 +351,15 @@ mod codec {
         }
         s.push('\n');
         s.push_str("end\n");
+        let _ = writeln!(s, "checksum {:016x}", payload_checksum(&s));
         s
+    }
+
+    /// FNV-1a digest of an entry's payload (everything through `end\n`).
+    fn payload_checksum(payload: &str) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str(payload);
+        h.finish()
     }
 
     struct Toks<'a> {
@@ -461,7 +493,21 @@ mod codec {
     }
 
     pub(super) fn decode(text: &str, expected_fp: u64) -> RqpResult<PospSnapshot> {
-        let mut t = Toks::new(text);
+        // Verify the trailing checksum before parsing anything: a torn
+        // write or flipped bit is rejected wholesale, not wherever the
+        // token stream happens to derail.
+        let (payload, sum_line) =
+            text.rsplit_once("checksum").ok_or_else(|| bad("missing checksum line"))?;
+        let sum_tok = sum_line.trim();
+        let recorded = u64::from_str_radix(sum_tok, 16)
+            .map_err(|_| bad(format!("bad checksum {sum_tok:?}")))?;
+        let actual = payload_checksum(payload);
+        if recorded != actual {
+            return Err(bad(format!(
+                "checksum mismatch: recorded {recorded:016x}, payload {actual:016x}"
+            )));
+        }
+        let mut t = Toks::new(payload);
         t.tag(MAGIC)?;
         t.tag(VERSION)?;
         t.tag("fingerprint")?;
@@ -615,8 +661,9 @@ mod tests {
         cache.store(fp, &snap).unwrap();
 
         // overwrite the entry with one recorded under a different key: the
-        // mismatch must invalidate (and delete) it
+        // mismatch must invalidate it — quarantined aside, not deleted
         let path = dir.join(format!("posp-{fp:016x}.rqpc"));
+        let corrupt = dir.join(format!("posp-{fp:016x}.rqpc.corrupt"));
         let other = std::fs::read_to_string(&path).unwrap().replacen(
             &format!("{fp:016x}"),
             &format!("{:016x}", fp ^ 0xff),
@@ -624,12 +671,45 @@ mod tests {
         );
         std::fs::write(&path, other).unwrap();
         assert!(cache.load(fp).is_none());
-        assert!(!path.exists(), "stale entry should have been deleted");
+        assert!(!path.exists(), "stale entry should have been moved aside");
+        assert!(corrupt.exists(), "stale entry should be quarantined as .corrupt");
 
         // garbage decodes to a miss too
         cache.store(fp, &snap).unwrap();
-        std::fs::write(&path, "rqp-posp-cache v1 fingerprint zzzz").unwrap();
+        std::fs::write(&path, "rqp-posp-cache v2 fingerprint zzzz").unwrap();
         assert!(cache.load(fp).is_none());
+        assert!(corrupt.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_rot_is_caught_by_the_checksum() {
+        let (catalog, query) = fixture();
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        let config = EssConfig { resolution: 8, ..Default::default() };
+        let ess = Ess::compile_cached(&opt, config, None).unwrap();
+        let snap = PospSnapshot::capture(&ess);
+
+        let dir = std::env::temp_dir().join(format!("rqp-cache-rot-{}", std::process::id()));
+        let cache = CompileCache::new(&dir).unwrap();
+        let fp = compile_fingerprint(&catalog, &query, &CostModel::default(), &config);
+        cache.store(fp, &snap).unwrap();
+
+        // flip one hex digit inside a cost token (fingerprint line intact):
+        // only the checksum can catch this
+        let path = dir.join(format!("posp-{fp:016x}.rqpc"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cost_at = text.find("cell_cost").unwrap();
+        let digit_at = cost_at + text[cost_at..].find(" 4").map(|i| i + 1).unwrap_or(12);
+        let mut bytes = text.into_bytes();
+        bytes[digit_at] = if bytes[digit_at] == b'4' { b'5' } else { b'4' };
+        std::fs::write(&path, bytes).unwrap();
+
+        assert!(cache.load(fp).is_none(), "rotted entry must not load");
+        assert!(
+            dir.join(format!("posp-{fp:016x}.rqpc.corrupt")).exists(),
+            "rotted entry should be quarantined"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

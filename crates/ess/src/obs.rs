@@ -35,6 +35,8 @@ pub(crate) struct EssMetrics {
     pub cache_misses: Arc<Counter>,
     /// `rqp_ess_cache_stores_total`
     pub cache_stores: Arc<Counter>,
+    /// `rqp_ess_cache_corrupt_total`
+    pub cache_corrupt: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static EssMetrics {
@@ -60,6 +62,7 @@ pub(crate) fn metrics() -> &'static EssMetrics {
             cache_hits: g.counter(names::ESS_CACHE_HITS),
             cache_misses: g.counter(names::ESS_CACHE_MISSES),
             cache_stores: g.counter(names::ESS_CACHE_STORES),
+            cache_corrupt: g.counter(names::ESS_CACHE_CORRUPT),
         }
     })
 }

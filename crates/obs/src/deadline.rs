@@ -1,0 +1,84 @@
+//! Wall-clock deadlines, threaded from admission to execution.
+//!
+//! A [`Deadline`] is a copyable token carrying an optional absolute
+//! expiry instant. It lives here — not in the deterministic crates —
+//! because wall-clock access is routed through `rqp_obs` (lint rule
+//! `determinism`): discovery code only ever *asks* a deadline whether it
+//! has lapsed, it never reads a clock itself. An unbounded deadline
+//! ([`Deadline::none`]) never expires and costs one branch per check, so
+//! deadline-free callers keep byte-identical behavior.
+
+use std::time::{Duration, Instant};
+
+/// An optional absolute wall-clock expiry, checked cooperatively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// The unbounded deadline: never expires.
+    pub fn none() -> Deadline {
+        Deadline { at: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Deadline {
+        Deadline { at: Instant::now().checked_add(budget) }
+    }
+
+    /// A deadline at the absolute instant `at`.
+    pub fn at(at: Instant) -> Deadline {
+        Deadline { at: Some(at) }
+    }
+
+    /// Whether this deadline can ever expire.
+    pub fn is_bounded(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// Whether the deadline has lapsed. Unbounded deadlines never lapse.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Time left before expiry: `None` for an unbounded deadline,
+    /// `Some(ZERO)` once lapsed. Suitable for `Condvar::wait_timeout`.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_bounded());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::within(Duration::ZERO);
+        assert!(d.is_bounded());
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_reports_remaining_time() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(!d.expired());
+        let left = d.remaining().unwrap_or(Duration::ZERO);
+        assert!(left > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn default_is_unbounded() {
+        assert_eq!(Deadline::default(), Deadline::none());
+    }
+}

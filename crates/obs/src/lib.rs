@@ -33,6 +33,7 @@
 //! All metric names used across the workspace are centralized in
 //! [`names`] so producers and consumers cannot drift apart.
 
+pub mod deadline;
 pub mod event;
 pub mod export;
 pub mod json;
@@ -41,6 +42,7 @@ pub mod names;
 pub mod span;
 pub mod trace;
 
+pub use deadline::Deadline;
 pub use event::{
     clear_sink, emit, events_enabled, flush_sink, set_sink, Event, EventSink, JsonlSink, MemorySink,
 };

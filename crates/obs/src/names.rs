@@ -51,6 +51,8 @@ pub const ESS_CACHE_HITS: &str = "rqp_ess_cache_hits_total";
 pub const ESS_CACHE_MISSES: &str = "rqp_ess_cache_misses_total";
 /// Counter: snapshots written to the persistent snapshot cache.
 pub const ESS_CACHE_STORES: &str = "rqp_ess_cache_stores_total";
+/// Counter: corrupt persistent-cache entries quarantined to `*.corrupt`.
+pub const ESS_CACHE_CORRUPT: &str = "rqp_ess_cache_corrupt_total";
 
 // ---- executor ---------------------------------------------------------
 
@@ -83,6 +85,8 @@ pub const SUPERVISOR_RETRIES: &str = "rqp_supervisor_retries_total";
 pub const SUPERVISOR_QUARANTINES: &str = "rqp_supervisor_quarantines_total";
 /// Counter: last-resort clean executions after retries ran dry.
 pub const SUPERVISOR_LAST_RESORT: &str = "rqp_supervisor_last_resort_total";
+/// Counter: retries skipped because the session deadline lapsed.
+pub const SUPERVISOR_DEADLINE_STOPS: &str = "rqp_supervisor_deadline_stops_total";
 /// Labelled counter base: discoveries ending in a structured failure,
 /// `rqp_discovery_structured_failures_total{algo="…"}`.
 pub const DISCOVERY_STRUCTURED_FAILURES: &str = "rqp_discovery_structured_failures_total";
@@ -136,6 +140,27 @@ pub const SERVE_SINGLEFLIGHT_WAITS: &str = "rqp_serve_singleflight_waits_total";
 /// (setup, write or flush) — a scrape failing silently looks like a wedged
 /// server, so the failure itself is counted.
 pub const SERVE_TELEMETRY_ERRORS: &str = "rqp_serve_telemetry_errors_total";
+/// Counter: registry entries restored from the persistent disk cache
+/// instead of recompiling (warm-restart recovery path).
+pub const SERVE_REGISTRY_DISK_HITS: &str = "rqp_serve_registry_disk_hits_total";
+/// Counter: circuit breakers opened (a compile failure started or
+/// extended a backoff window).
+pub const SERVE_BREAKER_OPEN: &str = "rqp_serve_breaker_open_total";
+/// Counter: half-open re-probes admitted after a backoff window elapsed.
+pub const SERVE_BREAKER_REPROBE: &str = "rqp_serve_breaker_reprobe_total";
+/// Counter: breakers closed again by a successful re-probe.
+pub const SERVE_BREAKER_CLOSE: &str = "rqp_serve_breaker_close_total";
+/// Counter: lookups refused instantly because a breaker was open.
+pub const SERVE_BREAKER_REFUSED: &str = "rqp_serve_breaker_refused_total";
+/// Counter: registry waits that returned `DeadlineExpired` instead of
+/// blocking past the session deadline on a wedged peer compile.
+pub const SERVE_WAIT_DEADLINE_EXPIRED: &str = "rqp_serve_wait_deadline_expired_total";
+/// Counter: sessions served a native-optimizer fallback plan because the
+/// breaker was open and degradation was enabled.
+pub const SERVE_DEGRADED: &str = "rqp_serve_degraded_total";
+/// Labelled counter base: compile-seam faults injected per class,
+/// `rqp_chaos_compile_faults_injected_total{class="…"}`.
+pub const COMPILE_FAULTS_INJECTED: &str = "rqp_chaos_compile_faults_injected_total";
 
 // ---- span names -------------------------------------------------------
 //
@@ -202,3 +227,12 @@ pub const EV_SESSION_REJECTED: &str = "session_rejected";
 pub const EV_SESSION_COMPLETE: &str = "session_complete";
 /// Event: the serve scheduler drained and shut down.
 pub const EV_SERVE_DRAIN: &str = "serve_drain";
+/// Event: a per-fingerprint circuit breaker changed state.
+pub const EV_BREAKER_TRANSITION: &str = "breaker_transition";
+/// Event: a compile-seam fault was injected (panic, failure, slow IO,
+/// cache corruption).
+pub const EV_COMPILE_FAULT_INJECTED: &str = "compile_fault_injected";
+/// Event: a corrupt cache entry was quarantined to `*.corrupt`.
+pub const EV_CACHE_QUARANTINE: &str = "cache_quarantine";
+/// Event: a session was served the degraded native-optimizer fallback.
+pub const EV_SESSION_DEGRADED: &str = "session_degraded";

@@ -1,0 +1,305 @@
+//! Resilience drills: scripted end-to-end failure exercises with their
+//! invariants checked, runnable from CI (`make drill`), the CLI
+//! (`rqp serve --drill …`) and the test suite.
+//!
+//! * [`crash_recover_drill`] — compile a workload's fingerprints, wipe
+//!   the in-memory registry (the simulated crash), re-run the same
+//!   workload and assert **zero recompiles**: every surface restores from
+//!   the persistent disk tier, the global ESS compile counter does not
+//!   move, and the post-recovery report renders byte-identically to the
+//!   pre-crash one ([`ServeReport::stable_render`]).
+//! * [`storm_drill`] — a seeded compile-fault and execution-fault storm
+//!   over ≥ 100 sessions with per-session deadlines and graceful
+//!   degradation on, asserting the resilience bounds: no session's wall
+//!   clock exceeds its deadline plus a fixed grace, breaker counters stay
+//!   mutually consistent, and every admitted session ends in a structured
+//!   outcome.
+
+use crate::registry::BreakerConfig;
+use crate::report::ServeReport;
+use crate::server::{serve_workload, ServeConfig};
+use rqp_catalog::RqpResult;
+use rqp_chaos::{CompileFaultConfig, FaultConfig};
+use rqp_obs::names;
+use rqp_workloads::SessionEntry;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// The outcome of one scripted drill.
+#[derive(Debug)]
+pub struct DrillReport {
+    /// Drill name (`crash-recover` | `storm`).
+    pub name: &'static str,
+    /// Invariant violations; empty means the drill passed.
+    pub violations: Vec<String>,
+    /// Human-readable progress lines.
+    pub lines: Vec<String>,
+}
+
+impl DrillReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render the drill's transcript and verdict.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "drill {}:", self.name);
+        for line in &self.lines {
+            let _ = writeln!(s, "  {line}");
+        }
+        if self.passed() {
+            let _ = writeln!(s, "drill {} PASSED", self.name);
+        } else {
+            for v in &self.violations {
+                let _ = writeln!(s, "  VIOLATION: {v}");
+            }
+            let _ =
+                writeln!(s, "drill {} FAILED ({} violation(s))", self.name, self.violations.len());
+        }
+        s
+    }
+}
+
+/// The drill workload: two distinct fingerprints, mixed algorithms.
+fn drill_entries() -> Vec<SessionEntry> {
+    vec![
+        SessionEntry { query: "2D_Q91".to_string(), algo: "sb".to_string(), count: 3 },
+        SessionEntry { query: "2D_Q91".to_string(), algo: "ab".to_string(), count: 2 },
+        SessionEntry { query: "3D_Q91".to_string(), algo: "sb".to_string(), count: 3 },
+    ]
+}
+
+fn drill_config(cache_dir: &Path) -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        queue_cap: 64,
+        // Coarse grids keep the drill's compiles sub-second.
+        resolution: Some(6),
+        cache_dir: Some(cache_dir.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+/// The crash-recovery drill (see module docs). `cache_dir` holds the
+/// persistent tier; it should start empty for a clean run.
+///
+/// # Errors
+/// Propagates server configuration errors; invariant failures are
+/// reported in the [`DrillReport`], not as an `Err`.
+pub fn crash_recover_drill(cache_dir: &Path) -> RqpResult<DrillReport> {
+    let mut lines = Vec::new();
+    let mut violations = Vec::new();
+    let entries = drill_entries();
+    let distinct = 2u64; // 2D_Q91 and 3D_Q91
+
+    // Phase 1: cold serve — every fingerprint compiles once and is
+    // written behind to the disk tier.
+    let report1 = serve_workload(drill_config(cache_dir), &entries)?;
+    lines.push(format!(
+        "cold run: {} session(s), {} compile(s), {} disk hit(s)",
+        report1.results.len(),
+        report1.registry.compiles,
+        report1.registry.disk_hits,
+    ));
+    if report1.registry.compiles != distinct {
+        violations.push(format!(
+            "cold run compiled {} time(s) for {distinct} fingerprint(s)",
+            report1.registry.compiles
+        ));
+    }
+
+    // Phase 2: the crash. A fresh server with a fresh (empty) registry
+    // over the same cache directory — plus a mid-run wipe for good
+    // measure — must serve the same workload with zero recompiles.
+    let compiles_before = rqp_obs::global().counter(names::ESS_COMPILES).get();
+    let server = crate::server::Server::start(drill_config(cache_dir))?;
+    let mut next_id = 0usize;
+    for entry in &entries {
+        for _ in 0..entry.count {
+            let spec = crate::session::SessionSpec::new(
+                next_id,
+                entry.query.as_str(),
+                entry.algo.as_str(),
+            );
+            next_id += 1;
+            server.submit(spec)?;
+            if next_id == 4 {
+                // Simulated crash mid-workload: later sessions must
+                // restore from disk again, still without compiling.
+                server.wipe_registry();
+            }
+        }
+    }
+    let mut report2 = server.drain();
+    report2.results.sort_by_key(|r| r.id);
+    let compiles_after = rqp_obs::global().counter(names::ESS_COMPILES).get();
+    lines.push(format!(
+        "recovery run: {} session(s), {} compile(s), {} disk hit(s), \
+         global ESS compile counter moved by {}",
+        report2.results.len(),
+        report2.registry.compiles,
+        report2.registry.disk_hits,
+        compiles_after - compiles_before,
+    ));
+    if report2.registry.compiles != 0 {
+        violations.push(format!(
+            "recovery run recompiled {} time(s); the disk tier must answer every miss",
+            report2.registry.compiles
+        ));
+    }
+    if compiles_after != compiles_before {
+        violations.push(format!(
+            "global ESS compile counter moved {} -> {} across the recovery run",
+            compiles_before, compiles_after
+        ));
+    }
+    if report2.registry.disk_hits < distinct {
+        violations.push(format!(
+            "only {} disk restore(s) for {distinct} fingerprint(s)",
+            report2.registry.disk_hits
+        ));
+    }
+    check_stable_reports(&report1, &report2, &mut lines, &mut violations);
+    Ok(DrillReport { name: "crash-recover", violations, lines })
+}
+
+fn check_stable_reports(
+    before: &ServeReport,
+    after: &ServeReport,
+    lines: &mut Vec<String>,
+    violations: &mut Vec<String>,
+) {
+    let (a, b) = (before.stable_render(), after.stable_render());
+    if a == b {
+        lines.push("pre-crash and post-recovery reports render byte-identically".to_string());
+    } else {
+        violations.push(format!(
+            "post-recovery report diverges from the pre-crash one:\n--- before\n{a}--- after\n{b}"
+        ));
+    }
+}
+
+/// Per-session deadline and grace for the storm drill. The grace absorbs
+/// scheduling jitter and the post-deadline wind-down (one last-resort
+/// execution per in-flight step); the bound asserted is
+/// `wall ≤ deadline + grace` for every session that reached a worker.
+const STORM_DEADLINE: Duration = Duration::from_secs(2);
+const STORM_GRACE: Duration = Duration::from_secs(2);
+
+/// The chaos-storm drill (see module docs): `sessions` seeded sessions
+/// (≥ 100 enforced by clamping) under a mixed compile-fault and
+/// execution-fault storm, with deadlines and degradation on.
+///
+/// # Errors
+/// Propagates server configuration errors; invariant failures are
+/// reported in the [`DrillReport`], not as an `Err`.
+pub fn storm_drill(seed: u64, sessions: usize) -> RqpResult<DrillReport> {
+    let mut lines = Vec::new();
+    let mut violations = Vec::new();
+    let sessions = sessions.max(100);
+    let per_query = sessions / 2;
+    let entries = vec![
+        SessionEntry { query: "2D_Q91".to_string(), algo: "sb".to_string(), count: per_query },
+        SessionEntry {
+            query: "3D_Q91".to_string(),
+            algo: "ab".to_string(),
+            count: sessions - per_query,
+        },
+    ];
+    let config = ServeConfig {
+        workers: 4,
+        queue_cap: sessions,
+        resolution: Some(6),
+        deadline: Some(STORM_DEADLINE),
+        chaos: Some(FaultConfig::storm(seed, 0.2)),
+        compile_chaos: Some(CompileFaultConfig::storm(seed ^ 0xD1CE, 0.4)),
+        breaker: BreakerConfig {
+            backoff_base: Duration::from_millis(20),
+            backoff_max: Duration::from_millis(200),
+        },
+        degrade: true,
+        ..ServeConfig::default()
+    };
+    let report = serve_workload(config, &entries)?;
+    let stats = &report.registry;
+    lines.push(format!(
+        "{} session(s): {} completed, {} degraded, {} breaker-refused, {} deadline-expired, \
+         {} failed",
+        report.results.len(),
+        report.completed(),
+        report.degraded(),
+        report.breaker_refused(),
+        report.count(|r| r.outcome == crate::session::SessionOutcome::DeadlineExpired),
+        report.count(|r| matches!(r.outcome, crate::session::SessionOutcome::Failed(_))),
+    ));
+    lines.push(format!(
+        "breakers: {} open(s), {} re-probe(s), {} close(s), {} refusal(s); \
+         {} compile(s), {} expired wait(s)",
+        stats.breaker_opens,
+        stats.breaker_reprobes,
+        stats.breaker_closes,
+        stats.breaker_refused,
+        stats.compiles,
+        stats.expired_waits,
+    ));
+
+    // Bound: no session that reached a worker ran past deadline + grace.
+    let bound = STORM_DEADLINE + STORM_GRACE;
+    for r in &report.results {
+        if r.outcome != crate::session::SessionOutcome::Rejected && r.wall > bound {
+            violations.push(format!(
+                "session {} ({} {}) ran {:?}, past the {:?} bound",
+                r.id, r.query, r.algo, r.wall, bound
+            ));
+        }
+    }
+
+    // Breaker counters must be mutually consistent: every re-probe needs
+    // a prior open, every close needs a prior re-probe, and refusals can
+    // only happen once something opened.
+    if stats.breaker_reprobes > stats.breaker_opens {
+        violations.push(format!(
+            "{} re-probe(s) exceed {} open(s)",
+            stats.breaker_reprobes, stats.breaker_opens
+        ));
+    }
+    if stats.breaker_closes > stats.breaker_reprobes {
+        violations.push(format!(
+            "{} close(s) exceed {} re-probe(s)",
+            stats.breaker_closes, stats.breaker_reprobes
+        ));
+    }
+    if stats.breaker_refused > 0 && stats.breaker_opens == 0 {
+        violations.push("breaker refusals recorded without any open".to_string());
+    }
+
+    // Every admitted session must end in a structured outcome with its
+    // wall clock recorded — nothing hangs, nothing is silently dropped.
+    let total: usize = entries.iter().map(|e| e.count).sum();
+    if report.results.len() != total {
+        violations.push(format!(
+            "{} result(s) for {} submitted session(s)",
+            report.results.len(),
+            total
+        ));
+    }
+    Ok(DrillReport { name: "storm", violations, lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drill_report_renders_verdicts() {
+        let pass = DrillReport { name: "storm", violations: vec![], lines: vec!["x".into()] };
+        assert!(pass.passed());
+        assert!(pass.render().contains("PASSED"));
+        let fail = DrillReport { name: "storm", violations: vec!["bad".into()], lines: vec![] };
+        assert!(!fail.passed());
+        assert!(fail.render().contains("FAILED (1 violation(s))"));
+    }
+}

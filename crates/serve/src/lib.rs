@@ -37,6 +37,18 @@
 //! faults strike a session's *executions*, never the shared registry —
 //! the compiled surface is immutable behind its `Arc`.
 //!
+//! The **resilience tier** (see `DESIGN.md`'s failure-domain map) hardens
+//! the compile path itself: per-fingerprint **circuit breakers** with
+//! exponential-backoff half-open re-probes replace permanent failure
+//! caching; registry waits, supervised retries and contour steps are
+//! bounded by a per-session [`rqp_obs::Deadline`]; the registry reads
+//! through / writes behind the persistent compile cache so a wiped
+//! registry ([`Server::wipe_registry`]) recovers with **zero recompiles**;
+//! and [`ServeConfig::degrade`] serves breaker-open sessions with the
+//! native optimizer's plan, flagged [`SessionOutcome::Degraded`]. The
+//! [`drill`] module packages the crash-recovery and chaos-storm drills
+//! that assert those invariants end to end.
+//!
 //! ```
 //! use rqp_serve::{serve_workload, ServeConfig};
 //! use rqp_workloads::parse_session_file;
@@ -47,6 +59,7 @@
 //! assert_eq!(report.registry.compiles, 1); // one fingerprint, one compile
 //! ```
 
+pub mod drill;
 pub mod obs;
 pub mod registry;
 pub mod report;
@@ -54,9 +67,10 @@ pub mod server;
 pub mod session;
 pub mod telemetry;
 
+pub use drill::{crash_recover_drill, storm_drill, DrillReport};
 pub use obs::register_metrics;
-pub use registry::{EssRegistry, Lookup, RegistryStats};
+pub use registry::{BreakerConfig, BreakerPhase, BreakerState, EssRegistry, Lookup, RegistryStats};
 pub use report::{GroupStats, ServeReport};
 pub use server::{serve_workload, ServeConfig, Server};
 pub use session::{algo_by_name, SessionOutcome, SessionResult, SessionSpec};
-pub use telemetry::{TelemetryServer, TraceStore};
+pub use telemetry::{HealthSource, TelemetryServer, TraceStore};

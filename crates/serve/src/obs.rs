@@ -29,6 +29,20 @@ pub(crate) struct ServeMetrics {
     pub singleflight_waits: Arc<Counter>,
     /// `rqp_serve_telemetry_errors_total`
     pub telemetry_errors: Arc<Counter>,
+    /// `rqp_serve_registry_disk_hits_total`
+    pub registry_disk_hits: Arc<Counter>,
+    /// `rqp_serve_breaker_open_total`
+    pub breaker_open: Arc<Counter>,
+    /// `rqp_serve_breaker_reprobe_total`
+    pub breaker_reprobe: Arc<Counter>,
+    /// `rqp_serve_breaker_close_total`
+    pub breaker_close: Arc<Counter>,
+    /// `rqp_serve_breaker_refused_total`
+    pub breaker_refused: Arc<Counter>,
+    /// `rqp_serve_wait_deadline_expired_total`
+    pub wait_deadline_expired: Arc<Counter>,
+    /// `rqp_serve_degraded_total`
+    pub degraded: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static ServeMetrics {
@@ -51,6 +65,13 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
             registry_misses: g.counter(names::SERVE_REGISTRY_MISSES),
             singleflight_waits: g.counter(names::SERVE_SINGLEFLIGHT_WAITS),
             telemetry_errors: g.counter(names::SERVE_TELEMETRY_ERRORS),
+            registry_disk_hits: g.counter(names::SERVE_REGISTRY_DISK_HITS),
+            breaker_open: g.counter(names::SERVE_BREAKER_OPEN),
+            breaker_reprobe: g.counter(names::SERVE_BREAKER_REPROBE),
+            breaker_close: g.counter(names::SERVE_BREAKER_CLOSE),
+            breaker_refused: g.counter(names::SERVE_BREAKER_REFUSED),
+            wait_deadline_expired: g.counter(names::SERVE_WAIT_DEADLINE_EXPIRED),
+            degraded: g.counter(names::SERVE_DEGRADED),
         }
     })
 }

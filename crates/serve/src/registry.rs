@@ -1,5 +1,6 @@
 //! The shared POSP registry: fingerprint-keyed, single-flight compiled
-//! ESS surfaces shared across concurrent sessions.
+//! ESS surfaces shared across concurrent sessions, with per-fingerprint
+//! circuit breakers, deadline-bounded waits and a persistent disk tier.
 //!
 //! Compiling an ESS is the expensive offline step of the paper (§7:
 //! repeated optimizer calls over the whole grid); a serving deployment
@@ -10,24 +11,39 @@
 //! * first session for a fingerprint inserts a `Pending` marker, drops
 //!   the shard lock, and compiles;
 //! * peers arriving mid-compile block on the shard's condvar (counted as
-//!   single-flight waits) instead of starting their own compile;
+//!   single-flight waits) — bounded by their session [`Deadline`]: a
+//!   wedged peer compile costs a waiter at most its own deadline, never
+//!   an unbounded hang;
 //! * the finished surface is published as `Ready(Arc<Ess>)` and every
 //!   waiter clones the `Arc` — the surface itself is never copied.
 //!
-//! Compile **failures are cached** too (`Failed`): a fingerprint that
-//! cannot compile is refused instantly for every later session instead of
-//! burning a full grid sweep per arrival. And because the compile runs
-//! outside the lock under a drop guard, a compile that unwinds (only
-//! possible under test harnesses; library code is panic-free by lint)
-//! publishes `Failed` rather than wedging its waiters — a chaotic session
-//! can never poison the shared registry.
+//! Compile **failures open a circuit breaker** instead of poisoning the
+//! fingerprint forever: a `Broken` entry refuses later sessions instantly
+//! while its exponential-backoff window runs, then admits exactly one
+//! half-open re-probe under the same single-flight discipline. A
+//! transient failure (crash burst, injected chaos) therefore heals on its
+//! own; only a deterministically-broken fingerprint stays open, and even
+//! then each re-probe is one compile per backoff window, not one per
+//! arrival. Because the compile runs outside the lock under a drop guard,
+//! a compile that unwinds publishes `Broken` rather than wedging its
+//! waiters — a chaotic session can never poison the shared registry.
+//!
+//! When constructed [`EssRegistry::with_cache`], the registry adds a
+//! **read-through / write-behind disk tier**: a miss first consults the
+//! persistent [`CompileCache`] (restores count as [`Lookup::Restored`],
+//! not compiles), and every fresh compile is written behind. A process
+//! restart — or an explicit [`EssRegistry::wipe`] — therefore recovers
+//! every previously-compiled fingerprint from disk with zero recompiles.
 
 use crate::obs::metrics;
 use rqp_catalog::{RqpError, RqpResult};
-use rqp_ess::Ess;
+use rqp_chaos::{CompileFault, CompileFaultInjector, CompileSeam};
+use rqp_ess::{CompileCache, Ess, PospSnapshot};
+use rqp_obs::Deadline;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// How a [`EssRegistry::get_or_compile`] call was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +54,75 @@ pub enum Lookup {
     Hit,
     /// A peer was mid-compile; this call blocked until it published.
     Waited,
+    /// The surface was restored from the persistent disk cache without a
+    /// compile (warm-restart recovery path).
+    Restored,
+}
+
+/// Circuit-breaker phase of one fingerprint, in `/healthz` and obs terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// The fingerprint compiled successfully; lookups are served.
+    Closed,
+    /// The last compile failed; lookups are refused until the backoff
+    /// window elapses.
+    Open,
+    /// The backoff window elapsed; exactly one re-probe compile is in
+    /// flight, everyone else is still refused.
+    HalfOpen,
+}
+
+impl BreakerPhase {
+    /// Stable label for obs events and `/healthz`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerPhase::Closed => "closed",
+            BreakerPhase::Open => "open",
+            BreakerPhase::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Breaker tuning: how long an opened fingerprint backs off before its
+/// half-open re-probe, and how far consecutive failures stretch it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Backoff after the first failure; doubled per consecutive failure.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff window.
+    pub backoff_max: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(10),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// The backoff window after `failures` consecutive failures
+    /// (`base * 2^(failures-1)`, capped at `backoff_max`).
+    fn window(&self, failures: u32) -> Duration {
+        let doublings = failures.saturating_sub(1).min(16);
+        self.backoff_base
+            .checked_mul(1u32 << doublings)
+            .map_or(self.backoff_max, |w| w.min(self.backoff_max))
+    }
+}
+
+struct BreakerEntry {
+    /// The failure that opened (or kept open) the breaker.
+    error: RqpError,
+    /// Consecutive compile failures for this fingerprint.
+    failures: u32,
+    /// When the next half-open re-probe is admitted (`retry_at - now` is
+    /// the window currently in force).
+    retry_at: Instant,
+    /// A half-open re-probe compile is in flight right now.
+    probing: bool,
 }
 
 enum Entry {
@@ -45,8 +130,9 @@ enum Entry {
     Pending,
     /// The compiled surface, shared by reference counting.
     Ready(Arc<Ess>),
-    /// The compile failed; refused instantly for every later session.
-    Failed(RqpError),
+    /// The compile failed; the breaker refuses lookups until `retry_at`,
+    /// then admits one half-open re-probe.
+    Broken(BreakerEntry),
 }
 
 struct Shard {
@@ -63,44 +149,97 @@ impl Shard {
 /// Counter snapshot of a registry's lifetime activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegistryStats {
-    /// Compiles actually executed (== distinct fingerprints attempted).
+    /// Compiles actually executed (first sessions plus breaker re-probes).
     pub compiles: u64,
-    /// Lookups served by an already-resident surface (or cached failure).
+    /// Lookups served by an already-resident surface (or refused by an
+    /// open breaker).
     pub hits: u64,
     /// Lookups that blocked on a peer's in-flight compile.
     pub waits: u64,
-    /// Fingerprints currently resident (ready or failed).
+    /// Surfaces restored from the persistent disk tier (zero compiles).
+    pub disk_hits: u64,
+    /// Breaker-open transitions (failures starting/extending a backoff).
+    pub breaker_opens: u64,
+    /// Half-open re-probes admitted after a backoff window elapsed.
+    pub breaker_reprobes: u64,
+    /// Breakers closed again by a successful re-probe.
+    pub breaker_closes: u64,
+    /// Lookups refused instantly by an open breaker.
+    pub breaker_refused: u64,
+    /// Waits that returned `DeadlineExpired` instead of blocking on.
+    pub expired_waits: u64,
+    /// Fingerprints currently resident (ready or broken).
     pub entries: usize,
 }
 
-/// Publishes `Failed` if the compiling session unwinds before storing a
-/// result, so waiters wake with an error instead of blocking forever.
+/// The phases a breaker moved through, in order (for drills and tests).
+pub type BreakerTransition = (u64, BreakerPhase);
+
+/// Per-fingerprint breaker state, as exported via `/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerState {
+    /// The fingerprint.
+    pub fp: u64,
+    /// Current phase.
+    pub phase: BreakerPhase,
+    /// Consecutive failures (0 when closed).
+    pub failures: u32,
+}
+
+/// Publishes `Broken` if the compiling session unwinds before storing a
+/// result, so waiters wake with an open breaker instead of blocking
+/// forever (and the fingerprint stays re-probeable).
 struct PendingGuard<'a> {
-    shard: &'a Shard,
+    reg: &'a EssRegistry,
     fp: u64,
+    prior_failures: u32,
     armed: bool,
 }
 
 impl Drop for PendingGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.shard.lock().insert(
+            self.reg.publish_broken(
                 self.fp,
-                Entry::Failed(RqpError::Internal("ESS compile aborted mid-flight".to_string())),
+                self.prior_failures,
+                RqpError::Internal("ESS compile aborted mid-flight".to_string()),
             );
-            self.shard.published.notify_all();
         }
     }
 }
 
+/// What the lookup loop decided this caller must do.
+#[derive(Clone, Copy)]
+enum Claim {
+    /// First session for the fingerprint: read through the disk tier,
+    /// then compile.
+    Fresh,
+    /// Half-open re-probe: compile again after `prior_failures` failures.
+    Probe { prior_failures: u32 },
+}
+
 /// A sharded, fingerprint-keyed map of compiled ESS surfaces with
-/// single-flight compilation.
+/// single-flight compilation, circuit breaking and optional persistence.
 pub struct EssRegistry {
     shards: Vec<Shard>,
+    cache: Option<CompileCache>,
+    breaker: BreakerConfig,
+    injector: Option<Arc<dyn CompileFaultInjector + Send + Sync>>,
+    transitions: Mutex<Vec<BreakerTransition>>,
     compiles: AtomicU64,
     hits: AtomicU64,
     waits: AtomicU64,
+    disk_hits: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_reprobes: AtomicU64,
+    breaker_closes: AtomicU64,
+    breaker_refused: AtomicU64,
+    expired_waits: AtomicU64,
 }
+
+/// Cap on the retained breaker-transition log (drills read it; a pathological
+/// workload must not grow it without bound).
+const MAX_TRANSITIONS: usize = 4096;
 
 impl EssRegistry {
     /// A registry with `shards` independent lock domains (clamped to at
@@ -112,10 +251,45 @@ impl EssRegistry {
             shards: (0..shards)
                 .map(|_| Shard { map: Mutex::new(HashMap::new()), published: Condvar::new() })
                 .collect(),
+            cache: None,
+            breaker: BreakerConfig::default(),
+            injector: None,
+            transitions: Mutex::new(Vec::new()),
             compiles: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             waits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            breaker_reprobes: AtomicU64::new(0),
+            breaker_closes: AtomicU64::new(0),
+            breaker_refused: AtomicU64::new(0),
+            expired_waits: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a persistent disk tier: misses read through it, compiles
+    /// write behind it, and [`EssRegistry::wipe`] becomes recoverable.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CompileCache) -> EssRegistry {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Override the circuit-breaker tuning.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> EssRegistry {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Attach a compile-seam fault injector (chaos drills only).
+    #[must_use]
+    pub fn with_compile_injector(
+        mut self,
+        injector: Arc<dyn CompileFaultInjector + Send + Sync>,
+    ) -> EssRegistry {
+        self.injector = Some(injector);
+        self
     }
 
     fn shard(&self, fp: u64) -> &Shard {
@@ -123,16 +297,104 @@ impl EssRegistry {
         &self.shards[(fp % n as u64) as usize]
     }
 
+    fn note_transition(&self, fp: u64, phase: BreakerPhase) {
+        let mut log = self.transitions.lock().unwrap_or_else(PoisonError::into_inner);
+        if log.len() < MAX_TRANSITIONS {
+            log.push((fp, phase));
+        }
+        drop(log);
+        if rqp_obs::events_enabled() {
+            rqp_obs::emit(
+                rqp_obs::Event::new(rqp_obs::names::EV_BREAKER_TRANSITION)
+                    .with("fingerprint", fp)
+                    .with("phase", phase.label()),
+            );
+        }
+    }
+
+    /// Publish a `Broken` entry for `fp` after a compile failure (or
+    /// unwind), stretching the backoff window per consecutive failure.
+    fn publish_broken(&self, fp: u64, prior_failures: u32, error: RqpError) {
+        let failures = prior_failures.saturating_add(1);
+        let backoff = self.breaker.window(failures);
+        let shard = self.shard(fp);
+        shard.lock().insert(
+            fp,
+            Entry::Broken(BreakerEntry {
+                error,
+                failures,
+                retry_at: Instant::now() + backoff,
+                probing: false,
+            }),
+        );
+        shard.published.notify_all();
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        metrics().breaker_open.inc();
+        self.note_transition(fp, BreakerPhase::Open);
+    }
+
+    /// Consult the compile-seam injector, physically corrupting the
+    /// cached entry for `fp` when the schedule says so (the real
+    /// quarantine path then runs end-to-end on load).
+    fn strike_cache_load(&self, fp: u64) {
+        let Some(injector) = &self.injector else { return };
+        let Some(cache) = &self.cache else { return };
+        match injector.inject(CompileSeam::CacheLoad) {
+            Some(CompileFault::CorruptEntry) => {
+                let path = cache.dir().join(format!("posp-{fp:016x}.rqpc"));
+                if path.exists() {
+                    // rqp-lint: allow(swallowed-result): best-effort chaos corruption; a failed write just means no fault fired
+                    let _ = std::fs::write(&path, "rqp-posp-cache v2 CORRUPTED-BY-CHAOS\n");
+                }
+            }
+            Some(CompileFault::SlowIo { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            _ => {}
+        }
+    }
+
+    /// Run the actual compile, letting the injector strike the compile
+    /// seam first (panic, structured failure, or stall).
+    fn run_compile(&self, compile: impl FnOnce() -> RqpResult<Ess>) -> RqpResult<Ess> {
+        if let Some(injector) = &self.injector {
+            match injector.inject(CompileSeam::Compile) {
+                #[allow(clippy::panic)]
+                Some(CompileFault::Panic) => {
+                    // rqp-lint: allow(no-panic): deterministic injected compile panic — exercises the drop-guard / breaker recovery path under seeded chaos schedules
+                    panic!("injected compile panic (chaos schedule)")
+                }
+                Some(CompileFault::Fail) => {
+                    return Err(RqpError::Internal(
+                        "injected compile fault (chaos schedule)".to_string(),
+                    ));
+                }
+                Some(CompileFault::SlowIo { millis }) => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                _ => {}
+            }
+        }
+        compile()
+    }
+
     /// Fetch the surface for `fp`, compiling it with `compile` if this is
     /// the first session to ask. Concurrent callers for the same
-    /// fingerprint block until the one compile publishes; its failure (if
-    /// any) is cached and returned to everyone.
+    /// fingerprint block until the one compile publishes — at most until
+    /// `deadline` lapses. An open breaker refuses instantly with
+    /// [`RqpError::BreakerOpen`]; once its backoff window elapses, exactly
+    /// one caller re-probes. With a disk tier attached, misses first try
+    /// to restore from disk ([`Lookup::Restored`]) before compiling.
     ///
     /// # Errors
-    /// Propagates the (possibly cached) compile error.
+    /// [`RqpError::DeadlineExpired`] if `deadline` lapsed while waiting on
+    /// a peer; [`RqpError::BreakerOpen`] while a breaker refuses the
+    /// fingerprint; otherwise the compile's own error (which opens the
+    /// breaker).
     pub fn get_or_compile(
         &self,
         fp: u64,
+        deadline: Deadline,
         compile: impl FnOnce() -> RqpResult<Ess>,
     ) -> RqpResult<(Arc<Ess>, Lookup)> {
         let m = metrics();
@@ -149,9 +411,9 @@ impl EssRegistry {
                 );
             }
         };
-        loop {
+        let claim = loop {
             match map.get(&fp) {
-                None => break,
+                None => break Claim::Fresh,
                 Some(Entry::Ready(ess)) => {
                     let ess = Arc::clone(ess);
                     drop(map);
@@ -159,12 +421,24 @@ impl EssRegistry {
                     record_wait(wait_sw);
                     return Ok((ess, lookup));
                 }
-                Some(Entry::Failed(e)) => {
-                    let e = e.clone();
+                Some(Entry::Broken(b)) => {
+                    if !b.probing && Instant::now() >= b.retry_at {
+                        // backoff elapsed: this caller is the one half-open
+                        // re-probe; everyone else keeps getting refused
+                        break Claim::Probe { prior_failures: b.failures };
+                    }
+                    let err = RqpError::BreakerOpen {
+                        retry_in_ms: b
+                            .retry_at
+                            .saturating_duration_since(Instant::now())
+                            .as_millis() as u64,
+                        cause: b.error.to_string(),
+                    };
                     drop(map);
-                    self.note_resident(wait_sw.is_some());
+                    self.breaker_refused.fetch_add(1, Ordering::Relaxed);
+                    m.breaker_refused.inc();
                     record_wait(wait_sw);
-                    return Err(e);
+                    return Err(err);
                 }
                 Some(Entry::Pending) => {
                     if wait_sw.is_none() {
@@ -172,33 +446,117 @@ impl EssRegistry {
                         self.waits.fetch_add(1, Ordering::Relaxed);
                         m.singleflight_waits.inc();
                     }
-                    map = shard.published.wait(map).unwrap_or_else(PoisonError::into_inner);
+                    // Timed wait bounded by the session deadline: a wedged
+                    // peer compile costs this waiter at most its own
+                    // deadline, never an unbounded hang.
+                    match deadline.remaining() {
+                        None => {
+                            map = shard.published.wait(map).unwrap_or_else(PoisonError::into_inner);
+                        }
+                        Some(left) if left > Duration::ZERO => {
+                            let (guard, _timeout) = shard
+                                .published
+                                .wait_timeout(map, left)
+                                .unwrap_or_else(PoisonError::into_inner);
+                            map = guard;
+                            if deadline.expired() {
+                                drop(map);
+                                self.expired_waits.fetch_add(1, Ordering::Relaxed);
+                                m.wait_deadline_expired.inc();
+                                record_wait(wait_sw);
+                                return Err(RqpError::DeadlineExpired {
+                                    phase: "registry wait".to_string(),
+                                });
+                            }
+                        }
+                        Some(_) => {
+                            drop(map);
+                            self.expired_waits.fetch_add(1, Ordering::Relaxed);
+                            m.wait_deadline_expired.inc();
+                            record_wait(wait_sw);
+                            return Err(RqpError::DeadlineExpired {
+                                phase: "registry wait".to_string(),
+                            });
+                        }
+                    }
                 }
             }
-        }
-        // First session for this fingerprint: claim it and compile outside
-        // the shard lock so peers of *other* fingerprints keep flowing.
-        map.insert(fp, Entry::Pending);
+        };
+        // This caller owns the (re)compile: claim the fingerprint (still
+        // under the shard lock), then run outside it so peers of *other*
+        // fingerprints keep flowing.
+        let prior_failures = match claim {
+            Claim::Fresh => {
+                map.insert(fp, Entry::Pending);
+                0
+            }
+            Claim::Probe { prior_failures } => {
+                if let Some(Entry::Broken(b)) = map.get_mut(&fp) {
+                    b.probing = true;
+                }
+                prior_failures
+            }
+        };
         drop(map);
+        if let Claim::Probe { .. } = claim {
+            self.breaker_reprobes.fetch_add(1, Ordering::Relaxed);
+            m.breaker_reprobe.inc();
+            self.note_transition(fp, BreakerPhase::HalfOpen);
+        }
+        let mut guard = PendingGuard { reg: self, fp, prior_failures, armed: true };
+        // Read-through: a fresh fingerprint (or a re-probe after cache
+        // corruption) may be restorable from the persistent tier without
+        // paying a compile at all — the warm-restart recovery path.
+        if let Some(cache) = &self.cache {
+            self.strike_cache_load(fp);
+            if let Some(ess) = cache.load(fp).and_then(|snap| snap.restore().ok()) {
+                let ess = Arc::new(ess);
+                let mut map = shard.lock();
+                guard.armed = false;
+                map.insert(fp, Entry::Ready(Arc::clone(&ess)));
+                drop(map);
+                shard.published.notify_all();
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                m.registry_disk_hits.inc();
+                if matches!(claim, Claim::Probe { .. }) {
+                    self.breaker_closes.fetch_add(1, Ordering::Relaxed);
+                    m.breaker_close.inc();
+                    self.note_transition(fp, BreakerPhase::Closed);
+                }
+                record_wait(wait_sw);
+                return Ok((ess, Lookup::Restored));
+            }
+        }
         self.compiles.fetch_add(1, Ordering::Relaxed);
         m.registry_misses.inc();
-        let mut guard = PendingGuard { shard, fp, armed: true };
-        let result = compile();
-        let mut map = shard.lock();
+        let result = self.run_compile(compile);
         guard.armed = false;
         let out = match result {
             Ok(ess) => {
                 let ess = Arc::new(ess);
+                let mut map = shard.lock();
                 map.insert(fp, Entry::Ready(Arc::clone(&ess)));
+                drop(map);
+                shard.published.notify_all();
+                if matches!(claim, Claim::Probe { .. }) {
+                    self.breaker_closes.fetch_add(1, Ordering::Relaxed);
+                    m.breaker_close.inc();
+                    self.note_transition(fp, BreakerPhase::Closed);
+                }
+                // Write-behind: persist outside every lock; a store failure
+                // only costs the next restart a recompile.
+                if let Some(cache) = &self.cache {
+                    // rqp-lint: allow(swallowed-result): best-effort write-behind persistence; a store failure only costs a recompile
+                    let _ = cache.store(fp, &PospSnapshot::capture(&ess));
+                }
                 Ok((ess, Lookup::Compiled))
             }
             Err(e) => {
-                map.insert(fp, Entry::Failed(e.clone()));
+                self.publish_broken(fp, prior_failures, e.clone());
                 Err(e)
             }
         };
-        drop(map);
-        shard.published.notify_all();
+        record_wait(wait_sw);
         out
     }
 
@@ -213,17 +571,63 @@ impl EssRegistry {
         }
     }
 
+    /// Drop every in-memory entry (the crash-recovery drill's "process
+    /// restart"). Counters and the breaker-transition log survive; with a
+    /// disk tier attached, previously-compiled fingerprints restore from
+    /// disk on their next lookup with zero recompiles. In-flight compiles
+    /// are unaffected: they republish their entry when they finish.
+    pub fn wipe(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+            shard.published.notify_all();
+        }
+    }
+
     /// Lifetime counters plus the resident-entry count.
     pub fn stats(&self) -> RegistryStats {
         RegistryStats {
             compiles: self.compiles.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             waits: self.waits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_reprobes: self.breaker_reprobes.load(Ordering::Relaxed),
+            breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
+            breaker_refused: self.breaker_refused.load(Ordering::Relaxed),
+            expired_waits: self.expired_waits.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().len()).sum(),
         }
     }
 
-    /// Number of resident fingerprints (ready or failed).
+    /// Current breaker phase of every resident fingerprint (for
+    /// `/healthz` and drills), sorted by fingerprint for stable output.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock();
+            for (&fp, entry) in map.iter() {
+                let (phase, failures) = match entry {
+                    Entry::Ready(_) => (BreakerPhase::Closed, 0),
+                    Entry::Pending => continue,
+                    Entry::Broken(b) => (
+                        if b.probing { BreakerPhase::HalfOpen } else { BreakerPhase::Open },
+                        b.failures,
+                    ),
+                };
+                out.push(BreakerState { fp, phase, failures });
+            }
+        }
+        out.sort_by_key(|s| s.fp);
+        out
+    }
+
+    /// The ordered breaker-phase transition log (capped; drills assert
+    /// exact sequences against it).
+    pub fn breaker_transitions(&self) -> Vec<BreakerTransition> {
+        self.transitions.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Number of resident fingerprints (ready or broken).
     pub fn len(&self) -> usize {
         self.stats().entries
     }
@@ -248,11 +652,21 @@ mod tests {
         Ess::compile_cached(&opt, EssConfig { resolution: 6, ..Default::default() }, None)
     }
 
+    /// A breaker config with a backoff short enough for tests but long
+    /// enough that an un-slept test never crosses it by accident.
+    fn test_breaker() -> BreakerConfig {
+        BreakerConfig {
+            backoff_base: Duration::from_millis(40),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+
     #[test]
     fn second_lookup_is_a_hit_on_the_same_surface() {
         let reg = EssRegistry::new(4);
-        let (a, l1) = reg.get_or_compile(42, compile_example).unwrap();
-        let (b, l2) = reg.get_or_compile(42, || panic!("must not recompile")).unwrap();
+        let (a, l1) = reg.get_or_compile(42, Deadline::none(), compile_example).unwrap();
+        let (b, l2) =
+            reg.get_or_compile(42, Deadline::none(), || panic!("must not recompile")).unwrap();
         assert_eq!(l1, Lookup::Compiled);
         assert_eq!(l2, Lookup::Hit);
         assert!(Arc::ptr_eq(&a, &b));
@@ -261,27 +675,133 @@ mod tests {
     }
 
     #[test]
-    fn failures_are_cached_and_refused_instantly() {
-        let reg = EssRegistry::new(1);
+    fn failures_open_the_breaker_and_refuse_within_backoff() {
+        let reg = EssRegistry::new(1).with_breaker(test_breaker());
         let boom = || Err(RqpError::Config("no".into()));
-        assert!(reg.get_or_compile(7, boom).is_err());
-        let err = reg.get_or_compile(7, || panic!("must not retry")).unwrap_err();
-        assert!(err.to_string().contains("no"));
-        assert_eq!(reg.stats().compiles, 1);
+        assert!(reg.get_or_compile(7, Deadline::none(), boom).is_err());
+        // inside the backoff window: refused instantly, no recompile
+        let err = reg.get_or_compile(7, Deadline::none(), || panic!("must not retry")).unwrap_err();
+        match err {
+            RqpError::BreakerOpen { cause, .. } => assert!(cause.contains("no"), "{cause}"),
+            other => panic!("expected BreakerOpen, got {other}"),
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.breaker_opens, 1);
+        assert_eq!(stats.breaker_refused, 1);
     }
 
     #[test]
-    fn a_panicking_compile_does_not_wedge_the_registry() {
-        let reg = Arc::new(EssRegistry::new(1));
+    fn the_breaker_reprobes_after_backoff_and_closes_on_success() {
+        let reg = EssRegistry::new(1).with_breaker(test_breaker());
+        assert!(reg
+            .get_or_compile(11, Deadline::none(), || Err(RqpError::Config("transient".into())))
+            .is_err());
+        std::thread::sleep(Duration::from_millis(60));
+        // backoff elapsed: this lookup is the half-open re-probe and heals
+        // the fingerprint
+        let (_, lookup) = reg.get_or_compile(11, Deadline::none(), compile_example).unwrap();
+        assert_eq!(lookup, Lookup::Compiled);
+        let stats = reg.stats();
+        assert_eq!(stats.compiles, 2);
+        assert_eq!(stats.breaker_reprobes, 1);
+        assert_eq!(stats.breaker_closes, 1);
+        let phases: Vec<_> =
+            reg.breaker_transitions().into_iter().map(|(_, p)| p.label()).collect();
+        assert_eq!(phases, vec!["open", "half_open", "closed"]);
+        // and later sessions hit the healed surface
+        let (_, l2) =
+            reg.get_or_compile(11, Deadline::none(), || panic!("must not recompile")).unwrap();
+        assert_eq!(l2, Lookup::Hit);
+    }
+
+    #[test]
+    fn consecutive_failures_stretch_the_backoff_exponentially() {
+        let cfg = test_breaker();
+        assert_eq!(cfg.window(1), Duration::from_millis(40));
+        assert_eq!(cfg.window(2), Duration::from_millis(80));
+        assert_eq!(cfg.window(3), Duration::from_millis(160));
+        assert_eq!(cfg.window(30), Duration::from_secs(2), "capped at backoff_max");
+    }
+
+    #[test]
+    fn a_panicking_compile_opens_the_breaker_instead_of_wedging() {
+        let reg = Arc::new(EssRegistry::new(1).with_breaker(test_breaker()));
         let r2 = Arc::clone(&reg);
         let h = std::thread::spawn(move || {
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let _ = r2.get_or_compile(9, || panic!("chaotic compile"));
+                let _ = r2.get_or_compile(9, Deadline::none(), || panic!("chaotic compile"));
             }));
         });
         h.join().unwrap();
-        // The guard published Failed; later sessions get an error, not a hang.
-        let err = reg.get_or_compile(9, || panic!("must not retry")).unwrap_err();
-        assert!(err.to_string().contains("aborted"), "{err}");
+        // The guard opened the breaker; later sessions get a structured
+        // refusal, not a hang — and the fingerprint can heal.
+        let err = reg.get_or_compile(9, Deadline::none(), || panic!("must not retry")).unwrap_err();
+        match err {
+            RqpError::BreakerOpen { cause, .. } => assert!(cause.contains("aborted"), "{cause}"),
+            other => panic!("expected BreakerOpen, got {other}"),
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        let (_, lookup) = reg.get_or_compile(9, Deadline::none(), compile_example).unwrap();
+        assert_eq!(lookup, Lookup::Compiled);
+    }
+
+    #[test]
+    fn a_stalled_peer_compile_cannot_block_a_waiter_past_its_deadline() {
+        let reg = Arc::new(EssRegistry::new(1));
+        let r2 = Arc::clone(&reg);
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let compiler = std::thread::spawn(move || {
+            let _ = r2.get_or_compile(5, Deadline::none(), move || {
+                // deliberately stalled compile: holds Pending until released
+                let _ = release_rx.recv();
+                compile_example()
+            });
+        });
+        // give the compiler time to claim Pending
+        std::thread::sleep(Duration::from_millis(30));
+        let started = Instant::now();
+        let err = reg
+            .get_or_compile(5, Deadline::within(Duration::from_millis(100)), || {
+                panic!("waiter must not compile")
+            })
+            .unwrap_err();
+        let waited = started.elapsed();
+        assert!(
+            matches!(err, RqpError::DeadlineExpired { .. }),
+            "expected DeadlineExpired, got {err}"
+        );
+        assert!(
+            waited < Duration::from_secs(2),
+            "timed wait should return promptly, took {waited:?}"
+        );
+        assert_eq!(reg.stats().expired_waits, 1);
+        release_tx.send(()).unwrap();
+        compiler.join().unwrap();
+        // once the stalled compile finally publishes, lookups are hits
+        let (_, lookup) =
+            reg.get_or_compile(5, Deadline::none(), || panic!("must not recompile")).unwrap();
+        assert_eq!(lookup, Lookup::Hit);
+    }
+
+    #[test]
+    fn wipe_recovers_from_the_disk_tier_with_zero_recompiles() {
+        let dir = std::env::temp_dir().join(format!("rqp-reg-wipe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CompileCache::new(&dir).unwrap();
+        let reg = EssRegistry::new(2).with_cache(cache);
+        let (_, l1) = reg.get_or_compile(3, Deadline::none(), compile_example).unwrap();
+        assert_eq!(l1, Lookup::Compiled);
+        let compiles_before = reg.stats().compiles;
+
+        reg.wipe();
+        assert!(reg.is_empty());
+        let (_, l2) =
+            reg.get_or_compile(3, Deadline::none(), || panic!("must not recompile")).unwrap();
+        assert_eq!(l2, Lookup::Restored, "post-wipe lookup must restore from disk");
+        let stats = reg.stats();
+        assert_eq!(stats.compiles, compiles_before, "zero recompiles after the wipe");
+        assert_eq!(stats.disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -37,6 +37,13 @@ pub struct GroupStats {
     pub mso: f64,
     /// Mean accounted suboptimality — the session-level ASO.
     pub aso: f64,
+    /// Sessions served by the breaker-open degraded path (native plan, no
+    /// ESS). Their suboptimality is excluded from the MSO/ASO columns —
+    /// degraded answers carry no robustness guarantee to aggregate.
+    pub degraded: usize,
+    /// Sessions refused outright because the fingerprint's breaker was
+    /// open and no degraded path was configured.
+    pub breaker_open: usize,
 }
 
 impl ServeReport {
@@ -53,6 +60,16 @@ impl ServeReport {
     /// Sessions refused at admission.
     pub fn rejected(&self) -> u64 {
         self.count(|r| r.outcome == SessionOutcome::Rejected)
+    }
+
+    /// Sessions served by the breaker-open degraded path.
+    pub fn degraded(&self) -> u64 {
+        self.count(|r| r.outcome == SessionOutcome::Degraded)
+    }
+
+    /// Sessions refused because their fingerprint's breaker was open.
+    pub fn breaker_refused(&self) -> u64 {
+        self.count(|r| matches!(r.outcome, SessionOutcome::BreakerOpen(_)))
     }
 
     /// Sessions that ran discovery but reported a non-finite
@@ -91,20 +108,44 @@ impl ServeReport {
     }
 
     /// Per-(query, algorithm) session-level MSO/ASO, in name order.
+    /// Degraded and breaker-refused sessions are counted per group but
+    /// kept out of the MSO/ASO aggregation.
     pub fn group_stats(&self) -> Vec<GroupStats> {
-        let mut groups: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+        #[derive(Default)]
+        struct Acc {
+            subopts: Vec<f64>,
+            degraded: usize,
+            breaker_open: usize,
+        }
+        let mut groups: BTreeMap<(String, String), Acc> = BTreeMap::new();
         for r in &self.results {
-            if let Some(s) = r.subopt {
-                groups.entry((r.query.clone(), r.algo.clone())).or_default().push(s);
+            let acc = groups.entry((r.query.clone(), r.algo.clone())).or_default();
+            match &r.outcome {
+                SessionOutcome::Degraded => acc.degraded += 1,
+                SessionOutcome::BreakerOpen(_) => acc.breaker_open += 1,
+                _ => {
+                    if let Some(s) = r.subopt {
+                        acc.subopts.push(s);
+                    }
+                }
             }
         }
         groups
             .into_iter()
-            .map(|((query, algo), subopts)| {
-                let n = subopts.len();
-                let mso = subopts.iter().fold(0.0_f64, |a, &b| a.max(b));
-                let aso = subopts.iter().sum::<f64>() / n as f64;
-                GroupStats { query, algo, sessions: n, mso, aso }
+            .filter(|(_, acc)| !acc.subopts.is_empty() || acc.degraded > 0 || acc.breaker_open > 0)
+            .map(|((query, algo), acc)| {
+                let n = acc.subopts.len();
+                let mso = acc.subopts.iter().fold(0.0_f64, |a, &b| a.max(b));
+                let aso = if n > 0 { acc.subopts.iter().sum::<f64>() / n as f64 } else { 0.0 };
+                GroupStats {
+                    query,
+                    algo,
+                    sessions: n,
+                    mso,
+                    aso,
+                    degraded: acc.degraded,
+                    breaker_open: acc.breaker_open,
+                }
             })
             .collect()
     }
@@ -142,21 +183,54 @@ impl ServeReport {
         ) {
             let _ = writeln!(s, "latency: p50 {:.2?}   p95 {:.2?}   p99 {:.2?}", p50, p95, p99);
         }
+        if self.degraded() + self.breaker_refused() > 0 {
+            let _ = writeln!(
+                s,
+                "resilience: {} degraded session(s), {} refused by an open breaker",
+                self.degraded(),
+                self.breaker_refused(),
+            );
+        }
+        s.push_str(&self.group_table());
+        s
+    }
+
+    fn group_table(&self) -> String {
+        let mut s = String::new();
         let groups = self.group_stats();
         if !groups.is_empty() {
             let _ = writeln!(
                 s,
-                "{:<10} {:<7} {:>9} {:>9} {:>9}",
-                "query", "algo", "sessions", "MSO", "ASO"
+                "{:<10} {:<7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "query", "algo", "sessions", "MSO", "ASO", "degraded", "brk_open"
             );
             for g in groups {
                 let _ = writeln!(
                     s,
-                    "{:<10} {:<7} {:>9} {:>9.2} {:>9.2}",
-                    g.query, g.algo, g.sessions, g.mso, g.aso
+                    "{:<10} {:<7} {:>9} {:>9.2} {:>9.2} {:>9} {:>9}",
+                    g.query, g.algo, g.sessions, g.mso, g.aso, g.degraded, g.breaker_open
                 );
             }
         }
+        s
+    }
+
+    /// A deterministic summary for drill comparisons: outcome counts and
+    /// the per-group table, with everything wall-clock dependent (run
+    /// duration, latency percentiles, throughput, lookup classes,
+    /// registry counters) excluded. Two quiet runs of the same schedule
+    /// render byte-identically — the crash-recovery drill's invariant.
+    pub fn stable_render(&self) -> String {
+        let mut s = String::new();
+        let mut by_outcome: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for r in &self.results {
+            *by_outcome.entry(r.outcome.label()).or_default() += 1;
+        }
+        let _ = writeln!(s, "sessions: {}", self.results.len());
+        for (label, n) in by_outcome {
+            let _ = writeln!(s, "outcome {label}: {n}");
+        }
+        s.push_str(&self.group_table());
         s
     }
 }

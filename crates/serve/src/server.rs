@@ -12,14 +12,15 @@
 //! joins them. Sessions admitted before the close are never dropped.
 
 use crate::obs::metrics;
-use crate::registry::EssRegistry;
+use crate::registry::{BreakerConfig, EssRegistry};
 use crate::report::ServeReport;
 use crate::session::{algo_by_name, SessionOutcome, SessionResult, SessionSpec};
-use rqp_catalog::{RqpError, RqpResult};
-use rqp_chaos::{FaultConfig, FaultPlan};
+use rqp_catalog::{Estimator, RqpError, RqpResult};
+use rqp_chaos::{CompileFaultConfig, CompileFaultPlan, FaultConfig, FaultPlan};
 use rqp_core::RobustRuntime;
-use rqp_ess::{compile_fingerprint, CompileCache, Ess, EssConfig};
-use rqp_obs::names;
+use rqp_ess::{compile_fingerprint, CompileCache, Ess, EssConfig, Grid};
+use rqp_executor::Engine;
+use rqp_obs::{names, Deadline};
 use rqp_optimizer::Optimizer;
 use rqp_qplan::CostModel;
 use rqp_workloads::Workload;
@@ -62,6 +63,16 @@ pub struct ServeConfig {
     /// Bind address for the live telemetry endpoint (`/metrics`,
     /// `/healthz`, `/trace/<session>`); `None` disables it.
     pub telemetry_addr: Option<String>,
+    /// Circuit-breaker tuning for the shared registry (backoff window per
+    /// consecutive compile failure).
+    pub breaker: BreakerConfig,
+    /// Compile-seam fault schedule for the registry (chaos drills):
+    /// seeded compile panics/failures, slow IO and cache corruption.
+    pub compile_chaos: Option<CompileFaultConfig>,
+    /// Serve sessions whose fingerprint breaker is open with the native
+    /// optimizer's plan (no ESS, no robustness guarantee) instead of
+    /// refusing them — the answer is flagged [`SessionOutcome::Degraded`].
+    pub degrade: bool,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +89,9 @@ impl Default for ServeConfig {
             registry_shards: 8,
             tracing: false,
             telemetry_addr: None,
+            breaker: BreakerConfig::default(),
+            compile_chaos: None,
+            degrade: false,
         }
     }
 }
@@ -95,7 +109,6 @@ struct QueueState {
 struct Inner {
     config: ServeConfig,
     registry: EssRegistry,
-    cache: Option<CompileCache>,
     state: Mutex<QueueState>,
     work_ready: Condvar,
     results: Mutex<Vec<SessionResult>>,
@@ -135,13 +148,15 @@ impl Server {
             return Err(RqpError::Config("serve queue capacity must be at least 1".to_string()));
         }
         crate::obs::register_metrics();
-        let cache = match &config.cache_dir {
-            Some(dir) => Some(CompileCache::new(dir.clone())?),
-            None => None,
-        };
+        let mut registry = EssRegistry::new(config.registry_shards).with_breaker(config.breaker);
+        if let Some(dir) = &config.cache_dir {
+            registry = registry.with_cache(CompileCache::new(dir.clone())?);
+        }
+        if let Some(chaos) = config.compile_chaos {
+            registry = registry.with_compile_injector(Arc::new(CompileFaultPlan::new(chaos)));
+        }
         let inner = Arc::new(Inner {
-            registry: EssRegistry::new(config.registry_shards),
-            cache,
+            registry,
             state: Mutex::new(QueueState { queue: VecDeque::new(), closed: false }),
             work_ready: Condvar::new(),
             results: Mutex::new(Vec::new()),
@@ -151,7 +166,17 @@ impl Server {
         });
         let telemetry = match &inner.config.telemetry_addr {
             Some(addr) => {
-                Some(crate::telemetry::TelemetryServer::start(addr, Arc::clone(&inner.traces))?)
+                // The health closure keeps an `Arc<Inner>` alive for the
+                // telemetry thread's lifetime; `drain` stops that thread
+                // before the server is dropped, so no cycle survives.
+                let health_inner = Arc::clone(&inner);
+                let health: crate::telemetry::HealthSource =
+                    Arc::new(move || breaker_health(&health_inner.registry));
+                Some(crate::telemetry::TelemetryServer::start(
+                    addr,
+                    Arc::clone(&inner.traces),
+                    Some(health),
+                )?)
             }
             None => None,
         };
@@ -217,6 +242,25 @@ impl Server {
     /// The shared registry's lifetime counters.
     pub fn registry_stats(&self) -> crate::registry::RegistryStats {
         self.inner.registry.stats()
+    }
+
+    /// Wipe the in-memory registry (the crash-recovery drill's simulated
+    /// process restart). With a cache directory configured, subsequent
+    /// sessions restore from the disk tier with zero recompiles.
+    pub fn wipe_registry(&self) {
+        self.inner.registry.wipe();
+    }
+
+    /// Every fingerprint's current circuit-breaker phase (see
+    /// [`EssRegistry::breaker_states`]).
+    pub fn breaker_states(&self) -> Vec<crate::registry::BreakerState> {
+        self.inner.registry.breaker_states()
+    }
+
+    /// The ordered breaker transition log (see
+    /// [`EssRegistry::breaker_transitions`]).
+    pub fn breaker_transitions(&self) -> Vec<crate::registry::BreakerTransition> {
+        self.inner.registry.breaker_transitions()
     }
 
     /// The telemetry endpoint's bound address (`None` when disabled).
@@ -289,6 +333,9 @@ fn worker_loop(inner: &Inner) {
         m.session_seconds.observe(result.wall.as_secs_f64());
         match result.outcome {
             SessionOutcome::Completed => m.completed.inc(),
+            // degraded sessions produced an answer; run_degraded counted
+            // them in rqp_serve_degraded_total already
+            SessionOutcome::Degraded => {}
             _ => m.failed.inc(),
         }
         if rqp_obs::events_enabled() {
@@ -305,6 +352,30 @@ fn worker_loop(inner: &Inner) {
         }
         inner.results.lock().unwrap_or_else(PoisonError::into_inner).push(result);
     }
+}
+
+/// Render the registry's circuit-breaker summary for `/healthz`: one
+/// aggregate line plus one line per non-closed fingerprint, appended
+/// after the `ok` liveness line.
+fn breaker_health(registry: &EssRegistry) -> String {
+    use crate::registry::BreakerPhase;
+    use std::fmt::Write as _;
+    let states = registry.breaker_states();
+    let open = states.iter().filter(|s| s.phase == BreakerPhase::Open).count();
+    let half = states.iter().filter(|s| s.phase == BreakerPhase::HalfOpen).count();
+    let mut s = String::new();
+    let _ =
+        writeln!(s, "breakers: {} fingerprint(s), {} open, {} half_open", states.len(), open, half);
+    for st in states.iter().filter(|s| s.phase != BreakerPhase::Closed) {
+        let _ = writeln!(
+            s,
+            "breaker fp={:016x} phase={} failures={}",
+            st.fp,
+            st.phase.label(),
+            st.failures
+        );
+    }
+    s
 }
 
 /// FNV-1a, the deterministic seed for session trace ids.
@@ -395,13 +466,38 @@ fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
     if let Some(r) = inner.config.resolution {
         cfg.resolution = r;
     }
+    // The session deadline, anchored at admission: it bounds the registry
+    // wait (timed condvar), the supervised retries, and the final check
+    // below. `None` config → an unbounded deadline that never lapses.
+    let deadline = inner
+        .config
+        .deadline
+        .and_then(|d| admitted_at.checked_add(d))
+        .map_or(Deadline::none(), Deadline::at);
     let fp = compile_fingerprint(&w.catalog, &w.query, &model, &cfg);
-    let lookup = inner.registry.get_or_compile(fp, || {
-        let optimizer = Optimizer::new(&w.catalog, &w.query, model);
-        Ess::compile_cached(&optimizer, cfg, inner.cache.as_ref())
+    // The compile can carry an injected panic (chaos schedules); the
+    // registry's drop guard turns that into an open breaker, and the
+    // catch here keeps the worker thread alive to serve the next session.
+    let lookup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        inner.registry.get_or_compile(fp, deadline, || {
+            let optimizer = Optimizer::new(&w.catalog, &w.query, model);
+            Ess::compile(&optimizer, cfg)
+        })
+    }))
+    .unwrap_or_else(|_| {
+        Err(RqpError::Internal("ESS compile panicked; breaker opened".to_string()))
     });
     let (ess, how) = match lookup {
         Ok(pair) => pair,
+        Err(RqpError::DeadlineExpired { .. }) => {
+            return finish(result, SessionOutcome::DeadlineExpired)
+        }
+        Err(e @ RqpError::BreakerOpen { .. }) => {
+            if inner.config.degrade {
+                return run_degraded(&w, model, &cfg, &spec, result, finish);
+            }
+            return finish(result, SessionOutcome::BreakerOpen(e.to_string()));
+        }
         Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
     };
     result.lookup = Some(how);
@@ -409,6 +505,7 @@ fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
         Ok(rt) => rt,
         Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
     };
+    rt.set_deadline(deadline);
     let plan = inner.config.chaos.map(|base| {
         let mut fc = base;
         fc.seed = fc.seed.wrapping_add(spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -436,6 +533,56 @@ fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
         return finish(result, SessionOutcome::OverBudget);
     }
     finish(result, SessionOutcome::Completed)
+}
+
+/// Graceful degradation when the fingerprint's breaker is open: serve the
+/// session the way a traditional engine would — the native optimizer's
+/// plan at the estimated location, executed unbudgeted — instead of
+/// refusing it. No ESS means no MSO guarantee; the outcome is flagged
+/// [`SessionOutcome::Degraded`] and counted so the degradation is never
+/// silent.
+fn run_degraded<F>(
+    w: &Workload,
+    model: CostModel,
+    cfg: &EssConfig,
+    spec: &SessionSpec,
+    mut result: SessionResult,
+    finish: F,
+) -> SessionResult
+where
+    F: FnOnce(SessionResult, SessionOutcome) -> SessionResult,
+{
+    // The ESS grid geometry without the ESS: enough to resolve the
+    // session's qa cell to selectivities and cost the oracle plan there.
+    let grid = match Grid::uniform(w.query.dims(), cfg.resolution, cfg.min_sel) {
+        Ok(g) => g,
+        Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
+    };
+    let qe = match Estimator::new(&w.catalog).estimated_location(&w.query) {
+        Ok(qe) => qe,
+        Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
+    };
+    let optimizer = Optimizer::new(&w.catalog, &w.query, model);
+    let planned = optimizer.optimize(&qe);
+    let cells = grid.num_cells();
+    let qa = spec.qa.unwrap_or(cells / 2).min(cells.saturating_sub(1));
+    let qa_loc = grid.location(qa);
+    let engine = Engine::new(&w.catalog, &w.query, model);
+    let out = engine.execute_budgeted(&planned.plan, &qa_loc, f64::INFINITY);
+    let oracle = optimizer.optimize(&qa_loc).cost;
+    result.subopt = (oracle > 0.0).then(|| out.spent() / oracle);
+    result.steps = 1;
+    result.total_cost = Some(out.spent());
+    metrics().degraded.inc();
+    if rqp_obs::events_enabled() {
+        rqp_obs::emit(
+            rqp_obs::Event::new(names::EV_SESSION_DEGRADED)
+                .with("session", spec.id as u64)
+                .with("query", spec.query.as_str())
+                .with("algo", spec.algo.as_str()),
+        );
+    }
+    finish(result, SessionOutcome::Degraded)
 }
 
 /// Expand session-file entries into specs, submit them all, and drain.

@@ -59,6 +59,13 @@ pub enum SessionOutcome {
     /// Discovery finished but spent more than the configured
     /// suboptimality budget cap.
     OverBudget,
+    /// The fingerprint's circuit breaker was open and no degraded path was
+    /// configured; carries the breaker's refusal (cause + re-probe window).
+    BreakerOpen(String),
+    /// The fingerprint's circuit breaker was open, so the session was
+    /// served by the native optimizer without the compiled ESS — a valid
+    /// answer with no robustness guarantee, flagged rather than hidden.
+    Degraded,
     /// Compilation or discovery failed; carries the reason.
     Failed(String),
 }
@@ -71,6 +78,8 @@ impl SessionOutcome {
             SessionOutcome::Rejected => "rejected",
             SessionOutcome::DeadlineExpired => "deadline_expired",
             SessionOutcome::OverBudget => "over_budget",
+            SessionOutcome::BreakerOpen(_) => "breaker_open",
+            SessionOutcome::Degraded => "degraded",
             SessionOutcome::Failed(_) => "failed",
         }
     }
@@ -110,7 +119,8 @@ pub struct SessionResult {
 
 impl SessionResult {
     /// Whether this session's discovery finished (completed or
-    /// over-budget — the trace is valid either way).
+    /// over-budget — the trace is valid either way). Degraded sessions
+    /// produced an answer but no discovery trace, so they don't count.
     pub fn discovered(&self) -> bool {
         matches!(self.outcome, SessionOutcome::Completed | SessionOutcome::OverBudget)
     }
@@ -137,5 +147,7 @@ mod tests {
         assert_eq!(SessionOutcome::Completed.label(), "completed");
         assert_eq!(SessionOutcome::Failed("x".into()).label(), "failed");
         assert_eq!(SessionOutcome::Rejected.label(), "rejected");
+        assert_eq!(SessionOutcome::BreakerOpen("x".into()).label(), "breaker_open");
+        assert_eq!(SessionOutcome::Degraded.label(), "degraded");
     }
 }

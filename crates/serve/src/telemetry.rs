@@ -4,7 +4,8 @@
 //! three `GET` routes with minimal HTTP/1.1:
 //!
 //! * `/metrics`  — the global registry in Prometheus text exposition format
-//! * `/healthz`  — liveness (`ok`)
+//! * `/healthz`  — liveness (`ok`) plus the registry's circuit-breaker
+//!   summary when a [`HealthSource`] is attached
 //! * `/trace/<session-id>` — the session's causal trace as Chrome
 //!   trace-event JSON (populated once the session finishes)
 //!
@@ -57,6 +58,11 @@ impl TraceStore {
     }
 }
 
+/// Extra `/healthz` detail rendered per request (the serving layer
+/// attaches the registry's circuit-breaker summary). The returned text is
+/// appended after the `ok` liveness line.
+pub type HealthSource = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// The live telemetry endpoint. Dropping (or [`stop`](Self::stop)ping) it
 /// shuts the accept loop down and joins the thread.
 pub struct TelemetryServer {
@@ -72,7 +78,11 @@ impl TelemetryServer {
     /// # Errors
     /// [`RqpError::Config`] when the address cannot be bound or the spawn
     /// fails.
-    pub fn start(addr: &str, traces: Arc<TraceStore>) -> RqpResult<TelemetryServer> {
+    pub fn start(
+        addr: &str,
+        traces: Arc<TraceStore>,
+        health: Option<HealthSource>,
+    ) -> RqpResult<TelemetryServer> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| RqpError::Config(format!("telemetry cannot bind {addr}: {e}")))?;
         listener
@@ -85,7 +95,7 @@ impl TelemetryServer {
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("rqp-telemetry".to_string())
-            .spawn(move || accept_loop(&listener, &stop_flag, &traces))
+            .spawn(move || accept_loop(&listener, &stop_flag, &traces, health.as_ref()))
             .map_err(|e| RqpError::Config(format!("cannot spawn telemetry thread: {e}")))?;
         Ok(TelemetryServer { addr: local, stop, handle: Some(handle) })
     }
@@ -114,10 +124,15 @@ impl Drop for TelemetryServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool, traces: &Arc<TraceStore>) {
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    traces: &Arc<TraceStore>,
+    health: Option<&HealthSource>,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => handle_connection(stream, traces),
+            Ok((stream, _)) => handle_connection(stream, traces, health),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
@@ -131,14 +146,18 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool, traces: &Arc<TraceStor
 /// `rqp_serve_telemetry_errors_total` instead of dropping it on the floor:
 /// a scrape endpoint silently failing to answer looks exactly like a
 /// wedged server, so the failure itself must be observable.
-fn handle_connection(stream: TcpStream, traces: &Arc<TraceStore>) {
-    if try_handle(stream, traces).is_err() {
+fn handle_connection(stream: TcpStream, traces: &Arc<TraceStore>, health: Option<&HealthSource>) {
+    if try_handle(stream, traces, health).is_err() {
         crate::obs::metrics().telemetry_errors.inc();
     }
 }
 
 /// Read the request head (bounded), route it, and write one response.
-fn try_handle(mut stream: TcpStream, traces: &Arc<TraceStore>) -> std::io::Result<()> {
+fn try_handle(
+    mut stream: TcpStream,
+    traces: &Arc<TraceStore>,
+    health: Option<&HealthSource>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_nodelay(true)?;
     let mut buf = [0u8; 4096];
@@ -167,7 +186,7 @@ fn try_handle(mut stream: TcpStream, traces: &Arc<TraceStore>) -> std::io::Resul
     let (status, content_type, body) = if method != "GET" {
         ("405 Method Not Allowed", "text/plain; charset=utf-8", "only GET is served\n".to_string())
     } else {
-        route(path, traces)
+        route(path, traces, health)
     };
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -178,7 +197,11 @@ fn try_handle(mut stream: TcpStream, traces: &Arc<TraceStore>) -> std::io::Resul
 }
 
 /// Resolve a `GET` path to `(status, content-type, body)`.
-fn route(path: &str, traces: &Arc<TraceStore>) -> (&'static str, &'static str, String) {
+fn route(
+    path: &str,
+    traces: &Arc<TraceStore>,
+    health: Option<&HealthSource>,
+) -> (&'static str, &'static str, String) {
     const OK: &str = "200 OK";
     const NOT_FOUND: &str = "404 Not Found";
     const TEXT: &str = "text/plain; charset=utf-8";
@@ -192,7 +215,13 @@ fn route(path: &str, traces: &Arc<TraceStore>) -> (&'static str, &'static str, S
                 rqp_obs::global().render_prometheus(),
             )
         }
-        "/healthz" => (OK, TEXT, "ok\n".to_string()),
+        "/healthz" => {
+            let mut body = "ok\n".to_string();
+            if let Some(source) = health {
+                body.push_str(&source());
+            }
+            (OK, TEXT, body)
+        }
         "/trace" | "/trace/" => {
             let ids = traces.ids().iter().map(usize::to_string).collect::<Vec<_>>().join(", ");
             (OK, "application/json", format!("{{\"sessions\": [{ids}]}}\n"))
@@ -223,12 +252,16 @@ mod tests {
     fn serves_metrics_healthz_and_traces() {
         let traces = Arc::new(TraceStore::new());
         traces.insert(3, "{\"traceEvents\": []}".to_string());
-        let srv = TelemetryServer::start("127.0.0.1:0", Arc::clone(&traces)).unwrap();
+        let health_source: HealthSource =
+            Arc::new(|| "breakers: 1 fingerprint(s), 1 open, 0 half_open\n".to_string());
+        let srv = TelemetryServer::start("127.0.0.1:0", Arc::clone(&traces), Some(health_source))
+            .unwrap();
         let addr = srv.local_addr();
 
         let health = get(addr, "/healthz");
         assert!(health.starts_with("HTTP/1.1 200"), "{health}");
-        assert!(health.ends_with("ok\n"), "{health}");
+        assert!(health.contains("\r\n\r\nok\n"), "{health}");
+        assert!(health.contains("breakers: 1 fingerprint(s), 1 open"), "{health}");
 
         let metrics = get(addr, "/metrics");
         assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
@@ -242,6 +275,15 @@ mod tests {
 
         let bogus = get(addr, "/nope");
         assert!(bogus.starts_with("HTTP/1.1 404"), "{bogus}");
+        srv.stop();
+    }
+
+    #[test]
+    fn healthz_without_a_source_is_bare_liveness() {
+        let traces = Arc::new(TraceStore::new());
+        let srv = TelemetryServer::start("127.0.0.1:0", Arc::clone(&traces), None).unwrap();
+        let health = get(srv.local_addr(), "/healthz");
+        assert!(health.ends_with("ok\n"), "{health}");
         srv.stop();
     }
 }

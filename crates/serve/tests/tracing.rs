@@ -164,7 +164,8 @@ fn metrics_endpoint_answers_while_sessions_are_in_flight() {
     assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
     assert!(metrics.contains("# TYPE"), "prometheus text exposition: {metrics}");
     let health = http_get(addr, "/healthz");
-    assert!(health.ends_with("ok\n"), "{health}");
+    assert!(health.contains("\r\n\r\nok\n"), "{health}");
+    assert!(health.contains("breakers:"), "health carries the breaker summary: {health}");
 
     let report = server.drain();
     assert_eq!(report.completed(), 8, "{}", report.render());

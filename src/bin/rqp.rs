@@ -14,6 +14,8 @@
 //!              [--budget-cap X] [--chaos-seed S] [--rate P] [--cache-dir DIR]
 //!              [--strict true] [--telemetry-addr HOST:PORT]
 //!              [--trace-out FILE] [--flame-out FILE]
+//!              [--compile-rate P] [--degrade true]
+//!              [--drill crash-recover|storm]
 //! rqp trace-check --file trace.json
 //! ```
 
@@ -65,6 +67,7 @@ fn usage() {
          \x20         [--workers N] [--queue M] [--deadline-ms T] [--budget-cap X]\n\
          \x20         [--chaos-seed S] [--rate P] [--cache-dir DIR] [--strict true]\n\
          \x20         [--telemetry-addr HOST:PORT] [--trace-out FILE] [--flame-out FILE]\n\
+         \x20         [--compile-rate P] [--degrade true] [--drill crash-recover|storm]\n\
          \x20 lint    [--root DIR] [--format text|json] [--deny-warnings true]\n\
          \x20         [--lock-graph DIR [--dot FILE]]\n\
          \x20 trace-check --file FILE                validate a Chrome trace export"
@@ -413,6 +416,37 @@ fn serve(flags: &HashMap<String, String>) {
         })
     }
 
+    // Scripted resilience drills short-circuit the normal serve path.
+    if let Some(which) = flags.get("drill") {
+        robust_qp::serve::register_metrics();
+        let drill = match which.as_str() {
+            "crash-recover" => {
+                let dir = flags.get("cache-dir").map_or_else(
+                    || std::env::temp_dir().join(format!("rqp-drill-{}", std::process::id())),
+                    std::path::PathBuf::from,
+                );
+                robust_qp::serve::crash_recover_drill(&dir)
+            }
+            "storm" => robust_qp::serve::storm_drill(
+                parse_or(flags, "chaos-seed", 0x00C0_FFEE_u64),
+                parse_or(flags, "sessions", 120usize),
+            ),
+            other => {
+                eprintln!("unknown drill {other:?} (crash-recover|storm)");
+                exit(2);
+            }
+        };
+        let drill = drill.unwrap_or_else(|e| {
+            eprintln!("drill failed to run: {e}");
+            exit(1);
+        });
+        print!("{}", drill.render());
+        if !drill.passed() {
+            exit(1);
+        }
+        return;
+    }
+
     let entries: Vec<SessionEntry> = if let Some(file) = flags.get("workload") {
         let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
             eprintln!("cannot read {file}: {e}");
@@ -470,6 +504,23 @@ fn serve(flags: &HashMap<String, String>) {
             })
         }),
         chaos,
+        compile_chaos: flags.get("compile-rate").map(|p| {
+            let rate: f64 = p.parse().unwrap_or_else(|_| {
+                eprintln!("bad --compile-rate {p:?}");
+                exit(2);
+            });
+            if !(0.0..=1.0).contains(&rate) {
+                eprintln!("--compile-rate must lie in [0, 1], got {rate}");
+                exit(2);
+            }
+            let seed = parse_or(flags, "chaos-seed", 0u64);
+            if rate > 0.0 {
+                robust_qp::chaos::CompileFaultConfig::storm(seed, rate)
+            } else {
+                robust_qp::chaos::CompileFaultConfig::quiet(seed)
+            }
+        }),
+        degrade: flags.get("degrade").map(String::as_str) == Some("true"),
         keep_traces: false,
         cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
         // Any trace consumer (live endpoint or file export) turns tracing on.
