@@ -1,6 +1,6 @@
 # Convenience targets for the robust-qp workspace.
 
-.PHONY: verify build test clippy lint lint-graph bench bench-compile bench-trace cache-smoke serve-smoke trace-smoke reproduce chaos drill
+.PHONY: verify build test clippy lint lint-graph bench bench-compile bench-trace bench-lazy cache-smoke serve-smoke trace-smoke reproduce chaos drill
 
 # The full pre-merge gate: release build, quiet tests, zero clippy
 # warnings, a clean rqp-lint pass (warnings denied), an acyclic lock
@@ -60,6 +60,12 @@ bench-compile:
 # BENCH_6.json at the repo root.
 bench-trace:
 	cargo bench -p rqp-bench --bench trace_overhead
+
+# Lazy anytime compile benchmark; records the cold compile-to-first-
+# execution speedup (4D fixture, eager full compile vs anchor begin +
+# first contour band) in BENCH_7.json at the repo root.
+bench-lazy:
+	cargo bench -p rqp-bench --bench compile_lazy
 
 # Persistent-cache smoke: the second identical compile must be a disk hit.
 cache-smoke:

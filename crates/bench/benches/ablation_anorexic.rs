@@ -14,8 +14,9 @@ fn bench(c: &mut Criterion) {
 
     let w = Workload::tpcds(BenchQuery::Q96_3D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
+    let ess = rt.ess().expect("surface materializes");
     c.bench_function("ablation/anorexic_reduce_lambda02", |b| {
-        b.iter(|| black_box(anorexic_reduce(&rt.ess.posp, &rt.optimizer, 0.2).num_plans))
+        b.iter(|| black_box(anorexic_reduce(&ess.posp, &rt.optimizer, 0.2).num_plans))
     });
 }
 

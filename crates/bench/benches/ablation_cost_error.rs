@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
     let w = Workload::q91(3).expect("workload builds");
     let mut rt = runtime_for(&w, Scale::Quick);
     rt.set_cost_error(0.3);
-    let qa = rt.ess.grid().num_cells() / 2;
+    let qa = rt.grid().num_cells() / 2;
     let sb = SpillBound::new();
     sb.discover(&rt, qa);
     c.bench_function("ablation/sb_discover_delta03_3d_q91", |b| {

@@ -14,10 +14,9 @@ fn bench(c: &mut Criterion) {
 
     let w = Workload::q91(2).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
+    let ess = rt.ess().expect("surface materializes");
     c.bench_function("ablation/contour_build_ratio2", |b| {
-        b.iter(|| {
-            black_box(ContourSet::build(&rt.ess.posp, 2.0).map(|c| c.num_bands()).unwrap_or(0))
-        })
+        b.iter(|| black_box(ContourSet::build(&ess.posp, 2.0).map(|c| c.num_bands()).unwrap_or(0)))
     });
 }
 

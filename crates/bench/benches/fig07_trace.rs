@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
 
     let w = Workload::q91(2).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let qa = grid.index(&[grid.snap_ceil(0, 0.04), grid.snap_ceil(1, 0.1)]);
     c.bench_function("fig07/sb_refined_discover_2d_q91", |b| {
         b.iter(|| {

@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     let w = Workload::tpcds(BenchQuery::Q15_3D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
     c.bench_function("fig08/anorexic_rho_red_3d_q15", |b| {
-        b.iter(|| black_box(PlanBouquet::anorexic(&rt, 0.2).rho(&rt)))
+        b.iter(|| black_box(PlanBouquet::anorexic(&rt, 0.2).expect("reduces").rho(&rt)))
     });
 }
 

@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
 
     let w = Workload::tpcds(BenchQuery::Q91_4D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
-    let qa = rt.ess.grid().num_cells() / 2;
+    let qa = rt.grid().num_cells() / 2;
     c.bench_function("fig13/ab_discover_cold_4d_q91", |b| {
         b.iter(|| {
             let ab = AlignedBound::new(); // cold cache: full partition search

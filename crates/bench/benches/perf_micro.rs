@@ -46,7 +46,7 @@ fn bench(c: &mut Criterion) {
     });
 
     let rt = runtime_for(&w, Scale::Quick);
-    let qa_cell = rt.ess.grid().num_cells() / 2;
+    let qa_cell = rt.grid().num_cells() / 2;
     let sb = rqp_core::SpillBound::new();
     use rqp_core::Discovery;
     sb.discover(&rt, qa_cell); // warm the per-contour cache

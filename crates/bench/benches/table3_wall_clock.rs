@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
 
     let w = Workload::tpcds(BenchQuery::Q91_4D).expect("workload builds");
     let rt = runtime_for(&w, Scale::Quick);
-    let qa = rt.ess.grid().terminus();
+    let qa = rt.grid().terminus();
     c.bench_function("table3/native_discover_4d_q91", |b| {
         b.iter(|| black_box(NativeOptimizer.discover(&rt, qa).total_cost))
     });

@@ -32,7 +32,7 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
 fn bench(c: &mut Criterion) {
     let w = Workload::q91(3).expect("workload builds");
     let rt = w.runtime(EssConfig::coarse(3)).expect("ESS compiles");
-    let qa = rt.ess.grid().num_cells() / 2;
+    let qa = rt.grid().num_cells() / 2;
     let algo = SpillBound::with_refined_bounds();
 
     c.bench_function("trace_overhead/discover_off", |b| {

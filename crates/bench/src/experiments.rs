@@ -13,7 +13,7 @@ use serde::Serialize;
 pub const LAMBDA: f64 = 0.2;
 
 fn eval_at_scale(rt: &RobustRuntime<'_>, algo: &dyn Discovery, scale: Scale) -> Evaluation {
-    let stride = scale.eval_stride(rt.ess.grid().num_cells());
+    let stride = scale.eval_stride(rt.grid().num_cells());
     if stride <= 1 {
         evaluate(rt, algo)
     } else {
@@ -31,7 +31,7 @@ fn eval_at_scale(rt: &RobustRuntime<'_>, algo: &dyn Discovery, scale: Scale) -> 
 pub fn fig7_trace(scale: Scale) -> String {
     let w = Workload::q91(2).expect("Q91 builds");
     let rt = runtime(&w, scale);
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     // qa ≈ (0.04, 0.1), as in the paper's trace
     let qa = grid.index(&[grid.snap_ceil(0, 0.04), grid.snap_ceil(1, 0.1)]);
     let sb = SpillBound::with_refined_bounds();
@@ -40,7 +40,7 @@ pub fn fig7_trace(scale: Scale) -> String {
     out.push_str(&format!(
         "2D_Q91, qa = {} (cell {qa}), {} contours\n",
         grid.location(qa),
-        rt.ess.contours.num_bands()
+        rt.num_bands()
     ));
     out.push_str(&trace.render());
     out
@@ -82,7 +82,7 @@ pub fn fig8_mso_guarantees(scale: Scale) -> Vec<GuaranteeRow> {
 }
 
 fn guarantee_row(rt: &RobustRuntime<'_>, name: &str) -> GuaranteeRow {
-    let pb = PlanBouquet::anorexic(rt, LAMBDA);
+    let pb = PlanBouquet::anorexic(rt, LAMBDA).expect("anorexic reduction");
     let rho_red = pb.rho(rt);
     GuaranteeRow {
         query: name.to_string(),
@@ -134,7 +134,7 @@ pub fn fig10_11_empirical(scale: Scale) -> Vec<EmpiricalRow> {
         .map(|&bq| {
             let w = Workload::tpcds(bq).expect("suite query builds");
             let rt = runtime(&w, scale);
-            let pb = PlanBouquet::anorexic(&rt, LAMBDA);
+            let pb = PlanBouquet::anorexic(&rt, LAMBDA).expect("anorexic reduction");
             let sb = SpillBound::new();
             let pb_ev = eval_at_scale(&rt, &pb, scale);
             let sb_ev = eval_at_scale(&rt, &sb, scale);
@@ -170,7 +170,8 @@ pub struct HistogramResult {
 pub fn fig12_distribution(scale: Scale) -> HistogramResult {
     let w = Workload::tpcds(BenchQuery::Q91_4D).expect("suite query builds");
     let rt = runtime(&w, scale);
-    let pb_ev = eval_at_scale(&rt, &PlanBouquet::anorexic(&rt, LAMBDA), scale);
+    let pb_ev =
+        eval_at_scale(&rt, &PlanBouquet::anorexic(&rt, LAMBDA).expect("anorexic reduction"), scale);
     let sb_ev = eval_at_scale(&rt, &SpillBound::new(), scale);
     let pb_h = pb_ev.histogram(5.0, 10);
     let sb_h = sb_ev.histogram(5.0, 10);
@@ -311,7 +312,7 @@ pub struct WallClockResult {
 pub fn table3_wall_clock(scale: Scale) -> WallClockResult {
     let w = Workload::tpcds(BenchQuery::Q91_4D).expect("suite query builds");
     let rt = runtime(&w, scale);
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     // a challenging instance in the upper-middle region of the ESS
     let coords: Vec<usize> = (0..grid.dims()).map(|d| grid.res(d) * 3 / 4).collect();
     let qa = grid.index(&coords);
@@ -390,7 +391,7 @@ pub fn ablation_cost_ratio(scale: Scale) -> Vec<RatioRow> {
             cfg.contour_ratio = ratio;
             let rt = w.runtime(cfg).expect("ESS compiles");
             let ev = eval_at_scale(&rt, &SpillBound::new(), scale);
-            RatioRow { ratio, bands: rt.ess.contours.num_bands(), sb_mso: ev.mso }
+            RatioRow { ratio, bands: rt.num_bands(), sb_mso: ev.mso }
         })
         .collect()
 }
@@ -416,8 +417,11 @@ pub fn ablation_anorexic(scale: Scale) -> Vec<AnorexicRow> {
     [0.0, 0.1, 0.2, 0.5, 1.0]
         .iter()
         .map(|&lambda| {
-            let pb =
-                if lambda <= 0.0 { PlanBouquet::new() } else { PlanBouquet::anorexic(&rt, lambda) };
+            let pb = if lambda <= 0.0 {
+                PlanBouquet::new()
+            } else {
+                PlanBouquet::anorexic(&rt, lambda).expect("anorexic reduction")
+            };
             let rho = pb.rho(&rt);
             let ev = eval_at_scale(&rt, &pb, scale);
             AnorexicRow { lambda, rho, pb_guarantee: pb_guarantee(rho, lambda), pb_mso: ev.mso }

@@ -76,7 +76,7 @@ fn metrics_and_events_round_trip_through_json_codec() {
     let pb = PlanBouquet::new();
     let sb = SpillBound::new();
     let mut budgeted_steps = 0usize;
-    for qa in [0, rt.ess.grid().num_cells() / 2, rt.ess.grid().terminus()] {
+    for qa in [0, rt.grid().num_cells() / 2, rt.grid().terminus()] {
         budgeted_steps += pb.discover(&rt, qa).steps.len();
         let _ = sb.discover(&rt, qa);
     }

@@ -56,13 +56,12 @@ pub fn standard_schedules(seed: u64, rate: f64) -> Vec<(&'static str, FaultConfi
 /// budgeted executions, every one dilated by the retry policy's
 /// worst-case charge factor, at the band's upper cost edge.
 pub fn degraded_cost_cap(rt: &RobustRuntime<'_>, policy: &RetryPolicy) -> f64 {
-    let contours = &rt.ess.contours;
     let d = rt.dims() as f64;
     let factor = policy.degraded_factor();
     let mut cap = 0.0;
-    for b in 0..contours.num_bands() {
-        let density = contours.density(&rt.ess.posp, b).max(1) as f64;
-        let edge_hi = contours.cc(b) * contours.ratio;
+    for b in 0..rt.num_bands() {
+        let density = rt.band_density(b).max(1) as f64;
+        let edge_hi = rt.contour_cost(b) * rt.contour_ratio();
         cap += (d + density) * factor * edge_hi;
     }
     cap
@@ -269,7 +268,7 @@ pub fn sweep(
 /// A small deterministic spread of query instances for sweeps: origin,
 /// interior points and the terminus.
 pub fn probe_cells(rt: &RobustRuntime<'_>) -> Vec<Cell> {
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let n = grid.num_cells();
     let mut cells = vec![grid.origin(), n / 3, n / 2, 2 * n / 3, grid.terminus()];
     cells.dedup();

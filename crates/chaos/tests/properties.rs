@@ -37,8 +37,7 @@ fn fifty_plus_seeded_schedules_terminate_with_honest_accounting() {
     let plan = FaultPlan::idle();
     let mut rt = w.runtime(EssConfig { resolution: 8, ..Default::default() }).unwrap();
     rt.set_fault_injector(&plan);
-    let grid_cells =
-        [rt.ess.grid().origin(), rt.ess.grid().num_cells() / 2, rt.ess.grid().terminus()];
+    let grid_cells = [rt.grid().origin(), rt.grid().num_cells() / 2, rt.grid().terminus()];
     let algos = algorithms();
 
     let mut checked = 0usize;
@@ -84,7 +83,7 @@ fn bouquet_family_survives_a_total_failure_storm() {
     let plan = FaultPlan::idle();
     let mut rt = w.runtime(EssConfig { resolution: 6, ..Default::default() }).unwrap();
     rt.set_fault_injector(&plan);
-    let qa = rt.ess.grid().terminus();
+    let qa = rt.grid().terminus();
     for (i, algo) in
         [&PlanBouquet::new() as &dyn Discovery, &SpillBound::new(), &AlignedBound::new()]
             .into_iter()
@@ -104,7 +103,7 @@ fn zero_fault_schedules_reproduce_the_clean_trace_byte_for_byte() {
     let w = Workload::q91(2).unwrap();
     let plan = FaultPlan::idle();
     let mut rt = w.runtime(EssConfig { resolution: 8, ..Default::default() }).unwrap();
-    let cells = [rt.ess.grid().origin(), rt.ess.grid().num_cells() / 2, rt.ess.grid().terminus()];
+    let cells = [rt.grid().origin(), rt.grid().num_cells() / 2, rt.grid().terminus()];
 
     // clean pass: no injector attached at all
     let mut clean = Vec::new();
@@ -137,7 +136,7 @@ fn the_standard_sweep_passes_its_own_invariants() {
     let plan = FaultPlan::idle();
     let mut rt = w.runtime(EssConfig { resolution: 6, ..Default::default() }).unwrap();
     rt.set_fault_injector(&plan);
-    let cells = [rt.ess.grid().terminus()];
+    let cells = [rt.grid().terminus()];
     let schedules = standard_schedules(2024, 0.35);
     let report = sweep(&rt, &plan, &cells, &schedules).unwrap();
     // 6 schedules × 5 algorithms × 1 cell

@@ -48,14 +48,14 @@ pub struct Advice {
 /// probe.
 pub fn native_worst_under_error(rt: &RobustRuntime<'_>, factor: f64, stride: usize) -> f64 {
     assert!(factor >= 1.0, "error factor must be at least 1");
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let dims = grid.dims();
     let cells: Vec<Cell> = grid.cells().step_by(stride.max(1)).collect();
     cells
         .into_par_iter()
         .map(|qa| {
             let qa_loc = grid.location(qa);
-            let oracle = rt.ess.posp.cost(qa);
+            let oracle = rt.oracle_cost(qa);
             let mut worst: f64 = 1.0;
             // corners of the error box (2^D of them; D ≤ 6 ⇒ ≤ 64)
             for corner in 0u32..(1u32 << dims) {
@@ -77,7 +77,7 @@ pub fn native_worst_under_error(rt: &RobustRuntime<'_>, factor: f64, stride: usi
 /// Advise whether to run the query natively or robustly, anticipating epp
 /// estimation errors of up to `error_factor` (×/÷) per dimension.
 pub fn advise(rt: &RobustRuntime<'_>, error_factor: f64) -> Advice {
-    let stride = (rt.ess.grid().num_cells() / 2_000).max(1);
+    let stride = (rt.grid().num_cells() / 2_000).max(1);
     let native_worst = native_worst_under_error(rt, error_factor, stride);
     let sb_worst = evaluate_sampled(rt, &SpillBound::new(), stride).mso;
     let recommendation =

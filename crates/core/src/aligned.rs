@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use rqp_catalog::EppId;
 use rqp_ess::{Cell, PlanId};
 use rqp_qplan::pipeline::spill_target;
-use rqp_qplan::PlanNode;
+use rqp_qplan::{Fingerprint, PlanNode};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -80,11 +80,13 @@ struct ContourDecision {
 }
 
 /// The cheapest plan spilling on `dim` over the candidate cells: searches
-/// the POSP registry pool and asks the optimizer for a purpose-built plan
-/// (the §6.1 engine extension). Returns `(plan_ref, node, cell, cost)`.
+/// the POSP pool visible at the discovery band and asks the optimizer for
+/// a purpose-built plan (the §6.1 engine extension). Returns
+/// `(plan_ref, node, cell, cost)`.
 fn cheapest_spilling_plan(
     rt: &RobustRuntime<'_>,
     cells: &[Cell],
+    band: usize,
     dim: EppId,
     unlearnt: &BTreeSet<EppId>,
 ) -> Option<(PlanRef, Arc<PlanNode>, Cell, f64)> {
@@ -100,18 +102,28 @@ fn cheapest_spilling_plan(
     };
 
     let mut best: Option<(PlanRef, Arc<PlanNode>, Cell, f64)> = None;
-    // pool: registered POSP plans that spill on `dim`
-    let pool: Vec<(PlanId, Arc<PlanNode>)> = rt
-        .ess
-        .posp
-        .registry()
-        .iter()
+    // pool: plans the surface assigns on contours up to the discovery
+    // band, ordered by structural fingerprint. Both bounds keep the
+    // candidate set surface-independent: a lazy surface has compiled
+    // nothing above `band` (peeking higher would force the compile this
+    // crate exists to avoid), and plan ids are surface-relative (eager
+    // numbers plans in cell-index order, lazy in flood order), so id
+    // order would resolve equal-cost ties differently per surface.
+    let mut ids: BTreeSet<PlanId> = BTreeSet::new();
+    for b in 0..=band.min(rt.num_bands().saturating_sub(1)) {
+        for &cell in rt.band_cells(b).iter() {
+            ids.insert(rt.plan_id_at(cell));
+        }
+    }
+    let mut pool: Vec<(PlanId, Arc<PlanNode>)> = ids
+        .into_iter()
+        .map(|id| (id, rt.plan(id)))
         .filter(|(_, p)| spill_target(p, rt.query, unlearnt) == Some(dim))
-        .map(|(id, p)| (id, Arc::clone(p)))
         .collect();
+    pool.sort_by_key(|(_, p)| Fingerprint::of(p));
     for &cell in &capped {
         for (id, node) in &pool {
-            let cost = rt.ess.posp.cost_of_plan_at(&rt.optimizer, *id, cell);
+            let cost = rt.plan_cost_at(*id, cell);
             if best.as_ref().is_none_or(|b| cost < b.3) {
                 best = Some((PlanRef::Posp(*id), Arc::clone(node), cell, cost));
             }
@@ -120,7 +132,7 @@ fn cheapest_spilling_plan(
     // bespoke candidate from the spill-constrained optimizer at the
     // currently-cheapest cell (or the first candidate cell)
     let probe_cell = best.as_ref().map_or(capped[0], |b| b.2);
-    let loc = rt.ess.grid().location(probe_cell);
+    let loc = rt.grid().location(probe_cell);
     if let Some(planned) = rt.optimizer.optimize_spilling_on(&loc, dim, unlearnt) {
         if best.as_ref().is_none_or(|b| planned.cost < b.3) {
             let node = Arc::new(planned.plan);
@@ -196,17 +208,17 @@ fn compute_decision(
     know: &Knowledge,
     unlearnt: &BTreeSet<EppId>,
 ) -> ContourDecision {
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let dims = grid.dims();
 
     // effective cells with their spill dimensions
     let mut spill_cells: Vec<(Cell, usize)> = Vec::new();
-    for &cell in rt.ess.contours.cells(band) {
+    for &cell in rt.band_cells(band).iter() {
         if !know.matches_exact(grid, cell) {
             continue;
         }
-        let plan = rt.ess.posp.plan(rt.ess.posp.plan_id(cell));
-        if let Some(j) = spill_target(plan, rt.query, unlearnt) {
+        let plan = rt.plan(rt.plan_id_at(cell));
+        if let Some(j) = spill_target(&plan, rt.query, unlearnt) {
             spill_cells.push((cell, j.0));
         }
     }
@@ -262,14 +274,14 @@ fn compute_decision(
                         debug_assert!(false, "present dim {j} must have a choice");
                         continue;
                     };
-                    let budget = rt.ess.posp.cost(cell);
-                    crate::invariants::debug_check_band_budget(&rt.ess, band, budget);
+                    let budget = rt.oracle_cost(cell);
+                    rt.debug_check_band_budget(band, budget);
                     (
                         1.0,
                         PartExec {
                             dim: leader,
                             plan_ref: PlanRef::Posp(plan_id),
-                            node: Arc::clone(rt.ess.posp.plan(plan_id)),
+                            node: rt.plan(plan_id),
                             budget,
                             reference: cell,
                         },
@@ -282,10 +294,10 @@ fn compute_decision(
                         .filter(|&&(c, _)| grid.coord(c, j) == q_t_j)
                         .map(|&(c, _)| c)
                         .collect();
-                    match cheapest_spilling_plan(rt, &s_cells, leader, unlearnt) {
+                    match cheapest_spilling_plan(rt, &s_cells, band, leader, unlearnt) {
                         None => continue,
                         Some((plan_ref, node, cell, cost)) => {
-                            let penalty = cost / rt.ess.posp.cost(cell);
+                            let penalty = cost / rt.oracle_cost(cell);
                             (
                                 penalty.max(1.0),
                                 PartExec {
@@ -331,8 +343,8 @@ fn compute_decision(
                 sb_choice.per_dim[j.0].map(|(cell, plan_id)| PartExec {
                     dim: j,
                     plan_ref: PlanRef::Posp(plan_id),
-                    node: Arc::clone(rt.ess.posp.plan(plan_id)),
-                    budget: rt.ess.posp.cost(cell),
+                    node: rt.plan(plan_id),
+                    budget: rt.oracle_cost(cell),
                     reference: cell,
                 })
             })
@@ -364,10 +376,10 @@ impl Discovery for AlignedBound {
     }
 
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
-        let grid = rt.ess.grid();
+        let grid = rt.grid();
         let qa_loc = grid.location(qa);
         let band_hist = crate::obs::band_histogram(self.name());
-        let m = rt.ess.contours.num_bands();
+        let m = rt.num_bands();
         let mut sup = rt.supervisor(self.name());
         let mut know = Knowledge::new(grid);
         let mut steps = Vec::new();
@@ -376,6 +388,8 @@ impl Discovery for AlignedBound {
         let tracer = rqp_obs::current();
 
         loop {
+            // keep the next contour flooding while this one executes
+            rt.prefetch_band(band + 1);
             let mut band_span = tracer
                 .span(rqp_obs::names::SPAN_CONTOUR_BAND, rqp_obs::SpanKind::Contour)
                 .with_histogram(&band_hist);
@@ -409,11 +423,11 @@ impl Discovery for AlignedBound {
                 if sup.is_quarantined(&node) {
                     let sb = contour_choice(rt, band, &know, &unlearnt);
                     if let Some((cell, plan_id)) = sb.per_dim[exec.dim.0] {
-                        let surrogate = rt.ess.posp.plan(plan_id);
-                        if !sup.is_quarantined(surrogate) {
+                        let surrogate = rt.plan(plan_id);
+                        if !sup.is_quarantined(&surrogate) {
                             plan_ref = PlanRef::Posp(plan_id);
-                            node = Arc::clone(surrogate);
-                            budget = rt.ess.posp.cost(cell);
+                            node = surrogate;
+                            budget = rt.oracle_cost(cell);
                             ref_cell = cell;
                         }
                     }
@@ -484,14 +498,14 @@ impl AlignmentStats {
 /// Compute full-contour-alignment statistics in the initial state (all epps
 /// unlearnt), as Table 2 does.
 pub fn alignment_stats(rt: &RobustRuntime<'_>) -> AlignmentStats {
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let dims = grid.dims();
     let know = Knowledge::new(grid);
     let unlearnt = know.unlearnt();
     let mut per_contour_penalty = Vec::new();
 
-    for band in 0..rt.ess.contours.num_bands() {
-        let cells = rt.ess.contours.cells(band);
+    for band in 0..rt.num_bands() {
+        let cells = rt.band_cells(band);
         if cells.is_empty() {
             continue;
         }
@@ -499,9 +513,9 @@ pub fn alignment_stats(rt: &RobustRuntime<'_>) -> AlignmentStats {
         let mut ext = vec![0usize; dims];
         let mut spill_max = vec![None::<usize>; dims];
         let mut spill_dim_of: Vec<(Cell, usize)> = Vec::with_capacity(cells.len());
-        for &cell in cells {
-            let plan = rt.ess.posp.plan(rt.ess.posp.plan_id(cell));
-            let sj = spill_target(plan, rt.query, &unlearnt).map(|e| e.0);
+        for &cell in cells.iter() {
+            let plan = rt.plan(rt.plan_id_at(cell));
+            let sj = spill_target(&plan, rt.query, &unlearnt).map(|e| e.0);
             for (j, e) in ext.iter_mut().enumerate() {
                 let c = grid.coord(cell, j);
                 if c > *e {
@@ -531,9 +545,9 @@ pub fn alignment_stats(rt: &RobustRuntime<'_>) -> AlignmentStats {
             let extreme_cells: Vec<Cell> =
                 cells.iter().copied().filter(|&c| grid.coord(c, j) == ext[j]).collect();
             if let Some((_, _, cell, cost)) =
-                cheapest_spilling_plan(rt, &extreme_cells, EppId(j), &unlearnt)
+                cheapest_spilling_plan(rt, &extreme_cells, band, EppId(j), &unlearnt)
             {
-                penalty = penalty.min((cost / rt.ess.posp.cost(cell)).max(1.0));
+                penalty = penalty.min((cost / rt.oracle_cost(cell)).max(1.0));
             }
         }
         per_contour_penalty.push(penalty);
@@ -585,7 +599,7 @@ mod tests {
         let rt = runtime();
         let ab = AlignedBound::new();
         let bound = 2.0 * sb_guarantee(rt.dims());
-        for qa in rt.ess.grid().cells() {
+        for qa in rt.grid().cells() {
             let t = ab.discover(&rt, qa);
             assert!(t.subopt() >= 1.0 - 1e-9, "cell {qa}");
             assert!(t.subopt() <= bound + 1e-9, "cell {qa}: subopt {} exceeds {bound}", t.subopt());

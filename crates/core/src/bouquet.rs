@@ -13,7 +13,9 @@ use crate::runtime::RobustRuntime;
 use crate::trace::{DiscoveryTrace, PlanRef, Step};
 use crate::Discovery;
 use parking_lot::Mutex;
-use rqp_ess::{anorexic_reduce, Cell, PlanId, Reduced};
+use rqp_catalog::RqpResult;
+use rqp_ess::{anorexic_reduce, Cell, Ess, PlanId, Reduced};
+use rqp_qplan::PlanNode;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -23,44 +25,55 @@ type BandPlans = Arc<Vec<(PlanId, f64)>>;
 /// The PlanBouquet algorithm.
 pub struct PlanBouquet {
     /// Optional anorexic-reduced cell→plan assignment (the paper always
-    /// runs PB on the reduced diagram, λ = 0.2, §6.2).
-    reduced: Option<Reduced>,
-    /// Lazily computed per-band plan lists.
-    bands: Mutex<BTreeMap<usize, BandPlans>>,
+    /// runs PB on the reduced diagram, λ = 0.2, §6.2). Reduction needs the
+    /// whole diagram, so the materialized surface rides along: its plan-id
+    /// space is the one `cell_plan` refers to.
+    reduced: Option<(Arc<Ess>, Reduced)>,
+    /// Lazily computed per-band plan lists, keyed by `(surface token,
+    /// band)` — plan ids are surface-relative, so a list built against one
+    /// runtime's surface must not serve a runtime backed by another.
+    bands: Mutex<BTreeMap<(usize, usize), BandPlans>>,
 }
 
 impl PlanBouquet {
-    /// PlanBouquet over the raw (unreduced) POSP diagram.
+    /// PlanBouquet over the raw (unreduced) POSP diagram. On a lazy
+    /// runtime, bands are compiled only as the doubling walk pulls them.
     pub fn new() -> Self {
         PlanBouquet { reduced: None, bands: Mutex::new(BTreeMap::new()) }
     }
 
     /// PlanBouquet over the anorexic-reduced diagram with threshold
-    /// `lambda` (paper default 0.2).
-    pub fn anorexic(rt: &RobustRuntime<'_>, lambda: f64) -> Self {
-        let reduced = anorexic_reduce(&rt.ess.posp, &rt.optimizer, lambda);
-        PlanBouquet { reduced: Some(reduced), bands: Mutex::new(BTreeMap::new()) }
+    /// `lambda` (paper default 0.2). Reduction inspects the whole plan
+    /// diagram, so this materializes the full surface up front.
+    ///
+    /// # Errors
+    /// Propagates a lazy surface's materialization failure.
+    pub fn anorexic(rt: &RobustRuntime<'_>, lambda: f64) -> RqpResult<Self> {
+        let ess = rt.ess()?;
+        let reduced = anorexic_reduce(&ess.posp, &rt.optimizer, lambda);
+        Ok(PlanBouquet { reduced: Some((ess, reduced)), bands: Mutex::new(BTreeMap::new()) })
     }
 
     /// The swallowing threshold in use (0 when unreduced).
     pub fn lambda(&self) -> f64 {
-        self.reduced.as_ref().map_or(0.0, |r| r.lambda)
+        self.reduced.as_ref().map_or(0.0, |(_, r)| r.lambda)
     }
 
     /// The bouquet cardinality parameter of the MSO guarantee: maximum
     /// plan-density over all contours (ρ, or ρ_red when reduced).
     pub fn rho(&self, rt: &RobustRuntime<'_>) -> usize {
         match &self.reduced {
-            Some(r) => rt.ess.contours.max_density_with(&r.cell_plan),
-            None => rt.ess.contours.max_density(&rt.ess.posp),
+            Some((ess, r)) => ess.contours.max_density_with(&r.cell_plan),
+            None => (0..rt.num_bands()).map(|b| rt.band_density(b)).max().unwrap_or(0),
         }
     }
 
-    /// The plan assigned to a cell (reduced assignment if present).
-    fn assigned(&self, rt: &RobustRuntime<'_>, cell: Cell) -> PlanId {
+    /// The plan tree for an execution-list id, resolved against whichever
+    /// id space produced it (the reduced surface's, or the runtime's).
+    fn plan_node(&self, rt: &RobustRuntime<'_>, id: PlanId) -> Arc<PlanNode> {
         match &self.reduced {
-            Some(r) => r.cell_plan[cell],
-            None => rt.ess.posp.plan_id(cell),
+            Some((ess, _)) => Arc::clone(ess.posp.plan(id)),
+            None => rt.plan(id),
         }
     }
 
@@ -68,24 +81,41 @@ impl PlanBouquet {
     /// is the maximum of `Cost(P, q)` over the band cells assigned to `P`
     /// (equal to the optimal cost there for the unreduced diagram).
     fn band_plans(&self, rt: &RobustRuntime<'_>, band: usize) -> BandPlans {
-        if let Some(b) = self.bands.lock().get(&band) {
+        let key = (rt.surface_token(), band);
+        if let Some(b) = self.bands.lock().get(&key) {
             return Arc::clone(b);
         }
         let mut budgets: BTreeMap<PlanId, f64> = BTreeMap::new();
-        for &cell in rt.ess.contours.cells(band) {
-            let plan = self.assigned(rt, cell);
-            let cost = if self.reduced.is_some() {
-                rt.ess.posp.cost_of_plan_at(&rt.optimizer, plan, cell)
-            } else {
-                rt.ess.posp.cost(cell)
-            };
-            let e = budgets.entry(plan).or_insert(0.0);
-            if cost > *e {
-                *e = cost;
+        match &self.reduced {
+            Some((ess, r)) => {
+                for &cell in ess.contours.cells(band) {
+                    let plan = r.cell_plan[cell];
+                    let cost = ess.posp.cost_of_plan_at(&rt.optimizer, plan, cell);
+                    let e = budgets.entry(plan).or_insert(0.0);
+                    if cost > *e {
+                        *e = cost;
+                    }
+                }
+            }
+            None => {
+                for &cell in rt.band_cells(band).iter() {
+                    let plan = rt.plan_id_at(cell);
+                    let cost = rt.oracle_cost(cell);
+                    let e = budgets.entry(plan).or_insert(0.0);
+                    if cost > *e {
+                        *e = cost;
+                    }
+                }
             }
         }
-        let list: BandPlans = Arc::new(budgets.into_iter().collect());
-        self.bands.lock().insert(band, Arc::clone(&list));
+        // Execute cheap probes first. Budget order is surface-independent
+        // — plan ids are not (eager ids follow cell-index order, lazy ids
+        // flood order), so iterating by id would make contour-wise
+        // execution depend on which surface compiled the band.
+        let mut list: Vec<(PlanId, f64)> = budgets.into_iter().collect();
+        list.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let list: BandPlans = Arc::new(list);
+        self.bands.lock().insert(key, Arc::clone(&list));
         list
     }
 }
@@ -106,26 +136,29 @@ impl Discovery for PlanBouquet {
     }
 
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
-        let qa_loc = rt.ess.grid().location(qa);
+        let qa_loc = rt.grid().location(qa);
         let band_hist = crate::obs::band_histogram(self.name());
         let mut sup = rt.supervisor(self.name());
         let mut steps = Vec::new();
         let mut total = 0.0;
         let tracer = rqp_obs::current();
-        for band in 0..rt.ess.contours.num_bands() {
+        for band in 0..rt.num_bands() {
+            // overlap compilation with execution: while this contour's
+            // plans run, a background task floods the next band
+            rt.prefetch_band(band + 1);
             let mut band_span = tracer
                 .span(rqp_obs::names::SPAN_CONTOUR_BAND, rqp_obs::SpanKind::Contour)
                 .with_histogram(&band_hist);
             band_span.attr("band", band as u64);
             let _band_span = band_span;
             for &(plan_id, budget) in self.band_plans(rt, band).iter() {
-                let plan = rt.ess.posp.plan(plan_id);
+                let plan = self.plan_node(rt, plan_id);
                 // graceful degradation: a plan whose supervision gave up
                 // (or that is quarantined) falls through to the next
                 // contour plan — the doubling walk absorbs the skip
                 let Some(out) = sup.execute_full(
                     &rt.engine,
-                    plan,
+                    &plan,
                     &PlanRef::Posp(plan_id),
                     band,
                     &qa_loc,
@@ -182,7 +215,7 @@ pub(crate) fn run_to_completion(
     steps: &mut Vec<Step>,
     total: &mut f64,
 ) {
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let coords: Vec<usize> = (0..grid.dims())
         .map(|d| match know.and_then(|k| k.exact(rqp_catalog::EppId(d))) {
             Some(v) => grid.snap_ceil(d, v),
@@ -190,20 +223,20 @@ pub(crate) fn run_to_completion(
         })
         .collect();
     let cell = grid.index(&coords);
-    let plan_id = rt.ess.posp.plan_id(cell);
-    let plan = rt.ess.posp.plan(plan_id);
-    let band = rt.ess.contours.num_bands() - 1;
+    let plan_id = rt.plan_id_at(cell);
+    let plan = rt.plan(plan_id);
+    let band = rt.num_bands() - 1;
     let plan_ref = PlanRef::Posp(plan_id);
     // supervised attempt first (identical to the pre-chaos behaviour when
     // nothing is injected) …
     let done = sup
-        .execute_full(&rt.engine, plan, &plan_ref, band, qa_loc, f64::INFINITY, total, steps)
+        .execute_full(&rt.engine, &plan, &plan_ref, band, qa_loc, f64::INFINITY, total, steps)
         .is_some_and(|out| out.completed());
     // … but the terminal safety net must finish: if supervision gave up or
     // a spurious exhaust masqueraded as an expiry, the injector-free
     // engine settles it
     if !done {
-        sup.finish_clean(&rt.engine, plan, &plan_ref, band, qa_loc, total, steps);
+        sup.finish_clean(&rt.engine, &plan, &plan_ref, band, qa_loc, total, steps);
     }
 }
 
@@ -225,29 +258,35 @@ pub(crate) fn bouquet_endgame(
     steps: &mut Vec<Step>,
     total: &mut f64,
 ) {
-    let grid = rt.ess.grid();
-    for band in start_band..rt.ess.contours.num_bands() {
+    let grid = rt.grid();
+    for band in start_band..rt.num_bands() {
+        // keep the next band flooding while this one's plans execute
+        rt.prefetch_band(band + 1);
         // distinct plans on the effective slice of this band, with budgets
         let mut budgets: BTreeMap<PlanId, f64> = BTreeMap::new();
-        for &cell in rt.ess.contours.cells(band) {
+        for &cell in rt.band_cells(band).iter() {
             if !know.matches_exact(grid, cell) {
                 continue;
             }
-            let plan = rt.ess.posp.plan_id(cell);
-            let cost = rt.ess.posp.cost(cell);
+            let plan = rt.plan_id_at(cell);
+            let cost = rt.oracle_cost(cell);
             let e = budgets.entry(plan).or_insert(0.0);
             if cost > *e {
                 *e = cost;
             }
         }
-        for (plan_id, budget) in budgets {
-            crate::invariants::debug_check_band_budget(&rt.ess, band, budget);
-            let plan = rt.ess.posp.plan(plan_id);
+        // ascending budget, not id order — see `band_plans`: ids are
+        // surface-relative, budgets are not
+        let mut plans: Vec<(PlanId, f64)> = budgets.into_iter().collect();
+        plans.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for (plan_id, budget) in plans {
+            rt.debug_check_band_budget(band, budget);
+            let plan = rt.plan(plan_id);
             // a plan whose supervision gave up falls through to the next
             // one, exactly like a budget expiry
             let Some(out) = sup.execute_full(
                 &rt.engine,
-                plan,
+                &plan,
                 &PlanRef::Posp(plan_id),
                 band,
                 qa_loc,
@@ -296,7 +335,7 @@ mod tests {
         let (catalog, query) = example_2d();
         let rt = runtime(&catalog, &query);
         let pb = PlanBouquet::new();
-        for qa in rt.ess.grid().cells() {
+        for qa in rt.grid().cells() {
             let t = pb.discover(&rt, qa);
             assert!(t.subopt() >= 1.0 - 1e-9, "cell {qa}: subopt {}", t.subopt());
             assert!(t.steps.last().unwrap().completed);
@@ -308,16 +347,13 @@ mod tests {
         let (catalog, query) = example_2d();
         let rt = runtime(&catalog, &query);
         let pb = PlanBouquet::new();
-        let t = pb.discover(&rt, rt.ess.grid().terminus());
+        let t = pb.discover(&rt, rt.grid().terminus());
         let mut per_band: BTreeMap<usize, usize> = BTreeMap::new();
         for s in &t.steps {
             *per_band.entry(s.band).or_default() += 1;
         }
         for (band, n) in per_band {
-            assert!(
-                n <= rt.ess.contours.density(&rt.ess.posp, band).max(1),
-                "band {band}: {n} executions"
-            );
+            assert!(n <= rt.band_density(band).max(1), "band {band}: {n} executions");
         }
     }
 
@@ -326,12 +362,12 @@ mod tests {
         let (catalog, query) = example_2d();
         let rt = runtime(&catalog, &query);
         let raw = PlanBouquet::new();
-        let red = PlanBouquet::anorexic(&rt, 0.2);
+        let red = PlanBouquet::anorexic(&rt, 0.2).unwrap();
         assert!(red.rho(&rt) <= raw.rho(&rt));
         assert_eq!(red.lambda(), 0.2);
         assert_eq!(raw.lambda(), 0.0);
         // reduced bouquet still completes everywhere
-        for qa in [0, rt.ess.grid().num_cells() / 2, rt.ess.grid().terminus()] {
+        for qa in [0, rt.grid().num_cells() / 2, rt.grid().terminus()] {
             let t = red.discover(&rt, qa);
             assert!(t.steps.last().unwrap().completed);
             assert!(t.subopt() >= 1.0 - 1e-9);
@@ -347,7 +383,7 @@ mod tests {
         let (catalog, query) = example_2d();
         let rt = runtime(&catalog, &query);
         let pb = PlanBouquet::new();
-        let t = pb.discover(&rt, rt.ess.grid().terminus());
+        let t = pb.discover(&rt, rt.grid().terminus());
         let expired: Vec<_> =
             t.steps.iter().filter(|s| !s.completed && s.budget.is_finite()).collect();
         assert!(!expired.is_empty(), "terminus discovery must expire some executions");
@@ -372,9 +408,9 @@ mod tests {
         let (catalog, query) = example_2d();
         let rt = runtime(&catalog, &query);
         let pb = PlanBouquet::new();
-        let t = pb.discover(&rt, rt.ess.grid().origin());
+        let t = pb.discover(&rt, rt.grid().origin());
         // qa at the origin lies on the first contour: few executions
-        assert!(t.steps.len() <= rt.ess.contours.density(&rt.ess.posp, 0));
-        assert!(t.subopt() < 4.0 * rt.ess.contours.density(&rt.ess.posp, 0) as f64);
+        assert!(t.steps.len() <= rt.band_density(0));
+        assert!(t.subopt() < 4.0 * rt.band_density(0) as f64);
     }
 }

@@ -50,7 +50,7 @@ impl Evaluation {
 /// Evaluate an algorithm exhaustively over every grid cell, in parallel.
 pub fn evaluate(rt: &RobustRuntime<'_>, algo: &dyn Discovery) -> Evaluation {
     let subopts: Vec<f64> =
-        rt.ess.grid().cells().into_par_iter().map(|qa| algo.discover(rt, qa).subopt()).collect();
+        rt.grid().cells().into_par_iter().map(|qa| algo.discover(rt, qa).subopt()).collect();
     summarize(algo.name(), subopts)
 }
 
@@ -58,7 +58,7 @@ pub fn evaluate(rt: &RobustRuntime<'_>, algo: &dyn Discovery) -> Evaluation {
 /// cell) — used by the high-dimensional benches where the full grid is
 /// large.
 pub fn evaluate_sampled(rt: &RobustRuntime<'_>, algo: &dyn Discovery, stride: usize) -> Evaluation {
-    let cells: Vec<Cell> = rt.ess.grid().cells().step_by(stride.max(1)).collect();
+    let cells: Vec<Cell> = rt.grid().cells().step_by(stride.max(1)).collect();
     let subopts: Vec<f64> =
         cells.into_par_iter().map(|qa| algo.discover(rt, qa).subopt()).collect();
     summarize(algo.name(), subopts)
@@ -106,7 +106,7 @@ mod tests {
         let rt = runtime();
         let sb = SpillBound::new();
         let ev = evaluate(&rt, &sb);
-        assert_eq!(ev.subopts.len(), rt.ess.grid().num_cells());
+        assert_eq!(ev.subopts.len(), rt.grid().num_cells());
         assert!(ev.aso <= ev.mso);
         assert!(ev.aso >= 1.0 - 1e-9);
         assert!((ev.subopts[ev.worst_cell] - ev.mso).abs() < 1e-12);

@@ -62,19 +62,38 @@ pub fn debug_check_contours(ess: &Ess) {
 /// algorithms call this at every POSP-derived budget. No-op in release
 /// builds.
 pub fn debug_check_band_budget(ess: &Ess, band: usize, budget: f64) {
+    let contours = &ess.contours;
+    debug_check_band_budget_parts(
+        contours.cc(band),
+        contours.ratio,
+        band + 1 >= contours.num_bands(),
+        band,
+        budget,
+    );
+}
+
+/// Surface-agnostic form of [`debug_check_band_budget`]: checks a budget
+/// against the band window `[lo, r·lo)` given just the ladder parts, so a
+/// lazily compiling surface can be checked band-by-band without a finished
+/// [`Ess`]. `open_above` marks the last band, whose window has no upper
+/// edge. No-op in release builds.
+pub fn debug_check_band_budget_parts(
+    lo: f64,
+    ratio: f64,
+    open_above: bool,
+    band: usize,
+    budget: f64,
+) {
     if !cfg!(debug_assertions) {
         return;
     }
-    let contours = &ess.contours;
-    let lo = contours.cc(band);
     debug_assert!(
         budget >= lo * (1.0 - SLACK),
         "band {band}: budget {budget} below contour edge {lo}"
     );
     debug_assert!(
-        band + 1 >= contours.num_bands() || budget < lo * contours.ratio * (1.0 + SLACK),
-        "band {band}: budget {budget} breaches the doubling window (edge {lo}, ratio {})",
-        contours.ratio
+        open_above || budget < lo * ratio * (1.0 + SLACK),
+        "band {band}: budget {budget} breaches the doubling window (edge {lo}, ratio {ratio})"
     );
 }
 

@@ -25,8 +25,8 @@ impl Discovery for NativeOptimizer {
         let qe = rt.estimated_location();
         let planned = rt.optimizer.optimize(qe);
         let plan = Arc::new(planned.plan);
-        let qa_loc = rt.ess.grid().location(qa);
-        let band = rt.ess.contours.band_of(qa);
+        let qa_loc = rt.grid().location(qa);
+        let band = rt.band_of(qa);
         let mut sup = rt.supervisor(self.name());
         let plan_ref = PlanRef::Bespoke(Arc::clone(&plan));
         let mut steps = Vec::new();
@@ -73,18 +73,17 @@ impl Discovery for NativeOptimizer {
 /// `max_{qa} max_{qe} Cost(P_qe, qa) / Cost(P_qa, qa)`. Every `P_qe` is a
 /// POSP plan, so the inner maximum ranges over the plan registry.
 pub fn native_mso_worst_estimate(rt: &RobustRuntime<'_>) -> f64 {
-    let posp = &rt.ess.posp;
-    let plan_ids: Vec<_> = posp.registry().iter().map(|(id, _)| id).collect();
-    rt.ess
-        .grid()
+    // the sweep ranges over the whole POSP plan pool, so pull every band
+    // first (a full compile on a lazy surface — worst-case analysis is a
+    // whole-surface consumer by definition)
+    rt.band_cells(rt.num_bands() - 1);
+    let plan_ids = rt.plan_pool();
+    rt.grid()
         .cells()
         .into_par_iter()
         .map(|qa| {
-            let oracle = posp.cost(qa);
-            plan_ids
-                .iter()
-                .map(|&id| posp.cost_of_plan_at(&rt.optimizer, id, qa) / oracle)
-                .fold(0.0f64, f64::max)
+            let oracle = rt.oracle_cost(qa);
+            plan_ids.iter().map(|&id| rt.plan_cost_at(id, qa) / oracle).fold(0.0f64, f64::max)
         })
         .reduce(|| 0.0, f64::max)
 }
@@ -113,7 +112,7 @@ mod tests {
     fn native_subopt_is_at_least_one_everywhere() {
         let rt = runtime();
         let native = NativeOptimizer;
-        for qa in rt.ess.grid().cells() {
+        for qa in rt.grid().cells() {
             let t = native.discover(&rt, qa);
             assert!(t.subopt() >= 1.0 - 1e-9);
             assert_eq!(t.steps.len(), 1);
@@ -124,12 +123,8 @@ mod tests {
     fn worst_estimate_mso_dominates_fixed_estimate_mso() {
         let rt = runtime();
         let native = NativeOptimizer;
-        let fixed = rt
-            .ess
-            .grid()
-            .cells()
-            .map(|qa| native.discover(&rt, qa).subopt())
-            .fold(0.0f64, f64::max);
+        let fixed =
+            rt.grid().cells().map(|qa| native.discover(&rt, qa).subopt()).fold(0.0f64, f64::max);
         let worst = native_mso_worst_estimate(&rt);
         assert!(worst >= fixed - 1e-9);
         assert!(worst >= 1.0);

@@ -66,7 +66,7 @@ impl Discovery for ReOptimizer {
     }
 
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
-        let grid = rt.ess.grid();
+        let grid = rt.grid();
         let qa_loc = grid.location(qa);
         // current selectivity beliefs: catalog estimates, progressively
         // overwritten by observed truths
@@ -80,7 +80,7 @@ impl Discovery for ReOptimizer {
         for _round in 0..=grid.dims() {
             let planned = rt.optimizer.optimize(&believed);
             let plan = Arc::new(planned.plan);
-            let band = rt.ess.contours.band_of(qa).min(rt.ess.contours.num_bands() - 1);
+            let band = rt.band_of(qa).min(rt.num_bands() - 1);
 
             // observation points in pipeline order
             let mut violation: Option<EppId> = None;
@@ -232,7 +232,7 @@ mod tests {
     fn completes_everywhere_with_bounded_rounds() {
         let rt = runtime();
         let reopt = ReOptimizer::default();
-        for qa in rt.ess.grid().cells() {
+        for qa in rt.grid().cells() {
             let t = reopt.discover(&rt, qa);
             assert!(t.steps.last().unwrap().completed, "cell {qa}");
             assert!(t.subopt() >= 1.0 - 1e-9, "cell {qa}: subopt {}", t.subopt());
@@ -250,7 +250,7 @@ mod tests {
         let reopt = ReOptimizer::default();
         // put qa at (a grid snap of) the estimated location
         let qe = rt.estimated_location();
-        let grid = rt.ess.grid();
+        let grid = rt.grid();
         let coords: Vec<usize> = (0..2).map(|d| grid.snap_ceil(d, qe.get(d).value())).collect();
         let qa = grid.index(&coords);
         let t = reopt.discover(&rt, qa);
@@ -278,7 +278,7 @@ mod tests {
         let rt = runtime();
         let strict = ReOptimizer::new(1.1);
         let loose = ReOptimizer::new(1e12);
-        let qa = rt.ess.grid().terminus();
+        let qa = rt.grid().terminus();
         let t_strict = strict.discover(&rt, qa);
         let t_loose = loose.discover(&rt, qa);
         assert!(t_loose.steps.len() <= t_strict.steps.len());

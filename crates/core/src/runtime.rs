@@ -1,11 +1,26 @@
 //! The shared runtime every robust algorithm executes against.
 
 use rqp_catalog::{Catalog, Estimator, Query, RqpError, RqpResult, SelVector};
-use rqp_ess::{CompileCache, Ess, EssConfig};
+use rqp_ess::{Cell, CompileCache, Ess, EssConfig, Grid, LazyEss, LazyStart, PlanId};
 use rqp_executor::Engine;
 use rqp_optimizer::Optimizer;
-use rqp_qplan::CostModel;
+use rqp_qplan::{CostModel, PlanNode};
 use std::sync::Arc;
+
+/// The compiled selectivity surface a runtime executes against: either a
+/// finished [`Ess`] (eager compile, the pre-lazy behaviour) or a
+/// [`LazyEss`] that materializes contour bands on demand. Discovery
+/// algorithms only talk to the [`RobustRuntime`] facade, so they pull
+/// bands as the doubling walk reaches them — a discovery that terminates
+/// on contour `k` never pays for compiling bands above `k`.
+enum Surface {
+    /// A fully compiled surface (shared across sessions by the serve
+    /// registry).
+    Eager(Arc<Ess>),
+    /// A band-by-band anytime surface; bands above the compile frontier
+    /// are costed only when something asks for them.
+    Lazy(Arc<LazyEss>),
+}
 
 /// A query admitted for robust processing: catalog, query, optimizer,
 /// simulated execution engine, and the compiled ESS (POSP + contours).
@@ -14,11 +29,13 @@ use std::sync::Arc;
 /// the contours in the ESS … repeated calls to the optimizer … can be
 /// carried out in parallel"); everything the discovery algorithms do at
 /// "run-time" is lookups into this structure plus budgeted executions.
+/// With [`RobustRuntime::compile_lazy`] that offline work is deferred:
+/// only the two ladder anchors are costed up front and each contour band
+/// is flooded the first time discovery (or a prefetch) asks for it.
 ///
-/// The ESS is held behind an [`Arc`] so many concurrent sessions (the
+/// The surface is held behind an [`Arc`] so many concurrent sessions (the
 /// `rqp-serve` registry) can share one compiled surface; discovery runs
-/// only read it, so sharing is free. Field access is unchanged for
-/// single-session callers thanks to deref coercion.
+/// only read it, so sharing is free.
 pub struct RobustRuntime<'a> {
     /// Catalog statistics.
     pub catalog: &'a Catalog,
@@ -28,9 +45,8 @@ pub struct RobustRuntime<'a> {
     pub optimizer: Optimizer<'a>,
     /// The simulated execution engine.
     pub engine: Engine<'a>,
-    /// The compiled error-prone selectivity space (shareable across
-    /// sessions).
-    pub ess: Arc<Ess>,
+    /// The compiled (or lazily compiling) error-prone selectivity space.
+    surface: Surface,
     /// The native optimizer's estimated ESS location `qe`, computed once at
     /// admission so run-time discovery never has to re-estimate (and never
     /// has to handle estimation failure).
@@ -45,7 +61,8 @@ pub struct RobustRuntime<'a> {
 }
 
 impl<'a> RobustRuntime<'a> {
-    /// Compile the runtime: build the optimizer, the engine, and the ESS.
+    /// Compile the runtime eagerly: build the optimizer, the engine, and
+    /// the full ESS before returning.
     ///
     /// Errors if the query has no error-prone predicates (there is nothing
     /// to discover), fails validation, or requests an unrepresentable ESS
@@ -57,7 +74,7 @@ impl<'a> RobustRuntime<'a> {
         config: EssConfig,
     ) -> RqpResult<Self> {
         Self::admit(catalog, query, model, |optimizer| {
-            Ok(Arc::new(Ess::compile(optimizer, config)?))
+            Ok(Surface::Eager(Arc::new(Ess::compile(optimizer, config)?)))
         })
     }
 
@@ -72,7 +89,41 @@ impl<'a> RobustRuntime<'a> {
         cache: Option<&CompileCache>,
     ) -> RqpResult<Self> {
         Self::admit(catalog, query, model, |optimizer| {
-            Ok(Arc::new(Ess::compile_cached(optimizer, config, cache)?))
+            Ok(Surface::Eager(Arc::new(Ess::compile_cached(optimizer, config, cache)?)))
+        })
+    }
+
+    /// Admit the query against a *lazy anytime* surface: only the ladder
+    /// anchors (origin and terminus) are costed now; each contour band is
+    /// flooded the first time the discovery walk, an oracle peek, or a
+    /// [`RobustRuntime::prefetch_band`] reaches it.
+    pub fn compile_lazy(
+        catalog: &'a Catalog,
+        query: &'a Query,
+        model: CostModel,
+        config: EssConfig,
+    ) -> RqpResult<Self> {
+        Self::admit(catalog, query, model, |_| {
+            Ok(Surface::Lazy(LazyEss::begin(catalog, query, model, config)?))
+        })
+    }
+
+    /// Like [`RobustRuntime::compile_lazy`], but consulting a persistent
+    /// [`CompileCache`] first: a full snapshot hit admits an eager surface
+    /// outright, a partial snapshot warm-starts the lazy frontier at the
+    /// stored band cursor.
+    pub fn compile_lazy_cached(
+        catalog: &'a Catalog,
+        query: &'a Query,
+        model: CostModel,
+        config: EssConfig,
+        cache: Option<&CompileCache>,
+    ) -> RqpResult<Self> {
+        Self::admit(catalog, query, model, |_| {
+            Ok(match LazyEss::begin_cached(catalog, query, model, config, cache)? {
+                LazyStart::Full(ess) => Surface::Eager(ess),
+                LazyStart::Lazy(lazy) => Surface::Lazy(lazy),
+            })
         })
     }
 
@@ -94,7 +145,28 @@ impl<'a> RobustRuntime<'a> {
                     got: ess.grid().dims(),
                 });
             }
-            Ok(ess)
+            Ok(Surface::Eager(ess))
+        })
+    }
+
+    /// Admit a session against a lazy surface compiling elsewhere (the
+    /// serve registry's incremental snapshots): peers share one frontier,
+    /// and each session's discovery walk only waits for the bands it
+    /// actually pulls.
+    pub fn with_shared_lazy(
+        catalog: &'a Catalog,
+        query: &'a Query,
+        model: CostModel,
+        lazy: Arc<LazyEss>,
+    ) -> RqpResult<Self> {
+        Self::admit(catalog, query, model, |_| {
+            if lazy.grid().dims() != query.dims() {
+                return Err(RqpError::DimensionMismatch {
+                    expected: query.dims(),
+                    got: lazy.grid().dims(),
+                });
+            }
+            Ok(Surface::Lazy(lazy))
         })
     }
 
@@ -102,7 +174,7 @@ impl<'a> RobustRuntime<'a> {
         catalog: &'a Catalog,
         query: &'a Query,
         model: CostModel,
-        ess_for: impl FnOnce(&Optimizer<'a>) -> RqpResult<Arc<Ess>>,
+        surface_for: impl FnOnce(&Optimizer<'a>) -> RqpResult<Surface>,
     ) -> RqpResult<Self> {
         if query.dims() < 1 {
             return Err(RqpError::InvalidQuery(format!(
@@ -114,14 +186,18 @@ impl<'a> RobustRuntime<'a> {
         let qe = Estimator::new(catalog).estimated_location(query)?;
         let optimizer = Optimizer::new(catalog, query, model);
         let engine = Engine::new(catalog, query, model);
-        let ess = ess_for(&optimizer)?;
-        crate::invariants::debug_check_contours(&ess);
+        let surface = surface_for(&optimizer)?;
+        // a lazy surface has no finished contour set to check yet; its
+        // bands are checked incrementally as the budget checks fire
+        if let Surface::Eager(ess) = &surface {
+            crate::invariants::debug_check_contours(ess);
+        }
         Ok(RobustRuntime {
             catalog,
             query,
             optimizer,
             engine,
-            ess,
+            surface,
             qe,
             retry: crate::supervise::RetryPolicy::default(),
             deadline: rqp_obs::Deadline::none(),
@@ -136,6 +212,177 @@ impl<'a> RobustRuntime<'a> {
     /// The estimated ESS location `qe` (the traditional optimizer's belief).
     pub fn estimated_location(&self) -> &SelVector {
         &self.qe
+    }
+
+    /// Whether the surface is still compiling lazily.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.surface, Surface::Lazy(_))
+    }
+
+    /// The ESS discretization grid.
+    pub fn grid(&self) -> &Grid {
+        match &self.surface {
+            Surface::Eager(ess) => ess.grid(),
+            Surface::Lazy(lazy) => lazy.grid(),
+        }
+    }
+
+    /// Number of iso-cost contour bands, `m`.
+    pub fn num_bands(&self) -> usize {
+        match &self.surface {
+            Surface::Eager(ess) => ess.contours.num_bands(),
+            Surface::Lazy(lazy) => lazy.num_bands(),
+        }
+    }
+
+    /// Lower cost edge `CC_band` of a contour band.
+    pub fn contour_cost(&self, band: usize) -> f64 {
+        match &self.surface {
+            Surface::Eager(ess) => ess.contours.cc(band),
+            Surface::Lazy(lazy) => lazy.cc(band),
+        }
+    }
+
+    /// The contour doubling ratio `r`.
+    pub fn contour_ratio(&self) -> f64 {
+        match &self.surface {
+            Surface::Eager(ess) => ess.contours.ratio,
+            Surface::Lazy(lazy) => lazy.ratio(),
+        }
+    }
+
+    /// The band a cell belongs to. On a lazy surface this is a memoized
+    /// single-cell peek, never a band compile.
+    pub fn band_of(&self, cell: Cell) -> usize {
+        match &self.surface {
+            Surface::Eager(ess) => ess.contours.band_of(cell),
+            Surface::Lazy(lazy) => lazy.band_of(cell),
+        }
+    }
+
+    /// The cells of a contour band, ascending by cell index. On a lazy
+    /// surface this compiles through `band` first — the discovery walk's
+    /// pull point.
+    pub fn band_cells(&self, band: usize) -> Arc<Vec<Cell>> {
+        match &self.surface {
+            Surface::Eager(ess) => ess.contours.cells_arc(band),
+            Surface::Lazy(lazy) => lazy.band_cells(band),
+        }
+    }
+
+    /// Number of distinct plans on a contour band (plan density).
+    pub fn band_density(&self, band: usize) -> usize {
+        match &self.surface {
+            Surface::Eager(ess) => ess.contours.density(&ess.posp, band),
+            Surface::Lazy(lazy) => {
+                let cells = lazy.band_cells(band);
+                let mut plans: Vec<PlanId> = cells.iter().map(|&c| lazy.plan_id_at(c)).collect();
+                plans.sort_unstable();
+                plans.dedup();
+                plans.len()
+            }
+        }
+    }
+
+    /// Contour bands the surface has materialized so far (always
+    /// `num_bands` for an eager surface).
+    pub fn bands_compiled(&self) -> usize {
+        match &self.surface {
+            Surface::Eager(ess) => ess.contours.num_bands(),
+            Surface::Lazy(lazy) => lazy.bands_compiled(),
+        }
+    }
+
+    /// Ask a background task to compile through `band` while the caller
+    /// keeps executing on lower bands (no-op on an eager surface).
+    pub fn prefetch_band(&self, band: usize) {
+        if let Surface::Lazy(lazy) = &self.surface {
+            lazy.prefetch(band);
+        }
+    }
+
+    /// Oracle cost `Cost(P_qa, qa)` for a grid cell. On a lazy surface a
+    /// memoized single-cell peek.
+    pub fn oracle_cost(&self, qa: Cell) -> f64 {
+        match &self.surface {
+            Surface::Eager(ess) => ess.posp.cost(qa),
+            Surface::Lazy(lazy) => lazy.cost(qa),
+        }
+    }
+
+    /// The optimal (POSP) plan id at a cell. Ids are stable within one
+    /// surface; a lazy surface's ids live in its own discovery-order space
+    /// until [`RobustRuntime::ess`] canonicalizes them.
+    pub fn plan_id_at(&self, cell: Cell) -> PlanId {
+        match &self.surface {
+            Surface::Eager(ess) => ess.posp.plan_id(cell),
+            Surface::Lazy(lazy) => lazy.plan_id_at(cell),
+        }
+    }
+
+    /// The plan with a surface plan id.
+    pub fn plan(&self, id: PlanId) -> Arc<PlanNode> {
+        match &self.surface {
+            Surface::Eager(ess) => Arc::clone(ess.posp.plan(id)),
+            Surface::Lazy(lazy) => lazy.plan(id),
+        }
+    }
+
+    /// Cost of an arbitrary surface plan at an arbitrary cell.
+    pub fn plan_cost_at(&self, id: PlanId, cell: Cell) -> f64 {
+        match &self.surface {
+            Surface::Eager(ess) => ess.posp.cost_of_plan_at(&self.optimizer, id, cell),
+            Surface::Lazy(lazy) => {
+                let plan = lazy.plan(id);
+                self.optimizer.cost_of(&plan, &lazy.grid().location(cell))
+            }
+        }
+    }
+
+    /// An opaque identity for the underlying surface. Plan ids are
+    /// surface-relative (eager surfaces number plans in cell-index order,
+    /// lazy surfaces in flood-discovery order), so per-algorithm memo
+    /// caches must never reuse a decision holding plan ids across
+    /// runtimes backed by different surfaces — they key on this token.
+    pub fn surface_token(&self) -> usize {
+        match &self.surface {
+            Surface::Eager(ess) => Arc::as_ptr(ess) as usize,
+            Surface::Lazy(lazy) => Arc::as_ptr(lazy) as *const () as usize,
+        }
+    }
+
+    /// Every plan id the surface has discovered so far (the full POSP pool
+    /// for an eager surface; the pool grows as a lazy surface compiles).
+    pub fn plan_pool(&self) -> Vec<PlanId> {
+        match &self.surface {
+            Surface::Eager(ess) => ess.posp.registry().iter().map(|(id, _)| id).collect(),
+            Surface::Lazy(lazy) => lazy.plan_pool(),
+        }
+    }
+
+    /// Check a POSP-derived budget against the band's doubling window
+    /// (debug builds only; see [`crate::invariants`]).
+    pub fn debug_check_band_budget(&self, band: usize, budget: f64) {
+        crate::invariants::debug_check_band_budget_parts(
+            self.contour_cost(band),
+            self.contour_ratio(),
+            band + 1 >= self.num_bands(),
+            band,
+            budget,
+        );
+    }
+
+    /// Materialize the full surface: for an eager runtime a free clone of
+    /// the shared [`Arc`]; for a lazy runtime this compiles every
+    /// remaining band and canonicalizes the result (byte-identical to an
+    /// eager compile). Whole-surface consumers — anorexic reduction,
+    /// snapshot capture, worst-case sweeps — pay the full compile exactly
+    /// once, here.
+    pub fn ess(&self) -> RqpResult<Arc<Ess>> {
+        match &self.surface {
+            Surface::Eager(ess) => Ok(Arc::clone(ess)),
+            Surface::Lazy(lazy) => lazy.finish(),
+        }
     }
 
     /// Replace the engine with a δ-perturbed one (§7: bounded cost-model
@@ -190,17 +437,13 @@ impl<'a> RobustRuntime<'a> {
     pub fn supervisor(&self, algo: &'static str) -> crate::supervise::Supervisor {
         crate::supervise::Supervisor::new(algo, self.retry).with_deadline(self.deadline)
     }
-
-    /// Oracle cost `Cost(P_qa, qa)` for a grid cell.
-    pub fn oracle_cost(&self, qa: rqp_ess::Cell) -> f64 {
-        self.ess.posp.cost(qa)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::test_support::example_2d;
+    use crate::Discovery;
 
     #[test]
     fn compile_builds_all_components() {
@@ -213,9 +456,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rt.dims(), 2);
-        assert_eq!(rt.ess.grid().num_cells(), 100);
+        assert_eq!(rt.grid().num_cells(), 100);
         assert!(rt.oracle_cost(0) > 0.0);
-        assert!(rt.ess.contours.num_bands() > 1);
+        assert!(rt.num_bands() > 1);
+        assert!(!rt.is_lazy());
     }
 
     #[test]
@@ -228,10 +472,53 @@ mod tests {
             EssConfig { resolution: 10, ..Default::default() },
         )
         .unwrap();
-        let shared = Arc::clone(&rt.ess);
+        let shared = rt.ess().unwrap();
         let rt2 =
             RobustRuntime::with_shared_ess(&catalog, &query, CostModel::default(), shared).unwrap();
-        assert!(Arc::ptr_eq(&rt.ess, &rt2.ess), "no recompile, same surface");
+        assert!(Arc::ptr_eq(&rt.ess().unwrap(), &rt2.ess().unwrap()), "no recompile, same surface");
         assert_eq!(rt2.dims(), 2);
+    }
+
+    #[test]
+    fn lazy_admission_matches_eager_facade_answers() {
+        let (catalog, query) = example_2d();
+        let cfg = EssConfig { resolution: 10, ..Default::default() };
+        let eager = RobustRuntime::compile(&catalog, &query, CostModel::default(), cfg).unwrap();
+        let lazy =
+            RobustRuntime::compile_lazy(&catalog, &query, CostModel::default(), cfg).unwrap();
+        assert!(lazy.is_lazy());
+        assert_eq!(lazy.num_bands(), eager.num_bands());
+        assert_eq!(lazy.contour_ratio(), eager.contour_ratio());
+        for band in 0..eager.num_bands() {
+            assert_eq!(lazy.contour_cost(band), eager.contour_cost(band), "ladder edge {band}");
+            assert_eq!(*lazy.band_cells(band), *eager.band_cells(band), "band {band}");
+            assert_eq!(lazy.band_density(band), eager.band_density(band), "density {band}");
+        }
+        for qa in eager.grid().cells() {
+            assert_eq!(lazy.oracle_cost(qa).to_bits(), eager.oracle_cost(qa).to_bits());
+            assert_eq!(lazy.band_of(qa), eager.band_of(qa));
+        }
+        // materializing the lazy surface canonicalizes to the eager bytes
+        let a = rqp_ess::PospSnapshot::capture(&eager.ess().unwrap()).to_json().unwrap();
+        let b = rqp_ess::PospSnapshot::capture(&lazy.ess().unwrap()).to_json().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lazy_discovery_only_compiles_pulled_bands() {
+        let (catalog, query) = example_2d();
+        let cfg = EssConfig { resolution: 10, ..Default::default() };
+        let rt = RobustRuntime::compile_lazy(&catalog, &query, CostModel::default(), cfg).unwrap();
+        let origin = rt.grid().origin();
+        let t = crate::bouquet::PlanBouquet::new().discover(&rt, origin);
+        assert!(t.steps.last().unwrap().completed);
+        // the origin lies on the first contour: the walk must not have
+        // pulled bands anywhere near the top of the ladder
+        let Surface::Lazy(lazy) = &rt.surface else { panic!("lazy runtime") };
+        assert!(
+            lazy.bands_compiled() < rt.num_bands(),
+            "origin discovery compiled all {} bands",
+            rt.num_bands()
+        );
     }
 }

@@ -30,10 +30,11 @@ use rqp_qplan::pipeline::spill_target;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-/// Cache key for per-contour plan choices: the band plus the exactly-learnt
-/// `(dimension, grid coordinate)` pairs (the choice depends on nothing
-/// else).
-pub(crate) type StateKey = (usize, Vec<(usize, usize)>);
+/// Cache key for per-contour plan choices: the surface token, the band and
+/// the exactly-learnt `(dimension, grid coordinate)` pairs. Plan ids are
+/// surface-relative, so a choice memoized against one surface must never
+/// leak to a runtime backed by another — the token keeps them apart.
+pub(crate) type StateKey = (usize, usize, Vec<(usize, usize)>);
 
 /// Per-contour choice: for each dimension, the maximal-learning cell and
 /// its plan (`(q^j_max, P^j_max)`), if any contour plan spills on `j`.
@@ -43,14 +44,14 @@ pub(crate) struct ContourChoice {
 
 /// Build the cache key for the current knowledge state.
 pub(crate) fn state_key(rt: &RobustRuntime<'_>, band: usize, know: &Knowledge) -> StateKey {
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let mut learnt = Vec::new();
     for d in 0..grid.dims() {
         if let Some(v) = know.exact(EppId(d)) {
             learnt.push((d, grid.snap_ceil(d, v)));
         }
     }
-    (band, learnt)
+    (rt.surface_token(), band, learnt)
 }
 
 /// Compute `(q^j_max, P^j_max)` for every unlearnt dimension on the
@@ -61,15 +62,15 @@ pub(crate) fn contour_choice(
     know: &Knowledge,
     unlearnt: &BTreeSet<EppId>,
 ) -> ContourChoice {
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let mut per_dim: Vec<Option<(Cell, PlanId)>> = vec![None; grid.dims()];
-    for &cell in rt.ess.contours.cells(band) {
+    for &cell in rt.band_cells(band).iter() {
         if !know.matches_exact(grid, cell) {
             continue;
         }
-        let plan_id = rt.ess.posp.plan_id(cell);
-        let plan = rt.ess.posp.plan(plan_id);
-        let Some(j) = spill_target(plan, rt.query, unlearnt) else { continue };
+        let plan_id = rt.plan_id_at(cell);
+        let plan = rt.plan(plan_id);
+        let Some(j) = spill_target(&plan, rt.query, unlearnt) else { continue };
         let better = match per_dim[j.0] {
             None => true,
             Some((best, _)) => grid.coord(cell, j.0) > grid.coord(best, j.0),
@@ -132,10 +133,10 @@ impl Discovery for SpillBound {
     }
 
     fn discover(&self, rt: &RobustRuntime<'_>, qa: Cell) -> DiscoveryTrace {
-        let grid = rt.ess.grid();
+        let grid = rt.grid();
         let qa_loc = grid.location(qa);
         let band_hist = crate::obs::band_histogram(self.name());
-        let m = rt.ess.contours.num_bands();
+        let m = rt.num_bands();
         let mut sup = rt.supervisor(self.name());
         let mut know = Knowledge::new(grid);
         let mut steps = Vec::new();
@@ -144,6 +145,8 @@ impl Discovery for SpillBound {
         let tracer = rqp_obs::current();
 
         loop {
+            // keep the next contour flooding while this one executes
+            rt.prefetch_band(band + 1);
             let mut band_span = tracer
                 .span(rqp_obs::names::SPAN_CONTOUR_BAND, rqp_obs::SpanKind::Contour)
                 .with_histogram(&band_hist);
@@ -169,16 +172,16 @@ impl Discovery for SpillBound {
                 let Some((cell, plan_id)) = choice.per_dim[j.0] else {
                     continue; // no contour plan spills on this epp: skip (§4.2)
                 };
-                let plan = rt.ess.posp.plan(plan_id);
-                let budget = rt.ess.posp.cost(cell);
-                crate::invariants::debug_check_band_budget(&rt.ess, band, budget);
+                let plan = rt.plan(plan_id);
+                let budget = rt.oracle_cost(cell);
+                rt.debug_check_band_budget(band, budget);
                 let reference = grid.location(cell);
                 // supervised: retried on injected failures, backed by a
                 // clean surrogate execution, so the observation is always
                 // sound
                 let out = sup.execute_spill(
                     &rt.engine,
-                    plan,
+                    &plan,
                     &PlanRef::Posp(plan_id),
                     band,
                     j,
@@ -246,7 +249,7 @@ mod tests {
         let sb = SpillBound::new();
         // band-discretized guarantee: 2×(D²+3D) (see DESIGN.md)
         let bound = 2.0 * sb_guarantee(rt.dims());
-        for qa in rt.ess.grid().cells() {
+        for qa in rt.grid().cells() {
             let t = sb.discover(&rt, qa);
             assert!(t.subopt() >= 1.0 - 1e-9, "cell {qa}: subopt {} < 1", t.subopt());
             assert!(
@@ -262,7 +265,7 @@ mod tests {
         let rt = runtime_2d();
         let sb = SpillBound::new();
         let d = rt.dims();
-        for qa in [0, rt.ess.grid().num_cells() / 2, rt.ess.grid().terminus()] {
+        for qa in [0, rt.grid().num_cells() / 2, rt.grid().terminus()] {
             let t = sb.discover(&rt, qa);
             let mut consecutive_fail = 0usize;
             let mut prev_band = usize::MAX;
@@ -288,7 +291,7 @@ mod tests {
     fn learning_never_overshoots_truth() {
         let rt = runtime_2d();
         let sb = SpillBound::with_refined_bounds();
-        let grid = rt.ess.grid();
+        let grid = rt.grid();
         for qa in (0..grid.num_cells()).step_by(7) {
             let qa_loc = grid.location(qa);
             let t = sb.discover(&rt, qa);
@@ -319,7 +322,7 @@ mod tests {
         .unwrap();
         let sb = SpillBound::new();
         let bound = 2.0 * sb_guarantee(3);
-        for qa in (0..rt.ess.grid().num_cells()).step_by(11) {
+        for qa in (0..rt.grid().num_cells()).step_by(11) {
             let t = sb.discover(&rt, qa);
             assert!(t.steps.last().unwrap().completed, "cell {qa} did not complete");
             assert!(t.subopt() <= bound + 1e-9, "cell {qa}: subopt {} exceeds {bound}", t.subopt());
@@ -344,7 +347,7 @@ mod tests {
             rt.set_cost_error(delta);
             let bound = (1.0 + delta) * (1.0 + delta) * 2.0 * sb_guarantee(rt.dims());
             let sb = SpillBound::new();
-            for qa in rt.ess.grid().cells() {
+            for qa in rt.grid().cells() {
                 let t = sb.discover(&rt, qa);
                 assert!(t.steps.last().unwrap().completed, "δ={delta} cell {qa}");
                 assert!(
@@ -363,7 +366,7 @@ mod tests {
         let sb = SpillBound::new();
         let pb = PlanBouquet::new();
         let (mut mso_sb, mut mso_pb) = (0.0f64, 0.0f64);
-        for qa in rt.ess.grid().cells() {
+        for qa in rt.grid().cells() {
             mso_sb = mso_sb.max(sb.discover(&rt, qa).subopt());
             mso_pb = mso_pb.max(pb.discover(&rt, qa).subopt());
         }

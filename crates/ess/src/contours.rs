@@ -15,6 +15,7 @@ use rqp_catalog::{RqpError, RqpResult};
 use rqp_qplan::cost_cmp;
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// The contour bands of a compiled ESS.
 #[derive(Debug, Clone)]
@@ -24,7 +25,7 @@ pub struct ContourSet {
     /// Lower-edge cost of each band: `cc[i] = cmin · ratio^i`.
     cc: Vec<f64>,
     band_of: Vec<u32>,
-    bands: Vec<Vec<Cell>>,
+    bands: Vec<Arc<Vec<Cell>>>,
 }
 
 /// Band index of cost `c` on the geometric ladder `cmin · ratio^k`.
@@ -36,7 +37,19 @@ pub struct ContourSet {
 /// search; the final index is settled against the *exact* `powi` edges with
 /// the workspace cost tolerance ([`cost_cmp`]), with edge-equal costs
 /// belonging to the band whose lower (inclusive) edge they sit on.
-fn band_index(c: f64, cmin: f64, ratio: f64) -> usize {
+///
+/// # Errors
+/// Non-finite or non-positive costs have no band on the geometric ladder
+/// and return [`RqpError::Config`]. (With `c = +inf` or `NaN` the settling
+/// loop would otherwise never observe `c < cmin·r^(b+1)` — `powi` saturates
+/// at `+inf` while `cost_cmp` keeps answering `Greater` — and spin forever.)
+pub(crate) fn band_index(c: f64, cmin: f64, ratio: f64) -> RqpResult<usize> {
+    if !(c.is_finite() && c > 0.0) {
+        return Err(RqpError::Config(format!(
+            "cost {c} cannot be placed on the contour ladder (cmin {cmin}, ratio {ratio}); \
+             costs must be finite and positive"
+        )));
+    }
     let raw = ((c / cmin).ln() / ratio.ln()).floor();
     let mut b = if raw.is_finite() && raw > 0.0 { raw as usize } else { 0 };
     while cost_cmp(c, cmin * ratio.powi(b as i32 + 1)) != Ordering::Less {
@@ -45,7 +58,19 @@ fn band_index(c: f64, cmin: f64, ratio: f64) -> usize {
     while b > 0 && cost_cmp(c, cmin * ratio.powi(b as i32)) == Ordering::Less {
         b -= 1;
     }
-    b
+    Ok(b)
+}
+
+/// Total variant of [`band_index`] for the lazy compile path: degenerate
+/// costs clamp into the top band `m - 1` (an execution budgeted there is
+/// already charged the worst case) instead of erroring, and regular costs
+/// clamp like the eager build does.
+pub(crate) fn band_index_clamped(c: f64, cmin: f64, ratio: f64, m: usize) -> usize {
+    debug_assert!(m >= 1);
+    match band_index(c, cmin, ratio) {
+        Ok(b) => b.min(m - 1),
+        Err(_) => m - 1,
+    }
 }
 
 impl ContourSet {
@@ -54,8 +79,10 @@ impl ContourSet {
     ///
     /// # Errors
     /// Returns [`RqpError::Config`] if `ratio` is not a finite value above
-    /// 1, or if the POSP cost surface is degenerate (non-positive or
-    /// non-finite extrema), instead of panicking mid-compile.
+    /// 1, or if the POSP cost surface is degenerate (a non-positive or
+    /// non-finite extremum, or any non-finite per-cell cost — NaN cells
+    /// slip past the extrema check because `f64::max` ignores NaN),
+    /// instead of panicking or looping mid-compile.
     pub fn build(posp: &Posp, ratio: f64) -> RqpResult<ContourSet> {
         if !(ratio.is_finite() && ratio > 1.0) {
             return Err(RqpError::Config(format!("contour ratio must exceed 1, got {ratio}")));
@@ -67,16 +94,17 @@ impl ContourSet {
                 "degenerate optimal cost surface: cmin {cmin}, cmax {cmax}"
             )));
         }
-        let m = band_index(cmax, cmin, ratio) + 1;
+        let m = band_index(cmax, cmin, ratio)? + 1;
         let cc: Vec<f64> = (0..m).map(|i| cmin * ratio.powi(i as i32)).collect();
 
         let mut band_of = vec![0u32; posp.grid().num_cells()];
         let mut bands = vec![Vec::new(); m];
         for cell in posp.grid().cells() {
-            let b = band_index(posp.cost(cell), cmin, ratio).min(m - 1);
+            let b = band_index(posp.cost(cell), cmin, ratio)?.min(m - 1);
             band_of[cell] = b as u32;
             bands[b].push(cell);
         }
+        let bands = bands.into_iter().map(Arc::new).collect();
         Ok(ContourSet { ratio, cc, band_of, bands })
     }
 
@@ -98,6 +126,12 @@ impl ContourSet {
     /// Cells of a band, ascending by cell index.
     pub fn cells(&self, band: usize) -> &[Cell] {
         &self.bands[band]
+    }
+
+    /// Shared handle to a band's cell list (cheap to clone; lets a serving
+    /// layer hand bands out without copying them per peer).
+    pub fn cells_arc(&self, band: usize) -> Arc<Vec<Cell>> {
+        Arc::clone(&self.bands[band])
     }
 
     /// Distinct optimal plans appearing on a band — the contour's plan set
@@ -285,5 +319,43 @@ mod tests {
         let posp = synthetic(vec![0.0, 4.0]);
         let err = ContourSet::build(&posp, 2.0).unwrap_err();
         assert!(err.to_string().contains("degenerate"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_costs_error_instead_of_spinning() {
+        // Regression: band_index used to loop forever on +inf (powi
+        // saturates at +inf, cost_cmp(inf, inf) is Equal via total_cmp but
+        // never Less) and on NaN (total_cmp orders NaN above everything).
+        for c in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.0, -3.0] {
+            let err = band_index(c, 1.0, 2.0).unwrap_err();
+            assert!(err.to_string().contains("contour ladder"), "{c}: {err}");
+        }
+        assert_eq!(band_index(8.0, 1.0, 2.0).unwrap(), 3);
+    }
+
+    #[test]
+    fn nan_cell_cost_is_a_build_error_not_a_hang() {
+        // A NaN cell sneaks past the extrema check (f64::max ignores NaN);
+        // the per-cell banding pass must surface it as a structured error.
+        let posp = synthetic(vec![1.0, 2.0, f64::NAN, 8.0]);
+        let err = ContourSet::build(&posp, 2.0).unwrap_err();
+        assert!(err.to_string().contains("contour ladder"), "{err}");
+    }
+
+    #[test]
+    fn clamped_band_index_is_total() {
+        assert_eq!(band_index_clamped(8.0, 1.0, 2.0, 10), 3);
+        assert_eq!(band_index_clamped(1e9, 1.0, 2.0, 4), 3, "overshoot clamps to m-1");
+        assert_eq!(band_index_clamped(f64::NAN, 1.0, 2.0, 4), 3);
+        assert_eq!(band_index_clamped(f64::INFINITY, 1.0, 2.0, 4), 3);
+    }
+
+    #[test]
+    fn band_arcs_are_shared_not_copied() {
+        let (_, contours) = compiled();
+        let a = contours.cells_arc(0);
+        let b = contours.cells_arc(0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&a[..], contours.cells(0));
     }
 }

@@ -12,13 +12,42 @@ use serde::{Deserialize, Serialize};
 pub type Cell = usize;
 
 /// A log-scale multi-dimensional grid over the ESS.
+///
+/// Deserialization is routed through [`Grid::from_axes`] (via the
+/// `GridSerde` shadow), so a malformed payload — empty axis list, empty or
+/// unsorted axes, out-of-range values — is a structured decode error
+/// rather than a reachable invalid state. Every constructed `Grid`
+/// therefore has at least one axis with at least two points.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "GridSerde")]
 pub struct Grid {
     /// Per-dimension axis values, strictly increasing, ending at 1.0.
     axes: Vec<Vec<f64>>,
     /// Row-major strides.
     strides: Vec<usize>,
     cells: usize,
+}
+
+/// Untrusted wire form of [`Grid`]; validated by `TryFrom` on decode.
+#[derive(Deserialize)]
+struct GridSerde {
+    axes: Vec<Vec<f64>>,
+    #[serde(default)]
+    strides: Vec<usize>,
+    #[serde(default)]
+    cells: usize,
+}
+
+impl TryFrom<GridSerde> for Grid {
+    type Error = RqpError;
+
+    fn try_from(raw: GridSerde) -> RqpResult<Grid> {
+        let grid = Grid::from_axes(raw.axes)?;
+        // strides/cells are derived state; recomputing them ignores (and
+        // thereby corrects) whatever the payload claimed.
+        let _ = (raw.strides, raw.cells);
+        Ok(grid)
+    }
 }
 
 impl Grid {
@@ -153,10 +182,15 @@ impl Grid {
 
     /// Smallest axis index of dimension `d` whose value is ≥ `v` (with a
     /// tiny tolerance for values that are exactly on an axis point).
-    /// Returns the last index if `v` exceeds the axis maximum.
+    /// Returns the last index if `v` exceeds the axis maximum (or is NaN).
+    ///
+    /// Total: the `saturating_sub` keeps the miss arm well-defined even
+    /// for a hypothetical empty axis (the old `axis.len() - 1` underflowed
+    /// to a panic); construction-time validation means the arm is only
+    /// ever taken for over-range `v` in practice.
     pub fn snap_ceil(&self, d: usize, v: f64) -> usize {
         let axis = &self.axes[d];
-        axis.iter().position(|&x| x >= v * (1.0 - 1e-12)).unwrap_or(axis.len() - 1)
+        axis.iter().position(|&x| x >= v * (1.0 - 1e-12)).unwrap_or(axis.len().saturating_sub(1))
     }
 
     /// Largest axis index of dimension `d` whose value is ≤ `v`; 0 if `v`
@@ -254,6 +288,50 @@ mod tests {
         // 1000^8 cells overflows usize on every supported platform
         let err = Grid::uniform(8, 1000, 1e-6).unwrap_err();
         assert!(matches!(err, rqp_catalog::RqpError::GridTooLarge { resolution: 1000, dims: 8 }));
+    }
+
+    #[test]
+    fn snapping_is_total_on_degenerate_inputs() {
+        let g = Grid::uniform(1, 4, 1e-3).unwrap();
+        // NaN matches no axis point; both snaps take their miss arm
+        assert_eq!(g.snap_ceil(0, f64::NAN), 3);
+        assert_eq!(g.snap_floor(0, f64::NAN), 0);
+        assert_eq!(g.snap_ceil(0, f64::INFINITY), 3);
+        assert_eq!(g.snap_floor(0, f64::NEG_INFINITY), 0);
+        assert_eq!(g.snap_ceil(0, 0.0), 0, "non-positive v is below every axis point");
+        assert_eq!(g.snap_floor(0, 2.0), 3);
+    }
+
+    #[test]
+    fn deserialization_revalidates_axes() {
+        // Regression: a derived Deserialize would bypass from_axes, so a
+        // malformed payload could smuggle in an empty axis and crash
+        // snap_ceil via usize underflow. Grid routes decoding through
+        // `TryFrom<GridSerde>`, which re-runs construction validation.
+        for bad in [
+            GridSerde { axes: vec![], strides: vec![], cells: 0 },
+            GridSerde { axes: vec![vec![]], strides: vec![1], cells: 0 },
+            GridSerde { axes: vec![vec![0.5]], strides: vec![1], cells: 1 },
+            GridSerde { axes: vec![vec![0.5, 0.1, 1.0]], strides: vec![1], cells: 3 },
+            GridSerde { axes: vec![vec![0.5, 1.5]], strides: vec![1], cells: 2 },
+        ] {
+            assert!(Grid::try_from(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn deserialization_recomputes_derived_state() {
+        // lying about strides/cells cannot corrupt indexing: the decode
+        // gate recomputes both from the axes alone
+        let forged = GridSerde {
+            axes: vec![vec![0.1, 1.0], vec![0.2, 1.0]],
+            strides: vec![99, 99],
+            cells: 7,
+        };
+        let f = Grid::try_from(forged).unwrap();
+        assert_eq!(f, Grid::from_axes(vec![vec![0.1, 1.0], vec![0.2, 1.0]]).unwrap());
+        assert_eq!(f.num_cells(), 4);
+        assert_eq!(f.index(&[1, 1]), 3);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod anorexic;
 pub mod cache;
 pub mod contours;
 pub mod grid;
+pub mod lazy;
 pub mod obs;
 pub mod posp;
 pub mod registry;
@@ -23,6 +24,7 @@ pub use anorexic::{anorexic_reduce, Reduced};
 pub use cache::{clear_global_cache_dir, compile_fingerprint, set_global_cache_dir, CompileCache};
 pub use contours::ContourSet;
 pub use grid::{Cell, Grid};
+pub use lazy::{LazyEss, LazyStart, PartialSurface};
 pub use obs::register_metrics;
 pub use posp::{CompileMode, Posp};
 pub use registry::{PlanId, PlanRegistry};

@@ -37,6 +37,10 @@ pub(crate) struct EssMetrics {
     pub cache_stores: Arc<Counter>,
     /// `rqp_ess_cache_corrupt_total`
     pub cache_corrupt: Arc<Counter>,
+    /// `rqp_ess_bands_compiled_total`
+    pub bands_compiled: Arc<Counter>,
+    /// `rqp_ess_bands_skipped_total`
+    pub bands_skipped: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static EssMetrics {
@@ -63,6 +67,8 @@ pub(crate) fn metrics() -> &'static EssMetrics {
             cache_misses: g.counter(names::ESS_CACHE_MISSES),
             cache_stores: g.counter(names::ESS_CACHE_STORES),
             cache_corrupt: g.counter(names::ESS_CACHE_CORRUPT),
+            bands_compiled: g.counter(names::ESS_BANDS_COMPILED),
+            bands_skipped: g.counter(names::ESS_BANDS_SKIPPED),
         }
     })
 }

@@ -133,6 +133,50 @@ fn exact_surface(
     (per_cell, distinct.into_inner())
 }
 
+/// Per-dimension seed coordinates for the recost sublattice: every
+/// `stride`-th point plus the axis end. Shared between the eager
+/// [`recost_surface`] pass and the lazy band-by-band compiler so both walk
+/// the *same* lattice (a prerequisite for bitwise-equal surfaces).
+///
+/// Callers must uphold `stride > 1` (the [`Posp::compile_with`] guard);
+/// `step_by(0)` would panic.
+pub(crate) fn seed_marks(grid: &Grid, stride: usize) -> Vec<Vec<bool>> {
+    debug_assert!(stride > 1, "recost seed lattice requires stride > 1");
+    (0..grid.dims())
+        .map(|d| {
+            let r = grid.res(d);
+            let mut marks = vec![false; r];
+            for c in (0..r).step_by(stride) {
+                marks[c] = true;
+            }
+            marks[r - 1] = true;
+            marks
+        })
+        .collect()
+}
+
+/// The corners of the seed box surrounding `cell`: per dimension the
+/// nearest seed coordinate at-or-below (`lo`) and at-or-above (`hi`).
+pub(crate) fn seed_box(
+    grid: &Grid,
+    is_seed: &[Vec<bool>],
+    stride: usize,
+    cell: Cell,
+    lo: &mut [usize],
+    hi: &mut [usize],
+) {
+    for d in 0..grid.dims() {
+        let c = grid.coord(cell, d);
+        lo[d] = (c / stride) * stride;
+        hi[d] = if is_seed[d][c] { c } else { (lo[d] + stride).min(grid.res(d) - 1) };
+    }
+}
+
+/// Whether `cell` lies on the seed sublattice.
+pub(crate) fn is_seed_cell(grid: &Grid, is_seed: &[Vec<bool>], cell: Cell) -> bool {
+    (0..grid.dims()).all(|d| is_seed[d][grid.coord(cell, d)])
+}
+
 /// Recosting-first surface: DP on the seed sublattice, recost fill between
 /// agreeing seed corners, DP fallback where corners disagree.
 fn recost_surface(
@@ -143,20 +187,8 @@ fn recost_surface(
     let m = crate::obs::metrics();
     let dims = grid.dims();
 
-    // per-dimension seed coordinates: every `stride`-th point plus the end
-    let is_seed: Vec<Vec<bool>> = (0..dims)
-        .map(|d| {
-            let r = grid.res(d);
-            let mut marks = vec![false; r];
-            for c in (0..r).step_by(stride) {
-                marks[c] = true;
-            }
-            marks[r - 1] = true;
-            marks
-        })
-        .collect();
-    let seed_cells: Vec<Cell> =
-        grid.cells().filter(|&c| (0..dims).all(|d| is_seed[d][grid.coord(c, d)])).collect();
+    let is_seed = seed_marks(grid, stride);
+    let seed_cells: Vec<Cell> = grid.cells().filter(|&c| is_seed_cell(grid, &is_seed, c)).collect();
 
     let tracer = rqp_obs::current();
     let seed_dp = PhaseClock::new(tracer.is_enabled());
@@ -190,15 +222,9 @@ fn recost_surface(
         .into_par_iter()
         .filter(|&c| slot[c].is_none())
         .map(|cell| {
-            // corners of the surrounding seed box, per dimension the
-            // nearest seed coordinate at-or-below and at-or-above
             let mut lo = vec![0usize; dims];
             let mut hi = vec![0usize; dims];
-            for d in 0..dims {
-                let c = grid.coord(cell, d);
-                lo[d] = (c / stride) * stride;
-                hi[d] = if is_seed[d][c] { c } else { (lo[d] + stride).min(grid.res(d) - 1) };
-            }
+            seed_box(grid, &is_seed, stride, cell, &mut lo, &mut hi);
             let mut coords = vec![0usize; dims];
             let mut agreed: Option<Fingerprint> = None;
             let mut agree = true;
@@ -278,8 +304,11 @@ impl Posp {
     }
 
     /// Assign deterministic plan ids (first-seen order by cell index) and
-    /// assemble the surface.
-    fn assemble(
+    /// assemble the surface. Also the finishing step of the lazy compiler:
+    /// feeding it the per-cell `(fingerprint, cost)` pairs in cell-index
+    /// order reproduces the eager id assignment exactly, regardless of the
+    /// order in which the lazy frontier discovered the plans.
+    pub(crate) fn assemble(
         grid: Grid,
         per_cell: Vec<(Fingerprint, f64)>,
         mut plans: HashMap<Fingerprint, PlanNode>,
@@ -457,5 +486,32 @@ mod tests {
         let b = Posp::compile(&opt, Grid::uniform(2, 8, 1e-5).unwrap());
         assert_eq!(a.cell_plan, b.cell_plan);
         assert_eq!(a.num_plans(), b.num_plans());
+    }
+
+    /// Pin the documented degrade path: `Recost { seed_stride: 0 | 1 }`
+    /// falls through the `seed_stride > 1` guard in `compile_with` into the
+    /// exact surface — no `step_by(0)` panic, no division by zero in the
+    /// seed-box arithmetic, and a surface bitwise-identical to
+    /// `CompileMode::Exact`.
+    #[test]
+    fn degenerate_recost_strides_degrade_to_exact() {
+        let (catalog, query) = fixture();
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        let exact =
+            Posp::compile_with(&opt, Grid::uniform(2, 8, 1e-5).unwrap(), CompileMode::Exact);
+        for stride in [0usize, 1] {
+            let degraded = Posp::compile_with(
+                &opt,
+                Grid::uniform(2, 8, 1e-5).unwrap(),
+                CompileMode::Recost { seed_stride: stride },
+            );
+            assert_eq!(degraded.cell_plan, exact.cell_plan, "stride {stride}");
+            assert_eq!(
+                degraded.cell_cost.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                exact.cell_cost.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                "stride {stride}"
+            );
+            assert_eq!(degraded.num_plans(), exact.num_plans(), "stride {stride}");
+        }
     }
 }

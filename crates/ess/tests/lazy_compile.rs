@@ -1,0 +1,277 @@
+//! Integration tests for the lazy anytime compiler: band-by-band
+//! materialization must be cell-for-cell indistinguishable from the eager
+//! pipeline (same costs to the bit, same plan assignment, same contour
+//! membership), stopping at band `k` must never cost cells above `k`'s
+//! boundary layer, and a partial snapshot must round-trip through the
+//! cache and resume to a byte-identical final surface.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use rqp_catalog::{Catalog, CatalogBuilder, Query, QueryBuilder, RelationBuilder, RqpResult};
+use rqp_ess::{CompileCache, CompileMode, Ess, EssConfig, LazyEss, LazyStart, PospSnapshot};
+use rqp_optimizer::Optimizer;
+use rqp_qplan::CostModel;
+
+fn catalog() -> Catalog {
+    CatalogBuilder::new()
+        .relation(
+            RelationBuilder::new("part", 2_000_000)
+                .indexed_column("p_partkey", 2_000_000, 8)
+                .column("p_price", 50_000, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("lineitem", 60_000_000)
+                .indexed_column("l_partkey", 2_000_000, 8)
+                .indexed_column("l_orderkey", 15_000_000, 8)
+                .column("l_quantity", 50, 8)
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("orders", 15_000_000)
+                .indexed_column("o_orderkey", 15_000_000, 8)
+                .column("o_date", 2_400, 8)
+                .build(),
+        )
+        .build()
+}
+
+fn query(catalog: &Catalog, dims: usize) -> RqpResult<Query> {
+    let mut qb = QueryBuilder::new(catalog, "lazy")
+        .table("part")
+        .table("lineitem")
+        .table("orders")
+        .epp_join("part", "p_partkey", "lineitem", "l_partkey")
+        .epp_join("orders", "o_orderkey", "lineitem", "l_orderkey")
+        .filter("part", "p_price", 0.05);
+    if dims >= 3 {
+        qb = qb.epp_filter("orders", "o_date", 0.1);
+    }
+    if dims >= 4 {
+        qb = qb.epp_filter("lineitem", "l_quantity", 0.3);
+    }
+    qb.build()
+}
+
+fn config(dims: usize, mode: CompileMode) -> EssConfig {
+    let resolution = match dims {
+        2 => 8,
+        3 => 6,
+        _ => 5,
+    };
+    EssConfig { resolution, mode, ..Default::default() }
+}
+
+/// Eager and lazily-finished surfaces must agree bit for bit: costs, plan
+/// assignment, contour ladder and band membership.
+fn assert_ess_identical(eager: &Ess, lazy: &Ess) {
+    assert_eq!(eager.grid().num_cells(), lazy.grid().num_cells());
+    assert_eq!(eager.posp.num_plans(), lazy.posp.num_plans());
+    assert_eq!(eager.contours.num_bands(), lazy.contours.num_bands());
+    for cell in eager.grid().cells() {
+        assert_eq!(
+            eager.posp.cost(cell).to_bits(),
+            lazy.posp.cost(cell).to_bits(),
+            "cell {cell} cost must be bitwise identical"
+        );
+        assert_eq!(eager.posp.plan_id(cell), lazy.posp.plan_id(cell), "cell {cell} plan");
+        assert_eq!(eager.contours.band_of(cell), lazy.contours.band_of(cell), "cell {cell} band");
+    }
+    for band in 0..eager.contours.num_bands() {
+        assert_eq!(eager.contours.cells(band), lazy.contours.cells(band), "band {band} members");
+    }
+}
+
+#[test]
+fn lazy_finish_matches_eager_exact_and_recost_2d_3d_4d() {
+    let catalog = catalog();
+    for dims in [2usize, 3, 4] {
+        let query = query(&catalog, dims).unwrap();
+        let opt = Optimizer::new(&catalog, &query, CostModel::default());
+        for mode in [CompileMode::Exact, CompileMode::Recost { seed_stride: 3 }] {
+            let cfg = config(dims, mode);
+            let eager = Ess::compile_cached(&opt, cfg, None).unwrap();
+            let lazy = LazyEss::begin(&catalog, &query, CostModel::default(), cfg).unwrap();
+            let finished = lazy.finish().unwrap();
+            assert_ess_identical(&eager, &finished);
+            // the final snapshots are byte-identical, not just equivalent
+            assert_eq!(
+                PospSnapshot::capture(&eager).to_json().unwrap(),
+                PospSnapshot::capture(&finished).to_json().unwrap(),
+                "{dims}D {mode:?}: finished lazy snapshot must be byte-identical to eager"
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_bands_match_eager_contours_without_finishing() {
+    let catalog = catalog();
+    let query = query(&catalog, 3).unwrap();
+    let opt = Optimizer::new(&catalog, &query, CostModel::default());
+    let cfg = config(3, CompileMode::Recost { seed_stride: 3 });
+    let eager = Ess::compile_cached(&opt, cfg, None).unwrap();
+    let lazy = LazyEss::begin(&catalog, &query, CostModel::default(), cfg).unwrap();
+    assert_eq!(lazy.num_bands(), eager.contours.num_bands());
+    for band in 0..2.min(lazy.num_bands()) {
+        assert_eq!(
+            *lazy.band_cells(band),
+            eager.contours.cells(band).to_vec(),
+            "band {band} members must match the eager contour set"
+        );
+        assert!((lazy.cc(band) - eager.contours.cc(band)).abs() == 0.0, "ladder edge {band}");
+    }
+}
+
+#[test]
+fn compiling_through_band_k_never_costs_cells_above_its_boundary() {
+    let catalog = catalog();
+    let query = query(&catalog, 3).unwrap();
+    let cfg = config(3, CompileMode::Exact);
+    let lazy = LazyEss::begin(&catalog, &query, CostModel::default(), cfg).unwrap();
+    let total = lazy.grid().num_cells();
+    assert!(lazy.num_bands() > 3, "fixture must have enough bands to stop early");
+
+    lazy.compile_through(1);
+    assert_eq!(lazy.bands_compiled(), 2);
+    let costed = lazy.costed_cells();
+    // bands 0..=1 plus their +1 boundary layer is a small fraction of the
+    // grid — this is the whole point of the lazy compiler
+    assert!(costed * 2 < total, "stopping at band 1 costed {costed} of {total} cells — not lazy");
+
+    // exact-mode laziness is sharp: the costed set is exactly the flooded
+    // down-set (bands 0..=1), its +1 boundary layer, and the terminus
+    // ladder anchor — the frontier invariant
+    let grid = lazy.grid();
+    let dims = grid.dims();
+    let mut expected: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for band in 0..2 {
+        expected.extend(lazy.band_cells(band).iter().copied());
+    }
+    for cell in expected.clone() {
+        let coords = grid.coords_of(cell);
+        for d in 0..dims {
+            if coords[d] + 1 < grid.res(d) {
+                let mut up = coords.clone();
+                up[d] += 1;
+                expected.insert(grid.index(&up));
+            }
+        }
+    }
+    expected.insert(grid.terminus());
+    assert_eq!(
+        lazy.costed_cells(),
+        expected.len(),
+        "exact-mode costed set must be the down-set plus its boundary layer"
+    );
+}
+
+#[test]
+fn oracle_peeks_cost_single_cells_not_bands() {
+    let catalog = catalog();
+    let query = query(&catalog, 2).unwrap();
+    let cfg = config(2, CompileMode::Exact);
+    let lazy = LazyEss::begin(&catalog, &query, CostModel::default(), cfg).unwrap();
+    let baseline = lazy.costed_cells(); // the two ladder anchors
+    let mid = lazy.grid().num_cells() / 2;
+    let c = lazy.cost(mid);
+    assert!(c.is_finite() && c > 0.0);
+    assert_eq!(lazy.bands_compiled(), 0, "a peek must not trigger band compilation");
+    assert!(lazy.costed_cells() <= baseline + 1, "a peek costs at most one new cell");
+    // peeks are memoized
+    let again = lazy.cost(mid);
+    assert_eq!(c.to_bits(), again.to_bits());
+    assert_eq!(lazy.costed_cells(), baseline + 1);
+}
+
+#[test]
+fn partial_snapshot_roundtrips_and_resumes_to_identical_surface() {
+    let catalog = catalog();
+    let query = query(&catalog, 3).unwrap();
+    let opt = Optimizer::new(&catalog, &query, CostModel::default());
+    let model = CostModel::default();
+    let cfg = config(3, CompileMode::Recost { seed_stride: 3 });
+    let eager = Ess::compile_cached(&opt, cfg, None).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("rqp-lazy-partial-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CompileCache::new(&dir).unwrap();
+
+    // compile part-way, checkpoint, drop the original
+    let fp = rqp_ess::compile_fingerprint(&catalog, &query, &model, &cfg);
+    {
+        let lazy = LazyEss::begin(&catalog, &query, model, cfg).unwrap();
+        lazy.compile_through(1);
+        lazy.checkpoint(&cache).unwrap();
+    }
+
+    // reload in a "new process": begin_cached finds the partial
+    let resumed = match LazyEss::begin_cached(&catalog, &query, model, cfg, Some(&cache)).unwrap() {
+        LazyStart::Lazy(lazy) => lazy,
+        LazyStart::Full(_) => panic!("no full snapshot was stored"),
+    };
+    assert_eq!(resumed.bands_compiled(), 2, "warm start must resume below the stored cursor");
+
+    // resuming to the terminus yields the same bytes as the eager compile
+    let finished = resumed.finish().unwrap();
+    assert_eq!(
+        PospSnapshot::capture(&eager).to_json().unwrap(),
+        PospSnapshot::capture(&finished).to_json().unwrap(),
+        "resumed surface must serialize byte-identically to the eager one"
+    );
+
+    // a corrupted partial is quarantined and treated as a cold start
+    let path = dir.join(format!("posp-{fp:016x}.partial.rqpc"));
+    assert!(path.exists());
+    std::fs::write(&path, "rqp-posp-partial v1 garbage").unwrap();
+    match LazyEss::begin_cached(&catalog, &query, model, cfg, Some(&cache)).unwrap() {
+        LazyStart::Lazy(lazy) => assert_eq!(lazy.bands_compiled(), 0, "cold start expected"),
+        LazyStart::Full(_) => panic!("no full snapshot was stored"),
+    }
+    assert!(!path.exists(), "corrupt partial must be quarantined aside");
+    assert!(dir.join(format!("posp-{fp:016x}.partial.rqpc.corrupt")).exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_mismatched_configurations() {
+    let catalog = catalog();
+    let query = query(&catalog, 2).unwrap();
+    let model = CostModel::default();
+    let cfg = config(2, CompileMode::Exact);
+    let lazy = LazyEss::begin(&catalog, &query, model, cfg).unwrap();
+    lazy.compile_through(0);
+    let partial = lazy.partial();
+
+    // wrong resolution: the grid no longer matches
+    let other = EssConfig { resolution: cfg.resolution + 1, ..cfg };
+    assert!(LazyEss::resume(&catalog, &query, model, other, partial.clone()).is_err());
+
+    // wrong ratio: the ladder no longer matches
+    let other = EssConfig { contour_ratio: 3.0, ..cfg };
+    assert!(LazyEss::resume(&catalog, &query, model, other, partial.clone()).is_err());
+
+    // matching config resumes fine
+    assert!(LazyEss::resume(&catalog, &query, model, cfg, partial).is_ok());
+}
+
+#[test]
+fn prefetch_compiles_ahead_in_the_background() {
+    let catalog = catalog();
+    let query = query(&catalog, 2).unwrap();
+    let cfg = config(2, CompileMode::Exact);
+    let lazy = LazyEss::begin(&catalog, &query, CostModel::default(), cfg).unwrap();
+    let target = lazy.num_bands() - 1;
+    lazy.prefetch(target);
+    // bounded wait for the background task; compile_through is idempotent
+    // and single-flight, so this also exercises the peer-wait path
+    for _ in 0..500 {
+        if lazy.bands_compiled() == target + 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    lazy.compile_through(target);
+    assert_eq!(lazy.bands_compiled(), target + 1);
+    assert_eq!(lazy.costed_cells(), lazy.grid().num_cells());
+}

@@ -53,6 +53,11 @@ pub const ESS_CACHE_MISSES: &str = "rqp_ess_cache_misses_total";
 pub const ESS_CACHE_STORES: &str = "rqp_ess_cache_stores_total";
 /// Counter: corrupt persistent-cache entries quarantined to `*.corrupt`.
 pub const ESS_CACHE_CORRUPT: &str = "rqp_ess_cache_corrupt_total";
+/// Counter: contour bands materialized by the lazy anytime compiler.
+pub const ESS_BANDS_COMPILED: &str = "rqp_ess_bands_compiled_total";
+/// Counter: contour bands a lazy compile never had to materialize (the
+/// discovery terminated below them and the surface was dropped).
+pub const ESS_BANDS_SKIPPED: &str = "rqp_ess_bands_skipped_total";
 
 // ---- executor ---------------------------------------------------------
 
@@ -184,6 +189,8 @@ pub const SPAN_POSP_RECOST: &str = "posp_recost";
 pub const SPAN_POSP_FALLBACK_DP: &str = "posp_fallback_dp";
 /// Span: aggregate exhaustive per-cell DP phase of an exact compile.
 pub const SPAN_POSP_EXACT_DP: &str = "posp_exact_dp";
+/// Span: one contour band materialized by the lazy anytime compiler.
+pub const SPAN_ESS_BAND_COMPILE: &str = "ess_band_compile";
 /// Span: one iso-cost contour band of the discovery climb.
 pub const SPAN_CONTOUR_BAND: &str = "contour_band";
 /// Span: one discovery step (plan choice / spill probe / re-opt round).

@@ -69,7 +69,9 @@ pub mod telemetry;
 
 pub use drill::{crash_recover_drill, storm_drill, DrillReport};
 pub use obs::register_metrics;
-pub use registry::{BreakerConfig, BreakerPhase, BreakerState, EssRegistry, Lookup, RegistryStats};
+pub use registry::{
+    BreakerConfig, BreakerPhase, BreakerState, EssRegistry, Lookup, RegistryStats, SharedSurface,
+};
 pub use report::{GroupStats, ServeReport};
 pub use server::{serve_workload, ServeConfig, Server};
 pub use session::{algo_by_name, SessionOutcome, SessionResult, SessionSpec};

@@ -28,6 +28,15 @@
 //! a compile that unwinds publishes `Broken` rather than wedging its
 //! waiters — a chaotic session can never poison the shared registry.
 //!
+//! [`EssRegistry::get_or_lazy`] publishes **incremental** surfaces under
+//! the same protocol: the single-flight window shrinks from the whole
+//! grid to just the ladder anchors, the published entry is a shared
+//! [`LazyEss`], and each peer then pulls (and waits on) only the contour
+//! bands its own discovery reaches — a session terminating at contour
+//! `k` never waits for bands above `k`. An eager lookup finding a lazy
+//! entry upgrades it in place by finishing it, reusing every band
+//! already materialized.
+//!
 //! When constructed [`EssRegistry::with_cache`], the registry adds a
 //! **read-through / write-behind disk tier**: a miss first consults the
 //! persistent [`CompileCache`] (restores count as [`Lookup::Restored`],
@@ -38,7 +47,7 @@
 use crate::obs::metrics;
 use rqp_catalog::{RqpError, RqpResult};
 use rqp_chaos::{CompileFault, CompileFaultInjector, CompileSeam};
-use rqp_ess::{CompileCache, Ess, PospSnapshot};
+use rqp_ess::{CompileCache, Ess, LazyEss, PospSnapshot};
 use rqp_obs::Deadline;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,6 +66,27 @@ pub enum Lookup {
     /// The surface was restored from the persistent disk cache without a
     /// compile (warm-restart recovery path).
     Restored,
+}
+
+/// A surface shared out of the registry: either a finished eager ESS or a
+/// lazily materializing anytime surface whose contour bands compile as
+/// sessions pull them. Clones of the lazy arm share one frontier, so a
+/// band any session materializes is materialized for every peer.
+#[derive(Clone)]
+pub enum SharedSurface {
+    /// A fully compiled surface.
+    Eager(Arc<Ess>),
+    /// An anytime surface still materializing band-by-band.
+    Lazy(Arc<LazyEss>),
+}
+
+impl std::fmt::Debug for SharedSurface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharedSurface::Eager(_) => f.write_str("SharedSurface::Eager"),
+            SharedSurface::Lazy(lazy) => f.debug_tuple("SharedSurface::Lazy").field(lazy).finish(),
+        }
+    }
 }
 
 /// Circuit-breaker phase of one fingerprint, in `/healthz` and obs terms.
@@ -130,6 +160,10 @@ enum Entry {
     Pending,
     /// The compiled surface, shared by reference counting.
     Ready(Arc<Ess>),
+    /// An anytime surface published after only its ladder anchors were
+    /// costed; sessions pull the contour bands they need from it, and an
+    /// eager lookup upgrades it to `Ready` by finishing it.
+    Lazy(Arc<LazyEss>),
     /// The compile failed; the breaker refuses lookups until `retry_at`,
     /// then admits one half-open re-probe.
     Broken(BreakerEntry),
@@ -216,6 +250,24 @@ enum Claim {
     Fresh,
     /// Half-open re-probe: compile again after `prior_failures` failures.
     Probe { prior_failures: u32 },
+}
+
+impl Claim {
+    fn prior_failures(&self) -> u32 {
+        match *self {
+            Claim::Fresh => 0,
+            Claim::Probe { prior_failures } => prior_failures,
+        }
+    }
+}
+
+/// Outcome of the shared lookup loop: either a resident surface, or a
+/// claim obliging this caller to produce one.
+enum Found {
+    /// A surface is resident; serve it.
+    Resident(SharedSurface, Lookup),
+    /// This caller owns the (re)compile for the fingerprint.
+    Claimed(Claim),
 }
 
 /// A sharded, fingerprint-keyed map of compiled ESS surfaces with
@@ -354,9 +406,10 @@ impl EssRegistry {
         }
     }
 
-    /// Run the actual compile, letting the injector strike the compile
-    /// seam first (panic, structured failure, or stall).
-    fn run_compile(&self, compile: impl FnOnce() -> RqpResult<Ess>) -> RqpResult<Ess> {
+    /// Run the actual compile (eager whole-grid or lazy anchor-only),
+    /// letting the injector strike the compile seam first (panic,
+    /// structured failure, or stall).
+    fn run_compile<T>(&self, compile: impl FnOnce() -> RqpResult<T>) -> RqpResult<T> {
         if let Some(injector) = &self.injector {
             match injector.inject(CompileSeam::Compile) {
                 #[allow(clippy::panic)]
@@ -378,39 +431,39 @@ impl EssRegistry {
         compile()
     }
 
-    /// Fetch the surface for `fp`, compiling it with `compile` if this is
-    /// the first session to ask. Concurrent callers for the same
-    /// fingerprint block until the one compile publishes — at most until
-    /// `deadline` lapses. An open breaker refuses instantly with
-    /// [`RqpError::BreakerOpen`]; once its backoff window elapses, exactly
-    /// one caller re-probes. With a disk tier attached, misses first try
-    /// to restore from disk ([`Lookup::Restored`]) before compiling.
-    ///
-    /// # Errors
-    /// [`RqpError::DeadlineExpired`] if `deadline` lapsed while waiting on
-    /// a peer; [`RqpError::BreakerOpen`] while a breaker refuses the
-    /// fingerprint; otherwise the compile's own error (which opens the
-    /// breaker).
-    pub fn get_or_compile(
+    /// Record the single-flight wait span, if this lookup waited.
+    fn record_wait(&self, fp: u64, sw: Option<rqp_obs::Stopwatch>) {
+        if let Some(sw) = sw {
+            rqp_obs::current().record_span(
+                rqp_obs::names::SPAN_REGISTRY_WAIT,
+                rqp_obs::SpanKind::Wait,
+                sw.elapsed_secs(),
+                vec![("fingerprint", rqp_obs::JsonValue::from(fp))],
+            );
+        }
+    }
+
+    /// A successful re-probe closes the fingerprint's breaker.
+    fn close_breaker(&self, fp: u64) {
+        self.breaker_closes.fetch_add(1, Ordering::Relaxed);
+        metrics().breaker_close.inc();
+        self.note_transition(fp, BreakerPhase::Closed);
+    }
+
+    /// The shared single-flight lookup loop: serve a resident surface
+    /// (eager or lazy), refuse through an open breaker, block on a peer's
+    /// in-flight compile bounded by `deadline`, or claim the fingerprint
+    /// for this caller (inserting `Pending` / marking the half-open
+    /// probe before releasing the shard lock).
+    fn resolve(
         &self,
         fp: u64,
         deadline: Deadline,
-        compile: impl FnOnce() -> RqpResult<Ess>,
-    ) -> RqpResult<(Arc<Ess>, Lookup)> {
+        wait_sw: &mut Option<rqp_obs::Stopwatch>,
+    ) -> RqpResult<Found> {
         let m = metrics();
         let shard = self.shard(fp);
         let mut map = shard.lock();
-        let mut wait_sw: Option<rqp_obs::Stopwatch> = None;
-        let record_wait = |sw: Option<rqp_obs::Stopwatch>| {
-            if let Some(sw) = sw {
-                rqp_obs::current().record_span(
-                    rqp_obs::names::SPAN_REGISTRY_WAIT,
-                    rqp_obs::SpanKind::Wait,
-                    sw.elapsed_secs(),
-                    vec![("fingerprint", rqp_obs::JsonValue::from(fp))],
-                );
-            }
-        };
         let claim = loop {
             match map.get(&fp) {
                 None => break Claim::Fresh,
@@ -418,8 +471,13 @@ impl EssRegistry {
                     let ess = Arc::clone(ess);
                     drop(map);
                     let lookup = self.note_resident(wait_sw.is_some());
-                    record_wait(wait_sw);
-                    return Ok((ess, lookup));
+                    return Ok(Found::Resident(SharedSurface::Eager(ess), lookup));
+                }
+                Some(Entry::Lazy(lazy)) => {
+                    let lazy = Arc::clone(lazy);
+                    drop(map);
+                    let lookup = self.note_resident(wait_sw.is_some());
+                    return Ok(Found::Resident(SharedSurface::Lazy(lazy), lookup));
                 }
                 Some(Entry::Broken(b)) => {
                     if !b.probing && Instant::now() >= b.retry_at {
@@ -437,12 +495,11 @@ impl EssRegistry {
                     drop(map);
                     self.breaker_refused.fetch_add(1, Ordering::Relaxed);
                     m.breaker_refused.inc();
-                    record_wait(wait_sw);
                     return Err(err);
                 }
                 Some(Entry::Pending) => {
                     if wait_sw.is_none() {
-                        wait_sw = Some(rqp_obs::Stopwatch::start());
+                        *wait_sw = Some(rqp_obs::Stopwatch::start());
                         self.waits.fetch_add(1, Ordering::Relaxed);
                         m.singleflight_waits.inc();
                     }
@@ -463,7 +520,6 @@ impl EssRegistry {
                                 drop(map);
                                 self.expired_waits.fetch_add(1, Ordering::Relaxed);
                                 m.wait_deadline_expired.inc();
-                                record_wait(wait_sw);
                                 return Err(RqpError::DeadlineExpired {
                                     phase: "registry wait".to_string(),
                                 });
@@ -473,7 +529,6 @@ impl EssRegistry {
                             drop(map);
                             self.expired_waits.fetch_add(1, Ordering::Relaxed);
                             m.wait_deadline_expired.inc();
-                            record_wait(wait_sw);
                             return Err(RqpError::DeadlineExpired {
                                 phase: "registry wait".to_string(),
                             });
@@ -485,47 +540,93 @@ impl EssRegistry {
         // This caller owns the (re)compile: claim the fingerprint (still
         // under the shard lock), then run outside it so peers of *other*
         // fingerprints keep flowing.
-        let prior_failures = match claim {
+        match claim {
             Claim::Fresh => {
                 map.insert(fp, Entry::Pending);
-                0
             }
-            Claim::Probe { prior_failures } => {
+            Claim::Probe { .. } => {
                 if let Some(Entry::Broken(b)) = map.get_mut(&fp) {
                     b.probing = true;
                 }
-                prior_failures
             }
-        };
+        }
         drop(map);
         if let Claim::Probe { .. } = claim {
             self.breaker_reprobes.fetch_add(1, Ordering::Relaxed);
             m.breaker_reprobe.inc();
             self.note_transition(fp, BreakerPhase::HalfOpen);
         }
+        Ok(Found::Claimed(claim))
+    }
+
+    /// Read-through the persistent tier under an armed claim: a restorable
+    /// full snapshot publishes `Ready` and short-circuits the compile.
+    fn try_restore(&self, fp: u64, claim: Claim, guard: &mut PendingGuard<'_>) -> Option<Arc<Ess>> {
+        let cache = self.cache.as_ref()?;
+        self.strike_cache_load(fp);
+        let ess = Arc::new(cache.load(fp).and_then(|snap| snap.restore().ok())?);
+        let shard = self.shard(fp);
+        let mut map = shard.lock();
+        guard.armed = false;
+        map.insert(fp, Entry::Ready(Arc::clone(&ess)));
+        drop(map);
+        shard.published.notify_all();
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        metrics().registry_disk_hits.inc();
+        if matches!(claim, Claim::Probe { .. }) {
+            self.close_breaker(fp);
+        }
+        Some(ess)
+    }
+
+    /// Fetch the surface for `fp`, compiling it with `compile` if this is
+    /// the first session to ask. Concurrent callers for the same
+    /// fingerprint block until the one compile publishes — at most until
+    /// `deadline` lapses. An open breaker refuses instantly with
+    /// [`RqpError::BreakerOpen`]; once its backoff window elapses, exactly
+    /// one caller re-probes. With a disk tier attached, misses first try
+    /// to restore from disk ([`Lookup::Restored`]) before compiling. A
+    /// fingerprint resident as a lazy anytime surface is upgraded in
+    /// place: its remaining bands are materialized (reusing everything
+    /// already compiled) and the finished surface replaces the entry.
+    ///
+    /// # Errors
+    /// [`RqpError::DeadlineExpired`] if `deadline` lapsed while waiting on
+    /// a peer; [`RqpError::BreakerOpen`] while a breaker refuses the
+    /// fingerprint; otherwise the compile's own error (which opens the
+    /// breaker).
+    pub fn get_or_compile(
+        &self,
+        fp: u64,
+        deadline: Deadline,
+        compile: impl FnOnce() -> RqpResult<Ess>,
+    ) -> RqpResult<(Arc<Ess>, Lookup)> {
+        let m = metrics();
+        let mut wait_sw: Option<rqp_obs::Stopwatch> = None;
+        let claim = match self.resolve(fp, deadline, &mut wait_sw) {
+            Ok(Found::Resident(SharedSurface::Eager(ess), lookup)) => {
+                self.record_wait(fp, wait_sw);
+                return Ok((ess, lookup));
+            }
+            Ok(Found::Resident(SharedSurface::Lazy(lazy), lookup)) => {
+                self.record_wait(fp, wait_sw);
+                return self.upgrade(fp, &lazy, lookup);
+            }
+            Ok(Found::Claimed(claim)) => claim,
+            Err(e) => {
+                self.record_wait(fp, wait_sw);
+                return Err(e);
+            }
+        };
+        let shard = self.shard(fp);
+        let prior_failures = claim.prior_failures();
         let mut guard = PendingGuard { reg: self, fp, prior_failures, armed: true };
         // Read-through: a fresh fingerprint (or a re-probe after cache
         // corruption) may be restorable from the persistent tier without
         // paying a compile at all — the warm-restart recovery path.
-        if let Some(cache) = &self.cache {
-            self.strike_cache_load(fp);
-            if let Some(ess) = cache.load(fp).and_then(|snap| snap.restore().ok()) {
-                let ess = Arc::new(ess);
-                let mut map = shard.lock();
-                guard.armed = false;
-                map.insert(fp, Entry::Ready(Arc::clone(&ess)));
-                drop(map);
-                shard.published.notify_all();
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                m.registry_disk_hits.inc();
-                if matches!(claim, Claim::Probe { .. }) {
-                    self.breaker_closes.fetch_add(1, Ordering::Relaxed);
-                    m.breaker_close.inc();
-                    self.note_transition(fp, BreakerPhase::Closed);
-                }
-                record_wait(wait_sw);
-                return Ok((ess, Lookup::Restored));
-            }
+        if let Some(ess) = self.try_restore(fp, claim, &mut guard) {
+            self.record_wait(fp, wait_sw);
+            return Ok((ess, Lookup::Restored));
         }
         self.compiles.fetch_add(1, Ordering::Relaxed);
         m.registry_misses.inc();
@@ -539,9 +640,7 @@ impl EssRegistry {
                 drop(map);
                 shard.published.notify_all();
                 if matches!(claim, Claim::Probe { .. }) {
-                    self.breaker_closes.fetch_add(1, Ordering::Relaxed);
-                    m.breaker_close.inc();
-                    self.note_transition(fp, BreakerPhase::Closed);
+                    self.close_breaker(fp);
                 }
                 // Write-behind: persist outside every lock; a store failure
                 // only costs the next restart a recompile.
@@ -556,8 +655,113 @@ impl EssRegistry {
                 Err(e)
             }
         };
-        record_wait(wait_sw);
+        self.record_wait(fp, wait_sw);
         out
+    }
+
+    /// Like [`EssRegistry::get_or_compile`], but publishes an **anytime**
+    /// surface: the single-flight window covers only the ladder anchors
+    /// of [`LazyEss::begin`] (two optimizer calls), after which every
+    /// peer holds the same [`LazyEss`] and pulls exactly the contour
+    /// bands its own discovery needs — peers wait per band on the shared
+    /// frontier, never for a whole-grid compile. A fingerprint already
+    /// resident eagerly is served as [`SharedSurface::Eager`]; a finished
+    /// snapshot in the disk tier restores eagerly ([`Lookup::Restored`])
+    /// rather than starting over lazily. Breaker, deadline, wipe and
+    /// single-flight semantics are identical to the eager path.
+    ///
+    /// # Errors
+    /// As [`EssRegistry::get_or_compile`]; a failed `begin` opens the
+    /// fingerprint's breaker.
+    pub fn get_or_lazy(
+        &self,
+        fp: u64,
+        deadline: Deadline,
+        begin: impl FnOnce() -> RqpResult<Arc<LazyEss>>,
+    ) -> RqpResult<(SharedSurface, Lookup)> {
+        let m = metrics();
+        let mut wait_sw: Option<rqp_obs::Stopwatch> = None;
+        let claim = match self.resolve(fp, deadline, &mut wait_sw) {
+            Ok(Found::Resident(surface, lookup)) => {
+                self.record_wait(fp, wait_sw);
+                return Ok((surface, lookup));
+            }
+            Ok(Found::Claimed(claim)) => claim,
+            Err(e) => {
+                self.record_wait(fp, wait_sw);
+                return Err(e);
+            }
+        };
+        let shard = self.shard(fp);
+        let prior_failures = claim.prior_failures();
+        let mut guard = PendingGuard { reg: self, fp, prior_failures, armed: true };
+        if let Some(ess) = self.try_restore(fp, claim, &mut guard) {
+            self.record_wait(fp, wait_sw);
+            return Ok((SharedSurface::Eager(ess), Lookup::Restored));
+        }
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        m.registry_misses.inc();
+        let result = self.run_compile(begin);
+        guard.armed = false;
+        let out = match result {
+            Ok(lazy) => {
+                let mut map = shard.lock();
+                map.insert(fp, Entry::Lazy(Arc::clone(&lazy)));
+                drop(map);
+                shard.published.notify_all();
+                if matches!(claim, Claim::Probe { .. }) {
+                    self.close_breaker(fp);
+                }
+                Ok((SharedSurface::Lazy(lazy), Lookup::Compiled))
+            }
+            Err(e) => {
+                self.publish_broken(fp, prior_failures, e.clone());
+                Err(e)
+            }
+        };
+        self.record_wait(fp, wait_sw);
+        out
+    }
+
+    /// Materialize a resident lazy surface into a finished [`Ess`] and
+    /// publish it as `Ready`. Bands already compiled are reused, and
+    /// [`LazyEss::finish`] single-flights concurrent upgraders
+    /// internally, so the remaining work is paid once. The first caller
+    /// to swap the entry is accounted as the compile (and pays the
+    /// write-behind); everyone else keeps their original lookup kind.
+    fn upgrade(
+        &self,
+        fp: u64,
+        lazy: &Arc<LazyEss>,
+        lookup: Lookup,
+    ) -> RqpResult<(Arc<Ess>, Lookup)> {
+        match lazy.finish() {
+            Ok(ess) => {
+                let shard = self.shard(fp);
+                let mut map = shard.lock();
+                let first = matches!(map.get(&fp), Some(Entry::Lazy(_)));
+                if first {
+                    map.insert(fp, Entry::Ready(Arc::clone(&ess)));
+                }
+                drop(map);
+                shard.published.notify_all();
+                if first {
+                    self.compiles.fetch_add(1, Ordering::Relaxed);
+                    metrics().registry_misses.inc();
+                    if let Some(cache) = &self.cache {
+                        // rqp-lint: allow(swallowed-result): best-effort write-behind persistence; a store failure only costs a recompile
+                        let _ = cache.store(fp, &PospSnapshot::capture(&ess));
+                    }
+                    Ok((ess, Lookup::Compiled))
+                } else {
+                    Ok((ess, lookup))
+                }
+            }
+            Err(e) => {
+                self.publish_broken(fp, 0, e.clone());
+                Err(e)
+            }
+        }
     }
 
     fn note_resident(&self, waited: bool) -> Lookup {
@@ -575,7 +779,10 @@ impl EssRegistry {
     /// restart"). Counters and the breaker-transition log survive; with a
     /// disk tier attached, previously-compiled fingerprints restore from
     /// disk on their next lookup with zero recompiles. In-flight compiles
-    /// are unaffected: they republish their entry when they finish.
+    /// are unaffected: they republish their entry when they finish. Lazy
+    /// anytime surfaces are dropped like any other entry — sessions
+    /// already holding the `Arc` keep pulling bands, but the next lookup
+    /// starts fresh.
     pub fn wipe(&self) {
         for shard in &self.shards {
             shard.lock().clear();
@@ -607,7 +814,7 @@ impl EssRegistry {
             let map = shard.lock();
             for (&fp, entry) in map.iter() {
                 let (phase, failures) = match entry {
-                    Entry::Ready(_) => (BreakerPhase::Closed, 0),
+                    Entry::Ready(_) | Entry::Lazy(_) => (BreakerPhase::Closed, 0),
                     Entry::Pending => continue,
                     Entry::Broken(b) => (
                         if b.probing { BreakerPhase::HalfOpen } else { BreakerPhase::Open },
@@ -782,6 +989,92 @@ mod tests {
         let (_, lookup) =
             reg.get_or_compile(5, Deadline::none(), || panic!("must not recompile")).unwrap();
         assert_eq!(lookup, Lookup::Hit);
+    }
+
+    fn begin_example() -> RqpResult<Arc<LazyEss>> {
+        let w = Workload::q91(2)?;
+        LazyEss::begin(
+            &w.catalog,
+            &w.query,
+            CostModel::default(),
+            EssConfig { resolution: 6, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn lazy_lookups_share_one_anytime_surface() {
+        let reg = EssRegistry::new(2);
+        let (s1, l1) = reg.get_or_lazy(21, Deadline::none(), begin_example).unwrap();
+        let (s2, l2) =
+            reg.get_or_lazy(21, Deadline::none(), || panic!("must not begin again")).unwrap();
+        assert_eq!(l1, Lookup::Compiled);
+        assert_eq!(l2, Lookup::Hit);
+        let (SharedSurface::Lazy(a), SharedSurface::Lazy(b)) = (&s1, &s2) else {
+            panic!("expected two lazy surfaces");
+        };
+        assert!(Arc::ptr_eq(a, b), "peers must share one frontier");
+        // nothing beyond the anchors was compiled just by publishing
+        assert_eq!(a.bands_compiled(), 0);
+        // a peer pulling band 1 materializes bands 0..=1 for everyone
+        b.compile_through(1);
+        assert!(a.bands_compiled() >= 2);
+        assert!(a.bands_compiled() < a.num_bands(), "upper bands stay unmaterialized");
+    }
+
+    #[test]
+    fn an_eager_lookup_upgrades_a_resident_lazy_surface() {
+        let reg = EssRegistry::new(1);
+        let (_, l1) = reg.get_or_lazy(13, Deadline::none(), begin_example).unwrap();
+        assert_eq!(l1, Lookup::Compiled);
+        // the eager path finishes the lazy surface instead of recompiling
+        let (ess, l2) =
+            reg.get_or_compile(13, Deadline::none(), || panic!("must not recompile")).unwrap();
+        assert_eq!(l2, Lookup::Compiled, "the upgrader is accounted as the compile");
+        let eager = compile_example().unwrap();
+        assert_eq!(ess.posp.num_plans(), eager.posp.num_plans());
+        for cell in eager.grid().cells() {
+            assert_eq!(ess.posp.cost(cell).to_bits(), eager.posp.cost(cell).to_bits());
+        }
+        // afterwards the fingerprint is an ordinary eager hit, both ways
+        let (_, l3) =
+            reg.get_or_compile(13, Deadline::none(), || panic!("must not recompile")).unwrap();
+        assert_eq!(l3, Lookup::Hit);
+        let (s, l4) =
+            reg.get_or_lazy(13, Deadline::none(), || panic!("must not begin again")).unwrap();
+        assert_eq!(l4, Lookup::Hit);
+        assert!(matches!(s, SharedSurface::Eager(_)));
+    }
+
+    #[test]
+    fn a_failed_lazy_begin_opens_the_breaker() {
+        let reg = EssRegistry::new(1).with_breaker(test_breaker());
+        assert!(reg
+            .get_or_lazy(17, Deadline::none(), || Err(RqpError::Config("no anchors".into())))
+            .is_err());
+        let err = reg.get_or_lazy(17, Deadline::none(), || panic!("must not retry")).unwrap_err();
+        assert!(matches!(err, RqpError::BreakerOpen { .. }), "expected BreakerOpen, got {err}");
+        // the same breaker refuses the eager path too
+        let err =
+            reg.get_or_compile(17, Deadline::none(), || panic!("must not retry")).unwrap_err();
+        assert!(matches!(err, RqpError::BreakerOpen { .. }));
+        assert_eq!(reg.stats().breaker_opens, 1);
+    }
+
+    #[test]
+    fn wipe_clears_lazy_entries() {
+        let reg = EssRegistry::new(2);
+        let (s, _) = reg.get_or_lazy(31, Deadline::none(), begin_example).unwrap();
+        assert_eq!(reg.len(), 1);
+        reg.wipe();
+        assert!(reg.is_empty());
+        // a session that already held the Arc keeps working after the wipe
+        if let SharedSurface::Lazy(lazy) = s {
+            lazy.compile_through(0);
+            assert!(lazy.bands_compiled() >= 1);
+        }
+        // and the next lazy lookup begins fresh
+        let (_, l) = reg.get_or_lazy(31, Deadline::none(), begin_example).unwrap();
+        assert_eq!(l, Lookup::Compiled);
     }
 
     #[test]

@@ -73,6 +73,12 @@ pub struct ServeConfig {
     /// optimizer's plan (no ESS, no robustness guarantee) instead of
     /// refusing them — the answer is flagged [`SessionOutcome::Degraded`].
     pub degrade: bool,
+    /// Serve sessions from lazy anytime surfaces: the registry publishes
+    /// a shared [`rqp_ess::LazyEss`] after costing only the ladder
+    /// anchors, and each session materializes just the contour bands its
+    /// discovery reaches. Cold-start sessions run orders of magnitude
+    /// sooner; surfaces finish on demand if an eager consumer asks.
+    pub lazy: bool,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +98,7 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             compile_chaos: None,
             degrade: false,
+            lazy: false,
         }
     }
 }
@@ -479,15 +486,26 @@ fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
     // registry's drop guard turns that into an open breaker, and the
     // catch here keeps the worker thread alive to serve the next session.
     let lookup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        inner.registry.get_or_compile(fp, deadline, || {
-            let optimizer = Optimizer::new(&w.catalog, &w.query, model);
-            Ess::compile(&optimizer, cfg)
-        })
+        if inner.config.lazy {
+            // Anytime serving: publish after the ladder anchors only;
+            // this session (and its peers) pull bands on demand.
+            inner.registry.get_or_lazy(fp, deadline, || {
+                rqp_ess::LazyEss::begin(&w.catalog, &w.query, model, cfg)
+            })
+        } else {
+            inner
+                .registry
+                .get_or_compile(fp, deadline, || {
+                    let optimizer = Optimizer::new(&w.catalog, &w.query, model);
+                    Ess::compile(&optimizer, cfg)
+                })
+                .map(|(ess, how)| (crate::registry::SharedSurface::Eager(ess), how))
+        }
     }))
     .unwrap_or_else(|_| {
         Err(RqpError::Internal("ESS compile panicked; breaker opened".to_string()))
     });
-    let (ess, how) = match lookup {
+    let (surface, how) = match lookup {
         Ok(pair) => pair,
         Err(RqpError::DeadlineExpired { .. }) => {
             return finish(result, SessionOutcome::DeadlineExpired)
@@ -501,7 +519,15 @@ fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
         Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
     };
     result.lookup = Some(how);
-    let mut rt = match RobustRuntime::with_shared_ess(&w.catalog, &w.query, model, ess) {
+    let rt = match surface {
+        crate::registry::SharedSurface::Eager(ess) => {
+            RobustRuntime::with_shared_ess(&w.catalog, &w.query, model, ess)
+        }
+        crate::registry::SharedSurface::Lazy(lazy) => {
+            RobustRuntime::with_shared_lazy(&w.catalog, &w.query, model, lazy)
+        }
+    };
+    let mut rt = match rt {
         Ok(rt) => rt,
         Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
     };
@@ -514,7 +540,7 @@ fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
     if let Some(plan) = &plan {
         rt.set_fault_injector(plan);
     }
-    let cells = rt.ess.grid().num_cells();
+    let cells = rt.grid().num_cells();
     let qa = spec.qa.unwrap_or(cells / 2).min(cells.saturating_sub(1));
     let trace = algo.discover(&rt, qa);
     result.subopt = Some(trace.subopt());

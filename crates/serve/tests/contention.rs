@@ -118,6 +118,48 @@ fn traces_are_byte_identical_solo_and_alongside_sixteen_peers() {
 }
 
 #[test]
+fn lazy_serving_single_flights_the_anchors_and_matches_eager_costs() {
+    let entries = parse_session_file("2D_Q91 sb x8\n").unwrap();
+    let eager = serve_workload(
+        ServeConfig { workers: 4, queue_cap: 16, keep_traces: true, ..ServeConfig::default() },
+        &entries,
+    )
+    .unwrap();
+    let lazy = serve_workload(
+        ServeConfig {
+            workers: 4,
+            queue_cap: 16,
+            keep_traces: true,
+            lazy: true,
+            ..ServeConfig::default()
+        },
+        &entries,
+    )
+    .unwrap();
+    assert_eq!(eager.completed(), 8, "{}", eager.render());
+    assert_eq!(lazy.completed(), 8, "{}", lazy.render());
+    assert_eq!(lazy.registry.compiles, 1, "one anchor-only begin for one fingerprint");
+    let shared = lazy.count(|r| matches!(r.lookup, Some(Lookup::Hit) | Some(Lookup::Waited)));
+    assert_eq!(shared, 7, "every peer rode the shared anytime surface");
+    // Plan ids are surface-relative (flood order vs cell-index order), so
+    // traces are compared numerically across modes: identical accounted
+    // costs, executions and suboptimality — and bitwise among lazy peers,
+    // who share one frontier.
+    let e0 = &eager.results[0];
+    let reference = lazy.results[0].trace_render.as_ref().unwrap();
+    for r in &lazy.results {
+        assert_eq!(r.subopt, e0.subopt, "lazy serving must not change suboptimality");
+        assert_eq!(r.steps, e0.steps);
+        assert_eq!(r.total_cost, e0.total_cost);
+        assert_eq!(
+            r.trace_render.as_ref().unwrap(),
+            reference,
+            "peers on one shared frontier must trace identically"
+        );
+    }
+}
+
+#[test]
 fn storm_chaos_hits_sessions_but_never_poisons_the_shared_registry() {
     let entries = parse_session_file("2D_Q91 sb x8\n2D_Q91 pb x8\n").unwrap();
     let report = serve_workload(

@@ -159,7 +159,7 @@ mod tests {
         )
         .unwrap();
         let sb = SpillBound::new();
-        let t = sb.discover(&rt, rt.ess.grid().terminus());
+        let t = sb.discover(&rt, rt.grid().terminus());
         assert!(t.steps.last().unwrap().completed);
         // at the terminus every channel join must be learnt or endgamed
         assert!(t.subopt() >= 1.0 - 1e-9);

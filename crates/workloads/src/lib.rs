@@ -103,6 +103,16 @@ impl Workload {
     pub fn runtime(&self, config: EssConfig) -> RqpResult<RobustRuntime<'_>> {
         RobustRuntime::compile(&self.catalog, &self.query, CostModel::default(), config)
     }
+
+    /// Like [`Workload::runtime`], but against a lazy anytime surface:
+    /// only the ladder anchors are costed up front and contour bands
+    /// materialize as discovery pulls them.
+    ///
+    /// # Errors
+    /// Propagates [`RobustRuntime::compile_lazy`] errors.
+    pub fn runtime_lazy(&self, config: EssConfig) -> RqpResult<RobustRuntime<'_>> {
+        RobustRuntime::compile_lazy(&self.catalog, &self.query, CostModel::default(), config)
+    }
 }
 
 #[cfg(test)]
@@ -119,15 +129,15 @@ mod tests {
         let bound = 2.0 * rqp_core::sb_guarantee(3);
         assert!(ev.mso <= bound, "MSOe {} exceeds band-adjusted bound {bound}", ev.mso);
         assert!(ev.aso >= 1.0);
-        assert!(rt.ess.posp.num_plans() >= 3, "expected plan diversity");
+        assert!(rt.ess().unwrap().posp.num_plans() >= 3, "expected plan diversity");
     }
 
     #[test]
     fn job_q1a_runtime_compiles_with_plan_diversity() {
         let w = Workload::job_q1a().unwrap();
         let rt = w.runtime(EssConfig::coarse(3)).unwrap();
-        assert!(rt.ess.posp.num_plans() >= 2);
-        let t = SpillBound::new().discover(&rt, rt.ess.grid().terminus());
+        assert!(rt.ess().unwrap().posp.num_plans() >= 2);
+        let t = SpillBound::new().discover(&rt, rt.grid().terminus());
         assert!(t.steps.last().unwrap().completed);
     }
 
@@ -136,7 +146,7 @@ mod tests {
         let w = Workload::tpcds(BenchQuery::Q7_4D).unwrap();
         let rt = w.runtime(EssConfig { resolution: 5, ..Default::default() }).unwrap();
         let pb = PlanBouquet::new();
-        let t = pb.discover(&rt, rt.ess.grid().num_cells() / 2);
+        let t = pb.discover(&rt, rt.grid().num_cells() / 2);
         assert!(t.subopt() >= 1.0 - 1e-9);
     }
 }

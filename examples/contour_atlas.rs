@@ -9,9 +9,10 @@ use robust_qp::prelude::*;
 fn main() {
     let w = Workload::q91(2).expect("Q91 builds");
     let rt = w.runtime(EssConfig { resolution: 40, ..Default::default() }).expect("ESS compiles");
-    let grid = rt.ess.grid();
-    let posp = &rt.ess.posp;
-    let contours = &rt.ess.contours;
+    let ess = rt.ess().expect("eager surface materializes");
+    let grid = ess.grid();
+    let posp = &ess.posp;
+    let contours = &ess.contours;
     let res = grid.res(0);
 
     println!(

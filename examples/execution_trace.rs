@@ -11,7 +11,7 @@ fn main() {
     // customer⋈customer_address on Y
     let w = Workload::q91(2).expect("workload builds");
     let rt = w.runtime(EssConfig { resolution: 32, ..Default::default() }).expect("ESS compiles");
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let qa = grid.index(&[grid.snap_ceil(0, 0.04), grid.snap_ceil(1, 0.1)]);
 
     println!("=== Fig. 7: 2D_Q91, qa = {} ===", grid.location(qa));
@@ -41,7 +41,7 @@ fn main() {
     println!("\n=== §6.3: wall-clock comparison on 4D_Q91 ===");
     let w4 = Workload::q91(4).expect("workload builds");
     let rt4 = w4.runtime(EssConfig::coarse(4)).expect("ESS compiles");
-    let g4 = rt4.ess.grid();
+    let g4 = rt4.grid();
     let coords: Vec<usize> = (0..4).map(|d| g4.res(d) * 3 / 4).collect();
     let qa4 = g4.index(&coords);
     let secs = 44.0 / rt4.oracle_cost(qa4);

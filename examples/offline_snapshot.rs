@@ -14,16 +14,17 @@ fn main() {
     let t0 = Instant::now();
     let rt = w.runtime(EssConfig { resolution: 32, ..Default::default() }).expect("ESS compiles");
     let compile_time = t0.elapsed();
+    let ess = rt.ess().expect("eager surface materializes");
 
     // snapshot it
-    let snap = PospSnapshot::capture(&rt.ess);
+    let snap = PospSnapshot::capture(&ess);
     let json = snap.to_json().expect("snapshot serializes");
     let path = std::env::temp_dir().join("rqp_2d_q91.ess.json");
     std::fs::write(&path, &json).expect("snapshot written");
     println!(
         "compiled {} cells / {} plans in {compile_time:.2?}; snapshot {} KiB at {}",
-        rt.ess.grid().num_cells(),
-        rt.ess.posp.num_plans(),
+        ess.grid().num_cells(),
+        ess.posp.num_plans(),
         json.len() / 1024,
         path.display()
     );
@@ -42,12 +43,12 @@ fn main() {
     );
 
     // the restored ESS is bit-identical where it matters
-    assert_eq!(restored.posp.num_plans(), rt.ess.posp.num_plans());
-    for cell in rt.ess.grid().cells() {
-        assert_eq!(restored.posp.cost(cell), rt.ess.posp.cost(cell));
-        assert_eq!(restored.posp.plan_id(cell), rt.ess.posp.plan_id(cell));
+    assert_eq!(restored.posp.num_plans(), ess.posp.num_plans());
+    for cell in ess.grid().cells() {
+        assert_eq!(restored.posp.cost(cell), ess.posp.cost(cell));
+        assert_eq!(restored.posp.plan_id(cell), ess.posp.plan_id(cell));
     }
-    println!("restored ESS verified identical on all {} cells", rt.ess.grid().num_cells());
+    println!("restored ESS verified identical on all {} cells", ess.grid().num_cells());
 
     let _ = std::fs::remove_file(&path);
 }

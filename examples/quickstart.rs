@@ -53,15 +53,15 @@ fn main() {
     .expect("ESS compiles");
     println!(
         "compiled ESS: {} cells, {} POSP plans, {} contours, guarantee D²+3D = {}",
-        rt.ess.grid().num_cells(),
-        rt.ess.posp.num_plans(),
-        rt.ess.contours.num_bands(),
+        rt.grid().num_cells(),
+        rt.plan_pool().len(),
+        rt.num_bands(),
         sb_guarantee(rt.dims()),
     );
 
     // 4. a query instance whose actual selectivities the engine must
     //    discover: somewhere in the middle of the space
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let qa = grid.index(&[grid.snap_ceil(0, 3e-3), grid.snap_ceil(1, 2e-4)]);
     println!("actual location qa = {} (hidden from the algorithms)\n", grid.location(qa));
 
@@ -69,7 +69,7 @@ fn main() {
     let native = NativeOptimizer.discover(&rt, qa);
     println!("Native optimizer: subopt {:.2}\n", native.subopt());
 
-    let pb = PlanBouquet::anorexic(&rt, 0.2);
+    let pb = PlanBouquet::anorexic(&rt, 0.2).expect("anorexic reduction");
     let t = pb.discover(&rt, qa);
     println!("{}", t.render());
 

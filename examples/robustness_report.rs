@@ -32,7 +32,7 @@ fn main() {
         }
         let rt = w.runtime(cfg).expect("ESS compiles");
 
-        let pb = PlanBouquet::anorexic(&rt, 0.2);
+        let pb = PlanBouquet::anorexic(&rt, 0.2).expect("anorexic reduction");
         let rho = pb.rho(&rt);
         let sb = SpillBound::new();
         let ab = AlignedBound::new();

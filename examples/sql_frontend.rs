@@ -38,15 +38,15 @@ fn main() {
     .expect("ESS compiles");
     println!(
         "ESS: {} cells, {} plans, {} contours; SB guarantee D²+3D = {}",
-        rt.ess.grid().num_cells(),
-        rt.ess.posp.num_plans(),
-        rt.ess.contours.num_bands(),
+        rt.grid().num_cells(),
+        rt.plan_pool().len(),
+        rt.num_bands(),
         sb_guarantee(query.dims())
     );
 
     // compare the native optimizer, mid-query reoptimization and SpillBound
     // on a mis-estimated instance
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     let coords: Vec<usize> = (0..grid.dims()).map(|d| grid.res(d) * 2 / 3).collect();
     let qa = grid.index(&coords);
     println!("\nactual location qa = {}", grid.location(qa));

@@ -3,7 +3,7 @@
 //! ```text
 //! rqp list
 //! rqp compile  --query 4D_Q91 [--resolution N] [--out ess.json]
-//! rqp run      --query 4D_Q91 [--algo sb|ab|pb|native|reopt] [--qa s1,s2,..] [--resolution N]
+//! rqp run      --query 4D_Q91 [--algo sb|ab|pb|native|reopt] [--qa s1,s2,..] [--resolution N] [--lazy true]
 //! rqp report   --query 3D_Q15 [--resolution N]
 //! rqp atlas    --query 2D_Q91 [--resolution N]
 //! rqp sql      --catalog tpcds|imdb --file query.sql [--algo sb] [--resolution N]
@@ -14,7 +14,7 @@
 //!              [--budget-cap X] [--chaos-seed S] [--rate P] [--cache-dir DIR]
 //!              [--strict true] [--telemetry-addr HOST:PORT]
 //!              [--trace-out FILE] [--flame-out FILE]
-//!              [--compile-rate P] [--degrade true]
+//!              [--compile-rate P] [--degrade true] [--lazy true]
 //!              [--drill crash-recover|storm]
 //! rqp trace-check --file trace.json
 //! ```
@@ -59,6 +59,7 @@ fn usage() {
          \x20 compile --query NAME [--resolution N] [--out FILE]\n\
          \x20         [--cache-dir DIR] [--mode exact|recost|recost:STRIDE]\n\
          \x20 run     --query NAME [--algo sb|ab|pb|native|reopt] [--qa s1,s2,..]\n\
+         \x20         [--lazy true]   compile contour bands only as discovery pulls them\n\
          \x20 report  --query NAME [--resolution N]\n\
          \x20 atlas   --query NAME [--resolution N]   (2-epp queries)\n\
          \x20 sql     --catalog tpcds|imdb --file FILE [--algo sb]\n\
@@ -67,7 +68,8 @@ fn usage() {
          \x20         [--workers N] [--queue M] [--deadline-ms T] [--budget-cap X]\n\
          \x20         [--chaos-seed S] [--rate P] [--cache-dir DIR] [--strict true]\n\
          \x20         [--telemetry-addr HOST:PORT] [--trace-out FILE] [--flame-out FILE]\n\
-         \x20         [--compile-rate P] [--degrade true] [--drill crash-recover|storm]\n\
+         \x20         [--compile-rate P] [--degrade true] [--lazy true]\n\
+         \x20         [--drill crash-recover|storm]\n\
          \x20 lint    [--root DIR] [--format text|json] [--deny-warnings true]\n\
          \x20         [--lock-graph DIR [--dot FILE]]\n\
          \x20 trace-check --file FILE                validate a Chrome trace export"
@@ -189,19 +191,23 @@ fn compile(flags: &HashMap<String, String>) {
     let cfg = config_for(flags, w.query.dims());
     let t0 = std::time::Instant::now();
     let rt = runtime_or_exit(&w, cfg);
+    let ess = rt.ess().unwrap_or_else(|e| {
+        eprintln!("surface materialization failed: {e}");
+        exit(1)
+    });
     println!(
         "compiled {}: {} cells, {} plans, {} contours in {:.2?}",
         w.query.name,
-        rt.ess.grid().num_cells(),
-        rt.ess.posp.num_plans(),
-        rt.ess.contours.num_bands(),
+        ess.grid().num_cells(),
+        ess.posp.num_plans(),
+        ess.contours.num_bands(),
         t0.elapsed()
     );
     if flags.contains_key("cache-dir") {
         println!("{}", cache_summary());
     }
     if let Some(out) = flags.get("out") {
-        let snap = PospSnapshot::capture(&rt.ess);
+        let snap = PospSnapshot::capture(&ess);
         let json = snap.to_json().unwrap_or_else(|e| {
             eprintln!("cannot serialize snapshot: {e}");
             exit(1)
@@ -217,8 +223,16 @@ fn compile(flags: &HashMap<String, String>) {
 fn run(flags: &HashMap<String, String>) {
     let w = workload_by_name(required(flags, "query"));
     let cfg = config_for(flags, w.query.dims());
-    let rt = runtime_or_exit(&w, cfg);
-    let grid = rt.ess.grid();
+    let lazy = flags.get("lazy").is_some_and(|v| v == "true" || v == "1");
+    let rt = if lazy {
+        w.runtime_lazy(cfg).unwrap_or_else(|e| {
+            eprintln!("lazy ESS admission failed: {e}");
+            exit(1)
+        })
+    } else {
+        runtime_or_exit(&w, cfg)
+    };
+    let grid = rt.grid();
     let qa = match flags.get("qa") {
         None => grid.num_cells() / 2,
         Some(spec) => {
@@ -244,6 +258,13 @@ fn run(flags: &HashMap<String, String>) {
     let trace = algo.discover(&rt, qa);
     println!("qa = {} (cell {qa})", grid.location(qa));
     println!("{}", trace.render());
+    if lazy {
+        println!(
+            "lazy compile: {} of {} contour bands materialized",
+            rt.bands_compiled(),
+            rt.num_bands()
+        );
+    }
 }
 
 fn report(flags: &HashMap<String, String>) {
@@ -251,7 +272,10 @@ fn report(flags: &HashMap<String, String>) {
     let d = w.query.dims();
     let cfg = config_for(flags, d);
     let rt = runtime_or_exit(&w, cfg);
-    let pb = PlanBouquet::anorexic(&rt, 0.2);
+    let pb = PlanBouquet::anorexic(&rt, 0.2).unwrap_or_else(|e| {
+        eprintln!("anorexic reduction failed: {e}");
+        exit(1)
+    });
     let rho = pb.rho(&rt);
     println!("{}: D = {d}, ρ_red = {rho}", w.query.name);
     println!(
@@ -279,14 +303,18 @@ fn atlas(flags: &HashMap<String, String>) {
     }
     let cfg = config_for(flags, 2);
     let rt = runtime_or_exit(&w, cfg);
-    let grid = rt.ess.grid();
+    let ess = rt.ess().unwrap_or_else(|e| {
+        eprintln!("surface materialization failed: {e}");
+        exit(1)
+    });
+    let grid = ess.grid();
     let res = grid.res(0);
     const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
-    println!("plan diagram ({} plans):", rt.ess.posp.num_plans());
+    println!("plan diagram ({} plans):", ess.posp.num_plans());
     for y in (0..res).rev() {
         let row: String = (0..res)
             .map(|x| {
-                let id = rt.ess.posp.plan_id(grid.index(&[x, y])).0 as usize;
+                let id = ess.posp.plan_id(grid.index(&[x, y])).0 as usize;
                 GLYPHS[id % GLYPHS.len()] as char
             })
             .collect();
@@ -296,7 +324,7 @@ fn atlas(flags: &HashMap<String, String>) {
     for y in (0..res).rev() {
         let row: String = (0..res)
             .map(|x| {
-                char::from_digit((rt.ess.contours.band_of(grid.index(&[x, y])) % 10) as u32, 10)
+                char::from_digit((ess.contours.band_of(grid.index(&[x, y])) % 10) as u32, 10)
                     .unwrap_or('?')
             })
             .collect();
@@ -398,7 +426,7 @@ fn sql(flags: &HashMap<String, String>) {
             exit(1)
         });
     let algo = algo_by_name(flags.get("algo").map(String::as_str).unwrap_or("sb"));
-    let qa = rt.ess.grid().num_cells() / 2;
+    let qa = rt.grid().num_cells() / 2;
     let trace = algo.discover(&rt, qa);
     println!("{}", trace.render());
 }
@@ -521,6 +549,7 @@ fn serve(flags: &HashMap<String, String>) {
             }
         }),
         degrade: flags.get("degrade").map(String::as_str) == Some("true"),
+        lazy: flags.get("lazy").map(String::as_str) == Some("true"),
         keep_traces: false,
         cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
         // Any trace consumer (live endpoint or file export) turns tracing on.

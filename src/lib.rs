@@ -24,7 +24,7 @@
 //! // compile the ESS (coarse grid for the doctest)
 //! let rt = w.runtime(EssConfig::coarse(3))?;
 //! // run SpillBound for a query instance at the grid terminus
-//! let trace = SpillBound::new().discover(&rt, rt.ess.grid().terminus());
+//! let trace = SpillBound::new().discover(&rt, rt.grid().terminus());
 //! assert!(trace.subopt() <= 2.0 * sb_guarantee(3));
 //! # Ok::<(), RqpError>(())
 //! ```

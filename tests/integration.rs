@@ -56,17 +56,17 @@ fn all_algorithms_complete_with_valid_suboptimality() {
     let rt = compile(&catalog, &query, 12);
     let algos: Vec<Box<dyn Discovery>> = vec![
         Box::new(PlanBouquet::new()),
-        Box::new(PlanBouquet::anorexic(&rt, 0.2)),
+        Box::new(PlanBouquet::anorexic(&rt, 0.2).unwrap()),
         Box::new(SpillBound::new()),
         Box::new(SpillBound::with_refined_bounds()),
         Box::new(AlignedBound::new()),
         Box::new(NativeOptimizer),
     ];
     let cells = [
-        rt.ess.grid().origin(),
-        rt.ess.grid().num_cells() / 3,
-        rt.ess.grid().num_cells() / 2,
-        rt.ess.grid().terminus(),
+        rt.grid().origin(),
+        rt.grid().num_cells() / 3,
+        rt.grid().num_cells() / 2,
+        rt.grid().terminus(),
     ];
     for algo in &algos {
         for &qa in &cells {
@@ -101,7 +101,7 @@ fn guarantees_hold_empirically_for_sb_and_ab() {
     assert!(sb.mso <= bound, "SB MSOe {} > {bound}", sb.mso);
     assert!(ab.mso <= bound, "AB MSOe {} > {bound}", ab.mso);
     // PlanBouquet's band-discretized behavioural bound: 8(1+λ)ρ_red
-    let pb = PlanBouquet::anorexic(&rt, 0.2);
+    let pb = PlanBouquet::anorexic(&rt, 0.2).unwrap();
     let rho = pb.rho(&rt);
     let pb_ev = evaluate(&rt, &pb);
     assert!(
@@ -116,7 +116,7 @@ fn guarantees_hold_empirically_for_sb_and_ab() {
 fn optimizer_plans_decompose_into_pipelines_and_spill_subtrees() {
     let (catalog, query) = example_runtime(8);
     let rt = compile(&catalog, &query, 8);
-    let grid = rt.ess.grid();
+    let grid = rt.grid();
     for cell in [0, grid.num_cells() / 2, grid.terminus()] {
         let loc = grid.location(cell);
         let planned = rt.optimizer.optimize(&loc);
@@ -168,7 +168,7 @@ fn tpcds_suite_smoke_runs_every_query() {
         )
         .unwrap();
         let sb = SpillBound::new();
-        for qa in [rt.ess.grid().origin(), rt.ess.grid().terminus()] {
+        for qa in [rt.grid().origin(), rt.grid().terminus()] {
             let t = sb.discover(&rt, qa);
             assert!(t.steps.last().unwrap().completed, "{} cell {qa}", bq.name());
             assert!(t.subopt() >= 1.0 - 1e-9);

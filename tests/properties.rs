@@ -97,12 +97,13 @@ proptest! {
             EssConfig { resolution: 5, min_sel: 1e-5, ..Default::default() },
         )
         .unwrap();
-        let grid = rt.ess.grid();
+        let ess = rt.ess().unwrap();
+        let grid = ess.grid();
         let step = (grid.num_cells() / 16).max(1);
         for cell in (0..grid.num_cells()).step_by(step) {
-            let oracle = rt.ess.posp.cost(cell);
-            for (id, _) in rt.ess.posp.registry().iter() {
-                let c = rt.ess.posp.cost_of_plan_at(&rt.optimizer, id, cell);
+            let oracle = ess.posp.cost(cell);
+            for (id, _) in ess.posp.registry().iter() {
+                let c = ess.posp.cost_of_plan_at(&rt.optimizer, id, cell);
                 prop_assert!(
                     c >= oracle * (1.0 - 1e-9),
                     "plan {id} at cell {cell} beats the recorded optimum: {c} < {oracle}"
@@ -123,7 +124,7 @@ proptest! {
             EssConfig { resolution: 5, min_sel: 1e-5, ..Default::default() },
         )
         .unwrap();
-        let grid = rt.ess.grid();
+        let grid = rt.grid();
         let sb = SpillBound::new();
         let bound = 2.0 * sb_guarantee(rt.dims());
         let step = (grid.num_cells() / 12).max(1);
@@ -157,15 +158,16 @@ proptest! {
             EssConfig { resolution: 5, min_sel: 1e-5, ..Default::default() },
         )
         .unwrap();
-        let contours = &rt.ess.contours;
+        let ess = rt.ess().unwrap();
+        let contours = &ess.contours;
         let total: usize = (0..contours.num_bands()).map(|b| contours.cells(b).len()).sum();
-        prop_assert_eq!(total, rt.ess.grid().num_cells());
+        prop_assert_eq!(total, ess.grid().num_cells());
         for b in 1..contours.num_bands() {
             prop_assert!((contours.cc(b) / contours.cc(b - 1) - 2.0).abs() < 1e-9);
         }
         for b in 0..contours.num_bands() {
             for &cell in contours.cells(b) {
-                let c = rt.ess.posp.cost(cell);
+                let c = ess.posp.cost(cell);
                 prop_assert!(c >= contours.cc(b) * (1.0 - 1e-12));
                 prop_assert!(c < contours.cc(b) * 2.0 * (1.0 + 1e-12));
             }
@@ -183,12 +185,13 @@ proptest! {
             EssConfig { resolution: 5, min_sel: 1e-5, ..Default::default() },
         )
         .unwrap();
-        let reduced = robust_qp::ess::anorexic_reduce(&rt.ess.posp, &rt.optimizer, lambda);
-        prop_assert!(reduced.num_plans <= rt.ess.posp.num_plans());
-        let step = (rt.ess.grid().num_cells() / 16).max(1);
-        for cell in (0..rt.ess.grid().num_cells()).step_by(step) {
-            let c = rt.ess.posp.cost_of_plan_at(&rt.optimizer, reduced.cell_plan[cell], cell);
-            prop_assert!(c <= (1.0 + lambda) * rt.ess.posp.cost(cell) * (1.0 + 1e-9));
+        let ess = rt.ess().unwrap();
+        let reduced = robust_qp::ess::anorexic_reduce(&ess.posp, &rt.optimizer, lambda);
+        prop_assert!(reduced.num_plans <= ess.posp.num_plans());
+        let step = (ess.grid().num_cells() / 16).max(1);
+        for cell in (0..ess.grid().num_cells()).step_by(step) {
+            let c = ess.posp.cost_of_plan_at(&rt.optimizer, reduced.cell_plan[cell], cell);
+            prop_assert!(c <= (1.0 + lambda) * ess.posp.cost(cell) * (1.0 + 1e-9));
         }
     }
 
@@ -258,14 +261,15 @@ mod row_level {
             )
             .unwrap();
             let rt = w.runtime(EssConfig { resolution: 6, ..Default::default() }).unwrap();
-            let snap = robust_qp::ess::PospSnapshot::capture(&rt.ess);
+            let ess = rt.ess().unwrap();
+            let snap = robust_qp::ess::PospSnapshot::capture(&ess);
             let restored = robust_qp::ess::PospSnapshot::from_json(&snap.to_json().unwrap())
                 .unwrap()
                 .restore()
                 .unwrap();
-            for cell in rt.ess.grid().cells() {
-                prop_assert_eq!(restored.posp.cost(cell), rt.ess.posp.cost(cell));
-                prop_assert_eq!(restored.posp.plan_id(cell), rt.ess.posp.plan_id(cell));
+            for cell in ess.grid().cells() {
+                prop_assert_eq!(restored.posp.cost(cell), ess.posp.cost(cell));
+                prop_assert_eq!(restored.posp.plan_id(cell), ess.posp.plan_id(cell));
             }
         }
     }

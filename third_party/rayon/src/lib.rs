@@ -106,6 +106,21 @@ where
     std::thread::scope(|s| f(&Scope { inner: s }))
 }
 
+/// rayon's fire-and-forget `spawn`: run `f` on a background worker. Under
+/// the stub each task gets a detached OS thread instead of a pool slot;
+/// the contract callers rely on — runs concurrently, completion is
+/// observed through the work's own synchronization — is preserved.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name("rayon-stub".into())
+        .spawn(f)
+        .map(|_| ())
+        .unwrap_or(());
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
