@@ -1,6 +1,6 @@
 # Convenience targets for the robust-qp workspace.
 
-.PHONY: verify build test clippy lint lint-graph bench bench-compile bench-trace bench-lazy cache-smoke serve-smoke trace-smoke reproduce chaos drill
+.PHONY: verify build test clippy lint lint-graph bench bench-compile bench-trace bench-lazy cache-smoke serve-smoke serve-remote-smoke trace-smoke reproduce chaos drill
 
 # The full pre-merge gate: release build, quiet tests, zero clippy
 # warnings, a clean rqp-lint pass (warnings denied), an acyclic lock
@@ -83,6 +83,33 @@ serve-smoke:
 	cargo run --release --bin rqp -- serve --workload examples/serve_smoke.workload \
 		--workers 8 --queue 16 --chaos-seed 1 --strict true
 	@echo "serve-smoke: ok"
+
+# Remote-serving smoke: the same workload served (a) in-process and
+# (b) by a persistent-session TCP client against a 2-shard deployment
+# must produce byte-identical stable reports. Shards bind port 0 and
+# publish their address via --addr-file; the client shuts the
+# deployment down over the wire when done.
+serve-remote-smoke:
+	cargo build --release --bin rqp
+	rm -rf target/remote-smoke && mkdir -p target/remote-smoke
+	target/release/rqp serve --workload examples/remote_smoke.workload \
+		--resolution 6 --stable-out target/remote-smoke/local.txt
+	target/release/rqp serve --listen 127.0.0.1:0 --shard 0/2 --resolution 6 \
+		--addr-file target/remote-smoke/shard0.addr & \
+	target/release/rqp serve --listen 127.0.0.1:0 --shard 1/2 --resolution 6 \
+		--addr-file target/remote-smoke/shard1.addr & \
+	for i in $$(seq 1 100); do \
+		[ -f target/remote-smoke/shard0.addr ] && [ -f target/remote-smoke/shard1.addr ] && break; \
+		sleep 0.2; \
+	done; \
+	ADDRS="$$(cat target/remote-smoke/shard0.addr),$$(cat target/remote-smoke/shard1.addr)"; \
+	target/release/rqp connect --addr "$$ADDRS" \
+		--workload examples/remote_smoke.workload \
+		--resolution 6 --stable-out target/remote-smoke/remote.txt && \
+	target/release/rqp connect --addr "$$ADDRS" --shutdown true && \
+	wait
+	cmp target/remote-smoke/local.txt target/remote-smoke/remote.txt
+	@echo "serve-remote-smoke: ok (stable reports byte-identical)"
 
 # Causal-tracing smoke: a traced serve run must export a Chrome trace
 # that reparses through the obs JSON codec and carries at least one

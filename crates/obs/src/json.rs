@@ -354,6 +354,22 @@ pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
     Ok(v)
 }
 
+/// Parse one JSON document from raw bytes (e.g. a framed network payload).
+///
+/// Network input is not guaranteed to be UTF-8, so the decode failure is a
+/// structured [`JsonError`] (offset = first invalid byte) rather than a
+/// caller-side conversion panic. Valid UTF-8 behaves exactly like
+/// [`parse`].
+///
+/// # Errors
+/// Returns [`JsonError`] on invalid UTF-8, malformed JSON, trailing
+/// garbage, or nesting deeper than 128 levels.
+pub fn parse_bytes(bytes: &[u8]) -> Result<JsonValue, JsonError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| JsonError::at("input is not valid UTF-8", e.valid_up_to()))?;
+    parse(text)
+}
+
 const MAX_DEPTH: usize = 128;
 
 struct Parser<'a> {
@@ -480,6 +496,14 @@ impl<'a> Parser<'a> {
                 b'\\' => {
                     self.pos += 1;
                     out.push(self.escape()?);
+                }
+                // RFC 8259: control characters must arrive escaped; raw
+                // ones in network input are a framing/injection smell.
+                _ if b < 0x20 => {
+                    return Err(JsonError::at(
+                        format!("raw control character {b:#04x} in string"),
+                        self.pos,
+                    ));
                 }
                 _ => {
                     // consume one UTF-8 scalar (input is &str, so valid)

@@ -163,6 +163,17 @@ pub const SERVE_WAIT_DEADLINE_EXPIRED: &str = "rqp_serve_wait_deadline_expired_t
 /// Counter: sessions served a native-optimizer fallback plan because the
 /// breaker was open and degradation was enabled.
 pub const SERVE_DEGRADED: &str = "rqp_serve_degraded_total";
+/// Counter: sessions refused because the spec itself was invalid (e.g.
+/// an out-of-range `qa`) — distinct from backpressure rejections.
+pub const SERVE_INVALID_SPEC: &str = "rqp_serve_invalid_spec_total";
+/// Counter: sessions accepted over the TCP wire transport.
+pub const SERVE_WIRE_SESSIONS: &str = "rqp_serve_wire_sessions_total";
+/// Counter: wire-level rejection frames sent (queue saturation mapped
+/// onto the `Overloaded` admission path).
+pub const SERVE_WIRE_REJECTED: &str = "rqp_serve_wire_rejections_total";
+/// Counter: connections dropped on a malformed or hostile frame (bad
+/// length prefix, oversized frame, undecodable payload).
+pub const SERVE_WIRE_FRAME_ERRORS: &str = "rqp_serve_wire_frame_errors_total";
 /// Labelled counter base: compile-seam faults injected per class,
 /// `rqp_chaos_compile_faults_injected_total{class="…"}`.
 pub const COMPILE_FAULTS_INJECTED: &str = "rqp_chaos_compile_faults_injected_total";

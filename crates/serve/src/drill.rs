@@ -66,9 +66,9 @@ impl DrillReport {
 /// The drill workload: two distinct fingerprints, mixed algorithms.
 fn drill_entries() -> Vec<SessionEntry> {
     vec![
-        SessionEntry { query: "2D_Q91".to_string(), algo: "sb".to_string(), count: 3 },
-        SessionEntry { query: "2D_Q91".to_string(), algo: "ab".to_string(), count: 2 },
-        SessionEntry { query: "3D_Q91".to_string(), algo: "sb".to_string(), count: 3 },
+        SessionEntry { query: "2D_Q91".to_string(), algo: "sb".to_string(), count: 3, qa: None },
+        SessionEntry { query: "2D_Q91".to_string(), algo: "ab".to_string(), count: 2, qa: None },
+        SessionEntry { query: "3D_Q91".to_string(), algo: "sb".to_string(), count: 3, qa: None },
     ]
 }
 
@@ -202,11 +202,17 @@ pub fn storm_drill(seed: u64, sessions: usize) -> RqpResult<DrillReport> {
     let sessions = sessions.max(100);
     let per_query = sessions / 2;
     let entries = vec![
-        SessionEntry { query: "2D_Q91".to_string(), algo: "sb".to_string(), count: per_query },
+        SessionEntry {
+            query: "2D_Q91".to_string(),
+            algo: "sb".to_string(),
+            count: per_query,
+            qa: None,
+        },
         SessionEntry {
             query: "3D_Q91".to_string(),
             algo: "ab".to_string(),
             count: sessions - per_query,
+            qa: None,
         },
     ];
     let config = ServeConfig {

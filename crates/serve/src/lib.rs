@@ -66,6 +66,8 @@ pub mod report;
 pub mod server;
 pub mod session;
 pub mod telemetry;
+pub mod transport;
+pub mod wire;
 
 pub use drill::{crash_recover_drill, storm_drill, DrillReport};
 pub use obs::register_metrics;
@@ -73,6 +75,14 @@ pub use registry::{
     BreakerConfig, BreakerPhase, BreakerState, EssRegistry, Lookup, RegistryStats, SharedSurface,
 };
 pub use report::{GroupStats, ServeReport};
-pub use server::{serve_workload, ServeConfig, Server};
-pub use session::{algo_by_name, SessionOutcome, SessionResult, SessionSpec};
+pub use server::{serve_workload, ServeConfig, Server, SessionUpdate, UpdateSink};
+pub use session::{
+    algo_by_name, resolve_qa, session_fingerprint, SessionOutcome, SessionResult, SessionSpec,
+};
 pub use telemetry::{HealthSource, TelemetryServer, TraceStore};
+pub use transport::{
+    run_entries, FrameObserver, InProcTransport, TcpServeHost, TcpTransport, Transport,
+};
+pub use wire::{
+    read_frame, write_frame, Frame, WireRead, WireResult, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};

@@ -43,6 +43,14 @@ pub(crate) struct ServeMetrics {
     pub wait_deadline_expired: Arc<Counter>,
     /// `rqp_serve_degraded_total`
     pub degraded: Arc<Counter>,
+    /// `rqp_serve_invalid_spec_total`
+    pub invalid_spec: Arc<Counter>,
+    /// `rqp_serve_wire_sessions_total`
+    pub wire_sessions: Arc<Counter>,
+    /// `rqp_serve_wire_rejections_total`
+    pub wire_rejected: Arc<Counter>,
+    /// `rqp_serve_wire_frame_errors_total`
+    pub wire_frame_errors: Arc<Counter>,
 }
 
 pub(crate) fn metrics() -> &'static ServeMetrics {
@@ -72,6 +80,10 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
             breaker_refused: g.counter(names::SERVE_BREAKER_REFUSED),
             wait_deadline_expired: g.counter(names::SERVE_WAIT_DEADLINE_EXPIRED),
             degraded: g.counter(names::SERVE_DEGRADED),
+            invalid_spec: g.counter(names::SERVE_INVALID_SPEC),
+            wire_sessions: g.counter(names::SERVE_WIRE_SESSIONS),
+            wire_rejected: g.counter(names::SERVE_WIRE_REJECTED),
+            wire_frame_errors: g.counter(names::SERVE_WIRE_FRAME_ERRORS),
         }
     })
 }

@@ -68,6 +68,29 @@ pub enum Lookup {
     Restored,
 }
 
+impl Lookup {
+    /// Short stable label for reports and wire frames.
+    pub fn label(self) -> &'static str {
+        match self {
+            Lookup::Compiled => "compiled",
+            Lookup::Hit => "hit",
+            Lookup::Waited => "waited",
+            Lookup::Restored => "restored",
+        }
+    }
+
+    /// Inverse of [`Lookup::label`] (wire decoding).
+    pub fn from_label(label: &str) -> Option<Lookup> {
+        match label {
+            "compiled" => Some(Lookup::Compiled),
+            "hit" => Some(Lookup::Hit),
+            "waited" => Some(Lookup::Waited),
+            "restored" => Some(Lookup::Restored),
+            _ => None,
+        }
+    }
+}
+
 /// A surface shared out of the registry: either a finished eager ESS or a
 /// lazily materializing anytime surface whose contour bands compile as
 /// sessions pull them. Clones of the lazy arm share one frontier, so a

@@ -72,6 +72,12 @@ impl ServeReport {
         self.count(|r| matches!(r.outcome, SessionOutcome::BreakerOpen(_)))
     }
 
+    /// Sessions refused because the spec itself was invalid (e.g. an
+    /// out-of-range `qa` cell) — refused before discovery, never clamped.
+    pub fn invalid_specs(&self) -> u64 {
+        self.count(|r| matches!(r.outcome, SessionOutcome::InvalidSpec(_)))
+    }
+
     /// Sessions that ran discovery but reported a non-finite
     /// suboptimality (a corrupt trace; strict serving fails on any).
     pub fn non_finite_subopts(&self) -> u64 {
@@ -182,6 +188,9 @@ impl ServeReport {
             self.latency_percentile(0.99),
         ) {
             let _ = writeln!(s, "latency: p50 {:.2?}   p95 {:.2?}   p99 {:.2?}", p50, p95, p99);
+        }
+        if self.invalid_specs() > 0 {
+            let _ = writeln!(s, "refused {} session(s) with invalid specs", self.invalid_specs());
         }
         if self.degraded() + self.breaker_refused() > 0 {
             let _ = writeln!(

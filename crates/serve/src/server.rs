@@ -63,6 +63,9 @@ pub struct ServeConfig {
     /// Bind address for the live telemetry endpoint (`/metrics`,
     /// `/healthz`, `/trace/<session>`); `None` disables it.
     pub telemetry_addr: Option<String>,
+    /// How long one telemetry connection may take to deliver its request
+    /// head before being cut off (slow-loris guard; was hardcoded 500 ms).
+    pub telemetry_read_timeout: Duration,
     /// Circuit-breaker tuning for the shared registry (backoff window per
     /// consecutive compile failure).
     pub breaker: BreakerConfig,
@@ -95,6 +98,7 @@ impl Default for ServeConfig {
             registry_shards: 8,
             tracing: false,
             telemetry_addr: None,
+            telemetry_read_timeout: Duration::from_millis(500),
             breaker: BreakerConfig::default(),
             compile_chaos: None,
             degrade: false,
@@ -103,9 +107,57 @@ impl Default for ServeConfig {
     }
 }
 
+/// Live notifications a transport can subscribe to by submitting through
+/// [`Server::submit_with`]. The TCP wire layer streams these to the
+/// client as progress frames; in-proc callers normally pass no sink and
+/// read everything from the drained [`ServeReport`].
+#[derive(Debug, Clone)]
+pub enum SessionUpdate {
+    /// The session left the queue and started executing on a worker.
+    Started {
+        /// Session id.
+        id: usize,
+    },
+    /// The registry lookup resolved — the session has its surface.
+    Surface {
+        /// Session id.
+        id: usize,
+        /// How the lookup resolved (compiled / hit / waited / restored).
+        lookup: crate::registry::Lookup,
+    },
+    /// One discovery execution from the session's trace.
+    Step {
+        /// Session id.
+        id: usize,
+        /// Step index within the trace.
+        step: usize,
+        /// Cost budget granted to this execution.
+        budget: f64,
+        /// Cost actually spent.
+        spent: f64,
+        /// Whether the execution ran to completion (vs. budget kill).
+        completed: bool,
+    },
+    /// Terminal: the session's full result (also in the drain report).
+    Finished(Box<SessionResult>),
+}
+
+/// Where [`Server::submit_with`] delivers a session's live updates.
+pub type UpdateSink = std::sync::mpsc::Sender<SessionUpdate>;
+
+/// Send a live update, ignoring a hung-up receiver: the transport
+/// connection owning the sink is gone, and the session result still lands
+/// in the drain report.
+fn notify(sink: Option<&UpdateSink>, update: impl FnOnce() -> SessionUpdate) {
+    if let Some(sink) = sink {
+        sink.send(update()).ok();
+    }
+}
+
 struct Queued {
     spec: SessionSpec,
     admitted_at: Instant,
+    sink: Option<UpdateSink>,
 }
 
 struct QueueState {
@@ -183,6 +235,7 @@ impl Server {
                     addr,
                     Arc::clone(&inner.traces),
                     Some(health),
+                    inner.config.telemetry_read_timeout,
                 )?)
             }
             None => None,
@@ -205,6 +258,17 @@ impl Server {
     /// [`RqpError::Overloaded`] (queue at capacity) or
     /// [`RqpError::Config`] (server already draining). Neither blocks.
     pub fn submit(&self, spec: SessionSpec) -> RqpResult<()> {
+        self.submit_with(spec, None)
+    }
+
+    /// [`submit`](Self::submit), plus a live [`SessionUpdate`] sink the
+    /// worker notifies as the session progresses (started → surface →
+    /// per-step → finished). The wire transport uses one sink per
+    /// connection to stream progress frames.
+    ///
+    /// # Errors
+    /// Same contract as [`submit`](Self::submit).
+    pub fn submit_with(&self, spec: SessionSpec, sink: Option<UpdateSink>) -> RqpResult<()> {
         let m = metrics();
         let mut st = self.inner.lock_state();
         if st.closed {
@@ -234,7 +298,7 @@ impl Server {
                     .with("algo", spec.algo.as_str()),
             );
         }
-        st.queue.push_back(Queued { spec, admitted_at: Instant::now() });
+        st.queue.push_back(Queued { spec, admitted_at: Instant::now(), sink });
         m.queue_depth.set(st.queue.len() as f64);
         drop(st);
         self.inner.work_ready.notify_one();
@@ -293,6 +357,7 @@ impl Server {
             let _ = handle.join();
         }
         if let Some(telemetry) = self.telemetry {
+            // rqp-lint: allow(swallowed-result): TelemetryServer::stop returns (); the name pools with the fallible TcpServeHost::stop
             telemetry.stop();
         }
         let results =
@@ -334,6 +399,8 @@ fn worker_loop(inner: &Inner) {
         };
         let Some(queued) = queued else { return };
         use std::sync::atomic::Ordering;
+        let sink = queued.sink.clone();
+        notify(sink.as_ref(), || SessionUpdate::Started { id: queued.spec.id });
         m.sessions_active.set((inner.active.fetch_add(1, Ordering::Relaxed) + 1) as f64);
         let result = run_session(inner, queued);
         m.sessions_active.set((inner.active.fetch_sub(1, Ordering::Relaxed) - 1) as f64);
@@ -357,7 +424,8 @@ fn worker_loop(inner: &Inner) {
             }
             rqp_obs::emit(ev);
         }
-        inner.results.lock().unwrap_or_else(PoisonError::into_inner).push(result);
+        inner.results.lock().unwrap_or_else(PoisonError::into_inner).push(result.clone());
+        notify(sink.as_ref(), || SessionUpdate::Finished(Box::new(result)));
     }
 }
 
@@ -436,7 +504,7 @@ fn run_session(inner: &Inner, queued: Queued) -> SessionResult {
 /// (or single-flight compile) the shared ESS, admit a runtime against it,
 /// attach the session's fault schedule, and run discovery.
 fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
-    let Queued { spec, admitted_at } = queued;
+    let Queued { spec, admitted_at, sink } = queued;
     let algo_token = spec.algo.to_ascii_lowercase();
     let mut result = SessionResult {
         id: spec.id,
@@ -519,6 +587,7 @@ fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
         Err(e) => return finish(result, SessionOutcome::Failed(e.to_string())),
     };
     result.lookup = Some(how);
+    notify(sink.as_ref(), || SessionUpdate::Surface { id: spec.id, lookup: how });
     let rt = match surface {
         crate::registry::SharedSurface::Eager(ess) => {
             RobustRuntime::with_shared_ess(&w.catalog, &w.query, model, ess)
@@ -541,8 +610,30 @@ fn run_session_inner(inner: &Inner, queued: Queued) -> SessionResult {
         rt.set_fault_injector(plan);
     }
     let cells = rt.grid().num_cells();
-    let qa = spec.qa.unwrap_or(cells / 2).min(cells.saturating_sub(1));
+    let qa = match crate::session::resolve_qa(spec.qa, cells) {
+        Ok(qa) => qa,
+        Err(e) => {
+            metrics().invalid_spec.inc();
+            return finish(result, SessionOutcome::InvalidSpec(e.to_string()));
+        }
+    };
     let trace = algo.discover(&rt, qa);
+    // Stream the discovery steps to a live transport before the terminal
+    // result frame. The steps come off the finished trace (the executor
+    // seam has no mid-run tap yet), so remote and local observers see the
+    // identical step sequence.
+    if let Some(sink) = &sink {
+        for (i, step) in trace.steps.iter().enumerate() {
+            sink.send(SessionUpdate::Step {
+                id: spec.id,
+                step: i,
+                budget: step.budget,
+                spent: step.spent,
+                completed: step.completed,
+            })
+            .ok();
+        }
+    }
     result.subopt = Some(trace.subopt());
     result.steps = trace.num_executions();
     result.total_cost = Some(trace.total_cost);
@@ -591,7 +682,13 @@ where
     let optimizer = Optimizer::new(&w.catalog, &w.query, model);
     let planned = optimizer.optimize(&qe);
     let cells = grid.num_cells();
-    let qa = spec.qa.unwrap_or(cells / 2).min(cells.saturating_sub(1));
+    let qa = match crate::session::resolve_qa(spec.qa, cells) {
+        Ok(qa) => qa,
+        Err(e) => {
+            metrics().invalid_spec.inc();
+            return finish(result, SessionOutcome::InvalidSpec(e.to_string()));
+        }
+    };
     let qa_loc = grid.location(qa);
     let engine = Engine::new(&w.catalog, &w.query, model);
     let out = engine.execute_budgeted(&planned.plan, &qa_loc, f64::INFINITY);
@@ -625,32 +722,6 @@ pub fn serve_workload(
     config: ServeConfig,
     entries: &[rqp_workloads::SessionEntry],
 ) -> RqpResult<ServeReport> {
-    let server = Server::start(config)?;
-    let mut rejected = Vec::new();
-    let mut next_id = 0usize;
-    for entry in entries {
-        for _ in 0..entry.count {
-            let spec = SessionSpec::new(next_id, entry.query.as_str(), entry.algo.as_str());
-            next_id += 1;
-            if server.submit(spec.clone()).is_err() {
-                rejected.push(SessionResult {
-                    id: spec.id,
-                    query: spec.query,
-                    algo: spec.algo.to_ascii_lowercase(),
-                    outcome: SessionOutcome::Rejected,
-                    subopt: None,
-                    steps: 0,
-                    wall: Duration::ZERO,
-                    lookup: None,
-                    trace_render: None,
-                    total_cost: None,
-                    spans: Vec::new(),
-                });
-            }
-        }
-    }
-    let mut report = server.drain();
-    report.results.extend(rejected);
-    report.results.sort_by_key(|r| r.id);
-    Ok(report)
+    let transport = Box::new(crate::transport::InProcTransport::start(config)?);
+    crate::transport::run_entries(transport, entries)
 }

@@ -2,7 +2,9 @@
 
 use rqp_catalog::{RqpError, RqpResult};
 use rqp_core::{AlignedBound, Discovery, NativeOptimizer, PlanBouquet, ReOptimizer, SpillBound};
-use rqp_ess::Cell;
+use rqp_ess::{compile_fingerprint, Cell, EssConfig};
+use rqp_qplan::CostModel;
+use rqp_workloads::Workload;
 use std::time::Duration;
 
 /// One unit of serving work: a named workload, a discovery algorithm, and
@@ -15,8 +17,9 @@ pub struct SessionSpec {
     pub query: String,
     /// Algorithm token (`sb` | `ab` | `pb` | `native` | `reopt`).
     pub algo: String,
-    /// Actual-location grid cell; `None` picks the grid midpoint. Clamped
-    /// into the grid.
+    /// Actual-location grid cell; `None` picks the grid midpoint. An
+    /// out-of-range cell is refused with a structured error (see
+    /// [`resolve_qa`]), never clamped.
     pub qa: Option<Cell>,
     /// Per-session chaos seed, mixed into the server's base fault config
     /// so concurrent sessions draw independent fault schedules.
@@ -28,6 +31,43 @@ impl SessionSpec {
     pub fn new(id: usize, query: impl Into<String>, algo: impl Into<String>) -> SessionSpec {
         SessionSpec { id, query: query.into(), algo: algo.into(), qa: None, seed: id as u64 }
     }
+}
+
+/// Resolve a session's actual-location cell against the surface it will
+/// run on: `None` picks the grid midpoint; an explicit cell must lie
+/// inside the grid.
+///
+/// Out-of-range cells used to be silently clamped to the last cell, which
+/// quietly reported MSO/ASO for the wrong actual location — a real bug
+/// once specs arrive over a socket. They are a structured refusal now.
+///
+/// # Errors
+/// [`RqpError::Config`] when `qa` is outside `0..cells`.
+pub fn resolve_qa(qa: Option<Cell>, cells: usize) -> RqpResult<Cell> {
+    match qa {
+        None => Ok(cells / 2),
+        Some(c) if c < cells => Ok(c),
+        Some(c) => Err(RqpError::Config(format!(
+            "session qa {c} is out of range for a {cells}-cell surface"
+        ))),
+    }
+}
+
+/// The compile fingerprint a session's (query, resolution) pair maps to —
+/// the exact value [`crate::Server`] computes before touching the
+/// registry, exposed so a remote client can route sessions to the shard
+/// that owns the fingerprint.
+///
+/// # Errors
+/// [`RqpError::Config`] for an unknown workload name.
+pub fn session_fingerprint(query: &str, resolution: Option<usize>) -> RqpResult<u64> {
+    let w = Workload::by_name(query)?;
+    let model = CostModel::default();
+    let mut cfg = EssConfig::coarse(w.query.dims());
+    if let Some(r) = resolution {
+        cfg.resolution = r;
+    }
+    Ok(compile_fingerprint(&w.catalog, &w.query, &model, &cfg))
 }
 
 /// Resolve an algorithm token to its discovery implementation.
@@ -66,6 +106,9 @@ pub enum SessionOutcome {
     /// served by the native optimizer without the compiled ESS — a valid
     /// answer with no robustness guarantee, flagged rather than hidden.
     Degraded,
+    /// The spec itself was invalid (e.g. an out-of-range `qa` cell);
+    /// refused with the structured reason before discovery ran.
+    InvalidSpec(String),
     /// Compilation or discovery failed; carries the reason.
     Failed(String),
 }
@@ -80,6 +123,7 @@ impl SessionOutcome {
             SessionOutcome::OverBudget => "over_budget",
             SessionOutcome::BreakerOpen(_) => "breaker_open",
             SessionOutcome::Degraded => "degraded",
+            SessionOutcome::InvalidSpec(_) => "invalid_spec",
             SessionOutcome::Failed(_) => "failed",
         }
     }
@@ -140,6 +184,26 @@ mod tests {
             Ok(_) => panic!("vulcan must not resolve"),
         };
         assert!(err.contains("unknown algorithm"), "{err}");
+    }
+
+    #[test]
+    fn resolve_qa_defaults_to_midpoint_and_refuses_out_of_range() {
+        assert_eq!(resolve_qa(None, 9).unwrap(), 4);
+        assert_eq!(resolve_qa(Some(0), 9).unwrap(), 0);
+        assert_eq!(resolve_qa(Some(8), 9).unwrap(), 8);
+        let err = resolve_qa(Some(9), 9).expect_err("one past the end");
+        assert!(err.to_string().contains("out of range"), "{err}");
+        assert!(resolve_qa(Some(usize::MAX), 9).is_err());
+    }
+
+    #[test]
+    fn session_fingerprint_is_stable_and_resolution_sensitive() {
+        let a = session_fingerprint("2D_Q91", None).unwrap();
+        let b = session_fingerprint("2D_Q91", None).unwrap();
+        assert_eq!(a, b, "same inputs, same fingerprint");
+        let c = session_fingerprint("2D_Q91", Some(7)).unwrap();
+        assert_ne!(a, c, "resolution is part of the fingerprint");
+        assert!(session_fingerprint("NO_SUCH_QUERY", None).is_err());
     }
 
     #[test]

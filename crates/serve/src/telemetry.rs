@@ -75,6 +75,10 @@ impl TelemetryServer {
     /// Bind `addr` (e.g. `127.0.0.1:9921`; port 0 picks a free port) and
     /// start answering telemetry requests against `traces`.
     ///
+    /// `read_timeout` bounds how long one connection may dribble its
+    /// request head before being cut off (a slow-loris guard; the old
+    /// hardcoded 500 ms is now [`crate::ServeConfig::telemetry_read_timeout`]).
+    ///
     /// # Errors
     /// [`RqpError::Config`] when the address cannot be bound or the spawn
     /// fails.
@@ -82,6 +86,7 @@ impl TelemetryServer {
         addr: &str,
         traces: Arc<TraceStore>,
         health: Option<HealthSource>,
+        read_timeout: Duration,
     ) -> RqpResult<TelemetryServer> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| RqpError::Config(format!("telemetry cannot bind {addr}: {e}")))?;
@@ -95,7 +100,9 @@ impl TelemetryServer {
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("rqp-telemetry".to_string())
-            .spawn(move || accept_loop(&listener, &stop_flag, &traces, health.as_ref()))
+            .spawn(move || {
+                accept_loop(&listener, &stop_flag, &traces, health.as_ref(), read_timeout)
+            })
             .map_err(|e| RqpError::Config(format!("cannot spawn telemetry thread: {e}")))?;
         Ok(TelemetryServer { addr: local, stop, handle: Some(handle) })
     }
@@ -129,10 +136,11 @@ fn accept_loop(
     stop: &AtomicBool,
     traces: &Arc<TraceStore>,
     health: Option<&HealthSource>,
+    read_timeout: Duration,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => handle_connection(stream, traces, health),
+            Ok((stream, _)) => handle_connection(stream, traces, health, read_timeout),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
@@ -146,8 +154,13 @@ fn accept_loop(
 /// `rqp_serve_telemetry_errors_total` instead of dropping it on the floor:
 /// a scrape endpoint silently failing to answer looks exactly like a
 /// wedged server, so the failure itself must be observable.
-fn handle_connection(stream: TcpStream, traces: &Arc<TraceStore>, health: Option<&HealthSource>) {
-    if try_handle(stream, traces, health).is_err() {
+fn handle_connection(
+    stream: TcpStream,
+    traces: &Arc<TraceStore>,
+    health: Option<&HealthSource>,
+    read_timeout: Duration,
+) {
+    if try_handle(stream, traces, health, read_timeout).is_err() {
         crate::obs::metrics().telemetry_errors.inc();
     }
 }
@@ -157,8 +170,9 @@ fn try_handle(
     mut stream: TcpStream,
     traces: &Arc<TraceStore>,
     health: Option<&HealthSource>,
+    read_timeout: Duration,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_read_timeout(Some(read_timeout))?;
     stream.set_nodelay(true)?;
     let mut buf = [0u8; 4096];
     let mut head = Vec::new();
@@ -254,8 +268,13 @@ mod tests {
         traces.insert(3, "{\"traceEvents\": []}".to_string());
         let health_source: HealthSource =
             Arc::new(|| "breakers: 1 fingerprint(s), 1 open, 0 half_open\n".to_string());
-        let srv = TelemetryServer::start("127.0.0.1:0", Arc::clone(&traces), Some(health_source))
-            .unwrap();
+        let srv = TelemetryServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&traces),
+            Some(health_source),
+            Duration::from_millis(500),
+        )
+        .unwrap();
         let addr = srv.local_addr();
 
         let health = get(addr, "/healthz");
@@ -281,9 +300,40 @@ mod tests {
     #[test]
     fn healthz_without_a_source_is_bare_liveness() {
         let traces = Arc::new(TraceStore::new());
-        let srv = TelemetryServer::start("127.0.0.1:0", Arc::clone(&traces), None).unwrap();
+        let srv = TelemetryServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&traces),
+            None,
+            Duration::from_millis(500),
+        )
+        .unwrap();
         let health = get(srv.local_addr(), "/healthz");
         assert!(health.ends_with("ok\n"), "{health}");
+        srv.stop();
+    }
+
+    #[test]
+    fn responses_carry_content_length_and_connection_close() {
+        // Clients that don't read to EOF (curl keep-alive, framed probes)
+        // need an exact Content-Length and an explicit close.
+        let traces = Arc::new(TraceStore::new());
+        let srv = TelemetryServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&traces),
+            None,
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        let response = get(srv.local_addr(), "/healthz");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.contains("Connection: close"), "{head}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .parse()
+            .expect("numeric Content-Length");
+        assert_eq!(len, body.len(), "Content-Length must match the body byte count");
         srv.stop();
     }
 }

@@ -86,7 +86,8 @@ fn an_open_breaker_degrades_gracefully_when_configured() {
         backoff_base: Duration::from_secs(30),
         backoff_max: Duration::from_secs(30),
     };
-    let entries = [SessionEntry { query: "2D_Q91".to_string(), algo: "sb".to_string(), count: 4 }];
+    let entries =
+        [SessionEntry { query: "2D_Q91".to_string(), algo: "sb".to_string(), count: 4, qa: None }];
 
     let degraded_report = serve_workload(
         ServeConfig {
@@ -156,8 +157,8 @@ fn storm_drill_holds_the_resilience_bounds() {
 #[test]
 fn quiet_schedules_render_byte_identically() {
     let entries = [
-        SessionEntry { query: "2D_Q91".to_string(), algo: "sb".to_string(), count: 4 },
-        SessionEntry { query: "2D_Q91".to_string(), algo: "ab".to_string(), count: 2 },
+        SessionEntry { query: "2D_Q91".to_string(), algo: "sb".to_string(), count: 4, qa: None },
+        SessionEntry { query: "2D_Q91".to_string(), algo: "ab".to_string(), count: 2, qa: None },
     ];
     let without_chaos = serve_workload(fast_config(), &entries).unwrap();
     let with_quiet_chaos = serve_workload(

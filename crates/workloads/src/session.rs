@@ -5,16 +5,19 @@
 //!
 //! ```text
 //! # comment lines and blank lines are ignored
-//! 2D_Q91  sb  x8     # eight SpillBound sessions over 2D_Q91
-//! 3D_Q15  ab         # one AlignedBound session
+//! 2D_Q91  sb  x8       # eight SpillBound sessions over 2D_Q91
+//! 3D_Q15  ab           # one AlignedBound session
 //! JOB_Q1a pb  x4
+//! 2D_Q91  sb  qa=17 x2 # pin the actual-location cell
 //! ```
 //!
-//! Each line is `QUERY ALGO [xCOUNT]`. The query token is any name
-//! [`crate::Workload::by_name`] accepts; the algorithm token is passed
-//! through verbatim (the serving layer resolves it, so the parser does not
-//! depend on the algorithm set). `xCOUNT` repeats the session; it defaults
-//! to 1 and must be at least 1.
+//! Each line is `QUERY ALGO [qa=CELL] [xCOUNT]`. The query token is any
+//! name [`crate::Workload::by_name`] accepts; the algorithm token is
+//! passed through verbatim (the serving layer resolves it, so the parser
+//! does not depend on the algorithm set). `qa=CELL` pins the sessions'
+//! actual-selectivity grid cell (default: the grid midpoint; the serving
+//! layer refuses out-of-range cells with a structured error). `xCOUNT`
+//! repeats the session; it defaults to 1 and must be at least 1.
 
 use rqp_catalog::{RqpError, RqpResult};
 
@@ -28,6 +31,10 @@ pub struct SessionEntry {
     pub algo: String,
     /// How many identical sessions this line expands to.
     pub count: usize,
+    /// Actual-location grid cell for these sessions (`None` = midpoint).
+    /// Range is validated by the serving layer against the compiled
+    /// surface, not here.
+    pub qa: Option<usize>,
 }
 
 /// Parse a session file.
@@ -46,27 +53,43 @@ pub fn parse_session_file(text: &str) -> RqpResult<Vec<SessionEntry>> {
         let mut toks = line.split_whitespace();
         let (Some(query), Some(algo)) = (toks.next(), toks.next()) else {
             return Err(RqpError::Config(format!(
-                "session file line {lineno}: expected `QUERY ALGO [xCOUNT]`, got {line:?}"
+                "session file line {lineno}: expected `QUERY ALGO [qa=CELL] [xCOUNT]`, got {line:?}"
             )));
         };
-        let count = match toks.next() {
-            None => 1,
-            Some(tok) => tok
-                .strip_prefix('x')
-                .and_then(|n| n.parse::<usize>().ok())
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| {
+        let mut count = 1usize;
+        let mut qa = None;
+        let mut seen_count = false;
+        for tok in toks {
+            if let Some(cell) = tok.strip_prefix("qa=") {
+                if qa.is_some() {
+                    return Err(RqpError::Config(format!(
+                        "session file line {lineno}: duplicate qa= token"
+                    )));
+                }
+                qa = Some(cell.parse::<usize>().map_err(|_| {
+                    RqpError::Config(format!(
+                        "session file line {lineno}: bad actual-location cell {tok:?} (use qa=17)"
+                    ))
+                })?);
+            } else if let Some(n) = tok.strip_prefix('x') {
+                if seen_count {
+                    return Err(RqpError::Config(format!(
+                        "session file line {lineno}: unexpected trailing token {tok:?}"
+                    )));
+                }
+                count = n.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
                     RqpError::Config(format!(
                         "session file line {lineno}: bad repeat count {tok:?} (use x1, x8, …)"
                     ))
-                })?,
-        };
-        if let Some(extra) = toks.next() {
-            return Err(RqpError::Config(format!(
-                "session file line {lineno}: unexpected trailing token {extra:?}"
-            )));
+                })?;
+                seen_count = true;
+            } else {
+                return Err(RqpError::Config(format!(
+                    "session file line {lineno}: unexpected trailing token {tok:?}"
+                )));
+            }
         }
-        entries.push(SessionEntry { query: query.to_string(), algo: algo.to_string(), count });
+        entries.push(SessionEntry { query: query.to_string(), algo: algo.to_string(), count, qa });
     }
     if entries.is_empty() {
         return Err(RqpError::Config("session file defines no sessions".to_string()));
@@ -78,6 +101,10 @@ pub fn parse_session_file(text: &str) -> RqpResult<Vec<SessionEntry>> {
 mod tests {
     use super::*;
 
+    fn entry(query: &str, algo: &str, count: usize, qa: Option<usize>) -> SessionEntry {
+        SessionEntry { query: query.into(), algo: algo.into(), count, qa }
+    }
+
     #[test]
     fn parses_groups_comments_and_counts() {
         let text = "# header\n\n2D_Q91 sb x8   # eight\n3D_Q15 ab\nJOB_Q1a pb x4\n";
@@ -85,12 +112,21 @@ mod tests {
         assert_eq!(
             entries,
             vec![
-                SessionEntry { query: "2D_Q91".into(), algo: "sb".into(), count: 8 },
-                SessionEntry { query: "3D_Q15".into(), algo: "ab".into(), count: 1 },
-                SessionEntry { query: "JOB_Q1a".into(), algo: "pb".into(), count: 4 },
+                entry("2D_Q91", "sb", 8, None),
+                entry("3D_Q15", "ab", 1, None),
+                entry("JOB_Q1a", "pb", 4, None),
             ]
         );
         assert_eq!(entries.iter().map(|e| e.count).sum::<usize>(), 13);
+    }
+
+    #[test]
+    fn parses_pinned_actual_locations() {
+        let entries = parse_session_file("2D_Q91 sb qa=17 x2\n2D_Q91 ab x3 qa=0\n").unwrap();
+        assert_eq!(
+            entries,
+            vec![entry("2D_Q91", "sb", 2, Some(17)), entry("2D_Q91", "ab", 3, Some(0))]
+        );
     }
 
     #[test]
@@ -100,10 +136,14 @@ mod tests {
         let err = parse_session_file("2D_Q91 sb x0\n").unwrap_err().to_string();
         assert!(err.contains("bad repeat count"), "{err}");
         let err = parse_session_file("2D_Q91 sb 8\n").unwrap_err().to_string();
-        assert!(err.contains("bad repeat count"), "{err}");
+        assert!(err.contains("trailing"), "{err}");
         let err = parse_session_file("a b x2 extra\n").unwrap_err().to_string();
         assert!(err.contains("trailing"), "{err}");
         let err = parse_session_file("# only comments\n").unwrap_err().to_string();
         assert!(err.contains("no sessions"), "{err}");
+        let err = parse_session_file("2D_Q91 sb qa=zero\n").unwrap_err().to_string();
+        assert!(err.contains("actual-location"), "{err}");
+        let err = parse_session_file("2D_Q91 sb qa=1 qa=2\n").unwrap_err().to_string();
+        assert!(err.contains("duplicate"), "{err}");
     }
 }

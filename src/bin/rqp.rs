@@ -16,6 +16,10 @@
 //!              [--trace-out FILE] [--flame-out FILE]
 //!              [--compile-rate P] [--degrade true] [--lazy true]
 //!              [--drill crash-recover|storm]
+//!              [--listen HOST:PORT [--shard K/N] [--addr-file FILE]]
+//!              [--stable-out FILE]
+//! rqp connect  --addr HOST:PORT[,HOST:PORT..] --workload FILE [--resolution N]
+//!              [--stable-out FILE] [--shutdown true]
 //! rqp trace-check --file trace.json
 //! ```
 
@@ -41,6 +45,7 @@ fn main() {
         "sql" => sql(&flags),
         "chaos" => chaos(&flags),
         "serve" => serve(&flags),
+        "connect" => connect(&flags),
         "lint" => lint(&flags),
         "trace-check" => trace_check(&flags),
         other => {
@@ -70,6 +75,11 @@ fn usage() {
          \x20         [--telemetry-addr HOST:PORT] [--trace-out FILE] [--flame-out FILE]\n\
          \x20         [--compile-rate P] [--degrade true] [--lazy true]\n\
          \x20         [--drill crash-recover|storm]\n\
+         \x20         [--listen HOST:PORT [--shard K/N] [--addr-file FILE]]\n\
+         \x20         [--stable-out FILE]\n\
+         \x20 connect --addr HOST:PORT[,HOST:PORT...] (in shard order)\n\
+         \x20         --workload FILE | --query NAME [--sessions K] [--algo sb]\n\
+         \x20         [--resolution N] [--stable-out FILE] [--shutdown true]\n\
          \x20 lint    [--root DIR] [--format text|json] [--deny-warnings true]\n\
          \x20         [--lock-graph DIR [--dot FILE]]\n\
          \x20 trace-check --file FILE                validate a Chrome trace export"
@@ -117,6 +127,15 @@ fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
     flags.get(key).map(String::as_str).unwrap_or_else(|| {
         eprintln!("missing required flag --{key}");
         exit(2);
+    })
+}
+
+fn parse_or<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags.get(key).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("bad --{key} {v:?}");
+            exit(2);
+        })
     })
 }
 
@@ -337,14 +356,6 @@ fn chaos(flags: &HashMap<String, String>) {
 
     let w = workload_by_name(required(flags, "query"));
     let cfg = config_for(flags, w.query.dims());
-    fn parse_or<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-        flags.get(key).map_or(default, |v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("bad --{key} {v:?}");
-                exit(2);
-            })
-        })
-    }
     let seed: u64 = parse_or(flags, "seed", 1);
     let schedules_n: u64 = parse_or(flags, "schedules", 4);
     let rate: f64 = parse_or(flags, "rate", 0.35);
@@ -433,16 +444,6 @@ fn sql(flags: &HashMap<String, String>) {
 
 fn serve(flags: &HashMap<String, String>) {
     use robust_qp::serve::{serve_workload, ServeConfig};
-    use robust_qp::workloads::{parse_session_file, SessionEntry};
-
-    fn parse_or<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-        flags.get(key).map_or(default, |v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("bad --{key} {v:?}");
-                exit(2);
-            })
-        })
-    }
 
     // Scripted resilience drills short-circuit the normal serve path.
     if let Some(which) = flags.get("drill") {
@@ -475,21 +476,10 @@ fn serve(flags: &HashMap<String, String>) {
         return;
     }
 
-    let entries: Vec<SessionEntry> = if let Some(file) = flags.get("workload") {
-        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
-            eprintln!("cannot read {file}: {e}");
-            exit(1);
-        });
-        parse_session_file(&text).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            exit(2);
-        })
-    } else {
-        let query = required(flags, "query").to_string();
-        let algo = flags.get("algo").cloned().unwrap_or_else(|| "sb".to_string());
-        let count = parse_or(flags, "sessions", 8usize);
-        vec![SessionEntry { query, algo, count }]
-    };
+    // `--listen` servers carry no workload of their own — sessions
+    // arrive as wire frames — so resolve entries only for local runs.
+    let listen = flags.get("listen");
+    let entries = if listen.is_some() { Vec::new() } else { session_entries(flags) };
     let total: usize = entries.iter().map(|e| e.count).sum();
 
     let rate: f64 = parse_or(flags, "rate", 0.0);
@@ -561,6 +551,13 @@ fn serve(flags: &HashMap<String, String>) {
     };
 
     robust_qp::serve::register_metrics();
+
+    // `--listen` turns this invocation into a long-lived network server.
+    if let Some(addr) = listen {
+        serve_listen(flags, addr, config);
+        return;
+    }
+
     let tracing_on = config.tracing;
     println!(
         "serving {total} session(s) with {} worker(s), queue capacity {}",
@@ -571,6 +568,7 @@ fn serve(flags: &HashMap<String, String>) {
         exit(1);
     });
     print!("{}", report.render());
+    write_stable_out(flags, &report);
     if flags.contains_key("cache-dir") {
         println!("{}", cache_summary());
     }
@@ -627,6 +625,148 @@ fn serve(flags: &HashMap<String, String>) {
         }
         println!("strict serve passed: every session completed, one compile per fingerprint");
     }
+}
+
+/// Resolve the session workload for `serve` / `connect`: either a
+/// session file (`--workload`) or an ad-hoc `--query/--algo/--sessions`
+/// group.
+fn session_entries(flags: &HashMap<String, String>) -> Vec<robust_qp::workloads::SessionEntry> {
+    use robust_qp::workloads::{parse_session_file, SessionEntry};
+    if let Some(file) = flags.get("workload") {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("cannot read {file}: {e}");
+            exit(1);
+        });
+        parse_session_file(&text).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        })
+    } else {
+        let query = required(flags, "query").to_string();
+        let algo = flags.get("algo").cloned().unwrap_or_else(|| "sb".to_string());
+        let count = parse_or(flags, "sessions", 8usize);
+        vec![SessionEntry { query, algo, count, qa: None }]
+    }
+}
+
+/// `--stable-out FILE`: persist the timing-free report rendering, the
+/// byte-comparable artifact the remote-parity smoke diffs.
+fn write_stable_out(flags: &HashMap<String, String>, report: &robust_qp::serve::ServeReport) {
+    if let Some(path) = flags.get("stable-out") {
+        std::fs::write(path, report.stable_render()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("stable report: {path}");
+    }
+}
+
+/// `rqp serve --listen ADDR [--shard K/N]`: host one registry shard over
+/// TCP until a client sends a shutdown frame, then drain and report.
+fn serve_listen(
+    flags: &HashMap<String, String>,
+    addr: &str,
+    config: robust_qp::serve::ServeConfig,
+) {
+    use robust_qp::serve::TcpServeHost;
+
+    let shard = flags.get("shard").map(|spec| {
+        let parts: Vec<&str> = spec.split('/').collect();
+        let parsed = match parts.as_slice() {
+            [k, n] => k.parse::<usize>().ok().zip(n.parse::<usize>().ok()),
+            _ => None,
+        };
+        parsed.unwrap_or_else(|| {
+            eprintln!("bad --shard {spec:?} (use K/N, e.g. 0/2)");
+            exit(2);
+        })
+    });
+    let host = TcpServeHost::bind(addr, config, shard).unwrap_or_else(|e| {
+        eprintln!("cannot serve on {addr}: {e}");
+        exit(1);
+    });
+    let local = host.local_addr();
+    if let Some(path) = flags.get("addr-file") {
+        // Write-then-rename so a polling launcher never reads a torn
+        // address (the remote smoke waits on this file).
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, local.to_string())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            });
+    }
+    let (k, n) = shard.unwrap_or((0, 1));
+    println!("listening on {local} (shard {k}/{n}); send `rqp connect --shutdown true` to stop");
+    let report = host.run_until_shutdown().unwrap_or_else(|e| {
+        eprintln!("serve --listen failed: {e}");
+        exit(1);
+    });
+    print!("{}", report.render());
+}
+
+/// `rqp connect`: drive a remote `rqp serve --listen` deployment as a
+/// persistent-session client, routing each session to its owning shard.
+fn connect(flags: &HashMap<String, String>) {
+    use robust_qp::serve::{run_entries, Frame, FrameObserver, TcpTransport};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let addrs: Vec<String> = required(flags, "addr")
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        eprintln!("--addr needs HOST:PORT[,HOST:PORT...] in shard order");
+        exit(2);
+    }
+    let resolution: Option<usize> = flags.get("resolution").map(|r| {
+        r.parse().unwrap_or_else(|_| {
+            eprintln!("bad --resolution {r:?}");
+            exit(2);
+        })
+    });
+    robust_qp::serve::register_metrics();
+
+    if flags.get("shutdown").map(String::as_str) == Some("true") {
+        let mut transport = TcpTransport::connect(&addrs, resolution).unwrap_or_else(|e| {
+            eprintln!("connect failed: {e}");
+            exit(1);
+        });
+        transport.send_shutdown().unwrap_or_else(|e| {
+            eprintln!("shutdown request failed: {e}");
+            exit(1);
+        });
+        println!("shutdown requested on {} shard(s)", addrs.len());
+        return;
+    }
+
+    let entries = session_entries(flags);
+    let total: usize = entries.iter().map(|e| e.count).sum();
+    let progress = Arc::new(AtomicUsize::new(0));
+    let observer: FrameObserver = {
+        let progress = Arc::clone(&progress);
+        Arc::new(move |frame: &Frame| {
+            if matches!(frame, Frame::Progress { .. }) {
+                progress.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+    println!("dispatching {total} session(s) across {} shard(s)", addrs.len());
+    let transport =
+        TcpTransport::connect_with(&addrs, resolution, Some(observer)).unwrap_or_else(|e| {
+            eprintln!("connect failed: {e}");
+            exit(1);
+        });
+    let report = run_entries(Box::new(transport), &entries).unwrap_or_else(|e| {
+        eprintln!("remote serve failed: {e}");
+        exit(1);
+    });
+    print!("{}", report.render());
+    println!("progress: {} streamed frame(s)", progress.load(Ordering::Relaxed));
+    write_stable_out(flags, &report);
 }
 
 /// Validate a Chrome trace-event export produced by `serve --trace-out`:
